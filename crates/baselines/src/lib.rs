@@ -1,0 +1,22 @@
+//! Baseline tuners and vendor-library models the paper compares against.
+//!
+//! Each baseline couples a *space* (a `SpaceOptions` variant modelling
+//! the approach's template expressiveness) with a *search algorithm*
+//! (modelling its explorer) and with rejection-based validity handling: a
+//! candidate violating the DLA's constraints costs a trial and scores 0 —
+//! exactly what happens when TVM fails to compile or launch on the device.
+//!
+//! | Baseline | Space | Search | Characteristic deficiency |
+//! |---|---|---|---|
+//! | AutoTVM | fixed manual template | simulated annealing | fixed tiling structure, no storage_align/locations |
+//! | Ansor   | auto template, no intrinsics | genetic algorithm | cannot use TensorCore/VNNI/GEMM units |
+//! | AMOS    | mapping exploration | genetic algorithm | no storage_align, fixed compute locations |
+//! | vendor  | expert heuristic configs | none (menu lookup) | not shape-specific |
+
+pub mod akg;
+pub mod tune;
+pub mod vendor;
+
+pub use akg::akg_outcome;
+pub use tune::{tune, Approach, Outcome};
+pub use vendor::vendor_outcome;

@@ -1,0 +1,53 @@
+//! Criterion bench: the DLA measurer — lowering plus analytic latency
+//! estimation, which replaces hardware measurement in this reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_core::tuner::evaluate;
+use heron_dla::Measurer;
+use heron_sched::lower;
+use heron_tensor::ops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_measure(c: &mut Criterion) {
+    for (name, spec, dag) in [
+        ("v100", heron_dla::v100(), ops::gemm(1024, 1024, 1024)),
+        (
+            "dlboost",
+            heron_dla::dlboost(),
+            ops::gemm_dtyped(1024, 1024, 1024, heron_tensor::DType::I8),
+        ),
+        ("vta", heron_dla::vta(), ops::gemm_dtyped(1024, 1024, 1024, heron_tensor::DType::I8)),
+    ] {
+        let space = SpaceGenerator::new(spec.clone())
+            .generate_named(&dag, &SpaceOptions::heron(), name)
+            .expect("generates");
+        let measurer = Measurer::new(spec);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sol = heron_csp::rand_sat(&space.csp, &mut rng, 1).pop().expect("solvable");
+        let csp = space.csp.clone();
+        let kernel = lower(&space.template, sol.fingerprint(), &|n| sol.value_by_name(&csp, n))
+            .expect("lowers");
+
+        c.bench_function(&format!("lower/{name}"), |b| {
+            b.iter(|| {
+                let k = lower(&space.template, sol.fingerprint(), &|n| {
+                    sol.value_by_name(&csp, n)
+                })
+                .expect("lowers");
+                black_box(k.grid)
+            });
+        });
+        c.bench_function(&format!("measure/{name}"), |b| {
+            b.iter(|| black_box(measurer.measure(&kernel).expect("valid").latency_s));
+        });
+        c.bench_function(&format!("evaluate/{name}"), |b| {
+            b.iter(|| black_box(evaluate(&space, &measurer, &sol).expect("valid").1.gflops));
+        });
+    }
+}
+
+criterion_group!(benches, bench_measure);
+criterion_main!(benches);

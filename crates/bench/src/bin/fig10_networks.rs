@@ -1,0 +1,52 @@
+//! Regenerates **Figure 10**: end-to-end network performance on the
+//! simulated V100 TensorCore. Each distinct layer is tuned once; network
+//! latency is the occurrence-weighted sum (paper averages: Heron 1.69×
+//! AutoTVM, 1.46× AMOS, 1.44× PyTorch-cuDNN; batch size 16).
+
+use heron_baselines::Approach;
+use heron_bench::{run_approach, run_vendor, seed, trials};
+use heron_workloads::{network, network_names};
+
+fn main() {
+    let spec = heron_dla::v100();
+    let trials = trials();
+    println!("Figure 10: network latency on V100 TensorCore, batch 16 (trials={trials})");
+    println!("network\tHeron(ms)\tAutoTVM(ms)\tAMOS(ms)\tVendor(ms)\tvsAutoTVM\tvsAMOS\tvsVendor");
+    for name in network_names() {
+        let mut lat = [0.0f64; 4]; // heron, autotvm, amos, vendor
+        for (w, count) in network(name) {
+            let c = count as f64;
+            let approaches =
+                [Approach::Heron, Approach::AutoTvm, Approach::Amos];
+            for (i, a) in approaches.iter().enumerate() {
+                if let Some(o) = run_approach(*a, &spec, &w, trials, seed()) {
+                    if o.best_latency_s.is_finite() {
+                        lat[i] += o.best_latency_s * c;
+                    }
+                }
+            }
+            if let Some((_, l)) = run_vendor(&spec, &w, seed()) {
+                lat[3] += l * c;
+            }
+        }
+        let s = |i: usize| {
+            if lat[i] > 0.0 && lat[0] > 0.0 {
+                format!("{:.2}", lat[i] / lat[0])
+            } else {
+                "-".into()
+            }
+        };
+        println!(
+            "{name}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{}\t{}\t{}",
+            lat[0] * 1e3,
+            lat[1] * 1e3,
+            lat[2] * 1e3,
+            lat[3] * 1e3,
+            s(1),
+            s(2),
+            s(3)
+        );
+    }
+    println!();
+    println!("(paper: 1.69x AutoTVM, 1.46x AMOS, 1.44x PyTorch-cuDNN on average)");
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Figure 12**: CGA vs SA, GA and RAND exploration
+//! efficiency on (a) a C2D and (b) a GEMM operator. The paper's claim: CGA
+//! reaches in ~500 steps what the baselines need 1000+ steps for, because
+//! every offspring is valid and good genes are retained.
+
+use heron_bench::{downsample, seed, trials};
+use heron_core::explore::cga::{CgaConfig, CgaExplorer};
+use heron_core::explore::classic::{GaExplorer, RandomExplorer, SaExplorer};
+use heron_core::explore::Explorer;
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_core::tuner::evaluate;
+use heron_dla::{v100, Measurer};
+use heron_tensor::ops;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = v100();
+    let steps = trials();
+    let cases = [
+        ("C2D", ops::conv2d(ops::Conv2dConfig::new(16, 14, 14, 256, 256, 3, 3, 1, 1))),
+        ("GEMM", ops::gemm(1024, 1024, 1024)),
+    ];
+    println!("Figure 12: exploration efficiency (steps={steps})");
+    println!("case\talgorithm\tstep\tbest_gflops");
+    for (case, dag) in cases {
+        let space = SpaceGenerator::new(spec.clone())
+            .generate_named(&dag, &SpaceOptions::heron(), case)
+            .expect("generates");
+        let measurer = Measurer::new(spec.clone());
+        let mut explorers: Vec<Box<dyn Explorer>> = vec![
+            Box::new(CgaExplorer::new(CgaConfig::default())),
+            Box::new(SaExplorer::default()),
+            Box::new(GaExplorer::default()),
+            Box::new(RandomExplorer),
+        ];
+        for explorer in &mut explorers {
+            let mut rng = StdRng::seed_from_u64(seed());
+            let mut measure = |sol: &heron_csp::Solution| {
+                evaluate(&space, &measurer, sol).ok().map(|(_, m)| m.gflops)
+            };
+            let curve = explorer.explore(&space, &mut measure, steps, &mut rng);
+            for (step, best) in downsample(&curve, 16) {
+                println!("{case}\t{}\t{step}\t{best:.1}", explorer.name());
+            }
+        }
+    }
+}

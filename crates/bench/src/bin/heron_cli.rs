@@ -1,0 +1,299 @@
+//! `heron-cli` — command-line front end for the library.
+//!
+//! ```text
+//! heron-cli platforms
+//! heron-cli tune    --dla v100 --op gemm --shape 1024x1024x1024 [--trials N] [--seed S] [--code]  (--code also prints the bottleneck analysis)
+//! heron-cli compare --dla v100 --op c2d  --shape 16x56x56x64x64x3x1x1 [--trials N]
+//! heron-cli census  --dla v100 --op gemm --shape 512x512x512
+//! heron-cli export  --dla v100 --op gemm --shape 512x512x512   # CSP_initial as text
+//! ```
+//!
+//! Shapes: `gemm MxNxK`, `bmm BxMxNxK`, `gemv MxKxB`, `scan BxL`,
+//! `c2d NxHxWxCIxCOxKxPxS`, `c1d NxLxCIxCOxKxPxS`, `c3d NxDxHWxCIxCOxKxPxS`.
+
+use heron_baselines::{tune, vendor_outcome, Approach};
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_csp::SpaceCensus;
+use heron_dla::DlaSpec;
+use heron_sched::kernel_pseudo_code;
+use heron_tensor::ops::Conv2dConfig;
+use heron_workloads::{OpKind, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return;
+    };
+    match cmd.as_str() {
+        "platforms" => platforms(),
+        "tune" => tune_cmd(&args[1..]),
+        "compare" => compare_cmd(&args[1..]),
+        "census" => census_cmd(&args[1..]),
+        "export" => export_cmd(&args[1..]),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code]");
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn platform(name: &str) -> DlaSpec {
+    heron_dla::platforms::all()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown platform `{name}`; run `heron-cli platforms`");
+            std::process::exit(2);
+        })
+}
+
+fn platforms() {
+    println!("{:<10} {:>12} {:>8}  constraints", "name", "peak(Tops)", "dtype");
+    for s in heron_dla::platforms::all() {
+        println!(
+            "{:<10} {:>12.1} {:>8}  {}",
+            s.name,
+            s.peak_ops_per_sec() / 1e12,
+            s.in_dtype.to_string(),
+            s.constraint_summary().join("; ")
+        );
+    }
+}
+
+fn dims(shape: &str) -> Vec<i64> {
+    shape
+        .split('x')
+        .map(|d| {
+            d.parse().unwrap_or_else(|_| {
+                eprintln!("bad shape component `{d}` in `{shape}`");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_workload(op: &str, shape: &str) -> Workload {
+    let d = dims(shape);
+    let expect = |n: usize| {
+        if d.len() != n {
+            eprintln!("op `{op}` expects {n} shape components, got {}", d.len());
+            std::process::exit(2);
+        }
+    };
+    let kind = match op {
+        "gemm" => {
+            expect(3);
+            OpKind::Gemm { m: d[0], n: d[1], k: d[2] }
+        }
+        "bmm" => {
+            expect(4);
+            OpKind::Bmm { b: d[0], m: d[1], n: d[2], k: d[3] }
+        }
+        "gemv" => {
+            expect(3);
+            OpKind::Gemv { m: d[0], k: d[1], b: d[2] }
+        }
+        "scan" => {
+            expect(2);
+            OpKind::Scan { b: d[0], l: d[1] }
+        }
+        "c1d" => {
+            expect(7);
+            OpKind::C1d { n: d[0], l: d[1], ci: d[2], co: d[3], k: d[4], p: d[5], s: d[6] }
+        }
+        "c2d" => {
+            expect(8);
+            OpKind::C2d(Conv2dConfig::new(d[0], d[1], d[2], d[3], d[4], d[5], d[5], d[6], d[7]))
+        }
+        "c3d" => {
+            expect(8);
+            OpKind::C3d {
+                n: d[0],
+                d: d[1],
+                hw: d[2],
+                ci: d[3],
+                co: d[4],
+                k: d[5],
+                s: d[7],
+                p: d[6],
+            }
+        }
+        other => {
+            eprintln!("unknown op `{other}`");
+            std::process::exit(2);
+        }
+    };
+    Workload::new(format!("{op}-{shape}"), kind)
+}
+
+struct Common {
+    spec: DlaSpec,
+    workload: Workload,
+    trials: usize,
+    seed: u64,
+}
+
+fn common(args: &[String]) -> Common {
+    let spec = platform(&flag(args, "--dla").unwrap_or_else(|| "v100".into()));
+    let op = flag(args, "--op").unwrap_or_else(|| "gemm".into());
+    let shape = flag(args, "--shape").unwrap_or_else(|| "1024x1024x1024".into());
+    Common {
+        workload: parse_workload(&op, &shape),
+        spec,
+        trials: flag(args, "--trials").and_then(|t| t.parse().ok()).unwrap_or(300),
+        seed: flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2023),
+    }
+}
+
+fn tune_cmd(args: &[String]) {
+    let c = common(args);
+    let dag = c.workload.build(c.spec.in_dtype);
+    println!(
+        "tuning `{}` on {} for {} trials…",
+        c.workload.name, c.spec.name, c.trials
+    );
+    match tune(Approach::Heron, &c.spec, &dag, &c.workload.name, c.trials, c.seed) {
+        Ok(o) => {
+            println!(
+                "best: {:.1} Gops ({:.1}% of peak), latency {:.1} us, invalid trials {}",
+                o.best_gflops,
+                o.best_gflops * 1e9 / c.spec.peak_ops_per_sec() * 100.0,
+                o.best_latency_s * 1e6,
+                o.invalid_trials
+            );
+            if has_flag(args, "--code") {
+                // Re-derive the best kernel for printing.
+                let space = SpaceGenerator::new(c.spec.clone())
+                    .generate_named(&dag, &SpaceOptions::heron(), &c.workload.name)
+                    .expect("generates");
+                let mut tuner = heron_core::tuner::Tuner::new(
+                    space,
+                    heron_dla::Measurer::new(c.spec.clone()),
+                    heron_baselines::tune::heron_config(c.trials),
+                    c.seed,
+                );
+                if let Some(k) = tuner.run().best_kernel {
+                    println!("\n{}", kernel_pseudo_code(&k));
+                    let measurer = heron_dla::Measurer::new(c.spec.clone());
+                    if let Ok(a) = measurer.analyze(&k) {
+                        println!("{a}");
+                    }
+                    if let Ok((m, e)) = measurer.measure_with_energy(&k) {
+                        println!(
+                            "energy: {:.1} uJ/run ({:.1} compute, {:.1} off-chip, {:.1} on-chip, {:.1} static) -> {:.1} Gops/W",
+                            e.total_j() * 1e6,
+                            e.compute_j * 1e6,
+                            e.offchip_j * 1e6,
+                            e.onchip_j * 1e6,
+                            e.static_j * 1e6,
+                            e.gops_per_watt(k.total_flops, m.latency_s)
+                        );
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot tune: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn compare_cmd(args: &[String]) {
+    let c = common(args);
+    let dag = c.workload.build(c.spec.in_dtype);
+    println!(
+        "comparing approaches on `{}` / {} ({} trials each)",
+        c.workload.name, c.spec.name, c.trials
+    );
+    println!("{:<10} {:>12} {:>12} {:>8} {:>8}", "approach", "Gops", "latency", "valid", "invalid");
+    for a in Approach::all() {
+        match tune(a, &c.spec, &dag, &c.workload.name, c.trials, c.seed) {
+            Ok(o) => println!(
+                "{:<10} {:>12.1} {:>10.1}us {:>8} {:>8}",
+                o.name,
+                o.best_gflops,
+                o.best_latency_s * 1e6,
+                o.valid_trials,
+                o.invalid_trials
+            ),
+            Err(_) => println!("{:<10} {:>12}", a.name(), "n/a"),
+        }
+    }
+    if let Some(v) = vendor_outcome(&c.spec, &dag, &c.workload.name, c.seed) {
+        println!(
+            "{:<10} {:>12.1} {:>10.1}us {:>8} {:>8}",
+            "vendor",
+            v.gflops,
+            v.latency_s * 1e6,
+            "-",
+            "-"
+        );
+    }
+}
+
+fn census_cmd(args: &[String]) {
+    let c = common(args);
+    let dag = c.workload.build(c.spec.in_dtype);
+    match SpaceGenerator::new(c.spec.clone()).generate_named(
+        &dag,
+        &SpaceOptions::heron(),
+        &c.workload.name,
+    ) {
+        Ok(space) => {
+            let census = SpaceCensus::of(&space.csp);
+            println!("space for `{}` on {}:", c.workload.name, c.spec.name);
+            println!(
+                "  variables: {} (arch {}, loop {}, tunable {}, other {})",
+                census.total_vars(),
+                census.arch_vars,
+                census.loop_length_vars,
+                census.tunable_vars,
+                census.other_vars
+            );
+            println!("  constraints: {}", census.total_constraints());
+            for (tag, n) in &census.constraints_by_type {
+                println!("    {tag}: {n}");
+            }
+            println!("  tunable cross-product: 10^{:.1}", space.csp.tunable_space_log10());
+            println!("  schedule template:");
+            for p in &space.template.primitives {
+                println!("    {p}");
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot generate: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn export_cmd(args: &[String]) {
+    let c = common(args);
+    let dag = c.workload.build(c.spec.in_dtype);
+    match SpaceGenerator::new(c.spec.clone()).generate_named(
+        &dag,
+        &SpaceOptions::heron(),
+        &c.workload.name,
+    ) {
+        Ok(space) => print!("{}", heron_csp::to_text(&space.csp)),
+        Err(e) => {
+            eprintln!("cannot generate: {e}");
+            std::process::exit(1);
+        }
+    }
+}

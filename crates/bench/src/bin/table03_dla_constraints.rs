@@ -1,0 +1,18 @@
+//! Regenerates **Table 3**: constraint examples of the supported DLAs, as
+//! derived from the machine-readable platform specifications.
+
+fn main() {
+    println!("Table 3: architectural constraints per platform");
+    println!("{}", "-".repeat(72));
+    for spec in heron_dla::platforms::all() {
+        println!("{}:", spec.name);
+        for rowtext in spec.constraint_summary() {
+            println!("  {rowtext}");
+        }
+        println!(
+            "  peak: {:.1} Tops ({})",
+            spec.peak_ops_per_sec() / 1e12,
+            spec.in_dtype
+        );
+    }
+}

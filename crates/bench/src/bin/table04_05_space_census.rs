@@ -1,0 +1,61 @@
+//! Regenerates **Tables 4 and 5**: how many variables (by category) and
+//! constraints describe each operator's automatically generated search
+//! space on TensorCore.
+//!
+//! Paper reference values — Table 4 (GEMM): 10 arch / 82 loop-length /
+//! 30 tunable / 51 other; Table 5: GEMM 173 vars & 372 constraints, BMM
+//! 236 & 529, C1D 236 & 547, C2D 304 & 702, C3D 363 & 861.
+
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_csp::SpaceCensus;
+use heron_tensor::ops;
+
+fn main() {
+    let spec = heron_dla::v100();
+    let generator = SpaceGenerator::new(spec);
+    let cases = [
+        ("GEMM", ops::gemm(512, 512, 512)),
+        ("BMM", ops::bmm(16, 512, 512, 64)),
+        ("C1D", ops::conv1d(8, 128, 128, 256, 3, 1, 1)),
+        ("C2D", ops::conv2d(ops::Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 1, 1))),
+        (
+            "C3D",
+            ops::conv3d(1, 16, 28, 28, 64, 64, 3, 1, 1),
+        ),
+    ];
+
+    println!("Table 4: variable breakdown of the GEMM space (paper: 10/82/30/51)");
+    println!("op\tarch\tloop_len\ttunable\tother\ttotal");
+    let mut table5 = Vec::new();
+    for (name, dag) in cases {
+        let space = generator
+            .generate_named(&dag, &SpaceOptions::heron(), name)
+            .expect("tensorizable");
+        let c = SpaceCensus::of(&space.csp);
+        if name == "GEMM" {
+            println!(
+                "{name}\t{}\t{}\t{}\t{}\t{}",
+                c.arch_vars,
+                c.loop_length_vars,
+                c.tunable_vars,
+                c.other_vars,
+                c.total_vars()
+            );
+        }
+        table5.push((name, c));
+    }
+
+    println!();
+    println!("Table 5: variables and constraints per operator (paper: 173/372 … 363/861)");
+    println!("op\tvariables\tconstraints\tby-type");
+    for (name, c) in &table5 {
+        let types: Vec<String> =
+            c.constraints_by_type.iter().map(|(t, n)| format!("{t}:{n}")).collect();
+        println!(
+            "{name}\t{}\t{}\t{}",
+            c.total_vars(),
+            c.total_constraints(),
+            types.join(" ")
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table 10 and Figure 14**: compilation (tuning) time of
+//! Heron vs AutoTVM and AMOS on five operators, and the breakdown of
+//! Heron's time into CGA search, hardware measurement, and cost-model
+//! training.
+//!
+//! "Hardware measurement" time is the simulated deployment cost: a fixed
+//! per-trial overhead (compile + transfer) plus the measured program's own
+//! latency × repeats, which is how the real systems spend the bulk of
+//! their wall clock (paper: 61–79% measurement, ~23% CGA, <1% model).
+
+use heron_baselines::Approach;
+use heron_bench::{run_approach, seed, trials};
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_core::tuner::Tuner;
+use heron_dla::{v100, Measurer};
+use heron_workloads::{operator_suite, Workload};
+
+fn first(op: &str) -> Workload {
+    operator_suite(op).into_iter().next().expect("non-empty suite")
+}
+
+fn main() {
+    let spec = v100();
+    let trials = trials();
+    let ops = ["GEMM", "BMM", "C1D", "C2D", "C3D"];
+
+    println!("Table 10: simulated compilation time, minutes (trials={trials})");
+    println!("op\tAutoTVM\tAMOS\tHeron");
+    for op in ops {
+        let w = first(op);
+        let mins = |o: Option<heron_baselines::Outcome>| {
+            o.map_or("-".into(), |o| format!("{:.1}", (o.hw_measure_s + o.search_s) / 60.0))
+        };
+        let autotvm = run_approach(Approach::AutoTvm, &spec, &w, trials, seed());
+        let amos = run_approach(Approach::Amos, &spec, &w, trials, seed());
+        let heron = run_approach(Approach::Heron, &spec, &w, trials, seed());
+        println!("{op}\t{}\t{}\t{}", mins(autotvm), mins(amos), mins(heron));
+    }
+
+    println!();
+    println!("Figure 14: breakdown of Heron's compilation time");
+    println!("op\tcase\tCGA%\tmeasure%\tmodel%");
+    for op in ops {
+        for (idx, w) in operator_suite(op).into_iter().take(3).enumerate() {
+            let dag = w.build(spec.in_dtype);
+            let Ok(space) = SpaceGenerator::new(spec.clone()).generate_named(
+                &dag,
+                &SpaceOptions::heron(),
+                &w.name,
+            ) else {
+                continue;
+            };
+            let mut tuner = Tuner::new(
+                space,
+                Measurer::new(spec.clone()),
+                heron_baselines::tune::heron_config(trials),
+                seed(),
+            );
+            let r = tuner.run();
+            let total = r.timing.total_s().max(1e-9);
+            println!(
+                "{op}\tcase{}\t{:.0}\t{:.0}\t{:.1}",
+                idx + 1,
+                r.timing.cga_s / total * 100.0,
+                r.timing.hw_measure_s / total * 100.0,
+                r.timing.model_s / total * 100.0
+            );
+        }
+    }
+    println!();
+    println!("(paper: measurement 61-79% of total, CGA ~23%, model <1%)");
+}

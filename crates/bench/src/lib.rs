@@ -1,0 +1,121 @@
+//! Shared harness code for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper; see `DESIGN.md` for the experiment index. Binaries print
+//! tab-separated tables to stdout so their output can be diffed, plotted,
+//! or pasted into EXPERIMENTS.md.
+//!
+//! Two environment knobs keep runtimes manageable:
+//!
+//! * `HERON_TRIALS` — measured trials per tuning run (default 300; the
+//!   paper uses 2,000). Rankings are stable well below the paper budget
+//!   because the simulated measurement is noise-controlled.
+//! * `HERON_SEED` — RNG seed (default 2023).
+
+use heron_baselines::{tune, vendor_outcome, Approach, Outcome};
+use heron_dla::DlaSpec;
+use heron_tensor::DType;
+use heron_workloads::Workload;
+
+/// Measured trials per tuning run (`HERON_TRIALS`, default 300).
+pub fn trials() -> usize {
+    std::env::var("HERON_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(300)
+}
+
+/// Base RNG seed (`HERON_SEED`, default 2023).
+pub fn seed() -> u64 {
+    std::env::var("HERON_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2023)
+}
+
+/// Geometric mean of positive values (ignores non-positive entries).
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// The input element type a platform's intrinsics consume.
+pub fn platform_dtype(spec: &DlaSpec) -> DType {
+    spec.in_dtype
+}
+
+/// Runs one approach on one workload, returning `None` when the operator
+/// cannot target the platform (reported as `n/a` in tables).
+pub fn run_approach(
+    approach: Approach,
+    spec: &DlaSpec,
+    workload: &Workload,
+    trials: usize,
+    seed: u64,
+) -> Option<Outcome> {
+    let dag = workload.build(platform_dtype(spec));
+    tune(approach, spec, &dag, &workload.name, trials, seed).ok()
+}
+
+/// Vendor-library data point for a workload.
+pub fn run_vendor(spec: &DlaSpec, workload: &Workload, seed: u64) -> Option<(f64, f64)> {
+    let dag = workload.build(platform_dtype(spec));
+    vendor_outcome(spec, &dag, &workload.name, seed).map(|v| (v.gflops, v.latency_s))
+}
+
+/// Formats a ratio column: `x.xx` or `-` when undefined.
+pub fn ratio(heron: f64, other: f64) -> String {
+    if other > 0.0 && heron > 0.0 {
+        format!("{:.2}", heron / other)
+    } else {
+        "-".into()
+    }
+}
+
+/// Prints a TSV row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Downsamples a curve to at most `n` evenly spaced points (always keeps
+/// the last).
+pub fn downsample(curve: &[f64], n: usize) -> Vec<(usize, f64)> {
+    if curve.is_empty() {
+        return Vec::new();
+    }
+    let step = (curve.len() as f64 / n as f64).max(1.0);
+    let mut out = Vec::new();
+    let mut i = 0.0;
+    while (i as usize) < curve.len() {
+        let idx = i as usize;
+        out.push((idx + 1, curve[idx]));
+        i += step;
+    }
+    if out.last().map(|(i, _)| *i) != Some(curve.len()) {
+        out.push((curve.len(), *curve.last().expect("non-empty")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[3.0, 0.0, 3.0]) - 3.0).abs() < 1e-9, "zeros ignored");
+    }
+
+    #[test]
+    fn downsample_keeps_last() {
+        let curve: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let pts = downsample(&curve, 10);
+        assert!(pts.len() <= 12);
+        assert_eq!(pts.last(), Some(&(100, 100.0)));
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(4.0, 2.0), "2.00");
+        assert_eq!(ratio(4.0, 0.0), "-");
+    }
+}

@@ -1,0 +1,279 @@
+//! The constraint-based genetic algorithm (paper Algorithms 2 and 3).
+//!
+//! The defining move: crossover and mutation act on **CSPs**, not on
+//! concrete chromosomes. Each offspring is described by
+//! `CSP_initial + IN(v, [c1_v, c2_v]) for key variables v` minus one
+//! randomly removed crossover constraint (mutation); a `RandSAT` call then
+//! materialises a concrete, *guaranteed-valid* chromosome.
+
+use heron_csp::{rand_sat_with_budget, Csp, Solution, VarRef};
+use rand::prelude::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::generate::GeneratedSpace;
+use crate::model::CostModel;
+
+use super::{push_best, roulette_wheel, Chromosome, Evaluate, Explorer};
+
+/// Builds one offspring CSP: Algorithm 3 for a single offspring.
+///
+/// `key_vars` are the cost-model-selected variables; `c1`/`c2` the two
+/// parent chromosomes. Crossover posts one `IN` constraint per key
+/// variable; mutation removes one of them at random.
+pub fn offspring_csp<R: Rng>(
+    initial: &Csp,
+    key_vars: &[VarRef],
+    c1: &Solution,
+    c2: &Solution,
+    rng: &mut R,
+) -> Csp {
+    let mut csp = initial.clone();
+    if key_vars.is_empty() {
+        return csp;
+    }
+    // Step-3 mutation: drop one crossover constraint at random.
+    let dropped = rng.random_range(0..key_vars.len());
+    for (idx, &v) in key_vars.iter().enumerate() {
+        if idx == dropped {
+            continue;
+        }
+        csp.post_in(v, [c1.value(v), c2.value(v)]);
+    }
+    csp
+}
+
+/// Configuration of the CGA explorer.
+#[derive(Debug, Clone, Copy)]
+pub struct CgaConfig {
+    /// Population size per iteration.
+    pub population: usize,
+    /// Generations evolved between measurement rounds (Algorithm 2 Step 2).
+    pub generations: usize,
+    /// Offspring produced per generation.
+    pub offspring: usize,
+    /// Number of key variables extracted from the cost model.
+    pub key_vars: usize,
+    /// ε of the ε-greedy measurement selection.
+    pub eps: f64,
+    /// Candidates measured per iteration (Algorithm 2 Step 3).
+    pub measure_batch: usize,
+    /// Backtracking budget per RandSAT call.
+    pub solver_budget: u32,
+}
+
+impl Default for CgaConfig {
+    fn default() -> Self {
+        CgaConfig {
+            population: 40,
+            generations: 3,
+            offspring: 24,
+            key_vars: 8,
+            eps: 0.15,
+            measure_batch: 16,
+            solver_budget: 400,
+        }
+    }
+}
+
+/// The CGA explorer: Heron's Algorithm 2 with the cost model in the loop.
+#[derive(Debug)]
+pub struct CgaExplorer {
+    config: CgaConfig,
+    /// CGA-1 ablation: choose key variables at random instead of by
+    /// feature importance.
+    random_key_vars: bool,
+    model: Option<CostModel>,
+}
+
+impl CgaExplorer {
+    /// Full CGA with model-derived key variables.
+    pub fn new(config: CgaConfig) -> Self {
+        CgaExplorer { config, random_key_vars: false, model: None }
+    }
+
+    /// The CGA-1 variant (random key variables) of Figure 13.
+    pub fn cga1(config: CgaConfig) -> Self {
+        CgaExplorer { config, random_key_vars: true, model: None }
+    }
+
+    /// Access to the trained cost model after exploration.
+    pub fn model(&self) -> Option<&CostModel> {
+        self.model.as_ref()
+    }
+
+}
+
+/// Random key variables among the tunables (CGA-1's policy, and CGA's
+/// fallback before the cost model is first fitted).
+fn random_keys(csp: &Csp, k: usize, rng: &mut StdRng) -> Vec<VarRef> {
+    let tunables = csp.tunables();
+    let mut keys = Vec::new();
+    for _ in 0..k.min(tunables.len()) {
+        if let Some(&v) = tunables.as_slice().choose(rng) {
+            keys.push(v);
+        }
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+impl Explorer for CgaExplorer {
+    fn name(&self) -> &'static str {
+        if self.random_key_vars {
+            "CGA-1"
+        } else {
+            "CGA"
+        }
+    }
+
+    fn explore(
+        &mut self,
+        space: &GeneratedSpace,
+        measure: &mut Evaluate<'_>,
+        steps: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let cfg = self.config;
+        let mut model = CostModel::new(&space.csp);
+        let mut curve = Vec::with_capacity(steps);
+        let mut measured: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut survivors: Vec<Chromosome> = Vec::new();
+
+        while curve.len() < steps {
+            // Step-1: first generation = survivors + fresh random solutions.
+            let need = cfg.population.saturating_sub(survivors.len());
+            let fresh =
+                rand_sat_with_budget(&space.csp, rng, need, cfg.solver_budget);
+            if fresh.is_empty() && survivors.is_empty() {
+                break; // infeasible space
+            }
+            let mut pop: Vec<Chromosome> = survivors.clone();
+            pop.extend(fresh.into_iter().map(|solution| {
+                let fitness = model.predict(&solution);
+                Chromosome { solution, fitness }
+            }));
+
+            // Step-2: evolve on CSPs.
+            for _ in 0..cfg.generations {
+                let parents = roulette_wheel(&pop, pop.len().min(cfg.population), rng);
+                let key_vars = if !self.random_key_vars && model.is_fitted() {
+                    let keys = model.key_variables(cfg.key_vars);
+                    if keys.is_empty() {
+                        random_keys(&space.csp, cfg.key_vars, rng)
+                    } else {
+                        keys
+                    }
+                } else {
+                    random_keys(&space.csp, cfg.key_vars, rng)
+                };
+                let mut children = Vec::with_capacity(cfg.offspring);
+                for _ in 0..cfg.offspring {
+                    let &i1 = parents.as_slice().choose(rng).expect("non-empty");
+                    let &i2 = parents.as_slice().choose(rng).expect("non-empty");
+                    let csp = offspring_csp(
+                        &space.csp,
+                        &key_vars,
+                        &pop[i1].solution,
+                        &pop[i2].solution,
+                        rng,
+                    );
+                    if let Some(sol) =
+                        rand_sat_with_budget(&csp, rng, 1, cfg.solver_budget).pop()
+                    {
+                        debug_assert!(
+                            heron_csp::validate(&space.csp, &sol),
+                            "CGA offspring must satisfy CSP_initial"
+                        );
+                        let fitness = model.predict(&sol);
+                        children.push(Chromosome { solution: sol, fitness });
+                    }
+                }
+                pop.extend(children);
+                // Keep the population bounded: best by predicted fitness.
+                pop.sort_by(|a, b| {
+                    b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                pop.truncate(cfg.population * 2);
+            }
+
+            // Step-3: ε-greedy measurement of unmeasured candidates.
+            let unmeasured: Vec<&Chromosome> = pop
+                .iter()
+                .filter(|c| !measured.contains(&c.solution.fingerprint()))
+                .collect();
+            if unmeasured.is_empty() {
+                // Space exhausted around the population; restart randomly.
+                survivors.clear();
+                continue;
+            }
+            let predicted: Vec<f64> = unmeasured.iter().map(|c| c.fitness).collect();
+            let budget = cfg.measure_batch.min(steps - curve.len());
+            let picks = super::eps_greedy(&predicted, budget, cfg.eps, rng);
+            for idx in picks {
+                let sol = unmeasured[idx].solution.clone();
+                measured.insert(sol.fingerprint());
+                let score = measure(&sol).unwrap_or(0.0);
+                model.add_sample(&sol, score);
+                push_best(&mut curve, score);
+                if curve.len() >= steps {
+                    break;
+                }
+            }
+
+            // Step-4: update the cost model, refresh predicted fitness and
+            // carry the best chromosomes into the next iteration.
+            model.fit(rng);
+            for c in &mut pop {
+                c.fitness = model.predict(&c.solution);
+            }
+            pop.sort_by(|a, b| {
+                b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            survivors = pop.into_iter().take(cfg.population / 2).collect();
+        }
+        self.model = Some(model);
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heron_csp::{Domain, VarCategory};
+    use rand::SeedableRng;
+
+    fn toy_csp() -> Csp {
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::values([1, 2, 4, 8, 16]), VarCategory::Tunable);
+        let y = csp.add_var("y", Domain::values([1, 2, 4, 8, 16]), VarCategory::Tunable);
+        let n = csp.add_const("n", 16);
+        csp.post_prod(n, vec![x, y]);
+        csp
+    }
+
+    #[test]
+    fn offspring_satisfy_initial_constraints() {
+        let csp = toy_csp();
+        let mut rng = StdRng::seed_from_u64(0);
+        let parents = heron_csp::rand_sat(&csp, &mut rng, 2);
+        let keys: Vec<VarRef> = csp.tunables();
+        for _ in 0..20 {
+            let child_csp = offspring_csp(&csp, &keys, &parents[0], &parents[1], &mut rng);
+            for sol in heron_csp::rand_sat(&child_csp, &mut rng, 2) {
+                assert!(heron_csp::validate(&csp, &sol));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_removes_exactly_one_constraint() {
+        let csp = toy_csp();
+        let mut rng = StdRng::seed_from_u64(1);
+        let parents = heron_csp::rand_sat(&csp, &mut rng, 2);
+        let keys: Vec<VarRef> = csp.tunables();
+        let child = offspring_csp(&csp, &keys, &parents[0], &parents[1], &mut rng);
+        assert_eq!(child.num_constraints(), csp.num_constraints() + keys.len() - 1);
+    }
+}

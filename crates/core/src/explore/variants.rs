@@ -1,0 +1,382 @@
+//! Constraint-handling GA variants compared in the paper's Figure 13:
+//!
+//! * **GA-1** — stochastic ranking (Runarsson & Yao): candidates are
+//!   ranked by a randomised bubble sort that compares objective value with
+//!   probability `p_f` and constraint violation otherwise; invalid
+//!   chromosomes survive but sink.
+//! * **GA-2** — SAT-decoder (Lukasiewycz et al.): genotypes are free
+//!   tunable vectors decoded to the nearest valid phenotype by the CSP
+//!   solver; validity is guaranteed but decoded phenotypes drift from the
+//!   parents, losing good genes as problems grow.
+//! * **GA-3** — infeasibility-driven multi-objective (Ray et al.):
+//!   selection keeps a Pareto mix of objective and violation count.
+
+use heron_csp::{rand_sat_with_budget, Csp, Domain, Solution};
+use rand::prelude::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::generate::GeneratedSpace;
+
+use super::classic::{crossover_tunables, mutate_tunable};
+use super::{push_best, roulette_wheel, Chromosome, Evaluate, Explorer};
+
+/// Number of violated constraints of an assignment.
+pub fn violation_count(csp: &Csp, sol: &Solution) -> usize {
+    let env = |r: heron_csp::VarRef| sol.value(r);
+    csp.constraints().iter().filter(|c| !c.check(&env)).count()
+}
+
+/// A chromosome annotated with its violation count.
+#[derive(Debug, Clone)]
+struct Ranked {
+    solution: Solution,
+    fitness: f64,
+    violations: usize,
+}
+
+/// GA-1: stochastic ranking.
+#[derive(Debug)]
+pub struct StochasticRankingGa {
+    /// Population size.
+    pub population: usize,
+    /// Probability of comparing by objective even for infeasible pairs.
+    pub p_f: f64,
+}
+
+impl Default for StochasticRankingGa {
+    fn default() -> Self {
+        StochasticRankingGa { population: 20, p_f: 0.45 }
+    }
+}
+
+fn stochastic_rank(pop: &mut [Ranked], p_f: f64, rng: &mut StdRng) {
+    let n = pop.len();
+    for _ in 0..n {
+        let mut swapped = false;
+        for i in 0..n.saturating_sub(1) {
+            let both_feasible = pop[i].violations == 0 && pop[i + 1].violations == 0;
+            let by_objective = both_feasible || rng.random::<f64>() < p_f;
+            let should_swap = if by_objective {
+                pop[i].fitness < pop[i + 1].fitness
+            } else {
+                pop[i].violations > pop[i + 1].violations
+            };
+            if should_swap {
+                pop.swap(i, i + 1);
+                swapped = true;
+            }
+        }
+        if !swapped {
+            break;
+        }
+    }
+}
+
+/// Generates a completely random (likely invalid) tunable assignment with
+/// auxiliaries copied from a template solution.
+fn random_genotype(space: &GeneratedSpace, base: &Solution, rng: &mut StdRng) -> Solution {
+    let mut values = base.values().to_vec();
+    for var in space.csp.tunables() {
+        let options: Vec<i64> = space.csp.var(var).domain.iter_values().collect();
+        if let Some(&v) = options.as_slice().choose(rng) {
+            values[var.0] = v;
+        }
+    }
+    Solution::new(values)
+}
+
+/// Best-effort completion of auxiliaries for a tunable assignment; falls
+/// back to the raw (violating) assignment when inconsistent, so that the
+/// chromosome carries a non-zero violation count.
+fn complete_or_keep(space: &GeneratedSpace, sol: Solution, rng: &mut StdRng) -> Solution {
+    super::classic::complete_from_tunables(space, &sol, rng).unwrap_or(sol)
+}
+
+impl Explorer for StochasticRankingGa {
+    fn name(&self) -> &'static str {
+        "GA-1"
+    }
+
+    fn explore(
+        &mut self,
+        space: &GeneratedSpace,
+        measure: &mut Evaluate<'_>,
+        steps: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(steps);
+        let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400);
+        if seeds.is_empty() {
+            return curve;
+        }
+        let mut pop: Vec<Ranked> = Vec::new();
+        for sol in seeds {
+            if curve.len() >= steps {
+                break;
+            }
+            let fitness = measure(&sol).unwrap_or(0.0);
+            push_best(&mut curve, fitness);
+            pop.push(Ranked { violations: violation_count(&space.csp, &sol), solution: sol, fitness });
+        }
+        while curve.len() < steps {
+            // Produce an offspring by crossover+mutation on raw genotypes.
+            let a = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
+            let b = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
+            let child = crossover_tunables(space, &a, &b, rng);
+            let child = mutate_tunable(space, &child, rng);
+            let child = complete_or_keep(space, child, rng);
+            let violations = violation_count(&space.csp, &child);
+            let fitness = if violations == 0 { measure(&child).unwrap_or(0.0) } else { 0.0 };
+            // Infeasible offspring still consume a trial (compile failure).
+            push_best(&mut curve, fitness);
+            pop.push(Ranked { solution: child, fitness, violations });
+            stochastic_rank(&mut pop, self.p_f, rng);
+            pop.truncate(self.population);
+        }
+        curve
+    }
+}
+
+/// GA-2: SAT-decoder GA.
+#[derive(Debug)]
+pub struct SatDecoderGa {
+    /// Population size.
+    pub population: usize,
+}
+
+impl Default for SatDecoderGa {
+    fn default() -> Self {
+        SatDecoderGa { population: 20 }
+    }
+}
+
+/// Decodes a genotype to a valid phenotype: pins each tunable to its gene
+/// value *if the propagated domain still allows it*, otherwise to the
+/// nearest remaining value, then solves.
+pub fn sat_decode(space: &GeneratedSpace, genotype: &Solution, rng: &mut StdRng) -> Option<Solution> {
+    use heron_csp::propagate::Propagator;
+    let csp = &space.csp;
+    let prop = Propagator::new(csp);
+    let mut domains = prop.initial_domains();
+    if prop.run_all(&mut domains).is_err() {
+        return None;
+    }
+    for var in csp.tunables() {
+        let gene = genotype.value(var);
+        let dom = &domains[var.0];
+        let pick = if dom.contains(gene) {
+            gene
+        } else {
+            // Nearest value in the current domain.
+            let options: Vec<i64> = match dom {
+                Domain::Values(v) => v.clone(),
+                Domain::Range { lo, hi } => vec![*lo, *hi],
+            };
+            *options
+                .iter()
+                .min_by_key(|&&v| (v - gene).abs())
+                .expect("domains are non-empty")
+        };
+        if domains[var.0].fix(pick).is_err() || prop.run_from(&mut domains, var).is_err() {
+            // Re-solve from scratch for the remainder.
+            return rand_sat_with_budget(csp, rng, 1, 200).pop();
+        }
+    }
+    // Complete any remaining free variables through the solver with pins.
+    let mut pinned = csp.clone();
+    for var in csp.tunables() {
+        if let Some(v) = domains[var.0].fixed_value() {
+            pinned.post_in(var, [v]);
+        }
+    }
+    rand_sat_with_budget(&pinned, rng, 1, 200).pop()
+}
+
+impl Explorer for SatDecoderGa {
+    fn name(&self) -> &'static str {
+        "GA-2"
+    }
+
+    fn explore(
+        &mut self,
+        space: &GeneratedSpace,
+        measure: &mut Evaluate<'_>,
+        steps: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(steps);
+        let seeds = rand_sat_with_budget(&space.csp, rng, self.population, 400);
+        if seeds.is_empty() {
+            return curve;
+        }
+        // Genotypes evolve freely; phenotypes are decoded before measuring.
+        let mut pop: Vec<Chromosome> = Vec::new();
+        for sol in seeds {
+            if curve.len() >= steps {
+                break;
+            }
+            let fitness = measure(&sol).unwrap_or(0.0);
+            push_best(&mut curve, fitness);
+            pop.push(Chromosome { solution: sol, fitness });
+        }
+        while curve.len() < steps {
+            let parents = roulette_wheel(&pop, 2, rng);
+            let geno = crossover_tunables(
+                space,
+                &pop[parents[0]].solution,
+                &pop[parents[1]].solution,
+                rng,
+            );
+            let geno = if rng.random::<f64>() < 0.3 {
+                mutate_tunable(space, &geno, rng)
+            } else {
+                geno
+            };
+            let Some(pheno) = sat_decode(space, &geno, rng) else {
+                push_best(&mut curve, 0.0);
+                continue;
+            };
+            debug_assert!(heron_csp::validate(&space.csp, &pheno));
+            let fitness = measure(&pheno).unwrap_or(0.0);
+            push_best(&mut curve, fitness);
+            pop.push(Chromosome { solution: pheno, fitness });
+            pop.sort_by(|a, b| {
+                b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            pop.truncate(self.population);
+        }
+        curve
+    }
+}
+
+/// GA-3: infeasibility-driven evolutionary algorithm (simplified IDEA):
+/// a fraction of the archive is reserved for the *best infeasible*
+/// chromosomes, the rest selected by objective among the feasible.
+#[derive(Debug)]
+pub struct InfeasibilityDrivenGa {
+    /// Population size.
+    pub population: usize,
+    /// Fraction of slots reserved for infeasible chromosomes.
+    pub infeasible_fraction: f64,
+}
+
+impl Default for InfeasibilityDrivenGa {
+    fn default() -> Self {
+        InfeasibilityDrivenGa { population: 20, infeasible_fraction: 0.2 }
+    }
+}
+
+impl Explorer for InfeasibilityDrivenGa {
+    fn name(&self) -> &'static str {
+        "GA-3"
+    }
+
+    fn explore(
+        &mut self,
+        space: &GeneratedSpace,
+        measure: &mut Evaluate<'_>,
+        steps: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let mut curve = Vec::with_capacity(steps);
+        let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400);
+        if seeds.is_empty() {
+            return curve;
+        }
+        let mut pop: Vec<Ranked> = Vec::new();
+        for sol in seeds {
+            if curve.len() >= steps {
+                break;
+            }
+            let fitness = measure(&sol).unwrap_or(0.0);
+            push_best(&mut curve, fitness);
+            pop.push(Ranked { violations: violation_count(&space.csp, &sol), solution: sol, fitness });
+        }
+        while curve.len() < steps {
+            let a = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
+            let child = if rng.random::<f64>() < 0.5 {
+                let b = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
+                crossover_tunables(space, &a, &b, rng)
+            } else {
+                random_genotype(space, &a, rng)
+            };
+            let child = mutate_tunable(space, &child, rng);
+            let child = complete_or_keep(space, child, rng);
+            let violations = violation_count(&space.csp, &child);
+            let fitness = if violations == 0 { measure(&child).unwrap_or(0.0) } else { 0.0 };
+            push_best(&mut curve, fitness);
+            pop.push(Ranked { solution: child, fitness, violations });
+
+            // IDEA-style environmental selection.
+            let slots_inf =
+                ((self.population as f64) * self.infeasible_fraction).round() as usize;
+            let (mut feas, mut infeas): (Vec<Ranked>, Vec<Ranked>) =
+                pop.drain(..).partition(|c| c.violations == 0);
+            feas.sort_by(|x, y| {
+                y.fitness.partial_cmp(&x.fitness).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            infeas.sort_by_key(|c| c.violations);
+            feas.truncate(self.population - slots_inf.min(infeas.len()));
+            infeas.truncate(slots_inf);
+            pop = feas;
+            pop.extend(infeas);
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heron_csp::VarCategory;
+    use rand::SeedableRng;
+
+    fn toy_space() -> GeneratedSpace {
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::divisors_of(64), VarCategory::Tunable);
+        let y = csp.add_var("y", Domain::divisors_of(64), VarCategory::Tunable);
+        let n = csp.add_const("n", 64);
+        csp.post_prod(n, vec![x, y]);
+        GeneratedSpace {
+            csp,
+            template: heron_sched::KernelTemplate::default(),
+            dla: heron_dla::v100(),
+            workload: "toy".into(),
+        }
+    }
+
+    #[test]
+    fn violation_count_detects_broken_prod() {
+        let space = toy_space();
+        assert_eq!(violation_count(&space.csp, &Solution::new(vec![8, 8, 64])), 0);
+        assert_eq!(violation_count(&space.csp, &Solution::new(vec![8, 4, 64])), 1);
+    }
+
+    #[test]
+    fn sat_decode_returns_valid_phenotypes() {
+        let space = toy_space();
+        let mut rng = StdRng::seed_from_u64(0);
+        // Genotype violating x*y == 64.
+        let geno = Solution::new(vec![8, 16, 64]);
+        let pheno = sat_decode(&space, &geno, &mut rng).expect("decodes");
+        assert!(heron_csp::validate(&space.csp, &pheno));
+        // Decoder keeps the first gene (pinned while consistent).
+        assert_eq!(pheno.value(heron_csp::VarRef(0)), 8);
+    }
+
+    #[test]
+    fn stochastic_rank_sinks_violators() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pop: Vec<Ranked> = vec![
+            Ranked { solution: Solution::new(vec![]), fitness: 9.0, violations: 5 },
+            Ranked { solution: Solution::new(vec![]), fitness: 1.0, violations: 0 },
+            Ranked { solution: Solution::new(vec![]), fitness: 5.0, violations: 0 },
+        ];
+        // With p_f = 0 ranking is purely by violations then objective.
+        stochastic_rank(&mut pop, 0.0, &mut rng);
+        assert_eq!(pop[0].violations, 0);
+        assert!(pop[0].fitness >= pop[1].fitness || pop[1].violations == 0);
+        assert_eq!(pop[2].violations, 5);
+    }
+}

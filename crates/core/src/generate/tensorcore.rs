@@ -1,0 +1,625 @@
+//! Constrained-space construction for TensorCore-style GPUs.
+//!
+//! Builds the paper's five-stage pipeline (Equation 1):
+//!
+//! ```text
+//! global --s1--> shared --s2--> fragments --s3(tensorized)--> acc --s4/s5--> global
+//! ```
+//!
+//! with four-level spatial tiling (block / warp / serial / intrinsic),
+//! three-level reduction tiling, tunable vector widths, `storage_align`
+//! pads, compute_at locations for the shared loads (SELECT constraints),
+//! and the full Rule-C1…C6 constraint set. A scalar (CUDA-core) variant of
+//! the same structure serves both non-tensorizable operators (SCAN) and the
+//! Ansor-like baseline.
+
+use heron_csp::VarRef;
+use heron_dla::{DlaSpec, GpuParams};
+use heron_sched::template::{IntrinsicRef, KernelTemplate, StageSpec};
+use heron_sched::{LoopSym, MemScope, StageRole, ThreadAxis};
+use heron_tensor::{Dag, DType, IterKind};
+
+use super::axes::MacView;
+use super::builder::SpaceBuilder;
+use super::{GeneratedSpace, SpaceOptions};
+
+/// Builds the tensorized TensorCore space for a MAC-patterned operator.
+pub fn build_tensorized(
+    spec: &DlaSpec,
+    gpu: &GpuParams,
+    dag: &Dag,
+    view: &MacView,
+    opts: &SpaceOptions,
+    workload: &str,
+) -> GeneratedSpace {
+    let mut b = SpaceBuilder::new();
+
+    // ---- Architectural variables (Rule-C6 dedicated variables) ----------
+    let m_cands: Vec<i64> = dedup_sorted(spec.intrinsic_shapes.iter().map(|s| s.0));
+    let n_cands: Vec<i64> = dedup_sorted(spec.intrinsic_shapes.iter().map(|s| s.1));
+    let k_cands: Vec<i64> = dedup_sorted(spec.intrinsic_shapes.iter().map(|s| s.2));
+    let (m, n, k) = if opts.fixed_intrinsic {
+        // AutoTVM-style template: hard-coded 16x16x16.
+        (b.arch_const("m", 16), b.arch_const("n", 16), b.arch_const("k", 16))
+    } else {
+        let m = b.arch_candidates("m", &m_cands);
+        let n = b.arch_candidates("n", &n_cands);
+        let k = b.arch_candidates("k", &k_cands);
+        // m * n * k == product constraint (e.g. 4096 on wmma).
+        let prod = spec.intrinsic_shapes[0].0
+            * spec.intrinsic_shapes[0].1
+            * spec.intrinsic_shapes[0].2;
+        if spec.intrinsic_shapes.iter().all(|s| s.0 * s.1 * s.2 == prod) {
+            let mnk = b.arch_const("mnk", prod);
+            b.csp.post_prod(mnk, vec![m, n, k]);
+        }
+        (m, n, k)
+    };
+
+    // ---- Compute stage with fused + tiled loops --------------------------
+    // Tail-pad the fused extents to the *largest* legal intrinsic
+    // dimension so that every (m, n, k) choice divides the padded extents
+    // (awkward shapes such as M = 1000 would otherwise leave no feasible
+    // intrinsic assignment).
+    let (pad_m, pad_n, pad_k) = if opts.fixed_intrinsic {
+        (16, 16, 16)
+    } else {
+        (
+            *m_cands.last().unwrap_or(&8),
+            *n_cands.last().unwrap_or(&8),
+            *k_cands.last().unwrap_or(&8),
+        )
+    };
+    let fused = fuse_mac_axes(&mut b, view, "C.wmma", pad_m, pad_n, pad_k, spec.in_dtype);
+    let tc = "C.wmma";
+
+    let i = b.tile_split(tc, "C.wmma.M", fused.m_ext, &["C.i0", "C.i1", "C.i2", "C.i3"]);
+    let j = b.tile_split(tc, "C.wmma.N", fused.n_ext, &["C.j0", "C.j1", "C.j2", "C.j3"]);
+    let r = b.tile_split(tc, "C.wmma.K", fused.k_ext, &["C.r0", "C.r1", "C.r2"]);
+    // Intrinsic equalities: innermost tiles are the wmma shape.
+    b.csp.post_eq(i[3], m);
+    b.csp.post_eq(j[3], n);
+    b.csp.post_eq(r[2], k);
+    if opts.fixed_serial_level {
+        // AutoTVM-style fixed structure: limited serial blocking.
+        b.candidates(i[2], &[1, 2, 4]);
+        b.candidates(j[2], &[1, 2, 4]);
+        b.candidates(r[1], &[1, 2, 4]);
+    }
+    if opts.manual_bounds {
+        // Hand-written template ranges: at most 4 warps per dimension and
+        // modest reduction chunks keep nearly all samples valid at the
+        // price of excluding the largest (often optimal) tiles.
+        b.candidates(i[1], &[1, 2, 4]);
+        b.candidates(j[1], &[1, 2, 4]);
+    }
+
+    b.state.reorder(
+        tc,
+        &[
+            "C.i0", "C.j0", "C.i1", "C.j1", "C.r0", "C.r1", "C.i2", "C.j2", "C.i3", "C.j3",
+            "C.r2",
+        ],
+    );
+    b.state.bind(tc, "C.i0", ThreadAxis::BlockX);
+    b.state.bind(tc, "C.j0", ThreadAxis::BlockY);
+    b.state.bind(tc, "C.i1", ThreadAxis::ThreadY);
+    b.state.bind(tc, "C.j1", ThreadAxis::ThreadY);
+    b.state.tensorize(tc, &["C.i3", "C.j3", "C.r2"], "m", "n", "k");
+
+    // ---- Launch geometry --------------------------------------------------
+    let batch = b.arch_const("batch", fused.batch_ext);
+    let _grid = b.prod("grid", &[batch, i[0], j[0]]);
+    let warps = b.prod("warps", &[i[1], j[1]]);
+    if opts.arch_constraints {
+        let wl = b.constant(gpu.max_warps_per_block);
+        b.csp.post_le(warps, wl);
+    }
+
+    // ---- Shared-memory load stages (Rules S2 + C4 + C5) ------------------
+    let in_bytes = spec.in_dtype.bytes();
+    let a_stage = shared_load_stage(
+        &mut b,
+        spec,
+        opts,
+        SharedLoad {
+            tensor: "A",
+            stage: "A.shared",
+            fixed_dim: &[i[1], i[2], i[3]],
+            dep_shallow: &[r[1], r[2]],
+            dep_deep: r[2],
+            contiguous_is_fixed: false,
+            execs_shallow: r[0],
+            execs_deep: &[r[0], r[1]],
+            dtype: spec.in_dtype,
+            max_row: fused.k_ext,
+        },
+    );
+    let b_stage = shared_load_stage(
+        &mut b,
+        spec,
+        opts,
+        SharedLoad {
+            tensor: "B",
+            stage: "B.shared",
+            fixed_dim: &[j[1], j[2], j[3]],
+            dep_shallow: &[r[1], r[2]],
+            dep_deep: r[2],
+            contiguous_is_fixed: true,
+            execs_shallow: r[0],
+            execs_deep: &[r[0], r[1]],
+            dtype: spec.in_dtype,
+            max_row: fused.n_ext,
+        },
+    );
+    if opts.arch_constraints {
+        let cap = spec.capacity(MemScope::Shared).unwrap_or(48 * 1024);
+        b.cap_total("smem.total", &[a_stage.bytes, b_stage.bytes], cap);
+    }
+    let _ = in_bytes;
+
+    // ---- Fragment load stages (Rule S3: multi-scope SPM) -----------------
+    let frag_a = fragment_stage(&mut b, spec, opts, "A.wmma", MemScope::FragA, &[i[2], i[3], r[2]], &[r[0], r[1], warps], &a_stage);
+    let frag_b = fragment_stage(&mut b, spec, opts, "B.wmma", MemScope::FragB, &[r[2], j[2], j[3]], &[r[0], r[1], warps], &b_stage);
+
+    // Accumulator fragments per warp (register budget).
+    let acc_elems = b.prod("elems.C.frag", &[i[2], i[3], j[2], j[3]]);
+    let acc_bytes = b.mem_limit("C.frag", MemScope::FragAcc, acc_elems, 4);
+    if opts.register_constraints {
+        let cap = spec.capacity(MemScope::FragAcc).unwrap_or(16 * 16 * 16 * 4);
+        let capv = b.constant(cap as i64);
+        b.csp.post_le(acc_bytes, capv);
+    }
+
+    // ---- Compute + store specs -------------------------------------------
+    let intrin_execs = b.prod("intrin.C", &[warps, i[2], j[2], r[0], r[1]]);
+    let unroll = b.tunable("unroll", &[0, 16, 64, 512]);
+    b.state.unroll(tc, "unroll");
+
+    // ---- Output path (Eq. 1 stages 4 and 5): TensorCores → shared →
+    // global. Each warp drains one accumulator fragment at a time through a
+    // small shared staging buffer (counted against the 48 KiB budget), so
+    // coalesced vectorised stores reach global memory; the staging buffer's
+    // row is storage_align-tunable like the input tiles.
+    b.state.cache_write("C", MemScope::Shared, "C.shared", MemScope::Global, DType::F32, vec![
+        LoopSym::new("C.shared.rows".to_string(), IterKind::Spatial, "rows"),
+        LoopSym::new("C.shared.cols".to_string(), IterKind::Spatial, "cols"),
+    ]);
+    let frag_elems = b.prod("elems.C.stage4", &[m, n]);
+    let stage4_execs = b.prod("execs.C.stage4", &[warps, i[2], j[2]]);
+    let out_pad = if opts.storage_align {
+        let pad = b.tunable("pad.C.shared", &[0, 1, 2, 4, 8]);
+        b.state.storage_align("C.shared", "pad.C.shared");
+        pad
+    } else {
+        b.constant(opts.fixed_align_pad.unwrap_or(0))
+    };
+    let out_row = b.loop_twin("C.shared.cols.len", n);
+    let padded_out_row = b.sum("prow.C.shared", &[out_row, out_pad]);
+    let stage_buf_rows = b.prod("rows.C.shared", &[warps, m]);
+    let stage_buf_elems = b.prod("belems.C.shared", &[stage_buf_rows, padded_out_row]);
+    let cshared_bytes = b.mem_limit("C.shared", MemScope::Shared, stage_buf_elems, 4);
+    if opts.arch_constraints {
+        // The staging buffer shares the shared-memory budget with A and B.
+        let cap = spec.capacity(MemScope::Shared).unwrap_or(48 * 1024);
+        b.cap_total("smem.total.out", &[a_stage.bytes, b_stage.bytes, cshared_bytes], cap);
+    }
+
+    let store_elems = b.prod("elems.C.store", &[i[1], i[2], i[3], j[1], j[2], j[3]]);
+    let vec_store = b.tunable("vec.C", &[1, 2, 4]);
+
+    // ---- Assemble the kernel template -------------------------------------
+    let mut template = KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
+    template.var_grid = "grid".into();
+    template.var_threads = "warps".into();
+    template.stages.push(a_stage.spec);
+    template.stages.push(b_stage.spec);
+    template.stages.push(frag_a);
+    template.stages.push(frag_b);
+
+    let mut compute = StageSpec::new(tc, StageRole::Compute, MemScope::FragA, MemScope::FragAcc, spec.in_dtype);
+    compute.intrinsic = Some(IntrinsicRef { m: "m".into(), n: "n".into(), k: "k".into() });
+    compute.var_intrinsic_execs = Some(b.name_of(intrin_execs));
+    compute.var_unroll = Some(b.name_of(unroll));
+    template.stages.push(compute);
+
+    // Stage 4: accumulator fragments → shared staging buffer.
+    let mut stage4 =
+        StageSpec::new("C.shared", StageRole::Store, MemScope::FragAcc, MemScope::Shared, DType::F32);
+    stage4.var_elems = Some(b.name_of(frag_elems));
+    stage4.var_execs = Some(b.name_of(stage4_execs));
+    stage4.var_row_elems = Some(b.name_of(out_row));
+    stage4.var_align_pad = Some(b.name_of(out_pad));
+    template.stages.push(stage4);
+
+    // Stage 5: shared → global, vectorised and coalesced.
+    let mut store = StageSpec::new("C", StageRole::Store, MemScope::Shared, MemScope::Global, DType::F32);
+    store.var_elems = Some(b.name_of(store_elems));
+    store.var_vector = Some(b.name_of(vec_store));
+    template.stages.push(store);
+
+    finish(b, template, spec, workload)
+}
+
+/// Builds the scalar (CUDA-core) GPU space: the Ansor-like template, also
+/// used by Heron itself for non-tensorizable operators such as SCAN.
+pub fn build_scalar(
+    spec: &DlaSpec,
+    gpu: &GpuParams,
+    dag: &Dag,
+    view: &MacView,
+    opts: &SpaceOptions,
+    workload: &str,
+) -> GeneratedSpace {
+    let mut b = SpaceBuilder::new();
+    let fused = fuse_mac_axes(&mut b, view, "C", 1, 1, 1, spec.in_dtype);
+    let tc = "C";
+
+    let i = b.tile_split(tc, "C.M", fused.m_ext, &["C.i0", "C.i1", "C.i2", "C.i3"]);
+    let j = b.tile_split(tc, "C.N", fused.n_ext, &["C.j0", "C.j1", "C.j2", "C.j3"]);
+    let r = b.tile_split(tc, "C.K", fused.k_ext, &["C.r0", "C.r1"]);
+    b.state.reorder(
+        tc,
+        &["C.i0", "C.j0", "C.i1", "C.j1", "C.r0", "C.r1", "C.i2", "C.j2", "C.i3", "C.j3"],
+    );
+    b.state.bind(tc, "C.i0", ThreadAxis::BlockX);
+    b.state.bind(tc, "C.j0", ThreadAxis::BlockY);
+    b.state.bind(tc, "C.i1", ThreadAxis::ThreadY);
+    b.state.bind(tc, "C.j1", ThreadAxis::ThreadY);
+
+    let batch = b.arch_const("batch", fused.batch_ext);
+    let grid = b.prod("grid", &[batch, i[0], j[0]]);
+    let warps = b.prod("warps", &[i[1], j[1]]);
+    if opts.arch_constraints {
+        let wl = b.constant(gpu.max_warps_per_block);
+        b.csp.post_le(warps, wl);
+    }
+    let _ = grid;
+
+    // Shared caches for both operands.
+    let a_stage = shared_load_stage(
+        &mut b,
+        spec,
+        opts,
+        SharedLoad {
+            tensor: "A",
+            stage: "A.shared",
+            fixed_dim: &[i[1], i[2], i[3]],
+            dep_shallow: &[r[1]],
+            dep_deep: r[1],
+            contiguous_is_fixed: false,
+            execs_shallow: r[0],
+            execs_deep: &[r[0]],
+            dtype: spec.in_dtype,
+            max_row: fused.k_ext,
+        },
+    );
+    let b_stage = shared_load_stage(
+        &mut b,
+        spec,
+        opts,
+        SharedLoad {
+            tensor: "B",
+            stage: "B.shared",
+            fixed_dim: &[j[1], j[2], j[3]],
+            dep_shallow: &[r[1]],
+            dep_deep: r[1],
+            contiguous_is_fixed: true,
+            execs_shallow: r[0],
+            execs_deep: &[r[0]],
+            dtype: spec.in_dtype,
+            max_row: fused.n_ext,
+        },
+    );
+    if opts.arch_constraints {
+        let cap = spec.capacity(MemScope::Shared).unwrap_or(48 * 1024);
+        b.cap_total("smem.total", &[a_stage.bytes, b_stage.bytes], cap);
+    }
+
+    // Scalar arithmetic per block: 2 * blockM * blockN * K.
+    let two = b.constant(2);
+    let kc = b.constant(fused.k_ext);
+    let scalar_ops =
+        b.prod("scalar.C", &[two, i[1], i[2], i[3], j[1], j[2], j[3], kc]);
+    let unroll = b.tunable("unroll", &[0, 16, 64, 512]);
+    b.state.unroll(tc, "unroll");
+    let store_elems = b.prod("elems.C.store", &[i[1], i[2], i[3], j[1], j[2], j[3]]);
+    let vec_store = b.tunable("vec.C", &[1, 2, 4]);
+
+    let mut template = KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
+    template.var_grid = "grid".into();
+    template.var_threads = "warps".into();
+    template.stages.push(a_stage.spec);
+    template.stages.push(b_stage.spec);
+    let mut compute =
+        StageSpec::new(tc, StageRole::Compute, MemScope::Shared, MemScope::Register, DType::F32);
+    compute.var_scalar_ops = Some(b.name_of(scalar_ops));
+    compute.var_unroll = Some(b.name_of(unroll));
+    template.stages.push(compute);
+    let mut store =
+        StageSpec::new("C.st", StageRole::Store, MemScope::Register, MemScope::Global, DType::F32);
+    store.var_elems = Some(b.name_of(store_elems));
+    store.var_vector = Some(b.name_of(vec_store));
+    template.stages.push(store);
+
+    finish(b, template, spec, workload)
+}
+
+/// Fused MAC loop extents after padding.
+pub(super) struct FusedMac {
+    pub m_ext: i64,
+    pub n_ext: i64,
+    pub k_ext: i64,
+    pub batch_ext: i64,
+}
+
+/// Creates the compute stage in the schedule state, logging the Rule-C2
+/// fuse primitives that collapse the original operator axes into the fused
+/// `M`, `N`, `K` loops (the implicit im2col view), and returns the padded
+/// fused extents the tile splits operate on.
+pub(super) fn fuse_mac_axes(
+    b: &mut SpaceBuilder,
+    view: &MacView,
+    prefix: &str,
+    m_base: i64,
+    n_base: i64,
+    k_base: i64,
+    dtype: DType,
+) -> FusedMac {
+    // Initial loops: original axis names, except that single-axis groups are
+    // born with their fused name directly (there is nothing to fuse).
+    let group_names = [
+        (&view.m_axes, format!("{prefix}.M"), IterKind::Spatial),
+        (&view.n_axes, format!("{prefix}.N"), IterKind::Spatial),
+        (&view.k_axes, format!("{prefix}.K"), IterKind::Reduce),
+    ];
+    let mut loops = Vec::new();
+    for (axes, fused, kind) in &group_names {
+        if axes.len() == 1 {
+            loops.push(LoopSym::new(fused.clone(), *kind, axes[0].clone()));
+        } else {
+            for a in axes.iter() {
+                loops.push(LoopSym::new(format!("{prefix}.{a}"), *kind, a.clone()));
+            }
+        }
+    }
+    b.state.add_stage(
+        prefix,
+        StageRole::Compute,
+        MemScope::Global,
+        MemScope::Global,
+        dtype,
+        loops,
+    );
+    // Declare the per-axis loop-length variables of the census (paper
+    // Table 4: `stage.i6` et al.) and log the Rule-C2 fusions for
+    // multi-axis groups, tying the fused product to the padded extent.
+    for (name, ext) in &view.axis_extents {
+        b.csp.add_var(
+            format!("{prefix}.ax.{name}"),
+            heron_csp::Domain::singleton(*ext),
+            heron_csp::VarCategory::LoopLength,
+        );
+    }
+    for ((axes, fused, _), base) in group_names.iter().zip([m_base, n_base, k_base]) {
+        if axes.len() >= 2 {
+            let names: Vec<String> = axes.iter().map(|a| format!("{prefix}.{a}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            b.state.fuse(prefix, &name_refs, fused);
+            // Rule-C2: fused-loop product, bounded by the padded extent.
+            let parts: Vec<heron_csp::VarRef> = axes
+                .iter()
+                .filter_map(|a| b.csp.var_by_name(&format!("{prefix}.ax.{a}")))
+                .collect();
+            let orig = b.prod(&format!("{fused}.orig"), &parts);
+            let padded_ext = super::axes::round_up(
+                parts.iter().map(|p| b.csp.var(*p).domain.max()).product(),
+                base,
+            );
+            let padded = b.constant(padded_ext);
+            b.csp.post_le(orig, padded);
+        }
+    }
+    FusedMac {
+        m_ext: super::axes::round_up(view.m_extent, m_base),
+        n_ext: super::axes::round_up(view.n_extent, n_base),
+        k_ext: super::axes::round_up(view.k_extent, k_base),
+        batch_ext: view.batch_extent,
+    }
+}
+
+fn dedup_sorted(vals: impl Iterator<Item = i64>) -> Vec<i64> {
+    let mut v: Vec<i64> = vals.collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Parameters for one global→shared load stage.
+///
+/// A shared tile has a *fixed* dimension (the operand's spatial tile: the
+/// M block for `A`, the N block for `B`) and a *location-dependent*
+/// dimension (the K chunk, which shrinks when the load is anchored deeper
+/// in the reduction nest). Exactly one of the two is contiguous in memory:
+/// the K chunk for row-major `A[M, K]`, the N tile for `B[K, N]`.
+struct SharedLoad<'a> {
+    tensor: &'a str,
+    stage: &'a str,
+    /// Variables whose product is the fixed (spatial) tile dimension.
+    fixed_dim: &'a [VarRef],
+    /// K-chunk factors when computed at the shallow location (`r0`).
+    dep_shallow: &'a [VarRef],
+    /// K-chunk variable at the deep location (`r1`), i.e. `r2`.
+    dep_deep: VarRef,
+    /// Whether the contiguous row is the fixed dimension (`B`) or the
+    /// location-dependent K chunk (`A`).
+    contiguous_is_fixed: bool,
+    /// Executions per block at the shallow location (`r0`).
+    execs_shallow: VarRef,
+    /// Execution factors at the deep location (`r0 * r1`).
+    execs_deep: &'a [VarRef],
+    dtype: DType,
+    /// Upper bound of the contiguous row length.
+    max_row: i64,
+}
+
+/// Result of building a shared-load stage.
+struct SharedStage {
+    spec: StageSpec,
+    bytes: VarRef,
+}
+
+/// Builds one shared-memory load stage with location SELECTs (Rule-C4),
+/// footprint PRODs (Rule-C5), vector alignment and storage_align (Rule-C6).
+#[allow(clippy::too_many_arguments)]
+fn shared_load_stage(
+    b: &mut SpaceBuilder,
+    spec: &DlaSpec,
+    opts: &SpaceOptions,
+    p: SharedLoad<'_>,
+) -> SharedStage {
+    let st = p.stage;
+    let parent = b.state.stages().first().map(|s| s.name.clone()).unwrap_or_default();
+    b.state.cache_read(
+        p.tensor,
+        MemScope::Shared,
+        st,
+        MemScope::Global,
+        p.dtype,
+        vec![
+            LoopSym::new(format!("{st}.rows"), IterKind::Spatial, "rows"),
+            LoopSym::new(format!("{st}.cols"), IterKind::Spatial, "cols"),
+        ],
+    );
+
+    let fixed = b.prod(&format!("fixdim.{st}"), p.fixed_dim);
+    let dep_shallow = b.prod(&format!("kchunk.{st}.at0"), p.dep_shallow);
+    let execs_deep = b.prod(&format!("execs.{st}.at1"), p.execs_deep);
+
+    // The K chunk and execution count depend on the compute_at location
+    // (Rule-C4); total traffic is invariant, but footprint and granularity
+    // trade off.
+    let (dep, execs) = if opts.tunable_locations {
+        let loc = b.tunable(&format!("loc.{st}"), &[0, 1]);
+        // Anchor in the schedule state when the parent has those loops.
+        if b.state
+            .stage(&parent)
+            .is_some_and(|s| s.loops.iter().any(|l| l.name == "C.r0"))
+        {
+            b.state.compute_at(st, &parent, &format!("loc.{st}"), &["C.r0", "C.r1"]);
+        }
+        let dep = b.aux(&format!("kchunk.{st}"), 1, i64::from(u32::MAX));
+        b.select(dep, loc, vec![dep_shallow, p.dep_deep]);
+        let execs = b.aux(&format!("execs.{st}"), 1, i64::from(u32::MAX));
+        b.select(execs, loc, vec![p.execs_shallow, execs_deep]);
+        (dep, execs)
+    } else {
+        (dep_shallow, p.execs_shallow)
+    };
+
+    // Contiguous row of the tile, aliased under a stable name for the
+    // template and the bank-conflict model.
+    let row = b.aux(&format!("row.{st}"), 1, p.max_row);
+    let contiguous = if p.contiguous_is_fixed { fixed } else { dep };
+    b.csp.post_eq(row, contiguous);
+
+    // Vectorised access width must divide the row (Rule-C6).
+    let legal_vecs: Vec<i64> = spec.vector_lengths.clone();
+    let vec = b.tunable(&format!("vec.{st}"), &legal_vecs);
+    b.state.vectorize(st, &format!("vec.{st}"));
+    if opts.arch_constraints {
+        b.divides(vec, row, st);
+    }
+
+    // storage_align padding (Rule-C6 on TensorCore).
+    let pad = if opts.storage_align {
+        let pad = b.tunable(&format!("pad.{st}"), &[0, 1, 2, 4, 8]);
+        b.state.storage_align(st, &format!("pad.{st}"));
+        pad
+    } else {
+        b.constant(opts.fixed_align_pad.unwrap_or(0))
+    };
+    let padded_row = b.sum(&format!("prow.{st}"), &[row, pad]);
+
+    // Footprints: transfer elements (unpadded) and buffer bytes (padded):
+    // (#rows of the buffer) x (padded contiguous row).
+    let elems = b.prod(&format!("elems.{st}"), &[fixed, dep]);
+    let nrows = if p.contiguous_is_fixed { dep } else { fixed };
+    let buf_elems = b.prod(&format!("belems.{st}"), &[nrows, padded_row]);
+    let bytes = b.mem_limit(st, MemScope::Shared, buf_elems, p.dtype.bytes());
+
+    // Per-stage loop-length variables (the cache stage's own nest).
+    b.loop_twin(&format!("{st}.rows.len"), nrows);
+    b.loop_twin(&format!("{st}.cols.len"), row);
+
+    let mut spec_out = StageSpec::new(st, StageRole::Load, MemScope::Global, MemScope::Shared, p.dtype);
+    spec_out.var_elems = Some(b.name_of(elems));
+    spec_out.var_execs = Some(b.name_of(execs));
+    spec_out.var_vector = Some(b.name_of(vec));
+    spec_out.var_align_pad = Some(b.name_of(pad));
+    spec_out.var_row_elems = Some(b.name_of(row));
+    SharedStage { spec: spec_out, bytes }
+}
+
+/// Builds one shared→fragment load stage (Rule-S3 multi-scope SPM).
+#[allow(clippy::too_many_arguments)]
+fn fragment_stage(
+    b: &mut SpaceBuilder,
+    spec: &DlaSpec,
+    opts: &SpaceOptions,
+    name: &str,
+    scope: MemScope,
+    elem_factors: &[VarRef],
+    exec_factors: &[VarRef],
+    src: &SharedStage,
+) -> StageSpec {
+    b.state.cache_read(
+        name.split('.').next().unwrap_or(name),
+        scope,
+        name,
+        MemScope::Shared,
+        spec.in_dtype,
+        vec![LoopSym::new(format!("{name}.x"), IterKind::Spatial, "x")],
+    );
+    let elems = b.prod(&format!("elems.{name}"), elem_factors);
+    let execs = b.prod(&format!("execs.{name}"), exec_factors);
+    let bytes = b.mem_limit(name, scope, elems, spec.in_dtype.bytes());
+    if opts.register_constraints {
+        if let Some(cap) = spec.capacity(scope) {
+            let capv = b.constant(cap as i64);
+            b.csp.post_le(bytes, capv);
+        }
+    }
+    b.loop_twin(&format!("{name}.x.len"), elems);
+    let mut s = StageSpec::new(name, StageRole::Load, MemScope::Shared, scope, spec.in_dtype);
+    s.var_elems = Some(b.name_of(elems));
+    s.var_execs = Some(b.name_of(execs));
+    // Reads shared memory with the producer's row geometry: bank conflicts
+    // depend on the shared buffer's stride and padding.
+    s.var_row_elems = src.spec.var_row_elems.clone();
+    s.var_align_pad = src.spec.var_align_pad.clone();
+    s
+}
+
+/// Finalises the generated space.
+fn finish(
+    b: SpaceBuilder,
+    mut template: KernelTemplate,
+    spec: &DlaSpec,
+    workload: &str,
+) -> GeneratedSpace {
+    template.buffers = b.buffers.clone();
+    template.primitives = b.state.template().to_vec();
+    template.tunables = b
+        .csp
+        .tunables()
+        .iter()
+        .map(|r| b.csp.var(*r).name.clone())
+        .collect();
+    GeneratedSpace {
+        csp: b.csp,
+        template,
+        dla: spec.clone(),
+        workload: workload.to_string(),
+    }
+}

@@ -1,0 +1,45 @@
+//! Heron: automatically constrained high-performance library generation for
+//! deep learning accelerators — the paper's primary contribution.
+//!
+//! Two stages (paper Figure 3):
+//!
+//! * **Constrained space generation** ([`generate`]): static analysis of the
+//!   tensor compute applies schedule generation rules (S1–S3 plus the
+//!   Ansor-style rules) to build a schedule template, then constraint
+//!   generation rules (C1–C6) to build `CSP_initial` — hundreds of variables
+//!   and constraints that exactly characterise the DLA's limits.
+//! * **Constrained space exploration** ([`explore`]): a constraint-based
+//!   genetic algorithm (CGA) whose crossover and mutation operate on CSPs
+//!   (adding/removing `IN` constraints on cost-model-selected key variables)
+//!   so that *every* offspring is valid by construction; plus the baseline
+//!   explorers the paper compares against (GA, SA, random, stochastic
+//!   ranking, SAT-decoder, infeasibility-driven).
+//!
+//! The [`tuner`] module ties generation, exploration, the XGBoost-style cost
+//! model and the DLA measurer into the full Algorithm-2 loop.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use heron_core::generate::{SpaceGenerator, SpaceOptions};
+//! use heron_core::tuner::{TuneConfig, Tuner};
+//! use heron_dla::{v100, Measurer};
+//! use heron_tensor::ops;
+//!
+//! let dag = ops::gemm(1024, 1024, 1024);
+//! let space = SpaceGenerator::new(v100()).generate(&dag, &SpaceOptions::heron()).unwrap();
+//! let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(64), 42);
+//! let best = tuner.run();
+//! println!("best: {:.3} Gops", best.best_gflops);
+//! ```
+
+pub mod explore;
+pub mod generate;
+pub mod library;
+pub mod model;
+pub mod tuner;
+
+pub use generate::{GeneratedSpace, SpaceGenerator, SpaceOptions};
+pub use library::{KernelLibrary, LibraryEntry};
+pub use model::CostModel;
+pub use tuner::{TuneConfig, TuneResult, Tuner};

@@ -1,0 +1,146 @@
+//! The cost model: GBDT over CSP-variable features.
+//!
+//! Features are the log-scaled values of *all* CSP variables — loop
+//! lengths, footprints, vector widths, totals — which the paper notes are
+//! available without compiling anything. The model predicts measured
+//! throughput, and its gain-based feature importances select CGA's key
+//! variables (Algorithm 3, Step 1).
+
+use heron_cost::{Gbdt, GbdtParams};
+use heron_csp::{Csp, Solution, VarRef};
+use rand::Rng;
+
+/// Cost model bound to one CSP's variable layout.
+#[derive(Debug)]
+pub struct CostModel {
+    num_vars: usize,
+    data_x: Vec<Vec<f64>>,
+    data_y: Vec<f64>,
+    model: Option<Gbdt>,
+    params: GbdtParams,
+}
+
+impl CostModel {
+    /// Creates an empty model for the given CSP.
+    pub fn new(csp: &Csp) -> Self {
+        CostModel {
+            num_vars: csp.num_vars(),
+            data_x: Vec::new(),
+            data_y: Vec::new(),
+            model: None,
+            params: GbdtParams::default(),
+        }
+    }
+
+    /// Log-scaled feature vector of a solution.
+    pub fn featurize(&self, sol: &Solution) -> Vec<f64> {
+        sol.values().iter().map(|&v| ((v.max(0)) as f64 + 1.0).ln()).collect()
+    }
+
+    /// Records one measured sample (`score` = throughput in Gops; invalid
+    /// programs should be recorded with score 0).
+    pub fn add_sample(&mut self, sol: &Solution, score: f64) {
+        debug_assert_eq!(sol.values().len(), self.num_vars);
+        self.data_x.push(self.featurize(sol));
+        self.data_y.push(score);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.data_y.len()
+    }
+
+    /// Whether no samples have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.data_y.is_empty()
+    }
+
+    /// Refits the GBDT on all recorded samples (no-op with < 8 samples).
+    pub fn fit<R: Rng>(&mut self, rng: &mut R) {
+        if self.data_y.len() < 8 {
+            return;
+        }
+        self.model = Some(Gbdt::fit(&self.data_x, &self.data_y, &self.params, rng));
+    }
+
+    /// Predicted score for a solution (0 before the first fit).
+    pub fn predict(&self, sol: &Solution) -> f64 {
+        match &self.model {
+            Some(m) => m.predict(&self.featurize(sol)).max(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// Whether a fitted model is available.
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// The `k` most important variables by split gain (Algorithm 3 Step 1).
+    /// Falls back to an empty vector before the first fit.
+    pub fn key_variables(&self, k: usize) -> Vec<VarRef> {
+        match &self.model {
+            Some(m) => m.top_features(k).into_iter().map(VarRef).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Pairwise rank accuracy of the fitted model on the recorded samples
+    /// (`None` before the first fit). The explorer consumes rankings, so
+    /// this is the fidelity signal that matters.
+    pub fn rank_accuracy(&self) -> Option<f64> {
+        let model = self.model.as_ref()?;
+        let preds = model.predict_batch(&self.data_x);
+        Some(heron_cost::pairwise_rank_accuracy(&preds, &self.data_y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heron_csp::{Domain, VarCategory};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn csp2() -> Csp {
+        let mut csp = Csp::new();
+        csp.add_var("a", Domain::range(1, 64), VarCategory::Tunable);
+        csp.add_var("b", Domain::range(1, 64), VarCategory::Tunable);
+        csp
+    }
+
+    #[test]
+    fn predicts_after_fit_and_ranks_keys() {
+        let csp = csp2();
+        let mut model = CostModel::new(&csp);
+        let mut rng = StdRng::seed_from_u64(0);
+        // score depends only on variable a.
+        for a in 1..=32_i64 {
+            for b in [1_i64, 8, 64] {
+                let sol = Solution::new(vec![a, b]);
+                model.add_sample(&sol, (a * a) as f64);
+            }
+        }
+        model.fit(&mut rng);
+        assert!(model.is_fitted());
+        let lo = model.predict(&Solution::new(vec![2, 8]));
+        let hi = model.predict(&Solution::new(vec![30, 8]));
+        assert!(hi > lo, "prediction must follow the signal: {hi} vs {lo}");
+        assert_eq!(model.key_variables(1), vec![VarRef(0)]);
+        let acc = model.rank_accuracy().expect("fitted");
+        assert!(acc > 0.9, "training rank accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn unfitted_model_is_neutral() {
+        let csp = csp2();
+        let mut model = CostModel::new(&csp);
+        assert_eq!(model.predict(&Solution::new(vec![1, 1])), 0.0);
+        assert!(model.key_variables(3).is_empty());
+        let mut rng = StdRng::seed_from_u64(0);
+        model.add_sample(&Solution::new(vec![1, 1]), 1.0);
+        model.fit(&mut rng); // too few samples: still unfitted
+        assert!(!model.is_fitted());
+        assert_eq!(model.len(), 1);
+    }
+}

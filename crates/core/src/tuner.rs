@@ -1,0 +1,386 @@
+//! The full Heron tuning session: Algorithm 2 with instrumentation.
+//!
+//! Couples the generated space, the CGA evolutionary loop, the ε-greedy
+//! measurement selection, the DLA measurer, and the cost model. Records
+//! the best program found, the best-so-far curve, and a compilation-time
+//! breakdown (CGA / measurement / model-training) used to regenerate the
+//! paper's Table 10 and Figure 14.
+
+use std::time::Instant;
+
+use heron_csp::{rand_sat_with_budget, Solution};
+use heron_dla::{MeasureError, Measurement, Measurer};
+use heron_sched::{lower, Kernel};
+use rand::prelude::IndexedRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::explore::cga::{offspring_csp, CgaConfig};
+use crate::explore::{eps_greedy, roulette_wheel, Chromosome};
+use crate::generate::GeneratedSpace;
+use crate::model::CostModel;
+
+/// Lowers and measures one solution.
+///
+/// # Errors
+/// Propagates [`MeasureError`] for invalid programs; lowering failures are
+/// generator bugs and panic.
+pub fn evaluate(
+    space: &GeneratedSpace,
+    measurer: &Measurer,
+    sol: &Solution,
+) -> Result<(Kernel, Measurement), MeasureError> {
+    let csp = &space.csp;
+    let kernel = lower(&space.template, sol.fingerprint(), &|name| {
+        sol.value_by_name(csp, name)
+    })
+    .expect("generated templates reference only declared variables");
+    let m = measurer.measure(&kernel)?;
+    Ok((kernel, m))
+}
+
+/// Tuning-session configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneConfig {
+    /// Total hardware-measurement trials (the paper uses 2,000).
+    pub trials: usize,
+    /// CGA hyper-parameters.
+    pub cga: CgaConfig,
+    /// Per-trial fixed overhead charged to the simulated wall clock
+    /// (compilation + transfer on a real deployment), seconds.
+    pub trial_overhead_s: f64,
+    /// Repeats per hardware measurement.
+    pub measure_repeats: u32,
+}
+
+impl TuneConfig {
+    /// The paper's configuration: 2,000 trials.
+    pub fn paper() -> Self {
+        TuneConfig {
+            trials: 2_000,
+            cga: CgaConfig::default(),
+            trial_overhead_s: 0.8,
+            measure_repeats: 3,
+        }
+    }
+
+    /// A reduced-budget configuration for tests and quick demos.
+    pub fn quick(trials: usize) -> Self {
+        TuneConfig {
+            trials,
+            cga: CgaConfig {
+                population: 16,
+                generations: 2,
+                offspring: 10,
+                key_vars: 6,
+                eps: 0.15,
+                measure_batch: 8,
+                solver_budget: 300,
+            },
+            trial_overhead_s: 0.8,
+            measure_repeats: 3,
+        }
+    }
+}
+
+/// Wall-clock breakdown of a tuning session (paper Figure 14).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TuneTiming {
+    /// Real seconds spent in CGA evolution + CSP solving.
+    pub cga_s: f64,
+    /// Real seconds spent in the simulator.
+    pub sim_s: f64,
+    /// Real seconds spent fitting the cost model.
+    pub model_s: f64,
+    /// *Simulated deployment* measurement wall clock: per-trial overhead
+    /// plus `latency × repeats` for every trial — what "hardware
+    /// measurement" would cost on the physical DLA.
+    pub hw_measure_s: f64,
+}
+
+impl TuneTiming {
+    /// Total simulated compilation time: exploration + model + deployment
+    /// measurements.
+    pub fn total_s(&self) -> f64 {
+        self.cga_s + self.model_s + self.hw_measure_s
+    }
+}
+
+/// Per-iteration statistics of the Algorithm-2 loop (for session reports
+/// and convergence debugging).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Iteration index (one ε-greedy measurement round each).
+    pub iteration: usize,
+    /// Total trials measured so far.
+    pub trials_done: usize,
+    /// Best score so far, Gops.
+    pub best_gflops: f64,
+    /// Mean score of this iteration's measured batch.
+    pub batch_mean_gflops: f64,
+    /// Whether the cost model was fitted after this iteration.
+    pub model_fitted: bool,
+    /// Distinct chromosomes in the evolved population.
+    pub population: usize,
+}
+
+/// Result of one tuning session.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Best observed throughput in Gops.
+    pub best_gflops: f64,
+    /// Latency of the best program, seconds.
+    pub best_latency_s: f64,
+    /// The best assignment, if any valid program was found.
+    pub best_solution: Option<Solution>,
+    /// The best lowered kernel.
+    pub best_kernel: Option<Kernel>,
+    /// Best-so-far score after every trial.
+    pub curve: Vec<f64>,
+    /// Trials that produced a running program.
+    pub valid_trials: usize,
+    /// Trials rejected by the measurer (compile/run errors).
+    pub invalid_trials: usize,
+    /// Timing breakdown.
+    pub timing: TuneTiming,
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStats>,
+}
+
+impl TuneResult {
+    /// Multi-line human-readable session report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "tuning session: {} trials ({} valid, {} invalid), best {:.1} Gops @ {:.1} us",
+            self.curve.len(),
+            self.valid_trials,
+            self.invalid_trials,
+            self.best_gflops,
+            self.best_latency_s * 1e6
+        );
+        let _ = writeln!(
+            out,
+            "time: cga {:.2}s, simulator {:.2}s, model {:.2}s, simulated hw measurement {:.1}s",
+            self.timing.cga_s, self.timing.sim_s, self.timing.model_s, self.timing.hw_measure_s
+        );
+        for it in &self.iterations {
+            let _ = writeln!(
+                out,
+                "  iter {:>3}: {:>5} trials, best {:>9.1}, batch mean {:>9.1}, pop {:>3}{}",
+                it.iteration,
+                it.trials_done,
+                it.best_gflops,
+                it.batch_mean_gflops,
+                it.population,
+                if it.model_fitted { ", model fitted" } else { "" }
+            );
+        }
+        out
+    }
+}
+
+/// A tuning session for one generated space.
+#[derive(Debug)]
+pub struct Tuner {
+    space: GeneratedSpace,
+    measurer: Measurer,
+    config: TuneConfig,
+    rng: StdRng,
+}
+
+impl Tuner {
+    /// Creates a session.
+    pub fn new(space: GeneratedSpace, measurer: Measurer, config: TuneConfig, seed: u64) -> Self {
+        let measurer = measurer.with_protocol(config.measure_repeats, 0.01);
+        Tuner { space, measurer, config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The tuned space.
+    pub fn space(&self) -> &GeneratedSpace {
+        &self.space
+    }
+
+    /// Runs Algorithm 2 to completion.
+    pub fn run(&mut self) -> TuneResult {
+        let cfg = self.config;
+        let mut model = CostModel::new(&self.space.csp);
+        let mut result = TuneResult {
+            best_gflops: 0.0,
+            best_latency_s: f64::INFINITY,
+            best_solution: None,
+            best_kernel: None,
+            curve: Vec::with_capacity(cfg.trials),
+            valid_trials: 0,
+            invalid_trials: 0,
+            timing: TuneTiming::default(),
+            iterations: Vec::new(),
+        };
+        let mut measured: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut survivors: Vec<Chromosome> = Vec::new();
+        let mut stall_rounds = 0usize;
+
+        while result.curve.len() < cfg.trials {
+            // ---- Step 1: first generation --------------------------------
+            let t = Instant::now();
+            let need = cfg.cga.population.saturating_sub(survivors.len());
+            let fresh = rand_sat_with_budget(&self.space.csp, &mut self.rng, need, cfg.cga.solver_budget);
+            let mut pop: Vec<Chromosome> = survivors.clone();
+            pop.extend(fresh.into_iter().map(|solution| Chromosome {
+                fitness: model.predict(&solution),
+                solution,
+            }));
+            if pop.is_empty() {
+                break; // the space is infeasible
+            }
+
+            // ---- Step 2: evolve on CSPs -----------------------------------
+            for _ in 0..cfg.cga.generations {
+                let parents = roulette_wheel(&pop, pop.len().min(cfg.cga.population), &mut self.rng);
+                let key_vars = if model.is_fitted() {
+                    model.key_variables(cfg.cga.key_vars)
+                } else {
+                    let tunables = self.space.csp.tunables();
+                    let mut keys = Vec::new();
+                    for _ in 0..cfg.cga.key_vars.min(tunables.len()) {
+                        if let Some(&v) = tunables.as_slice().choose(&mut self.rng) {
+                            keys.push(v);
+                        }
+                    }
+                    keys.sort_unstable();
+                    keys.dedup();
+                    keys
+                };
+                let mut children = Vec::with_capacity(cfg.cga.offspring);
+                for _ in 0..cfg.cga.offspring {
+                    let &i1 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
+                    let &i2 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
+                    let csp = offspring_csp(
+                        &self.space.csp,
+                        &key_vars,
+                        &pop[i1].solution,
+                        &pop[i2].solution,
+                        &mut self.rng,
+                    );
+                    if let Some(sol) =
+                        rand_sat_with_budget(&csp, &mut self.rng, 1, cfg.cga.solver_budget).pop()
+                    {
+                        children.push(Chromosome { fitness: model.predict(&sol), solution: sol });
+                    }
+                }
+                pop.extend(children);
+                pop.sort_by(|a, b| {
+                    b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                pop.truncate(cfg.cga.population * 2);
+            }
+            result.timing.cga_s += t.elapsed().as_secs_f64();
+
+            // ---- Step 3: ε-greedy measurement -----------------------------
+            let unmeasured: Vec<&Chromosome> = pop
+                .iter()
+                .filter(|c| !measured.contains(&c.solution.fingerprint()))
+                .collect();
+            if unmeasured.is_empty() {
+                stall_rounds += 1;
+                survivors.clear();
+                if stall_rounds > 16 {
+                    break; // space exhausted
+                }
+                continue;
+            }
+            stall_rounds = 0;
+            let predicted: Vec<f64> = unmeasured.iter().map(|c| c.fitness).collect();
+            let budget = cfg.cga.measure_batch.min(cfg.trials - result.curve.len());
+            let picks = eps_greedy(&predicted, budget, cfg.cga.eps, &mut self.rng);
+            let chosen: Vec<Solution> =
+                picks.iter().map(|&i| unmeasured[i].solution.clone()).collect();
+            let mut batch_scores: Vec<f64> = Vec::with_capacity(chosen.len());
+            let population = pop.len();
+            for sol in chosen {
+                measured.insert(sol.fingerprint());
+                let t = Instant::now();
+                let outcome = evaluate(&self.space, &self.measurer, &sol);
+                result.timing.sim_s += t.elapsed().as_secs_f64();
+                result.timing.hw_measure_s += cfg.trial_overhead_s;
+                let score = match outcome {
+                    Ok((kernel, m)) => {
+                        result.valid_trials += 1;
+                        result.timing.hw_measure_s +=
+                            m.latency_s * f64::from(cfg.measure_repeats);
+                        if m.gflops > result.best_gflops {
+                            result.best_gflops = m.gflops;
+                            result.best_latency_s = m.latency_s;
+                            result.best_solution = Some(sol.clone());
+                            result.best_kernel = Some(kernel);
+                        }
+                        m.gflops
+                    }
+                    Err(_) => {
+                        result.invalid_trials += 1;
+                        0.0
+                    }
+                };
+                let prev = result.curve.last().copied().unwrap_or(0.0);
+                result.curve.push(prev.max(score));
+                batch_scores.push(score);
+                model.add_sample(&sol, score);
+            }
+
+            // ---- Step 4: update the cost model -----------------------------
+            let t = Instant::now();
+            model.fit(&mut self.rng);
+            result.timing.model_s += t.elapsed().as_secs_f64();
+            result.iterations.push(IterationStats {
+                iteration: result.iterations.len(),
+                trials_done: result.curve.len(),
+                best_gflops: result.best_gflops,
+                batch_mean_gflops: batch_scores.iter().sum::<f64>()
+                    / batch_scores.len().max(1) as f64,
+                model_fitted: model.is_fitted(),
+                population,
+            });
+            for c in &mut pop {
+                c.fitness = model.predict(&c.solution);
+            }
+            pop.sort_by(|a, b| {
+                b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            survivors = pop.into_iter().take(cfg.cga.population / 2).collect();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{SpaceGenerator, SpaceOptions};
+    use heron_dla::v100;
+    use heron_tensor::ops;
+
+    #[test]
+    fn tuner_finds_valid_programs_and_improves() {
+        let dag = ops::gemm(256, 256, 256);
+        let space = SpaceGenerator::new(v100())
+            .generate_named(&dag, &SpaceOptions::heron(), "gemm-256")
+            .expect("generates");
+        let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(48), 7);
+        let result = tuner.run();
+        assert!(result.best_gflops > 0.0, "no valid program found");
+        assert_eq!(result.invalid_trials, 0, "Heron never measures invalid programs");
+        assert_eq!(result.curve.len(), result.valid_trials + result.invalid_trials);
+        // Curve is monotone.
+        for w in result.curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Later exploration should beat the very first measurement.
+        assert!(
+            result.curve.last().expect("non-empty") >= result.curve.first().expect("non-empty")
+        );
+        assert!(result.best_kernel.is_some());
+        assert!(result.timing.total_s() > 0.0);
+    }
+}

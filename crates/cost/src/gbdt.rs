@@ -1,0 +1,179 @@
+//! Gradient boosting over regression trees (squared loss).
+
+use rand::Rng;
+
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Row subsample fraction per round.
+    pub subsample: f64,
+    /// Per-tree structural parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_trees: 24,
+            learning_rate: 0.3,
+            subsample: 0.9,
+            tree: TreeParams { max_depth: 4, min_split: 4, feature_sample: 48 },
+        }
+    }
+}
+
+/// A fitted gradient-boosted model.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+    num_features: usize,
+}
+
+impl Gbdt {
+    /// Fits the model to `(x, y)` with squared loss.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty, ragged, or `x.len() != y.len()`.
+    pub fn fit<R: Rng>(x: &[Vec<f64>], y: &[f64], params: &GbdtParams, rng: &mut R) -> Self {
+        assert!(!x.is_empty(), "cannot fit to zero samples");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let num_features = x[0].len();
+        assert!(x.iter().all(|r| r.len() == num_features), "ragged feature matrix");
+
+        let base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut preds = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let residuals: Vec<f64> = y.iter().zip(&preds).map(|(t, p)| t - p).collect();
+            let rows: Vec<usize> = (0..x.len())
+                .filter(|_| rng.random::<f64>() < params.subsample)
+                .collect();
+            let rows = if rows.is_empty() { (0..x.len()).collect() } else { rows };
+            let tree = RegressionTree::fit(x, &residuals, &rows, &params.tree, rng);
+            for (i, row) in x.iter().enumerate() {
+                preds[i] += params.learning_rate * tree.predict(row);
+            }
+            trees.push(tree);
+        }
+        Gbdt { base, learning_rate: params.learning_rate, trees, num_features }
+    }
+
+    /// Predicted target for one feature vector.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let boost: f64 = self.trees.iter().map(|t| t.predict(row)).sum();
+        self.base + self.learning_rate * boost
+    }
+
+    /// Predictions for a batch.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Gain-based feature importance, normalised to sum to 1 (all zeros if
+    /// no split was ever made).
+    pub fn feature_importance(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.num_features];
+        for t in &self.trees {
+            t.accumulate_importance(&mut acc);
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Indices of the `k` most important features, descending.
+    pub fn top_features(&self, k: usize) -> Vec<usize> {
+        let imp = self.feature_importance();
+        let mut idx: Vec<usize> = (0..imp.len()).collect();
+        idx.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 2*x0 - x1, x2 noise-like but deterministic.
+        let x: Vec<Vec<f64>> = (0..128)
+            .map(|i| {
+                vec![
+                    (i % 8) as f64,
+                    ((i / 8) % 4) as f64,
+                    ((i * 37) % 11) as f64 / 11.0,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_linear_signal() {
+        let (x, y) = toy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let params = GbdtParams {
+            n_trees: 40,
+            learning_rate: 0.3,
+            subsample: 1.0,
+            tree: TreeParams { max_depth: 4, min_split: 2, feature_sample: 0 },
+        };
+        let m = Gbdt::fit(&x, &y, &params, &mut rng);
+        let preds = m.predict_batch(&x);
+        let mse: f64 =
+            preds.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let var: f64 = {
+            let mean = y.iter().sum::<f64>() / y.len() as f64;
+            y.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / y.len() as f64
+        };
+        assert!(mse < 0.05 * var, "mse {mse} vs var {var}");
+    }
+
+    #[test]
+    fn importance_ranks_informative_features() {
+        let (x, y) = toy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
+        let imp = m.feature_importance();
+        assert!(imp[0] > imp[2], "x0 must beat noise: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(m.top_features(1), vec![0]);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        let y = vec![3.5; 16];
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
+        assert!((m.predict(&[100.0]) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Gbdt::fit(&[vec![1.0]], &[1.0, 2.0], &GbdtParams::default(), &mut rng);
+    }
+}

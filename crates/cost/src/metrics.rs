@@ -1,0 +1,114 @@
+//! Quality metrics for the cost model.
+//!
+//! The explorer only consumes *rankings* (roulette-wheel selection,
+//! ε-greedy measurement picks), so pairwise rank accuracy is the metric
+//! that matters; R² is reported alongside for calibration debugging.
+
+/// Fraction of pairs `(i, j)` whose predicted ordering matches the true
+/// ordering (ties in the truth are skipped). Returns 0.5 for fewer than
+/// two usable pairs — the chance level.
+pub fn pairwise_rank_accuracy(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let n = truth.len();
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if truth[i] == truth[j] {
+                continue;
+            }
+            total += 1;
+            let truth_gt = truth[i] > truth[j];
+            let pred_gt = predicted[i] > predicted[j];
+            if truth_gt == pred_gt {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.5
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Coefficient of determination R² (1 = perfect, 0 = mean predictor,
+/// negative = worse than the mean).
+pub fn r_squared(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 =
+        predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(pairwise_rank_accuracy(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [3.0, 2.0, 1.0];
+        assert_eq!(pairwise_rank_accuracy(&pred, &truth), 0.0);
+    }
+
+    #[test]
+    fn ties_in_truth_are_skipped() {
+        let truth = [1.0, 1.0, 2.0];
+        let pred = [9.0, 0.0, 5.0];
+        // Usable pairs: (0,2) wrong, (1,2) right.
+        assert_eq!(pairwise_rank_accuracy(&pred, &truth), 0.5);
+    }
+
+    #[test]
+    fn all_ties_return_chance() {
+        assert_eq!(pairwise_rank_accuracy(&[1.0, 2.0], &[5.0, 5.0]), 0.5);
+        assert_eq!(pairwise_rank_accuracy(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn r2_of_exact_predictions_is_one() {
+        let y = [1.0, 5.0, 3.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let y = [2.0, 4.0, 6.0];
+        let mean = [4.0, 4.0, 4.0];
+        assert!(r_squared(&mean, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_can_be_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let bad = [30.0, -10.0, 99.0];
+        assert!(r_squared(&bad, &y) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        pairwise_rank_accuracy(&[1.0], &[1.0, 2.0]);
+    }
+}

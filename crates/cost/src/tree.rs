@@ -1,0 +1,242 @@
+//! Variance-reduction regression trees (the weak learner of the GBDT).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One node of a regression tree, index-linked in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Variance reduction achieved (importance contribution).
+        gain: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Hyper-parameters for a single tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_split: usize,
+    /// Number of candidate features examined per node (feature
+    /// subsampling); 0 means all.
+    pub feature_sample: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 4, min_split: 4, feature_sample: 0 }
+    }
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(x, y)` on the given sample indices.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or feature vectors are ragged.
+    pub fn fit<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree to zero samples");
+        let num_features = x[0].len();
+        let mut tree = RegressionTree { nodes: Vec::new(), num_features };
+        tree.build(x, y, rows, 0, params, rng);
+        tree
+    }
+
+    fn build<R: Rng>(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        rows: &[usize],
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> usize {
+        let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
+        if depth >= params.max_depth || rows.len() < params.min_split {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        match self.best_split(x, y, rows, params, rng) {
+            None => {
+                self.nodes.push(Node::Leaf { value: mean });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold, gain)) => {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| x[r][feature] <= threshold);
+                // Reserve the split slot, then build children.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.build(x, y, &left_rows, depth + 1, params, rng);
+                let right = self.build(x, y, &right_rows, depth + 1, params, rng);
+                self.nodes[id] = Node::Split { feature, threshold, gain, left, right };
+                id
+            }
+        }
+    }
+
+    /// Finds the `(feature, threshold, gain)` minimising child variance.
+    fn best_split<R: Rng>(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        rows: &[usize],
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Option<(usize, f64, f64)> {
+        let n = rows.len() as f64;
+        let total_sum: f64 = rows.iter().map(|&r| y[r]).sum();
+        let total_sq: f64 = rows.iter().map(|&r| y[r] * y[r]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut features: Vec<usize> = (0..self.num_features).collect();
+        if params.feature_sample > 0 && params.feature_sample < self.num_features {
+            features.shuffle(rng);
+            features.truncate(params.feature_sample);
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut sorted = rows.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| {
+                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for i in 0..sorted.len() - 1 {
+                let v = y[sorted[i]];
+                left_sum += v;
+                left_sq += v * v;
+                let xv = x[sorted[i]][f];
+                let xn = x[sorted[i + 1]][f];
+                if xv == xn {
+                    continue; // cannot split between equal values
+                }
+                let nl = (i + 1) as f64;
+                let nr = n - nl;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                let gain = parent_sse - sse;
+                if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                    best = Some((f, (xv + xn) / 2.0, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicted value for one feature vector.
+    ///
+    /// # Panics
+    /// Panics if `row` has the wrong arity.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.num_features, "feature arity mismatch");
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    id = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Accumulates per-feature split gains into `acc`.
+    pub fn accumulate_importance(&self, acc: &mut [f64]) {
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                acc[*feature] += gain.max(0.0);
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is a single leaf.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn splits_on_informative_feature() {
+        // y = step(x0): perfectly separable on feature 0.
+        let x: Vec<Vec<f64>> =
+            (0..32).map(|i| vec![i as f64, ((i * 7) % 5) as f64]).collect();
+        let y: Vec<f64> = (0..32).map(|i| if i < 16 { 0.0 } else { 10.0 }).collect();
+        let rows: Vec<usize> = (0..32).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = RegressionTree::fit(&x, &y, &rows, &TreeParams::default(), &mut rng);
+        assert!((t.predict(&[3.0, 0.0]) - 0.0).abs() < 1e-9);
+        assert!((t.predict(&[30.0, 0.0]) - 10.0).abs() < 1e-9);
+        let mut imp = vec![0.0; 2];
+        t.accumulate_importance(&mut imp);
+        assert!(imp[0] > imp[1]);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 8];
+        let rows: Vec<usize> = (0..8).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = RegressionTree::fit(&x, &y, &rows, &TreeParams::default(), &mut rng);
+        assert!(t.is_empty());
+        assert!((t.predict(&[99.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let rows: Vec<usize> = (0..64).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = TreeParams { max_depth: 2, min_split: 2, feature_sample: 0 };
+        let t = RegressionTree::fit(&x, &y, &rows, &p, &mut rng);
+        // Depth-2 tree has at most 4 leaves + 3 splits.
+        assert!(t.len() <= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn predict_checks_arity() {
+        let x = vec![vec![1.0, 2.0]];
+        let y = vec![1.0];
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = RegressionTree::fit(&x, &y, &[0], &TreeParams::default(), &mut rng);
+        t.predict(&[1.0]);
+    }
+}

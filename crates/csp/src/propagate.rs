@@ -1,0 +1,423 @@
+//! Worklist-based domain propagation.
+//!
+//! Each constraint contributes a (bounds-consistent, sometimes stronger)
+//! filtering rule. Propagation is *sound*: it only removes values that
+//! cannot appear in any solution; it is deliberately not complete (complete
+//! filtering of PROD is NP-hard), which is the standard CP trade-off.
+
+use std::collections::VecDeque;
+
+use crate::constraint::Constraint;
+use crate::domain::Domain;
+use crate::problem::{Csp, VarRef};
+
+/// Returned when propagation proves the current domains unsatisfiable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Infeasible;
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("constraint propagation wiped out a domain")
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+/// Reusable propagation engine for one CSP (precomputes the variable →
+/// constraint adjacency).
+#[derive(Debug)]
+pub struct Propagator<'a> {
+    csp: &'a Csp,
+    /// For each variable, the indices of constraints mentioning it.
+    watching: Vec<Vec<u32>>,
+}
+
+impl<'a> Propagator<'a> {
+    /// Builds the engine for `csp`.
+    pub fn new(csp: &'a Csp) -> Self {
+        let mut watching = vec![Vec::new(); csp.num_vars()];
+        for (ci, c) in csp.constraints().iter().enumerate() {
+            for v in c.vars() {
+                let w = &mut watching[v.0];
+                if w.last() != Some(&(ci as u32)) {
+                    w.push(ci as u32);
+                }
+            }
+        }
+        Propagator { csp, watching }
+    }
+
+    /// Initial domains as declared.
+    pub fn initial_domains(&self) -> Vec<Domain> {
+        self.csp.vars().map(|(_, d)| d.domain.clone()).collect()
+    }
+
+    /// Runs propagation to fixpoint starting from every constraint.
+    pub fn run_all(&self, domains: &mut [Domain]) -> Result<(), Infeasible> {
+        let all: Vec<u32> = (0..self.csp.num_constraints() as u32).collect();
+        self.run(domains, all)
+    }
+
+    /// Runs propagation to fixpoint starting from the constraints watching
+    /// `changed_var`.
+    pub fn run_from(&self, domains: &mut [Domain], changed_var: VarRef) -> Result<(), Infeasible> {
+        self.run(domains, self.watching[changed_var.0].to_vec())
+    }
+
+    fn run(&self, domains: &mut [Domain], seed: Vec<u32>) -> Result<(), Infeasible> {
+        let ncons = self.csp.num_constraints();
+        let mut queued = vec![false; ncons];
+        let mut queue: VecDeque<u32> = VecDeque::with_capacity(seed.len());
+        for ci in seed {
+            if !queued[ci as usize] {
+                queued[ci as usize] = true;
+                queue.push_back(ci);
+            }
+        }
+        let mut changed_vars: Vec<VarRef> = Vec::new();
+        while let Some(ci) = queue.pop_front() {
+            queued[ci as usize] = false;
+            changed_vars.clear();
+            filter(&self.csp.constraints()[ci as usize], domains, &mut changed_vars)
+                .map_err(|_| Infeasible)?;
+            for v in &changed_vars {
+                for &wi in &self.watching[v.0] {
+                    // The triggering constraint re-enqueues itself too: one
+                    // filtering pass is not idempotent (and constraints may
+                    // mention a variable on both sides).
+                    if !queued[wi as usize] {
+                        queued[wi as usize] = true;
+                        queue.push_back(wi);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies one constraint's filtering rule, recording changed variables.
+fn filter(
+    c: &Constraint,
+    domains: &mut [Domain],
+    changed: &mut Vec<VarRef>,
+) -> Result<(), ()> {
+    match c {
+        Constraint::Prod { out, factors } => filter_prod(*out, factors, domains, changed),
+        Constraint::Sum { out, terms } => filter_sum(*out, terms, domains, changed),
+        Constraint::Eq(a, b) => {
+            let db = domains[b.0].clone();
+            if domains[a.0].intersect(&db)? {
+                changed.push(*a);
+            }
+            let da = domains[a.0].clone();
+            if domains[b.0].intersect(&da)? {
+                changed.push(*b);
+            }
+            Ok(())
+        }
+        Constraint::Le(a, b) => {
+            let bhi = domains[b.0].max();
+            if domains[a.0].restrict_max(bhi)? {
+                changed.push(*a);
+            }
+            let alo = domains[a.0].min();
+            if domains[b.0].restrict_min(alo)? {
+                changed.push(*b);
+            }
+            Ok(())
+        }
+        Constraint::In { var, values } => {
+            if domains[var.0].restrict_to(values)? {
+                changed.push(*var);
+            }
+            Ok(())
+        }
+        Constraint::Select { out, index, choices } => {
+            filter_select(*out, *index, choices, domains, changed)
+        }
+    }
+}
+
+/// Saturating non-negative product used for interval bounds.
+fn sat_prod(vals: impl Iterator<Item = i64>) -> i64 {
+    let mut p: i64 = 1;
+    for v in vals {
+        p = p.saturating_mul(v);
+        if p == i64::MAX {
+            return i64::MAX;
+        }
+    }
+    p
+}
+
+fn filter_prod(
+    out: VarRef,
+    factors: &[VarRef],
+    domains: &mut [Domain],
+    changed: &mut Vec<VarRef>,
+) -> Result<(), ()> {
+    // Bounds for the product.
+    let lo = sat_prod(factors.iter().map(|f| domains[f.0].min()));
+    let hi = sat_prod(factors.iter().map(|f| domains[f.0].max()));
+    if domains[out.0].restrict_min(lo)? {
+        changed.push(out);
+    }
+    if hi < i64::MAX && domains[out.0].restrict_max(hi)? {
+        changed.push(out);
+    }
+    let out_lo = domains[out.0].min();
+    let out_hi = domains[out.0].max();
+    let out_fixed = domains[out.0].fixed_value();
+
+    for (i, f) in factors.iter().enumerate() {
+        let others_lo = sat_prod(
+            factors.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, g)| domains[g.0].min()),
+        );
+        let others_hi = sat_prod(
+            factors.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, g)| domains[g.0].max()),
+        );
+        if others_hi > 0 && others_hi < i64::MAX {
+            let min_f = out_lo.div_euclid(others_hi)
+                + i64::from(out_lo.rem_euclid(others_hi) != 0);
+            if domains[f.0].restrict_min(min_f)? {
+                changed.push(*f);
+            }
+        }
+        if others_lo > 0 {
+            let max_f = out_hi / others_lo;
+            if domains[f.0].restrict_max(max_f)? {
+                changed.push(*f);
+            }
+        }
+        // Divisibility: with a fixed positive product, every factor divides it.
+        if let Some(p) = out_fixed {
+            if p > 0 {
+                if let Domain::Values(vals) = &domains[f.0] {
+                    if vals.iter().any(|&v| v == 0 || p % v != 0) {
+                        let kept: Vec<i64> =
+                            vals.iter().copied().filter(|&v| v != 0 && p % v == 0).collect();
+                        if kept.is_empty() {
+                            return Err(());
+                        }
+                        domains[f.0] = Domain::Values(kept);
+                        changed.push(*f);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn filter_sum(
+    out: VarRef,
+    terms: &[VarRef],
+    domains: &mut [Domain],
+    changed: &mut Vec<VarRef>,
+) -> Result<(), ()> {
+    let lo: i64 = terms.iter().map(|t| domains[t.0].min()).sum();
+    let hi: i64 = terms.iter().map(|t| domains[t.0].max()).sum();
+    if domains[out.0].restrict_min(lo)? {
+        changed.push(out);
+    }
+    if domains[out.0].restrict_max(hi)? {
+        changed.push(out);
+    }
+    let out_lo = domains[out.0].min();
+    let out_hi = domains[out.0].max();
+    for (i, t) in terms.iter().enumerate() {
+        let others_lo: i64 = terms
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, g)| domains[g.0].min())
+            .sum();
+        let others_hi: i64 = terms
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, g)| domains[g.0].max())
+            .sum();
+        if domains[t.0].restrict_min(out_lo - others_hi)?.max(false) {
+            changed.push(*t);
+        }
+        if domains[t.0].restrict_max(out_hi - others_lo)? {
+            changed.push(*t);
+        }
+    }
+    Ok(())
+}
+
+fn filter_select(
+    out: VarRef,
+    index: VarRef,
+    choices: &[VarRef],
+    domains: &mut [Domain],
+    changed: &mut Vec<VarRef>,
+) -> Result<(), ()> {
+    let n = choices.len() as i64;
+    if domains[index.0].restrict_min(0)? {
+        changed.push(index);
+    }
+    if domains[index.0].restrict_max(n - 1)? {
+        changed.push(index);
+    }
+    // Prune indices whose choice cannot overlap the output (bounds check).
+    let out_lo = domains[out.0].min();
+    let out_hi = domains[out.0].max();
+    let feasible: Vec<i64> = domains[index.0]
+        .iter_values()
+        .filter(|&i| {
+            let d = &domains[choices[i as usize].0];
+            d.max() >= out_lo && d.min() <= out_hi
+        })
+        .collect();
+    if feasible.is_empty() {
+        return Err(());
+    }
+    if feasible.len() as u64 != domains[index.0].size() {
+        domains[index.0] = Domain::Values(feasible.clone());
+        changed.push(index);
+    }
+    // Output bounds from remaining choices.
+    let lo = feasible.iter().map(|&i| domains[choices[i as usize].0].min()).min().expect("nonempty");
+    let hi = feasible.iter().map(|&i| domains[choices[i as usize].0].max()).max().expect("nonempty");
+    if domains[out.0].restrict_min(lo)? {
+        changed.push(out);
+    }
+    if domains[out.0].restrict_max(hi)? {
+        changed.push(out);
+    }
+    // Fixed index degenerates to EQ.
+    if let Some(i) = domains[index.0].fixed_value() {
+        let ch = choices[i as usize];
+        let dch = domains[ch.0].clone();
+        if domains[out.0].intersect(&dch)? {
+            changed.push(out);
+        }
+        let dout = domains[out.0].clone();
+        if domains[ch.0].intersect(&dout)? {
+            changed.push(ch);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::VarCategory;
+
+    #[test]
+    fn prod_fixes_last_factor() {
+        let mut csp = Csp::new();
+        let n = csp.add_const("n", 24);
+        let a = csp.add_var("a", Domain::values([2]), VarCategory::Tunable);
+        let b = csp.add_var("b", Domain::values([1, 2, 3, 4, 6, 12, 24]), VarCategory::Tunable);
+        csp.post_prod(n, vec![a, b]);
+        let p = Propagator::new(&csp);
+        let mut d = p.initial_domains();
+        p.run_all(&mut d).expect("feasible");
+        assert_eq!(d[b.0].fixed_value(), Some(12));
+    }
+
+    #[test]
+    fn prod_divisibility_filter() {
+        let mut csp = Csp::new();
+        let n = csp.add_const("n", 12);
+        let a = csp.add_var("a", Domain::values([1, 2, 3, 4, 5, 6, 7, 8, 12]), VarCategory::Tunable);
+        let b = csp.add_var("b", Domain::range(1, 12), VarCategory::Other);
+        csp.post_prod(n, vec![a, b]);
+        let p = Propagator::new(&csp);
+        let mut d = p.initial_domains();
+        p.run_all(&mut d).expect("feasible");
+        // 5, 7, 8 do not divide 12
+        assert_eq!(
+            d[a.0].iter_values().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 6, 12]
+        );
+    }
+
+    #[test]
+    fn sum_bounds() {
+        let mut csp = Csp::new();
+        let total = csp.add_var("t", Domain::range(0, 100), VarCategory::Other);
+        let a = csp.add_var("a", Domain::range(10, 60), VarCategory::Other);
+        let b = csp.add_var("b", Domain::range(20, 70), VarCategory::Other);
+        csp.post_sum(total, vec![a, b]);
+        let limit = csp.add_const("lim", 50);
+        csp.post_le(total, limit);
+        let p = Propagator::new(&csp);
+        let mut d = p.initial_domains();
+        p.run_all(&mut d).expect("feasible");
+        // a + b <= 50 with b >= 20 forces a <= 30
+        assert!(d[a.0].max() <= 30);
+        assert!(d[b.0].max() <= 40);
+        assert!(d[total.0].min() >= 30);
+    }
+
+    #[test]
+    fn le_infeasible_detected() {
+        let mut csp = Csp::new();
+        let a = csp.add_var("a", Domain::range(10, 20), VarCategory::Other);
+        let b = csp.add_var("b", Domain::range(0, 5), VarCategory::Other);
+        csp.post_le(a, b);
+        let p = Propagator::new(&csp);
+        let mut d = p.initial_domains();
+        assert_eq!(p.run_all(&mut d), Err(Infeasible));
+    }
+
+    #[test]
+    fn select_prunes_index_and_out() {
+        let mut csp = Csp::new();
+        let c0 = csp.add_const("c0", 5);
+        let c1 = csp.add_const("c1", 50);
+        let c2 = csp.add_const("c2", 500);
+        let idx = csp.add_var("idx", Domain::values([0, 1, 2]), VarCategory::Tunable);
+        let out = csp.add_var("out", Domain::range(10, 100), VarCategory::Other);
+        csp.post_select(out, idx, vec![c0, c1, c2]);
+        let p = Propagator::new(&csp);
+        let mut d = p.initial_domains();
+        p.run_all(&mut d).expect("feasible");
+        // Only choice 1 (=50) fits in [10, 100].
+        assert_eq!(d[idx.0].fixed_value(), Some(1));
+        assert_eq!(d[out.0].fixed_value(), Some(50));
+    }
+
+    #[test]
+    fn eq_intersects_both_sides() {
+        let mut csp = Csp::new();
+        let a = csp.add_var("a", Domain::values([1, 2, 3, 4]), VarCategory::Other);
+        let b = csp.add_var("b", Domain::values([3, 4, 5, 6]), VarCategory::Other);
+        csp.post_eq(a, b);
+        let p = Propagator::new(&csp);
+        let mut d = p.initial_domains();
+        p.run_all(&mut d).expect("feasible");
+        assert_eq!(d[a.0], Domain::values([3, 4]));
+        assert_eq!(d[b.0], Domain::values([3, 4]));
+    }
+
+    #[test]
+    fn chained_propagation_fixes_after_branching() {
+        // x * y == 64, x == y: propagation alone is bounds-consistent and
+        // keeps the divisor domains, but fixing x must immediately fix y.
+        let mut csp = Csp::new();
+        let n = csp.add_const("n", 64);
+        let x = csp.add_var("x", Domain::divisors_of(64), VarCategory::Tunable);
+        let y = csp.add_var("y", Domain::divisors_of(64), VarCategory::Tunable);
+        csp.post_prod(n, vec![x, y]);
+        csp.post_eq(x, y);
+        let p = Propagator::new(&csp);
+        let mut d = p.initial_domains();
+        p.run_all(&mut d).expect("feasible");
+        d[x.0].fix(8).expect("8 is a divisor");
+        p.run_from(&mut d, x).expect("feasible");
+        assert_eq!(d[y.0].fixed_value(), Some(8));
+        // An inconsistent branch is rejected.
+        let mut d2 = p.initial_domains();
+        p.run_all(&mut d2).expect("feasible");
+        d2[x.0].fix(4).expect("4 is a divisor");
+        assert_eq!(p.run_from(&mut d2, x), Err(Infeasible));
+    }
+}

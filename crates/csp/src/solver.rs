@@ -1,0 +1,244 @@
+//! `RandSAT`: randomised constraint satisfaction.
+//!
+//! The paper's explorer needs two primitives from its CSP solver:
+//! *validate* (is a concrete assignment a solution?) and *sample* (return
+//! multiple random, valid, concrete assignments). Sampling is implemented
+//! as propagation-guided backtracking search with randomised variable and
+//! value order, restarted per requested sample.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::domain::Domain;
+use crate::problem::{Csp, Solution, VarRef};
+use crate::propagate::Propagator;
+
+/// Checks a complete assignment against every declared domain and every
+/// posted constraint.
+pub fn validate(csp: &Csp, sol: &Solution) -> bool {
+    if sol.values().len() != csp.num_vars() {
+        return false;
+    }
+    for (r, decl) in csp.vars() {
+        if !decl.domain.contains(sol.value(r)) {
+            return false;
+        }
+    }
+    let env = |r: VarRef| sol.value(r);
+    csp.constraints().iter().all(|c| c.check(&env))
+}
+
+/// Draws up to `n` *distinct* random solutions of `csp`.
+///
+/// Returns fewer than `n` (possibly zero) solutions if the problem is
+/// infeasible or the per-sample backtracking budget is exhausted — callers
+/// treat an empty result as "space wiped out", mirroring how or-tools is
+/// used in the paper.
+pub fn rand_sat<R: Rng>(csp: &Csp, rng: &mut R, n: usize) -> Vec<Solution> {
+    rand_sat_with_budget(csp, rng, n, 2_000)
+}
+
+/// [`rand_sat`] with an explicit per-sample backtracking budget.
+pub fn rand_sat_with_budget<R: Rng>(
+    csp: &Csp,
+    rng: &mut R,
+    n: usize,
+    budget: u32,
+) -> Vec<Solution> {
+    let prop = Propagator::new(csp);
+    let mut root = prop.initial_domains();
+    if prop.run_all(&mut root).is_err() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    // Give each requested sample a few attempts before giving up, so that a
+    // handful of unlucky random walks does not starve the population.
+    let mut attempts = n * 3;
+    while out.len() < n && attempts > 0 {
+        attempts -= 1;
+        let mut fails = budget;
+        if let Some(sol) = search_one(csp, &prop, &root, rng, &mut fails) {
+            debug_assert!(validate(csp, &sol), "search produced an invalid solution");
+            if seen.insert(sol.fingerprint()) {
+                out.push(sol);
+            }
+        }
+    }
+    out
+}
+
+/// One randomised dive with chronological backtracking.
+fn search_one<R: Rng>(
+    csp: &Csp,
+    prop: &Propagator<'_>,
+    root: &[Domain],
+    rng: &mut R,
+    fails: &mut u32,
+) -> Option<Solution> {
+    // Branch order: tunables in random order, then everything else in
+    // declaration order (those are functionally determined in well-formed
+    // Heron spaces, so they rarely need branching).
+    let mut order = csp.tunables();
+    order.shuffle(rng);
+    for (r, _) in csp.vars() {
+        if !order.contains(&r) {
+            order.push(r);
+        }
+    }
+    let mut domains = root.to_vec();
+    dive(csp, prop, &mut domains, &order, 0, rng, fails)
+}
+
+fn dive<R: Rng>(
+    csp: &Csp,
+    prop: &Propagator<'_>,
+    domains: &mut [Domain],
+    order: &[VarRef],
+    depth: usize,
+    rng: &mut R,
+    fails: &mut u32,
+) -> Option<Solution> {
+    // Find the next unfixed variable at or after `depth`.
+    let mut d = depth;
+    while d < order.len() && domains[order[d].0].is_fixed() {
+        d += 1;
+    }
+    if d == order.len() {
+        // Propagation is deliberately incomplete (bounds consistency), so a
+        // fully fixed assignment must still pass the exact check.
+        let values: Vec<i64> = domains.iter().map(|dom| dom.min()).collect();
+        let sol = Solution::new(values);
+        if validate(csp, &sol) {
+            return Some(sol);
+        }
+        *fails = fails.saturating_sub(1);
+        return None;
+    }
+    let var = order[d];
+    let is_tunable = csp.tunables().contains(&var);
+    let candidates: Vec<i64> = match &domains[var.0] {
+        Domain::Values(v) => {
+            let mut v = v.clone();
+            v.shuffle(rng);
+            v
+        }
+        Domain::Range { lo, hi } => {
+            // Auxiliary range variable still unfixed: try a random value and
+            // the bounds. Occurs only for slack-like variables.
+            let mut v = vec![*lo, *hi];
+            if hi > lo {
+                v.push(rng.random_range(*lo..=*hi));
+            }
+            v.dedup();
+            v
+        }
+    };
+    let try_limit = if is_tunable { candidates.len() } else { candidates.len().min(4) };
+    for &val in candidates.iter().take(try_limit) {
+        if *fails == 0 {
+            return None;
+        }
+        let mut trial = domains.to_vec();
+        if trial[var.0].fix(val).is_ok() && prop.run_from(&mut trial, var).is_ok() {
+            let mut trial = trial;
+            if let Some(sol) = dive(csp, prop, &mut trial, order, d + 1, rng, fails) {
+                return Some(sol);
+            }
+        }
+        *fails = fails.saturating_sub(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::VarCategory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A miniature tiling space: i0 * i1 * i2 == 64, i1 * i2 <= 32,
+    /// vec ∈ {1,2,4,8}, vec <= i2.
+    fn tiling_csp() -> (Csp, [VarRef; 4]) {
+        let mut csp = Csp::new();
+        let n = csp.add_const("n", 64);
+        let i0 = csp.add_var("i0", Domain::divisors_of(64), VarCategory::Tunable);
+        let i1 = csp.add_var("i1", Domain::divisors_of(64), VarCategory::Tunable);
+        let i2 = csp.add_var("i2", Domain::divisors_of(64), VarCategory::Tunable);
+        csp.post_prod(n, vec![i0, i1, i2]);
+        let inner = csp.add_var("inner", Domain::range(1, 4096), VarCategory::Other);
+        csp.post_prod(inner, vec![i1, i2]);
+        let cap = csp.add_const("cap", 32);
+        csp.post_le(inner, cap);
+        let vec = csp.add_var("vec", Domain::values([1, 2, 4, 8]), VarCategory::Tunable);
+        csp.post_le(vec, i2);
+        (csp, [i0, i1, i2, vec])
+    }
+
+    #[test]
+    fn solutions_satisfy_all_constraints() {
+        let (csp, [i0, i1, i2, vec]) = tiling_csp();
+        let mut rng = StdRng::seed_from_u64(42);
+        let sols = rand_sat(&csp, &mut rng, 32);
+        assert!(sols.len() >= 16, "expected many solutions, got {}", sols.len());
+        for s in &sols {
+            assert!(validate(&csp, s));
+            assert_eq!(s.value(i0) * s.value(i1) * s.value(i2), 64);
+            assert!(s.value(i1) * s.value(i2) <= 32);
+            assert!(s.value(vec) <= s.value(i2));
+        }
+    }
+
+    #[test]
+    fn solutions_are_distinct_and_diverse() {
+        let (csp, [i0, ..]) = tiling_csp();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sols = rand_sat(&csp, &mut rng, 24);
+        let fps: std::collections::HashSet<u64> = sols.iter().map(|s| s.fingerprint()).collect();
+        assert_eq!(fps.len(), sols.len(), "duplicate solutions returned");
+        let i0_values: std::collections::HashSet<i64> =
+            sols.iter().map(|s| s.value(i0)).collect();
+        assert!(i0_values.len() > 1, "sampling is not random");
+    }
+
+    #[test]
+    fn infeasible_returns_empty() {
+        let mut csp = Csp::new();
+        let a = csp.add_var("a", Domain::values([2, 3]), VarCategory::Tunable);
+        csp.post_in(a, [7, 9]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(rand_sat(&csp, &mut rng, 4).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length_and_values() {
+        let (csp, _) = tiling_csp();
+        assert!(!validate(&csp, &Solution::new(vec![1, 2])));
+        let mut rng = StdRng::seed_from_u64(3);
+        let sols = rand_sat(&csp, &mut rng, 1);
+        let s = &sols[0];
+        let mut bad = s.values().to_vec();
+        bad[1] += 1; // break PROD
+        assert!(!validate(&csp, &Solution::new(bad)));
+    }
+
+    #[test]
+    fn select_spaces_are_solvable() {
+        // Mimics Rule-C4: stage2 length depends on a location parameter.
+        let mut csp = Csp::new();
+        let l1 = csp.add_const("l1", 4);
+        let l2 = csp.add_const("l2", 16);
+        let l3 = csp.add_const("l3", 64);
+        let loc = csp.add_var("loc", Domain::values([0, 1, 2]), VarCategory::Tunable);
+        let len = csp.add_var("len", Domain::range(1, 64), VarCategory::LoopLength);
+        csp.post_select(len, loc, vec![l1, l2, l3]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let sols = rand_sat(&csp, &mut rng, 16);
+        assert!(!sols.is_empty());
+        for s in &sols {
+            let expected = [4, 16, 64][s.value(loc) as usize];
+            assert_eq!(s.value(len), expected);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests of the CSP engine: solver soundness against a
+//! brute-force oracle on randomly generated small problems.
+
+use heron_csp::propagate::Propagator;
+use heron_csp::{rand_sat, validate, Constraint, Csp, Domain, Solution, VarCategory, VarRef};
+use proptest::prelude::*;
+
+/// A small random CSP description we can brute-force.
+#[derive(Debug, Clone)]
+struct SmallCsp {
+    domains: Vec<Vec<i64>>,
+    constraints: Vec<Constraint>,
+}
+
+impl SmallCsp {
+    fn build(&self) -> Csp {
+        let mut csp = Csp::new();
+        for (i, d) in self.domains.iter().enumerate() {
+            csp.add_var(
+                format!("v{i}"),
+                Domain::values(d.iter().copied()),
+                VarCategory::Tunable,
+            );
+        }
+        for c in &self.constraints {
+            csp.post(c.clone());
+        }
+        csp
+    }
+
+    /// All solutions by exhaustive enumeration.
+    fn brute_force(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        let mut current = vec![0i64; self.domains.len()];
+        self.enumerate(0, &mut current, &mut out);
+        out
+    }
+
+    fn enumerate(&self, idx: usize, current: &mut Vec<i64>, out: &mut Vec<Vec<i64>>) {
+        if idx == self.domains.len() {
+            let env = |r: VarRef| current[r.0];
+            if self.constraints.iter().all(|c| c.check(&env)) {
+                out.push(current.clone());
+            }
+            return;
+        }
+        for &v in &self.domains[idx] {
+            current[idx] = v;
+            self.enumerate(idx + 1, current, out);
+        }
+    }
+}
+
+fn small_domain() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::btree_set(0i64..6, 1..4).prop_map(|s| s.into_iter().collect())
+}
+
+fn constraint(nvars: usize) -> impl Strategy<Value = Constraint> {
+    let var = 0..nvars;
+    let var2 = 0..nvars;
+    let var3 = 0..nvars;
+    prop_oneof![
+        (var.clone(), var2.clone(), var3.clone()).prop_map(|(o, a, b)| Constraint::Prod {
+            out: VarRef(o),
+            factors: vec![VarRef(a), VarRef(b)],
+        }),
+        (var.clone(), var2.clone(), var3.clone()).prop_map(|(o, a, b)| Constraint::Sum {
+            out: VarRef(o),
+            terms: vec![VarRef(a), VarRef(b)],
+        }),
+        (var.clone(), var2.clone()).prop_map(|(a, b)| Constraint::Eq(VarRef(a), VarRef(b))),
+        (var.clone(), var2.clone()).prop_map(|(a, b)| Constraint::Le(VarRef(a), VarRef(b))),
+        (var.clone(), proptest::collection::btree_set(0i64..6, 1..4)).prop_map(|(v, s)| {
+            Constraint::In { var: VarRef(v), values: s.into_iter().collect() }
+        }),
+        (var, var2, var3).prop_map(|(o, i, c)| Constraint::Select {
+            out: VarRef(o),
+            index: VarRef(i),
+            choices: vec![VarRef(c), VarRef(o)],
+        }),
+    ]
+}
+
+fn small_csp() -> impl Strategy<Value = SmallCsp> {
+    proptest::collection::vec(small_domain(), 2..5).prop_flat_map(|domains| {
+        let n = domains.len();
+        proptest::collection::vec(constraint(n), 0..4)
+            .prop_map(move |constraints| SmallCsp { domains: domains.clone(), constraints })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every solution RandSAT returns is a real solution.
+    #[test]
+    fn rand_sat_solutions_validate(small in small_csp(), seed in 0u64..1000) {
+        let csp = small.build();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        for sol in rand_sat(&csp, &mut rng, 8) {
+            prop_assert!(validate(&csp, &sol));
+        }
+    }
+
+    /// RandSAT is complete on satisfiable small problems (finds at least
+    /// one solution when brute force does).
+    #[test]
+    fn rand_sat_finds_solutions_when_they_exist(small in small_csp(), seed in 0u64..1000) {
+        let solutions = small.brute_force();
+        let csp = small.build();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let found = rand_sat(&csp, &mut rng, 4);
+        if !solutions.is_empty() {
+            prop_assert!(!found.is_empty(), "solver missed a satisfiable problem");
+        } else {
+            prop_assert!(found.is_empty(), "solver invented a solution");
+        }
+    }
+
+    /// Propagation is sound: it never removes a value that appears in some
+    /// brute-force solution, and only reports infeasibility for truly
+    /// unsatisfiable problems.
+    #[test]
+    fn propagation_is_sound(small in small_csp()) {
+        let solutions = small.brute_force();
+        let csp = small.build();
+        let prop = Propagator::new(&csp);
+        let mut domains = prop.initial_domains();
+        match prop.run_all(&mut domains) {
+            Err(_) => prop_assert!(solutions.is_empty(), "propagation wiped a satisfiable problem"),
+            Ok(()) => {
+                for sol in &solutions {
+                    for (i, &v) in sol.iter().enumerate() {
+                        prop_assert!(
+                            domains[i].contains(v),
+                            "propagation removed value {v} of v{i} used by solution {sol:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// `validate` agrees with the brute-force membership test.
+    #[test]
+    fn validate_matches_brute_force(small in small_csp()) {
+        let solutions = small.brute_force();
+        let csp = small.build();
+        for sol in solutions.iter().take(16) {
+            prop_assert!(validate(&csp, &Solution::new(sol.clone())));
+        }
+    }
+
+    /// Serialisation round-trips arbitrary small CSPs exactly.
+    #[test]
+    fn serialization_roundtrip(small in small_csp()) {
+        let csp = small.build();
+        let text = heron_csp::to_text(&csp);
+        let back = heron_csp::from_text(&text).expect("parses its own output");
+        prop_assert_eq!(back.num_vars(), csp.num_vars());
+        prop_assert_eq!(back.num_constraints(), csp.num_constraints());
+        prop_assert_eq!(heron_csp::to_text(&back), text);
+        // Brute-force solution sets agree.
+        for sol in small.brute_force().into_iter().take(8) {
+            prop_assert!(validate(&back, &Solution::new(sol)));
+        }
+    }
+
+    /// Domain operations preserve the min/max envelope.
+    #[test]
+    fn domain_restrict_envelope(values in proptest::collection::btree_set(0i64..100, 1..12),
+                                lo in 0i64..100, hi in 0i64..100) {
+        let mut d = Domain::values(values.iter().copied());
+        let lo_bound = lo.min(hi);
+        let hi_bound = lo.max(hi);
+        let a = d.restrict_min(lo_bound);
+        if a.is_ok() {
+            let b = d.restrict_max(hi_bound);
+            if b.is_ok() {
+                prop_assert!(d.min() >= lo_bound);
+                prop_assert!(d.max() <= hi_bound);
+                for v in d.iter_values() {
+                    prop_assert!(values.contains(&v));
+                }
+            }
+        }
+    }
+}

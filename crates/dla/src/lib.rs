@@ -1,0 +1,40 @@
+//! DLA architecture specifications and the analytic DLA measurer.
+//!
+//! The paper evaluates on real silicon (NVIDIA V100/T4/A100 TensorCore,
+//! Intel DL Boost, TVM VTA). This crate substitutes a parameterised
+//! performance model: every architectural limit the paper lists in Table 3
+//! (intrinsic shapes, scratchpad capacities, vector widths, access-cycle
+//! rules) is encoded in a [`spec::DlaSpec`], and [`sim::Measurer`] evaluates
+//! a lowered [`heron_sched::Kernel`] against that spec.
+//!
+//! Two properties matter for reproducing the paper:
+//!
+//! * **Validity** — a kernel violating any architectural limit fails to
+//!   "compile/run" ([`sim::MeasureError`]), exactly like TVM on the real
+//!   device. Unconstrained tuners therefore waste most of their trials.
+//! * **Irregularity** — latency depends sharply on tile shape: bank
+//!   conflicts, occupancy cliffs, vector-width efficiency and wave
+//!   quantisation produce the jagged space of the paper's Figure 11.
+
+//! # Example
+//!
+//! ```
+//! use heron_dla::{v100, Measurer};
+//!
+//! let spec = v100();
+//! assert!(spec.allows_intrinsic(16, 16, 16));
+//! assert_eq!(spec.capacity(heron_sched::MemScope::Shared), Some(48 * 1024));
+//! let measurer = Measurer::new(spec);
+//! // `measurer.measure(&kernel)` validates the kernel against every
+//! // architectural constraint and returns its simulated latency.
+//! # let _ = measurer;
+//! ```
+
+pub mod platforms;
+pub mod sim;
+pub mod spec;
+
+pub use platforms::{a100, cambricon, dlboost, t4, tpu, v100, vta};
+pub use sim::energy::{EnergyEstimate, EnergyParams};
+pub use sim::{Analysis, Bound, MeasureError, Measurement, Measurer};
+pub use spec::{CpuParams, DlaFamily, DlaSpec, GpuParams, VtaParams};

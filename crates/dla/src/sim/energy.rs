@@ -1,0 +1,222 @@
+//! Energy model: estimates the energy one kernel execution consumes.
+//!
+//! DLAs exist to improve performance *and energy efficiency* (the paper's
+//! opening sentence), so the measurer also reports energy. The model is
+//! the standard architecture-textbook decomposition: per-op arithmetic
+//! energy, per-byte data-movement energy that grows with distance in the
+//! memory hierarchy, plus static (leakage + idle) power integrated over
+//! the kernel's runtime.
+
+use heron_sched::{Kernel, MemScope, StageRole};
+
+use crate::spec::{DlaFamily, DlaSpec};
+
+/// Energy cost table, picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per multiply-accumulate through the tensor unit, pJ.
+    pub pj_per_mac: f64,
+    /// Energy per scalar ALU op, pJ (scalar paths are less efficient).
+    pub pj_per_scalar_op: f64,
+    /// Energy per byte moved to/from off-chip memory, pJ.
+    pub pj_per_offchip_byte: f64,
+    /// Energy per byte moved within on-chip SPM/caches, pJ.
+    pub pj_per_onchip_byte: f64,
+    /// Static power, watts.
+    pub static_watts: f64,
+}
+
+impl EnergyParams {
+    /// Default parameters per platform family (45–16 nm class numbers from
+    /// the accelerator literature: DRAM ~100× an on-chip access, on-chip
+    /// ~10× a MAC).
+    pub fn for_spec(spec: &DlaSpec) -> Self {
+        match spec.family {
+            DlaFamily::Gpu(_) => EnergyParams {
+                pj_per_mac: 0.5,
+                pj_per_scalar_op: 2.0,
+                pj_per_offchip_byte: 20.0,
+                pj_per_onchip_byte: 1.0,
+                static_watts: 50.0,
+            },
+            DlaFamily::Cpu(_) => EnergyParams {
+                pj_per_mac: 1.0,
+                pj_per_scalar_op: 4.0,
+                pj_per_offchip_byte: 25.0,
+                pj_per_onchip_byte: 2.0,
+                static_watts: 30.0,
+            },
+            DlaFamily::Vta(_) => EnergyParams {
+                pj_per_mac: 0.3,
+                pj_per_scalar_op: 3.0,
+                pj_per_offchip_byte: 15.0,
+                pj_per_onchip_byte: 0.5,
+                static_watts: 2.0,
+            },
+        }
+    }
+}
+
+/// Energy breakdown of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Arithmetic energy, joules.
+    pub compute_j: f64,
+    /// Off-chip data-movement energy, joules.
+    pub offchip_j: f64,
+    /// On-chip data-movement energy, joules.
+    pub onchip_j: f64,
+    /// Static energy over the runtime, joules.
+    pub static_j: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.offchip_j + self.onchip_j + self.static_j
+    }
+
+    /// Energy efficiency in Gops/W given the kernel's useful work.
+    pub fn gops_per_watt(&self, total_flops: u64, latency_s: f64) -> f64 {
+        let watts = self.total_j() / latency_s.max(1e-12);
+        total_flops as f64 / 1e9 / latency_s.max(1e-12) / watts.max(1e-12)
+    }
+}
+
+/// Estimates the energy of one kernel execution.
+///
+/// `latency_s` is the measured latency (for the static term); the dynamic
+/// terms come from the kernel's own operation and traffic counts.
+pub fn estimate(spec: &DlaSpec, kernel: &Kernel, latency_s: f64) -> EnergyEstimate {
+    let p = EnergyParams::for_spec(spec);
+    let grid = kernel.grid.max(1) as f64;
+
+    let mut macs = 0.0;
+    let mut scalar_ops = 0.0;
+    let mut offchip_bytes = 0.0;
+    let mut onchip_bytes = 0.0;
+    for s in &kernel.stages {
+        match s.role {
+            StageRole::Compute => {
+                if let Some((m, n, k)) = s.intrinsic {
+                    macs += s.intrinsic_execs as f64 * (m * n * k) as f64 * grid;
+                } else {
+                    scalar_ops += s.scalar_ops as f64 * grid;
+                }
+            }
+            StageRole::Load | StageRole::Store => {
+                let bytes = s.bytes_per_block() as f64 * grid;
+                if s.src_scope == MemScope::Global || s.dst_scope == MemScope::Global {
+                    offchip_bytes += bytes;
+                } else {
+                    onchip_bytes += bytes;
+                }
+                // Every off-chip transfer also lands in an on-chip buffer.
+                if s.src_scope == MemScope::Global && s.dst_scope.is_spm() {
+                    onchip_bytes += bytes;
+                }
+            }
+        }
+    }
+
+    EnergyEstimate {
+        compute_j: (macs * p.pj_per_mac + scalar_ops * p.pj_per_scalar_op) * 1e-12,
+        offchip_j: offchip_bytes * p.pj_per_offchip_byte * 1e-12,
+        onchip_j: onchip_bytes * p.pj_per_onchip_byte * 1e-12,
+        static_j: p.static_watts * latency_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::v100;
+    use heron_sched::{KernelBuffer, KernelStage};
+    use heron_tensor::DType;
+
+    fn kernel(intrin_execs: i64, load_elems: i64) -> Kernel {
+        Kernel {
+            dla: "v100".into(),
+            workload: "e".into(),
+            total_flops: (intrin_execs * 8192 * 64).max(1) as u64,
+            grid: 64,
+            threads: 8,
+            stages: vec![
+                KernelStage {
+                    name: "A.shared".into(),
+                    role: StageRole::Load,
+                    src_scope: MemScope::Global,
+                    dst_scope: MemScope::Shared,
+                    dtype: DType::F16,
+                    elems: load_elems,
+                    execs: 8,
+                    vector: 8,
+                    align_pad: 0,
+                    row_elems: 32,
+                    intrinsic: None,
+                    intrinsic_execs: 0,
+                    scalar_ops: 0,
+                    unroll: 0,
+                },
+                KernelStage {
+                    name: "C".into(),
+                    role: StageRole::Compute,
+                    src_scope: MemScope::FragA,
+                    dst_scope: MemScope::FragAcc,
+                    dtype: DType::F16,
+                    elems: 0,
+                    execs: 1,
+                    vector: 1,
+                    align_pad: 0,
+                    row_elems: 0,
+                    intrinsic: Some((16, 16, 16)),
+                    intrinsic_execs: intrin_execs,
+                    scalar_ops: 0,
+                    unroll: 0,
+                },
+            ],
+            buffers: vec![KernelBuffer {
+                name: "A".into(),
+                scope: MemScope::Shared,
+                bytes: 4096,
+            }],
+            fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn more_work_costs_more_energy() {
+        let spec = v100();
+        let small = estimate(&spec, &kernel(128, 1024), 1e-4);
+        let big = estimate(&spec, &kernel(1024, 1024), 1e-4);
+        assert!(big.compute_j > small.compute_j);
+        assert_eq!(big.offchip_j, small.offchip_j);
+        assert!(big.total_j() > small.total_j());
+    }
+
+    #[test]
+    fn more_traffic_costs_more_energy() {
+        let spec = v100();
+        let light = estimate(&spec, &kernel(512, 512), 1e-4);
+        let heavy = estimate(&spec, &kernel(512, 8192), 1e-4);
+        assert!(heavy.offchip_j > light.offchip_j);
+        assert!(heavy.onchip_j > light.onchip_j, "global loads land in shared too");
+    }
+
+    #[test]
+    fn static_term_scales_with_runtime() {
+        let spec = v100();
+        let fast = estimate(&spec, &kernel(512, 1024), 1e-5);
+        let slow = estimate(&spec, &kernel(512, 1024), 1e-3);
+        assert!((slow.static_j / fast.static_j - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn efficiency_is_finite_and_positive() {
+        let spec = v100();
+        let k = kernel(2048, 4096);
+        let e = estimate(&spec, &k, 1e-4);
+        let eff = e.gops_per_watt(k.total_flops, 1e-4);
+        assert!(eff.is_finite() && eff > 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! TensorCore GPU performance model.
+//!
+//! First-order behaviour captured:
+//!
+//! * roofline balance between the tensor-core pipe, the global-memory pipe
+//!   and the shared-memory pipe, with imperfect overlap;
+//! * occupancy-driven latency hiding (resident warps per SM, limited by
+//!   shared memory and the warp budget);
+//! * vectorisation efficiency of global loads (128-bit transactions);
+//! * shared-memory bank conflicts as a function of row stride and the
+//!   `storage_align` padding;
+//! * wave quantisation (`ceil(grid / SMs)`) and launch overhead;
+//! * per-iteration issue overhead reduced by unrolling.
+
+use heron_sched::{Kernel, KernelStage, MemScope, StageRole};
+
+use crate::spec::GpuParams;
+use super::{gcd, MeasureError};
+
+/// GPU-specific launch validation.
+pub(super) fn validate(g: &GpuParams, kernel: &Kernel) -> Result<(), MeasureError> {
+    if kernel.threads > g.max_warps_per_block {
+        return Err(MeasureError::IllegalLaunch {
+            reason: format!(
+                "{} warps per block exceeds limit {}",
+                kernel.threads, g.max_warps_per_block
+            ),
+        });
+    }
+    // Accumulator register budget per warp, in bytes of the base 16x16
+    // fragment (the FragAcc scope capacity enforces the same limit for
+    // spaces that declare the buffer; this guards hand-built kernels too).
+    let frag_bytes = kernel.scope_bytes(MemScope::FragAcc) as i64;
+    let budget = g.max_acc_frags_per_warp * 16 * 16 * 4;
+    if frag_bytes > budget {
+        return Err(MeasureError::IllegalLaunch {
+            reason: format!(
+                "{frag_bytes} accumulator bytes per warp exceeds register budget {budget}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Bank-conflict multiplier for a shared-memory access stream with the
+/// given row length (elements), padding (elements) and element size.
+///
+/// Shared memory has 32 four-byte banks; a row stride whose word count
+/// shares a large power-of-two factor with 32 serialises accesses.
+pub(super) fn bank_conflict_factor(row_elems: i64, pad: i64, elem_bytes: u64) -> f64 {
+    if row_elems <= 0 {
+        return 1.0;
+    }
+    let stride_bytes = (row_elems + pad) * elem_bytes as i64;
+    let stride_words = (stride_bytes + 3) / 4;
+    gcd(stride_words, 32).clamp(1, 8) as f64
+}
+
+/// Efficiency of global-memory transactions at the given vector width.
+fn vector_efficiency(vector: i64, elem_bytes: u64) -> f64 {
+    let access_bytes = (vector.max(1) as u64 * elem_bytes) as f64;
+    (access_bytes / 16.0).clamp(0.125, 1.0)
+}
+
+fn touches(stage: &KernelStage, scope: MemScope) -> bool {
+    stage.src_scope == scope || stage.dst_scope == scope
+}
+
+/// Estimated total execution cycles for the kernel.
+pub(super) fn estimate_cycles(g: &GpuParams, kernel: &Kernel) -> f64 {
+    analyze(g, kernel).total_cycles
+}
+
+/// Full per-pipe breakdown (see [`super::Analysis`]).
+pub(super) fn analyze(g: &GpuParams, kernel: &Kernel) -> super::Analysis {
+    let warps = kernel.threads.max(1);
+    let smem_block = kernel.scope_bytes(MemScope::Shared).max(256);
+
+    // Residency: how many blocks fit on one SM.
+    let by_warps = g.max_warps_per_sm / warps;
+    let by_smem = (g.smem_per_sm / smem_block) as i64;
+    let blocks_per_sm = by_warps.min(by_smem).clamp(1, 32);
+    let resident_warps = (blocks_per_sm * warps) as f64;
+    // Latency hiding: ~16 resident warps saturate the pipes.
+    let hiding = (resident_warps / 16.0).clamp(0.25, 1.0);
+
+    // Each SM executes its queue of blocks serially; blocks on distinct SMs
+    // share the device-wide global-memory bandwidth.
+    let concurrent_blocks = kernel.grid.min(g.sms).max(1) as f64;
+    let gmem_bw_per_block = g.global_bw_bytes_per_cycle / concurrent_blocks;
+
+    let mut compute_cycles = 0.0;
+    let mut gmem_cycles = 0.0;
+    let mut smem_cycles = 0.0;
+    let mut overhead_cycles = 0.0;
+
+    for s in &kernel.stages {
+        match s.role {
+            StageRole::Compute => {
+                if let Some((m, n, k)) = s.intrinsic {
+                    let flops = s.intrinsic_execs as f64 * (2 * m * n * k) as f64;
+                    compute_cycles += flops / g.tensor_flops_per_cycle_sm;
+                    overhead_cycles += issue_overhead(s.intrinsic_execs, s.unroll, 4.0);
+                } else {
+                    compute_cycles += s.scalar_ops as f64 / g.cuda_flops_per_cycle_sm;
+                    overhead_cycles += issue_overhead(s.execs, s.unroll, 8.0);
+                }
+            }
+            StageRole::Load | StageRole::Store => {
+                let bytes = s.bytes_per_block() as f64;
+                if touches(s, MemScope::Global) {
+                    let eff = vector_efficiency(s.vector, s.dtype.bytes());
+                    gmem_cycles += bytes / (gmem_bw_per_block * eff * hiding).max(1e-9);
+                }
+                if touches(s, MemScope::Shared) {
+                    let conflict =
+                        bank_conflict_factor(s.row_elems, s.align_pad, s.dtype.bytes());
+                    smem_cycles +=
+                        bytes * conflict / (g.shared_bw_bytes_per_cycle_sm * hiding).max(1e-9);
+                }
+                overhead_cycles += issue_overhead(s.execs, s.unroll, 16.0);
+            }
+        }
+    }
+
+    let pipes = [compute_cycles, gmem_cycles, smem_cycles];
+    let max_pipe = pipes.iter().cloned().fold(0.0, f64::max);
+    let sum_pipe: f64 = pipes.iter().sum();
+    // Imperfect overlap of the three pipelines.
+    let block_cycles = max_pipe + 0.2 * (sum_pipe - max_pipe) + overhead_cycles;
+
+    let queue_depth = (kernel.grid as f64 / g.sms as f64).ceil().max(1.0);
+    let total = g.launch_overhead_cycles + queue_depth * block_cycles;
+
+    let bound = if max_pipe == 0.0 || overhead_cycles > max_pipe {
+        super::Bound::Overhead
+    } else if (compute_cycles - max_pipe).abs() < f64::EPSILON {
+        super::Bound::Compute
+    } else if (gmem_cycles - max_pipe).abs() < f64::EPSILON {
+        super::Bound::GlobalMemory
+    } else {
+        super::Bound::OnChipMemory
+    };
+    let mut notes = Vec::new();
+    if hiding < 1.0 {
+        notes.push(format!(
+            "latency hiding limited: {resident_warps:.0} resident warps ({blocks_per_sm} blocks/SM)"
+        ));
+    }
+    for st in &kernel.stages {
+        if st.row_elems > 0 {
+            let factor = bank_conflict_factor(st.row_elems, st.align_pad, st.dtype.bytes());
+            if factor > 1.0 && (st.src_scope == MemScope::Shared || st.dst_scope == MemScope::Shared) {
+                notes.push(format!("{}-way bank conflicts on {}", factor as i64, st.name));
+            }
+        }
+    }
+    super::Analysis {
+        total_cycles: total,
+        bound,
+        components: vec![
+            ("compute".into(), compute_cycles),
+            ("global-memory".into(), gmem_cycles),
+            ("on-chip-memory".into(), smem_cycles),
+            ("issue-overhead".into(), overhead_cycles),
+            ("launch".into(), g.launch_overhead_cycles),
+        ],
+        parallel_waves: queue_depth,
+        notes,
+    }
+}
+
+/// Per-execution issue overhead, amortised by unrolling.
+fn issue_overhead(execs: i64, unroll: i64, per_exec: f64) -> f64 {
+    let amortise = 1.0 + (unroll.clamp(0, 512) as f64) / 16.0;
+    execs.max(0) as f64 * per_exec / amortise
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+    use crate::spec::DlaFamily;
+    use heron_sched::{KernelBuffer, KernelStage};
+    use heron_tensor::DType;
+
+    fn gpu() -> GpuParams {
+        match platforms::v100().family {
+            DlaFamily::Gpu(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    fn stage(role: StageRole, src: MemScope, dst: MemScope) -> KernelStage {
+        KernelStage {
+            name: "s".into(),
+            role,
+            src_scope: src,
+            dst_scope: dst,
+            dtype: DType::F16,
+            elems: 4096,
+            execs: 8,
+            vector: 8,
+            align_pad: 0,
+            row_elems: 64,
+            intrinsic: None,
+            intrinsic_execs: 0,
+            scalar_ops: 0,
+            unroll: 0,
+        }
+    }
+
+    fn kernel(grid: i64, warps: i64) -> Kernel {
+        let mut comp = stage(StageRole::Compute, MemScope::FragA, MemScope::FragAcc);
+        comp.intrinsic = Some((16, 16, 16));
+        comp.intrinsic_execs = 1024;
+        Kernel {
+            dla: "v100".into(),
+            workload: "test".into(),
+            total_flops: 1 << 30,
+            grid,
+            threads: warps,
+            stages: vec![
+                stage(StageRole::Load, MemScope::Global, MemScope::Shared),
+                stage(StageRole::Load, MemScope::Shared, MemScope::FragA),
+                comp,
+                stage(StageRole::Store, MemScope::FragAcc, MemScope::Global),
+            ],
+            buffers: vec![KernelBuffer {
+                name: "A.shared".into(),
+                scope: MemScope::Shared,
+                bytes: 16 * 1024,
+            }],
+            fingerprint: 99,
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_respond_to_padding() {
+        // 64 f16 elements per row = 32 words: heavy conflicts.
+        let unpadded = bank_conflict_factor(64, 0, 2);
+        // Pad by 8 elements: 36 words, gcd(36,32)=4.
+        let padded8 = bank_conflict_factor(64, 8, 2);
+        // Pad by 2 elements: 33 words, conflict-free.
+        let padded2 = bank_conflict_factor(64, 2, 2);
+        assert!(unpadded > padded8, "{unpadded} vs {padded8}");
+        assert!(padded8 > padded2);
+        assert_eq!(padded2, 1.0);
+    }
+
+    #[test]
+    fn vector_width_speeds_up_loads() {
+        let g = gpu();
+        let mut wide = kernel(80, 8);
+        let mut narrow = kernel(80, 8);
+        wide.stages[0].vector = 8;
+        narrow.stages[0].vector = 1;
+        assert!(estimate_cycles(&g, &narrow) > estimate_cycles(&g, &wide));
+    }
+
+    #[test]
+    fn more_blocks_amortise_launch() {
+        let g = gpu();
+        // Same per-block work: more blocks ⇒ more waves ⇒ longer.
+        let small = estimate_cycles(&g, &kernel(80, 8));
+        let large = estimate_cycles(&g, &kernel(800, 8));
+        assert!(large > small);
+    }
+
+    #[test]
+    fn occupancy_cliff_when_smem_heavy() {
+        let g = gpu();
+        let mut light = kernel(160, 2);
+        let mut heavy = kernel(160, 2);
+        light.buffers[0].bytes = 8 * 1024; // 12 blocks/SM by smem
+        heavy.buffers[0].bytes = 48 * 1024; // 2 blocks/SM
+        // Per-block work identical; heavy loses latency hiding.
+        let lc = estimate_cycles(&g, &light);
+        let hc = estimate_cycles(&g, &heavy);
+        assert!(hc > lc, "expected occupancy penalty: {hc} <= {lc}");
+    }
+
+    #[test]
+    fn warp_limit_enforced() {
+        let g = gpu();
+        let k = kernel(80, 64);
+        assert!(matches!(validate(&g, &k), Err(MeasureError::IllegalLaunch { .. })));
+    }
+
+    #[test]
+    fn fragment_budget_enforced() {
+        let g = gpu();
+        let mut k = kernel(80, 8);
+        k.buffers.push(KernelBuffer {
+            name: "C.frag".into(),
+            scope: MemScope::FragAcc,
+            bytes: 64 * 16 * 16 * 4, // 64 fragments
+        });
+        assert!(matches!(validate(&g, &k), Err(MeasureError::IllegalLaunch { .. })));
+    }
+
+    #[test]
+    fn unroll_reduces_overhead() {
+        let g = gpu();
+        let mut rolled = kernel(80, 8);
+        let mut unrolled = kernel(80, 8);
+        for s in &mut rolled.stages {
+            s.unroll = 0;
+        }
+        for s in &mut unrolled.stages {
+            s.unroll = 64;
+        }
+        assert!(estimate_cycles(&g, &rolled) > estimate_cycles(&g, &unrolled));
+    }
+}

@@ -1,0 +1,377 @@
+//! The DLA measurer: validates a lowered kernel against the platform's
+//! architectural constraints and estimates its latency analytically.
+//!
+//! Validation failures model compilation / run-time errors on the real
+//! device; the estimate models the device's first-order performance
+//! behaviour (roofline compute/memory balance, occupancy, bank conflicts,
+//! vector efficiency, wave quantisation) plus a small deterministic
+//! configuration-dependent jitter so the space is irregular, as the paper's
+//! Figure 11 shows for real hardware.
+
+mod cpu;
+pub mod energy;
+mod gpu;
+mod vta;
+
+use std::fmt;
+
+use heron_sched::{Kernel, MemScope};
+
+use crate::spec::{DlaFamily, DlaSpec};
+
+/// Why a kernel cannot execute on the platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// An on-chip buffer exceeds its scope capacity.
+    CapacityExceeded {
+        /// Overflowing scope.
+        scope: MemScope,
+        /// Bytes requested.
+        used: u64,
+        /// Bytes available.
+        limit: u64,
+    },
+    /// The tensorized shape is not supported by the functional unit.
+    IllegalIntrinsic {
+        /// Requested intrinsic `m`.
+        m: i64,
+        /// Requested intrinsic `n`.
+        n: i64,
+        /// Requested intrinsic `k`.
+        k: i64,
+    },
+    /// A vectorised access width is not supported.
+    IllegalVector {
+        /// Requested width in elements.
+        len: i64,
+    },
+    /// Thread/block shape outside hardware limits.
+    IllegalLaunch {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// VTA-style accumulator access-cycle rule violated
+    /// (`min <= access_cycle`).
+    AccessCycleViolation {
+        /// Observed inner accumulation extent.
+        observed: i64,
+        /// Minimum required.
+        required: i64,
+    },
+    /// The platform requires a tensorized compute stage but none exists.
+    MissingIntrinsic,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::CapacityExceeded { scope, used, limit } => {
+                write!(f, "{scope} capacity exceeded: {used} > {limit} bytes")
+            }
+            MeasureError::IllegalIntrinsic { m, n, k } => {
+                write!(f, "illegal intrinsic shape ({m}, {n}, {k})")
+            }
+            MeasureError::IllegalVector { len } => {
+                write!(f, "illegal vector length {len}")
+            }
+            MeasureError::IllegalLaunch { reason } => write!(f, "illegal launch: {reason}"),
+            MeasureError::AccessCycleViolation { observed, required } => {
+                write!(f, "access cycle {observed} below required {required}")
+            }
+            MeasureError::MissingIntrinsic => {
+                write!(f, "platform requires a tensorized compute stage")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// What limits a kernel's performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// The arithmetic pipe (tensor cores / VNNI / GEMM unit) dominates.
+    Compute,
+    /// Off-chip memory (global memory / DRAM / DMA) dominates.
+    GlobalMemory,
+    /// On-chip memory (shared memory / L2 tiles) dominates.
+    OnChipMemory,
+    /// Instruction-issue / launch overheads dominate (tiles too fine).
+    Overhead,
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Bound::Compute => "compute-bound",
+            Bound::GlobalMemory => "off-chip-memory-bound",
+            Bound::OnChipMemory => "on-chip-memory-bound",
+            Bound::Overhead => "overhead-bound",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-pipe performance breakdown of one kernel (jitter-free trend).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Total estimated cycles.
+    pub total_cycles: f64,
+    /// The dominating resource.
+    pub bound: Bound,
+    /// Named cycle contributions (per block / task, before wave scaling).
+    pub components: Vec<(String, f64)>,
+    /// Serial waves of parallel work (queue depth / task count).
+    pub parallel_waves: f64,
+    /// Human-readable observations (occupancy limits, bank conflicts,
+    /// double-buffering state).
+    pub notes: Vec<String>,
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} — {:.0} cycles total, {:.0} parallel waves",
+            self.bound, self.total_cycles, self.parallel_waves
+        )?;
+        let max: f64 =
+            self.components.iter().map(|(_, c)| *c).fold(0.0, f64::max).max(1e-9);
+        for (name, cycles) in &self.components {
+            writeln!(
+                f,
+                "  {:<16} {:>12.0} cycles {}",
+                name,
+                cycles,
+                "#".repeat(((cycles / max) * 24.0).round() as usize)
+            )?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One measured data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Mean latency over the configured repeats, seconds.
+    pub latency_s: f64,
+    /// Useful throughput in Gops (`total_flops / latency`).
+    pub gflops: f64,
+}
+
+/// The DLA measurer: a simulated device plus a measurement protocol.
+#[derive(Debug, Clone)]
+pub struct Measurer {
+    spec: DlaSpec,
+    repeats: u32,
+    noise: f64,
+}
+
+impl Measurer {
+    /// Measurer with the paper's defaults: 3 repeated runs averaged, 1%
+    /// per-run measurement noise.
+    pub fn new(spec: DlaSpec) -> Self {
+        Measurer { spec, repeats: 3, noise: 0.01 }
+    }
+
+    /// Overrides the measurement protocol (repeats, per-run noise level).
+    pub fn with_protocol(mut self, repeats: u32, noise: f64) -> Self {
+        assert!(repeats >= 1, "at least one repeat");
+        self.repeats = repeats;
+        self.noise = noise;
+        self
+    }
+
+    /// The simulated platform.
+    pub fn spec(&self) -> &DlaSpec {
+        &self.spec
+    }
+
+    /// Checks every architectural constraint without estimating latency —
+    /// the "does it compile and run" question.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self, kernel: &Kernel) -> Result<(), MeasureError> {
+        if kernel.grid < 1 {
+            return Err(MeasureError::IllegalLaunch { reason: "empty grid".into() });
+        }
+        if kernel.threads < 1 {
+            return Err(MeasureError::IllegalLaunch { reason: "no threads".into() });
+        }
+        for (scope, limit) in &self.spec.capacities {
+            let used = kernel.scope_bytes(*scope);
+            if used > *limit {
+                return Err(MeasureError::CapacityExceeded { scope: *scope, used, limit: *limit });
+            }
+        }
+        for s in &kernel.stages {
+            if let Some((m, n, k)) = s.intrinsic {
+                if !self.spec.allows_intrinsic(m, n, k) {
+                    return Err(MeasureError::IllegalIntrinsic { m, n, k });
+                }
+            }
+            if s.vector > 1 && !self.spec.allows_vector(s.vector) {
+                return Err(MeasureError::IllegalVector { len: s.vector });
+            }
+        }
+        match &self.spec.family {
+            DlaFamily::Gpu(g) => gpu::validate(g, kernel)?,
+            DlaFamily::Cpu(c) => cpu::validate(c, kernel)?,
+            DlaFamily::Vta(v) => vta::validate(v, kernel)?,
+        }
+        Ok(())
+    }
+
+    /// Validates and explains a kernel: which resource bounds it and the
+    /// per-pipe cycle breakdown (jitter-free).
+    ///
+    /// # Errors
+    /// Returns [`MeasureError`] for any constraint violation.
+    pub fn analyze(&self, kernel: &Kernel) -> Result<Analysis, MeasureError> {
+        self.validate(kernel)?;
+        Ok(match &self.spec.family {
+            DlaFamily::Gpu(g) => gpu::analyze(g, kernel),
+            DlaFamily::Cpu(c) => cpu::analyze(c, kernel),
+            DlaFamily::Vta(v) => vta::analyze(v, kernel),
+        })
+    }
+
+    /// Validates, measures, and estimates the energy of a kernel.
+    ///
+    /// # Errors
+    /// Returns [`MeasureError`] for any constraint violation.
+    pub fn measure_with_energy(
+        &self,
+        kernel: &Kernel,
+    ) -> Result<(Measurement, energy::EnergyEstimate), MeasureError> {
+        let m = self.measure(kernel)?;
+        let e = energy::estimate(&self.spec, kernel, m.latency_s);
+        Ok((m, e))
+    }
+
+    /// Validates and measures a kernel, averaging `repeats` noisy runs.
+    ///
+    /// # Errors
+    /// Returns [`MeasureError`] for any constraint violation — the analogue
+    /// of a compile error or CUDA launch failure in the paper's pipeline.
+    pub fn measure(&self, kernel: &Kernel) -> Result<Measurement, MeasureError> {
+        self.validate(kernel)?;
+        let base_cycles = match &self.spec.family {
+            DlaFamily::Gpu(g) => gpu::estimate_cycles(g, kernel),
+            DlaFamily::Cpu(c) => cpu::estimate_cycles(c, kernel),
+            DlaFamily::Vta(v) => vta::estimate_cycles(v, kernel),
+        };
+        let clock_hz = match &self.spec.family {
+            DlaFamily::Gpu(g) => g.clock_ghz * 1e9,
+            DlaFamily::Cpu(c) => c.clock_ghz * 1e9,
+            DlaFamily::Vta(v) => v.clock_ghz * 1e9,
+        };
+        // Deterministic configuration jitter (fabrication/cache-set effects
+        // that make neighbouring configs differ on real silicon).
+        let config_jitter = 1.0 + 0.04 * signed_unit(hash2(kernel.fingerprint, 0x9e3779b97f4a7c15));
+        // Averaged measurement noise.
+        let mut acc = 0.0;
+        for r in 0..self.repeats {
+            let run_noise = 1.0 + self.noise * signed_unit(hash2(kernel.fingerprint, r as u64 + 1));
+            acc += base_cycles * config_jitter * run_noise;
+        }
+        let cycles = acc / self.repeats as f64;
+        let latency_s = cycles / clock_hz;
+        Ok(Measurement { latency_s, gflops: kernel.total_flops as f64 / latency_s / 1e9 })
+    }
+}
+
+/// SplitMix64-style hash combination.
+pub(crate) fn hash2(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to `[-1, 1]`.
+pub(crate) fn signed_unit(h: u64) -> f64 {
+    (h % 2_000_001) as f64 / 1_000_000.0 - 1.0
+}
+
+/// Greatest common divisor (for the bank-conflict model).
+pub(crate) fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heron_sched::{KernelBuffer, KernelStage, StageRole};
+    use heron_tensor::DType;
+
+    #[test]
+    fn analyze_identifies_compute_bound_kernels() {
+        let comp = KernelStage {
+            name: "C".into(),
+            role: StageRole::Compute,
+            src_scope: MemScope::FragA,
+            dst_scope: MemScope::FragAcc,
+            dtype: DType::F16,
+            elems: 0,
+            execs: 1,
+            vector: 1,
+            align_pad: 0,
+            row_elems: 0,
+            intrinsic: Some((16, 16, 16)),
+            intrinsic_execs: 1 << 16,
+            scalar_ops: 0,
+            unroll: 512,
+        };
+        let k = Kernel {
+            dla: "v100".into(),
+            workload: "t".into(),
+            total_flops: 1 << 30,
+            grid: 80,
+            threads: 8,
+            stages: vec![comp],
+            buffers: vec![KernelBuffer {
+                name: "A".into(),
+                scope: MemScope::Shared,
+                bytes: 8 * 1024,
+            }],
+            fingerprint: 1,
+        };
+        let m = Measurer::new(crate::platforms::v100());
+        let a = m.analyze(&k).expect("valid kernel");
+        assert_eq!(a.bound, Bound::Compute);
+        assert!(a.total_cycles > 0.0);
+        let text = a.to_string();
+        assert!(text.contains("compute-bound"));
+        assert!(text.contains("compute"));
+        // Analysis matches the jitter-free trend of measure().
+        let meas = m.measure(&k).expect("valid");
+        let clock = 1.38e9;
+        let trend = a.total_cycles / clock;
+        assert!((meas.latency_s - trend).abs() / trend < 0.1);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(hash2(1, 2), hash2(1, 2));
+        assert_ne!(hash2(1, 2), hash2(2, 1));
+        let u = signed_unit(hash2(42, 7));
+        assert!((-1.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(36, 32), 4);
+        assert_eq!(gcd(33, 32), 1);
+        assert_eq!(gcd(0, 5), 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! VTA performance model (explicit-SRAM accelerator, single GEMM core).
+//!
+//! First-order behaviour captured:
+//!
+//! * DMA transfers between DRAM and the three SRAMs vs GEMM-unit compute;
+//! * double buffering: when every tile fits in *half* of its SRAM the
+//!   load/compute/store engines overlap, otherwise they serialise — this is
+//!   the crossover the multi-level tiling search has to find;
+//! * the accumulator access-cycle rule (`2 <= access_cycle`): the innermost
+//!   reduction extent (carried in the compute stage's `row_elems`) must give
+//!   the accumulator write port enough slack;
+//! * per-instruction issue overhead favouring coarse tiles.
+
+use heron_sched::{Kernel, MemScope, StageRole};
+
+use crate::spec::VtaParams;
+use super::MeasureError;
+
+/// VTA-specific validation.
+pub(super) fn validate(v: &VtaParams, kernel: &Kernel) -> Result<(), MeasureError> {
+    let comp = kernel
+        .stages
+        .iter()
+        .find(|s| s.role == StageRole::Compute)
+        .ok_or(MeasureError::MissingIntrinsic)?;
+    if comp.intrinsic.is_none() {
+        return Err(MeasureError::MissingIntrinsic);
+    }
+    // Accumulator access-cycle rule: the innermost accumulation loop extent
+    // (stored in row_elems by the generator) must be at least the minimum.
+    if comp.row_elems > 0 && comp.row_elems < v.min_access_cycle {
+        return Err(MeasureError::AccessCycleViolation {
+            observed: comp.row_elems,
+            required: v.min_access_cycle,
+        });
+    }
+    Ok(())
+}
+
+/// Estimated total execution cycles.
+pub(super) fn estimate_cycles(v: &VtaParams, kernel: &Kernel) -> f64 {
+    analyze(v, kernel).total_cycles
+}
+
+/// Full per-engine breakdown (see [`super::Analysis`]).
+pub(super) fn analyze(v: &VtaParams, kernel: &Kernel) -> super::Analysis {
+    let mut dma_in_cycles = 0.0;
+    let mut dma_out_cycles = 0.0;
+    let mut compute_cycles = 0.0;
+    let mut issue_cycles = 0.0;
+
+    for s in &kernel.stages {
+        match s.role {
+            StageRole::Compute => {
+                if let Some((m, n, k)) = s.intrinsic {
+                    let macs = s.intrinsic_execs as f64 * (m * n * k) as f64;
+                    compute_cycles += macs / v.macs_per_cycle;
+                } else {
+                    compute_cycles += s.scalar_ops as f64;
+                }
+                issue_cycles += s.intrinsic_execs.max(s.execs) as f64 * v.issue_overhead_cycles
+                    / (1.0 + s.unroll.clamp(0, 512) as f64 / 8.0);
+            }
+            StageRole::Load => {
+                dma_in_cycles += s.bytes_per_block() as f64 / v.dma_bytes_per_cycle;
+                issue_cycles += s.execs as f64 * v.issue_overhead_cycles;
+            }
+            StageRole::Store => {
+                dma_out_cycles += s.bytes_per_block() as f64 / v.dma_bytes_per_cycle;
+                issue_cycles += s.execs as f64 * v.issue_overhead_cycles;
+            }
+        }
+    }
+
+    // Double buffering only when every SRAM tile fits twice.
+    let double_buffered = [
+        (MemScope::VtaInput, v.input_buf_bytes),
+        (MemScope::VtaWeight, v.weight_buf_bytes),
+        (MemScope::VtaAcc, v.acc_buf_bytes),
+    ]
+    .iter()
+    .all(|(scope, cap)| kernel.scope_bytes(*scope) * 2 <= *cap);
+
+    let task_cycles = if double_buffered {
+        let pipes = [dma_in_cycles, compute_cycles, dma_out_cycles];
+        let max_pipe = pipes.iter().cloned().fold(0.0, f64::max);
+        let sum_pipe: f64 = pipes.iter().sum();
+        max_pipe + 0.1 * (sum_pipe - max_pipe)
+    } else {
+        dma_in_cycles + compute_cycles + dma_out_cycles
+    };
+
+    let total = kernel.grid.max(1) as f64 * (task_cycles + issue_cycles);
+    let dma = dma_in_cycles + dma_out_cycles;
+    let bound = if issue_cycles > compute_cycles.max(dma) {
+        super::Bound::Overhead
+    } else if compute_cycles >= dma {
+        super::Bound::Compute
+    } else {
+        super::Bound::GlobalMemory
+    };
+    let mut notes = Vec::new();
+    notes.push(if double_buffered {
+        "double buffering active (tiles fit in half of each SRAM)".to_string()
+    } else {
+        "double buffering DISABLED: tiles exceed half an SRAM, engines serialise".to_string()
+    });
+    super::Analysis {
+        total_cycles: total,
+        bound,
+        components: vec![
+            ("dma-in".into(), dma_in_cycles),
+            ("compute".into(), compute_cycles),
+            ("dma-out".into(), dma_out_cycles),
+            ("issue-overhead".into(), issue_cycles),
+        ],
+        parallel_waves: kernel.grid.max(1) as f64,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+    use crate::spec::DlaFamily;
+    use heron_sched::{KernelBuffer, KernelStage};
+    use heron_tensor::DType;
+
+    fn params() -> VtaParams {
+        match platforms::vta().family {
+            DlaFamily::Vta(v) => v,
+            _ => unreachable!(),
+        }
+    }
+
+    fn stage(name: &str, role: StageRole, src: MemScope, dst: MemScope, elems: i64) -> KernelStage {
+        KernelStage {
+            name: name.into(),
+            role,
+            src_scope: src,
+            dst_scope: dst,
+            dtype: DType::I8,
+            elems,
+            execs: 4,
+            vector: 16,
+            align_pad: 0,
+            row_elems: 16,
+            intrinsic: None,
+            intrinsic_execs: 0,
+            scalar_ops: 0,
+            unroll: 8,
+        }
+    }
+
+    fn kernel(input_tile_bytes: u64) -> Kernel {
+        let mut comp = stage("gemm", StageRole::Compute, MemScope::VtaInput, MemScope::VtaAcc, 0);
+        comp.intrinsic = Some((1, 16, 16));
+        comp.intrinsic_execs = 4096;
+        comp.row_elems = 4; // inner accumulation extent
+        Kernel {
+            dla: "vta".into(),
+            workload: "t".into(),
+            total_flops: 1 << 24,
+            grid: 8,
+            threads: 1,
+            stages: vec![
+                stage("ld.in", StageRole::Load, MemScope::Global, MemScope::VtaInput, 8192),
+                stage("ld.w", StageRole::Load, MemScope::Global, MemScope::VtaWeight, 8192),
+                comp,
+                stage("st", StageRole::Store, MemScope::VtaAcc, MemScope::Global, 4096),
+            ],
+            buffers: vec![
+                KernelBuffer {
+                    name: "in".into(),
+                    scope: MemScope::VtaInput,
+                    bytes: input_tile_bytes,
+                },
+                KernelBuffer { name: "w".into(), scope: MemScope::VtaWeight, bytes: 16 * 1024 },
+                KernelBuffer { name: "acc".into(), scope: MemScope::VtaAcc, bytes: 16 * 1024 },
+            ],
+            fingerprint: 3,
+        }
+    }
+
+    #[test]
+    fn double_buffering_overlaps() {
+        let v = params();
+        // Half-buffer tiles overlap; full-buffer tiles serialise.
+        let overlapped = estimate_cycles(&v, &kernel(8 * 1024));
+        let serialised = estimate_cycles(&v, &kernel(31 * 1024));
+        assert!(serialised > overlapped);
+    }
+
+    #[test]
+    fn access_cycle_rule_enforced() {
+        let v = params();
+        let mut k = kernel(8 * 1024);
+        for s in &mut k.stages {
+            if s.role == StageRole::Compute {
+                s.row_elems = 1;
+            }
+        }
+        assert!(matches!(
+            validate(&v, &k),
+            Err(MeasureError::AccessCycleViolation { observed: 1, required: 2 })
+        ));
+    }
+
+    #[test]
+    fn missing_intrinsic_rejected() {
+        let v = params();
+        let mut k = kernel(8 * 1024);
+        for s in &mut k.stages {
+            s.intrinsic = None;
+        }
+        assert_eq!(validate(&v, &k), Err(MeasureError::MissingIntrinsic));
+    }
+}

@@ -1,0 +1,224 @@
+//! Parameterised DLA architecture descriptions.
+
+use heron_sched::MemScope;
+use heron_tensor::DType;
+
+/// GPU-family parameters (TensorCore devices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuParams {
+    /// Number of streaming multiprocessors.
+    pub sms: i64,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Tensor-core throughput per SM, flops per cycle.
+    pub tensor_flops_per_cycle_sm: f64,
+    /// CUDA-core (non-tensorized) throughput per SM, flops per cycle.
+    pub cuda_flops_per_cycle_sm: f64,
+    /// Device-wide global-memory bandwidth, bytes per cycle.
+    pub global_bw_bytes_per_cycle: f64,
+    /// Shared-memory bandwidth per SM, bytes per cycle.
+    pub shared_bw_bytes_per_cycle_sm: f64,
+    /// Maximum warps per thread block.
+    pub max_warps_per_block: i64,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: i64,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u64,
+    /// Shared memory per block in bytes (the paper's 48 KiB constraint).
+    pub smem_per_block: u64,
+    /// Accumulator-fragment register budget per warp, in fragments of the
+    /// base intrinsic shape.
+    pub max_acc_frags_per_warp: i64,
+    /// Fixed kernel-launch overhead in cycles.
+    pub launch_overhead_cycles: f64,
+}
+
+/// CPU-family parameters (DL Boost / VNNI devices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuParams {
+    /// Physical cores.
+    pub cores: i64,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// VNNI multiply-accumulate throughput per core, ops (mul+add) per
+    /// cycle.
+    pub vnni_ops_per_cycle_core: f64,
+    /// Scalar/AVX fallback throughput per core, ops per cycle.
+    pub scalar_ops_per_cycle_core: f64,
+    /// L1 data cache per core, bytes.
+    pub l1_bytes: u64,
+    /// L2 cache per core, bytes.
+    pub l2_bytes: u64,
+    /// DRAM bandwidth, bytes per cycle (whole socket).
+    pub dram_bw_bytes_per_cycle: f64,
+    /// L2 bandwidth per core, bytes per cycle.
+    pub l2_bw_bytes_per_cycle_core: f64,
+    /// Task-spawn overhead in cycles.
+    pub spawn_overhead_cycles: f64,
+}
+
+/// VTA-family parameters (explicit-SRAM accelerator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VtaParams {
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// GEMM-unit multiply-accumulates per cycle.
+    pub macs_per_cycle: f64,
+    /// DMA bandwidth between DRAM and SRAMs, bytes per cycle.
+    pub dma_bytes_per_cycle: f64,
+    /// Input buffer capacity, bytes (paper: 32 KiB).
+    pub input_buf_bytes: u64,
+    /// Weight buffer capacity, bytes (paper: 256 KiB).
+    pub weight_buf_bytes: u64,
+    /// Accumulator buffer capacity, bytes (paper: 128 KiB).
+    pub acc_buf_bytes: u64,
+    /// Minimum cycles between writes to the same accumulator address
+    /// (paper: `2 <= access_cycle`): the innermost reduction extent must be
+    /// at least this.
+    pub min_access_cycle: i64,
+    /// Per-instruction issue overhead in cycles.
+    pub issue_overhead_cycles: f64,
+}
+
+/// Family-specific portion of a DLA description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DlaFamily {
+    /// TensorCore-style GPU.
+    Gpu(GpuParams),
+    /// DL Boost-style CPU.
+    Cpu(CpuParams),
+    /// VTA-style explicit-SRAM accelerator.
+    Vta(VtaParams),
+}
+
+/// A complete DLA description: the machine the measurer simulates and the
+/// constraint generator characterises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlaSpec {
+    /// Platform name (`v100`, `dlboost`, `vta`, …).
+    pub name: String,
+    /// Family parameters.
+    pub family: DlaFamily,
+    /// Legal tensor-intrinsic shapes `(m, n, k)` (paper Table 3).
+    pub intrinsic_shapes: Vec<(i64, i64, i64)>,
+    /// Legal vectorised load/store widths in elements.
+    pub vector_lengths: Vec<i64>,
+    /// Capacity limits per memory scope, bytes.
+    pub capacities: Vec<(MemScope, u64)>,
+    /// Input element type the intrinsics consume.
+    pub in_dtype: DType,
+}
+
+impl DlaSpec {
+    /// Capacity of `scope`, if limited.
+    pub fn capacity(&self, scope: MemScope) -> Option<u64> {
+        self.capacities.iter().find(|(s, _)| *s == scope).map(|(_, c)| *c)
+    }
+
+    /// Whether `(m, n, k)` is a legal intrinsic shape.
+    pub fn allows_intrinsic(&self, m: i64, n: i64, k: i64) -> bool {
+        self.intrinsic_shapes.contains(&(m, n, k))
+    }
+
+    /// Whether `len` is a legal vector width.
+    pub fn allows_vector(&self, len: i64) -> bool {
+        self.vector_lengths.contains(&len)
+    }
+
+    /// Peak arithmetic throughput in ops/second (for utilisation reports).
+    pub fn peak_ops_per_sec(&self) -> f64 {
+        match &self.family {
+            DlaFamily::Gpu(g) => {
+                g.sms as f64 * g.tensor_flops_per_cycle_sm * g.clock_ghz * 1e9
+            }
+            DlaFamily::Cpu(c) => {
+                c.cores as f64 * c.vnni_ops_per_cycle_core * c.clock_ghz * 1e9
+            }
+            DlaFamily::Vta(v) => 2.0 * v.macs_per_cycle * v.clock_ghz * 1e9,
+        }
+    }
+
+    /// Off-chip memory bandwidth in bytes/second (for graph-level
+    /// memory-bound cost estimates).
+    pub fn global_bandwidth_bytes_per_sec(&self) -> f64 {
+        match &self.family {
+            DlaFamily::Gpu(g) => g.global_bw_bytes_per_cycle * g.clock_ghz * 1e9,
+            DlaFamily::Cpu(c) => c.dram_bw_bytes_per_cycle * c.clock_ghz * 1e9,
+            DlaFamily::Vta(v) => v.dma_bytes_per_cycle * v.clock_ghz * 1e9,
+        }
+    }
+
+    /// The paper's Table 3 rows for this platform, for reporting.
+    pub fn constraint_summary(&self) -> Vec<String> {
+        let mut rows = Vec::new();
+        if !self.intrinsic_shapes.is_empty() {
+            let shapes: Vec<String> = self
+                .intrinsic_shapes
+                .iter()
+                .map(|(m, n, k)| format!("({m},{n},{k})"))
+                .collect();
+            rows.push(format!("computation size: (m,n,k) in {{{}}}", shapes.join(", ")));
+        }
+        for (scope, cap) in &self.capacities {
+            rows.push(format!("memory capacity: {scope} <= {} KiB", cap / 1024));
+        }
+        if !self.vector_lengths.is_empty() {
+            rows.push(format!("memory access: vector_length in {:?}", self.vector_lengths));
+        }
+        if let DlaFamily::Vta(v) = &self.family {
+            rows.push(format!("memory access: {} <= access_cycle", v.min_access_cycle));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    #[test]
+    fn v100_capacity_lookup() {
+        let spec = platforms::v100();
+        assert_eq!(spec.capacity(MemScope::Shared), Some(48 * 1024));
+        assert_eq!(spec.capacity(MemScope::Global), None);
+    }
+
+    #[test]
+    fn v100_intrinsics_satisfy_paper_constraint() {
+        let spec = platforms::v100();
+        for &(m, n, k) in &spec.intrinsic_shapes {
+            assert_eq!(m * n * k, 4096, "paper: m*n*k == 4096");
+            assert!([8, 16, 32].contains(&m));
+        }
+        assert!(spec.allows_intrinsic(16, 16, 16));
+        assert!(!spec.allows_intrinsic(16, 16, 8));
+    }
+
+    #[test]
+    fn vector_lengths_match_table3() {
+        let spec = platforms::v100();
+        assert_eq!(spec.vector_lengths, vec![1, 2, 4, 8]);
+        assert!(spec.allows_vector(8));
+        assert!(!spec.allows_vector(16));
+    }
+
+    #[test]
+    fn peak_ops_are_plausible() {
+        // V100 TensorCore peak is ~112 Tflops.
+        let v100 = platforms::v100().peak_ops_per_sec() / 1e12;
+        assert!((100.0..130.0).contains(&v100), "v100 peak {v100} Tflops");
+        // DL Boost ~23 Tops.
+        let dlb = platforms::dlboost().peak_ops_per_sec() / 1e12;
+        assert!((15.0..30.0).contains(&dlb), "dlboost peak {dlb} Tops");
+    }
+
+    #[test]
+    fn constraint_summaries_cover_categories() {
+        let rows = platforms::vta().constraint_summary();
+        let text = rows.join("\n");
+        assert!(text.contains("computation size"));
+        assert!(text.contains("memory capacity"));
+        assert!(text.contains("access_cycle"));
+    }
+}

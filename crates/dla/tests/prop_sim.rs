@@ -1,0 +1,125 @@
+//! Property tests of the DLA measurer: determinism, bounded jitter, and
+//! monotone response to work.
+
+use heron_dla::{v100, Measurer};
+use heron_sched::{Kernel, KernelBuffer, KernelStage, MemScope, StageRole};
+use heron_tensor::DType;
+use proptest::prelude::*;
+
+fn kernel(grid: i64, warps: i64, load_elems: i64, intrin_execs: i64, fp: u64) -> Kernel {
+    let load = KernelStage {
+        name: "A.shared".into(),
+        role: StageRole::Load,
+        src_scope: MemScope::Global,
+        dst_scope: MemScope::Shared,
+        dtype: DType::F16,
+        elems: load_elems,
+        execs: 8,
+        vector: 8,
+        align_pad: 2,
+        row_elems: 32,
+        intrinsic: None,
+        intrinsic_execs: 0,
+        scalar_ops: 0,
+        unroll: 16,
+    };
+    let comp = KernelStage {
+        name: "C".into(),
+        role: StageRole::Compute,
+        src_scope: MemScope::FragA,
+        dst_scope: MemScope::FragAcc,
+        dtype: DType::F16,
+        elems: 0,
+        execs: 1,
+        vector: 1,
+        align_pad: 0,
+        row_elems: 0,
+        intrinsic: Some((16, 16, 16)),
+        intrinsic_execs: intrin_execs,
+        scalar_ops: 0,
+        unroll: 64,
+    };
+    Kernel {
+        dla: "v100".into(),
+        workload: "prop".into(),
+        total_flops: (intrin_execs * 8192 * grid).max(1) as u64,
+        grid,
+        threads: warps,
+        stages: vec![load, comp],
+        buffers: vec![KernelBuffer {
+            name: "A.shared".into(),
+            scope: MemScope::Shared,
+            bytes: (load_elems as u64 * 2).max(256),
+        }],
+        fingerprint: fp,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Measurement is deterministic for a fixed kernel.
+    #[test]
+    fn measurement_is_deterministic(
+        grid in 1i64..512,
+        warps in 1i64..32,
+        elems in 1i64..8192,
+        execs in 1i64..4096,
+        fp in proptest::num::u64::ANY,
+    ) {
+        let m = Measurer::new(v100());
+        let k = kernel(grid, warps, elems, execs, fp);
+        if let (Ok(a), Ok(b)) = (m.measure(&k), m.measure(&k)) {
+            prop_assert_eq!(a.latency_s, b.latency_s);
+        }
+    }
+
+    /// Configuration jitter stays within ±6% of the jitter-free trend:
+    /// two kernels differing only in fingerprint measure within 12%.
+    #[test]
+    fn jitter_is_bounded(fp1 in proptest::num::u64::ANY, fp2 in proptest::num::u64::ANY) {
+        let m = Measurer::new(v100());
+        let a = m.measure(&kernel(64, 8, 2048, 512, fp1)).expect("valid");
+        let b = m.measure(&kernel(64, 8, 2048, 512, fp2)).expect("valid");
+        let ratio = a.latency_s / b.latency_s;
+        prop_assert!((0.85..1.18).contains(&ratio), "jitter too large: {ratio}");
+    }
+
+    /// More intrinsic work never makes the kernel faster.
+    #[test]
+    fn compute_is_monotone(execs in 1i64..2048, extra in 1i64..2048) {
+        let m = Measurer::new(v100());
+        let small = m.measure(&kernel(64, 8, 2048, execs, 1)).expect("valid");
+        let large = m.measure(&kernel(64, 8, 2048, execs + extra, 1)).expect("valid");
+        prop_assert!(large.latency_s >= small.latency_s);
+    }
+
+    /// More transferred bytes never make the kernel faster.
+    #[test]
+    fn memory_is_monotone(elems in 1i64..8192, extra in 1i64..8192) {
+        let m = Measurer::new(v100());
+        let small = m.measure(&kernel(64, 8, elems, 64, 1)).expect("valid");
+        let large = m.measure(&kernel(64, 8, elems + extra, 64, 1)).expect("valid");
+        prop_assert!(large.latency_s >= small.latency_s);
+    }
+
+    /// Validation agrees exactly with the shared-memory capacity line.
+    #[test]
+    fn capacity_boundary_is_exact(kb in 1u64..96) {
+        let m = Measurer::new(v100());
+        let mut k = kernel(16, 8, 64, 64, 0);
+        k.buffers[0].bytes = kb * 1024;
+        let ok = m.validate(&k).is_ok();
+        prop_assert_eq!(ok, kb * 1024 <= 48 * 1024);
+    }
+
+    /// Throughput = flops / latency by definition.
+    #[test]
+    fn gflops_consistent(execs in 1i64..1024) {
+        let m = Measurer::new(v100());
+        let k = kernel(64, 8, 1024, execs, 3);
+        let meas = m.measure(&k).expect("valid");
+        let expect = k.total_flops as f64 / meas.latency_s / 1e9;
+        prop_assert!((meas.gflops - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! Compiling a fused graph onto a DLA: per-workload tuning with a cache,
+//! analytic costs for memory-bound passes, and end-to-end latency.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_core::tuner::{TuneConfig, Tuner};
+use heron_dla::{DlaSpec, Measurer};
+use heron_tensor::DType;
+use heron_workloads::{OpKind, Workload};
+
+use crate::fuse::FusedGraph;
+use crate::ir::{Graph, LayerOp};
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Measured trials per distinct workload.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { trials: 200, seed: 2023 }
+    }
+}
+
+/// How a compiled layer executes.
+#[derive(Debug, Clone)]
+pub enum CompiledKind {
+    /// Heron-tuned MAC kernel.
+    Tuned {
+        /// Tuning-cache key (shared with identical layers).
+        key: String,
+        /// Achieved throughput, Gops.
+        gflops: f64,
+    },
+    /// Memory-bound pass costed at streaming bandwidth.
+    Memory {
+        /// Bytes moved (read + write).
+        bytes: u64,
+    },
+}
+
+/// One compiled layer.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    /// Layer name (anchor node name).
+    pub name: String,
+    /// Execution kind.
+    pub kind: CompiledKind,
+    /// Estimated latency, seconds.
+    pub latency_s: f64,
+    /// Epilogue ops fused into this layer.
+    pub fused_epilogues: usize,
+}
+
+/// A compiled model.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    /// Target platform name.
+    pub dla: String,
+    /// Compiled layers in execution order.
+    pub layers: Vec<CompiledLayer>,
+    /// Distinct workloads tuned (cache misses).
+    pub tuned_workloads: usize,
+    /// Layers served from the tuning cache.
+    pub cache_hits: usize,
+}
+
+impl CompiledModel {
+    /// End-to-end latency (sum over layers), seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.layers.iter().map(|l| l.latency_s).sum()
+    }
+
+    /// Fraction of latency in tuned MAC kernels.
+    pub fn mac_fraction(&self) -> f64 {
+        let mac: f64 = self
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, CompiledKind::Tuned { .. }))
+            .map(|l| l.latency_s)
+            .sum();
+        mac / self.latency_s().max(1e-12)
+    }
+}
+
+impl fmt::Display for CompiledModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "compiled model for {}: {} layers, {} tuned workloads, {} cache hits, {:.3} ms",
+            self.dla,
+            self.layers.len(),
+            self.tuned_workloads,
+            self.cache_hits,
+            self.latency_s() * 1e3
+        )?;
+        for l in &self.layers {
+            let kind = match &l.kind {
+                CompiledKind::Tuned { gflops, .. } => format!("tuned {gflops:.0} Gops"),
+                CompiledKind::Memory { bytes } => format!("memory {bytes} B"),
+            };
+            writeln!(
+                f,
+                "  {:<18} {:>10.1} us  {} (+{} fused)",
+                l.name,
+                l.latency_s * 1e6,
+                kind,
+                l.fused_epilogues
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps a MAC layer op onto a tunable workload.
+fn workload_of(op: &LayerOp) -> Option<(String, Workload)> {
+    match op {
+        LayerOp::Conv2d(c) => {
+            let key = format!(
+                "c2d-{}x{}x{}x{}x{}-k{}p{}s{}d{}",
+                c.batch, c.in_channels, c.height, c.width, c.out_channels, c.kh, c.padding,
+                c.stride, c.dilation
+            );
+            Some((key.clone(), Workload::new(key, OpKind::C2d(*c))))
+        }
+        LayerOp::DepthwiseConv2d(c) => {
+            let key = format!(
+                "dw-{}x{}x{}x{}-k{}p{}s{}",
+                c.batch, c.in_channels, c.height, c.width, c.kh, c.padding, c.stride
+            );
+            Some((key.clone(), Workload::new(key, OpKind::Dw(*c))))
+        }
+        LayerOp::Gemm { m, n, k } => {
+            let key = format!("gemm-{m}x{n}x{k}");
+            Some((key.clone(), Workload::new(key, OpKind::Gemm { m: *m, n: *n, k: *k })))
+        }
+        LayerOp::Bmm { b, m, n, k } => {
+            let key = format!("bmm-{b}x{m}x{n}x{k}");
+            Some((
+                key.clone(),
+                Workload::new(key, OpKind::Bmm { b: *b, m: *m, n: *n, k: *k }),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Compiles a fused graph for `spec`, tuning each distinct MAC workload
+/// once.
+pub fn compile(
+    graph: &Graph,
+    fused: &FusedGraph,
+    spec: &DlaSpec,
+    opts: &CompileOptions,
+) -> CompiledModel {
+    let generator = SpaceGenerator::new(spec.clone());
+    let bw = spec.global_bandwidth_bytes_per_sec();
+    let dtype_bytes = spec.in_dtype.bytes();
+    let mut cache: HashMap<String, (f64, f64)> = HashMap::new(); // key -> (latency, gflops)
+    let mut model = CompiledModel {
+        dla: spec.name.clone(),
+        layers: Vec::new(),
+        tuned_workloads: 0,
+        cache_hits: 0,
+    };
+
+    for layer in &fused.layers {
+        let node = graph.node(layer.anchor);
+        if let Some((key, workload)) = workload_of(&node.op) {
+            let (latency, gflops) = match cache.get(&key) {
+                Some(&hit) => {
+                    model.cache_hits += 1;
+                    hit
+                }
+                None => {
+                    let dag = workload.build(dtype_of(spec));
+                    let entry = match generator.generate_named(&dag, &SpaceOptions::heron(), &key)
+                    {
+                        Ok(space) => {
+                            let mut tuner = Tuner::new(
+                                space,
+                                Measurer::new(spec.clone()),
+                                TuneConfig::quick(opts.trials),
+                                opts.seed,
+                            );
+                            let r = tuner.run();
+                            (r.best_latency_s, r.best_gflops)
+                        }
+                        Err(_) => (f64::INFINITY, 0.0),
+                    };
+                    model.tuned_workloads += 1;
+                    cache.insert(key.clone(), entry);
+                    entry
+                }
+            };
+            model.layers.push(CompiledLayer {
+                name: node.name.clone(),
+                kind: CompiledKind::Tuned { key, gflops },
+                latency_s: latency,
+                fused_epilogues: layer.epilogue.len(),
+            });
+        } else {
+            // Memory-bound pass: read inputs + write output at stream BW.
+            let out_elems = graph.output_elems(layer.anchor);
+            let in_elems: i64 =
+                node.inputs.iter().map(|&i| graph.output_elems(i)).sum();
+            let bytes = (out_elems + in_elems) as u64 * dtype_bytes;
+            let ops_factor = node.op.elementwise_ops_per_output() as f64;
+            let latency = bytes as f64 / bw * ops_factor.max(1.0).sqrt();
+            model.layers.push(CompiledLayer {
+                name: node.name.clone(),
+                kind: CompiledKind::Memory { bytes },
+                latency_s: latency,
+                fused_epilogues: 0,
+            });
+        }
+    }
+    model
+}
+
+fn dtype_of(spec: &DlaSpec) -> DType {
+    spec.in_dtype
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::fuse;
+    use crate::models;
+
+    #[test]
+    fn compile_reuses_cache_for_repeated_layers() {
+        // Two identical convolutions: one tuning run, one cache hit.
+        let mut g = Graph::new();
+        let x = g.input("x", vec![1, 16, 16, 16]);
+        let cfg = heron_tensor::ops::Conv2dConfig::new(1, 16, 16, 16, 16, 3, 3, 1, 1);
+        let c1 = g.add("c1", LayerOp::Conv2d(cfg), vec![x]);
+        let r1 = g.add("r1", LayerOp::Relu, vec![c1]);
+        let _c2 = g.add("c2", LayerOp::Conv2d(cfg), vec![r1]);
+        let fused = fuse(&g);
+        let model = compile(&g, &fused, &heron_dla::v100(), &CompileOptions { trials: 16, seed: 1 });
+        assert_eq!(model.tuned_workloads, 1);
+        assert_eq!(model.cache_hits, 1);
+        assert!(model.latency_s().is_finite());
+        assert!(model.latency_s() > 0.0);
+    }
+
+    #[test]
+    fn bottleneck_block_compiles_with_fused_epilogues() {
+        let g = models::resnet_bottleneck(1, 56, 256, 64, false);
+        let fused = fuse(&g);
+        let model = compile(&g, &fused, &heron_dla::v100(), &CompileOptions { trials: 12, seed: 2 });
+        assert!(model.layers.iter().any(|l| l.fused_epilogues > 0));
+        assert!(model.mac_fraction() > 0.5, "convs dominate a bottleneck block");
+        let text = model.to_string();
+        assert!(text.contains("tuned"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Operator fusion: the graph-level optimisation Heron's pipeline runs
+//! before kernel tuning (paper Section 2.1).
+//!
+//! Every MAC node greedily absorbs the chain of element-wise epilogues
+//! hanging off it (bias, activation, residual add) — on a DLA these fuse
+//! into the MAC kernel's store stage for free. Remaining non-MAC nodes
+//! become standalone memory-bound passes.
+
+use crate::ir::{Graph, LayerOp, NodeId};
+
+/// One fused execution unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedLayer {
+    /// The anchor node (a MAC op, or the standalone memory-bound op).
+    pub anchor: NodeId,
+    /// Element-wise nodes fused into the anchor, in execution order.
+    pub epilogue: Vec<NodeId>,
+}
+
+/// The fusion result: fused layers in topological order.
+#[derive(Debug, Clone, Default)]
+pub struct FusedGraph {
+    /// Fused layers in execution order.
+    pub layers: Vec<FusedLayer>,
+}
+
+impl FusedGraph {
+    /// Number of fused layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether no layers exist.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+/// Runs the fusion pass.
+pub fn fuse(graph: &Graph) -> FusedGraph {
+    let mut absorbed = vec![false; graph.len()];
+    let mut layers = Vec::new();
+
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if absorbed[id] || matches!(node.op, LayerOp::Input { .. }) {
+            continue;
+        }
+        if node.op.is_epilogue() {
+            // Not absorbed by any MAC producer: standalone memory pass.
+            layers.push(FusedLayer { anchor: id, epilogue: vec![] });
+            continue;
+        }
+        let mut layer = FusedLayer { anchor: id, epilogue: vec![] };
+        if node.op.is_mac() {
+            // Greedily absorb a chain of single-consumer epilogues.
+            let mut tail = id;
+            loop {
+                let consumers = graph.consumers(tail);
+                // The tail must have exactly one consumer and that consumer
+                // must be element-wise with the tail as its *first* input
+                // (residual adds absorb along the main branch).
+                let [next] = consumers.as_slice() else { break };
+                let cand = graph.node(*next);
+                if !cand.op.is_epilogue() || cand.inputs[0] != tail {
+                    break;
+                }
+                // A residual Add also needs its side input already computed
+                // (always true in topological order) — absorb it.
+                layer.epilogue.push(*next);
+                absorbed[*next] = true;
+                tail = *next;
+            }
+        }
+        layers.push(layer);
+    }
+    FusedGraph { layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heron_tensor::ops::Conv2dConfig;
+
+    fn conv(g: &mut Graph, name: &str, input: NodeId, ci: i64, co: i64, hw: i64) -> NodeId {
+        g.add(
+            name,
+            LayerOp::Conv2d(Conv2dConfig::new(1, hw, hw, ci, co, 3, 3, 1, 1)),
+            vec![input],
+        )
+    }
+
+    #[test]
+    fn conv_bias_relu_fuses_into_one_layer() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![1, 8, 16, 16]);
+        let c = conv(&mut g, "conv", x, 8, 8, 16);
+        let b = g.add("bias", LayerOp::BiasAdd, vec![c]);
+        let r = g.add("relu", LayerOp::Relu, vec![b]);
+        let fused = fuse(&g);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused.layers[0].anchor, c);
+        assert_eq!(fused.layers[0].epilogue, vec![b, r]);
+    }
+
+    #[test]
+    fn residual_add_fuses_into_main_branch() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![1, 8, 16, 16]);
+        let c1 = conv(&mut g, "conv1", x, 8, 8, 16);
+        let r1 = g.add("relu1", LayerOp::Relu, vec![c1]);
+        let c2 = conv(&mut g, "conv2", r1, 8, 8, 16);
+        // Residual: main branch first input, shortcut second.
+        let add = g.add("add", LayerOp::Add, vec![c2, r1]);
+        let fused = fuse(&g);
+        // conv1 absorbs relu1 (it is conv1's single consumer); relu1's own
+        // output still materialises for its two readers (c2 and add), so
+        // the chain stops there.
+        let layer1 = &fused.layers[0];
+        assert_eq!(layer1.anchor, c1);
+        assert_eq!(layer1.epilogue, vec![r1], "single-consumer relu fuses");
+        // conv2 absorbs the add.
+        let layer3 = fused.layers.iter().find(|l| l.anchor == c2).expect("conv2 layer");
+        assert_eq!(layer3.epilogue, vec![add]);
+    }
+
+    #[test]
+    fn pooling_stays_standalone() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![1, 8, 16, 16]);
+        let c = conv(&mut g, "conv", x, 8, 8, 16);
+        let p = g.add("pool", LayerOp::MaxPool { k: 2, s: 2 }, vec![c]);
+        let fused = fuse(&g);
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused.layers[1].anchor, p);
+    }
+
+    #[test]
+    fn orphan_epilogues_become_memory_passes() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![1, 128]);
+        let r = g.add("relu", LayerOp::Relu, vec![x]);
+        let fused = fuse(&g);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused.layers[0].anchor, r);
+    }
+}

@@ -1,0 +1,312 @@
+//! The network graph IR: a DAG of layers over implicit NCHW tensors.
+
+use heron_tensor::ops::Conv2dConfig;
+use std::fmt;
+
+/// Index of a node within a [`Graph`].
+pub type NodeId = usize;
+
+/// A layer operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerOp {
+    /// Network input with an explicit shape.
+    Input {
+        /// Tensor shape (NCHW or [batch, features]).
+        shape: Vec<i64>,
+    },
+    /// 2-D convolution (the MAC anchor of CNNs).
+    Conv2d(Conv2dConfig),
+    /// Depthwise 2-D convolution (tunes through the scalar path: its
+    /// channel axis appears in both operands, so matrix units don't apply).
+    DepthwiseConv2d(Conv2dConfig),
+    /// Dense layer / matrix multiply.
+    Gemm {
+        /// Rows (usually batch or batch × tokens).
+        m: i64,
+        /// Output features.
+        n: i64,
+        /// Input features.
+        k: i64,
+    },
+    /// Batched matrix multiply (attention).
+    Bmm {
+        /// Batch (batch × heads).
+        b: i64,
+        /// Rows.
+        m: i64,
+        /// Columns.
+        n: i64,
+        /// Reduction.
+        k: i64,
+    },
+    /// Per-channel bias addition (element-wise epilogue).
+    BiasAdd,
+    /// Rectified linear unit (element-wise epilogue).
+    Relu,
+    /// GELU activation (element-wise epilogue).
+    Gelu,
+    /// Residual addition of two tensors (element-wise epilogue).
+    Add,
+    /// Layer normalisation (memory-bound pass).
+    LayerNorm,
+    /// Softmax along the last axis (memory-bound pass).
+    Softmax,
+    /// Max pooling (memory-bound pass).
+    MaxPool {
+        /// Window size.
+        k: i64,
+        /// Stride.
+        s: i64,
+    },
+    /// Global average pooling (memory-bound pass).
+    GlobalAvgPool,
+}
+
+impl LayerOp {
+    /// Whether this op is a MAC anchor Heron tunes (Rule-S1 target).
+    pub fn is_mac(&self) -> bool {
+        matches!(
+            self,
+            LayerOp::Conv2d(_)
+                | LayerOp::DepthwiseConv2d(_)
+                | LayerOp::Gemm { .. }
+                | LayerOp::Bmm { .. }
+        )
+    }
+
+    /// Whether this op is an element-wise epilogue that fuses into a
+    /// preceding MAC layer.
+    pub fn is_epilogue(&self) -> bool {
+        matches!(self, LayerOp::BiasAdd | LayerOp::Relu | LayerOp::Gelu | LayerOp::Add)
+    }
+
+    /// Arithmetic work of the op given its output element count (used for
+    /// the memory-bound cost model; MAC flops come from the tuner).
+    pub fn elementwise_ops_per_output(&self) -> u64 {
+        match self {
+            LayerOp::Softmax => 4,
+            LayerOp::LayerNorm => 6,
+            LayerOp::Gelu => 8,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for LayerOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerOp::Input { shape } => write!(f, "input{shape:?}"),
+            LayerOp::Conv2d(c) => write!(
+                f,
+                "conv2d {}x{}x{}x{} k{} s{}",
+                c.batch, c.in_channels, c.height, c.width, c.kh, c.stride
+            ),
+            LayerOp::DepthwiseConv2d(c) => write!(
+                f,
+                "dwconv {}x{}x{}x{} k{} s{}",
+                c.batch, c.in_channels, c.height, c.width, c.kh, c.stride
+            ),
+            LayerOp::Gemm { m, n, k } => write!(f, "gemm {m}x{n}x{k}"),
+            LayerOp::Bmm { b, m, n, k } => write!(f, "bmm {b}x{m}x{n}x{k}"),
+            LayerOp::BiasAdd => write!(f, "bias_add"),
+            LayerOp::Relu => write!(f, "relu"),
+            LayerOp::Gelu => write!(f, "gelu"),
+            LayerOp::Add => write!(f, "add"),
+            LayerOp::LayerNorm => write!(f, "layer_norm"),
+            LayerOp::Softmax => write!(f, "softmax"),
+            LayerOp::MaxPool { k, s } => write!(f, "max_pool k{k} s{s}"),
+            LayerOp::GlobalAvgPool => write!(f, "global_avg_pool"),
+        }
+    }
+}
+
+/// A node: an op applied to earlier nodes' outputs.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Human-readable name.
+    pub name: String,
+    /// The operation.
+    pub op: LayerOp,
+    /// Producer nodes.
+    pub inputs: Vec<NodeId>,
+    /// Output tensor shape.
+    pub shape: Vec<i64>,
+}
+
+/// A network graph in topological (insertion) order.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds an input node.
+    pub fn input(&mut self, name: impl Into<String>, shape: Vec<i64>) -> NodeId {
+        let shape_c = shape.clone();
+        self.push(Node { name: name.into(), op: LayerOp::Input { shape }, inputs: vec![], shape: shape_c })
+    }
+
+    /// Adds an op node, inferring the output shape.
+    ///
+    /// # Panics
+    /// Panics if an input id is out of range or shapes are inconsistent.
+    pub fn add(&mut self, name: impl Into<String>, op: LayerOp, inputs: Vec<NodeId>) -> NodeId {
+        for &i in &inputs {
+            assert!(i < self.nodes.len(), "input {i} not yet defined");
+        }
+        let shape = self.infer_shape(&op, &inputs);
+        self.push(Node { name: name.into(), op, inputs, shape })
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn infer_shape(&self, op: &LayerOp, inputs: &[NodeId]) -> Vec<i64> {
+        let input_shape = |i: usize| self.nodes[inputs[i]].shape.clone();
+        match op {
+            LayerOp::Input { shape } => shape.clone(),
+            LayerOp::Conv2d(c) => vec![c.batch, c.out_channels, c.out_height(), c.out_width()],
+            LayerOp::DepthwiseConv2d(c) => {
+                vec![c.batch, c.in_channels, c.out_height(), c.out_width()]
+            }
+            LayerOp::Gemm { m, n, .. } => vec![*m, *n],
+            LayerOp::Bmm { b, m, n, .. } => vec![*b, *m, *n],
+            LayerOp::BiasAdd
+            | LayerOp::Relu
+            | LayerOp::Gelu
+            | LayerOp::LayerNorm
+            | LayerOp::Softmax => {
+                assert!(!inputs.is_empty(), "element-wise op needs an input");
+                input_shape(0)
+            }
+            LayerOp::Add => {
+                assert_eq!(inputs.len(), 2, "add needs two inputs");
+                let (a, b) = (input_shape(0), input_shape(1));
+                assert_eq!(a, b, "add shape mismatch: {a:?} vs {b:?}");
+                a
+            }
+            LayerOp::MaxPool { k, s } => {
+                let mut sh = input_shape(0);
+                assert_eq!(sh.len(), 4, "max_pool expects NCHW");
+                sh[2] = (sh[2] - k) / s + 1;
+                sh[3] = (sh[3] - k) / s + 1;
+                sh
+            }
+            LayerOp::GlobalAvgPool => {
+                let sh = input_shape(0);
+                assert_eq!(sh.len(), 4, "global_avg_pool expects NCHW");
+                vec![sh[0], sh[1]]
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Ids of nodes that read `id`'s output.
+    pub fn consumers(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inputs.contains(&id))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Output element count of a node.
+    pub fn output_elems(&self, id: NodeId) -> i64 {
+        self.nodes[id].shape.iter().product()
+    }
+
+    /// Total MAC flops of the graph (tuned work).
+    pub fn mac_flops(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                LayerOp::Conv2d(c) => {
+                    (2 * c.batch
+                        * c.out_channels
+                        * c.out_height()
+                        * c.out_width()
+                        * c.in_channels
+                        * c.kh
+                        * c.kw) as u64
+                }
+                LayerOp::DepthwiseConv2d(c) => {
+                    (2 * c.batch * c.in_channels * c.out_height() * c.out_width() * c.kh * c.kw)
+                        as u64
+                }
+                LayerOp::Gemm { m, n: nn, k } => (2 * m * nn * k) as u64,
+                LayerOp::Bmm { b, m, n: nn, k } => (2 * b * m * nn * k) as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_infer_shapes() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![1, 3, 32, 32]);
+        let cfg = Conv2dConfig::new(1, 32, 32, 3, 16, 3, 3, 1, 1);
+        let c = g.add("conv", LayerOp::Conv2d(cfg), vec![x]);
+        let r = g.add("relu", LayerOp::Relu, vec![c]);
+        let p = g.add("pool", LayerOp::MaxPool { k: 2, s: 2 }, vec![r]);
+        assert_eq!(g.node(c).shape, vec![1, 16, 32, 32]);
+        assert_eq!(g.node(p).shape, vec![1, 16, 16, 16]);
+        assert_eq!(g.consumers(c), vec![r]);
+        assert!(g.mac_flops() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_reference_rejected() {
+        let mut g = Graph::new();
+        g.add("bad", LayerOp::Relu, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_requires_matching_shapes() {
+        let mut g = Graph::new();
+        let a = g.input("a", vec![1, 8]);
+        let b = g.input("b", vec![1, 9]);
+        g.add("sum", LayerOp::Add, vec![a, b]);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(LayerOp::Gemm { m: 1, n: 1, k: 1 }.is_mac());
+        assert!(LayerOp::Relu.is_epilogue());
+        assert!(!LayerOp::Softmax.is_epilogue());
+        assert!(LayerOp::Softmax.elementwise_ops_per_output() > 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests of the fusion pass: on randomly generated layer chains,
+//! every non-input node is assigned to exactly one fused layer, anchors
+//! are never epilogues of other layers, and fusion preserves execution
+//! order.
+
+use heron_graph::{fuse, Graph, LayerOp};
+use heron_tensor::ops::Conv2dConfig;
+use proptest::prelude::*;
+
+/// Random op choice appended to a chain.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Conv,
+    Relu,
+    Bias,
+    Pool,
+    Gelu,
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Conv),
+        Just(Step::Relu),
+        Just(Step::Bias),
+        Just(Step::Pool),
+        Just(Step::Gelu),
+    ]
+}
+
+fn build_chain(steps: &[Step]) -> Graph {
+    let mut g = Graph::new();
+    let mut node = g.input("x", vec![1, 8, 32, 32]);
+    let mut hw = 32i64;
+    for (i, s) in steps.iter().enumerate() {
+        node = match s {
+            Step::Conv => g.add(
+                format!("conv{i}"),
+                LayerOp::Conv2d(Conv2dConfig::new(1, hw, hw, 8, 8, 3, 3, 1, 1)),
+                vec![node],
+            ),
+            Step::Relu => g.add(format!("relu{i}"), LayerOp::Relu, vec![node]),
+            Step::Bias => g.add(format!("bias{i}"), LayerOp::BiasAdd, vec![node]),
+            Step::Gelu => g.add(format!("gelu{i}"), LayerOp::Gelu, vec![node]),
+            Step::Pool => {
+                if hw >= 4 {
+                    hw /= 2;
+                    g.add(format!("pool{i}"), LayerOp::MaxPool { k: 2, s: 2 }, vec![node])
+                } else {
+                    g.add(format!("relu{i}"), LayerOp::Relu, vec![node])
+                }
+            }
+        };
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fusion_partitions_the_graph(steps in proptest::collection::vec(step(), 1..16)) {
+        let g = build_chain(&steps);
+        let fused = fuse::fuse(&g);
+
+        // Every non-input node appears exactly once (as anchor or epilogue).
+        let mut seen = vec![0usize; g.len()];
+        for layer in &fused.layers {
+            seen[layer.anchor] += 1;
+            for &e in &layer.epilogue {
+                seen[e] += 1;
+            }
+        }
+        for (id, node) in g.nodes().iter().enumerate() {
+            let expected = usize::from(!matches!(node.op, LayerOp::Input { .. }));
+            prop_assert_eq!(
+                seen[id], expected,
+                "node {} assigned {} times", node.name, seen[id]
+            );
+        }
+
+        // Epilogues are element-wise; anchors are not absorbed elsewhere.
+        for layer in &fused.layers {
+            for &e in &layer.epilogue {
+                prop_assert!(g.node(e).op.is_epilogue());
+            }
+        }
+
+        // Anchors appear in topological order.
+        let anchors: Vec<usize> = fused.layers.iter().map(|l| l.anchor).collect();
+        let mut sorted = anchors.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(anchors, sorted, "fused layers out of order");
+    }
+
+    #[test]
+    fn epilogues_follow_their_anchor_contiguously(steps in proptest::collection::vec(step(), 1..16)) {
+        // In a pure chain, a MAC layer's epilogue is exactly the maximal run
+        // of element-wise steps following it.
+        let g = build_chain(&steps);
+        let fused = fuse::fuse(&g);
+        for layer in &fused.layers {
+            if g.node(layer.anchor).op.is_mac() {
+                let mut expect = layer.anchor;
+                for &e in &layer.epilogue {
+                    prop_assert_eq!(g.node(e).inputs[0], expect, "epilogue chain broken");
+                    expect = e;
+                }
+            } else {
+                prop_assert!(layer.epilogue.is_empty(), "non-MAC anchors absorb nothing");
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Concrete kernels: the result of lowering a template under one CSP
+//! solution. This is what the DLA measurer simulates.
+
+use std::fmt;
+
+use heron_tensor::DType;
+
+use crate::scope::{MemScope, StageRole};
+use crate::template::KernelTemplate;
+
+/// Error produced when a template references a variable the solution does
+/// not define — always a generator bug, surfaced loudly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// The missing variable.
+    pub missing_var: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering referenced undefined variable `{}`", self.missing_var)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// One lowered stage with fully concrete quantities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStage {
+    /// Stage name.
+    pub name: String,
+    /// Load / compute / store.
+    pub role: StageRole,
+    /// Scope read from.
+    pub src_scope: MemScope,
+    /// Scope written to.
+    pub dst_scope: MemScope,
+    /// Element type.
+    pub dtype: DType,
+    /// Elements transferred per execution.
+    pub elems: i64,
+    /// Executions per block.
+    pub execs: i64,
+    /// Vector width in elements (1 = scalar).
+    pub vector: i64,
+    /// Storage-align row padding in elements.
+    pub align_pad: i64,
+    /// Contiguous row length in elements (0 = unknown).
+    pub row_elems: i64,
+    /// Intrinsic shape `(m, n, k)` for tensorized compute.
+    pub intrinsic: Option<(i64, i64, i64)>,
+    /// Intrinsic invocations per block.
+    pub intrinsic_execs: i64,
+    /// Scalar arithmetic ops per block.
+    pub scalar_ops: i64,
+    /// Maximum unroll length applied (0 = none).
+    pub unroll: i64,
+}
+
+impl KernelStage {
+    /// Bytes transferred per execution of the stage.
+    pub fn bytes_per_exec(&self) -> u64 {
+        self.elems as u64 * self.dtype.bytes()
+    }
+
+    /// Total bytes transferred per block across all executions.
+    pub fn bytes_per_block(&self) -> u64 {
+        self.bytes_per_exec() * self.execs.max(0) as u64
+    }
+}
+
+/// A concrete on-chip buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelBuffer {
+    /// Buffer name.
+    pub name: String,
+    /// Scope.
+    pub scope: MemScope,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// A fully lowered kernel ready for measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Target DLA name.
+    pub dla: String,
+    /// Workload label.
+    pub workload: String,
+    /// Useful arithmetic operations of the whole workload.
+    pub total_flops: u64,
+    /// Grid size (blocks / tasks / parallel chunks).
+    pub grid: i64,
+    /// Warps (GPU) or threads (CPU) per block.
+    pub threads: i64,
+    /// Stages in execution order.
+    pub stages: Vec<KernelStage>,
+    /// On-chip buffers.
+    pub buffers: Vec<KernelBuffer>,
+    /// Fingerprint of the originating solution (deterministic jitter seed).
+    pub fingerprint: u64,
+}
+
+impl Kernel {
+    /// Sum of buffer bytes in the given scope.
+    pub fn scope_bytes(&self, scope: MemScope) -> u64 {
+        self.buffers.iter().filter(|b| b.scope == scope).map(|b| b.bytes).sum()
+    }
+
+    /// The tensorized compute stage, if any.
+    pub fn tensorized_stage(&self) -> Option<&KernelStage> {
+        self.stages.iter().find(|s| s.intrinsic.is_some())
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel {} on {}: grid={} threads={}",
+            self.workload, self.dla, self.grid, self.threads
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {} [{} {}→{}] elems={} execs={} vec={} intrin={:?}×{}",
+                s.name,
+                s.role,
+                s.src_scope,
+                s.dst_scope,
+                s.elems,
+                s.execs,
+                s.vector,
+                s.intrinsic,
+                s.intrinsic_execs
+            )?;
+        }
+        for b in &self.buffers {
+            writeln!(f, "  buffer {} @{}: {} B", b.name, b.scope, b.bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Lowers `template` under the variable assignment `value`.
+///
+/// # Errors
+/// Returns [`LowerError`] if any referenced variable is undefined.
+pub fn lower(
+    template: &KernelTemplate,
+    fingerprint: u64,
+    value: &dyn Fn(&str) -> Option<i64>,
+) -> Result<Kernel, LowerError> {
+    let get = |name: &str| -> Result<i64, LowerError> {
+        value(name).ok_or_else(|| LowerError { missing_var: name.to_string() })
+    };
+    let opt = |name: &Option<String>, default: i64| -> Result<i64, LowerError> {
+        match name {
+            Some(n) => get(n),
+            None => Ok(default),
+        }
+    };
+
+    let mut stages = Vec::with_capacity(template.stages.len());
+    for s in &template.stages {
+        let intrinsic = match &s.intrinsic {
+            Some(i) => Some((get(&i.m)?, get(&i.n)?, get(&i.k)?)),
+            None => None,
+        };
+        stages.push(KernelStage {
+            name: s.name.clone(),
+            role: s.role,
+            src_scope: s.src_scope,
+            dst_scope: s.dst_scope,
+            dtype: s.dtype,
+            elems: opt(&s.var_elems, 0)?,
+            execs: opt(&s.var_execs, 1)?,
+            vector: opt(&s.var_vector, 1)?,
+            align_pad: opt(&s.var_align_pad, 0)?,
+            row_elems: opt(&s.var_row_elems, 0)?,
+            intrinsic,
+            intrinsic_execs: opt(&s.var_intrinsic_execs, 0)?,
+            scalar_ops: opt(&s.var_scalar_ops, 0)?,
+            unroll: opt(&s.var_unroll, 0)?,
+        });
+    }
+    let mut buffers = Vec::with_capacity(template.buffers.len());
+    for b in &template.buffers {
+        buffers.push(KernelBuffer {
+            name: b.name.clone(),
+            scope: b.scope,
+            bytes: get(&b.var_bytes)?.max(0) as u64,
+        });
+    }
+    Ok(Kernel {
+        dla: template.dla.clone(),
+        workload: template.workload.clone(),
+        total_flops: template.total_flops,
+        grid: get(&template.var_grid)?,
+        threads: get(&template.var_threads)?,
+        stages,
+        buffers,
+        fingerprint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{BufferSpec, IntrinsicRef, StageSpec};
+
+    fn tiny_template() -> KernelTemplate {
+        let mut t = KernelTemplate {
+            dla: "tensorcore".into(),
+            workload: "gemm-64".into(),
+            total_flops: 2 * 64 * 64 * 64,
+            var_grid: "grid".into(),
+            var_threads: "warps".into(),
+            ..KernelTemplate::default()
+        };
+        let mut load = StageSpec::new(
+            "A.shared",
+            StageRole::Load,
+            MemScope::Global,
+            MemScope::Shared,
+            DType::F16,
+        );
+        load.var_elems = Some("mem.A".into());
+        load.var_execs = Some("r0".into());
+        load.var_vector = Some("vec.A".into());
+        t.stages.push(load);
+        let mut comp = StageSpec::new(
+            "C.wmma",
+            StageRole::Compute,
+            MemScope::FragA,
+            MemScope::FragAcc,
+            DType::F16,
+        );
+        comp.intrinsic =
+            Some(IntrinsicRef { m: "m".into(), n: "n".into(), k: "k".into() });
+        comp.var_intrinsic_execs = Some("intrin".into());
+        t.stages.push(comp);
+        t.buffers.push(BufferSpec {
+            name: "A.shared".into(),
+            scope: MemScope::Shared,
+            var_bytes: "bytes.A".into(),
+        });
+        t
+    }
+
+    fn env<'a>(pairs: &'a [(&'a str, i64)]) -> impl Fn(&str) -> Option<i64> + 'a {
+        move |name: &str| pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    #[test]
+    fn lower_fills_all_fields() {
+        let t = tiny_template();
+        let vals = [
+            ("grid", 16),
+            ("warps", 8),
+            ("mem.A", 2048),
+            ("r0", 4),
+            ("vec.A", 8),
+            ("m", 16),
+            ("n", 16),
+            ("k", 16),
+            ("intrin", 64),
+            ("bytes.A", 4096),
+        ];
+        let k = lower(&t, 7, &env(&vals)).expect("lowering succeeds");
+        assert_eq!(k.grid, 16);
+        assert_eq!(k.threads, 8);
+        assert_eq!(k.stages[0].bytes_per_exec(), 4096);
+        assert_eq!(k.stages[0].bytes_per_block(), 16384);
+        assert_eq!(k.stages[1].intrinsic, Some((16, 16, 16)));
+        assert_eq!(k.scope_bytes(MemScope::Shared), 4096);
+        assert_eq!(k.tensorized_stage().map(|s| s.name.as_str()), Some("C.wmma"));
+        assert_eq!(k.fingerprint, 7);
+    }
+
+    #[test]
+    fn lower_reports_missing_var() {
+        let t = tiny_template();
+        let err = lower(&t, 0, &env(&[("grid", 1)])).expect_err("missing vars");
+        assert!(!err.missing_var.is_empty());
+        assert!(err.to_string().contains("undefined variable"));
+    }
+
+    #[test]
+    fn defaults_for_unset_slots() {
+        let mut t = KernelTemplate {
+            dla: "d".into(),
+            workload: "w".into(),
+            total_flops: 1,
+            var_grid: "g".into(),
+            var_threads: "t".into(),
+            ..KernelTemplate::default()
+        };
+        t.stages.push(StageSpec::new(
+            "s",
+            StageRole::Store,
+            MemScope::Shared,
+            MemScope::Global,
+            DType::F32,
+        ));
+        let k = lower(&t, 0, &env(&[("g", 1), ("t", 1)])).expect("ok");
+        let s = &k.stages[0];
+        assert_eq!((s.elems, s.execs, s.vector, s.align_pad), (0, 1, 1, 0));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests of the schedule state: random split/fuse/reorder
+//! sequences preserve the loop structure's invariants.
+
+use heron_sched::{LoopSym, MemScope, ScheduleState, StageRole};
+use heron_tensor::{DType, IterKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Split { loop_idx: usize, parts: usize },
+    Fuse { start: usize },
+    Reorder { seed: u64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, 2usize..4).prop_map(|(loop_idx, parts)| Op::Split { loop_idx, parts }),
+        (0usize..8).prop_map(|start| Op::Fuse { start }),
+        proptest::num::u64::ANY.prop_map(|seed| Op::Reorder { seed }),
+    ]
+}
+
+fn fresh_state() -> ScheduleState {
+    let mut st = ScheduleState::new();
+    st.add_stage(
+        "C",
+        StageRole::Compute,
+        MemScope::Global,
+        MemScope::Global,
+        DType::F32,
+        vec![
+            LoopSym::new("C.i", IterKind::Spatial, "i"),
+            LoopSym::new("C.j", IterKind::Spatial, "j"),
+            LoopSym::new("C.r", IterKind::Reduce, "r"),
+        ],
+    );
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random transformation sequences keep invariants: loop names stay
+    /// unique, origins are preserved per kind, and the template records
+    /// exactly one primitive per applied transformation.
+    #[test]
+    fn transformations_preserve_invariants(ops in proptest::collection::vec(op(), 1..10)) {
+        let mut st = fresh_state();
+        let mut fresh = 0usize;
+        let mut applied = 0usize;
+        for o in ops {
+            let loops: Vec<(String, IterKind)> = st
+                .stage("C")
+                .expect("exists")
+                .loops
+                .iter()
+                .map(|l| (l.name.clone(), l.kind))
+                .collect();
+            match o {
+                Op::Split { loop_idx, parts } => {
+                    let idx = loop_idx % loops.len();
+                    let names: Vec<String> =
+                        (0..parts).map(|p| { fresh += 1; format!("L{fresh}.{p}") }).collect();
+                    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                    st.split("C", &loops[idx].0, &refs);
+                    applied += 1;
+                }
+                Op::Fuse { start } => {
+                    if loops.len() < 2 { continue; }
+                    let idx = start % (loops.len() - 1);
+                    // Only fuse same-kind adjacent loops.
+                    if loops[idx].1 != loops[idx + 1].1 { continue; }
+                    fresh += 1;
+                    let fused = format!("F{fresh}");
+                    st.fuse("C", &[&loops[idx].0, &loops[idx + 1].0], &fused);
+                    applied += 1;
+                }
+                Op::Reorder { seed } => {
+                    // Deterministic permutation: rotate by seed.
+                    let n = loops.len();
+                    let rot = (seed as usize) % n;
+                    let order: Vec<&str> = (0..n)
+                        .map(|x| loops[(x + rot) % n].0.as_str())
+                        .collect();
+                    st.reorder("C", &order);
+                    applied += 1;
+                }
+            }
+        }
+        let stage = st.stage("C").expect("exists");
+        // Unique loop names.
+        let mut names: Vec<&str> = stage.loops.iter().map(|l| l.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        prop_assert_eq!(names.len(), before, "duplicate loop names");
+        // Origins only come from the initial axes.
+        for l in &stage.loops {
+            prop_assert!(["i", "j", "r"].contains(&l.origin.as_str()));
+            // Reduce loops only descend from r.
+            if l.kind == IterKind::Reduce {
+                prop_assert_eq!(l.origin.as_str(), "r");
+            }
+        }
+        // One template entry per applied transformation.
+        prop_assert_eq!(st.template().len(), applied);
+    }
+
+    /// Splitting then fusing the same parts restores a single loop for
+    /// that origin.
+    #[test]
+    fn split_then_fuse_roundtrip(parts in 2usize..5) {
+        let mut st = fresh_state();
+        let names: Vec<String> = (0..parts).map(|p| format!("C.i{p}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        st.split("C", "C.i", &refs);
+        prop_assert_eq!(st.stage("C").expect("exists").loops.len(), 2 + parts);
+        // Fuse pairwise back into one.
+        let mut current = names.clone();
+        while current.len() > 1 {
+            let fused = format!("f.{}", current.len());
+            st.fuse("C", &[&current[0], &current[1]], &fused);
+            let mut next = vec![fused];
+            next.extend(current[2..].iter().cloned());
+            current = next;
+        }
+        let stage = st.stage("C").expect("exists");
+        prop_assert_eq!(stage.loops.len(), 3);
+        prop_assert_eq!(stage.loops[0].origin.as_str(), "i");
+    }
+}

@@ -1,0 +1,35 @@
+//! Tensor expression language, operator library, stage DAG, and naive
+//! loop-nest IR for the Heron reproduction.
+//!
+//! This crate plays the role of the tensor-compiler substrate (TVM's
+//! `te.compute` layer in the paper): it describes *what* to compute, while
+//! `heron-sched` describes *how*. A computation is a [`dag::Dag`] of
+//! [`compute::Stage`]s; each compute stage carries spatial and reduction
+//! [`expr::IterVar`]s and a scalar [`expr::ScalarExpr`] body.
+//!
+//! # Example
+//!
+//! ```
+//! use heron_tensor::ops;
+//!
+//! // C[i, j] += A[i, r] * B[r, j] with i=128, j=128, r=64
+//! let dag = ops::gemm(128, 128, 64);
+//! assert_eq!(dag.compute_stages().count(), 1);
+//! let naive = heron_tensor::program::naive_program(&dag);
+//! assert!(naive.to_pseudo_code().contains("for"));
+//! ```
+
+pub mod compute;
+pub mod dag;
+pub mod dtype;
+pub mod expr;
+pub mod ops;
+pub mod program;
+pub mod simplify;
+pub mod tensor;
+
+pub use compute::{ComputeOp, ReduceKind, Stage, StageKind};
+pub use dag::{Dag, StageId};
+pub use dtype::DType;
+pub use expr::{Access, IterKind, IterVar, ScalarExpr, VarId};
+pub use tensor::Tensor;

@@ -1,0 +1,704 @@
+//! Builders for the nine operators the paper evaluates: GEMM, BMM, GEMV,
+//! C1D, C2D, C3D, T2D (transposed conv), DIL (dilated conv), and SCAN.
+//!
+//! Every builder returns a [`Dag`] in topological order. Convolutions with
+//! non-zero padding insert an explicit `pad` compute stage (exercising the
+//! Always-Inline generation rule), matching how TVM's `te` graph looks.
+
+use crate::compute::{ComputeOp, ReduceKind};
+use crate::dag::Dag;
+use crate::dtype::DType;
+use crate::expr::{IndexExpr, IterVar, ScalarExpr};
+use crate::tensor::Tensor;
+
+/// Matrix multiply `C[i, j] += A[i, r] * B[r, j]` in half precision.
+///
+/// ```
+/// let dag = heron_tensor::ops::gemm(1024, 1024, 1024);
+/// assert_eq!(dag.stage(dag.output()).name, "C");
+/// ```
+pub fn gemm(m: i64, n: i64, k: i64) -> Dag {
+    gemm_dtyped(m, n, k, DType::F16)
+}
+
+/// Matrix multiply with an explicit input element type.
+pub fn gemm_dtyped(m: i64, n: i64, k: i64, dtype: DType) -> Dag {
+    let mut dag = Dag::new();
+    let a = Tensor::new("A", vec![m, k], dtype);
+    let b = Tensor::new("B", vec![k, n], dtype);
+    dag.placeholder(a.clone());
+    dag.placeholder(b.clone());
+    let c = Tensor::new("C", vec![m, n], dtype.accumulator());
+    let i = IterVar::spatial(0, "i", m);
+    let j = IterVar::spatial(1, "j", n);
+    let r = IterVar::reduce(2, "r", k);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&i), IndexExpr::var(&r)])),
+        Box::new(ScalarExpr::load(b, vec![IndexExpr::var(&r), IndexExpr::var(&j)])),
+    );
+    dag.compute(ComputeOp::new(c, vec![i, j], vec![r], body, ReduceKind::Sum));
+    dag
+}
+
+/// Batched matrix multiply `C[b, i, j] += A[b, i, r] * B[b, r, j]`.
+pub fn bmm(batch: i64, m: i64, n: i64, k: i64) -> Dag {
+    bmm_dtyped(batch, m, n, k, DType::F16)
+}
+
+/// Batched matrix multiply with an explicit input element type.
+pub fn bmm_dtyped(batch: i64, m: i64, n: i64, k: i64, dtype: DType) -> Dag {
+    let mut dag = Dag::new();
+    let a = Tensor::new("A", vec![batch, m, k], dtype);
+    let b = Tensor::new("B", vec![batch, k, n], dtype);
+    dag.placeholder(a.clone());
+    dag.placeholder(b.clone());
+    let c = Tensor::new("C", vec![batch, m, n], dtype.accumulator());
+    let bv = IterVar::spatial(0, "b", batch);
+    let i = IterVar::spatial(1, "i", m);
+    let j = IterVar::spatial(2, "j", n);
+    let r = IterVar::reduce(3, "r", k);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(
+            a,
+            vec![IndexExpr::var(&bv), IndexExpr::var(&i), IndexExpr::var(&r)],
+        )),
+        Box::new(ScalarExpr::load(
+            b,
+            vec![IndexExpr::var(&bv), IndexExpr::var(&r), IndexExpr::var(&j)],
+        )),
+    );
+    dag.compute(ComputeOp::new(c, vec![bv, i, j], vec![r], body, ReduceKind::Sum));
+    dag
+}
+
+/// Matrix-vector product `y[i] += A[i, r] * x[r]`, modelled as a degenerate
+/// GEMM with `n == batch` output columns so it flows through the same rules.
+pub fn gemv(m: i64, k: i64, batch: i64) -> Dag {
+    let mut dag = Dag::new();
+    let a = Tensor::new("A", vec![m, k], DType::F16);
+    let x = Tensor::new("B", vec![k, batch], DType::F16);
+    dag.placeholder(a.clone());
+    dag.placeholder(x.clone());
+    let y = Tensor::new("C", vec![m, batch], DType::F32);
+    let i = IterVar::spatial(0, "i", m);
+    let j = IterVar::spatial(1, "j", batch);
+    let r = IterVar::reduce(2, "r", k);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&i), IndexExpr::var(&r)])),
+        Box::new(ScalarExpr::load(x, vec![IndexExpr::var(&r), IndexExpr::var(&j)])),
+    );
+    dag.compute(ComputeOp::new(y, vec![i, j], vec![r], body, ReduceKind::Sum));
+    dag
+}
+
+/// Configuration of a 2-D convolution (NCHW layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dConfig {
+    /// Batch size.
+    pub batch: i64,
+    /// Input height.
+    pub height: i64,
+    /// Input width.
+    pub width: i64,
+    /// Input channels.
+    pub in_channels: i64,
+    /// Output channels.
+    pub out_channels: i64,
+    /// Kernel height.
+    pub kh: i64,
+    /// Kernel width.
+    pub kw: i64,
+    /// Symmetric zero padding.
+    pub padding: i64,
+    /// Stride (same in both dimensions).
+    pub stride: i64,
+    /// Dilation (same in both dimensions); 1 for ordinary convolution.
+    pub dilation: i64,
+    /// Input element type.
+    pub dtype: DType,
+}
+
+impl Conv2dConfig {
+    /// Ordinary f16 convolution with dilation 1.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        batch: i64,
+        height: i64,
+        width: i64,
+        in_channels: i64,
+        out_channels: i64,
+        kh: i64,
+        kw: i64,
+        padding: i64,
+        stride: i64,
+    ) -> Self {
+        Conv2dConfig {
+            batch,
+            height,
+            width,
+            in_channels,
+            out_channels,
+            kh,
+            kw,
+            padding,
+            stride,
+            dilation: 1,
+            dtype: DType::F16,
+        }
+    }
+
+    /// Same configuration with a different element type.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Same configuration with a dilation factor.
+    pub fn with_dilation(mut self, dilation: i64) -> Self {
+        self.dilation = dilation;
+        self
+    }
+
+    /// Output height after padding/stride/dilation.
+    pub fn out_height(&self) -> i64 {
+        (self.height + 2 * self.padding - self.dilation * (self.kh - 1) - 1) / self.stride + 1
+    }
+
+    /// Output width after padding/stride/dilation.
+    pub fn out_width(&self) -> i64 {
+        (self.width + 2 * self.padding - self.dilation * (self.kw - 1) - 1) / self.stride + 1
+    }
+}
+
+/// 2-D convolution, NCHW:
+/// `O[n,co,oh,ow] += I[n,ci,oh*s+rh*d-p,ow*s+rw*d-p] * W[co,ci,rh,rw]`
+/// (all on one line so rustdoc does not parse the brackets as links).
+/// Inserts a `pad` stage when `padding > 0`.
+pub fn conv2d(cfg: Conv2dConfig) -> Dag {
+    let mut dag = Dag::new();
+    let input =
+        Tensor::new("I", vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width], cfg.dtype);
+    let weight =
+        Tensor::new("W", vec![cfg.out_channels, cfg.in_channels, cfg.kh, cfg.kw], cfg.dtype);
+    dag.placeholder(input.clone());
+    dag.placeholder(weight.clone());
+
+    let data = if cfg.padding > 0 {
+        let ph = cfg.height + 2 * cfg.padding;
+        let pw = cfg.width + 2 * cfg.padding;
+        let padded = Tensor::new("pad", vec![cfg.batch, cfg.in_channels, ph, pw], cfg.dtype);
+        let n = IterVar::spatial(0, "n", cfg.batch);
+        let c = IterVar::spatial(1, "c", cfg.in_channels);
+        let h = IterVar::spatial(2, "h", ph);
+        let w = IterVar::spatial(3, "w", pw);
+        let hh = IndexExpr::var(&h) - IndexExpr::constant(cfg.padding);
+        let ww = IndexExpr::var(&w) - IndexExpr::constant(cfg.padding);
+        let body = ScalarExpr::Guarded {
+            index: hh.clone(),
+            lo: 0,
+            hi: cfg.height - 1,
+            value: Box::new(ScalarExpr::Guarded {
+                index: ww.clone(),
+                lo: 0,
+                hi: cfg.width - 1,
+                value: Box::new(ScalarExpr::load(
+                    input,
+                    vec![IndexExpr::var(&n), IndexExpr::var(&c), hh, ww],
+                )),
+            }),
+        };
+        dag.compute(ComputeOp::new(padded.clone(), vec![n, c, h, w], vec![], body, ReduceKind::None));
+        padded
+    } else {
+        input
+    };
+
+    let oh = cfg.out_height();
+    let ow = cfg.out_width();
+    assert!(oh >= 1 && ow >= 1, "convolution output is empty");
+    let out = Tensor::new(
+        "O",
+        vec![cfg.batch, cfg.out_channels, oh, ow],
+        cfg.dtype.accumulator(),
+    );
+    let n = IterVar::spatial(0, "n", cfg.batch);
+    let co = IterVar::spatial(1, "co", cfg.out_channels);
+    let h = IterVar::spatial(2, "oh", oh);
+    let w = IterVar::spatial(3, "ow", ow);
+    let rc = IterVar::reduce(4, "rc", cfg.in_channels);
+    let rh = IterVar::reduce(5, "rh", cfg.kh);
+    let rw = IterVar::reduce(6, "rw", cfg.kw);
+    let ih = IndexExpr::var(&h) * IndexExpr::constant(cfg.stride)
+        + IndexExpr::var(&rh) * IndexExpr::constant(cfg.dilation);
+    let iw = IndexExpr::var(&w) * IndexExpr::constant(cfg.stride)
+        + IndexExpr::var(&rw) * IndexExpr::constant(cfg.dilation);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(data, vec![IndexExpr::var(&n), IndexExpr::var(&rc), ih, iw])),
+        Box::new(ScalarExpr::load(
+            weight,
+            vec![IndexExpr::var(&co), IndexExpr::var(&rc), IndexExpr::var(&rh), IndexExpr::var(&rw)],
+        )),
+    );
+    dag.compute(ComputeOp::new(out, vec![n, co, h, w], vec![rc, rh, rw], body, ReduceKind::Sum));
+    dag
+}
+
+/// Dilated 2-D convolution (the paper's DIL operator).
+pub fn dil(cfg: Conv2dConfig, dilation: i64) -> Dag {
+    conv2d(cfg.with_dilation(dilation))
+}
+
+/// 1-D convolution, NCW layout.
+pub fn conv1d(
+    batch: i64,
+    length: i64,
+    in_channels: i64,
+    out_channels: i64,
+    kernel: i64,
+    padding: i64,
+    stride: i64,
+) -> Dag {
+    let mut dag = Dag::new();
+    let dtype = DType::F16;
+    let input = Tensor::new("I", vec![batch, in_channels, length], dtype);
+    let weight = Tensor::new("W", vec![out_channels, in_channels, kernel], dtype);
+    dag.placeholder(input.clone());
+    dag.placeholder(weight.clone());
+    let data = if padding > 0 {
+        let pl = length + 2 * padding;
+        let padded = Tensor::new("pad", vec![batch, in_channels, pl], dtype);
+        let n = IterVar::spatial(0, "n", batch);
+        let c = IterVar::spatial(1, "c", in_channels);
+        let l = IterVar::spatial(2, "l", pl);
+        let ll = IndexExpr::var(&l) - IndexExpr::constant(padding);
+        let body = ScalarExpr::Guarded {
+            index: ll.clone(),
+            lo: 0,
+            hi: length - 1,
+            value: Box::new(ScalarExpr::load(
+                input,
+                vec![IndexExpr::var(&n), IndexExpr::var(&c), ll],
+            )),
+        };
+        dag.compute(ComputeOp::new(padded.clone(), vec![n, c, l], vec![], body, ReduceKind::None));
+        padded
+    } else {
+        input
+    };
+    let ol = (length + 2 * padding - kernel) / stride + 1;
+    assert!(ol >= 1, "conv1d output is empty");
+    let out = Tensor::new("O", vec![batch, out_channels, ol], dtype.accumulator());
+    let n = IterVar::spatial(0, "n", batch);
+    let co = IterVar::spatial(1, "co", out_channels);
+    let l = IterVar::spatial(2, "ol", ol);
+    let rc = IterVar::reduce(3, "rc", in_channels);
+    let rk = IterVar::reduce(4, "rk", kernel);
+    let il = IndexExpr::var(&l) * IndexExpr::constant(stride) + IndexExpr::var(&rk);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(data, vec![IndexExpr::var(&n), IndexExpr::var(&rc), il])),
+        Box::new(ScalarExpr::load(
+            weight,
+            vec![IndexExpr::var(&co), IndexExpr::var(&rc), IndexExpr::var(&rk)],
+        )),
+    );
+    dag.compute(ComputeOp::new(out, vec![n, co, l], vec![rc, rk], body, ReduceKind::Sum));
+    dag
+}
+
+/// 3-D convolution, NCDHW layout with cubic kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d(
+    batch: i64,
+    depth: i64,
+    height: i64,
+    width: i64,
+    in_channels: i64,
+    out_channels: i64,
+    kernel: i64,
+    padding: i64,
+    stride: i64,
+) -> Dag {
+    let mut dag = Dag::new();
+    let dtype = DType::F16;
+    let input = Tensor::new("I", vec![batch, in_channels, depth, height, width], dtype);
+    let weight =
+        Tensor::new("W", vec![out_channels, in_channels, kernel, kernel, kernel], dtype);
+    dag.placeholder(input.clone());
+    dag.placeholder(weight.clone());
+    let data = if padding > 0 {
+        let pd = depth + 2 * padding;
+        let ph = height + 2 * padding;
+        let pw = width + 2 * padding;
+        let padded = Tensor::new("pad", vec![batch, in_channels, pd, ph, pw], dtype);
+        let n = IterVar::spatial(0, "n", batch);
+        let c = IterVar::spatial(1, "c", in_channels);
+        let d = IterVar::spatial(2, "d", pd);
+        let h = IterVar::spatial(3, "h", ph);
+        let w = IterVar::spatial(4, "w", pw);
+        let dd = IndexExpr::var(&d) - IndexExpr::constant(padding);
+        let hh = IndexExpr::var(&h) - IndexExpr::constant(padding);
+        let ww = IndexExpr::var(&w) - IndexExpr::constant(padding);
+        let body = ScalarExpr::Guarded {
+            index: dd.clone(),
+            lo: 0,
+            hi: depth - 1,
+            value: Box::new(ScalarExpr::Guarded {
+                index: hh.clone(),
+                lo: 0,
+                hi: height - 1,
+                value: Box::new(ScalarExpr::Guarded {
+                    index: ww.clone(),
+                    lo: 0,
+                    hi: width - 1,
+                    value: Box::new(ScalarExpr::load(
+                        input,
+                        vec![IndexExpr::var(&n), IndexExpr::var(&c), dd, hh, ww],
+                    )),
+                }),
+            }),
+        };
+        dag.compute(ComputeOp::new(
+            padded.clone(),
+            vec![n, c, d, h, w],
+            vec![],
+            body,
+            ReduceKind::None,
+        ));
+        padded
+    } else {
+        input
+    };
+    let od = (depth + 2 * padding - kernel) / stride + 1;
+    let oh = (height + 2 * padding - kernel) / stride + 1;
+    let ow = (width + 2 * padding - kernel) / stride + 1;
+    assert!(od >= 1 && oh >= 1 && ow >= 1, "conv3d output is empty");
+    let out =
+        Tensor::new("O", vec![batch, out_channels, od, oh, ow], dtype.accumulator());
+    let n = IterVar::spatial(0, "n", batch);
+    let co = IterVar::spatial(1, "co", out_channels);
+    let d = IterVar::spatial(2, "od", od);
+    let h = IterVar::spatial(3, "oh", oh);
+    let w = IterVar::spatial(4, "ow", ow);
+    let rc = IterVar::reduce(5, "rc", in_channels);
+    let rd = IterVar::reduce(6, "rd", kernel);
+    let rh = IterVar::reduce(7, "rh", kernel);
+    let rw = IterVar::reduce(8, "rw", kernel);
+    let id = IndexExpr::var(&d) * IndexExpr::constant(stride) + IndexExpr::var(&rd);
+    let ih = IndexExpr::var(&h) * IndexExpr::constant(stride) + IndexExpr::var(&rh);
+    let iw = IndexExpr::var(&w) * IndexExpr::constant(stride) + IndexExpr::var(&rw);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(
+            data,
+            vec![IndexExpr::var(&n), IndexExpr::var(&rc), id, ih, iw],
+        )),
+        Box::new(ScalarExpr::load(
+            weight,
+            vec![
+                IndexExpr::var(&co),
+                IndexExpr::var(&rc),
+                IndexExpr::var(&rd),
+                IndexExpr::var(&rh),
+                IndexExpr::var(&rw),
+            ],
+        )),
+    );
+    dag.compute(ComputeOp::new(
+        out,
+        vec![n, co, d, h, w],
+        vec![rc, rd, rh, rw],
+        body,
+        ReduceKind::Sum,
+    ));
+    dag
+}
+
+/// Transposed 2-D convolution (deconvolution), expressed as a zero-dilated
+/// scatter rewritten to a gather over a zero-stuffed, padded input — the
+/// standard TVM formulation, which produces one data-rearrangement stage plus
+/// a convolution stage.
+pub fn t2d(cfg: Conv2dConfig) -> Dag {
+    let mut dag = Dag::new();
+    let dtype = cfg.dtype;
+    let input =
+        Tensor::new("I", vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width], dtype);
+    let weight =
+        Tensor::new("W", vec![cfg.in_channels, cfg.out_channels, cfg.kh, cfg.kw], dtype);
+    dag.placeholder(input.clone());
+    dag.placeholder(weight.clone());
+
+    // Zero-stuffed and padded input: dimensions (H-1)*stride + 1 + 2*(k-1-p).
+    let edge_h = cfg.kh - 1 - cfg.padding;
+    let edge_w = cfg.kw - 1 - cfg.padding;
+    assert!(edge_h >= 0 && edge_w >= 0, "t2d requires padding <= kernel-1");
+    let sh = (cfg.height - 1) * cfg.stride + 1 + 2 * edge_h;
+    let sw = (cfg.width - 1) * cfg.stride + 1 + 2 * edge_w;
+    let stuffed = Tensor::new("pad", vec![cfg.batch, cfg.in_channels, sh, sw], dtype);
+    {
+        let n = IterVar::spatial(0, "n", cfg.batch);
+        let c = IterVar::spatial(1, "c", cfg.in_channels);
+        let h = IterVar::spatial(2, "h", sh);
+        let w = IterVar::spatial(3, "w", sw);
+        let hh = IndexExpr::var(&h) - IndexExpr::constant(edge_h);
+        let ww = IndexExpr::var(&w) - IndexExpr::constant(edge_w);
+        // Element present only at multiples of stride within bounds.
+        let body = ScalarExpr::Guarded {
+            index: hh.clone(),
+            lo: 0,
+            hi: (cfg.height - 1) * cfg.stride,
+            value: Box::new(ScalarExpr::Guarded {
+                index: ww.clone(),
+                lo: 0,
+                hi: (cfg.width - 1) * cfg.stride,
+                value: Box::new(ScalarExpr::load(
+                    input,
+                    vec![
+                        IndexExpr::var(&n),
+                        IndexExpr::var(&c),
+                        IndexExpr::Div(Box::new(hh), cfg.stride),
+                        IndexExpr::Div(Box::new(ww), cfg.stride),
+                    ],
+                )),
+            }),
+        };
+        dag.compute(ComputeOp::new(
+            stuffed.clone(),
+            vec![n, c, h, w],
+            vec![],
+            body,
+            ReduceKind::None,
+        ));
+    }
+
+    let oh = (cfg.height - 1) * cfg.stride + cfg.kh - 2 * cfg.padding;
+    let ow = (cfg.width - 1) * cfg.stride + cfg.kw - 2 * cfg.padding;
+    assert!(oh >= 1 && ow >= 1, "t2d output is empty");
+    let out = Tensor::new(
+        "O",
+        vec![cfg.batch, cfg.out_channels, oh, ow],
+        dtype.accumulator(),
+    );
+    let n = IterVar::spatial(0, "n", cfg.batch);
+    let co = IterVar::spatial(1, "co", cfg.out_channels);
+    let h = IterVar::spatial(2, "oh", oh);
+    let w = IterVar::spatial(3, "ow", ow);
+    let rc = IterVar::reduce(4, "rc", cfg.in_channels);
+    let rh = IterVar::reduce(5, "rh", cfg.kh);
+    let rw = IterVar::reduce(6, "rw", cfg.kw);
+    let ih = IndexExpr::var(&h) + IndexExpr::var(&rh);
+    let iw = IndexExpr::var(&w) + IndexExpr::var(&rw);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(
+            stuffed,
+            vec![IndexExpr::var(&n), IndexExpr::var(&rc), ih, iw],
+        )),
+        Box::new(ScalarExpr::load(
+            weight,
+            vec![
+                IndexExpr::var(&rc),
+                IndexExpr::var(&co),
+                // Flipped kernel taps.
+                IndexExpr::constant(cfg.kh - 1) - IndexExpr::var(&rh),
+                IndexExpr::constant(cfg.kw - 1) - IndexExpr::var(&rw),
+            ],
+        )),
+    );
+    dag.compute(ComputeOp::new(out, vec![n, co, h, w], vec![rc, rh, rw], body, ReduceKind::Sum));
+    dag
+}
+
+/// Depthwise 2-D convolution (MobileNet-style): each channel is convolved
+/// with its own filter, `O[n,c,oh,ow] += I[n,c,oh*s+rh-p,ow*s+rw-p] *
+/// W[c,rh,rw]`. The channel axis appears in *both* operands, so the MAC
+/// pattern of Rule-S1 does not match and the operator follows the scalar
+/// (CUDA-core / AVX) path — mirroring how depthwise convolutions cannot
+/// exploit matrix units on real DLAs.
+pub fn depthwise_conv2d(cfg: Conv2dConfig) -> Dag {
+    let mut dag = Dag::new();
+    let input =
+        Tensor::new("I", vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width], cfg.dtype);
+    let weight = Tensor::new("W", vec![cfg.in_channels, cfg.kh, cfg.kw], cfg.dtype);
+    dag.placeholder(input.clone());
+    dag.placeholder(weight.clone());
+
+    let data = if cfg.padding > 0 {
+        let ph = cfg.height + 2 * cfg.padding;
+        let pw = cfg.width + 2 * cfg.padding;
+        let padded = Tensor::new("pad", vec![cfg.batch, cfg.in_channels, ph, pw], cfg.dtype);
+        let n = IterVar::spatial(0, "n", cfg.batch);
+        let c = IterVar::spatial(1, "c", cfg.in_channels);
+        let h = IterVar::spatial(2, "h", ph);
+        let w = IterVar::spatial(3, "w", pw);
+        let hh = IndexExpr::var(&h) - IndexExpr::constant(cfg.padding);
+        let ww = IndexExpr::var(&w) - IndexExpr::constant(cfg.padding);
+        let body = ScalarExpr::Guarded {
+            index: hh.clone(),
+            lo: 0,
+            hi: cfg.height - 1,
+            value: Box::new(ScalarExpr::Guarded {
+                index: ww.clone(),
+                lo: 0,
+                hi: cfg.width - 1,
+                value: Box::new(ScalarExpr::load(
+                    input,
+                    vec![IndexExpr::var(&n), IndexExpr::var(&c), hh, ww],
+                )),
+            }),
+        };
+        dag.compute(ComputeOp::new(
+            padded.clone(),
+            vec![n, c, h, w],
+            vec![],
+            body,
+            ReduceKind::None,
+        ));
+        padded
+    } else {
+        input
+    };
+
+    let oh = cfg.out_height();
+    let ow = cfg.out_width();
+    assert!(oh >= 1 && ow >= 1, "depthwise output is empty");
+    let out = Tensor::new(
+        "O",
+        vec![cfg.batch, cfg.in_channels, oh, ow],
+        cfg.dtype.accumulator(),
+    );
+    let n = IterVar::spatial(0, "n", cfg.batch);
+    let c = IterVar::spatial(1, "c", cfg.in_channels);
+    let h = IterVar::spatial(2, "oh", oh);
+    let w = IterVar::spatial(3, "ow", ow);
+    let rh = IterVar::reduce(4, "rh", cfg.kh);
+    let rw = IterVar::reduce(5, "rw", cfg.kw);
+    let ih = IndexExpr::var(&h) * IndexExpr::constant(cfg.stride) + IndexExpr::var(&rh);
+    let iw = IndexExpr::var(&w) * IndexExpr::constant(cfg.stride) + IndexExpr::var(&rw);
+    let body = ScalarExpr::Mul(
+        Box::new(ScalarExpr::load(data, vec![IndexExpr::var(&n), IndexExpr::var(&c), ih, iw])),
+        Box::new(ScalarExpr::load(
+            weight,
+            vec![IndexExpr::var(&c), IndexExpr::var(&rh), IndexExpr::var(&rw)],
+        )),
+    );
+    dag.compute(ComputeOp::new(out, vec![n, c, h, w], vec![rh, rw], body, ReduceKind::Sum));
+    dag
+}
+
+/// Cumulative scan along the last axis, expressed as a triangular
+/// matrix-product-like reduction `S[b, i] += A[b, r]` for `r <= i`, which is
+/// the batched formulation Ansor/AMOS evaluate (SCAN).
+pub fn scan(batch: i64, length: i64) -> Dag {
+    let mut dag = Dag::new();
+    let a = Tensor::new("A", vec![batch, length], DType::F16);
+    dag.placeholder(a.clone());
+    let s = Tensor::new("C", vec![batch, length], DType::F32);
+    let b = IterVar::spatial(0, "b", batch);
+    let i = IterVar::spatial(1, "i", length);
+    let r = IterVar::reduce(2, "r", length);
+    // Guard keeps only r <= i, giving the prefix-sum semantics.
+    let body = ScalarExpr::Guarded {
+        index: IndexExpr::var(&i) - IndexExpr::var(&r),
+        lo: 0,
+        hi: length - 1,
+        value: Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&b), IndexExpr::var(&r)])),
+    };
+    dag.compute(ComputeOp::new(s, vec![b, i], vec![r], body, ReduceKind::Sum));
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_output_shape() {
+        let cfg = Conv2dConfig::new(1, 56, 56, 64, 64, 3, 3, 1, 1);
+        assert_eq!(cfg.out_height(), 56);
+        assert_eq!(cfg.out_width(), 56);
+        let dag = conv2d(cfg);
+        assert_eq!(dag.len(), 4); // I, W, pad, O
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 64, 56, 56]);
+    }
+
+    #[test]
+    fn conv2d_unpadded_has_no_pad_stage() {
+        let cfg = Conv2dConfig::new(1, 14, 14, 256, 512, 1, 1, 0, 1);
+        let dag = conv2d(cfg);
+        assert!(dag.stage_by_name("pad").is_none());
+        assert_eq!(dag.len(), 3);
+    }
+
+    #[test]
+    fn strided_conv_shape() {
+        let cfg = Conv2dConfig::new(16, 14, 14, 1024, 512, 1, 1, 0, 2);
+        assert_eq!(cfg.out_height(), 7);
+        let dag = conv2d(cfg);
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![16, 512, 7, 7]);
+    }
+
+    #[test]
+    fn dilated_conv_shape() {
+        let cfg = Conv2dConfig::new(1, 32, 32, 64, 64, 3, 3, 2, 1).with_dilation(2);
+        // 32 + 4 - 2*(3-1) - 1 = 31; /1 + 1 = 32
+        assert_eq!(cfg.out_height(), 32);
+        let dag = dil(Conv2dConfig::new(1, 32, 32, 64, 64, 3, 3, 2, 1), 2);
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 64, 32, 32]);
+    }
+
+    #[test]
+    fn t2d_upsamples() {
+        let cfg = Conv2dConfig::new(1, 7, 7, 512, 256, 4, 4, 1, 2);
+        let dag = t2d(cfg);
+        // (7-1)*2 + 4 - 2 = 14
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 256, 14, 14]);
+        assert!(dag.stage_by_name("pad").is_some());
+    }
+
+    #[test]
+    fn conv1d_shape() {
+        let dag = conv1d(1, 256, 64, 128, 3, 1, 1);
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 128, 256]);
+    }
+
+    #[test]
+    fn conv3d_shape() {
+        let dag = conv3d(1, 16, 16, 16, 16, 32, 3, 1, 1);
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 32, 16, 16, 16]);
+    }
+
+    #[test]
+    fn bmm_flops() {
+        let dag = bmm(16, 64, 64, 64);
+        assert_eq!(dag.total_flops(), 2 * 16 * 64 * 64 * 64);
+    }
+
+    #[test]
+    fn gemv_is_narrow_gemm() {
+        let dag = gemv(1024, 1024, 1);
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1024, 1]);
+    }
+
+    #[test]
+    fn depthwise_shape_and_flops() {
+        let cfg = Conv2dConfig::new(1, 28, 28, 32, 32, 3, 3, 1, 1);
+        let dag = depthwise_conv2d(cfg);
+        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 32, 28, 28]);
+        // Per output point: kh*kw MACs, 2 ops each; pad stage adds none.
+        assert_eq!(
+            dag.total_flops(),
+            (2 * 28 * 28 * 32 * 9) as u64
+        );
+    }
+
+    #[test]
+    fn scan_reads_triangular() {
+        let dag = scan(16, 128);
+        let op = dag.stage(dag.output()).compute().expect("compute");
+        assert_eq!(op.reduce_axes.len(), 1);
+    }
+
+    #[test]
+    fn dtyped_gemm_accumulates_wider() {
+        let dag = gemm_dtyped(64, 64, 64, DType::I8);
+        assert_eq!(dag.stage(dag.output()).tensor().dtype, DType::I32);
+    }
+}

@@ -1,0 +1,156 @@
+//! Naive loop-nest programs: the starting point of schedule generation.
+//!
+//! Directly expanding each compute stage's iteration variables yields the
+//! "naive program" that Algorithm 1 takes as input. The schedule state in
+//! `heron-sched` then transforms this structure symbolically.
+
+use std::fmt::Write as _;
+
+use crate::compute::{ReduceKind, StageKind};
+use crate::dag::Dag;
+use crate::expr::IterKind;
+
+/// One loop of a naive program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveLoop {
+    /// Loop variable name.
+    pub var: String,
+    /// Trip count.
+    pub extent: i64,
+    /// Whether this is a reduction loop.
+    pub is_reduce: bool,
+}
+
+/// The fully expanded loop nest of a single stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveStage {
+    /// Stage (output tensor) name.
+    pub name: String,
+    /// Loops, outermost first: spatial axes then reduction axes.
+    pub loops: Vec<NaiveLoop>,
+    /// Human-readable body, e.g. `C[i, j] += A[i, r] * B[r, j]`.
+    pub body: String,
+}
+
+/// A naive program: one loop nest per compute stage, in topological order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NaiveProgram {
+    /// Per-stage loop nests.
+    pub stages: Vec<NaiveStage>,
+}
+
+impl NaiveProgram {
+    /// Renders the program as indented pseudo-C, as used in the paper's
+    /// Figure 4 input panel.
+    pub fn to_pseudo_code(&self) -> String {
+        let mut out = String::new();
+        for stage in &self.stages {
+            let mut indent = 0usize;
+            for l in &stage.loops {
+                let _ = writeln!(
+                    out,
+                    "{}for {} in 0..{} {{{}",
+                    "  ".repeat(indent),
+                    l.var,
+                    l.extent,
+                    if l.is_reduce { " // reduce" } else { "" }
+                );
+                indent += 1;
+            }
+            let _ = writeln!(out, "{}{}", "  ".repeat(indent), stage.body);
+            for d in (0..stage.loops.len()).rev() {
+                let _ = writeln!(out, "{}}}", "  ".repeat(d));
+            }
+        }
+        out
+    }
+}
+
+/// Expands a DAG into its naive program.
+pub fn naive_program(dag: &Dag) -> NaiveProgram {
+    let mut stages = Vec::new();
+    for (_, stage) in dag.iter() {
+        let op = match &stage.kind {
+            StageKind::Placeholder(_) => continue,
+            StageKind::Compute(op) => op,
+        };
+        let loops = op
+            .all_axes()
+            .map(|a| NaiveLoop {
+                var: a.name.clone(),
+                extent: a.extent,
+                is_reduce: a.kind == IterKind::Reduce,
+            })
+            .collect();
+        let name_of = |vid| {
+            op.axis(vid).map(|a| a.name.clone()).unwrap_or_else(|| format!("{vid}"))
+        };
+        let lhs_idx: Vec<String> = op.axes.iter().map(|a| a.name.clone()).collect();
+        let rhs: Vec<String> = op
+            .body
+            .accesses()
+            .iter()
+            .map(|acc| {
+                let idx: Vec<String> = acc
+                    .indices
+                    .iter()
+                    .map(|ix| crate::simplify::simplify(ix).display_with(&name_of))
+                    .collect();
+                format!("{}[{}]", acc.tensor.name, idx.join(", "))
+            })
+            .collect();
+        let assign = match op.reduce {
+            ReduceKind::None => "=",
+            ReduceKind::Sum => "+=",
+            ReduceKind::Max => "max=",
+        };
+        let body = format!(
+            "{}[{}] {} {}",
+            op.output.name,
+            lhs_idx.join(", "),
+            assign,
+            rhs.join(" * ")
+        );
+        stages.push(NaiveStage { name: stage.name.clone(), loops, body });
+    }
+    NaiveProgram { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn gemm_naive_program() {
+        let dag = ops::gemm(32, 32, 16);
+        let p = naive_program(&dag);
+        assert_eq!(p.stages.len(), 1);
+        let s = &p.stages[0];
+        assert_eq!(s.loops.len(), 3);
+        assert!(s.loops[2].is_reduce);
+        assert!(s.body.contains("+="));
+        let code = p.to_pseudo_code();
+        assert!(code.contains("for i in 0..32"));
+        assert!(code.contains("for r in 0..16 { // reduce"));
+    }
+
+    #[test]
+    fn padded_conv_has_two_nests() {
+        let dag = ops::conv2d(ops::Conv2dConfig::new(1, 8, 8, 4, 4, 3, 3, 1, 1));
+        let p = naive_program(&dag);
+        assert_eq!(p.stages.len(), 2);
+        assert_eq!(p.stages[0].name, "pad");
+        assert_eq!(p.stages[1].name, "O");
+        assert_eq!(p.stages[1].loops.len(), 7);
+    }
+
+    #[test]
+    fn pseudo_code_braces_balance() {
+        let dag = ops::conv1d(1, 32, 8, 8, 3, 1, 1);
+        let code = naive_program(&dag).to_pseudo_code();
+        let open = code.matches('{').count();
+        let close = code.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,163 @@
+//! Algebraic simplification of index expressions.
+//!
+//! The operator builders generate expressions like `i * 1 + r * 1 - 0`
+//! (stride/dilation 1, padding 0); simplification normalises them so that
+//! static analysis (tensorize pattern matching, footprint computation)
+//! sees canonical forms and the pseudo-code printer emits readable output.
+
+use crate::expr::IndexExpr;
+
+/// Simplifies an index expression by constant folding and identity
+/// elimination. The result is semantically equal on every assignment.
+pub fn simplify(expr: &IndexExpr) -> IndexExpr {
+    match expr {
+        IndexExpr::Const(_) | IndexExpr::Var(_) => expr.clone(),
+        IndexExpr::Add(a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            match (&a, &b) {
+                (IndexExpr::Const(x), IndexExpr::Const(y)) => IndexExpr::Const(x + y),
+                (IndexExpr::Const(0), _) => b,
+                (_, IndexExpr::Const(0)) => a,
+                // Reassociate constants rightward: (e + c1) + c2 = e + (c1+c2).
+                (IndexExpr::Add(inner, c1), IndexExpr::Const(c2)) => {
+                    if let IndexExpr::Const(c1v) = c1.as_ref() {
+                        simplify(&IndexExpr::Add(
+                            inner.clone(),
+                            Box::new(IndexExpr::Const(c1v + c2)),
+                        ))
+                    } else {
+                        IndexExpr::Add(Box::new(a), Box::new(b))
+                    }
+                }
+                _ => IndexExpr::Add(Box::new(a), Box::new(b)),
+            }
+        }
+        IndexExpr::Sub(a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            match (&a, &b) {
+                (IndexExpr::Const(x), IndexExpr::Const(y)) => IndexExpr::Const(x - y),
+                (_, IndexExpr::Const(0)) => a,
+                _ if a == b => IndexExpr::Const(0),
+                _ => IndexExpr::Sub(Box::new(a), Box::new(b)),
+            }
+        }
+        IndexExpr::Mul(a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            match (&a, &b) {
+                (IndexExpr::Const(x), IndexExpr::Const(y)) => IndexExpr::Const(x * y),
+                (IndexExpr::Const(0), _) | (_, IndexExpr::Const(0)) => IndexExpr::Const(0),
+                (IndexExpr::Const(1), _) => b,
+                (_, IndexExpr::Const(1)) => a,
+                _ => IndexExpr::Mul(Box::new(a), Box::new(b)),
+            }
+        }
+        IndexExpr::Div(a, c) => {
+            let a = simplify(a);
+            match (&a, *c) {
+                (IndexExpr::Const(x), c) => IndexExpr::Const(x.div_euclid(c)),
+                (_, 1) => a,
+                // (e * c) / c = e for positive c.
+                (IndexExpr::Mul(e, k), c) => {
+                    if matches!(k.as_ref(), IndexExpr::Const(kv) if *kv == c) {
+                        e.as_ref().clone()
+                    } else {
+                        IndexExpr::Div(Box::new(a), c)
+                    }
+                }
+                _ => IndexExpr::Div(Box::new(a), *c),
+            }
+        }
+        IndexExpr::Mod(a, c) => {
+            let a = simplify(a);
+            match (&a, *c) {
+                (IndexExpr::Const(x), c) => IndexExpr::Const(x.rem_euclid(c)),
+                (_, 1) => IndexExpr::Const(0),
+                _ => IndexExpr::Mod(Box::new(a), *c),
+            }
+        }
+    }
+}
+
+/// Number of AST nodes (simplification never increases it).
+pub fn size(expr: &IndexExpr) -> usize {
+    match expr {
+        IndexExpr::Const(_) | IndexExpr::Var(_) => 1,
+        IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) | IndexExpr::Mul(a, b) => {
+            1 + size(a) + size(b)
+        }
+        IndexExpr::Div(a, _) | IndexExpr::Mod(a, _) => 1 + size(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{IterVar, VarId};
+
+    fn v(id: u32) -> IndexExpr {
+        IndexExpr::var(&IterVar::spatial(id, format!("v{id}"), 16))
+    }
+
+    #[test]
+    fn identities_eliminate() {
+        // i * 1 + 0 => i
+        let e = v(0) * IndexExpr::Const(1) + IndexExpr::Const(0);
+        assert_eq!(simplify(&e), v(0));
+        // i * 0 => 0
+        let e = v(0) * IndexExpr::Const(0);
+        assert_eq!(simplify(&e), IndexExpr::Const(0));
+        // i - i => 0
+        let e = v(1) - v(1);
+        assert_eq!(simplify(&e), IndexExpr::Const(0));
+    }
+
+    #[test]
+    fn constants_fold_and_reassociate() {
+        // ((i + 2) + 3) => i + 5
+        let e = (v(0) + IndexExpr::Const(2)) + IndexExpr::Const(3);
+        assert_eq!(simplify(&e), v(0) + IndexExpr::Const(5));
+        // 4 * 3 => 12
+        let e = IndexExpr::Const(4) * IndexExpr::Const(3);
+        assert_eq!(simplify(&e), IndexExpr::Const(12));
+    }
+
+    #[test]
+    fn div_mod_normalise() {
+        // (i * 4) / 4 => i
+        let e = IndexExpr::Div(Box::new(v(0) * IndexExpr::Const(4)), 4);
+        assert_eq!(simplify(&e), v(0));
+        // e % 1 => 0
+        let e = IndexExpr::Mod(Box::new(v(0) + v(1)), 1);
+        assert_eq!(simplify(&e), IndexExpr::Const(0));
+        // e / 1 => e
+        let e = IndexExpr::Div(Box::new(v(2)), 1);
+        assert_eq!(simplify(&e), v(2));
+    }
+
+    #[test]
+    fn simplification_preserves_semantics() {
+        // Exhaustively check a representative conv-style expression.
+        let e = (v(0) * IndexExpr::Const(1) + v(1) * IndexExpr::Const(1))
+            - IndexExpr::Const(0);
+        let s = simplify(&e);
+        assert!(size(&s) < size(&e));
+        for i in 0..16i64 {
+            for r in 0..16i64 {
+                let env = |var: VarId| Some(if var.0 == 0 { i } else { r });
+                assert_eq!(e.eval(&env), s.eval(&env));
+            }
+        }
+    }
+
+    #[test]
+    fn size_never_grows() {
+        let exprs = [
+            v(0) + v(1) * IndexExpr::Const(2),
+            IndexExpr::Div(Box::new(v(0) * IndexExpr::Const(3)), 3),
+            (v(0) - v(0)) + IndexExpr::Const(7),
+        ];
+        for e in exprs {
+            assert!(size(&simplify(&e)) <= size(&e));
+        }
+    }
+}

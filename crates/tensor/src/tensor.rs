@@ -1,0 +1,85 @@
+//! Tensor metadata: name, shape, and element type.
+
+use std::fmt;
+
+use crate::dtype::DType;
+
+/// A dense, row-major tensor descriptor.
+///
+/// The tensor language is shape-checked but carries no data: the Heron
+/// pipeline reasons about programs statically and the DLA measurer is an
+/// analytic simulator, so only metadata is needed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tensor {
+    /// Unique name within a DAG (`A`, `B`, `C`, `pad`, …).
+    pub name: String,
+    /// Dimension extents, outermost first.
+    pub shape: Vec<i64>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl Tensor {
+    /// Creates a tensor descriptor.
+    ///
+    /// # Panics
+    /// Panics if any dimension is < 1 or the shape is empty.
+    pub fn new(name: impl Into<String>, shape: Vec<i64>, dtype: DType) -> Self {
+        assert!(!shape.is_empty(), "tensor must have at least one dimension");
+        assert!(shape.iter().all(|&d| d >= 1), "tensor dimensions must be >= 1");
+        Tensor { name: name.into(), shape, dtype }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> i64 {
+        self.shape.iter().product()
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.num_elements() as u64 * self.dtype.bytes()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}[", self.name, self.dtype)?;
+        for (i, d) in self.shape.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_and_byte_counts() {
+        let t = Tensor::new("A", vec![16, 32], DType::F16);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.num_elements(), 512);
+        assert_eq!(t.bytes(), 1024);
+    }
+
+    #[test]
+    fn display_includes_shape() {
+        let t = Tensor::new("W", vec![64, 3, 3], DType::I8);
+        assert_eq!(t.to_string(), "W: i8[64, 3, 3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn zero_dim_rejected() {
+        Tensor::new("Z", vec![4, 0], DType::F32);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests of the tensor language: index-expression ranges bound
+//! every reachable value, and operator builders produce well-formed DAGs
+//! for arbitrary valid shapes.
+
+use heron_tensor::expr::IndexExpr;
+use heron_tensor::{ops, DType, IterVar, VarId};
+use proptest::prelude::*;
+
+/// A random affine-ish index expression over two variables.
+fn index_expr() -> impl Strategy<Value = IndexExpr> {
+    let leaf = prop_oneof![
+        (0i64..8).prop_map(IndexExpr::Const),
+        Just(IndexExpr::Var(VarId(0))),
+        Just(IndexExpr::Var(VarId(1))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), 1i64..5).prop_map(|(a, c)| a * IndexExpr::Const(c)),
+            (inner.clone(), 1i64..5).prop_map(|(a, c)| IndexExpr::Div(Box::new(a), c)),
+            (inner, 1i64..5).prop_map(|(a, c)| IndexExpr::Mod(Box::new(a), c)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `range()` is a sound enclosure of `eval()` over the whole domain.
+    #[test]
+    fn range_encloses_eval(e in index_expr(), e0 in 1i64..6, e1 in 1i64..6) {
+        let ext = |v: VarId| if v.0 == 0 { e0 } else { e1 };
+        let (lo, hi) = e.range(&ext);
+        for v0 in 0..e0 {
+            for v1 in 0..e1 {
+                let env = |v: VarId| Some(if v.0 == 0 { v0 } else { v1 });
+                let val = e.eval(&env).expect("closed expression");
+                prop_assert!(val >= lo && val <= hi,
+                    "value {val} outside range [{lo}, {hi}] for {e:?}");
+            }
+        }
+    }
+
+    /// Conv2d builders produce consistent DAGs for arbitrary valid configs.
+    #[test]
+    fn conv2d_builds_consistently(
+        batch in 1i64..4,
+        hw in 4i64..24,
+        ci in 1i64..32,
+        co in 1i64..32,
+        kk in 1i64..4,
+        pad in 0i64..2,
+        stride in 1i64..3,
+    ) {
+        prop_assume!(hw + 2 * pad >= kk);
+        let cfg = ops::Conv2dConfig::new(batch, hw, hw, ci, co, kk, kk, pad, stride);
+        prop_assume!(cfg.out_height() >= 1 && cfg.out_width() >= 1);
+        let dag = ops::conv2d(cfg);
+        // Output shape matches the config arithmetic.
+        let out = dag.stage(dag.output());
+        prop_assert_eq!(
+            out.tensor().shape.clone(),
+            vec![batch, co, cfg.out_height(), cfg.out_width()]
+        );
+        // Flops match the closed form: 2 * N * Co * OH * OW * Ci * Kh * Kw.
+        let conv_flops = 2 * batch * co * cfg.out_height() * cfg.out_width() * ci * kk * kk;
+        let pad_stage_present = pad > 0;
+        let total = dag.total_flops() as i64;
+        if pad_stage_present {
+            prop_assert!(total >= conv_flops, "{total} < {conv_flops}");
+        } else {
+            prop_assert_eq!(total, conv_flops);
+        }
+        // Topological validity: producers precede consumers.
+        let order = dag.post_order_traverse();
+        prop_assert_eq!(order.len(), dag.len());
+    }
+
+    /// GEMM flops and naive program agree for any shape.
+    #[test]
+    fn gemm_naive_program_consistent(m in 1i64..64, n in 1i64..64, k in 1i64..64) {
+        let dag = ops::gemm(m, n, k);
+        prop_assert_eq!(dag.total_flops(), (2 * m * n * k) as u64);
+        let p = heron_tensor::program::naive_program(&dag);
+        prop_assert_eq!(p.stages.len(), 1);
+        let loops = &p.stages[0].loops;
+        prop_assert_eq!(loops.iter().map(|l| l.extent).product::<i64>(), m * n * k);
+        let code = p.to_pseudo_code();
+        prop_assert_eq!(code.matches('{').count(), code.matches('}').count());
+    }
+
+    /// Simplification preserves semantics and never grows the AST.
+    #[test]
+    fn simplify_preserves_semantics(e in index_expr(), e0 in 1i64..5, e1 in 1i64..5) {
+        use heron_tensor::simplify::{simplify, size};
+        let s = simplify(&e);
+        prop_assert!(size(&s) <= size(&e));
+        // Simplification is idempotent.
+        prop_assert_eq!(simplify(&s).clone(), s.clone());
+        for v0 in 0..e0 {
+            for v1 in 0..e1 {
+                let env = |v: VarId| Some(if v.0 == 0 { v0 } else { v1 });
+                prop_assert_eq!(e.eval(&env), s.eval(&env), "simplify changed {:?}", e);
+            }
+        }
+    }
+
+    /// Accumulator dtypes widen for every input dtype.
+    #[test]
+    fn gemm_dtype_widening(sel in 0usize..3) {
+        let dt = [DType::F16, DType::BF16, DType::I8][sel];
+        let dag = ops::gemm_dtyped(8, 8, 8, dt);
+        let out = dag.stage(dag.output()).tensor().dtype;
+        prop_assert_eq!(out, dt.accumulator());
+        prop_assert!(out.bytes() >= dt.bytes());
+    }
+}
+
+/// Extra deterministic check: IterVar extents must be positive.
+#[test]
+#[should_panic(expected = "extent")]
+fn zero_extent_rejected() {
+    IterVar::spatial(0, "i", 0);
+}

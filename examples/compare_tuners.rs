@@ -1,0 +1,46 @@
+//! Compares Heron against the AutoTVM-, Ansor- and AMOS-like baselines and
+//! the vendor-library model on two TensorCore workloads: a large square
+//! GEMM (vendor home turf) and a skinny inference GEMM (where automatic
+//! constraint generation shines).
+//!
+//! ```sh
+//! cargo run --release --example compare_tuners
+//! ```
+
+use heron::prelude::*;
+
+fn main() {
+    let spec = heron::dla::v100();
+    let trials = 300;
+    let cases = [
+        ("G2: 4096x4096x4096", heron::tensor::ops::gemm(4096, 4096, 4096)),
+        ("G5: 32x1000x4096", heron::tensor::ops::gemm(32, 1000, 4096)),
+    ];
+    for (label, dag) in cases {
+        println!("== {label} ({trials} trials each) ==");
+        println!("{:<10} {:>12} {:>10} {:>9} {:>9}", "approach", "Gops", "latency", "valid", "invalid");
+        for approach in Approach::all() {
+            let o = tune(approach, &spec, &dag, label, trials, 7).expect("generates");
+            println!(
+                "{:<10} {:>12.0} {:>8.1}us {:>9} {:>9}",
+                o.name,
+                o.best_gflops,
+                o.best_latency_s * 1e6,
+                o.valid_trials,
+                o.invalid_trials
+            );
+        }
+        if let Some(v) = vendor_outcome(&spec, &dag, label, 7) {
+            println!(
+                "{:<10} {:>12.0} {:>8.1}us {:>9} {:>9}",
+                "cuDNN*",
+                v.gflops,
+                v.latency_s * 1e6,
+                "-",
+                "-"
+            );
+        }
+        println!();
+    }
+    println!("cuDNN* = vendor-library model (expert kernel menu on the same simulator)");
+}

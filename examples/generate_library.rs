@@ -1,0 +1,53 @@
+//! Library generation end to end: tune a set of operators, save the
+//! resulting kernel library to disk, reload it, and materialise kernels
+//! from the stored configurations without re-tuning — the deployment
+//! workflow of the paper's title.
+//!
+//! ```sh
+//! cargo run --release --example generate_library
+//! ```
+
+use heron::core::library::KernelLibrary;
+use heron::prelude::*;
+
+fn main() {
+    let spec = heron::dla::v100();
+    let workloads = [
+        ("gemm-1024", heron::tensor::ops::gemm(1024, 1024, 1024)),
+        ("gemm-g5", heron::tensor::ops::gemm(32, 1000, 4096)),
+        (
+            "c2d-c5",
+            heron::tensor::ops::conv2d(heron::tensor::ops::Conv2dConfig::new(
+                32, 14, 14, 256, 256, 3, 3, 1, 1,
+            )),
+        ),
+    ];
+
+    // 1. Generate the library.
+    let mut lib = KernelLibrary::new();
+    for (key, dag) in &workloads {
+        match lib.tune_and_insert(key, dag, &spec, TuneConfig::quick(150), 42) {
+            Some(e) => println!("{key}: {:.0} Gops ({:.1} us)", e.gflops, e.latency_s * 1e6),
+            None => println!("{key}: no valid program found"),
+        }
+    }
+
+    // 2. Persist and reload.
+    let path = std::env::temp_dir().join("heron_demo_library.txt");
+    lib.save(&path).expect("writable temp dir");
+    let loaded = KernelLibrary::load(&path).expect("round-trips");
+    assert_eq!(lib, loaded);
+    println!("\nsaved {} entries to {}", loaded.len(), path.display());
+
+    // 3. Deploy: materialise a stored kernel without tuning and verify it
+    //    still measures at the recorded speed.
+    let (key, dag) = &workloads[0];
+    let kernel = loaded.materialize(key, dag, &spec).expect("stored config is valid");
+    let measured = Measurer::new(spec).measure(&kernel).expect("runs");
+    let stored = loaded.get(key).expect("present");
+    println!(
+        "deployed `{key}` from the library: stored {:.0} Gops, re-measured {:.0} Gops",
+        stored.gflops, measured.gflops
+    );
+    println!("\ngenerated kernel:\n{}", heron::sched::kernel_pseudo_code(&kernel));
+}

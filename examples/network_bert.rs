@@ -1,0 +1,45 @@
+//! End-to-end network tuning: generates libraries for every distinct BERT
+//! layer (batch 16) on the simulated V100 TensorCore and reports the
+//! occurrence-weighted network latency, Heron vs the vendor library.
+//!
+//! ```sh
+//! cargo run --release --example network_bert
+//! ```
+
+use heron::prelude::*;
+
+fn main() {
+    let spec = heron::dla::v100();
+    let trials = 200;
+    let layers = heron::workloads::network("bert");
+    println!("BERT (batch 16) on simulated V100 — {} distinct layers", layers.len());
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>12}",
+        "layer", "count", "Heron (us)", "vendor (us)", "speedup"
+    );
+
+    let mut total_heron = 0.0;
+    let mut total_vendor = 0.0;
+    for (w, count) in &layers {
+        let dag = w.build(DType::F16);
+        let heron = tune(Approach::Heron, &spec, &dag, &w.name, trials, 11)
+            .expect("bert layers are tensorizable");
+        let vendor = vendor_outcome(&spec, &dag, &w.name, 11).expect("gpu vendor model");
+        total_heron += heron.best_latency_s * *count as f64;
+        total_vendor += vendor.latency_s * *count as f64;
+        println!(
+            "{:<12} {:>6} {:>14.1} {:>14.1} {:>11.2}x",
+            w.name,
+            count,
+            heron.best_latency_s * 1e6,
+            vendor.latency_s * 1e6,
+            vendor.latency_s / heron.best_latency_s
+        );
+    }
+    println!(
+        "\nnetwork latency: Heron {:.2} ms vs vendor {:.2} ms ({:.2}x)",
+        total_heron * 1e3,
+        total_vendor * 1e3,
+        total_vendor / total_heron
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: generate a constrained space for a GEMM on a TensorCore
+//! GPU, explore it with the constraint-based genetic algorithm, and print
+//! the best program found.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use heron::prelude::*;
+
+fn main() {
+    // A 1024^3 half-precision matrix multiply.
+    let dag = heron::tensor::ops::gemm(1024, 1024, 1024);
+    println!("compute:\n{}", heron::tensor::program::naive_program(&dag).to_pseudo_code());
+
+    // Stage 1: constrained space generation (paper Section 4).
+    let spec = heron::dla::v100();
+    let space = SpaceGenerator::new(spec.clone())
+        .generate_named(&dag, &SpaceOptions::heron(), "gemm-1024")
+        .expect("gemm is tensorizable");
+    let census = heron::csp::SpaceCensus::of(&space.csp);
+    println!(
+        "generated CSP_initial: {} variables, {} constraints, {} tunables",
+        census.total_vars(),
+        census.total_constraints(),
+        census.tunable_vars
+    );
+
+    // Stage 2: constrained space exploration with CGA (paper Section 5).
+    let trials = 300;
+    let mut tuner = Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(trials), 42);
+    let result = tuner.run();
+
+    println!(
+        "\nafter {trials} measured trials: best {:.0} Gops ({:.1}% of peak), latency {:.1} us",
+        result.best_gflops,
+        result.best_gflops * 1e9 / spec.peak_ops_per_sec() * 100.0,
+        result.best_latency_s * 1e6
+    );
+    println!(
+        "valid trials: {} | invalid: {} (CGA offspring are valid by construction)",
+        result.valid_trials, result.invalid_trials
+    );
+    if let Some(kernel) = &result.best_kernel {
+        println!("\nbest kernel:\n{kernel}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Tunes a quantised 2-D convolution for the VTA accelerator, showing how
+//! the automatically generated constraints capture VTA's explicit SRAM
+//! capacities and its accumulator access-cycle rule.
+//!
+//! ```sh
+//! cargo run --release --example vta_conv2d
+//! ```
+
+use heron::prelude::*;
+use heron::tensor::ops::{conv2d, Conv2dConfig};
+
+fn main() {
+    let spec = heron::dla::vta();
+    println!("target: {} — constraints from the spec:", spec.name);
+    for c in spec.constraint_summary() {
+        println!("  {c}");
+    }
+
+    // An int8 ResNet-style convolution.
+    let cfg = Conv2dConfig::new(1, 28, 28, 128, 128, 3, 3, 1, 1).with_dtype(DType::I8);
+    let dag = conv2d(cfg);
+    let space = SpaceGenerator::new(spec.clone())
+        .generate_named(&dag, &SpaceOptions::heron(), "c2d-vta")
+        .expect("conv2d maps onto the GEMM unit via im2col");
+
+    println!("\nschedule template ({} primitives):", space.template.primitives.len());
+    for p in space.template.primitives.iter().take(12) {
+        println!("  {p}");
+    }
+    if space.template.primitives.len() > 12 {
+        println!("  … {} more", space.template.primitives.len() - 12);
+    }
+
+    let mut tuner = Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(200), 3);
+    let r = tuner.run();
+    println!(
+        "\nbest: {:.2} Gops ({:.1}% of the {:.1}-Gops peak), latency {:.2} ms",
+        r.best_gflops,
+        r.best_gflops * 1e9 / spec.peak_ops_per_sec() * 100.0,
+        spec.peak_ops_per_sec() / 1e9,
+        r.best_latency_s * 1e3
+    );
+    if let Some(k) = &r.best_kernel {
+        for b in &k.buffers {
+            println!("  buffer {} @{}: {} B", b.name, b.scope, b.bytes);
+        }
+        let comp = k.tensorized_stage().expect("tensorized");
+        println!(
+            "  GEMM-unit invocations per task: {} | inner accumulation extent: {} (>= 2 required)",
+            comp.intrinsic_execs, comp.row_elems
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Integration tests of the DLA measurer's public contract: analysis and
+//! energy agree with measurement, across platforms, on real tuned kernels.
+
+use heron::prelude::*;
+use heron::tensor::ops;
+
+fn tuned_kernel(spec: &heron::dla::DlaSpec) -> heron::sched::Kernel {
+    let dag = ops::gemm_dtyped(512, 512, 512, spec.in_dtype);
+    let space = SpaceGenerator::new(spec.clone())
+        .generate_named(&dag, &SpaceOptions::heron(), "mc")
+        .expect("generates");
+    let mut tuner = Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(32), 23);
+    tuner.run().best_kernel.expect("found a kernel")
+}
+
+#[test]
+fn analysis_tracks_measurement_on_every_platform() {
+    for spec in [heron::dla::v100(), heron::dla::dlboost(), heron::dla::vta()] {
+        let kernel = tuned_kernel(&spec);
+        let measurer = Measurer::new(spec.clone());
+        let m = measurer.measure(&kernel).expect("valid");
+        let a = measurer.analyze(&kernel).expect("valid");
+        // The analysis total is the jitter-free trend of the measurement.
+        let clock_hz = match &spec.family {
+            heron::dla::DlaFamily::Gpu(g) => g.clock_ghz * 1e9,
+            heron::dla::DlaFamily::Cpu(c) => c.clock_ghz * 1e9,
+            heron::dla::DlaFamily::Vta(v) => v.clock_ghz * 1e9,
+        };
+        let trend = a.total_cycles / clock_hz;
+        let rel = (m.latency_s - trend).abs() / trend;
+        assert!(rel < 0.1, "{}: analysis drifts {rel} from measurement", spec.name);
+        // The report renders and names the bound.
+        let text = a.to_string();
+        assert!(text.contains("bound"));
+        assert!(!a.components.is_empty());
+    }
+}
+
+#[test]
+fn energy_is_consistent_and_positive_everywhere() {
+    for spec in [heron::dla::v100(), heron::dla::dlboost(), heron::dla::vta()] {
+        let kernel = tuned_kernel(&spec);
+        let measurer = Measurer::new(spec.clone());
+        let (m, e) = measurer.measure_with_energy(&kernel).expect("valid");
+        assert!(e.total_j() > 0.0);
+        assert!(e.compute_j > 0.0, "{}: tuned GEMM must burn compute energy", spec.name);
+        assert!(e.offchip_j > 0.0, "{}: operands come from DRAM", spec.name);
+        let eff = e.gops_per_watt(kernel.total_flops, m.latency_s);
+        assert!(eff.is_finite() && eff > 0.0);
+        // Energy components decompose the total.
+        let sum = e.compute_j + e.offchip_j + e.onchip_j + e.static_j;
+        assert!((sum - e.total_j()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn invalid_kernels_fail_analysis_and_energy_identically() {
+    let spec = heron::dla::v100();
+    let mut kernel = tuned_kernel(&spec);
+    // Blow the shared-memory budget.
+    kernel.buffers[0].bytes = 1 << 30;
+    let measurer = Measurer::new(spec);
+    assert!(measurer.measure(&kernel).is_err());
+    assert!(measurer.analyze(&kernel).is_err());
+    assert!(measurer.measure_with_energy(&kernel).is_err());
+}
+
+#[test]
+fn measurement_noise_is_controlled_by_protocol() {
+    let spec = heron::dla::v100();
+    let kernel = tuned_kernel(&spec);
+    let quiet = Measurer::new(spec.clone()).with_protocol(10, 0.0);
+    let noisy = Measurer::new(spec).with_protocol(1, 0.05);
+    let a = quiet.measure(&kernel).expect("valid");
+    let b = quiet.measure(&kernel).expect("valid");
+    assert_eq!(a.latency_s, b.latency_s, "zero-noise protocol is exact");
+    // Noisy protocol still deterministic per (kernel, protocol).
+    let c = noisy.measure(&kernel).expect("valid");
+    let d = noisy.measure(&kernel).expect("valid");
+    assert_eq!(c.latency_s, d.latency_s);
+}

@@ -1,0 +1,113 @@
+//! Integration tests pinning the paper's qualitative claims — the *shape*
+//! of the evaluation, at reduced trial budgets.
+
+use heron::prelude::*;
+use heron::tensor::ops;
+
+const TRIALS: usize = 60;
+
+#[test]
+fn heron_beats_every_baseline_on_tensorcore_gemm() {
+    let spec = heron::dla::v100();
+    let dag = ops::gemm(1024, 1024, 1024);
+    let heron = tune(Approach::Heron, &spec, &dag, "g1", TRIALS, 1).expect("ok");
+    for a in [Approach::AutoTvm, Approach::Ansor, Approach::Amos] {
+        let o = tune(a, &spec, &dag, "g1", TRIALS, 1).expect("ok");
+        assert!(
+            heron.best_gflops > o.best_gflops,
+            "Heron ({:.0}) must beat {} ({:.0})",
+            heron.best_gflops,
+            o.name,
+            o.best_gflops
+        );
+    }
+}
+
+#[test]
+fn ansor_cannot_use_tensor_cores() {
+    // The Ansor-like space never tensorizes, capping it at CUDA-core rates.
+    let spec = heron::dla::v100();
+    let dag = ops::gemm(2048, 2048, 2048);
+    let space = SpaceGenerator::new(spec)
+        .generate_named(&dag, &SpaceOptions::ansor(), "g")
+        .expect("generates");
+    assert!(
+        !space.template.stages.iter().any(|s| s.intrinsic.is_some()),
+        "ansor template must not contain a tensorized stage"
+    );
+}
+
+#[test]
+fn heron_wins_big_on_skinny_shapes_vs_vendor() {
+    let spec = heron::dla::v100();
+    // G5 = 32 x 1000 x 4096: awkward for fixed vendor kernels.
+    let skinny = ops::gemm(32, 1000, 4096);
+    let heron = tune(Approach::Heron, &spec, &skinny, "g5", TRIALS, 2).expect("ok");
+    let vendor = vendor_outcome(&spec, &skinny, "g5", 2).expect("vendor exists");
+    assert!(
+        heron.best_gflops > 1.3 * vendor.gflops,
+        "Heron {:.0} vs vendor {:.0} on skinny gemm",
+        heron.best_gflops,
+        vendor.gflops
+    );
+}
+
+#[test]
+fn vendor_competitive_on_square_gemm() {
+    let spec = heron::dla::v100();
+    let square = ops::gemm(4096, 4096, 4096);
+    let heron = tune(Approach::Heron, &spec, &square, "g2", TRIALS, 3).expect("ok");
+    let vendor = vendor_outcome(&spec, &square, "g2", 3).expect("vendor exists");
+    // On its home turf the vendor library is within ~2x of tuned Heron.
+    assert!(
+        vendor.gflops * 2.0 > heron.best_gflops,
+        "vendor should be competitive on square gemm: {:.0} vs {:.0}",
+        vendor.gflops,
+        heron.best_gflops
+    );
+}
+
+#[test]
+fn heron_never_wastes_trials_but_amos_does() {
+    let spec = heron::dla::v100();
+    let dag = ops::gemm(1024, 1024, 1024);
+    let heron = tune(Approach::Heron, &spec, &dag, "g", TRIALS, 4).expect("ok");
+    assert_eq!(heron.invalid_trials, 0);
+    let amos = tune(Approach::Amos, &spec, &dag, "g", TRIALS, 4).expect("ok");
+    assert!(amos.invalid_trials > 0, "AMOS should hit register-pressure failures");
+}
+
+#[test]
+fn dlboost_vnni_beats_avx_fallback() {
+    let spec = heron::dla::dlboost();
+    let dag = ops::gemm_dtyped(1024, 1024, 1024, DType::I8);
+    let heron = tune(Approach::Heron, &spec, &dag, "g", TRIALS, 5).expect("ok");
+    let ansor = tune(Approach::Ansor, &spec, &dag, "g", TRIALS, 5).expect("ok");
+    assert!(
+        heron.best_gflops > 2.0 * ansor.best_gflops,
+        "VNNI must dominate AVX: {:.0} vs {:.0}",
+        heron.best_gflops,
+        ansor.best_gflops
+    );
+}
+
+#[test]
+fn vta_heron_beats_autotvm_on_gemm() {
+    let spec = heron::dla::vta();
+    let dag = ops::gemm_dtyped(1024, 1024, 1024, DType::I8);
+    let heron = tune(Approach::Heron, &spec, &dag, "g", TRIALS, 6).expect("ok");
+    let autotvm = tune(Approach::AutoTvm, &spec, &dag, "g", TRIALS, 6).expect("ok");
+    assert!(
+        heron.best_gflops >= autotvm.best_gflops,
+        "Heron {:.1} vs AutoTVM {:.1} on VTA",
+        heron.best_gflops,
+        autotvm.best_gflops
+    );
+}
+
+#[test]
+fn scan_not_supported_on_vta() {
+    let spec = heron::dla::vta();
+    let dag = ops::scan(8, 128);
+    assert!(tune(Approach::Heron, &spec, &dag, "scan", 8, 7).is_err());
+}
