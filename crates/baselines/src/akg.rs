@@ -11,9 +11,8 @@
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_core::tuner::evaluate;
 use heron_dla::{DlaFamily, DlaSpec, Measurer};
+use heron_rng::HeronRng;
 use heron_tensor::Dag;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Result of the AKG model.
 #[derive(Debug, Clone, Copy)]
@@ -42,7 +41,7 @@ pub fn akg_outcome(spec: &DlaSpec, dag: &Dag, workload: &str, seed: u64) -> Opti
         .generate_named(dag, &SpaceOptions::heron(), workload)
         .ok()?;
     let measurer = Measurer::new(spec.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = HeronRng::from_seed(seed);
 
     for (i1, i2, j1, j2, r1) in LADDER {
         let mut csp = space.csp.clone();
@@ -87,7 +86,10 @@ pub fn akg_outcome(spec: &DlaSpec, dag: &Dag, workload: &str, seed: u64) -> Opti
             continue;
         };
         if let Ok((_, m)) = evaluate(&space, &measurer, &sol) {
-            return Some(AkgOutcome { gflops: m.gflops, latency_s: m.latency_s });
+            return Some(AkgOutcome {
+                gflops: m.gflops,
+                latency_s: m.latency_s,
+            });
         }
     }
     None

@@ -5,9 +5,8 @@ use heron_core::explore::Explorer;
 use heron_core::generate::{GenerateError, SpaceGenerator, SpaceOptions};
 use heron_core::tuner::{evaluate, TuneConfig, Tuner};
 use heron_dla::{DlaSpec, Measurer};
+use heron_rng::HeronRng;
 use heron_tensor::Dag;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Which end-to-end approach to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +44,12 @@ impl Approach {
 
     /// All four approaches (figure iteration order).
     pub fn all() -> [Approach; 4] {
-        [Approach::Heron, Approach::AutoTvm, Approach::Ansor, Approach::Amos]
+        [
+            Approach::Heron,
+            Approach::AutoTvm,
+            Approach::Ansor,
+            Approach::Amos,
+        ]
     }
 }
 
@@ -90,8 +94,7 @@ pub fn tune(
 
     if approach == Approach::Heron {
         let t = std::time::Instant::now();
-        let mut tuner =
-            Tuner::new(space, measurer, heron_config(trials), seed);
+        let mut tuner = Tuner::new(space, measurer, heron_config(trials), seed);
         let r = tuner.run();
         return Ok(Outcome {
             name: approach.name(),
@@ -131,12 +134,10 @@ pub fn tune(
             }
         }
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = HeronRng::from_seed(seed);
     let t = std::time::Instant::now();
     let curve = match approach {
-        Approach::AutoTvm => {
-            SaExplorer::default().explore(&space, &mut measure, trials, &mut rng)
-        }
+        Approach::AutoTvm => SaExplorer::default().explore(&space, &mut measure, trials, &mut rng),
         Approach::Ansor | Approach::Amos => {
             GaExplorer::default().explore(&space, &mut measure, trials, &mut rng)
         }
@@ -164,7 +165,10 @@ pub fn tune(
 /// Heron's tuning configuration scaled to the trial budget.
 pub fn heron_config(trials: usize) -> TuneConfig {
     if trials >= 1000 {
-        TuneConfig { trials, ..TuneConfig::paper() }
+        TuneConfig {
+            trials,
+            ..TuneConfig::paper()
+        }
     } else {
         TuneConfig::quick(trials)
     }
@@ -180,10 +184,8 @@ mod tests {
     fn heron_beats_ansor_on_tensorcore_gemm() {
         let dag = ops::gemm(1024, 1024, 1024);
         let spec = v100();
-        let heron =
-            tune(Approach::Heron, &spec, &dag, "g", 60, 1).expect("generates");
-        let ansor =
-            tune(Approach::Ansor, &spec, &dag, "g", 60, 1).expect("generates");
+        let heron = tune(Approach::Heron, &spec, &dag, "g", 60, 1).expect("generates");
+        let ansor = tune(Approach::Ansor, &spec, &dag, "g", 60, 1).expect("generates");
         assert!(heron.best_gflops > 0.0 && ansor.best_gflops > 0.0);
         assert!(
             heron.best_gflops > 2.0 * ansor.best_gflops,

@@ -15,9 +15,8 @@ use heron_core::generate::{GeneratedSpace, SpaceGenerator, SpaceOptions};
 use heron_core::tuner::evaluate;
 use heron_csp::Csp;
 use heron_dla::{DlaFamily, DlaSpec, Measurer};
+use heron_rng::HeronRng;
 use heron_tensor::Dag;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Hand-optimisation bonus: vendor kernels use mechanisms outside the
 /// schedule space (cp.async, swizzled layouts), worth ~10% when a menu
@@ -78,9 +77,24 @@ fn gpu_menu() -> Vec<MenuEntry> {
 /// register blocking).
 fn cpu_menu() -> Vec<MenuEntry> {
     vec![
-        vec![("tile.C.i2", 14), ("layout.B", 1), ("unroll", 64), ("vec.C", 16)],
-        vec![("tile.C.i2", 8), ("layout.B", 1), ("unroll", 64), ("vec.C", 16)],
-        vec![("tile.C.i2", 4), ("layout.B", 1), ("unroll", 16), ("vec.C", 16)],
+        vec![
+            ("tile.C.i2", 14),
+            ("layout.B", 1),
+            ("unroll", 64),
+            ("vec.C", 16),
+        ],
+        vec![
+            ("tile.C.i2", 8),
+            ("layout.B", 1),
+            ("unroll", 64),
+            ("vec.C", 16),
+        ],
+        vec![
+            ("tile.C.i2", 4),
+            ("layout.B", 1),
+            ("unroll", 16),
+            ("vec.C", 16),
+        ],
     ]
 }
 
@@ -97,11 +111,13 @@ pub struct VendorOutcome {
 fn realize_entry(
     space: &GeneratedSpace,
     entry: &MenuEntry,
-    rng: &mut StdRng,
+    rng: &mut HeronRng,
 ) -> Vec<heron_csp::Solution> {
     let mut csp: Csp = space.csp.clone();
     for (name, value) in entry {
-        let Some(var) = csp.var_by_name(name) else { return Vec::new() };
+        let Some(var) = csp.var_by_name(name) else {
+            return Vec::new();
+        };
         if !csp.var(var).domain.contains(*value) {
             return Vec::new(); // entry does not fit this shape
         }
@@ -113,26 +129,38 @@ fn realize_entry(
 
 /// Evaluates the vendor library on a workload; `None` when the platform
 /// has no vendor model (VTA) or no menu entry fits at all.
-pub fn vendor_outcome(spec: &DlaSpec, dag: &Dag, workload: &str, seed: u64) -> Option<VendorOutcome> {
+pub fn vendor_outcome(
+    spec: &DlaSpec,
+    dag: &Dag,
+    workload: &str,
+    seed: u64,
+) -> Option<VendorOutcome> {
     let menu = match spec.family {
         DlaFamily::Gpu(_) => gpu_menu(),
         DlaFamily::Cpu(_) => cpu_menu(),
         DlaFamily::Vta(_) => return None,
     };
     let generator = SpaceGenerator::new(spec.clone());
-    let space = generator.generate_named(dag, &SpaceOptions::heron(), workload).ok()?;
+    let space = generator
+        .generate_named(dag, &SpaceOptions::heron(), workload)
+        .ok()?;
     let measurer = Measurer::new(spec.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = HeronRng::from_seed(seed);
 
     let flops = dag.total_flops() as f64;
     let with_dispatch = |kernel_latency: f64| -> VendorOutcome {
         let latency_s = kernel_latency + DISPATCH_OVERHEAD_S;
-        VendorOutcome { gflops: flops / latency_s / 1e9, latency_s }
+        VendorOutcome {
+            gflops: flops / latency_s / 1e9,
+            latency_s,
+        }
     };
     let mut best: Option<VendorOutcome> = None;
     for entry in &menu {
         for sol in realize_entry(&space, entry, &mut rng) {
-            let Ok((_, m)) = evaluate(&space, &measurer, &sol) else { continue };
+            let Ok((_, m)) = evaluate(&space, &measurer, &sol) else {
+                continue;
+            };
             let boosted = with_dispatch(m.latency_s / VENDOR_BONUS);
             if best.is_none_or(|b| boosted.gflops > b.gflops) {
                 best = Some(boosted);
@@ -146,9 +174,7 @@ pub fn vendor_outcome(spec: &DlaSpec, dag: &Dag, workload: &str, seed: u64) -> O
     // hand-optimisation bonus). This is where the paper's large vendor
     // gaps on skewed shapes come from.
     if best.is_none() {
-        if let Ok(generic) =
-            generator.generate_named(dag, &SpaceOptions::autotvm(), workload)
-        {
+        if let Ok(generic) = generator.generate_named(dag, &SpaceOptions::autotvm(), workload) {
             let generic_measurer = Measurer::new(spec.clone());
             for sol in heron_csp::rand_sat_with_budget(&generic.csp, &mut rng, 3, 400) {
                 let Ok((_, m)) = evaluate(&generic, &generic_measurer, &sol) else {
@@ -185,7 +211,12 @@ mod tests {
         let square = ops::gemm(4096, 4096, 4096);
         let vs = vendor_outcome(&v100(), &skinny, "g5", 1).expect("exists");
         let vq = vendor_outcome(&v100(), &square, "g2", 1).expect("exists");
-        assert!(vs.gflops < vq.gflops * 0.5, "{} vs {}", vs.gflops, vq.gflops);
+        assert!(
+            vs.gflops < vq.gflops * 0.5,
+            "{} vs {}",
+            vs.gflops,
+            vq.gflops
+        );
     }
 
     #[test]

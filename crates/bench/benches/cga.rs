@@ -1,61 +1,50 @@
-//! Criterion bench: the constraint-based crossover/mutation operator
-//! (Algorithm 3) — building one offspring CSP and materialising a valid
-//! chromosome from it.
+//! Micro-bench (heron-testkit): the constraint-based
+//! crossover/mutation operator (Algorithm 3) — building one offspring
+//! CSP and materialising a valid chromosome from it — plus a short
+//! end-to-end tuning run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use heron_core::explore::cga::offspring_csp;
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_core::tuner::{TuneConfig, Tuner};
+use heron_rng::HeronRng;
 use heron_tensor::ops;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+use heron_testkit::bench::{black_box, Harness};
 
-fn bench_offspring(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("cga");
+
     let dag = ops::gemm(1024, 1024, 1024);
     let space = SpaceGenerator::new(heron_dla::v100())
         .generate_named(&dag, &SpaceOptions::heron(), "g1")
         .expect("generates");
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = HeronRng::from_seed(1);
     let parents = heron_csp::rand_sat(&space.csp, &mut rng, 2);
     let keys: Vec<_> = space.csp.tunables().into_iter().take(8).collect();
 
-    c.bench_function("cga/offspring_csp", |b| {
-        b.iter(|| {
-            let csp = offspring_csp(&space.csp, &keys, &parents[0], &parents[1], &mut rng);
-            black_box(csp.num_constraints())
-        });
+    h.bench("cga/offspring_csp", || {
+        let csp = offspring_csp(&space.csp, &keys, &parents[0], &parents[1], &mut rng);
+        black_box(csp.num_constraints())
     });
 
-    c.bench_function("cga/offspring_csp+solve", |b| {
-        b.iter(|| {
-            let csp = offspring_csp(&space.csp, &keys, &parents[0], &parents[1], &mut rng);
-            let sol = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 400);
-            black_box(sol.len())
-        });
+    h.bench("cga/offspring_csp+solve", || {
+        let csp = offspring_csp(&space.csp, &keys, &parents[0], &parents[1], &mut rng);
+        let sol = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 400);
+        black_box(sol.len())
     });
+
+    let tune_dag = ops::gemm(512, 512, 512);
+    h.bench("cga/tune-32-trials", || {
+        let space = SpaceGenerator::new(heron_dla::v100())
+            .generate_named(&tune_dag, &SpaceOptions::heron(), "g")
+            .expect("generates");
+        let mut tuner = Tuner::new(
+            space,
+            heron_dla::Measurer::new(heron_dla::v100()),
+            TuneConfig::quick(32),
+            7,
+        );
+        black_box(tuner.run().best_gflops)
+    });
+
+    h.finish();
 }
-
-fn bench_tuner_iteration(c: &mut Criterion) {
-    use heron_core::tuner::{TuneConfig, Tuner};
-    let dag = ops::gemm(512, 512, 512);
-    let mut group = c.benchmark_group("cga");
-    group.sample_size(10);
-    group.bench_function("tune-32-trials", |b| {
-        b.iter(|| {
-            let space = SpaceGenerator::new(heron_dla::v100())
-                .generate_named(&dag, &SpaceOptions::heron(), "g")
-                .expect("generates");
-            let mut tuner = Tuner::new(
-                space,
-                heron_dla::Measurer::new(heron_dla::v100()),
-                TuneConfig::quick(32),
-                7,
-            );
-            black_box(tuner.run().best_gflops)
-        });
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_offspring, bench_tuner_iteration);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
-//! Criterion bench: RandSAT sampling and propagation on the GEMM
-//! `CSP_initial` — the inner loop of CGA (called thousands of times per
-//! tuning session, so its cost sets the "CGA" slice of Figure 14).
+//! Micro-bench (heron-testkit): RandSAT sampling and propagation on the
+//! GEMM `CSP_initial` — the inner loop of CGA (called thousands of
+//! times per tuning session, so its cost sets the "CGA" slice of
+//! Figure 14).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_csp::propagate::Propagator;
+use heron_rng::HeronRng;
 use heron_tensor::ops;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+use heron_testkit::bench::{black_box, Harness};
 
 fn space() -> heron_core::generate::GeneratedSpace {
     let dag = ops::gemm(1024, 1024, 1024);
@@ -17,47 +16,36 @@ fn space() -> heron_core::generate::GeneratedSpace {
         .expect("generates")
 }
 
-fn bench_rand_sat(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("csp_solver");
     let space = space();
-    let mut group = c.benchmark_group("rand_sat");
-    group.sample_size(20);
-    group.bench_function("gemm-1024/1-solution", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| {
-            let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 1, 400);
-            black_box(sols.len())
-        });
-    });
-    group.bench_function("gemm-1024/16-solutions", |b| {
-        let mut rng = StdRng::seed_from_u64(2);
-        b.iter(|| {
-            let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 16, 400);
-            black_box(sols.len())
-        });
-    });
-    group.finish();
-}
 
-fn bench_propagation(c: &mut Criterion) {
-    let space = space();
-    c.bench_function("propagate/gemm-1024/run_all", |b| {
-        let prop = Propagator::new(&space.csp);
-        b.iter(|| {
-            let mut domains = prop.initial_domains();
-            prop.run_all(&mut domains).expect("feasible");
-            black_box(domains.len())
-        });
+    let mut rng = HeronRng::from_seed(1);
+    h.bench("rand_sat/gemm-1024/1-solution", || {
+        let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 1, 400);
+        black_box(sols.len())
     });
-}
 
-fn bench_validate(c: &mut Criterion) {
-    let space = space();
-    let mut rng = StdRng::seed_from_u64(3);
-    let sol = heron_csp::rand_sat(&space.csp, &mut rng, 1).pop().expect("solvable");
-    c.bench_function("validate/gemm-1024", |b| {
-        b.iter(|| black_box(heron_csp::validate(&space.csp, &sol)));
+    let mut rng = HeronRng::from_seed(2);
+    h.bench("rand_sat/gemm-1024/16-solutions", || {
+        let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 16, 400);
+        black_box(sols.len())
     });
-}
 
-criterion_group!(benches, bench_rand_sat, bench_propagation, bench_validate);
-criterion_main!(benches);
+    let prop = Propagator::new(&space.csp);
+    h.bench("propagate/gemm-1024/run_all", || {
+        let mut domains = prop.initial_domains();
+        prop.run_all(&mut domains).expect("feasible");
+        black_box(domains.len())
+    });
+
+    let mut rng = HeronRng::from_seed(3);
+    let sol = heron_csp::rand_sat(&space.csp, &mut rng, 1)
+        .pop()
+        .expect("solvable");
+    h.bench("validate/gemm-1024", || {
+        black_box(heron_csp::validate(&space.csp, &sol))
+    });
+
+    h.finish();
+}

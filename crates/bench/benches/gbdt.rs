@@ -1,47 +1,42 @@
-//! Criterion bench: cost-model training and prediction (Algorithm 2
-//! Step 4 and the fitness evaluations of Step 2).
+//! Micro-bench (heron-testkit): cost-model training and prediction
+//! (Algorithm 2 Step 4 and the fitness evaluations of Step 2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use heron_cost::{Gbdt, GbdtParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use heron_rng::{HeronRng, Rng};
+use heron_testkit::bench::{black_box, Harness};
 
 fn synthetic(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let x: Vec<Vec<f64>> =
-        (0..n).map(|_| (0..d).map(|_| rng.random::<f64>() * 8.0).collect()).collect();
-    let y: Vec<f64> =
-        x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + (r[2] * r[3]).sqrt()).collect();
+    let mut rng = HeronRng::from_seed(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>() * 8.0).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| 3.0 * r[0] - 2.0 * r[1] + (r[2] * r[3]).sqrt())
+        .collect();
     (x, y)
 }
 
-fn bench_gbdt(c: &mut Criterion) {
-    // Shapes matching a tuning session: ~80 CSP-variable features, growing
-    // sample counts.
-    let mut group = c.benchmark_group("gbdt-fit");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("gbdt");
+    // Shapes matching a tuning session: ~80 CSP-variable features,
+    // growing sample counts.
     for n in [128usize, 512, 2000] {
         let (x, y) = synthetic(n, 80, 7);
-        group.bench_function(format!("fit/{n}x80"), |b| {
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| {
-                let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
-                black_box(m.num_trees())
-            });
+        let mut rng = HeronRng::from_seed(1);
+        h.bench(&format!("gbdt-fit/{n}x80"), || {
+            let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
+            black_box(m.num_trees())
         });
     }
-    group.finish();
     let (x, y) = synthetic(512, 80, 9);
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = HeronRng::from_seed(2);
     let model = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
-    c.bench_function("gbdt/predict/512x80", |b| {
-        b.iter(|| black_box(model.predict_batch(&x).len()));
+    h.bench("gbdt/predict/512x80", || {
+        black_box(model.predict_batch(&x).len())
     });
-    c.bench_function("gbdt/importance/80", |b| {
-        b.iter(|| black_box(model.feature_importance().len()));
+    h.bench("gbdt/importance/80", || {
+        black_box(model.feature_importance().len())
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_gbdt);
-criterion_main!(benches);

@@ -1,17 +1,17 @@
-//! Criterion bench: the DLA measurer — lowering plus analytic latency
-//! estimation, which replaces hardware measurement in this reproduction.
+//! Micro-bench (heron-testkit): the DLA measurer — lowering plus
+//! analytic latency estimation, which replaces hardware measurement in
+//! this reproduction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_core::tuner::evaluate;
 use heron_dla::Measurer;
+use heron_rng::HeronRng;
 use heron_sched::lower;
 use heron_tensor::ops;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+use heron_testkit::bench::{black_box, Harness};
 
-fn bench_measure(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("simulator");
     for (name, spec, dag) in [
         ("v100", heron_dla::v100(), ops::gemm(1024, 1024, 1024)),
         (
@@ -19,35 +19,39 @@ fn bench_measure(c: &mut Criterion) {
             heron_dla::dlboost(),
             ops::gemm_dtyped(1024, 1024, 1024, heron_tensor::DType::I8),
         ),
-        ("vta", heron_dla::vta(), ops::gemm_dtyped(1024, 1024, 1024, heron_tensor::DType::I8)),
+        (
+            "vta",
+            heron_dla::vta(),
+            ops::gemm_dtyped(1024, 1024, 1024, heron_tensor::DType::I8),
+        ),
     ] {
         let space = SpaceGenerator::new(spec.clone())
             .generate_named(&dag, &SpaceOptions::heron(), name)
             .expect("generates");
         let measurer = Measurer::new(spec);
-        let mut rng = StdRng::seed_from_u64(1);
-        let sol = heron_csp::rand_sat(&space.csp, &mut rng, 1).pop().expect("solvable");
+        let mut rng = HeronRng::from_seed(1);
+        let sol = heron_csp::rand_sat(&space.csp, &mut rng, 1)
+            .pop()
+            .expect("solvable");
         let csp = space.csp.clone();
-        let kernel = lower(&space.template, sol.fingerprint(), &|n| sol.value_by_name(&csp, n))
-            .expect("lowers");
+        let kernel = lower(&space.template, sol.fingerprint(), &|n| {
+            sol.value_by_name(&csp, n)
+        })
+        .expect("lowers");
 
-        c.bench_function(&format!("lower/{name}"), |b| {
-            b.iter(|| {
-                let k = lower(&space.template, sol.fingerprint(), &|n| {
-                    sol.value_by_name(&csp, n)
-                })
-                .expect("lowers");
-                black_box(k.grid)
-            });
+        h.bench(&format!("lower/{name}"), || {
+            let k = lower(&space.template, sol.fingerprint(), &|n| {
+                sol.value_by_name(&csp, n)
+            })
+            .expect("lowers");
+            black_box(k.grid)
         });
-        c.bench_function(&format!("measure/{name}"), |b| {
-            b.iter(|| black_box(measurer.measure(&kernel).expect("valid").latency_s));
+        h.bench(&format!("measure/{name}"), || {
+            black_box(measurer.measure(&kernel).expect("valid").latency_s)
         });
-        c.bench_function(&format!("evaluate/{name}"), |b| {
-            b.iter(|| black_box(evaluate(&space, &measurer, &sol).expect("valid").1.gflops));
+        h.bench(&format!("evaluate/{name}"), || {
+            black_box(evaluate(&space, &measurer, &sol).expect("valid").1.gflops)
         });
     }
+    h.finish();
 }
-
-criterion_group!(benches, bench_measure);
-criterion_main!(benches);

@@ -1,50 +1,48 @@
-//! Criterion bench: constrained space generation (Algorithm 1) per
-//! operator and platform — the fixed cost paid once per workload.
+//! Micro-bench (heron-testkit): constrained space generation
+//! (Algorithm 1) per operator and platform — the fixed cost paid once
+//! per workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_tensor::ops;
-use std::hint::black_box;
+use heron_testkit::bench::{black_box, Harness};
 
-fn bench_generation(c: &mut Criterion) {
+fn main() {
     let cases = [
-        ("gemm-1024/v100", heron_dla::v100(), ops::gemm(1024, 1024, 1024)),
         (
-            "c2d-resnet/v100",
+            "generate/gemm-1024/v100",
+            heron_dla::v100(),
+            ops::gemm(1024, 1024, 1024),
+        ),
+        (
+            "generate/c2d-resnet/v100",
             heron_dla::v100(),
             ops::conv2d(ops::Conv2dConfig::new(16, 14, 14, 256, 256, 3, 3, 1, 1)),
         ),
         (
-            "c3d/v100",
+            "generate/c3d/v100",
             heron_dla::v100(),
             ops::conv3d(1, 16, 28, 28, 64, 64, 3, 1, 1),
         ),
         (
-            "gemm-1024/dlboost",
+            "generate/gemm-1024/dlboost",
             heron_dla::dlboost(),
             ops::gemm_dtyped(1024, 1024, 1024, heron_tensor::DType::I8),
         ),
         (
-            "gemm-1024/vta",
+            "generate/gemm-1024/vta",
             heron_dla::vta(),
             ops::gemm_dtyped(1024, 1024, 1024, heron_tensor::DType::I8),
         ),
     ];
-    let mut group = c.benchmark_group("generate");
-    group.sample_size(20);
+    let mut h = Harness::new("space_generation");
     for (name, spec, dag) in cases {
         let generator = SpaceGenerator::new(spec);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let space = generator
-                    .generate_named(&dag, &SpaceOptions::heron(), name)
-                    .expect("generates");
-                black_box(space.csp.num_constraints())
-            });
+        h.bench(name, || {
+            let space = generator
+                .generate_named(&dag, &SpaceOptions::heron(), name)
+                .expect("generates");
+            black_box(space.csp.num_constraints())
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);

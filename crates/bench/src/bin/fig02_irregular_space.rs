@@ -9,9 +9,8 @@ use heron_core::explore::Explorer;
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_core::tuner::evaluate;
 use heron_dla::{v100, Measurer};
+use heron_rng::HeronRng;
 use heron_tensor::ops;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let spec = v100();
@@ -30,7 +29,7 @@ fn main() {
         Box::new(GaExplorer::default()),
     ];
     for explorer in &mut explorers {
-        let mut rng = StdRng::seed_from_u64(seed());
+        let mut rng = HeronRng::from_seed(seed());
         let mut measure = |sol: &heron_csp::Solution| {
             evaluate(&space, &measurer, sol).ok().map(|(_, m)| m.gflops)
         };

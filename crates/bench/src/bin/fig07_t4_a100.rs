@@ -22,7 +22,8 @@ fn main() {
             let akg = akg_outcome(&spec, &w.build(spec.in_dtype), &w.name, seed());
             let hg = heron.as_ref().map_or(0.0, |o| o.best_gflops);
             let fmt = |o: &Option<heron_baselines::Outcome>| {
-                o.as_ref().map_or("-".into(), |o| format!("{:.0}", o.best_gflops))
+                o.as_ref()
+                    .map_or("-".into(), |o| format!("{:.0}", o.best_gflops))
             };
             println!(
                 "{}\t{}\t{:.0}\t{}\t{}\t{}\t{}\t{}\t{:.1}",

@@ -22,8 +22,7 @@ fn main() {
             };
             heron_scores.push(heron.best_gflops);
             let others = [
-                run_approach(Approach::AutoTvm, &spec, &w, trials, seed())
-                    .map(|o| o.best_gflops),
+                run_approach(Approach::AutoTvm, &spec, &w, trials, seed()).map(|o| o.best_gflops),
                 run_approach(Approach::Ansor, &spec, &w, trials, seed()).map(|o| o.best_gflops),
                 run_approach(Approach::Amos, &spec, &w, trials, seed()).map(|o| o.best_gflops),
                 run_vendor(&spec, &w, seed()).map(|(g, _)| g),

@@ -17,7 +17,9 @@ fn main() {
         for w in operator_suite(op) {
             let heron = run_approach(Approach::Heron, &spec, &w, trials, seed());
             let autotvm = run_approach(Approach::AutoTvm, &spec, &w, trials, seed());
-            let (Some(h), Some(a)) = (heron, autotvm) else { continue };
+            let (Some(h), Some(a)) = (heron, autotvm) else {
+                continue;
+            };
             if h.best_gflops > 0.0 && a.best_gflops > 0.0 {
                 speedups.push(h.best_gflops / a.best_gflops);
             }
@@ -26,7 +28,11 @@ fn main() {
                 w.name,
                 h.best_gflops,
                 a.best_gflops,
-                if a.best_gflops > 0.0 { h.best_gflops / a.best_gflops } else { 0.0 }
+                if a.best_gflops > 0.0 {
+                    h.best_gflops / a.best_gflops
+                } else {
+                    0.0
+                }
             );
         }
         per_op_speedups.push((op, speedups));

@@ -16,8 +16,7 @@ fn main() {
         let mut lat = [0.0f64; 4]; // heron, autotvm, amos, vendor
         for (w, count) in network(name) {
             let c = count as f64;
-            let approaches =
-                [Approach::Heron, Approach::AutoTvm, Approach::Amos];
+            let approaches = [Approach::Heron, Approach::AutoTvm, Approach::Amos];
             for (i, a) in approaches.iter().enumerate() {
                 if let Some(o) = run_approach(*a, &spec, &w, trials, seed()) {
                     if o.best_latency_s.is_finite() {

@@ -12,9 +12,8 @@ use heron_bench::seed;
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_core::tuner::evaluate;
 use heron_dla::{v100, Measurer};
+use heron_rng::HeronRng;
 use heron_tensor::ops;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeMap;
 
 fn bucket(bytes: i64) -> u32 {
@@ -26,15 +25,20 @@ fn main() {
     let spec = v100();
     let dag = ops::gemm(1024, 1024, 1024);
     let measurer = Measurer::new(spec.clone());
-    let samples: usize =
-        std::env::var("HERON_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(1500);
+    let samples: usize = std::env::var("HERON_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
 
     println!("Figure 11: search-space quality on GEMM G1 ({samples} samples per space)");
-    for (label, opts) in [("Heron", SpaceOptions::heron()), ("AutoTVM", SpaceOptions::autotvm())] {
+    for (label, opts) in [
+        ("Heron", SpaceOptions::heron()),
+        ("AutoTVM", SpaceOptions::autotvm()),
+    ] {
         let space = SpaceGenerator::new(spec.clone())
             .generate_named(&dag, &opts, "G1")
             .expect("generates");
-        let mut rng = StdRng::seed_from_u64(seed());
+        let mut rng = HeronRng::from_seed(seed());
         let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, samples, 400);
         let mut cells: BTreeMap<(u32, u32), f64> = BTreeMap::new();
         let mut valid = 0usize;

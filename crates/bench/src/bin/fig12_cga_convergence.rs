@@ -10,15 +10,17 @@ use heron_core::explore::Explorer;
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_core::tuner::evaluate;
 use heron_dla::{v100, Measurer};
+use heron_rng::HeronRng;
 use heron_tensor::ops;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let spec = v100();
     let steps = trials();
     let cases = [
-        ("C2D", ops::conv2d(ops::Conv2dConfig::new(16, 14, 14, 256, 256, 3, 3, 1, 1))),
+        (
+            "C2D",
+            ops::conv2d(ops::Conv2dConfig::new(16, 14, 14, 256, 256, 3, 3, 1, 1)),
+        ),
         ("GEMM", ops::gemm(1024, 1024, 1024)),
     ];
     println!("Figure 12: exploration efficiency (steps={steps})");
@@ -35,7 +37,7 @@ fn main() {
             Box::new(RandomExplorer),
         ];
         for explorer in &mut explorers {
-            let mut rng = StdRng::seed_from_u64(seed());
+            let mut rng = HeronRng::from_seed(seed());
             let mut measure = |sol: &heron_csp::Solution| {
                 evaluate(&space, &measurer, sol).ok().map(|(_, m)| m.gflops)
             };

@@ -44,7 +44,9 @@ fn usage() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -62,7 +64,10 @@ fn platform(name: &str) -> DlaSpec {
 }
 
 fn platforms() {
-    println!("{:<10} {:>12} {:>8}  constraints", "name", "peak(Tops)", "dtype");
+    println!(
+        "{:<10} {:>12} {:>8}  constraints",
+        "name", "peak(Tops)", "dtype"
+    );
     for s in heron_dla::platforms::all() {
         println!(
             "{:<10} {:>12.1} {:>8}  {}",
@@ -97,15 +102,28 @@ fn parse_workload(op: &str, shape: &str) -> Workload {
     let kind = match op {
         "gemm" => {
             expect(3);
-            OpKind::Gemm { m: d[0], n: d[1], k: d[2] }
+            OpKind::Gemm {
+                m: d[0],
+                n: d[1],
+                k: d[2],
+            }
         }
         "bmm" => {
             expect(4);
-            OpKind::Bmm { b: d[0], m: d[1], n: d[2], k: d[3] }
+            OpKind::Bmm {
+                b: d[0],
+                m: d[1],
+                n: d[2],
+                k: d[3],
+            }
         }
         "gemv" => {
             expect(3);
-            OpKind::Gemv { m: d[0], k: d[1], b: d[2] }
+            OpKind::Gemv {
+                m: d[0],
+                k: d[1],
+                b: d[2],
+            }
         }
         "scan" => {
             expect(2);
@@ -113,11 +131,21 @@ fn parse_workload(op: &str, shape: &str) -> Workload {
         }
         "c1d" => {
             expect(7);
-            OpKind::C1d { n: d[0], l: d[1], ci: d[2], co: d[3], k: d[4], p: d[5], s: d[6] }
+            OpKind::C1d {
+                n: d[0],
+                l: d[1],
+                ci: d[2],
+                co: d[3],
+                k: d[4],
+                p: d[5],
+                s: d[6],
+            }
         }
         "c2d" => {
             expect(8);
-            OpKind::C2d(Conv2dConfig::new(d[0], d[1], d[2], d[3], d[4], d[5], d[5], d[6], d[7]))
+            OpKind::C2d(Conv2dConfig::new(
+                d[0], d[1], d[2], d[3], d[4], d[5], d[5], d[6], d[7],
+            ))
         }
         "c3d" => {
             expect(8);
@@ -154,8 +182,12 @@ fn common(args: &[String]) -> Common {
     Common {
         workload: parse_workload(&op, &shape),
         spec,
-        trials: flag(args, "--trials").and_then(|t| t.parse().ok()).unwrap_or(300),
-        seed: flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2023),
+        trials: flag(args, "--trials")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(300),
+        seed: flag(args, "--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2023),
     }
 }
 
@@ -166,7 +198,14 @@ fn tune_cmd(args: &[String]) {
         "tuning `{}` on {} for {} trials…",
         c.workload.name, c.spec.name, c.trials
     );
-    match tune(Approach::Heron, &c.spec, &dag, &c.workload.name, c.trials, c.seed) {
+    match tune(
+        Approach::Heron,
+        &c.spec,
+        &dag,
+        &c.workload.name,
+        c.trials,
+        c.seed,
+    ) {
         Ok(o) => {
             println!(
                 "best: {:.1} Gops ({:.1}% of peak), latency {:.1} us, invalid trials {}",
@@ -220,7 +259,10 @@ fn compare_cmd(args: &[String]) {
         "comparing approaches on `{}` / {} ({} trials each)",
         c.workload.name, c.spec.name, c.trials
     );
-    println!("{:<10} {:>12} {:>12} {:>8} {:>8}", "approach", "Gops", "latency", "valid", "invalid");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8} {:>8}",
+        "approach", "Gops", "latency", "valid", "invalid"
+    );
     for a in Approach::all() {
         match tune(a, &c.spec, &dag, &c.workload.name, c.trials, c.seed) {
             Ok(o) => println!(
@@ -269,7 +311,10 @@ fn census_cmd(args: &[String]) {
             for (tag, n) in &census.constraints_by_type {
                 println!("    {tag}: {n}");
             }
-            println!("  tunable cross-product: 10^{:.1}", space.csp.tunable_space_log10());
+            println!(
+                "  tunable cross-product: 10^{:.1}",
+                space.csp.tunable_space_log10()
+            );
             println!("  schedule template:");
             for p in &space.template.primitives {
                 println!("    {p}");

@@ -17,11 +17,11 @@ fn main() {
         ("GEMM", ops::gemm(512, 512, 512)),
         ("BMM", ops::bmm(16, 512, 512, 64)),
         ("C1D", ops::conv1d(8, 128, 128, 256, 3, 1, 1)),
-        ("C2D", ops::conv2d(ops::Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 1, 1))),
         (
-            "C3D",
-            ops::conv3d(1, 16, 28, 28, 64, 64, 3, 1, 1),
+            "C2D",
+            ops::conv2d(ops::Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 1, 1)),
         ),
+        ("C3D", ops::conv3d(1, 16, 28, 28, 64, 64, 3, 1, 1)),
     ];
 
     println!("Table 4: variable breakdown of the GEMM space (paper: 10/82/30/51)");
@@ -49,8 +49,11 @@ fn main() {
     println!("Table 5: variables and constraints per operator (paper: 173/372 … 363/861)");
     println!("op\tvariables\tconstraints\tby-type");
     for (name, c) in &table5 {
-        let types: Vec<String> =
-            c.constraints_by_type.iter().map(|(t, n)| format!("{t}:{n}")).collect();
+        let types: Vec<String> = c
+            .constraints_by_type
+            .iter()
+            .map(|(t, n)| format!("{t}:{n}"))
+            .collect();
         println!(
             "{name}\t{}\t{}\t{}",
             c.total_vars(),

@@ -16,7 +16,10 @@ use heron_dla::{v100, Measurer};
 use heron_workloads::{operator_suite, Workload};
 
 fn first(op: &str) -> Workload {
-    operator_suite(op).into_iter().next().expect("non-empty suite")
+    operator_suite(op)
+        .into_iter()
+        .next()
+        .expect("non-empty suite")
 }
 
 fn main() {
@@ -29,7 +32,9 @@ fn main() {
     for op in ops {
         let w = first(op);
         let mins = |o: Option<heron_baselines::Outcome>| {
-            o.map_or("-".into(), |o| format!("{:.1}", (o.hw_measure_s + o.search_s) / 60.0))
+            o.map_or("-".into(), |o| {
+                format!("{:.1}", (o.hw_measure_s + o.search_s) / 60.0)
+            })
         };
         let autotvm = run_approach(Approach::AutoTvm, &spec, &w, trials, seed());
         let amos = run_approach(Approach::Amos, &spec, &w, trials, seed());

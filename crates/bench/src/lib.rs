@@ -19,17 +19,27 @@ use heron_workloads::Workload;
 
 /// Measured trials per tuning run (`HERON_TRIALS`, default 300).
 pub fn trials() -> usize {
-    std::env::var("HERON_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(300)
+    std::env::var("HERON_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
 }
 
 /// Base RNG seed (`HERON_SEED`, default 2023).
 pub fn seed() -> u64 {
-    std::env::var("HERON_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(2023)
+    std::env::var("HERON_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2023)
 }
 
 /// Geometric mean of positive values (ignores non-positive entries).
 pub fn geomean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0.0).map(|v| v.ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|&&v| v > 0.0)
+        .map(|v| v.ln())
+        .collect();
     if logs.is_empty() {
         return 0.0;
     }
@@ -102,7 +112,10 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
         assert_eq!(geomean(&[]), 0.0);
-        assert!((geomean(&[3.0, 0.0, 3.0]) - 3.0).abs() < 1e-9, "zeros ignored");
+        assert!(
+            (geomean(&[3.0, 0.0, 3.0]) - 3.0).abs() < 1e-9,
+            "zeros ignored"
+        );
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! materialises a concrete, *guaranteed-valid* chromosome.
 
 use heron_csp::{rand_sat_with_budget, Csp, Solution, VarRef};
-use rand::prelude::IndexedRandom;
-use rand::rngs::StdRng;
-use rand::Rng;
+use heron_rng::HeronRng;
+use heron_rng::IndexedRandom;
+use heron_rng::Rng;
 
 use crate::generate::GeneratedSpace;
 use crate::model::CostModel;
@@ -89,24 +89,31 @@ pub struct CgaExplorer {
 impl CgaExplorer {
     /// Full CGA with model-derived key variables.
     pub fn new(config: CgaConfig) -> Self {
-        CgaExplorer { config, random_key_vars: false, model: None }
+        CgaExplorer {
+            config,
+            random_key_vars: false,
+            model: None,
+        }
     }
 
     /// The CGA-1 variant (random key variables) of Figure 13.
     pub fn cga1(config: CgaConfig) -> Self {
-        CgaExplorer { config, random_key_vars: true, model: None }
+        CgaExplorer {
+            config,
+            random_key_vars: true,
+            model: None,
+        }
     }
 
     /// Access to the trained cost model after exploration.
     pub fn model(&self) -> Option<&CostModel> {
         self.model.as_ref()
     }
-
 }
 
 /// Random key variables among the tunables (CGA-1's policy, and CGA's
 /// fallback before the cost model is first fitted).
-fn random_keys(csp: &Csp, k: usize, rng: &mut StdRng) -> Vec<VarRef> {
+fn random_keys(csp: &Csp, k: usize, rng: &mut HeronRng) -> Vec<VarRef> {
     let tunables = csp.tunables();
     let mut keys = Vec::new();
     for _ in 0..k.min(tunables.len()) {
@@ -133,7 +140,7 @@ impl Explorer for CgaExplorer {
         space: &GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64> {
         let cfg = self.config;
         let mut model = CostModel::new(&space.csp);
@@ -144,8 +151,7 @@ impl Explorer for CgaExplorer {
         while curve.len() < steps {
             // Step-1: first generation = survivors + fresh random solutions.
             let need = cfg.population.saturating_sub(survivors.len());
-            let fresh =
-                rand_sat_with_budget(&space.csp, rng, need, cfg.solver_budget);
+            let fresh = rand_sat_with_budget(&space.csp, rng, need, cfg.solver_budget);
             if fresh.is_empty() && survivors.is_empty() {
                 break; // infeasible space
             }
@@ -179,21 +185,24 @@ impl Explorer for CgaExplorer {
                         &pop[i2].solution,
                         rng,
                     );
-                    if let Some(sol) =
-                        rand_sat_with_budget(&csp, rng, 1, cfg.solver_budget).pop()
-                    {
+                    if let Some(sol) = rand_sat_with_budget(&csp, rng, 1, cfg.solver_budget).pop() {
                         debug_assert!(
                             heron_csp::validate(&space.csp, &sol),
                             "CGA offspring must satisfy CSP_initial"
                         );
                         let fitness = model.predict(&sol);
-                        children.push(Chromosome { solution: sol, fitness });
+                        children.push(Chromosome {
+                            solution: sol,
+                            fitness,
+                        });
                     }
                 }
                 pop.extend(children);
                 // Keep the population bounded: best by predicted fitness.
                 pop.sort_by(|a, b| {
-                    b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                    b.fitness
+                        .partial_cmp(&a.fitness)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 pop.truncate(cfg.population * 2);
             }
@@ -229,7 +238,9 @@ impl Explorer for CgaExplorer {
                 c.fitness = model.predict(&c.solution);
             }
             pop.sort_by(|a, b| {
-                b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                b.fitness
+                    .partial_cmp(&a.fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             survivors = pop.into_iter().take(cfg.population / 2).collect();
         }
@@ -242,7 +253,6 @@ impl Explorer for CgaExplorer {
 mod tests {
     use super::*;
     use heron_csp::{Domain, VarCategory};
-    use rand::SeedableRng;
 
     fn toy_csp() -> Csp {
         let mut csp = Csp::new();
@@ -256,7 +266,7 @@ mod tests {
     #[test]
     fn offspring_satisfy_initial_constraints() {
         let csp = toy_csp();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let parents = heron_csp::rand_sat(&csp, &mut rng, 2);
         let keys: Vec<VarRef> = csp.tunables();
         for _ in 0..20 {
@@ -270,10 +280,13 @@ mod tests {
     #[test]
     fn mutation_removes_exactly_one_constraint() {
         let csp = toy_csp();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = HeronRng::from_seed(1);
         let parents = heron_csp::rand_sat(&csp, &mut rng, 2);
         let keys: Vec<VarRef> = csp.tunables();
         let child = offspring_csp(&csp, &keys, &parents[0], &parents[1], &mut rng);
-        assert_eq!(child.num_constraints(), csp.num_constraints() + keys.len() - 1);
+        assert_eq!(
+            child.num_constraints(),
+            csp.num_constraints() + keys.len() - 1
+        );
     }
 }

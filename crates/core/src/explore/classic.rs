@@ -8,9 +8,9 @@
 //! why it is a surprisingly strong baseline there.
 
 use heron_csp::{rand_sat_with_budget, validate, Solution};
-use rand::prelude::IndexedRandom;
-use rand::rngs::StdRng;
-use rand::Rng;
+use heron_rng::HeronRng;
+use heron_rng::IndexedRandom;
+use heron_rng::Rng;
 
 use crate::generate::GeneratedSpace;
 
@@ -30,7 +30,7 @@ impl Explorer for RandomExplorer {
         space: &GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         while curve.len() < steps {
@@ -52,11 +52,7 @@ impl Explorer for RandomExplorer {
 
 /// Replaces one random tunable with a random value from its declared
 /// domain — the classic mutation that ignores all constraints.
-pub fn mutate_tunable(
-    space: &GeneratedSpace,
-    sol: &Solution,
-    rng: &mut StdRng,
-) -> Solution {
+pub fn mutate_tunable(space: &GeneratedSpace, sol: &Solution, rng: &mut HeronRng) -> Solution {
     let tunables = space.csp.tunables();
     let mut values = sol.values().to_vec();
     if let Some(&var) = tunables.as_slice().choose(rng) {
@@ -76,7 +72,7 @@ pub fn mutate_tunable(
 pub fn complete_from_tunables(
     space: &GeneratedSpace,
     tunable_values: &Solution,
-    rng: &mut StdRng,
+    rng: &mut HeronRng,
 ) -> Option<Solution> {
     let mut csp = space.csp.clone();
     for var in csp.tunables() {
@@ -101,7 +97,10 @@ pub struct SaExplorer {
 
 impl Default for SaExplorer {
     fn default() -> Self {
-        SaExplorer { start_temp: 1.0, cooling: 0.98 }
+        SaExplorer {
+            start_temp: 1.0,
+            cooling: 0.98,
+        }
     }
 }
 
@@ -115,7 +114,7 @@ impl Explorer for SaExplorer {
         space: &GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         // Initial valid program from the solver (as in the paper's setup).
@@ -160,7 +159,10 @@ pub struct GaExplorer {
 
 impl Default for GaExplorer {
     fn default() -> Self {
-        GaExplorer { population: 20, mutation_rate: 0.3 }
+        GaExplorer {
+            population: 20,
+            mutation_rate: 0.3,
+        }
     }
 }
 
@@ -169,7 +171,7 @@ pub fn crossover_tunables(
     space: &GeneratedSpace,
     a: &Solution,
     b: &Solution,
-    rng: &mut StdRng,
+    rng: &mut HeronRng,
 ) -> Solution {
     let tunables = space.csp.tunables();
     let mut values = a.values().to_vec();
@@ -192,7 +194,7 @@ impl Explorer for GaExplorer {
         space: &GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         let init = rand_sat_with_budget(&space.csp, rng, self.population, 400);
@@ -206,7 +208,10 @@ impl Explorer for GaExplorer {
             }
             let fitness = measure(&sol).unwrap_or(0.0);
             push_best(&mut curve, fitness);
-            pop.push(Chromosome { solution: sol, fitness });
+            pop.push(Chromosome {
+                solution: sol,
+                fitness,
+            });
         }
         while curve.len() < steps {
             let parents = roulette_wheel(&pop, 2, rng);
@@ -225,7 +230,10 @@ impl Explorer for GaExplorer {
                 Some(sol) => {
                     let fitness = measure(&sol).unwrap_or(0.0);
                     push_best(&mut curve, fitness);
-                    pop.push(Chromosome { solution: sol, fitness });
+                    pop.push(Chromosome {
+                        solution: sol,
+                        fitness,
+                    });
                 }
                 None => {
                     // Invalid offspring: wasted trial + random restart, the
@@ -235,14 +243,19 @@ impl Explorer for GaExplorer {
                         if curve.len() < steps {
                             let fitness = measure(&sol).unwrap_or(0.0);
                             push_best(&mut curve, fitness);
-                            pop.push(Chromosome { solution: sol, fitness });
+                            pop.push(Chromosome {
+                                solution: sol,
+                                fitness,
+                            });
                         }
                     }
                 }
             }
             // Bound the population.
             pop.sort_by(|a, b| {
-                b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                b.fitness
+                    .partial_cmp(&a.fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             pop.truncate(self.population);
         }

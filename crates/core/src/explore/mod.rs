@@ -14,9 +14,9 @@ pub mod classic;
 pub mod variants;
 
 use heron_csp::Solution;
-use rand::prelude::IndexedRandom;
-use rand::rngs::StdRng;
-use rand::Rng;
+use heron_rng::HeronRng;
+use heron_rng::IndexedRandom;
+use heron_rng::Rng;
 
 /// Measurement callback: evaluates one candidate, returning its score in
 /// Gops, or `None` when the program is invalid (compile/run failure).
@@ -44,7 +44,7 @@ pub trait Explorer {
         space: &crate::generate::GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64>;
 }
 
@@ -76,15 +76,12 @@ pub fn roulette_wheel<R: Rng>(pop: &[Chromosome], n: usize, rng: &mut R) -> Vec<
 /// ε-greedy selection of `n` candidates for measurement: with probability
 /// `1 - eps` the best-predicted unmeasured candidate, otherwise a random
 /// one. Returns indices into `candidates`.
-pub fn eps_greedy<R: Rng>(
-    predicted: &[f64],
-    n: usize,
-    eps: f64,
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn eps_greedy<R: Rng>(predicted: &[f64], n: usize, eps: f64, rng: &mut R) -> Vec<usize> {
     let mut order: Vec<usize> = (0..predicted.len()).collect();
     order.sort_by(|&a, &b| {
-        predicted[b].partial_cmp(&predicted[a]).unwrap_or(std::cmp::Ordering::Equal)
+        predicted[b]
+            .partial_cmp(&predicted[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut picked = Vec::with_capacity(n);
     let mut used = vec![false; predicted.len()];
@@ -121,18 +118,20 @@ pub(crate) fn push_best(curve: &mut Vec<f64>, score: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn pop(fit: &[f64]) -> Vec<Chromosome> {
         fit.iter()
-            .map(|&f| Chromosome { solution: Solution::new(vec![]), fitness: f })
+            .map(|&f| Chromosome {
+                solution: Solution::new(vec![]),
+                fitness: f,
+            })
             .collect()
     }
 
     #[test]
     fn roulette_prefers_fit() {
         let p = pop(&[1.0, 100.0, 1.0]);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let picks = roulette_wheel(&p, 300, &mut rng);
         let ones = picks.iter().filter(|&&i| i == 1).count();
         assert!(ones > 200, "fit chromosome under-selected: {ones}");
@@ -141,7 +140,7 @@ mod tests {
     #[test]
     fn roulette_uniform_when_zero() {
         let p = pop(&[0.0, 0.0, 0.0, 0.0]);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = HeronRng::from_seed(1);
         let picks = roulette_wheel(&p, 400, &mut rng);
         for i in 0..4 {
             let cnt = picks.iter().filter(|&&x| x == i).count();
@@ -152,7 +151,7 @@ mod tests {
     #[test]
     fn eps_greedy_zero_eps_is_pure_ranking() {
         let pred = [0.5, 3.0, 1.0, 2.0];
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = HeronRng::from_seed(2);
         let picks = eps_greedy(&pred, 3, 0.0, &mut rng);
         assert_eq!(picks, vec![1, 3, 2]);
     }
@@ -160,7 +159,7 @@ mod tests {
     #[test]
     fn eps_greedy_never_repeats() {
         let pred = [1.0, 2.0, 3.0, 4.0, 5.0];
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = HeronRng::from_seed(3);
         let picks = eps_greedy(&pred, 5, 0.8, &mut rng);
         let mut sorted = picks.clone();
         sorted.sort_unstable();

@@ -12,9 +12,9 @@
 //!   selection keeps a Pareto mix of objective and violation count.
 
 use heron_csp::{rand_sat_with_budget, Csp, Domain, Solution};
-use rand::prelude::IndexedRandom;
-use rand::rngs::StdRng;
-use rand::Rng;
+use heron_rng::HeronRng;
+use heron_rng::IndexedRandom;
+use heron_rng::Rng;
 
 use crate::generate::GeneratedSpace;
 
@@ -46,11 +46,14 @@ pub struct StochasticRankingGa {
 
 impl Default for StochasticRankingGa {
     fn default() -> Self {
-        StochasticRankingGa { population: 20, p_f: 0.45 }
+        StochasticRankingGa {
+            population: 20,
+            p_f: 0.45,
+        }
     }
 }
 
-fn stochastic_rank(pop: &mut [Ranked], p_f: f64, rng: &mut StdRng) {
+fn stochastic_rank(pop: &mut [Ranked], p_f: f64, rng: &mut HeronRng) {
     let n = pop.len();
     for _ in 0..n {
         let mut swapped = false;
@@ -75,7 +78,7 @@ fn stochastic_rank(pop: &mut [Ranked], p_f: f64, rng: &mut StdRng) {
 
 /// Generates a completely random (likely invalid) tunable assignment with
 /// auxiliaries copied from a template solution.
-fn random_genotype(space: &GeneratedSpace, base: &Solution, rng: &mut StdRng) -> Solution {
+fn random_genotype(space: &GeneratedSpace, base: &Solution, rng: &mut HeronRng) -> Solution {
     let mut values = base.values().to_vec();
     for var in space.csp.tunables() {
         let options: Vec<i64> = space.csp.var(var).domain.iter_values().collect();
@@ -89,7 +92,7 @@ fn random_genotype(space: &GeneratedSpace, base: &Solution, rng: &mut StdRng) ->
 /// Best-effort completion of auxiliaries for a tunable assignment; falls
 /// back to the raw (violating) assignment when inconsistent, so that the
 /// chromosome carries a non-zero violation count.
-fn complete_or_keep(space: &GeneratedSpace, sol: Solution, rng: &mut StdRng) -> Solution {
+fn complete_or_keep(space: &GeneratedSpace, sol: Solution, rng: &mut HeronRng) -> Solution {
     super::classic::complete_from_tunables(space, &sol, rng).unwrap_or(sol)
 }
 
@@ -103,7 +106,7 @@ impl Explorer for StochasticRankingGa {
         space: &GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400);
@@ -117,20 +120,42 @@ impl Explorer for StochasticRankingGa {
             }
             let fitness = measure(&sol).unwrap_or(0.0);
             push_best(&mut curve, fitness);
-            pop.push(Ranked { violations: violation_count(&space.csp, &sol), solution: sol, fitness });
+            pop.push(Ranked {
+                violations: violation_count(&space.csp, &sol),
+                solution: sol,
+                fitness,
+            });
         }
         while curve.len() < steps {
             // Produce an offspring by crossover+mutation on raw genotypes.
-            let a = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
-            let b = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
+            let a = pop
+                .as_slice()
+                .choose(rng)
+                .expect("non-empty")
+                .solution
+                .clone();
+            let b = pop
+                .as_slice()
+                .choose(rng)
+                .expect("non-empty")
+                .solution
+                .clone();
             let child = crossover_tunables(space, &a, &b, rng);
             let child = mutate_tunable(space, &child, rng);
             let child = complete_or_keep(space, child, rng);
             let violations = violation_count(&space.csp, &child);
-            let fitness = if violations == 0 { measure(&child).unwrap_or(0.0) } else { 0.0 };
+            let fitness = if violations == 0 {
+                measure(&child).unwrap_or(0.0)
+            } else {
+                0.0
+            };
             // Infeasible offspring still consume a trial (compile failure).
             push_best(&mut curve, fitness);
-            pop.push(Ranked { solution: child, fitness, violations });
+            pop.push(Ranked {
+                solution: child,
+                fitness,
+                violations,
+            });
             stochastic_rank(&mut pop, self.p_f, rng);
             pop.truncate(self.population);
         }
@@ -154,7 +179,11 @@ impl Default for SatDecoderGa {
 /// Decodes a genotype to a valid phenotype: pins each tunable to its gene
 /// value *if the propagated domain still allows it*, otherwise to the
 /// nearest remaining value, then solves.
-pub fn sat_decode(space: &GeneratedSpace, genotype: &Solution, rng: &mut StdRng) -> Option<Solution> {
+pub fn sat_decode(
+    space: &GeneratedSpace,
+    genotype: &Solution,
+    rng: &mut HeronRng,
+) -> Option<Solution> {
     use heron_csp::propagate::Propagator;
     let csp = &space.csp;
     let prop = Propagator::new(csp);
@@ -203,7 +232,7 @@ impl Explorer for SatDecoderGa {
         space: &GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         let seeds = rand_sat_with_budget(&space.csp, rng, self.population, 400);
@@ -218,7 +247,10 @@ impl Explorer for SatDecoderGa {
             }
             let fitness = measure(&sol).unwrap_or(0.0);
             push_best(&mut curve, fitness);
-            pop.push(Chromosome { solution: sol, fitness });
+            pop.push(Chromosome {
+                solution: sol,
+                fitness,
+            });
         }
         while curve.len() < steps {
             let parents = roulette_wheel(&pop, 2, rng);
@@ -240,9 +272,14 @@ impl Explorer for SatDecoderGa {
             debug_assert!(heron_csp::validate(&space.csp, &pheno));
             let fitness = measure(&pheno).unwrap_or(0.0);
             push_best(&mut curve, fitness);
-            pop.push(Chromosome { solution: pheno, fitness });
+            pop.push(Chromosome {
+                solution: pheno,
+                fitness,
+            });
             pop.sort_by(|a, b| {
-                b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                b.fitness
+                    .partial_cmp(&a.fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             pop.truncate(self.population);
         }
@@ -263,7 +300,10 @@ pub struct InfeasibilityDrivenGa {
 
 impl Default for InfeasibilityDrivenGa {
     fn default() -> Self {
-        InfeasibilityDrivenGa { population: 20, infeasible_fraction: 0.2 }
+        InfeasibilityDrivenGa {
+            population: 20,
+            infeasible_fraction: 0.2,
+        }
     }
 }
 
@@ -277,7 +317,7 @@ impl Explorer for InfeasibilityDrivenGa {
         space: &GeneratedSpace,
         measure: &mut Evaluate<'_>,
         steps: usize,
-        rng: &mut StdRng,
+        rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400);
@@ -291,12 +331,26 @@ impl Explorer for InfeasibilityDrivenGa {
             }
             let fitness = measure(&sol).unwrap_or(0.0);
             push_best(&mut curve, fitness);
-            pop.push(Ranked { violations: violation_count(&space.csp, &sol), solution: sol, fitness });
+            pop.push(Ranked {
+                violations: violation_count(&space.csp, &sol),
+                solution: sol,
+                fitness,
+            });
         }
         while curve.len() < steps {
-            let a = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
+            let a = pop
+                .as_slice()
+                .choose(rng)
+                .expect("non-empty")
+                .solution
+                .clone();
             let child = if rng.random::<f64>() < 0.5 {
-                let b = pop.as_slice().choose(rng).expect("non-empty").solution.clone();
+                let b = pop
+                    .as_slice()
+                    .choose(rng)
+                    .expect("non-empty")
+                    .solution
+                    .clone();
                 crossover_tunables(space, &a, &b, rng)
             } else {
                 random_genotype(space, &a, rng)
@@ -304,17 +358,26 @@ impl Explorer for InfeasibilityDrivenGa {
             let child = mutate_tunable(space, &child, rng);
             let child = complete_or_keep(space, child, rng);
             let violations = violation_count(&space.csp, &child);
-            let fitness = if violations == 0 { measure(&child).unwrap_or(0.0) } else { 0.0 };
+            let fitness = if violations == 0 {
+                measure(&child).unwrap_or(0.0)
+            } else {
+                0.0
+            };
             push_best(&mut curve, fitness);
-            pop.push(Ranked { solution: child, fitness, violations });
+            pop.push(Ranked {
+                solution: child,
+                fitness,
+                violations,
+            });
 
             // IDEA-style environmental selection.
-            let slots_inf =
-                ((self.population as f64) * self.infeasible_fraction).round() as usize;
+            let slots_inf = ((self.population as f64) * self.infeasible_fraction).round() as usize;
             let (mut feas, mut infeas): (Vec<Ranked>, Vec<Ranked>) =
                 pop.drain(..).partition(|c| c.violations == 0);
             feas.sort_by(|x, y| {
-                y.fitness.partial_cmp(&x.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                y.fitness
+                    .partial_cmp(&x.fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             infeas.sort_by_key(|c| c.violations);
             feas.truncate(self.population - slots_inf.min(infeas.len()));
@@ -330,7 +393,6 @@ impl Explorer for InfeasibilityDrivenGa {
 mod tests {
     use super::*;
     use heron_csp::VarCategory;
-    use rand::SeedableRng;
 
     fn toy_space() -> GeneratedSpace {
         let mut csp = Csp::new();
@@ -349,14 +411,20 @@ mod tests {
     #[test]
     fn violation_count_detects_broken_prod() {
         let space = toy_space();
-        assert_eq!(violation_count(&space.csp, &Solution::new(vec![8, 8, 64])), 0);
-        assert_eq!(violation_count(&space.csp, &Solution::new(vec![8, 4, 64])), 1);
+        assert_eq!(
+            violation_count(&space.csp, &Solution::new(vec![8, 8, 64])),
+            0
+        );
+        assert_eq!(
+            violation_count(&space.csp, &Solution::new(vec![8, 4, 64])),
+            1
+        );
     }
 
     #[test]
     fn sat_decode_returns_valid_phenotypes() {
         let space = toy_space();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         // Genotype violating x*y == 64.
         let geno = Solution::new(vec![8, 16, 64]);
         let pheno = sat_decode(&space, &geno, &mut rng).expect("decodes");
@@ -367,11 +435,23 @@ mod tests {
 
     #[test]
     fn stochastic_rank_sinks_violators() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = HeronRng::from_seed(1);
         let mut pop: Vec<Ranked> = vec![
-            Ranked { solution: Solution::new(vec![]), fitness: 9.0, violations: 5 },
-            Ranked { solution: Solution::new(vec![]), fitness: 1.0, violations: 0 },
-            Ranked { solution: Solution::new(vec![]), fitness: 5.0, violations: 0 },
+            Ranked {
+                solution: Solution::new(vec![]),
+                fitness: 9.0,
+                violations: 5,
+            },
+            Ranked {
+                solution: Solution::new(vec![]),
+                fitness: 1.0,
+                violations: 0,
+            },
+            Ranked {
+                solution: Solution::new(vec![]),
+                fitness: 5.0,
+                violations: 0,
+            },
         ];
         // With p_f = 0 ranking is purely by violations then objective.
         stochastic_rank(&mut pop, 0.0, &mut rng);

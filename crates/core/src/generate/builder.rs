@@ -17,8 +17,8 @@
 use std::collections::HashMap;
 
 use heron_csp::{Csp, Domain, VarCategory, VarRef};
-use heron_sched::{MemScope, ScheduleState};
 use heron_sched::template::BufferSpec;
+use heron_sched::{MemScope, ScheduleState};
 
 /// Builder accumulating the CSP and the schedule state side by side.
 #[derive(Debug, Default)]
@@ -58,7 +58,11 @@ impl SpaceBuilder {
     /// An architectural variable restricted to candidate values
     /// (Rule-C3, e.g. `m ∈ {8, 16, 32}`).
     pub fn arch_candidates(&mut self, name: &str, values: &[i64]) -> VarRef {
-        let r = self.csp.add_var(name, Domain::values(values.iter().copied()), VarCategory::Arch);
+        let r = self.csp.add_var(
+            name,
+            Domain::values(values.iter().copied()),
+            VarCategory::Arch,
+        );
         self.csp.post_in(r, values.iter().copied());
         self.add_indicators(r, name, values);
         r
@@ -81,22 +85,27 @@ impl SpaceBuilder {
                 Domain::boolean(),
                 VarCategory::Other,
             );
-            let choices: Vec<VarRef> =
-                (0..values.len()).map(|j| self.constant(i64::from(j == i))).collect();
+            let choices: Vec<VarRef> = (0..values.len())
+                .map(|j| self.constant(i64::from(j == i)))
+                .collect();
             self.csp.post_select(b, idx, choices);
         }
     }
 
     /// A loop-length variable with range `[1, max]`.
     pub fn loop_var(&mut self, name: &str, max: i64) -> VarRef {
-        self.csp.add_var(name, Domain::range(1, max.max(1)), VarCategory::LoopLength)
+        self.csp
+            .add_var(name, Domain::range(1, max.max(1)), VarCategory::LoopLength)
     }
 
     /// A tunable variable with an explicit value set (Rule-C3 posts the IN,
     /// plus the paper's indicator-boolean helpers).
     pub fn tunable(&mut self, name: &str, values: &[i64]) -> VarRef {
-        let r =
-            self.csp.add_var(name, Domain::values(values.iter().copied()), VarCategory::Tunable);
+        let r = self.csp.add_var(
+            name,
+            Domain::values(values.iter().copied()),
+            VarCategory::Tunable,
+        );
         self.csp.post_in(r, values.iter().copied());
         self.add_indicators(r, name, values);
         r
@@ -104,7 +113,8 @@ impl SpaceBuilder {
 
     /// An auxiliary variable with range `[lo, hi]`.
     pub fn aux(&mut self, name: &str, lo: i64, hi: i64) -> VarRef {
-        self.csp.add_var(name, Domain::range(lo, hi.max(lo)), VarCategory::Other)
+        self.csp
+            .add_var(name, Domain::range(lo, hi.max(lo)), VarCategory::Other)
     }
 
     /// Rule-C1 `AddLoopSplit`: splits `loop_name` of `stage` into parts.
@@ -127,7 +137,9 @@ impl SpaceBuilder {
         let divisors = Domain::divisors_of(extent);
         let mut refs = Vec::with_capacity(parts.len());
         for part in parts {
-            let lv = self.csp.add_var(*part, divisors.clone(), VarCategory::LoopLength);
+            let lv = self
+                .csp
+                .add_var(*part, divisors.clone(), VarCategory::LoopLength);
             let tv = self.csp.add_var(
                 format!("tile.{part}"),
                 divisors.clone(),
@@ -173,7 +185,11 @@ impl SpaceBuilder {
             .map(|f| self.csp.var(*f).domain.max())
             .fold(1_i64, |a, b| a.saturating_mul(b))
             .min(1 << 56);
-        let lo = factors.iter().map(|f| self.csp.var(*f).domain.min()).product::<i64>().max(0);
+        let lo = factors
+            .iter()
+            .map(|f| self.csp.var(*f).domain.min())
+            .product::<i64>()
+            .max(0);
         let out = self.aux(name, lo.min(hi), hi);
         self.csp.post_prod(out, factors.to_vec());
         out
@@ -182,8 +198,10 @@ impl SpaceBuilder {
     /// SUM helper: declares `name = Σ terms` as an auxiliary variable.
     pub fn sum(&mut self, name: &str, terms: &[VarRef]) -> VarRef {
         let lo: i64 = terms.iter().map(|t| self.csp.var(*t).domain.min()).sum();
-        let hi: i64 =
-            terms.iter().map(|t| self.csp.var(*t).domain.max()).fold(0_i64, |a, b| a.saturating_add(b));
+        let hi: i64 = terms
+            .iter()
+            .map(|t| self.csp.var(*t).domain.max())
+            .fold(0_i64, |a, b| a.saturating_add(b));
         let out = self.aux(name, lo, hi);
         self.csp.post_sum(out, terms.to_vec());
         out
@@ -252,10 +270,9 @@ impl SpaceBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use heron_rng::HeronRng;
     use heron_sched::{LoopSym, StageRole};
     use heron_tensor::{DType, IterKind};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn builder_with_stage() -> SpaceBuilder {
         let mut b = SpaceBuilder::new();
@@ -280,7 +297,7 @@ mod tests {
         assert_eq!(parts.len(), 3);
         assert!(b.csp.var_by_name("tile.C.i1").is_some());
         // Solve: every sample multiplies to 64.
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let sols = heron_csp::rand_sat(&b.csp, &mut rng, 8);
         assert!(!sols.is_empty());
         for s in &sols {
@@ -299,7 +316,7 @@ mod tests {
         let elems = b.prod("elems.buf", &[parts[1]]);
         let bytes = b.mem_limit("buf", MemScope::Shared, elems, 2);
         b.cap_total("smem.total", &[bytes], 1024); // tile_inner * 2 <= 1024
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = HeronRng::from_seed(1);
         let sols = heron_csp::rand_sat(&b.csp, &mut rng, 16);
         assert!(!sols.is_empty());
         for s in &sols {
@@ -315,7 +332,7 @@ mod tests {
         let parts = b.tile_split("C", "C.r", 96, &["C.r0", "C.r1"]);
         let vec = b.tunable("vec", &[1, 2, 4, 8]);
         b.divides(vec, parts[1], "vec.row");
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = HeronRng::from_seed(2);
         let sols = heron_csp::rand_sat(&b.csp, &mut rng, 24);
         assert!(!sols.is_empty());
         for s in &sols {

@@ -10,7 +10,7 @@
 use heron_dla::{CpuParams, DlaSpec};
 use heron_sched::template::{IntrinsicRef, KernelTemplate, StageSpec};
 use heron_sched::{LoopSym, MemScope, StageRole, ThreadAxis};
-use heron_tensor::{Dag, DType, IterKind};
+use heron_tensor::{DType, Dag, IterKind};
 
 use super::axes::MacView;
 use super::builder::SpaceBuilder;
@@ -58,7 +58,9 @@ pub fn build(
 
     b.state.reorder(
         tc,
-        &["C.i0", "C.j0", "C.r0", "C.i1", "C.j1", "C.r1", "C.i2", "C.j2", "C.r2"],
+        &[
+            "C.i0", "C.j0", "C.r0", "C.i1", "C.j1", "C.r1", "C.i2", "C.j2", "C.r2",
+        ],
     );
     b.state.bind(tc, "C.i0", ThreadAxis::BlockX);
     b.state.bind(tc, "C.j0", ThreadAxis::BlockY);
@@ -75,21 +77,36 @@ pub fn build(
     let a_execs_deep = b.prod("execs.A.l2.at1", &[r[0], r[1]]);
     let (a_row, a_execs) = if opts.tunable_locations {
         let loc = b.tunable("loc.A.l2", &[0, 1]);
-        b.state.cache_read("A", MemScope::L2, "A.l2", MemScope::Global, spec.in_dtype, vec![
-            LoopSym::new("A.l2.rows".to_string(), IterKind::Spatial, "rows"),
-            LoopSym::new("A.l2.cols".to_string(), IterKind::Spatial, "cols"),
-        ]);
-        b.state.compute_at("A.l2", tc, "loc.A.l2", &["C.r0", "C.r1"]);
+        b.state.cache_read(
+            "A",
+            MemScope::L2,
+            "A.l2",
+            MemScope::Global,
+            spec.in_dtype,
+            vec![
+                LoopSym::new("A.l2.rows".to_string(), IterKind::Spatial, "rows"),
+                LoopSym::new("A.l2.cols".to_string(), IterKind::Spatial, "cols"),
+            ],
+        );
+        b.state
+            .compute_at("A.l2", tc, "loc.A.l2", &["C.r0", "C.r1"]);
         let row = b.aux("row.A.l2", 1, fused.k_ext);
         b.select(row, loc, vec![kc_shallow, r[2]]);
         let execs = b.aux("execs.A.l2", 1, i64::from(u32::MAX));
         b.select(execs, loc, vec![r[0], a_execs_deep]);
         (row, execs)
     } else {
-        b.state.cache_read("A", MemScope::L2, "A.l2", MemScope::Global, spec.in_dtype, vec![
-            LoopSym::new("A.l2.rows".to_string(), IterKind::Spatial, "rows"),
-            LoopSym::new("A.l2.cols".to_string(), IterKind::Spatial, "cols"),
-        ]);
+        b.state.cache_read(
+            "A",
+            MemScope::L2,
+            "A.l2",
+            MemScope::Global,
+            spec.in_dtype,
+            vec![
+                LoopSym::new("A.l2.rows".to_string(), IterKind::Spatial, "rows"),
+                LoopSym::new("A.l2.cols".to_string(), IterKind::Spatial, "cols"),
+            ],
+        );
         if opts.fixed_align_pad.is_some() {
             // AutoTVM's manual template hard-codes the sensible shallow
             // fusion point.
@@ -107,10 +124,17 @@ pub fn build(
 
     // Weight panel, packed: the layout tunable chooses the contiguous run
     // the streaming-efficiency model sees (Ohwi16o-style packing).
-    b.state.cache_read("B", MemScope::L2, "B.l2", MemScope::Global, spec.in_dtype, vec![
-        LoopSym::new("B.l2.rows".to_string(), IterKind::Spatial, "rows"),
-        LoopSym::new("B.l2.cols".to_string(), IterKind::Spatial, "cols"),
-    ]);
+    b.state.cache_read(
+        "B",
+        MemScope::L2,
+        "B.l2",
+        MemScope::Global,
+        spec.in_dtype,
+        vec![
+            LoopSym::new("B.l2.rows".to_string(), IterKind::Spatial, "rows"),
+            LoopSym::new("B.l2.cols".to_string(), IterKind::Spatial, "cols"),
+        ],
+    );
     let b_cols = b.prod("cols.B.l2", &[j[1], j[2]]);
     let b_rows = b.prod("rows.B.l2", &[r[1], r[2]]);
     let b_elems = b.prod("elems.B.l2", &[b_rows, b_cols]);
@@ -156,7 +180,8 @@ pub fn build(
     let store_elems = b.prod("elems.C.store", &[i[1], i[2], j[1], j[2]]);
     let vec_store = b.tunable("vec.C", &[1, 4, 16]);
 
-    let mut template = KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
+    let mut template =
+        KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
     template.var_grid = "grid".into();
     template.var_threads = "warps".into();
 
@@ -164,36 +189,65 @@ pub fn build(
     b.loop_twin("A.l2.cols.len", a_row);
     b.loop_twin("B.l2.rows.len", b_rows);
     b.loop_twin("B.l2.cols.len", b_cols);
-    let mut a_spec =
-        StageSpec::new("A.l2", StageRole::Load, MemScope::Global, MemScope::L2, spec.in_dtype);
+    let mut a_spec = StageSpec::new(
+        "A.l2",
+        StageRole::Load,
+        MemScope::Global,
+        MemScope::L2,
+        spec.in_dtype,
+    );
     a_spec.var_elems = Some(b.name_of(a_elems));
     a_spec.var_execs = Some(b.name_of(a_execs));
     a_spec.var_row_elems = Some(b.name_of(a_row));
     template.stages.push(a_spec);
 
-    let mut b_spec =
-        StageSpec::new("B.l2", StageRole::Load, MemScope::Global, MemScope::L2, spec.in_dtype);
+    let mut b_spec = StageSpec::new(
+        "B.l2",
+        StageRole::Load,
+        MemScope::Global,
+        MemScope::L2,
+        spec.in_dtype,
+    );
     b_spec.var_elems = Some(b.name_of(b_elems));
     b_spec.var_execs = Some(b.name_of(r[0]));
     b_spec.var_row_elems = Some(b.name_of(b_row));
     template.stages.push(b_spec);
 
-    let mut l1_spec =
-        StageSpec::new("A.l1", StageRole::Load, MemScope::L2, MemScope::L1, spec.in_dtype);
+    let mut l1_spec = StageSpec::new(
+        "A.l1",
+        StageRole::Load,
+        MemScope::L2,
+        MemScope::L1,
+        spec.in_dtype,
+    );
     l1_spec.var_elems = Some(b.name_of(a_mk));
     let l1_execs = b.prod("execs.A.l1", &[r[0], i[1], j[1]]);
     l1_spec.var_execs = Some(b.name_of(l1_execs));
     template.stages.push(l1_spec);
 
-    let mut compute =
-        StageSpec::new(tc, StageRole::Compute, MemScope::L1, MemScope::L1, spec.in_dtype);
-    compute.intrinsic = Some(IntrinsicRef { m: "m".into(), n: "n".into(), k: "k".into() });
+    let mut compute = StageSpec::new(
+        tc,
+        StageRole::Compute,
+        MemScope::L1,
+        MemScope::L1,
+        spec.in_dtype,
+    );
+    compute.intrinsic = Some(IntrinsicRef {
+        m: "m".into(),
+        n: "n".into(),
+        k: "k".into(),
+    });
     compute.var_intrinsic_execs = Some(b.name_of(intrin));
     compute.var_unroll = Some(b.name_of(unroll));
     template.stages.push(compute);
 
-    let mut store =
-        StageSpec::new("C", StageRole::Store, MemScope::L1, MemScope::Global, DType::I32);
+    let mut store = StageSpec::new(
+        "C",
+        StageRole::Store,
+        MemScope::L1,
+        MemScope::Global,
+        DType::I32,
+    );
     store.var_elems = Some(b.name_of(store_elems));
     store.var_vector = Some(b.name_of(vec_store));
     store.var_row_elems = Some(b.name_of(b_cols));
@@ -201,9 +255,18 @@ pub fn build(
 
     template.buffers = b.buffers.clone();
     template.primitives = b.state.template().to_vec();
-    template.tunables =
-        b.csp.tunables().iter().map(|v| b.csp.var(*v).name.clone()).collect();
-    GeneratedSpace { csp: b.csp, template, dla: spec.clone(), workload: workload.to_string() }
+    template.tunables = b
+        .csp
+        .tunables()
+        .iter()
+        .map(|v| b.csp.var(*v).name.clone())
+        .collect();
+    GeneratedSpace {
+        csp: b.csp,
+        template,
+        dla: spec.clone(),
+        workload: workload.to_string(),
+    }
 }
 
 /// Builds the scalar (AVX, non-VNNI) CPU space: the Ansor-like baseline on
@@ -223,7 +286,12 @@ pub fn build_scalar(
     let i = b.tile_split(tc, "C.M", fused.m_ext, &["C.i0", "C.i1", "C.i2"]);
     let j = b.tile_split(tc, "C.N", fused.n_ext, &["C.j0", "C.j1", "C.j2"]);
     let r = b.tile_split(tc, "C.K", fused.k_ext, &["C.r0", "C.r1"]);
-    b.state.reorder(tc, &["C.i0", "C.j0", "C.r0", "C.i1", "C.j1", "C.r1", "C.i2", "C.j2"]);
+    b.state.reorder(
+        tc,
+        &[
+            "C.i0", "C.j0", "C.r0", "C.i1", "C.j1", "C.r1", "C.i2", "C.j2",
+        ],
+    );
     b.state.bind(tc, "C.i0", ThreadAxis::BlockX);
     b.state.bind(tc, "C.j0", ThreadAxis::BlockY);
 
@@ -232,17 +300,31 @@ pub fn build_scalar(
     b.arch_const("warps", 1);
     let _ = grid;
 
-    b.state.cache_read("A", MemScope::L2, "A.l2", MemScope::Global, spec.in_dtype, vec![
-        LoopSym::new("A.l2.rows".to_string(), IterKind::Spatial, "rows"),
-        LoopSym::new("A.l2.cols".to_string(), IterKind::Spatial, "cols"),
-    ]);
+    b.state.cache_read(
+        "A",
+        MemScope::L2,
+        "A.l2",
+        MemScope::Global,
+        spec.in_dtype,
+        vec![
+            LoopSym::new("A.l2.rows".to_string(), IterKind::Spatial, "rows"),
+            LoopSym::new("A.l2.cols".to_string(), IterKind::Spatial, "cols"),
+        ],
+    );
     let a_rows = b.prod("rows.A.l2", &[i[1], i[2]]);
     let a_elems = b.prod("elems.A.l2", &[a_rows, r[1]]);
     let a_bytes = b.mem_limit("A.l2", MemScope::L2, a_elems, spec.in_dtype.bytes());
-    b.state.cache_read("B", MemScope::L2, "B.l2", MemScope::Global, spec.in_dtype, vec![
-        LoopSym::new("B.l2.rows".to_string(), IterKind::Spatial, "rows"),
-        LoopSym::new("B.l2.cols".to_string(), IterKind::Spatial, "cols"),
-    ]);
+    b.state.cache_read(
+        "B",
+        MemScope::L2,
+        "B.l2",
+        MemScope::Global,
+        spec.in_dtype,
+        vec![
+            LoopSym::new("B.l2.rows".to_string(), IterKind::Spatial, "rows"),
+            LoopSym::new("B.l2.cols".to_string(), IterKind::Spatial, "cols"),
+        ],
+    );
     let b_cols = b.prod("cols.B.l2", &[j[1], j[2]]);
     let b_elems = b.prod("elems.B.l2", &[r[1], b_cols]);
     let b_bytes = b.mem_limit("B.l2", MemScope::L2, b_elems, spec.in_dtype.bytes());
@@ -264,36 +346,65 @@ pub fn build_scalar(
     template.var_grid = "grid".into();
     template.var_threads = "warps".into();
 
-    let mut a_spec =
-        StageSpec::new("A.l2", StageRole::Load, MemScope::Global, MemScope::L2, spec.in_dtype);
+    let mut a_spec = StageSpec::new(
+        "A.l2",
+        StageRole::Load,
+        MemScope::Global,
+        MemScope::L2,
+        spec.in_dtype,
+    );
     a_spec.var_elems = Some(b.name_of(a_elems));
     a_spec.var_execs = Some(b.name_of(r[0]));
     a_spec.var_row_elems = Some(b.name_of(r[1]));
     template.stages.push(a_spec);
-    let mut b_spec =
-        StageSpec::new("B.l2", StageRole::Load, MemScope::Global, MemScope::L2, spec.in_dtype);
+    let mut b_spec = StageSpec::new(
+        "B.l2",
+        StageRole::Load,
+        MemScope::Global,
+        MemScope::L2,
+        spec.in_dtype,
+    );
     b_spec.var_elems = Some(b.name_of(b_elems));
     b_spec.var_execs = Some(b.name_of(r[0]));
     b_spec.var_row_elems = Some(b.name_of(b_cols));
     template.stages.push(b_spec);
 
-    let mut compute =
-        StageSpec::new(tc, StageRole::Compute, MemScope::L2, MemScope::L1, spec.in_dtype);
+    let mut compute = StageSpec::new(
+        tc,
+        StageRole::Compute,
+        MemScope::L2,
+        MemScope::L1,
+        spec.in_dtype,
+    );
     compute.var_scalar_ops = Some(b.name_of(scalar_ops));
     compute.var_unroll = Some(b.name_of(unroll));
     template.stages.push(compute);
 
-    let mut store =
-        StageSpec::new("C.st", StageRole::Store, MemScope::L1, MemScope::Global, DType::I32);
+    let mut store = StageSpec::new(
+        "C.st",
+        StageRole::Store,
+        MemScope::L1,
+        MemScope::Global,
+        DType::I32,
+    );
     store.var_elems = Some(b.name_of(store_elems));
     store.var_vector = Some(b.name_of(vec_store));
     template.stages.push(store);
 
     template.buffers = b.buffers.clone();
     template.primitives = b.state.template().to_vec();
-    template.tunables =
-        b.csp.tunables().iter().map(|v| b.csp.var(*v).name.clone()).collect();
-    GeneratedSpace { csp: b.csp, template, dla: spec.clone(), workload: workload.to_string() }
+    template.tunables = b
+        .csp
+        .tunables()
+        .iter()
+        .map(|v| b.csp.var(*v).name.clone())
+        .collect();
+    GeneratedSpace {
+        csp: b.csp,
+        template,
+        dla: spec.clone(),
+        workload: workload.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -301,9 +412,8 @@ mod tests {
     use super::super::{SpaceGenerator, SpaceOptions};
     use heron_csp::SpaceCensus;
     use heron_dla::dlboost;
+    use heron_rng::HeronRng;
     use heron_tensor::{ops, DType};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn vnni_space_pins_intrinsic_dimensions() {
@@ -311,7 +421,7 @@ mod tests {
         let space = SpaceGenerator::new(dlboost())
             .generate_named(&dag, &SpaceOptions::heron(), "g")
             .expect("generates");
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = HeronRng::from_seed(3);
         for sol in heron_csp::rand_sat(&space.csp, &mut rng, 8) {
             assert_eq!(sol.value_by_name(&space.csp, "C.j2"), Some(16));
             assert_eq!(sol.value_by_name(&space.csp, "C.r2"), Some(4));
@@ -327,7 +437,7 @@ mod tests {
         let space = SpaceGenerator::new(dlboost())
             .generate_named(&dag, &SpaceOptions::heron(), "g")
             .expect("generates");
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = HeronRng::from_seed(4);
         let mut seen_packed = false;
         for sol in heron_csp::rand_sat(&space.csp, &mut rng, 24) {
             let layout = sol.value_by_name(&space.csp, "layout.B").expect("tunable");
@@ -349,7 +459,11 @@ mod tests {
             .generate_named(&dag, &SpaceOptions::ansor(), "g")
             .expect("generates");
         assert!(space.template.stages.iter().all(|s| s.intrinsic.is_none()));
-        assert!(space.template.stages.iter().any(|s| s.var_scalar_ops.is_some()));
+        assert!(space
+            .template
+            .stages
+            .iter()
+            .any(|s| s.var_scalar_ops.is_some()));
     }
 
     #[test]
@@ -361,7 +475,10 @@ mod tests {
         let census = SpaceCensus::of(&space.csp);
         // L1 + L2 capacity rows both posted.
         assert!(census.constraints_by_type["LE"] >= 2);
-        assert!(space.template.buffers.iter().any(|b| b.name.contains("l1")
-            || b.name.contains("A.l1")));
+        assert!(space
+            .template
+            .buffers
+            .iter()
+            .any(|b| b.name.contains("l1") || b.name.contains("A.l1")));
     }
 }

@@ -186,13 +186,13 @@ impl SpaceGenerator {
     /// # Errors
     /// Returns [`GenerateError`] when the platform cannot execute the
     /// operator at all.
-    pub fn generate(&self, dag: &Dag, opts: &SpaceOptions) -> Result<GeneratedSpace, GenerateError> {
+    pub fn generate(
+        &self,
+        dag: &Dag,
+        opts: &SpaceOptions,
+    ) -> Result<GeneratedSpace, GenerateError> {
         let out = dag.stage(dag.output());
-        let label = format!(
-            "{}{:?}",
-            out.name,
-            out.tensor().shape
-        );
+        let label = format!("{}{:?}", out.name, out.tensor().shape);
         self.generate_named(dag, opts, &label)
     }
 
@@ -209,14 +209,16 @@ impl SpaceGenerator {
     ) -> Result<GeneratedSpace, GenerateError> {
         let plan = rules::plan(dag, &self.spec, opts.tensorize);
         match (&self.spec.family, &plan.mac) {
-            (DlaFamily::Gpu(g), Some(view)) if opts.tensorize => {
-                Ok(tensorcore::build_tensorized(&self.spec, g, dag, view, opts, workload))
-            }
+            (DlaFamily::Gpu(g), Some(view)) if opts.tensorize => Ok(tensorcore::build_tensorized(
+                &self.spec, g, dag, view, opts, workload,
+            )),
             (DlaFamily::Gpu(g), _) => {
                 // Scalar CUDA path: Ansor baseline or non-tensorizable ops.
                 let view = plan.mac.clone().or_else(|| fallback_view(dag));
                 let view = view.expect("every operator has a fallback view");
-                Ok(tensorcore::build_scalar(&self.spec, g, dag, &view, opts, workload))
+                Ok(tensorcore::build_scalar(
+                    &self.spec, g, dag, &view, opts, workload,
+                ))
             }
             (DlaFamily::Cpu(c), Some(view)) if opts.tensorize => {
                 Ok(dlboost::build(&self.spec, c, dag, view, opts, workload))
@@ -224,14 +226,16 @@ impl SpaceGenerator {
             (DlaFamily::Cpu(c), _) => {
                 let view = plan.mac.clone().or_else(|| fallback_view(dag));
                 let view = view.expect("every operator has a fallback view");
-                Ok(dlboost::build_scalar(&self.spec, c, dag, &view, opts, workload))
+                Ok(dlboost::build_scalar(
+                    &self.spec, c, dag, &view, opts, workload,
+                ))
             }
             (DlaFamily::Vta(v), Some(view)) => {
                 Ok(vta::build(&self.spec, v, dag, view, opts, workload))
             }
-            (DlaFamily::Vta(_), None) => {
-                Err(GenerateError::NotTensorizable { platform: self.spec.name.clone() })
-            }
+            (DlaFamily::Vta(_), None) => Err(GenerateError::NotTensorizable {
+                platform: self.spec.name.clone(),
+            }),
         }
     }
 }
@@ -286,13 +290,12 @@ mod tests {
     use super::*;
     use heron_csp::SpaceCensus;
     use heron_dla::{dlboost, v100, vta};
+    use heron_rng::HeronRng;
     use heron_sched::lower;
     use heron_tensor::ops;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn solve_and_lower(space: &GeneratedSpace, seed: u64) -> heron_sched::Kernel {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = HeronRng::from_seed(seed);
         let sols = heron_csp::rand_sat(&space.csp, &mut rng, 4);
         assert!(!sols.is_empty(), "space must be satisfiable");
         let sol = &sols[0];
@@ -315,7 +318,8 @@ mod tests {
         assert!(k.tensorized_stage().is_some());
         // Every Heron solution passes the measurer's validation.
         let m = heron_dla::Measurer::new(v100());
-        m.validate(&k).expect("heron kernels are valid by construction");
+        m.validate(&k)
+            .expect("heron kernels are valid by construction");
     }
 
     #[test]
@@ -328,7 +332,11 @@ mod tests {
         // Paper Table 4/5: 173 variables, 372 constraints for GEMM. Ours
         // should be the same order of magnitude.
         assert!(c.total_vars() >= 60, "vars {}", c.total_vars());
-        assert!(c.total_constraints() >= 60, "constraints {}", c.total_constraints());
+        assert!(
+            c.total_constraints() >= 60,
+            "constraints {}",
+            c.total_constraints()
+        );
         assert!(c.tunable_vars >= 15, "tunables {}", c.tunable_vars);
     }
 
@@ -344,7 +352,10 @@ mod tests {
         let k = solve_and_lower(&space, 2);
         let m = heron_dla::Measurer::new(dlboost());
         m.validate(&k).expect("valid");
-        assert_eq!(k.tensorized_stage().and_then(|s| s.intrinsic), Some((1, 16, 4)));
+        assert_eq!(
+            k.tensorized_stage().and_then(|s| s.intrinsic),
+            Some((1, 16, 4))
+        );
     }
 
     #[test]
@@ -393,7 +404,7 @@ mod tests {
     }
 
     fn invalid_fraction(space: &GeneratedSpace, n: usize, seed: u64) -> (usize, usize) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = HeronRng::from_seed(seed);
         let sols = heron_csp::rand_sat(&space.csp, &mut rng, n);
         assert!(!sols.is_empty());
         let measurer = heron_dla::Measurer::new(space.dla.clone());
@@ -416,12 +427,19 @@ mod tests {
         let dag = ops::gemm(1024, 1024, 1024);
         let gen = SpaceGenerator::new(v100());
         // AMOS: no register-pressure model => compile failures.
-        let amos = gen.generate_named(&dag, &SpaceOptions::amos(), "g").expect("generates");
+        let amos = gen
+            .generate_named(&dag, &SpaceOptions::amos(), "g")
+            .expect("generates");
         let (amos_bad, amos_n) = invalid_fraction(&amos, 40, 7);
-        assert!(amos_bad > 0, "AMOS mappings should sometimes overflow registers");
+        assert!(
+            amos_bad > 0,
+            "AMOS mappings should sometimes overflow registers"
+        );
         assert!(amos_bad < amos_n, "AMOS still finds runnable mappings");
         // Heron: valid by construction.
-        let heron = gen.generate_named(&dag, &SpaceOptions::heron(), "g").expect("generates");
+        let heron = gen
+            .generate_named(&dag, &SpaceOptions::heron(), "g")
+            .expect("generates");
         let (heron_bad, _) = invalid_fraction(&heron, 40, 7);
         assert_eq!(heron_bad, 0, "Heron samples are valid by construction");
     }

@@ -17,7 +17,7 @@ use heron_csp::VarRef;
 use heron_dla::{DlaSpec, GpuParams};
 use heron_sched::template::{IntrinsicRef, KernelTemplate, StageSpec};
 use heron_sched::{LoopSym, MemScope, StageRole, ThreadAxis};
-use heron_tensor::{Dag, DType, IterKind};
+use heron_tensor::{DType, Dag, IterKind};
 
 use super::axes::MacView;
 use super::builder::SpaceBuilder;
@@ -40,16 +40,23 @@ pub fn build_tensorized(
     let k_cands: Vec<i64> = dedup_sorted(spec.intrinsic_shapes.iter().map(|s| s.2));
     let (m, n, k) = if opts.fixed_intrinsic {
         // AutoTVM-style template: hard-coded 16x16x16.
-        (b.arch_const("m", 16), b.arch_const("n", 16), b.arch_const("k", 16))
+        (
+            b.arch_const("m", 16),
+            b.arch_const("n", 16),
+            b.arch_const("k", 16),
+        )
     } else {
         let m = b.arch_candidates("m", &m_cands);
         let n = b.arch_candidates("n", &n_cands);
         let k = b.arch_candidates("k", &k_cands);
         // m * n * k == product constraint (e.g. 4096 on wmma).
-        let prod = spec.intrinsic_shapes[0].0
-            * spec.intrinsic_shapes[0].1
-            * spec.intrinsic_shapes[0].2;
-        if spec.intrinsic_shapes.iter().all(|s| s.0 * s.1 * s.2 == prod) {
+        let prod =
+            spec.intrinsic_shapes[0].0 * spec.intrinsic_shapes[0].1 * spec.intrinsic_shapes[0].2;
+        if spec
+            .intrinsic_shapes
+            .iter()
+            .all(|s| s.0 * s.1 * s.2 == prod)
+        {
             let mnk = b.arch_const("mnk", prod);
             b.csp.post_prod(mnk, vec![m, n, k]);
         }
@@ -73,8 +80,18 @@ pub fn build_tensorized(
     let fused = fuse_mac_axes(&mut b, view, "C.wmma", pad_m, pad_n, pad_k, spec.in_dtype);
     let tc = "C.wmma";
 
-    let i = b.tile_split(tc, "C.wmma.M", fused.m_ext, &["C.i0", "C.i1", "C.i2", "C.i3"]);
-    let j = b.tile_split(tc, "C.wmma.N", fused.n_ext, &["C.j0", "C.j1", "C.j2", "C.j3"]);
+    let i = b.tile_split(
+        tc,
+        "C.wmma.M",
+        fused.m_ext,
+        &["C.i0", "C.i1", "C.i2", "C.i3"],
+    );
+    let j = b.tile_split(
+        tc,
+        "C.wmma.N",
+        fused.n_ext,
+        &["C.j0", "C.j1", "C.j2", "C.j3"],
+    );
     let r = b.tile_split(tc, "C.wmma.K", fused.k_ext, &["C.r0", "C.r1", "C.r2"]);
     // Intrinsic equalities: innermost tiles are the wmma shape.
     b.csp.post_eq(i[3], m);
@@ -97,15 +114,15 @@ pub fn build_tensorized(
     b.state.reorder(
         tc,
         &[
-            "C.i0", "C.j0", "C.i1", "C.j1", "C.r0", "C.r1", "C.i2", "C.j2", "C.i3", "C.j3",
-            "C.r2",
+            "C.i0", "C.j0", "C.i1", "C.j1", "C.r0", "C.r1", "C.i2", "C.j2", "C.i3", "C.j3", "C.r2",
         ],
     );
     b.state.bind(tc, "C.i0", ThreadAxis::BlockX);
     b.state.bind(tc, "C.j0", ThreadAxis::BlockY);
     b.state.bind(tc, "C.i1", ThreadAxis::ThreadY);
     b.state.bind(tc, "C.j1", ThreadAxis::ThreadY);
-    b.state.tensorize(tc, &["C.i3", "C.j3", "C.r2"], "m", "n", "k");
+    b.state
+        .tensorize(tc, &["C.i3", "C.j3", "C.r2"], "m", "n", "k");
 
     // ---- Launch geometry --------------------------------------------------
     let batch = b.arch_const("batch", fused.batch_ext);
@@ -159,8 +176,26 @@ pub fn build_tensorized(
     let _ = in_bytes;
 
     // ---- Fragment load stages (Rule S3: multi-scope SPM) -----------------
-    let frag_a = fragment_stage(&mut b, spec, opts, "A.wmma", MemScope::FragA, &[i[2], i[3], r[2]], &[r[0], r[1], warps], &a_stage);
-    let frag_b = fragment_stage(&mut b, spec, opts, "B.wmma", MemScope::FragB, &[r[2], j[2], j[3]], &[r[0], r[1], warps], &b_stage);
+    let frag_a = fragment_stage(
+        &mut b,
+        spec,
+        opts,
+        "A.wmma",
+        MemScope::FragA,
+        &[i[2], i[3], r[2]],
+        &[r[0], r[1], warps],
+        &a_stage,
+    );
+    let frag_b = fragment_stage(
+        &mut b,
+        spec,
+        opts,
+        "B.wmma",
+        MemScope::FragB,
+        &[r[2], j[2], j[3]],
+        &[r[0], r[1], warps],
+        &b_stage,
+    );
 
     // Accumulator fragments per warp (register budget).
     let acc_elems = b.prod("elems.C.frag", &[i[2], i[3], j[2], j[3]]);
@@ -181,10 +216,17 @@ pub fn build_tensorized(
     // small shared staging buffer (counted against the 48 KiB budget), so
     // coalesced vectorised stores reach global memory; the staging buffer's
     // row is storage_align-tunable like the input tiles.
-    b.state.cache_write("C", MemScope::Shared, "C.shared", MemScope::Global, DType::F32, vec![
-        LoopSym::new("C.shared.rows".to_string(), IterKind::Spatial, "rows"),
-        LoopSym::new("C.shared.cols".to_string(), IterKind::Spatial, "cols"),
-    ]);
+    b.state.cache_write(
+        "C",
+        MemScope::Shared,
+        "C.shared",
+        MemScope::Global,
+        DType::F32,
+        vec![
+            LoopSym::new("C.shared.rows".to_string(), IterKind::Spatial, "rows"),
+            LoopSym::new("C.shared.cols".to_string(), IterKind::Spatial, "cols"),
+        ],
+    );
     let frag_elems = b.prod("elems.C.stage4", &[m, n]);
     let stage4_execs = b.prod("execs.C.stage4", &[warps, i[2], j[2]]);
     let out_pad = if opts.storage_align {
@@ -202,14 +244,19 @@ pub fn build_tensorized(
     if opts.arch_constraints {
         // The staging buffer shares the shared-memory budget with A and B.
         let cap = spec.capacity(MemScope::Shared).unwrap_or(48 * 1024);
-        b.cap_total("smem.total.out", &[a_stage.bytes, b_stage.bytes, cshared_bytes], cap);
+        b.cap_total(
+            "smem.total.out",
+            &[a_stage.bytes, b_stage.bytes, cshared_bytes],
+            cap,
+        );
     }
 
     let store_elems = b.prod("elems.C.store", &[i[1], i[2], i[3], j[1], j[2], j[3]]);
     let vec_store = b.tunable("vec.C", &[1, 2, 4]);
 
     // ---- Assemble the kernel template -------------------------------------
-    let mut template = KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
+    let mut template =
+        KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
     template.var_grid = "grid".into();
     template.var_threads = "warps".into();
     template.stages.push(a_stage.spec);
@@ -217,15 +264,30 @@ pub fn build_tensorized(
     template.stages.push(frag_a);
     template.stages.push(frag_b);
 
-    let mut compute = StageSpec::new(tc, StageRole::Compute, MemScope::FragA, MemScope::FragAcc, spec.in_dtype);
-    compute.intrinsic = Some(IntrinsicRef { m: "m".into(), n: "n".into(), k: "k".into() });
+    let mut compute = StageSpec::new(
+        tc,
+        StageRole::Compute,
+        MemScope::FragA,
+        MemScope::FragAcc,
+        spec.in_dtype,
+    );
+    compute.intrinsic = Some(IntrinsicRef {
+        m: "m".into(),
+        n: "n".into(),
+        k: "k".into(),
+    });
     compute.var_intrinsic_execs = Some(b.name_of(intrin_execs));
     compute.var_unroll = Some(b.name_of(unroll));
     template.stages.push(compute);
 
     // Stage 4: accumulator fragments → shared staging buffer.
-    let mut stage4 =
-        StageSpec::new("C.shared", StageRole::Store, MemScope::FragAcc, MemScope::Shared, DType::F32);
+    let mut stage4 = StageSpec::new(
+        "C.shared",
+        StageRole::Store,
+        MemScope::FragAcc,
+        MemScope::Shared,
+        DType::F32,
+    );
     stage4.var_elems = Some(b.name_of(frag_elems));
     stage4.var_execs = Some(b.name_of(stage4_execs));
     stage4.var_row_elems = Some(b.name_of(out_row));
@@ -233,7 +295,13 @@ pub fn build_tensorized(
     template.stages.push(stage4);
 
     // Stage 5: shared → global, vectorised and coalesced.
-    let mut store = StageSpec::new("C", StageRole::Store, MemScope::Shared, MemScope::Global, DType::F32);
+    let mut store = StageSpec::new(
+        "C",
+        StageRole::Store,
+        MemScope::Shared,
+        MemScope::Global,
+        DType::F32,
+    );
     store.var_elems = Some(b.name_of(store_elems));
     store.var_vector = Some(b.name_of(vec_store));
     template.stages.push(store);
@@ -260,7 +328,9 @@ pub fn build_scalar(
     let r = b.tile_split(tc, "C.K", fused.k_ext, &["C.r0", "C.r1"]);
     b.state.reorder(
         tc,
-        &["C.i0", "C.j0", "C.i1", "C.j1", "C.r0", "C.r1", "C.i2", "C.j2", "C.i3", "C.j3"],
+        &[
+            "C.i0", "C.j0", "C.i1", "C.j1", "C.r0", "C.r1", "C.i2", "C.j2", "C.i3", "C.j3",
+        ],
     );
     b.state.bind(tc, "C.i0", ThreadAxis::BlockX);
     b.state.bind(tc, "C.j0", ThreadAxis::BlockY);
@@ -319,25 +389,35 @@ pub fn build_scalar(
     // Scalar arithmetic per block: 2 * blockM * blockN * K.
     let two = b.constant(2);
     let kc = b.constant(fused.k_ext);
-    let scalar_ops =
-        b.prod("scalar.C", &[two, i[1], i[2], i[3], j[1], j[2], j[3], kc]);
+    let scalar_ops = b.prod("scalar.C", &[two, i[1], i[2], i[3], j[1], j[2], j[3], kc]);
     let unroll = b.tunable("unroll", &[0, 16, 64, 512]);
     b.state.unroll(tc, "unroll");
     let store_elems = b.prod("elems.C.store", &[i[1], i[2], i[3], j[1], j[2], j[3]]);
     let vec_store = b.tunable("vec.C", &[1, 2, 4]);
 
-    let mut template = KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
+    let mut template =
+        KernelTemplate::from_state(&spec.name, workload, dag.total_flops(), &b.state);
     template.var_grid = "grid".into();
     template.var_threads = "warps".into();
     template.stages.push(a_stage.spec);
     template.stages.push(b_stage.spec);
-    let mut compute =
-        StageSpec::new(tc, StageRole::Compute, MemScope::Shared, MemScope::Register, DType::F32);
+    let mut compute = StageSpec::new(
+        tc,
+        StageRole::Compute,
+        MemScope::Shared,
+        MemScope::Register,
+        DType::F32,
+    );
     compute.var_scalar_ops = Some(b.name_of(scalar_ops));
     compute.var_unroll = Some(b.name_of(unroll));
     template.stages.push(compute);
-    let mut store =
-        StageSpec::new("C.st", StageRole::Store, MemScope::Register, MemScope::Global, DType::F32);
+    let mut store = StageSpec::new(
+        "C.st",
+        StageRole::Store,
+        MemScope::Register,
+        MemScope::Global,
+        DType::F32,
+    );
     store.var_elems = Some(b.name_of(store_elems));
     store.var_vector = Some(b.name_of(vec_store));
     template.stages.push(store);
@@ -479,7 +559,12 @@ fn shared_load_stage(
     p: SharedLoad<'_>,
 ) -> SharedStage {
     let st = p.stage;
-    let parent = b.state.stages().first().map(|s| s.name.clone()).unwrap_or_default();
+    let parent = b
+        .state
+        .stages()
+        .first()
+        .map(|s| s.name.clone())
+        .unwrap_or_default();
     b.state.cache_read(
         p.tensor,
         MemScope::Shared,
@@ -506,7 +591,8 @@ fn shared_load_stage(
             .stage(&parent)
             .is_some_and(|s| s.loops.iter().any(|l| l.name == "C.r0"))
         {
-            b.state.compute_at(st, &parent, &format!("loc.{st}"), &["C.r0", "C.r1"]);
+            b.state
+                .compute_at(st, &parent, &format!("loc.{st}"), &["C.r0", "C.r1"]);
         }
         let dep = b.aux(&format!("kchunk.{st}"), 1, i64::from(u32::MAX));
         b.select(dep, loc, vec![dep_shallow, p.dep_deep]);
@@ -552,13 +638,22 @@ fn shared_load_stage(
     b.loop_twin(&format!("{st}.rows.len"), nrows);
     b.loop_twin(&format!("{st}.cols.len"), row);
 
-    let mut spec_out = StageSpec::new(st, StageRole::Load, MemScope::Global, MemScope::Shared, p.dtype);
+    let mut spec_out = StageSpec::new(
+        st,
+        StageRole::Load,
+        MemScope::Global,
+        MemScope::Shared,
+        p.dtype,
+    );
     spec_out.var_elems = Some(b.name_of(elems));
     spec_out.var_execs = Some(b.name_of(execs));
     spec_out.var_vector = Some(b.name_of(vec));
     spec_out.var_align_pad = Some(b.name_of(pad));
     spec_out.var_row_elems = Some(b.name_of(row));
-    SharedStage { spec: spec_out, bytes }
+    SharedStage {
+        spec: spec_out,
+        bytes,
+    }
 }
 
 /// Builds one shared→fragment load stage (Rule-S3 multi-scope SPM).
@@ -591,7 +686,13 @@ fn fragment_stage(
         }
     }
     b.loop_twin(&format!("{name}.x.len"), elems);
-    let mut s = StageSpec::new(name, StageRole::Load, MemScope::Shared, scope, spec.in_dtype);
+    let mut s = StageSpec::new(
+        name,
+        StageRole::Load,
+        MemScope::Shared,
+        scope,
+        spec.in_dtype,
+    );
     s.var_elems = Some(b.name_of(elems));
     s.var_execs = Some(b.name_of(execs));
     // Reads shared memory with the producer's row geometry: bank conflicts

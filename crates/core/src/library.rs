@@ -174,9 +174,12 @@ impl KernelLibrary {
             }
             csp.post_in(var, [*value]);
         }
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = heron_rng::HeronRng::from_seed(0);
         let sol: Solution = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 800).pop()?;
-        lower(&space.template, sol.fingerprint(), &|n| sol.value_by_name(&csp, n)).ok()
+        lower(&space.template, sol.fingerprint(), &|n| {
+            sol.value_by_name(&csp, n)
+        })
+        .ok()
     }
 
     /// Serialises the library to its text format.
@@ -240,19 +243,22 @@ impl KernelLibrary {
             match field {
                 "dla" => entry.dla = value.to_string(),
                 "gflops" => {
-                    entry.gflops =
-                        value.parse().map_err(|_| parse_err(ln, "bad gflops number"))?;
+                    entry.gflops = value
+                        .parse()
+                        .map_err(|_| parse_err(ln, "bad gflops number"))?;
                 }
                 "latency_s" => {
-                    entry.latency_s =
-                        value.parse().map_err(|_| parse_err(ln, "bad latency number"))?;
+                    entry.latency_s = value
+                        .parse()
+                        .map_err(|_| parse_err(ln, "bad latency number"))?;
                 }
                 other => {
                     let Some(name) = other.strip_prefix("var.") else {
                         return Err(parse_err(ln, "unknown field"));
                     };
-                    let v: i64 =
-                        value.parse().map_err(|_| parse_err(ln, "bad variable value"))?;
+                    let v: i64 = value
+                        .parse()
+                        .map_err(|_| parse_err(ln, "bad variable value"))?;
                     entry.tunables.insert(name.to_string(), v);
                 }
             }
@@ -302,7 +308,9 @@ mod tests {
 
         // Materialise and re-measure: identical latency up to measurement
         // noise (same deterministic simulator + same config fingerprint).
-        let kernel = lib.materialize("gemm-256", &dag, &spec).expect("materialises");
+        let kernel = lib
+            .materialize("gemm-256", &dag, &spec)
+            .expect("materialises");
         let m = Measurer::new(spec);
         let meas = m.measure(&kernel).expect("valid");
         let rel = (meas.latency_s - entry.latency_s).abs() / entry.latency_s;

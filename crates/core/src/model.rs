@@ -8,7 +8,7 @@
 
 use heron_cost::{Gbdt, GbdtParams};
 use heron_csp::{Csp, Solution, VarRef};
-use rand::Rng;
+use heron_rng::Rng;
 
 /// Cost model bound to one CSP's variable layout.
 #[derive(Debug)]
@@ -34,7 +34,10 @@ impl CostModel {
 
     /// Log-scaled feature vector of a solution.
     pub fn featurize(&self, sol: &Solution) -> Vec<f64> {
-        sol.values().iter().map(|&v| ((v.max(0)) as f64 + 1.0).ln()).collect()
+        sol.values()
+            .iter()
+            .map(|&v| ((v.max(0)) as f64 + 1.0).ln())
+            .collect()
     }
 
     /// Records one measured sample (`score` = throughput in Gops; invalid
@@ -99,8 +102,7 @@ impl CostModel {
 mod tests {
     use super::*;
     use heron_csp::{Domain, VarCategory};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use heron_rng::HeronRng;
 
     fn csp2() -> Csp {
         let mut csp = Csp::new();
@@ -113,7 +115,7 @@ mod tests {
     fn predicts_after_fit_and_ranks_keys() {
         let csp = csp2();
         let mut model = CostModel::new(&csp);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         // score depends only on variable a.
         for a in 1..=32_i64 {
             for b in [1_i64, 8, 64] {
@@ -137,7 +139,7 @@ mod tests {
         let mut model = CostModel::new(&csp);
         assert_eq!(model.predict(&Solution::new(vec![1, 1])), 0.0);
         assert!(model.key_variables(3).is_empty());
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         model.add_sample(&Solution::new(vec![1, 1]), 1.0);
         model.fit(&mut rng); // too few samples: still unfitted
         assert!(!model.is_fitted());

@@ -10,10 +10,9 @@ use std::time::Instant;
 
 use heron_csp::{rand_sat_with_budget, Solution};
 use heron_dla::{MeasureError, Measurement, Measurer};
+use heron_rng::HeronRng;
+use heron_rng::IndexedRandom;
 use heron_sched::{lower, Kernel};
-use rand::prelude::IndexedRandom;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::explore::cga::{offspring_csp, CgaConfig};
 use crate::explore::{eps_greedy, roulette_wheel, Chromosome};
@@ -175,7 +174,11 @@ impl TuneResult {
                 it.best_gflops,
                 it.batch_mean_gflops,
                 it.population,
-                if it.model_fitted { ", model fitted" } else { "" }
+                if it.model_fitted {
+                    ", model fitted"
+                } else {
+                    ""
+                }
             );
         }
         out
@@ -188,14 +191,19 @@ pub struct Tuner {
     space: GeneratedSpace,
     measurer: Measurer,
     config: TuneConfig,
-    rng: StdRng,
+    rng: HeronRng,
 }
 
 impl Tuner {
     /// Creates a session.
     pub fn new(space: GeneratedSpace, measurer: Measurer, config: TuneConfig, seed: u64) -> Self {
         let measurer = measurer.with_protocol(config.measure_repeats, 0.01);
-        Tuner { space, measurer, config, rng: StdRng::seed_from_u64(seed) }
+        Tuner {
+            space,
+            measurer,
+            config,
+            rng: HeronRng::from_seed(seed),
+        }
     }
 
     /// The tuned space.
@@ -226,7 +234,8 @@ impl Tuner {
             // ---- Step 1: first generation --------------------------------
             let t = Instant::now();
             let need = cfg.cga.population.saturating_sub(survivors.len());
-            let fresh = rand_sat_with_budget(&self.space.csp, &mut self.rng, need, cfg.cga.solver_budget);
+            let fresh =
+                rand_sat_with_budget(&self.space.csp, &mut self.rng, need, cfg.cga.solver_budget);
             let mut pop: Vec<Chromosome> = survivors.clone();
             pop.extend(fresh.into_iter().map(|solution| Chromosome {
                 fitness: model.predict(&solution),
@@ -238,7 +247,8 @@ impl Tuner {
 
             // ---- Step 2: evolve on CSPs -----------------------------------
             for _ in 0..cfg.cga.generations {
-                let parents = roulette_wheel(&pop, pop.len().min(cfg.cga.population), &mut self.rng);
+                let parents =
+                    roulette_wheel(&pop, pop.len().min(cfg.cga.population), &mut self.rng);
                 let key_vars = if model.is_fitted() {
                     model.key_variables(cfg.cga.key_vars)
                 } else {
@@ -267,12 +277,17 @@ impl Tuner {
                     if let Some(sol) =
                         rand_sat_with_budget(&csp, &mut self.rng, 1, cfg.cga.solver_budget).pop()
                     {
-                        children.push(Chromosome { fitness: model.predict(&sol), solution: sol });
+                        children.push(Chromosome {
+                            fitness: model.predict(&sol),
+                            solution: sol,
+                        });
                     }
                 }
                 pop.extend(children);
                 pop.sort_by(|a, b| {
-                    b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                    b.fitness
+                        .partial_cmp(&a.fitness)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 pop.truncate(cfg.cga.population * 2);
             }
@@ -295,8 +310,10 @@ impl Tuner {
             let predicted: Vec<f64> = unmeasured.iter().map(|c| c.fitness).collect();
             let budget = cfg.cga.measure_batch.min(cfg.trials - result.curve.len());
             let picks = eps_greedy(&predicted, budget, cfg.cga.eps, &mut self.rng);
-            let chosen: Vec<Solution> =
-                picks.iter().map(|&i| unmeasured[i].solution.clone()).collect();
+            let chosen: Vec<Solution> = picks
+                .iter()
+                .map(|&i| unmeasured[i].solution.clone())
+                .collect();
             let mut batch_scores: Vec<f64> = Vec::with_capacity(chosen.len());
             let population = pop.len();
             for sol in chosen {
@@ -308,8 +325,7 @@ impl Tuner {
                 let score = match outcome {
                     Ok((kernel, m)) => {
                         result.valid_trials += 1;
-                        result.timing.hw_measure_s +=
-                            m.latency_s * f64::from(cfg.measure_repeats);
+                        result.timing.hw_measure_s += m.latency_s * f64::from(cfg.measure_repeats);
                         if m.gflops > result.best_gflops {
                             result.best_gflops = m.gflops;
                             result.best_latency_s = m.latency_s;
@@ -346,7 +362,9 @@ impl Tuner {
                 c.fitness = model.predict(&c.solution);
             }
             pop.sort_by(|a, b| {
-                b.fitness.partial_cmp(&a.fitness).unwrap_or(std::cmp::Ordering::Equal)
+                b.fitness
+                    .partial_cmp(&a.fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             survivors = pop.into_iter().take(cfg.cga.population / 2).collect();
         }
@@ -370,8 +388,14 @@ mod tests {
         let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(48), 7);
         let result = tuner.run();
         assert!(result.best_gflops > 0.0, "no valid program found");
-        assert_eq!(result.invalid_trials, 0, "Heron never measures invalid programs");
-        assert_eq!(result.curve.len(), result.valid_trials + result.invalid_trials);
+        assert_eq!(
+            result.invalid_trials, 0,
+            "Heron never measures invalid programs"
+        );
+        assert_eq!(
+            result.curve.len(),
+            result.valid_trials + result.invalid_trials
+        );
         // Curve is monotone.
         for w in result.curve.windows(2) {
             assert!(w[1] >= w[0]);

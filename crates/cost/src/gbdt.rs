@@ -1,6 +1,6 @@
 //! Gradient boosting over regression trees (squared loss).
 
-use rand::Rng;
+use heron_rng::Rng;
 
 use crate::tree::{RegressionTree, TreeParams};
 
@@ -23,7 +23,11 @@ impl Default for GbdtParams {
             n_trees: 24,
             learning_rate: 0.3,
             subsample: 0.9,
-            tree: TreeParams { max_depth: 4, min_split: 4, feature_sample: 48 },
+            tree: TreeParams {
+                max_depth: 4,
+                min_split: 4,
+                feature_sample: 48,
+            },
         }
     }
 }
@@ -46,7 +50,10 @@ impl Gbdt {
         assert!(!x.is_empty(), "cannot fit to zero samples");
         assert_eq!(x.len(), y.len(), "feature/target length mismatch");
         let num_features = x[0].len();
-        assert!(x.iter().all(|r| r.len() == num_features), "ragged feature matrix");
+        assert!(
+            x.iter().all(|r| r.len() == num_features),
+            "ragged feature matrix"
+        );
 
         let base = y.iter().sum::<f64>() / y.len() as f64;
         let mut preds = vec![base; y.len()];
@@ -56,14 +63,23 @@ impl Gbdt {
             let rows: Vec<usize> = (0..x.len())
                 .filter(|_| rng.random::<f64>() < params.subsample)
                 .collect();
-            let rows = if rows.is_empty() { (0..x.len()).collect() } else { rows };
+            let rows = if rows.is_empty() {
+                (0..x.len()).collect()
+            } else {
+                rows
+            };
             let tree = RegressionTree::fit(x, &residuals, &rows, &params.tree, rng);
             for (i, row) in x.iter().enumerate() {
                 preds[i] += params.learning_rate * tree.predict(row);
             }
             trees.push(tree);
         }
-        Gbdt { base, learning_rate: params.learning_rate, trees, num_features }
+        Gbdt {
+            base,
+            learning_rate: params.learning_rate,
+            trees,
+            num_features,
+        }
     }
 
     /// Predicted target for one feature vector.
@@ -97,7 +113,11 @@ impl Gbdt {
     pub fn top_features(&self, k: usize) -> Vec<usize> {
         let imp = self.feature_importance();
         let mut idx: Vec<usize> = (0..imp.len()).collect();
-        idx.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            imp[b]
+                .partial_cmp(&imp[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         idx.truncate(k);
         idx
     }
@@ -111,8 +131,7 @@ impl Gbdt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use heron_rng::HeronRng;
 
     fn toy() -> (Vec<Vec<f64>>, Vec<f64>) {
         // y = 2*x0 - x1, x2 noise-like but deterministic.
@@ -132,17 +151,25 @@ mod tests {
     #[test]
     fn fits_linear_signal() {
         let (x, y) = toy();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = HeronRng::from_seed(7);
         let params = GbdtParams {
             n_trees: 40,
             learning_rate: 0.3,
             subsample: 1.0,
-            tree: TreeParams { max_depth: 4, min_split: 2, feature_sample: 0 },
+            tree: TreeParams {
+                max_depth: 4,
+                min_split: 2,
+                feature_sample: 0,
+            },
         };
         let m = Gbdt::fit(&x, &y, &params, &mut rng);
         let preds = m.predict_batch(&x);
-        let mse: f64 =
-            preds.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let mse: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
         let var: f64 = {
             let mean = y.iter().sum::<f64>() / y.len() as f64;
             y.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / y.len() as f64
@@ -153,7 +180,7 @@ mod tests {
     #[test]
     fn importance_ranks_informative_features() {
         let (x, y) = toy();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = HeronRng::from_seed(7);
         let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
         let imp = m.feature_importance();
         assert!(imp[0] > imp[2], "x0 must beat noise: {imp:?}");
@@ -165,7 +192,7 @@ mod tests {
     fn constant_target_predicts_constant() {
         let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
         let y = vec![3.5; 16];
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
         assert!((m.predict(&[100.0]) - 3.5).abs() < 1e-9);
     }
@@ -173,7 +200,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         Gbdt::fit(&[vec![1.0]], &[1.0, 2.0], &GbdtParams::default(), &mut rng);
     }
 }

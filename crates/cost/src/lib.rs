@@ -14,12 +14,11 @@
 //!
 //! ```
 //! use heron_cost::{Gbdt, GbdtParams};
-//! use rand::SeedableRng;
 //!
 //! // y = 3*x0 + noise-free constant; x1 is irrelevant.
 //! let x: Vec<Vec<f64>> = (0..64).map(|i| vec![(i % 8) as f64, (i / 8) as f64]).collect();
 //! let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0]).collect();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = heron_rng::HeronRng::from_seed(0);
 //! let model = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
 //! let imp = model.feature_importance();
 //! assert!(imp[0] > imp[1]);

@@ -41,8 +41,11 @@ pub fn r_squared(predicted: &[f64], truth: &[f64]) -> f64 {
     }
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 =
-        predicted.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {
             1.0

@@ -1,7 +1,7 @@
 //! Variance-reduction regression trees (the weak learner of the GBDT).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use heron_rng::Rng;
+use heron_rng::SliceRandom;
 
 /// One node of a regression tree, index-linked in a flat arena.
 #[derive(Debug, Clone)]
@@ -33,7 +33,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 4, min_split: 4, feature_sample: 0 }
+        TreeParams {
+            max_depth: 4,
+            min_split: 4,
+            feature_sample: 0,
+        }
     }
 }
 
@@ -58,7 +62,10 @@ impl RegressionTree {
     ) -> Self {
         assert!(!rows.is_empty(), "cannot fit a tree to zero samples");
         let num_features = x[0].len();
-        let mut tree = RegressionTree { nodes: Vec::new(), num_features };
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            num_features,
+        };
         tree.build(x, y, rows, 0, params, rng);
         tree
     }
@@ -90,7 +97,13 @@ impl RegressionTree {
                 self.nodes.push(Node::Leaf { value: mean }); // placeholder
                 let left = self.build(x, y, &left_rows, depth + 1, params, rng);
                 let right = self.build(x, y, &right_rows, depth + 1, params, rng);
-                self.nodes[id] = Node::Split { feature, threshold, gain, left, right };
+                self.nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    gain,
+                    left,
+                    right,
+                };
                 id
             }
         }
@@ -120,7 +133,9 @@ impl RegressionTree {
         let mut sorted = rows.to_vec();
         for &f in &features {
             sorted.sort_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+                x[a][f]
+                    .partial_cmp(&x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
@@ -137,8 +152,8 @@ impl RegressionTree {
                 let nr = n - nl;
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 let gain = parent_sse - sse;
                 if gain > best.map_or(1e-12, |(_, _, g)| g) {
                     best = Some((f, (xv + xn) / 2.0, gain));
@@ -158,8 +173,18 @@ impl RegressionTree {
         loop {
             match &self.nodes[id] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    id = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    id = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -188,17 +213,17 @@ impl RegressionTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use heron_rng::HeronRng;
 
     #[test]
     fn splits_on_informative_feature() {
         // y = step(x0): perfectly separable on feature 0.
-        let x: Vec<Vec<f64>> =
-            (0..32).map(|i| vec![i as f64, ((i * 7) % 5) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![i as f64, ((i * 7) % 5) as f64])
+            .collect();
         let y: Vec<f64> = (0..32).map(|i| if i < 16 { 0.0 } else { 10.0 }).collect();
         let rows: Vec<usize> = (0..32).collect();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let t = RegressionTree::fit(&x, &y, &rows, &TreeParams::default(), &mut rng);
         assert!((t.predict(&[3.0, 0.0]) - 0.0).abs() < 1e-9);
         assert!((t.predict(&[30.0, 0.0]) - 10.0).abs() < 1e-9);
@@ -212,7 +237,7 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
         let y = vec![5.0; 8];
         let rows: Vec<usize> = (0..8).collect();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let t = RegressionTree::fit(&x, &y, &rows, &TreeParams::default(), &mut rng);
         assert!(t.is_empty());
         assert!((t.predict(&[99.0]) - 5.0).abs() < 1e-9);
@@ -223,8 +248,12 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
         let rows: Vec<usize> = (0..64).collect();
-        let mut rng = StdRng::seed_from_u64(0);
-        let p = TreeParams { max_depth: 2, min_split: 2, feature_sample: 0 };
+        let mut rng = HeronRng::from_seed(0);
+        let p = TreeParams {
+            max_depth: 2,
+            min_split: 2,
+            feature_sample: 0,
+        };
         let t = RegressionTree::fit(&x, &y, &rows, &p, &mut rng);
         // Depth-2 tree has at most 4 leaves + 3 splits.
         assert!(t.len() <= 7);
@@ -235,7 +264,7 @@ mod tests {
     fn predict_checks_arity() {
         let x = vec![vec![1.0, 2.0]];
         let y = vec![1.0];
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let t = RegressionTree::fit(&x, &y, &[0], &TreeParams::default(), &mut rng);
         t.predict(&[1.0]);
     }

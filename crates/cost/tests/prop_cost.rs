@@ -1,54 +1,65 @@
 //! Property tests of the cost model: single trees interpolate within the
 //! target envelope; boosting reduces training error; importances are a
-//! probability vector.
+//! probability vector. (heron-testkit harness; see DESIGN.md,
+//! "Zero-dependency & determinism policy".)
 
 use heron_cost::tree::TreeParams;
 use heron_cost::{Gbdt, GbdtParams, RegressionTree};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use heron_rng::HeronRng;
+use heron_testkit::{property_cases, Gen};
 
-fn dataset() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, -5.0f64..5.0), 8..64).prop_map(
-        |rows| {
-            let x: Vec<Vec<f64>> = rows.iter().map(|(a, b, _)| vec![*a, *b]).collect();
-            let y: Vec<f64> = rows.iter().map(|(a, b, n)| a * 2.0 - b + n).collect();
-            (x, y)
-        },
-    )
+/// A linear-plus-noise dataset: y = 2a − b + n, 8–63 rows.
+fn dataset(g: &mut Gen) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let rows = g.vec(8, 63, |g| {
+        (
+            g.f64_in(0.0, 10.0),
+            g.f64_in(0.0, 10.0),
+            g.f64_in(-5.0, 5.0),
+        )
+    });
+    let x: Vec<Vec<f64>> = rows.iter().map(|(a, b, _)| vec![*a, *b]).collect();
+    let y: Vec<f64> = rows.iter().map(|(a, b, n)| a * 2.0 - b + n).collect();
+    (x, y)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A single tree's predictions stay inside [min(y), max(y)] (leaves
-    /// are means of subsets).
-    #[test]
-    fn tree_predicts_within_envelope((x, y) in dataset(), qa in 0.0f64..10.0, qb in 0.0f64..10.0) {
+/// A single tree's predictions stay inside [min(y), max(y)] (leaves
+/// are means of subsets).
+#[test]
+fn tree_predicts_within_envelope() {
+    property_cases("tree_predicts_within_envelope", 64, |g| {
+        let (x, y) = dataset(g);
+        let qa = g.f64_in(0.0, 10.0);
+        let qb = g.f64_in(0.0, 10.0);
         let rows: Vec<usize> = (0..x.len()).collect();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         let t = RegressionTree::fit(&x, &y, &rows, &TreeParams::default(), &mut rng);
         let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let p = t.predict(&[qa, qb]);
-        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
-    }
+        assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+    });
+}
 
-    /// Boosting does not increase training MSE relative to the constant
-    /// (mean) predictor.
-    #[test]
-    fn boosting_beats_constant_predictor((x, y) in dataset()) {
-        let mut rng = StdRng::seed_from_u64(1);
+/// Boosting does not increase training MSE relative to the constant
+/// (mean) predictor.
+#[test]
+fn boosting_beats_constant_predictor() {
+    property_cases("boosting_beats_constant_predictor", 64, |g| {
+        let (x, y) = dataset(g);
+        let mut rng = HeronRng::from_seed(1);
         let params = GbdtParams {
             n_trees: 16,
             learning_rate: 0.3,
             subsample: 1.0,
-            tree: TreeParams { max_depth: 3, min_split: 2, feature_sample: 0 },
+            tree: TreeParams {
+                max_depth: 3,
+                min_split: 2,
+                feature_sample: 0,
+            },
         };
         let m = Gbdt::fit(&x, &y, &params, &mut rng);
         let mean = y.iter().sum::<f64>() / y.len() as f64;
-        let base_mse: f64 =
-            y.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / y.len() as f64;
+        let base_mse: f64 = y.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / y.len() as f64;
         let mse: f64 = x
             .iter()
             .zip(&y)
@@ -58,23 +69,29 @@ proptest! {
             })
             .sum::<f64>()
             / y.len() as f64;
-        prop_assert!(mse <= base_mse + 1e-9, "boosted {mse} > baseline {base_mse}");
-    }
+        assert!(
+            mse <= base_mse + 1e-9,
+            "boosted {mse} > baseline {base_mse}"
+        );
+    });
+}
 
-    /// Feature importances are non-negative and sum to one (or all-zero
-    /// when no split was made).
-    #[test]
-    fn importances_form_distribution((x, y) in dataset()) {
-        let mut rng = StdRng::seed_from_u64(2);
+/// Feature importances are non-negative and sum to one (or all-zero
+/// when no split was made).
+#[test]
+fn importances_form_distribution() {
+    property_cases("importances_form_distribution", 64, |g| {
+        let (x, y) = dataset(g);
+        let mut rng = HeronRng::from_seed(2);
         let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
         let imp = m.feature_importance();
-        prop_assert_eq!(imp.len(), 2);
-        prop_assert!(imp.iter().all(|&v| v >= 0.0));
+        assert_eq!(imp.len(), 2);
+        assert!(imp.iter().all(|&v| v >= 0.0));
         let total: f64 = imp.iter().sum();
-        prop_assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
+        assert!(total.abs() < 1e-9 || (total - 1.0).abs() < 1e-9);
         // top_features is consistent with the importances.
         let top = m.top_features(2);
-        prop_assert_eq!(top.len(), 2);
-        prop_assert!(imp[top[0]] >= imp[top[1]]);
-    }
+        assert_eq!(top.len(), 2);
+        assert!(imp[top[0]] >= imp[top[1]]);
+    });
 }

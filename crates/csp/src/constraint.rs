@@ -68,7 +68,11 @@ impl Constraint {
             }
             Constraint::Eq(a, b) | Constraint::Le(a, b) => vec![*a, *b],
             Constraint::In { var, .. } => vec![*var],
-            Constraint::Select { out, index, choices } => {
+            Constraint::Select {
+                out,
+                index,
+                choices,
+            } => {
                 let mut v = vec![*out, *index];
                 v.extend_from_slice(choices);
                 v
@@ -92,7 +96,11 @@ impl Constraint {
             Constraint::Eq(a, b) => value(*a) == value(*b),
             Constraint::Le(a, b) => value(*a) <= value(*b),
             Constraint::In { var, values } => values.binary_search(&value(*var)).is_ok(),
-            Constraint::Select { out, index, choices } => {
+            Constraint::Select {
+                out,
+                index,
+                choices,
+            } => {
                 let i = value(*index);
                 if i < 0 || i as usize >= choices.len() {
                     return false;
@@ -125,7 +133,11 @@ impl fmt::Display for Constraint {
             Constraint::Eq(a, b) => write!(f, "EQ({a}, {b})"),
             Constraint::Le(a, b) => write!(f, "LE({a}, {b})"),
             Constraint::In { var, values } => write!(f, "IN({var}, {values:?})"),
-            Constraint::Select { out, index, choices } => {
+            Constraint::Select {
+                out,
+                index,
+                choices,
+            } => {
                 write!(f, "SELECT({out}, {index}, {choices:?})")
             }
         }
@@ -142,14 +154,20 @@ mod tests {
 
     #[test]
     fn prod_check() {
-        let c = Constraint::Prod { out: VarRef(0), factors: vec![VarRef(1), VarRef(2)] };
+        let c = Constraint::Prod {
+            out: VarRef(0),
+            factors: vec![VarRef(1), VarRef(2)],
+        };
         assert!(c.check(&env(&[12, 3, 4])));
         assert!(!c.check(&env(&[11, 3, 4])));
     }
 
     #[test]
     fn sum_check() {
-        let c = Constraint::Sum { out: VarRef(0), terms: vec![VarRef(1), VarRef(2)] };
+        let c = Constraint::Sum {
+            out: VarRef(0),
+            terms: vec![VarRef(1), VarRef(2)],
+        };
         assert!(c.check(&env(&[7, 3, 4])));
         assert!(!c.check(&env(&[8, 3, 4])));
     }
@@ -163,7 +181,10 @@ mod tests {
 
     #[test]
     fn in_check() {
-        let c = Constraint::In { var: VarRef(0), values: vec![1, 2, 4, 8] };
+        let c = Constraint::In {
+            var: VarRef(0),
+            values: vec![1, 2, 4, 8],
+        };
         assert!(c.check(&env(&[4])));
         assert!(!c.check(&env(&[3])));
     }

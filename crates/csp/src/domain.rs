@@ -207,8 +207,11 @@ impl Domain {
                 Ok(v.len() != before)
             }
             Domain::Range { lo, hi } => {
-                let kept: Vec<i64> =
-                    candidates.iter().copied().filter(|&c| c >= *lo && c <= *hi).collect();
+                let kept: Vec<i64> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| c >= *lo && c <= *hi)
+                    .collect();
                 if kept.is_empty() {
                     return Err(());
                 }
@@ -247,7 +250,13 @@ impl fmt::Display for Domain {
         match self {
             Domain::Values(v) if v.len() <= 8 => write!(f, "{v:?}"),
             Domain::Values(v) => {
-                write!(f, "{{{}, …, {}}} ({} values)", v[0], v[v.len() - 1], v.len())
+                write!(
+                    f,
+                    "{{{}, …, {}}} ({} values)",
+                    v[0],
+                    v[v.len() - 1],
+                    v.len()
+                )
             }
             Domain::Range { lo, hi } => write!(f, "[{lo}, {hi}]"),
         }

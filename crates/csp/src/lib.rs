@@ -11,14 +11,13 @@
 //!
 //! ```
 //! use heron_csp::{Csp, Domain, VarCategory};
-//! use rand::SeedableRng;
 //!
 //! let mut csp = Csp::new();
 //! let x = csp.add_var("x", Domain::values([1, 2, 3, 4, 6, 12]), VarCategory::Tunable);
 //! let y = csp.add_var("y", Domain::values([1, 2, 3, 4, 6, 12]), VarCategory::Tunable);
 //! let n = csp.add_const("n", 12);
 //! csp.post_prod(n, vec![x, y]); // x * y == 12
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = heron_rng::HeronRng::from_seed(7);
 //! let sols = heron_csp::solver::rand_sat(&csp, &mut rng, 8);
 //! assert!(!sols.is_empty());
 //! for s in &sols {
@@ -37,6 +36,6 @@ pub mod stats;
 pub use constraint::Constraint;
 pub use domain::Domain;
 pub use problem::{Csp, Solution, VarCategory, VarRef};
-pub use solver::{rand_sat, rand_sat_with_budget, validate};
 pub use serialize::{from_text, solution_from_text, solution_to_text, to_text};
+pub use solver::{rand_sat, rand_sat_with_budget, validate};
 pub use stats::SpaceCensus;

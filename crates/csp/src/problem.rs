@@ -69,10 +69,17 @@ impl Csp {
         category: VarCategory,
     ) -> VarRef {
         let name = name.into();
-        assert!(!self.by_name.contains_key(&name), "duplicate variable `{name}`");
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate variable `{name}`"
+        );
         let r = VarRef(self.vars.len());
         self.by_name.insert(name.clone(), r);
-        self.vars.push(VarDecl { name, domain, category });
+        self.vars.push(VarDecl {
+            name,
+            domain,
+            category,
+        });
         r
     }
 
@@ -125,7 +132,10 @@ impl Csp {
     /// Panics if the constraint references an undeclared variable.
     pub fn post(&mut self, c: Constraint) {
         for v in c.vars() {
-            assert!(v.0 < self.vars.len(), "constraint references undeclared {v}");
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references undeclared {v}"
+            );
         }
         self.constraints.push(c);
     }
@@ -168,7 +178,11 @@ impl Csp {
     /// Panics if `choices` is empty.
     pub fn post_select(&mut self, out: VarRef, index: VarRef, choices: Vec<VarRef>) {
         assert!(!choices.is_empty(), "SELECT needs at least one choice");
-        self.post(Constraint::Select { out, index, choices });
+        self.post(Constraint::Select {
+            out,
+            index,
+            choices,
+        });
     }
 
     /// Removes the last `n` posted constraints — used by constraint-based
@@ -197,7 +211,11 @@ impl fmt::Display for Csp {
             self.num_constraints()
         )?;
         for (r, decl) in self.vars() {
-            writeln!(f, "  {r} {} : {} [{:?}]", decl.name, decl.domain, decl.category)?;
+            writeln!(
+                f,
+                "  {r} {} : {} [{:?}]",
+                decl.name, decl.domain, decl.category
+            )?;
         }
         for c in self.constraints() {
             writeln!(f, "  {c}")?;
@@ -312,7 +330,11 @@ mod tests {
     #[test]
     fn space_size_counts_tunables_only() {
         let mut csp = Csp::new();
-        csp.add_var("t", Domain::values([1, 2, 4, 8, 16, 32, 64, 128, 256, 512]), VarCategory::Tunable);
+        csp.add_var(
+            "t",
+            Domain::values([1, 2, 4, 8, 16, 32, 64, 128, 256, 512]),
+            VarCategory::Tunable,
+        );
         csp.add_var("aux", Domain::range(0, 1_000_000), VarCategory::Other);
         assert!((csp.tunable_space_log10() - 1.0).abs() < 1e-9);
     }

@@ -78,8 +78,12 @@ impl<'a> Propagator<'a> {
         while let Some(ci) = queue.pop_front() {
             queued[ci as usize] = false;
             changed_vars.clear();
-            filter(&self.csp.constraints()[ci as usize], domains, &mut changed_vars)
-                .map_err(|_| Infeasible)?;
+            filter(
+                &self.csp.constraints()[ci as usize],
+                domains,
+                &mut changed_vars,
+            )
+            .map_err(|_| Infeasible)?;
             for v in &changed_vars {
                 for &wi in &self.watching[v.0] {
                     // The triggering constraint re-enqueues itself too: one
@@ -97,11 +101,7 @@ impl<'a> Propagator<'a> {
 }
 
 /// Applies one constraint's filtering rule, recording changed variables.
-fn filter(
-    c: &Constraint,
-    domains: &mut [Domain],
-    changed: &mut Vec<VarRef>,
-) -> Result<(), ()> {
+fn filter(c: &Constraint, domains: &mut [Domain], changed: &mut Vec<VarRef>) -> Result<(), ()> {
     match c {
         Constraint::Prod { out, factors } => filter_prod(*out, factors, domains, changed),
         Constraint::Sum { out, terms } => filter_sum(*out, terms, domains, changed),
@@ -133,9 +133,11 @@ fn filter(
             }
             Ok(())
         }
-        Constraint::Select { out, index, choices } => {
-            filter_select(*out, *index, choices, domains, changed)
-        }
+        Constraint::Select {
+            out,
+            index,
+            choices,
+        } => filter_select(*out, *index, choices, domains, changed),
     }
 }
 
@@ -172,14 +174,21 @@ fn filter_prod(
 
     for (i, f) in factors.iter().enumerate() {
         let others_lo = sat_prod(
-            factors.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, g)| domains[g.0].min()),
+            factors
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, g)| domains[g.0].min()),
         );
         let others_hi = sat_prod(
-            factors.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, g)| domains[g.0].max()),
+            factors
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, g)| domains[g.0].max()),
         );
         if others_hi > 0 && others_hi < i64::MAX {
-            let min_f = out_lo.div_euclid(others_hi)
-                + i64::from(out_lo.rem_euclid(others_hi) != 0);
+            let min_f = out_lo.div_euclid(others_hi) + i64::from(out_lo.rem_euclid(others_hi) != 0);
             if domains[f.0].restrict_min(min_f)? {
                 changed.push(*f);
             }
@@ -195,8 +204,11 @@ fn filter_prod(
             if p > 0 {
                 if let Domain::Values(vals) = &domains[f.0] {
                     if vals.iter().any(|&v| v == 0 || p % v != 0) {
-                        let kept: Vec<i64> =
-                            vals.iter().copied().filter(|&v| v != 0 && p % v == 0).collect();
+                        let kept: Vec<i64> = vals
+                            .iter()
+                            .copied()
+                            .filter(|&v| v != 0 && p % v == 0)
+                            .collect();
                         if kept.is_empty() {
                             return Err(());
                         }
@@ -281,8 +293,16 @@ fn filter_select(
         changed.push(index);
     }
     // Output bounds from remaining choices.
-    let lo = feasible.iter().map(|&i| domains[choices[i as usize].0].min()).min().expect("nonempty");
-    let hi = feasible.iter().map(|&i| domains[choices[i as usize].0].max()).max().expect("nonempty");
+    let lo = feasible
+        .iter()
+        .map(|&i| domains[choices[i as usize].0].min())
+        .min()
+        .expect("nonempty");
+    let hi = feasible
+        .iter()
+        .map(|&i| domains[choices[i as usize].0].max())
+        .max()
+        .expect("nonempty");
     if domains[out.0].restrict_min(lo)? {
         changed.push(out);
     }
@@ -314,7 +334,11 @@ mod tests {
         let mut csp = Csp::new();
         let n = csp.add_const("n", 24);
         let a = csp.add_var("a", Domain::values([2]), VarCategory::Tunable);
-        let b = csp.add_var("b", Domain::values([1, 2, 3, 4, 6, 12, 24]), VarCategory::Tunable);
+        let b = csp.add_var(
+            "b",
+            Domain::values([1, 2, 3, 4, 6, 12, 24]),
+            VarCategory::Tunable,
+        );
         csp.post_prod(n, vec![a, b]);
         let p = Propagator::new(&csp);
         let mut d = p.initial_domains();
@@ -326,7 +350,11 @@ mod tests {
     fn prod_divisibility_filter() {
         let mut csp = Csp::new();
         let n = csp.add_const("n", 12);
-        let a = csp.add_var("a", Domain::values([1, 2, 3, 4, 5, 6, 7, 8, 12]), VarCategory::Tunable);
+        let a = csp.add_var(
+            "a",
+            Domain::values([1, 2, 3, 4, 5, 6, 7, 8, 12]),
+            VarCategory::Tunable,
+        );
         let b = csp.add_var("b", Domain::range(1, 12), VarCategory::Other);
         csp.post_prod(n, vec![a, b]);
         let p = Propagator::new(&csp);

@@ -101,9 +101,19 @@ pub fn to_text(csp: &Csp) -> String {
                 let vals: Vec<String> = values.iter().map(|x| x.to_string()).collect();
                 let _ = writeln!(out, "in {} {}", name(*var), vals.join(","));
             }
-            Constraint::Select { out: o, index, choices } => {
+            Constraint::Select {
+                out: o,
+                index,
+                choices,
+            } => {
                 let cs: Vec<String> = choices.iter().map(|&x| name(x)).collect();
-                let _ = writeln!(out, "select {} {} <- {}", name(*o), name(*index), cs.join(" "));
+                let _ = writeln!(
+                    out,
+                    "select {} {} <- {}",
+                    name(*o),
+                    name(*index),
+                    cs.join(" ")
+                );
             }
         }
     }
@@ -115,7 +125,10 @@ pub fn to_text(csp: &Csp) -> String {
 /// # Errors
 /// Returns [`ParseError`] on any malformed line or dangling reference.
 pub fn from_text(text: &str) -> Result<Csp, ParseError> {
-    let err = |line: usize, message: &str| ParseError { line: line + 1, message: message.into() };
+    let err = |line: usize, message: &str| ParseError {
+        line: line + 1,
+        message: message.into(),
+    };
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, "heron-csp v1")) => {}
@@ -123,11 +136,16 @@ pub fn from_text(text: &str) -> Result<Csp, ParseError> {
     }
     let mut csp = Csp::new();
     let lookup = |csp: &Csp, ln: usize, name: &str| {
-        csp.var_by_name(name).ok_or_else(|| err(ln, &format!("unknown variable `{name}`")))
+        csp.var_by_name(name)
+            .ok_or_else(|| err(ln, &format!("unknown variable `{name}`")))
     };
     let parse_values = |ln: usize, text: &str| -> Result<Vec<i64>, ParseError> {
         text.split(',')
-            .map(|v| v.trim().parse::<i64>().map_err(|_| err(ln, &format!("bad value `{v}`"))))
+            .map(|v| {
+                v.trim()
+                    .parse::<i64>()
+                    .map_err(|_| err(ln, &format!("bad value `{v}`")))
+            })
             .collect()
     };
     for (ln, raw) in lines {
@@ -180,8 +198,16 @@ pub fn from_text(text: &str) -> Result<Csp, ParseError> {
                 }
             }
             "eq" | "le" => {
-                let a = lookup(&csp, ln, words.next().ok_or_else(|| err(ln, "missing lhs"))?)?;
-                let b = lookup(&csp, ln, words.next().ok_or_else(|| err(ln, "missing rhs"))?)?;
+                let a = lookup(
+                    &csp,
+                    ln,
+                    words.next().ok_or_else(|| err(ln, "missing lhs"))?,
+                )?;
+                let b = lookup(
+                    &csp,
+                    ln,
+                    words.next().ok_or_else(|| err(ln, "missing rhs"))?,
+                )?;
                 if keyword == "eq" {
                     csp.post_eq(a, b);
                 } else {
@@ -189,15 +215,26 @@ pub fn from_text(text: &str) -> Result<Csp, ParseError> {
                 }
             }
             "in" => {
-                let var = lookup(&csp, ln, words.next().ok_or_else(|| err(ln, "missing var"))?)?;
+                let var = lookup(
+                    &csp,
+                    ln,
+                    words.next().ok_or_else(|| err(ln, "missing var"))?,
+                )?;
                 let vals =
                     parse_values(ln, words.next().ok_or_else(|| err(ln, "missing values"))?)?;
                 csp.post_in(var, vals);
             }
             "select" => {
-                let out = lookup(&csp, ln, words.next().ok_or_else(|| err(ln, "missing out"))?)?;
-                let index =
-                    lookup(&csp, ln, words.next().ok_or_else(|| err(ln, "missing index"))?)?;
+                let out = lookup(
+                    &csp,
+                    ln,
+                    words.next().ok_or_else(|| err(ln, "missing out"))?,
+                )?;
+                let index = lookup(
+                    &csp,
+                    ln,
+                    words.next().ok_or_else(|| err(ln, "missing index"))?,
+                )?;
                 if words.next() != Some("<-") {
                     return Err(err(ln, "expected `<-`"));
                 }
@@ -231,7 +268,10 @@ pub fn solution_to_text(csp: &Csp, sol: &Solution) -> String {
 /// Returns [`ParseError`] on malformed lines, unknown variables, or
 /// missing assignments.
 pub fn solution_from_text(csp: &Csp, text: &str) -> Result<Solution, ParseError> {
-    let err = |line: usize, message: &str| ParseError { line: line + 1, message: message.into() };
+    let err = |line: usize, message: &str| ParseError {
+        line: line + 1,
+        message: message.into(),
+    };
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, "heron-solution v1")) => {}
@@ -243,7 +283,9 @@ pub fn solution_from_text(csp: &Csp, text: &str) -> Result<Solution, ParseError>
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line.split_once('=').ok_or_else(|| err(ln, "expected name = value"))?;
+        let (name, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(ln, "expected name = value"))?;
         let var = csp
             .var_by_name(name.trim())
             .ok_or_else(|| err(ln, &format!("unknown variable `{}`", name.trim())))?;
@@ -253,15 +295,17 @@ pub fn solution_from_text(csp: &Csp, text: &str) -> Result<Solution, ParseError>
     let values: Option<Vec<i64>> = values.into_iter().collect();
     match values {
         Some(v) => Ok(Solution::new(v)),
-        None => Err(ParseError { line: 0, message: "missing assignments".into() }),
+        None => Err(ParseError {
+            line: 0,
+            message: "missing assignments".into(),
+        }),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use heron_rng::HeronRng;
 
     fn sample_csp() -> Csp {
         let mut csp = Csp::new();
@@ -288,7 +332,7 @@ mod tests {
         assert_eq!(back.num_vars(), csp.num_vars());
         assert_eq!(back.num_constraints(), csp.num_constraints());
         // Solutions transfer across the round trip.
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = HeronRng::from_seed(1);
         for sol in crate::solver::rand_sat(&csp, &mut rng, 8) {
             assert!(crate::solver::validate(&back, &sol));
         }
@@ -299,8 +343,10 @@ mod tests {
     #[test]
     fn solution_text_roundtrip() {
         let csp = sample_csp();
-        let mut rng = StdRng::seed_from_u64(2);
-        let sol = crate::solver::rand_sat(&csp, &mut rng, 1).pop().expect("solvable");
+        let mut rng = HeronRng::from_seed(2);
+        let sol = crate::solver::rand_sat(&csp, &mut rng, 1)
+            .pop()
+            .expect("solvable");
         let text = solution_to_text(&csp, &sol);
         let back = solution_from_text(&csp, &text).expect("parses");
         assert_eq!(back, sol);
@@ -317,7 +363,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let text = "heron-csp v1\n\n# a comment\nvar x tunable values 1,2\n";
         let csp = from_text(text).expect("parses");
         assert_eq!(csp.num_vars(), 1);

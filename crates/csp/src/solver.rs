@@ -6,8 +6,8 @@
 //! as propagation-guided backtracking search with randomised variable and
 //! value order, restarted per requested sample.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use heron_rng::Rng;
+use heron_rng::SliceRandom;
 
 use crate::domain::Domain;
 use crate::problem::{Csp, Solution, VarRef};
@@ -134,7 +134,11 @@ fn dive<R: Rng>(
             v
         }
     };
-    let try_limit = if is_tunable { candidates.len() } else { candidates.len().min(4) };
+    let try_limit = if is_tunable {
+        candidates.len()
+    } else {
+        candidates.len().min(4)
+    };
     for &val in candidates.iter().take(try_limit) {
         if *fails == 0 {
             return None;
@@ -155,8 +159,7 @@ fn dive<R: Rng>(
 mod tests {
     use super::*;
     use crate::problem::VarCategory;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use heron_rng::HeronRng;
 
     /// A miniature tiling space: i0 * i1 * i2 == 64, i1 * i2 <= 32,
     /// vec ∈ {1,2,4,8}, vec <= i2.
@@ -179,9 +182,13 @@ mod tests {
     #[test]
     fn solutions_satisfy_all_constraints() {
         let (csp, [i0, i1, i2, vec]) = tiling_csp();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = HeronRng::from_seed(42);
         let sols = rand_sat(&csp, &mut rng, 32);
-        assert!(sols.len() >= 16, "expected many solutions, got {}", sols.len());
+        assert!(
+            sols.len() >= 16,
+            "expected many solutions, got {}",
+            sols.len()
+        );
         for s in &sols {
             assert!(validate(&csp, s));
             assert_eq!(s.value(i0) * s.value(i1) * s.value(i2), 64);
@@ -193,12 +200,11 @@ mod tests {
     #[test]
     fn solutions_are_distinct_and_diverse() {
         let (csp, [i0, ..]) = tiling_csp();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = HeronRng::from_seed(1);
         let sols = rand_sat(&csp, &mut rng, 24);
         let fps: std::collections::HashSet<u64> = sols.iter().map(|s| s.fingerprint()).collect();
         assert_eq!(fps.len(), sols.len(), "duplicate solutions returned");
-        let i0_values: std::collections::HashSet<i64> =
-            sols.iter().map(|s| s.value(i0)).collect();
+        let i0_values: std::collections::HashSet<i64> = sols.iter().map(|s| s.value(i0)).collect();
         assert!(i0_values.len() > 1, "sampling is not random");
     }
 
@@ -207,7 +213,7 @@ mod tests {
         let mut csp = Csp::new();
         let a = csp.add_var("a", Domain::values([2, 3]), VarCategory::Tunable);
         csp.post_in(a, [7, 9]);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = HeronRng::from_seed(0);
         assert!(rand_sat(&csp, &mut rng, 4).is_empty());
     }
 
@@ -215,7 +221,7 @@ mod tests {
     fn validate_rejects_wrong_length_and_values() {
         let (csp, _) = tiling_csp();
         assert!(!validate(&csp, &Solution::new(vec![1, 2])));
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = HeronRng::from_seed(3);
         let sols = rand_sat(&csp, &mut rng, 1);
         let s = &sols[0];
         let mut bad = s.values().to_vec();
@@ -233,7 +239,7 @@ mod tests {
         let loc = csp.add_var("loc", Domain::values([0, 1, 2]), VarCategory::Tunable);
         let len = csp.add_var("len", Domain::range(1, 64), VarCategory::LoopLength);
         csp.post_select(len, loc, vec![l1, l2, l3]);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = HeronRng::from_seed(9);
         let sols = rand_sat(&csp, &mut rng, 16);
         assert!(!sols.is_empty());
         for s in &sols {

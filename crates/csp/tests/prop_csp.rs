@@ -1,9 +1,12 @@
 //! Property-based tests of the CSP engine: solver soundness against a
 //! brute-force oracle on randomly generated small problems.
+//! (heron-testkit harness; see DESIGN.md, "Zero-dependency &
+//! determinism policy".)
 
 use heron_csp::propagate::Propagator;
 use heron_csp::{rand_sat, validate, Constraint, Csp, Domain, Solution, VarCategory, VarRef};
-use proptest::prelude::*;
+use heron_testkit::{property_cases, Gen};
+use std::collections::BTreeSet;
 
 /// A small random CSP description we can brute-force.
 #[derive(Debug, Clone)]
@@ -51,87 +54,112 @@ impl SmallCsp {
     }
 }
 
-fn small_domain() -> impl Strategy<Value = Vec<i64>> {
-    proptest::collection::btree_set(0i64..6, 1..4).prop_map(|s| s.into_iter().collect())
+/// A sorted, deduplicated domain of 1..=3 values drawn from 0..6.
+fn small_domain(g: &mut Gen) -> Vec<i64> {
+    let set: BTreeSet<i64> = g.vec(1, 3, |g| g.int(0, 6)).into_iter().collect();
+    set.into_iter().collect()
 }
 
-fn constraint(nvars: usize) -> impl Strategy<Value = Constraint> {
-    let var = 0..nvars;
-    let var2 = 0..nvars;
-    let var3 = 0..nvars;
-    prop_oneof![
-        (var.clone(), var2.clone(), var3.clone()).prop_map(|(o, a, b)| Constraint::Prod {
-            out: VarRef(o),
-            factors: vec![VarRef(a), VarRef(b)],
-        }),
-        (var.clone(), var2.clone(), var3.clone()).prop_map(|(o, a, b)| Constraint::Sum {
-            out: VarRef(o),
-            terms: vec![VarRef(a), VarRef(b)],
-        }),
-        (var.clone(), var2.clone()).prop_map(|(a, b)| Constraint::Eq(VarRef(a), VarRef(b))),
-        (var.clone(), var2.clone()).prop_map(|(a, b)| Constraint::Le(VarRef(a), VarRef(b))),
-        (var.clone(), proptest::collection::btree_set(0i64..6, 1..4)).prop_map(|(v, s)| {
-            Constraint::In { var: VarRef(v), values: s.into_iter().collect() }
-        }),
-        (var, var2, var3).prop_map(|(o, i, c)| Constraint::Select {
-            out: VarRef(o),
-            index: VarRef(i),
-            choices: vec![VarRef(c), VarRef(o)],
-        }),
-    ]
-}
-
-fn small_csp() -> impl Strategy<Value = SmallCsp> {
-    proptest::collection::vec(small_domain(), 2..5).prop_flat_map(|domains| {
-        let n = domains.len();
-        proptest::collection::vec(constraint(n), 0..4)
-            .prop_map(move |constraints| SmallCsp { domains: domains.clone(), constraints })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every solution RandSAT returns is a real solution.
-    #[test]
-    fn rand_sat_solutions_validate(small in small_csp(), seed in 0u64..1000) {
-        let csp = small.build();
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
-        for sol in rand_sat(&csp, &mut rng, 8) {
-            prop_assert!(validate(&csp, &sol));
+fn constraint(g: &mut Gen, nvars: usize) -> Constraint {
+    let n = nvars as i64;
+    match g.int(0, 6) {
+        0 => Constraint::Prod {
+            out: VarRef(g.int(0, n) as usize),
+            factors: vec![VarRef(g.int(0, n) as usize), VarRef(g.int(0, n) as usize)],
+        },
+        1 => Constraint::Sum {
+            out: VarRef(g.int(0, n) as usize),
+            terms: vec![VarRef(g.int(0, n) as usize), VarRef(g.int(0, n) as usize)],
+        },
+        2 => Constraint::Eq(VarRef(g.int(0, n) as usize), VarRef(g.int(0, n) as usize)),
+        3 => Constraint::Le(VarRef(g.int(0, n) as usize), VarRef(g.int(0, n) as usize)),
+        4 => {
+            let values: BTreeSet<i64> = g.vec(1, 3, |g| g.int(0, 6)).into_iter().collect();
+            Constraint::In {
+                var: VarRef(g.int(0, n) as usize),
+                values: values.into_iter().collect(),
+            }
+        }
+        _ => {
+            let o = VarRef(g.int(0, n) as usize);
+            Constraint::Select {
+                out: o,
+                index: VarRef(g.int(0, n) as usize),
+                choices: vec![VarRef(g.int(0, n) as usize), o],
+            }
         }
     }
+}
 
-    /// RandSAT is complete on satisfiable small problems (finds at least
-    /// one solution when brute force does).
-    #[test]
-    fn rand_sat_finds_solutions_when_they_exist(small in small_csp(), seed in 0u64..1000) {
+fn small_csp(g: &mut Gen) -> SmallCsp {
+    let domains = g.vec(2, 4, small_domain);
+    let n = domains.len();
+    let constraints = g.vec(0, 3, |g| constraint(g, n));
+    SmallCsp {
+        domains,
+        constraints,
+    }
+}
+
+/// Every solution RandSAT returns is a real solution.
+#[test]
+fn rand_sat_solutions_validate() {
+    property_cases("rand_sat_solutions_validate", 64, |g| {
+        let small = small_csp(g);
+        let seed = g.int(0, 1000) as u64;
+        let csp = small.build();
+        let mut rng = heron_rng::HeronRng::from_seed(seed);
+        for sol in rand_sat(&csp, &mut rng, 8) {
+            assert!(
+                validate(&csp, &sol),
+                "invalid RandSAT solution for {small:?}"
+            );
+        }
+    });
+}
+
+/// RandSAT is complete on satisfiable small problems (finds at least
+/// one solution when brute force does).
+#[test]
+fn rand_sat_finds_solutions_when_they_exist() {
+    property_cases("rand_sat_finds_solutions_when_they_exist", 64, |g| {
+        let small = small_csp(g);
+        let seed = g.int(0, 1000) as u64;
         let solutions = small.brute_force();
         let csp = small.build();
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut rng = heron_rng::HeronRng::from_seed(seed);
         let found = rand_sat(&csp, &mut rng, 4);
         if !solutions.is_empty() {
-            prop_assert!(!found.is_empty(), "solver missed a satisfiable problem");
+            assert!(
+                !found.is_empty(),
+                "solver missed a satisfiable problem: {small:?}"
+            );
         } else {
-            prop_assert!(found.is_empty(), "solver invented a solution");
+            assert!(found.is_empty(), "solver invented a solution: {small:?}");
         }
-    }
+    });
+}
 
-    /// Propagation is sound: it never removes a value that appears in some
-    /// brute-force solution, and only reports infeasibility for truly
-    /// unsatisfiable problems.
-    #[test]
-    fn propagation_is_sound(small in small_csp()) {
+/// Propagation is sound: it never removes a value that appears in some
+/// brute-force solution, and only reports infeasibility for truly
+/// unsatisfiable problems.
+#[test]
+fn propagation_is_sound() {
+    property_cases("propagation_is_sound", 64, |g| {
+        let small = small_csp(g);
         let solutions = small.brute_force();
         let csp = small.build();
         let prop = Propagator::new(&csp);
         let mut domains = prop.initial_domains();
         match prop.run_all(&mut domains) {
-            Err(_) => prop_assert!(solutions.is_empty(), "propagation wiped a satisfiable problem"),
+            Err(_) => assert!(
+                solutions.is_empty(),
+                "propagation wiped a satisfiable problem: {small:?}"
+            ),
             Ok(()) => {
                 for sol in &solutions {
                     for (i, &v) in sol.iter().enumerate() {
-                        prop_assert!(
+                        assert!(
                             domains[i].contains(v),
                             "propagation removed value {v} of v{i} used by solution {sol:?}"
                         );
@@ -139,37 +167,47 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// `validate` agrees with the brute-force membership test.
-    #[test]
-    fn validate_matches_brute_force(small in small_csp()) {
+/// `validate` agrees with the brute-force membership test.
+#[test]
+fn validate_matches_brute_force() {
+    property_cases("validate_matches_brute_force", 64, |g| {
+        let small = small_csp(g);
         let solutions = small.brute_force();
         let csp = small.build();
         for sol in solutions.iter().take(16) {
-            prop_assert!(validate(&csp, &Solution::new(sol.clone())));
+            assert!(validate(&csp, &Solution::new(sol.clone())));
         }
-    }
+    });
+}
 
-    /// Serialisation round-trips arbitrary small CSPs exactly.
-    #[test]
-    fn serialization_roundtrip(small in small_csp()) {
+/// Serialisation round-trips arbitrary small CSPs exactly.
+#[test]
+fn serialization_roundtrip() {
+    property_cases("serialization_roundtrip", 64, |g| {
+        let small = small_csp(g);
         let csp = small.build();
         let text = heron_csp::to_text(&csp);
         let back = heron_csp::from_text(&text).expect("parses its own output");
-        prop_assert_eq!(back.num_vars(), csp.num_vars());
-        prop_assert_eq!(back.num_constraints(), csp.num_constraints());
-        prop_assert_eq!(heron_csp::to_text(&back), text);
+        assert_eq!(back.num_vars(), csp.num_vars());
+        assert_eq!(back.num_constraints(), csp.num_constraints());
+        assert_eq!(heron_csp::to_text(&back), text);
         // Brute-force solution sets agree.
         for sol in small.brute_force().into_iter().take(8) {
-            prop_assert!(validate(&back, &Solution::new(sol)));
+            assert!(validate(&back, &Solution::new(sol)));
         }
-    }
+    });
+}
 
-    /// Domain operations preserve the min/max envelope.
-    #[test]
-    fn domain_restrict_envelope(values in proptest::collection::btree_set(0i64..100, 1..12),
-                                lo in 0i64..100, hi in 0i64..100) {
+/// Domain operations preserve the min/max envelope.
+#[test]
+fn domain_restrict_envelope() {
+    property_cases("domain_restrict_envelope", 64, |g| {
+        let values: BTreeSet<i64> = g.vec(1, 11, |g| g.int(0, 100)).into_iter().collect();
+        let lo = g.int(0, 100);
+        let hi = g.int(0, 100);
         let mut d = Domain::values(values.iter().copied());
         let lo_bound = lo.min(hi);
         let hi_bound = lo.max(hi);
@@ -177,12 +215,12 @@ proptest! {
         if a.is_ok() {
             let b = d.restrict_max(hi_bound);
             if b.is_ok() {
-                prop_assert!(d.min() >= lo_bound);
-                prop_assert!(d.max() <= hi_bound);
+                assert!(d.min() >= lo_bound);
+                assert!(d.max() <= hi_bound);
                 for v in d.iter_values() {
-                    prop_assert!(values.contains(&v));
+                    assert!(values.contains(&v));
                 }
             }
         }
-    }
+    });
 }

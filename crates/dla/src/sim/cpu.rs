@@ -11,8 +11,8 @@
 
 use heron_sched::{Kernel, MemScope, StageRole};
 
-use crate::spec::CpuParams;
 use super::MeasureError;
+use crate::spec::CpuParams;
 
 /// CPU-specific validation.
 pub(super) fn validate(c: &CpuParams, kernel: &Kernel) -> Result<(), MeasureError> {
@@ -183,7 +183,10 @@ mod tests {
         // one core (compute-bound), not 18x.
         assert!(eighteen < one * 4.0);
         let thirty_six = estimate_cycles(&c, &kernel(36));
-        assert!(thirty_six > eighteen * 1.5, "second wave should roughly double");
+        assert!(
+            thirty_six > eighteen * 1.5,
+            "second wave should roughly double"
+        );
     }
 
     #[test]
@@ -201,6 +204,9 @@ mod tests {
         let c = cpu();
         let mut k = kernel(1);
         k.threads = 99;
-        assert!(matches!(validate(&c, &k), Err(MeasureError::IllegalLaunch { .. })));
+        assert!(matches!(
+            validate(&c, &k),
+            Err(MeasureError::IllegalLaunch { .. })
+        ));
     }
 }

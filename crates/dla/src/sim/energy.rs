@@ -200,7 +200,10 @@ mod tests {
         let light = estimate(&spec, &kernel(512, 512), 1e-4);
         let heavy = estimate(&spec, &kernel(512, 8192), 1e-4);
         assert!(heavy.offchip_j > light.offchip_j);
-        assert!(heavy.onchip_j > light.onchip_j, "global loads land in shared too");
+        assert!(
+            heavy.onchip_j > light.onchip_j,
+            "global loads land in shared too"
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use heron_sched::{Kernel, KernelStage, MemScope, StageRole};
 
-use crate::spec::GpuParams;
 use super::{gcd, MeasureError};
+use crate::spec::GpuParams;
 
 /// GPU-specific launch validation.
 pub(super) fn validate(g: &GpuParams, kernel: &Kernel) -> Result<(), MeasureError> {
@@ -113,8 +113,7 @@ pub(super) fn analyze(g: &GpuParams, kernel: &Kernel) -> super::Analysis {
                     gmem_cycles += bytes / (gmem_bw_per_block * eff * hiding).max(1e-9);
                 }
                 if touches(s, MemScope::Shared) {
-                    let conflict =
-                        bank_conflict_factor(s.row_elems, s.align_pad, s.dtype.bytes());
+                    let conflict = bank_conflict_factor(s.row_elems, s.align_pad, s.dtype.bytes());
                     smem_cycles +=
                         bytes * conflict / (g.shared_bw_bytes_per_cycle_sm * hiding).max(1e-9);
                 }
@@ -150,8 +149,13 @@ pub(super) fn analyze(g: &GpuParams, kernel: &Kernel) -> super::Analysis {
     for st in &kernel.stages {
         if st.row_elems > 0 {
             let factor = bank_conflict_factor(st.row_elems, st.align_pad, st.dtype.bytes());
-            if factor > 1.0 && (st.src_scope == MemScope::Shared || st.dst_scope == MemScope::Shared) {
-                notes.push(format!("{}-way bank conflicts on {}", factor as i64, st.name));
+            if factor > 1.0
+                && (st.src_scope == MemScope::Shared || st.dst_scope == MemScope::Shared)
+            {
+                notes.push(format!(
+                    "{}-way bank conflicts on {}",
+                    factor as i64, st.name
+                ));
             }
         }
     }
@@ -274,7 +278,7 @@ mod tests {
         let mut heavy = kernel(160, 2);
         light.buffers[0].bytes = 8 * 1024; // 12 blocks/SM by smem
         heavy.buffers[0].bytes = 48 * 1024; // 2 blocks/SM
-        // Per-block work identical; heavy loses latency hiding.
+                                            // Per-block work identical; heavy loses latency hiding.
         let lc = estimate_cycles(&g, &light);
         let hc = estimate_cycles(&g, &heavy);
         assert!(hc > lc, "expected occupancy penalty: {hc} <= {lc}");
@@ -284,7 +288,10 @@ mod tests {
     fn warp_limit_enforced() {
         let g = gpu();
         let k = kernel(80, 64);
-        assert!(matches!(validate(&g, &k), Err(MeasureError::IllegalLaunch { .. })));
+        assert!(matches!(
+            validate(&g, &k),
+            Err(MeasureError::IllegalLaunch { .. })
+        ));
     }
 
     #[test]
@@ -296,7 +303,10 @@ mod tests {
             scope: MemScope::FragAcc,
             bytes: 64 * 16 * 16 * 4, // 64 fragments
         });
-        assert!(matches!(validate(&g, &k), Err(MeasureError::IllegalLaunch { .. })));
+        assert!(matches!(
+            validate(&g, &k),
+            Err(MeasureError::IllegalLaunch { .. })
+        ));
     }
 
     #[test]

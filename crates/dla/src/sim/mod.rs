@@ -135,8 +135,12 @@ impl fmt::Display for Analysis {
             "{} — {:.0} cycles total, {:.0} parallel waves",
             self.bound, self.total_cycles, self.parallel_waves
         )?;
-        let max: f64 =
-            self.components.iter().map(|(_, c)| *c).fold(0.0, f64::max).max(1e-9);
+        let max: f64 = self
+            .components
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(0.0, f64::max)
+            .max(1e-9);
         for (name, cycles) in &self.components {
             writeln!(
                 f,
@@ -174,7 +178,11 @@ impl Measurer {
     /// Measurer with the paper's defaults: 3 repeated runs averaged, 1%
     /// per-run measurement noise.
     pub fn new(spec: DlaSpec) -> Self {
-        Measurer { spec, repeats: 3, noise: 0.01 }
+        Measurer {
+            spec,
+            repeats: 3,
+            noise: 0.01,
+        }
     }
 
     /// Overrides the measurement protocol (repeats, per-run noise level).
@@ -197,15 +205,23 @@ impl Measurer {
     /// Returns the first violated constraint.
     pub fn validate(&self, kernel: &Kernel) -> Result<(), MeasureError> {
         if kernel.grid < 1 {
-            return Err(MeasureError::IllegalLaunch { reason: "empty grid".into() });
+            return Err(MeasureError::IllegalLaunch {
+                reason: "empty grid".into(),
+            });
         }
         if kernel.threads < 1 {
-            return Err(MeasureError::IllegalLaunch { reason: "no threads".into() });
+            return Err(MeasureError::IllegalLaunch {
+                reason: "no threads".into(),
+            });
         }
         for (scope, limit) in &self.spec.capacities {
             let used = kernel.scope_bytes(*scope);
             if used > *limit {
-                return Err(MeasureError::CapacityExceeded { scope: *scope, used, limit: *limit });
+                return Err(MeasureError::CapacityExceeded {
+                    scope: *scope,
+                    used,
+                    limit: *limit,
+                });
             }
         }
         for s in &kernel.stages {
@@ -281,7 +297,10 @@ impl Measurer {
         }
         let cycles = acc / self.repeats as f64;
         let latency_s = cycles / clock_hz;
-        Ok(Measurement { latency_s, gflops: kernel.total_flops as f64 / latency_s / 1e9 })
+        Ok(Measurement {
+            latency_s,
+            gflops: kernel.total_flops as f64 / latency_s / 1e9,
+        })
     }
 }
 

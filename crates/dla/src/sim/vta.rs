@@ -13,8 +13,8 @@
 
 use heron_sched::{Kernel, MemScope, StageRole};
 
-use crate::spec::VtaParams;
 use super::MeasureError;
+use crate::spec::VtaParams;
 
 /// VTA-specific validation.
 pub(super) fn validate(v: &VtaParams, kernel: &Kernel) -> Result<(), MeasureError> {
@@ -154,7 +154,13 @@ mod tests {
     }
 
     fn kernel(input_tile_bytes: u64) -> Kernel {
-        let mut comp = stage("gemm", StageRole::Compute, MemScope::VtaInput, MemScope::VtaAcc, 0);
+        let mut comp = stage(
+            "gemm",
+            StageRole::Compute,
+            MemScope::VtaInput,
+            MemScope::VtaAcc,
+            0,
+        );
         comp.intrinsic = Some((1, 16, 16));
         comp.intrinsic_execs = 4096;
         comp.row_elems = 4; // inner accumulation extent
@@ -165,10 +171,28 @@ mod tests {
             grid: 8,
             threads: 1,
             stages: vec![
-                stage("ld.in", StageRole::Load, MemScope::Global, MemScope::VtaInput, 8192),
-                stage("ld.w", StageRole::Load, MemScope::Global, MemScope::VtaWeight, 8192),
+                stage(
+                    "ld.in",
+                    StageRole::Load,
+                    MemScope::Global,
+                    MemScope::VtaInput,
+                    8192,
+                ),
+                stage(
+                    "ld.w",
+                    StageRole::Load,
+                    MemScope::Global,
+                    MemScope::VtaWeight,
+                    8192,
+                ),
                 comp,
-                stage("st", StageRole::Store, MemScope::VtaAcc, MemScope::Global, 4096),
+                stage(
+                    "st",
+                    StageRole::Store,
+                    MemScope::VtaAcc,
+                    MemScope::Global,
+                    4096,
+                ),
             ],
             buffers: vec![
                 KernelBuffer {
@@ -176,8 +200,16 @@ mod tests {
                     scope: MemScope::VtaInput,
                     bytes: input_tile_bytes,
                 },
-                KernelBuffer { name: "w".into(), scope: MemScope::VtaWeight, bytes: 16 * 1024 },
-                KernelBuffer { name: "acc".into(), scope: MemScope::VtaAcc, bytes: 16 * 1024 },
+                KernelBuffer {
+                    name: "w".into(),
+                    scope: MemScope::VtaWeight,
+                    bytes: 16 * 1024,
+                },
+                KernelBuffer {
+                    name: "acc".into(),
+                    scope: MemScope::VtaAcc,
+                    bytes: 16 * 1024,
+                },
             ],
             fingerprint: 3,
         }
@@ -203,7 +235,10 @@ mod tests {
         }
         assert!(matches!(
             validate(&v, &k),
-            Err(MeasureError::AccessCycleViolation { observed: 1, required: 2 })
+            Err(MeasureError::AccessCycleViolation {
+                observed: 1,
+                required: 2
+            })
         ));
     }
 

@@ -112,7 +112,10 @@ pub struct DlaSpec {
 impl DlaSpec {
     /// Capacity of `scope`, if limited.
     pub fn capacity(&self, scope: MemScope) -> Option<u64> {
-        self.capacities.iter().find(|(s, _)| *s == scope).map(|(_, c)| *c)
+        self.capacities
+            .iter()
+            .find(|(s, _)| *s == scope)
+            .map(|(_, c)| *c)
     }
 
     /// Whether `(m, n, k)` is a legal intrinsic shape.
@@ -128,12 +131,8 @@ impl DlaSpec {
     /// Peak arithmetic throughput in ops/second (for utilisation reports).
     pub fn peak_ops_per_sec(&self) -> f64 {
         match &self.family {
-            DlaFamily::Gpu(g) => {
-                g.sms as f64 * g.tensor_flops_per_cycle_sm * g.clock_ghz * 1e9
-            }
-            DlaFamily::Cpu(c) => {
-                c.cores as f64 * c.vnni_ops_per_cycle_core * c.clock_ghz * 1e9
-            }
+            DlaFamily::Gpu(g) => g.sms as f64 * g.tensor_flops_per_cycle_sm * g.clock_ghz * 1e9,
+            DlaFamily::Cpu(c) => c.cores as f64 * c.vnni_ops_per_cycle_core * c.clock_ghz * 1e9,
             DlaFamily::Vta(v) => 2.0 * v.macs_per_cycle * v.clock_ghz * 1e9,
         }
     }
@@ -157,16 +156,25 @@ impl DlaSpec {
                 .iter()
                 .map(|(m, n, k)| format!("({m},{n},{k})"))
                 .collect();
-            rows.push(format!("computation size: (m,n,k) in {{{}}}", shapes.join(", ")));
+            rows.push(format!(
+                "computation size: (m,n,k) in {{{}}}",
+                shapes.join(", ")
+            ));
         }
         for (scope, cap) in &self.capacities {
             rows.push(format!("memory capacity: {scope} <= {} KiB", cap / 1024));
         }
         if !self.vector_lengths.is_empty() {
-            rows.push(format!("memory access: vector_length in {:?}", self.vector_lengths));
+            rows.push(format!(
+                "memory access: vector_length in {:?}",
+                self.vector_lengths
+            ));
         }
         if let DlaFamily::Vta(v) = &self.family {
-            rows.push(format!("memory access: {} <= access_cycle", v.min_access_cycle));
+            rows.push(format!(
+                "memory access: {} <= access_cycle",
+                v.min_access_cycle
+            ));
         }
         rows
     }

@@ -1,10 +1,11 @@
 //! Property tests of the DLA measurer: determinism, bounded jitter, and
-//! monotone response to work.
+//! monotone response to work. (heron-testkit harness; see DESIGN.md,
+//! "Zero-dependency & determinism policy".)
 
 use heron_dla::{v100, Measurer};
 use heron_sched::{Kernel, KernelBuffer, KernelStage, MemScope, StageRole};
 use heron_tensor::DType;
-use proptest::prelude::*;
+use heron_testkit::{property_cases, Gen};
 
 fn kernel(grid: i64, warps: i64, load_elems: i64, intrin_execs: i64, fp: u64) -> Kernel {
     let load = KernelStage {
@@ -55,71 +56,96 @@ fn kernel(grid: i64, warps: i64, load_elems: i64, intrin_execs: i64, fp: u64) ->
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Uniform `u64` over the full range (the tape stores magnitudes, so
+/// shrinking pulls fingerprints toward 0).
+fn any_u64(g: &mut Gen) -> u64 {
+    (g.int(i64::MIN, i64::MAX) as u64).wrapping_add(i64::MIN as u64)
+}
 
-    /// Measurement is deterministic for a fixed kernel.
-    #[test]
-    fn measurement_is_deterministic(
-        grid in 1i64..512,
-        warps in 1i64..32,
-        elems in 1i64..8192,
-        execs in 1i64..4096,
-        fp in proptest::num::u64::ANY,
-    ) {
+/// Measurement is deterministic for a fixed kernel.
+#[test]
+fn measurement_is_deterministic() {
+    property_cases("measurement_is_deterministic", 128, |g| {
+        let grid = g.int(1, 512);
+        let warps = g.int(1, 32);
+        let elems = g.int(1, 8192);
+        let execs = g.int(1, 4096);
+        let fp = any_u64(g);
         let m = Measurer::new(v100());
         let k = kernel(grid, warps, elems, execs, fp);
         if let (Ok(a), Ok(b)) = (m.measure(&k), m.measure(&k)) {
-            prop_assert_eq!(a.latency_s, b.latency_s);
+            assert_eq!(a.latency_s, b.latency_s);
         }
-    }
+    });
+}
 
-    /// Configuration jitter stays within ±6% of the jitter-free trend:
-    /// two kernels differing only in fingerprint measure within 12%.
-    #[test]
-    fn jitter_is_bounded(fp1 in proptest::num::u64::ANY, fp2 in proptest::num::u64::ANY) {
+/// Configuration jitter stays within ±6% of the jitter-free trend:
+/// two kernels differing only in fingerprint measure within 12%.
+#[test]
+fn jitter_is_bounded() {
+    property_cases("jitter_is_bounded", 128, |g| {
+        let fp1 = any_u64(g);
+        let fp2 = any_u64(g);
         let m = Measurer::new(v100());
         let a = m.measure(&kernel(64, 8, 2048, 512, fp1)).expect("valid");
         let b = m.measure(&kernel(64, 8, 2048, 512, fp2)).expect("valid");
         let ratio = a.latency_s / b.latency_s;
-        prop_assert!((0.85..1.18).contains(&ratio), "jitter too large: {ratio}");
-    }
+        assert!((0.85..1.18).contains(&ratio), "jitter too large: {ratio}");
+    });
+}
 
-    /// More intrinsic work never makes the kernel faster.
-    #[test]
-    fn compute_is_monotone(execs in 1i64..2048, extra in 1i64..2048) {
+/// More intrinsic work never makes the kernel faster.
+#[test]
+fn compute_is_monotone() {
+    property_cases("compute_is_monotone", 128, |g| {
+        let execs = g.int(1, 2048);
+        let extra = g.int(1, 2048);
         let m = Measurer::new(v100());
         let small = m.measure(&kernel(64, 8, 2048, execs, 1)).expect("valid");
-        let large = m.measure(&kernel(64, 8, 2048, execs + extra, 1)).expect("valid");
-        prop_assert!(large.latency_s >= small.latency_s);
-    }
+        let large = m
+            .measure(&kernel(64, 8, 2048, execs + extra, 1))
+            .expect("valid");
+        assert!(large.latency_s >= small.latency_s);
+    });
+}
 
-    /// More transferred bytes never make the kernel faster.
-    #[test]
-    fn memory_is_monotone(elems in 1i64..8192, extra in 1i64..8192) {
+/// More transferred bytes never make the kernel faster.
+#[test]
+fn memory_is_monotone() {
+    property_cases("memory_is_monotone", 128, |g| {
+        let elems = g.int(1, 8192);
+        let extra = g.int(1, 8192);
         let m = Measurer::new(v100());
         let small = m.measure(&kernel(64, 8, elems, 64, 1)).expect("valid");
-        let large = m.measure(&kernel(64, 8, elems + extra, 64, 1)).expect("valid");
-        prop_assert!(large.latency_s >= small.latency_s);
-    }
+        let large = m
+            .measure(&kernel(64, 8, elems + extra, 64, 1))
+            .expect("valid");
+        assert!(large.latency_s >= small.latency_s);
+    });
+}
 
-    /// Validation agrees exactly with the shared-memory capacity line.
-    #[test]
-    fn capacity_boundary_is_exact(kb in 1u64..96) {
+/// Validation agrees exactly with the shared-memory capacity line.
+#[test]
+fn capacity_boundary_is_exact() {
+    property_cases("capacity_boundary_is_exact", 128, |g| {
+        let kb = g.int(1, 96) as u64;
         let m = Measurer::new(v100());
         let mut k = kernel(16, 8, 64, 64, 0);
         k.buffers[0].bytes = kb * 1024;
         let ok = m.validate(&k).is_ok();
-        prop_assert_eq!(ok, kb * 1024 <= 48 * 1024);
-    }
+        assert_eq!(ok, kb * 1024 <= 48 * 1024);
+    });
+}
 
-    /// Throughput = flops / latency by definition.
-    #[test]
-    fn gflops_consistent(execs in 1i64..1024) {
+/// Throughput = flops / latency by definition.
+#[test]
+fn gflops_consistent() {
+    property_cases("gflops_consistent", 128, |g| {
+        let execs = g.int(1, 1024);
         let m = Measurer::new(v100());
         let k = kernel(64, 8, 1024, execs, 3);
         let meas = m.measure(&k).expect("valid");
         let expect = k.total_flops as f64 / meas.latency_s / 1e9;
-        prop_assert!((meas.gflops - expect).abs() < 1e-6 * expect.max(1.0));
-    }
+        assert!((meas.gflops - expect).abs() < 1e-6 * expect.max(1.0));
+    });
 }

@@ -24,7 +24,10 @@ pub struct CompileOptions {
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { trials: 200, seed: 2023 }
+        CompileOptions {
+            trials: 200,
+            seed: 2023,
+        }
     }
 }
 
@@ -124,8 +127,15 @@ fn workload_of(op: &LayerOp) -> Option<(String, Workload)> {
         LayerOp::Conv2d(c) => {
             let key = format!(
                 "c2d-{}x{}x{}x{}x{}-k{}p{}s{}d{}",
-                c.batch, c.in_channels, c.height, c.width, c.out_channels, c.kh, c.padding,
-                c.stride, c.dilation
+                c.batch,
+                c.in_channels,
+                c.height,
+                c.width,
+                c.out_channels,
+                c.kh,
+                c.padding,
+                c.stride,
+                c.dilation
             );
             Some((key.clone(), Workload::new(key, OpKind::C2d(*c))))
         }
@@ -138,13 +148,31 @@ fn workload_of(op: &LayerOp) -> Option<(String, Workload)> {
         }
         LayerOp::Gemm { m, n, k } => {
             let key = format!("gemm-{m}x{n}x{k}");
-            Some((key.clone(), Workload::new(key, OpKind::Gemm { m: *m, n: *n, k: *k })))
+            Some((
+                key.clone(),
+                Workload::new(
+                    key,
+                    OpKind::Gemm {
+                        m: *m,
+                        n: *n,
+                        k: *k,
+                    },
+                ),
+            ))
         }
         LayerOp::Bmm { b, m, n, k } => {
             let key = format!("bmm-{b}x{m}x{n}x{k}");
             Some((
                 key.clone(),
-                Workload::new(key, OpKind::Bmm { b: *b, m: *m, n: *n, k: *k }),
+                Workload::new(
+                    key,
+                    OpKind::Bmm {
+                        b: *b,
+                        m: *m,
+                        n: *n,
+                        k: *k,
+                    },
+                ),
             ))
         }
         _ => None,
@@ -180,8 +208,7 @@ pub fn compile(
                 }
                 None => {
                     let dag = workload.build(dtype_of(spec));
-                    let entry = match generator.generate_named(&dag, &SpaceOptions::heron(), &key)
-                    {
+                    let entry = match generator.generate_named(&dag, &SpaceOptions::heron(), &key) {
                         Ok(space) => {
                             let mut tuner = Tuner::new(
                                 space,
@@ -208,8 +235,7 @@ pub fn compile(
         } else {
             // Memory-bound pass: read inputs + write output at stream BW.
             let out_elems = graph.output_elems(layer.anchor);
-            let in_elems: i64 =
-                node.inputs.iter().map(|&i| graph.output_elems(i)).sum();
+            let in_elems: i64 = node.inputs.iter().map(|&i| graph.output_elems(i)).sum();
             let bytes = (out_elems + in_elems) as u64 * dtype_bytes;
             let ops_factor = node.op.elementwise_ops_per_output() as f64;
             let latency = bytes as f64 / bw * ops_factor.max(1.0).sqrt();
@@ -244,7 +270,15 @@ mod tests {
         let r1 = g.add("r1", LayerOp::Relu, vec![c1]);
         let _c2 = g.add("c2", LayerOp::Conv2d(cfg), vec![r1]);
         let fused = fuse(&g);
-        let model = compile(&g, &fused, &heron_dla::v100(), &CompileOptions { trials: 16, seed: 1 });
+        let model = compile(
+            &g,
+            &fused,
+            &heron_dla::v100(),
+            &CompileOptions {
+                trials: 16,
+                seed: 1,
+            },
+        );
         assert_eq!(model.tuned_workloads, 1);
         assert_eq!(model.cache_hits, 1);
         assert!(model.latency_s().is_finite());
@@ -255,9 +289,20 @@ mod tests {
     fn bottleneck_block_compiles_with_fused_epilogues() {
         let g = models::resnet_bottleneck(1, 56, 256, 64, false);
         let fused = fuse(&g);
-        let model = compile(&g, &fused, &heron_dla::v100(), &CompileOptions { trials: 12, seed: 2 });
+        let model = compile(
+            &g,
+            &fused,
+            &heron_dla::v100(),
+            &CompileOptions {
+                trials: 12,
+                seed: 2,
+            },
+        );
         assert!(model.layers.iter().any(|l| l.fused_epilogues > 0));
-        assert!(model.mac_fraction() > 0.5, "convs dominate a bottleneck block");
+        assert!(
+            model.mac_fraction() > 0.5,
+            "convs dominate a bottleneck block"
+        );
         let text = model.to_string();
         assert!(text.contains("tuned"));
     }

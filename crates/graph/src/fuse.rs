@@ -47,10 +47,16 @@ pub fn fuse(graph: &Graph) -> FusedGraph {
         }
         if node.op.is_epilogue() {
             // Not absorbed by any MAC producer: standalone memory pass.
-            layers.push(FusedLayer { anchor: id, epilogue: vec![] });
+            layers.push(FusedLayer {
+                anchor: id,
+                epilogue: vec![],
+            });
             continue;
         }
-        let mut layer = FusedLayer { anchor: id, epilogue: vec![] };
+        let mut layer = FusedLayer {
+            anchor: id,
+            epilogue: vec![],
+        };
         if node.op.is_mac() {
             // Greedily absorb a chain of single-consumer epilogues.
             let mut tail = id;
@@ -119,7 +125,11 @@ mod tests {
         assert_eq!(layer1.anchor, c1);
         assert_eq!(layer1.epilogue, vec![r1], "single-consumer relu fuses");
         // conv2 absorbs the add.
-        let layer3 = fused.layers.iter().find(|l| l.anchor == c2).expect("conv2 layer");
+        let layer3 = fused
+            .layers
+            .iter()
+            .find(|l| l.anchor == c2)
+            .expect("conv2 layer");
         assert_eq!(layer3.epilogue, vec![add]);
     }
 

@@ -77,7 +77,10 @@ impl LayerOp {
     /// Whether this op is an element-wise epilogue that fuses into a
     /// preceding MAC layer.
     pub fn is_epilogue(&self) -> bool {
-        matches!(self, LayerOp::BiasAdd | LayerOp::Relu | LayerOp::Gelu | LayerOp::Add)
+        matches!(
+            self,
+            LayerOp::BiasAdd | LayerOp::Relu | LayerOp::Gelu | LayerOp::Add
+        )
     }
 
     /// Arithmetic work of the op given its output element count (used for
@@ -148,7 +151,12 @@ impl Graph {
     /// Adds an input node.
     pub fn input(&mut self, name: impl Into<String>, shape: Vec<i64>) -> NodeId {
         let shape_c = shape.clone();
-        self.push(Node { name: name.into(), op: LayerOp::Input { shape }, inputs: vec![], shape: shape_c })
+        self.push(Node {
+            name: name.into(),
+            op: LayerOp::Input { shape },
+            inputs: vec![],
+            shape: shape_c,
+        })
     }
 
     /// Adds an op node, inferring the output shape.
@@ -160,7 +168,12 @@ impl Graph {
             assert!(i < self.nodes.len(), "input {i} not yet defined");
         }
         let shape = self.infer_shape(&op, &inputs);
-        self.push(Node { name: name.into(), op, inputs, shape })
+        self.push(Node {
+            name: name.into(),
+            op,
+            inputs,
+            shape,
+        })
     }
 
     fn push(&mut self, node: Node) -> NodeId {

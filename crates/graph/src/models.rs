@@ -53,18 +53,44 @@ fn build_bottleneck(
     let out_c = mid * 4;
     let out_hw = if downsample { hw / 2 } else { hw };
 
-    let c1 = conv(g, &format!("{name}.1"), input, hw, cin, mid, 1, 0, stride, batch);
-    let c2 = conv(g, &format!("{name}.2"), c1, out_hw, mid, mid, 3, 1, 1, batch);
+    let c1 = conv(
+        g,
+        &format!("{name}.1"),
+        input,
+        hw,
+        cin,
+        mid,
+        1,
+        0,
+        stride,
+        batch,
+    );
+    let c2 = conv(
+        g,
+        &format!("{name}.2"),
+        c1,
+        out_hw,
+        mid,
+        mid,
+        3,
+        1,
+        1,
+        batch,
+    );
     // Final conv without activation; the residual add and relu follow.
     let c3 = g.add(
         format!("{name}.3.conv"),
-        LayerOp::Conv2d(Conv2dConfig::new(batch, out_hw, out_hw, mid, out_c, 1, 1, 0, 1)),
+        LayerOp::Conv2d(Conv2dConfig::new(
+            batch, out_hw, out_hw, mid, out_c, 1, 1, 0, 1,
+        )),
         vec![c2],
     );
     let shortcut = if downsample || cin != out_c {
         g.add(
             format!("{name}.sc.conv"),
-            LayerOp::Conv2d(Conv2dConfig::new(batch, hw, hw, cin, out_c, 1, 1, 0, stride)),
+            LayerOp::Conv2d(Conv2dConfig::new(
+                batch, hw, hw, cin, out_c, 1, 1, 0, stride,
+            )),
             vec![input],
         )
     } else {
@@ -105,7 +131,15 @@ pub fn resnet50(batch: i64) -> Graph {
         }
     }
     let gap = g.add("gap", LayerOp::GlobalAvgPool, vec![node]);
-    let fc = g.add("fc", LayerOp::Gemm { m: batch, n: 1000, k: cin }, vec![gap]);
+    let fc = g.add(
+        "fc",
+        LayerOp::Gemm {
+            m: batch,
+            n: 1000,
+            k: cin,
+        },
+        vec![gap],
+    );
     let _ = fc;
     g
 }
@@ -114,22 +148,66 @@ pub fn resnet50(batch: i64) -> Graph {
 pub fn vgg16(batch: i64) -> Graph {
     let mut g = Graph::new();
     let x = g.input("x", vec![batch, 3, 224, 224]);
-    let plan: [(i64, i64, usize); 5] =
-        [(224, 64, 2), (112, 128, 2), (56, 256, 3), (28, 512, 3), (14, 512, 3)];
+    let plan: [(i64, i64, usize); 5] = [
+        (224, 64, 2),
+        (112, 128, 2),
+        (56, 256, 3),
+        (28, 512, 3),
+        (14, 512, 3),
+    ];
     let mut node = x;
     let mut cin = 3;
     for (si, (hw, co, reps)) in plan.into_iter().enumerate() {
         for r in 0..reps {
-            node = conv(&mut g, &format!("s{si}.c{r}"), node, hw, cin, co, 3, 1, 1, batch);
+            node = conv(
+                &mut g,
+                &format!("s{si}.c{r}"),
+                node,
+                hw,
+                cin,
+                co,
+                3,
+                1,
+                1,
+                batch,
+            );
             cin = co;
         }
-        node = g.add(format!("s{si}.pool"), LayerOp::MaxPool { k: 2, s: 2 }, vec![node]);
+        node = g.add(
+            format!("s{si}.pool"),
+            LayerOp::MaxPool { k: 2, s: 2 },
+            vec![node],
+        );
     }
-    let fc1 = g.add("fc1", LayerOp::Gemm { m: batch, n: 4096, k: 512 * 7 * 7 }, vec![node]);
+    let fc1 = g.add(
+        "fc1",
+        LayerOp::Gemm {
+            m: batch,
+            n: 4096,
+            k: 512 * 7 * 7,
+        },
+        vec![node],
+    );
     let r1 = g.add("fc1.relu", LayerOp::Relu, vec![fc1]);
-    let fc2 = g.add("fc2", LayerOp::Gemm { m: batch, n: 4096, k: 4096 }, vec![r1]);
+    let fc2 = g.add(
+        "fc2",
+        LayerOp::Gemm {
+            m: batch,
+            n: 4096,
+            k: 4096,
+        },
+        vec![r1],
+    );
     let r2 = g.add("fc2.relu", LayerOp::Relu, vec![fc2]);
-    let _fc3 = g.add("fc3", LayerOp::Gemm { m: batch, n: 1000, k: 4096 }, vec![r2]);
+    let _fc3 = g.add(
+        "fc3",
+        LayerOp::Gemm {
+            m: batch,
+            n: 1000,
+            k: 4096,
+        },
+        vec![r2],
+    );
     g
 }
 
@@ -187,28 +265,69 @@ pub fn bert_encoder(batch: i64, seq: i64) -> Graph {
     let tokens = batch * seq;
     let x = g.input("x", vec![tokens, hidden]);
 
-    let qkv = g.add("qkv", LayerOp::Gemm { m: tokens, n: 3 * hidden, k: hidden }, vec![x]);
+    let qkv = g.add(
+        "qkv",
+        LayerOp::Gemm {
+            m: tokens,
+            n: 3 * hidden,
+            k: hidden,
+        },
+        vec![x],
+    );
     let qk = g.add(
         "attn.qk",
-        LayerOp::Bmm { b: batch * heads, m: seq, n: seq, k: dh },
+        LayerOp::Bmm {
+            b: batch * heads,
+            m: seq,
+            n: seq,
+            k: dh,
+        },
         vec![qkv],
     );
     let sm = g.add("attn.softmax", LayerOp::Softmax, vec![qk]);
     let av = g.add(
         "attn.v",
-        LayerOp::Bmm { b: batch * heads, m: seq, n: dh, k: seq },
+        LayerOp::Bmm {
+            b: batch * heads,
+            m: seq,
+            n: dh,
+            k: seq,
+        },
         vec![sm],
     );
     let _ = av;
     // Projection reads the re-assembled heads (tokens x hidden).
     let proj_in = g.input("attn.concat", vec![tokens, hidden]);
-    let proj = g.add("proj", LayerOp::Gemm { m: tokens, n: hidden, k: hidden }, vec![proj_in]);
+    let proj = g.add(
+        "proj",
+        LayerOp::Gemm {
+            m: tokens,
+            n: hidden,
+            k: hidden,
+        },
+        vec![proj_in],
+    );
     let res1 = g.add("res1", LayerOp::Add, vec![proj, x]);
     let ln1 = g.add("ln1", LayerOp::LayerNorm, vec![res1]);
-    let ffn1 = g.add("ffn1", LayerOp::Gemm { m: tokens, n: 4 * hidden, k: hidden }, vec![ln1]);
+    let ffn1 = g.add(
+        "ffn1",
+        LayerOp::Gemm {
+            m: tokens,
+            n: 4 * hidden,
+            k: hidden,
+        },
+        vec![ln1],
+    );
     let gelu = g.add("ffn1.gelu", LayerOp::Gelu, vec![ffn1]);
-    let ffn2 =
-        g.add("ffn2", LayerOp::Gemm { m: tokens, n: hidden, k: 4 * hidden }, vec![gelu]);
+    let ffn2 = g.add(
+        "ffn2",
+        LayerOp::Gemm {
+            m: tokens,
+            n: hidden,
+            k: 4 * hidden,
+        },
+        vec![gelu],
+    );
     let res2 = g.add("res2", LayerOp::Add, vec![ffn2, ln1]);
     let _ln2 = g.add("ln2", LayerOp::LayerNorm, vec![res2]);
     g
@@ -223,10 +342,17 @@ mod tests {
     #[test]
     fn resnet50_has_53_convs_and_a_classifier() {
         let g = resnet50(1);
-        let convs =
-            g.nodes().iter().filter(|n| matches!(n.op, LayerOp::Conv2d(_))).count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, LayerOp::Conv2d(_)))
+            .count();
         assert_eq!(convs, 53, "ResNet-50 has 53 convolutions");
-        let gemms = g.nodes().iter().filter(|n| matches!(n.op, LayerOp::Gemm { .. })).count();
+        let gemms = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, LayerOp::Gemm { .. }))
+            .count();
         assert_eq!(gemms, 1);
         // 3.86 GMACs = ~7.7 Gflops at batch 1 (mul + add counted).
         let gf = g.mac_flops() as f64 / 1e9;
@@ -239,8 +365,11 @@ mod tests {
         let gf = g.mac_flops() as f64 / 1e9;
         // ~30.9 Gflops at batch 1.
         assert!((28.0..34.0).contains(&gf), "vgg16 flops {gf}");
-        let convs =
-            g.nodes().iter().filter(|n| matches!(n.op, LayerOp::Conv2d(_))).count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, LayerOp::Conv2d(_)))
+            .count();
         assert_eq!(convs, 13);
     }
 
@@ -248,7 +377,11 @@ mod tests {
     fn bert_encoder_fuses_gelu_into_ffn1() {
         let g = bert_encoder(8, 128);
         let fused = fuse(&g);
-        let ffn1 = g.nodes().iter().position(|n| n.name == "ffn1").expect("exists");
+        let ffn1 = g
+            .nodes()
+            .iter()
+            .position(|n| n.name == "ffn1")
+            .expect("exists");
         let layer = fused
             .layers
             .iter()
@@ -260,14 +393,24 @@ mod tests {
     #[test]
     fn inception_block_has_four_branches() {
         let g = inception_a_block(1, 35, 192);
-        let convs =
-            g.nodes().iter().filter(|n| matches!(n.op, LayerOp::Conv2d(_))).count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, LayerOp::Conv2d(_)))
+            .count();
         assert_eq!(convs, 7, "1 + 2 + 3 + 1 convolutions");
         // Branching: the input feeds four consumers.
         assert_eq!(g.consumers(0).len(), 4);
         let fused = fuse(&g);
         // Each conv fuses its bias+relu.
-        assert!(fused.layers.iter().filter(|l| l.epilogue.len() == 2).count() >= 6);
+        assert!(
+            fused
+                .layers
+                .iter()
+                .filter(|l| l.epilogue.len() == 2)
+                .count()
+                >= 6
+        );
     }
 
     #[test]
@@ -279,7 +422,10 @@ mod tests {
             &g,
             &fused,
             &heron_dla::v100(),
-            &CompileOptions { trials: 12, seed: 3 },
+            &CompileOptions {
+                trials: 12,
+                seed: 3,
+            },
         );
         // Both convolutions tuned (depthwise via the scalar path).
         let tuned = model

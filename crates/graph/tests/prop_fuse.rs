@@ -1,11 +1,12 @@
 //! Property tests of the fusion pass: on randomly generated layer chains,
 //! every non-input node is assigned to exactly one fused layer, anchors
 //! are never epilogues of other layers, and fusion preserves execution
-//! order.
+//! order. (heron-testkit harness; see DESIGN.md, "Zero-dependency &
+//! determinism policy".)
 
 use heron_graph::{fuse, Graph, LayerOp};
 use heron_tensor::ops::Conv2dConfig;
-use proptest::prelude::*;
+use heron_testkit::{property_cases, Gen};
 
 /// Random op choice appended to a chain.
 #[derive(Debug, Clone, Copy)]
@@ -17,14 +18,8 @@ enum Step {
     Gelu,
 }
 
-fn step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        Just(Step::Conv),
-        Just(Step::Relu),
-        Just(Step::Bias),
-        Just(Step::Pool),
-        Just(Step::Gelu),
-    ]
+fn step(g: &mut Gen) -> Step {
+    *g.pick(&[Step::Conv, Step::Relu, Step::Bias, Step::Pool, Step::Gelu])
 }
 
 fn build_chain(steps: &[Step]) -> Graph {
@@ -44,7 +39,11 @@ fn build_chain(steps: &[Step]) -> Graph {
             Step::Pool => {
                 if hw >= 4 {
                     hw /= 2;
-                    g.add(format!("pool{i}"), LayerOp::MaxPool { k: 2, s: 2 }, vec![node])
+                    g.add(
+                        format!("pool{i}"),
+                        LayerOp::MaxPool { k: 2, s: 2 },
+                        vec![node],
+                    )
                 } else {
                     g.add(format!("relu{i}"), LayerOp::Relu, vec![node])
                 }
@@ -54,11 +53,10 @@ fn build_chain(steps: &[Step]) -> Graph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn fusion_partitions_the_graph(steps in proptest::collection::vec(step(), 1..16)) {
+#[test]
+fn fusion_partitions_the_graph() {
+    property_cases("fusion_partitions_the_graph", 256, |gen| {
+        let steps = gen.vec(1, 15, step);
         let g = build_chain(&steps);
         let fused = fuse::fuse(&g);
 
@@ -72,16 +70,17 @@ proptest! {
         }
         for (id, node) in g.nodes().iter().enumerate() {
             let expected = usize::from(!matches!(node.op, LayerOp::Input { .. }));
-            prop_assert_eq!(
+            assert_eq!(
                 seen[id], expected,
-                "node {} assigned {} times", node.name, seen[id]
+                "node {} assigned {} times",
+                node.name, seen[id]
             );
         }
 
         // Epilogues are element-wise; anchors are not absorbed elsewhere.
         for layer in &fused.layers {
             for &e in &layer.epilogue {
-                prop_assert!(g.node(e).op.is_epilogue());
+                assert!(g.node(e).op.is_epilogue());
             }
         }
 
@@ -89,25 +88,28 @@ proptest! {
         let anchors: Vec<usize> = fused.layers.iter().map(|l| l.anchor).collect();
         let mut sorted = anchors.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(anchors, sorted, "fused layers out of order");
-    }
+        assert_eq!(anchors, sorted, "fused layers out of order");
+    });
+}
 
-    #[test]
-    fn epilogues_follow_their_anchor_contiguously(steps in proptest::collection::vec(step(), 1..16)) {
+#[test]
+fn epilogues_follow_their_anchor_contiguously() {
+    property_cases("epilogues_follow_their_anchor_contiguously", 256, |gen| {
         // In a pure chain, a MAC layer's epilogue is exactly the maximal run
         // of element-wise steps following it.
+        let steps = gen.vec(1, 15, step);
         let g = build_chain(&steps);
         let fused = fuse::fuse(&g);
         for layer in &fused.layers {
             if g.node(layer.anchor).op.is_mac() {
                 let mut expect = layer.anchor;
                 for &e in &layer.epilogue {
-                    prop_assert_eq!(g.node(e).inputs[0], expect, "epilogue chain broken");
+                    assert_eq!(g.node(e).inputs[0], expect, "epilogue chain broken");
                     expect = e;
                 }
             } else {
-                prop_assert!(layer.epilogue.is_empty(), "non-MAC anchors absorb nothing");
+                assert!(layer.epilogue.is_empty(), "non-MAC anchors absorb nothing");
             }
         }
-    }
+    });
 }

@@ -1,0 +1,218 @@
+//! Uniform sampling over integer and float ranges.
+//!
+//! Integer ranges use the widening-multiply ("Lemire without
+//! rejection") map `(next_u64 as u128 * span) >> 64`, which is
+//! branch-free, platform-independent, and deterministic. For the span
+//! sizes Heron draws from (domain cardinalities, population indices —
+//! all ≪ 2^32) the multiply bias is < 2^-32 and irrelevant next to the
+//! stochastic search itself; determinism is worth far more here than a
+//! rejection loop whose draw count varies by seed.
+
+use crate::Rng;
+
+/// Types that can be sampled uniformly from a range by
+/// [`Rng::random_range`](crate::Rng::random_range).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi]` (both ends inclusive).
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = (((rng.next_u64() as u128) * ((span + 1) as u128)) >> 64) as u64;
+                ((lo as u64).wrapping_add(off)) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Shift to unsigned space so the span arithmetic cannot
+                // overflow, sample, shift back.
+                let span = (hi as i64 as u64).wrapping_sub(lo as i64 as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = (((rng.next_u64() as u128) * ((span + 1) as u128)) >> 64) as u64;
+                ((lo as i64 as u64).wrapping_add(off)) as i64 as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let u: f64 = crate::Standard::sample_standard(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_inclusive<R: Rng>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi);
+        let u: f32 = crate::Standard::sample_standard(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Range-shaped arguments accepted by
+/// [`Rng::random_range`](crate::Rng::random_range): `lo..hi` and
+/// `lo..=hi`.
+pub trait SampleRange<T: SampleUniform> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + HalfOpen> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "random_range: empty range (start >= end)"
+        );
+        T::sample_inclusive(rng, self.start, self.end.half_open_upper())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty inclusive range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Conversion of a half-open upper bound to the inclusive bound used
+/// internally. Integers step down by one; floats keep the bound (the
+/// unit sample is already in `[0, 1)`, so `hi` itself has measure
+/// zero).
+pub trait HalfOpen {
+    fn half_open_upper(self) -> Self;
+}
+
+macro_rules! impl_half_open_int {
+    ($($t:ty),*) => {$(
+        impl HalfOpen for $t {
+            #[inline]
+            fn half_open_upper(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_half_open_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HalfOpen for f64 {
+    #[inline]
+    fn half_open_upper(self) -> Self {
+        self
+    }
+}
+
+impl HalfOpen for f32 {
+    #[inline]
+    fn half_open_upper(self) -> Self {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{HeronRng, Rng};
+
+    #[test]
+    fn integer_ranges_hit_all_values_and_stay_in_bounds() {
+        let mut rng = HeronRng::from_seed(11);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.random_range(3..10usize);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "not all of 3..10 sampled: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn inclusive_ranges_include_both_ends() {
+        let mut rng = HeronRng::from_seed(12);
+        let mut lo_hit = false;
+        let mut hi_hit = false;
+        for _ in 0..1_000 {
+            let v: i64 = rng.random_range(-2..=2);
+            assert!((-2..=2).contains(&v));
+            lo_hit |= v == -2;
+            hi_hit |= v == 2;
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn negative_signed_ranges() {
+        let mut rng = HeronRng::from_seed(13);
+        for _ in 0..1_000 {
+            let v: i64 = rng.random_range(-100..-50);
+            assert!((-100..-50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = HeronRng::from_seed(14);
+        for _ in 0..1_000 {
+            let v: f64 = rng.random_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = HeronRng::from_seed(15);
+        assert_eq!(rng.random_range(4..=4i64), 4);
+        assert_eq!(rng.random_range(7..8usize), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = HeronRng::from_seed(16);
+        let _ = rng.random_range(5..5usize);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = HeronRng::from_seed(17);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = n / 8;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "bucket {i} count {c} far from {expected}"
+            );
+        }
+    }
+}

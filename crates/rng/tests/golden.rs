@@ -1,0 +1,152 @@
+//! Golden-stream tests: the first eight raw outputs of SplitMix64 and
+//! xoshiro256** for three fixed seeds, pinned against reference values
+//! computed with an independent implementation of the published
+//! algorithms (Steele et al. 2014; Blackman & Vigna 2018).
+//!
+//! If any of these assertions fail, the generator changed and **every
+//! seeded experiment in the repository silently changed with it** —
+//! tuning traces, RandSAT samples, GBDT subsampling, property-test
+//! cases. Do not update these constants unless that is the explicit,
+//! documented intent of the PR (see DESIGN.md, "Zero-dependency &
+//! determinism policy").
+
+use heron_rng::{HeronRng, SplitMix64};
+
+const SEEDS: [u64; 3] = [0, 42, 0xDEAD_BEEF];
+
+/// SplitMix64 reference streams: `splitmix64(seed)` iterated 8 times.
+const SPLITMIX_GOLDEN: [[u64; 8]; 3] = [
+    [
+        0xE220_A839_7B1D_CDAF,
+        0x6E78_9E6A_A1B9_65F4,
+        0x06C4_5D18_8009_454F,
+        0xF88B_B8A8_724C_81EC,
+        0x1B39_896A_51A8_749B,
+        0x53CB_9F0C_747E_A2EA,
+        0x2C82_9ABE_1F45_32E1,
+        0xC584_133A_C916_AB3C,
+    ],
+    [
+        0xBDD7_3226_2FEB_6E95,
+        0x28EF_E333_B266_F103,
+        0x4752_6757_130F_9F52,
+        0x581C_E1FF_0E4A_E394,
+        0x09BC_585A_2448_23F2,
+        0xDE44_31FA_3C80_DB06,
+        0x37E9_671C_4537_6D5D,
+        0xCCF6_35EE_9E9E_2FA4,
+    ],
+    [
+        0x4ADF_B90F_68C9_EB9B,
+        0xDE58_6A31_41A1_0922,
+        0x021F_BC2F_8E1C_FC1D,
+        0x7466_CE73_7BE1_6790,
+        0x3BFA_8764_F685_BD1C,
+        0xAB20_3E50_3CB5_5B3F,
+        0x5A2F_DC2B_F68C_EDB3,
+        0xB30A_4CCF_430B_1B5A,
+    ],
+];
+
+/// xoshiro256** reference streams: state filled with four SplitMix64
+/// outputs of the seed, then iterated 8 times. The seed-0 stream's
+/// first word (0x99EC5F36CB75F2B4) matches the widely published
+/// reference vector for this seeding convention.
+const XOSHIRO_GOLDEN: [[u64; 8]; 3] = [
+    [
+        0x99EC_5F36_CB75_F2B4,
+        0xBF6E_1F78_4956_452A,
+        0x1A5F_849D_4933_E6E0,
+        0x6AA5_94F1_262D_2D2C,
+        0xBBA5_AD4A_1F84_2E59,
+        0xFFEF_8375_D9EB_CACA,
+        0x6C16_0DEE_D2F5_4C98,
+        0x8920_AD64_8FC3_0A3F,
+    ],
+    [
+        0x1578_0B2E_0C2E_C716,
+        0x6104_D986_6D11_3A7E,
+        0xAE17_5332_39E4_99A1,
+        0xECB8_AD47_03B3_60A1,
+        0xFDE6_DC7F_E2EC_5E64,
+        0xC50D_A531_0179_5238,
+        0xB821_5485_5A65_DDB2,
+        0xD99A_2743_EBE6_0087,
+    ],
+    [
+        0xC555_5444_A74D_7E83,
+        0x65C3_0D37_B4B1_6E38,
+        0x54F7_7320_0A4E_FA23,
+        0x429A_ED75_FB95_8AF7,
+        0xFB0E_1DD6_9C25_5B2E,
+        0x9D6D_02EC_5881_4A27,
+        0xF419_9B9D_A2E4_B2A3,
+        0x54BC_5B2C_11A4_540A,
+    ],
+];
+
+#[test]
+fn splitmix64_streams_are_pinned() {
+    for (seed, golden) in SEEDS.iter().zip(SPLITMIX_GOLDEN.iter()) {
+        let mut sm = SplitMix64::new(*seed);
+        for (i, &want) in golden.iter().enumerate() {
+            let got = sm.next_u64();
+            assert_eq!(
+                got, want,
+                "SplitMix64 seed {seed:#x} output {i}: got {got:#018x}, want {want:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn xoshiro256starstar_streams_are_pinned() {
+    for (seed, golden) in SEEDS.iter().zip(XOSHIRO_GOLDEN.iter()) {
+        let mut rng = HeronRng::from_seed(*seed);
+        for (i, &want) in golden.iter().enumerate() {
+            let got = rng.next_u64();
+            assert_eq!(
+                got, want,
+                "xoshiro256** seed {seed:#x} output {i}: got {got:#018x}, want {want:#018x}"
+            );
+        }
+    }
+}
+
+/// The derived distributions (floats, ranges, shuffles) sit on top of
+/// the raw stream; pin one composite draw sequence so the *derivation*
+/// layer is also covered by a golden value, not just the generator.
+#[test]
+fn derived_draw_sequence_is_pinned() {
+    use heron_rng::{IndexedRandom, Rng, SliceRandom};
+    let mut rng = HeronRng::from_seed(42);
+    let f: f64 = rng.random();
+    assert_eq!(f.to_bits(), 0x3FB5_780B_2E0C_2EC0, "f64 unit draw drifted");
+    let i = rng.random_range(0..1000usize);
+    assert_eq!(i, 378, "usize range draw drifted");
+    let s: i64 = rng.random_range(-50..=50);
+    assert_eq!(s, 18, "i64 inclusive range draw drifted");
+    let mut v: Vec<u8> = (0..8).collect();
+    v.shuffle(&mut rng);
+    assert_eq!(
+        v,
+        vec![0, 1, 2, 5, 3, 4, 6, 7],
+        "shuffle permutation drifted"
+    );
+    let &c = v.as_slice().choose(&mut rng).unwrap();
+    assert_eq!(c, 4, "choose draw drifted");
+}
+
+/// Forked streams are pure functions of (seed, stream_id).
+#[test]
+fn fork_streams_are_pinned() {
+    let root = HeronRng::from_seed(42);
+    let mut f0 = root.fork(0);
+    let mut f1 = root.fork(1);
+    let a = f0.next_u64();
+    let b = f1.next_u64();
+    assert_ne!(a, b);
+    // Re-derive: identical ids give identical streams.
+    assert_eq!(root.fork(0).next_u64(), a);
+    assert_eq!(root.fork(1).next_u64(), b);
+}

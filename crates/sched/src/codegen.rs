@@ -21,7 +21,13 @@ pub fn kernel_pseudo_code(kernel: &Kernel) -> String {
         kernel.grid, kernel.threads
     );
     for b in &kernel.buffers {
-        let _ = writeln!(out, "__{}__ u8 {}[{}];", scope_keyword(b.scope), sanitize(&b.name), b.bytes);
+        let _ = writeln!(
+            out,
+            "__{}__ u8 {}[{}];",
+            scope_keyword(b.scope),
+            sanitize(&b.name),
+            b.bytes
+        );
     }
     let _ = writeln!(out, "void {}() {{", sanitize(&kernel.workload));
     for s in &kernel.stages {
@@ -32,10 +38,18 @@ pub fn kernel_pseudo_code(kernel: &Kernel) -> String {
 }
 
 fn render_stage(out: &mut String, s: &KernelStage) {
-    let _ = writeln!(out, "  // stage {} ({:?} {} -> {})", s.name, s.role, s.src_scope, s.dst_scope);
+    let _ = writeln!(
+        out,
+        "  // stage {} ({:?} {} -> {})",
+        s.name, s.role, s.src_scope, s.dst_scope
+    );
     match s.role {
         StageRole::Load | StageRole::Store => {
-            let _ = writeln!(out, "  for (int rep = 0; rep < {}; ++rep) {{", s.execs.max(1));
+            let _ = writeln!(
+                out,
+                "  for (int rep = 0; rep < {}; ++rep) {{",
+                s.execs.max(1)
+            );
             let per_iter = (s.elems / s.vector.max(1)).max(1);
             let pragma = if s.unroll > 0 {
                 format!("    #pragma unroll {}\n", s.unroll.min(per_iter))
@@ -70,7 +84,11 @@ fn render_stage(out: &mut String, s: &KernelStage) {
                 let _ = writeln!(out, "    mma_sync_{m}x{n}x{k}(acc, a_frag, b_frag);");
             } else {
                 let _ = writeln!(out, "  // {} scalar multiply-accumulates", s.scalar_ops);
-                let _ = writeln!(out, "  for (long op = 0; op < {}; ++op)", s.scalar_ops.max(1));
+                let _ = writeln!(
+                    out,
+                    "  for (long op = 0; op < {}; ++op)",
+                    s.scalar_ops.max(1)
+                );
                 let _ = writeln!(out, "    acc += a[op] * b[op];");
             }
         }
@@ -88,7 +106,9 @@ fn scope_keyword(scope: MemScope) -> &'static str {
 }
 
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 #[cfg(test)]

@@ -18,7 +18,11 @@ pub struct LowerError {
 
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lowering referenced undefined variable `{}`", self.missing_var)
+        write!(
+            f,
+            "lowering referenced undefined variable `{}`",
+            self.missing_var
+        )
     }
 }
 
@@ -104,7 +108,11 @@ pub struct Kernel {
 impl Kernel {
     /// Sum of buffer bytes in the given scope.
     pub fn scope_bytes(&self, scope: MemScope) -> u64 {
-        self.buffers.iter().filter(|b| b.scope == scope).map(|b| b.bytes).sum()
+        self.buffers
+            .iter()
+            .filter(|b| b.scope == scope)
+            .map(|b| b.bytes)
+            .sum()
     }
 
     /// The tensorized compute stage, if any.
@@ -152,7 +160,9 @@ pub fn lower(
     value: &dyn Fn(&str) -> Option<i64>,
 ) -> Result<Kernel, LowerError> {
     let get = |name: &str| -> Result<i64, LowerError> {
-        value(name).ok_or_else(|| LowerError { missing_var: name.to_string() })
+        value(name).ok_or_else(|| LowerError {
+            missing_var: name.to_string(),
+        })
     };
     let opt = |name: &Option<String>, default: i64| -> Result<i64, LowerError> {
         match name {
@@ -236,8 +246,11 @@ mod tests {
             MemScope::FragAcc,
             DType::F16,
         );
-        comp.intrinsic =
-            Some(IntrinsicRef { m: "m".into(), n: "n".into(), k: "k".into() });
+        comp.intrinsic = Some(IntrinsicRef {
+            m: "m".into(),
+            n: "n".into(),
+            k: "k".into(),
+        });
         comp.var_intrinsic_execs = Some("intrin".into());
         t.stages.push(comp);
         t.buffers.push(BufferSpec {
@@ -274,7 +287,10 @@ mod tests {
         assert_eq!(k.stages[0].bytes_per_block(), 16384);
         assert_eq!(k.stages[1].intrinsic, Some((16, 16, 16)));
         assert_eq!(k.scope_bytes(MemScope::Shared), 4096);
-        assert_eq!(k.tensorized_stage().map(|s| s.name.as_str()), Some("C.wmma"));
+        assert_eq!(
+            k.tensorized_stage().map(|s| s.name.as_str()),
+            Some("C.wmma")
+        );
         assert_eq!(k.fingerprint, 7);
     }
 

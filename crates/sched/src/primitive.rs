@@ -130,8 +130,9 @@ impl Primitive {
             | Primitive::Vectorize { stage, .. }
             | Primitive::Tensorize { stage, .. }
             | Primitive::StorageAlign { stage, .. } => stage,
-            Primitive::CacheRead { new_stage, .. }
-            | Primitive::CacheWrite { new_stage, .. } => new_stage,
+            Primitive::CacheRead { new_stage, .. } | Primitive::CacheWrite { new_stage, .. } => {
+                new_stage
+            }
         }
     }
 
@@ -152,25 +153,50 @@ impl Primitive {
 impl fmt::Display for Primitive {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Primitive::Split { stage, loop_name, parts } => {
+            Primitive::Split {
+                stage,
+                loop_name,
+                parts,
+            } => {
                 write!(f, "{stage}.split({loop_name} -> {})", parts.join(", "))
             }
-            Primitive::Fuse { stage, loops, fused } => {
+            Primitive::Fuse {
+                stage,
+                loops,
+                fused,
+            } => {
                 write!(f, "{stage}.fuse({} -> {fused})", loops.join(", "))
             }
             Primitive::Reorder { stage, order } => {
                 write!(f, "{stage}.reorder({})", order.join(", "))
             }
-            Primitive::Bind { stage, loop_name, axis } => {
+            Primitive::Bind {
+                stage,
+                loop_name,
+                axis,
+            } => {
                 write!(f, "{stage}.bind({loop_name}, {axis})")
             }
-            Primitive::CacheRead { tensor, scope, new_stage } => {
+            Primitive::CacheRead {
+                tensor,
+                scope,
+                new_stage,
+            } => {
                 write!(f, "cache_read({tensor}, \"{scope}\") -> {new_stage}")
             }
-            Primitive::CacheWrite { tensor, scope, new_stage } => {
+            Primitive::CacheWrite {
+                tensor,
+                scope,
+                new_stage,
+            } => {
                 write!(f, "cache_write({tensor}, \"{scope}\") -> {new_stage}")
             }
-            Primitive::ComputeAt { stage, parent, location_var, .. } => {
+            Primitive::ComputeAt {
+                stage,
+                parent,
+                location_var,
+                ..
+            } => {
                 write!(f, "{stage}.compute_at({parent}, loc={location_var})")
             }
             Primitive::Unroll { stage, length_var } => {

@@ -30,7 +30,13 @@ pub struct LoopSym {
 impl LoopSym {
     /// Unbound serial loop descending from `origin`.
     pub fn new(name: impl Into<String>, kind: IterKind, origin: impl Into<String>) -> Self {
-        LoopSym { name: name.into(), kind, origin: origin.into(), bind: None, tensorized: false }
+        LoopSym {
+            name: name.into(),
+            kind,
+            origin: origin.into(),
+            bind: None,
+            tensorized: false,
+        }
     }
 }
 
@@ -191,10 +197,8 @@ impl ScheduleState {
         let old = st.loops.remove(idx);
         assert!(old.bind.is_none(), "cannot split a bound loop");
         for (off, part) in parts.iter().enumerate() {
-            st.loops.insert(
-                idx + off,
-                LoopSym::new(*part, old.kind, old.origin.clone()),
-            );
+            st.loops
+                .insert(idx + off, LoopSym::new(*part, old.kind, old.origin.clone()));
         }
         self.template.push(Primitive::Split {
             stage: stage.into(),
@@ -266,7 +270,10 @@ impl ScheduleState {
         let idx = st
             .loop_index(loop_name)
             .unwrap_or_else(|| panic!("stage `{stage}` has no loop `{loop_name}`"));
-        assert!(st.loops[idx].bind.is_none(), "loop `{loop_name}` already bound");
+        assert!(
+            st.loops[idx].bind.is_none(),
+            "loop `{loop_name}` already bound"
+        );
         st.loops[idx].bind = Some(axis);
         self.template.push(Primitive::Bind {
             stage: stage.into(),
@@ -366,8 +373,11 @@ impl ScheduleState {
         use std::fmt::Write as _;
         let mut out = String::new();
         // Stages that are anchored render inside their parent.
-        let anchored: Vec<&StageSym> =
-            self.stages.iter().filter(|s| s.compute_at.is_some()).collect();
+        let anchored: Vec<&StageSym> = self
+            .stages
+            .iter()
+            .filter(|s| s.compute_at.is_some())
+            .collect();
         for stage in self.stages.iter().filter(|s| s.compute_at.is_none()) {
             self.render_stage(stage, &anchored, 0, &mut out);
             let _ = writeln!(out);
@@ -402,7 +412,14 @@ impl ScheduleState {
             if l.tensorized {
                 suffix.push_str(" // tensorized");
             }
-            let _ = writeln!(out, "{}for {} in 0..{} {{{}", pad(depth), l.name, l.name, suffix);
+            let _ = writeln!(
+                out,
+                "{}for {} in 0..{} {{{}",
+                pad(depth),
+                l.name,
+                l.name,
+                suffix
+            );
             depth += 1;
             // Children anchored at this loop (first candidate position).
             for child in anchored {
@@ -434,7 +451,11 @@ impl fmt::Display for ScheduleState {
         }
         writeln!(f, "stages:")?;
         for s in &self.stages {
-            write!(f, "  {} [{} {}→{}]:", s.name, s.role, s.src_scope, s.dst_scope)?;
+            write!(
+                f,
+                "  {} [{} {}→{}]:",
+                s.name, s.role, s.src_scope, s.dst_scope
+            )?;
             for l in &s.loops {
                 write!(f, " {}", l.name)?;
                 if let Some(b) = l.bind {
@@ -475,19 +496,34 @@ mod tests {
     fn split_replaces_loop_in_place() {
         let mut st = gemm_state();
         st.split("C", "C.i", &["C.i0", "C.i1", "C.i2"]);
-        let loops: Vec<&str> =
-            st.stage("C").expect("exists").loops.iter().map(|l| l.name.as_str()).collect();
+        let loops: Vec<&str> = st
+            .stage("C")
+            .expect("exists")
+            .loops
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
         assert_eq!(loops, vec!["C.i0", "C.i1", "C.i2", "C.j", "C.r"]);
         assert_eq!(st.template().len(), 1);
-        assert!(st.stage("C").expect("exists").loops.iter().all(|l| l.origin == "i" || l.origin != "i"));
+        assert!(st
+            .stage("C")
+            .expect("exists")
+            .loops
+            .iter()
+            .all(|l| l.origin == "i" || l.origin != "i"));
     }
 
     #[test]
     fn fuse_requires_adjacency() {
         let mut st = gemm_state();
         st.fuse("C", &["C.i", "C.j"], "C.ij");
-        let loops: Vec<&str> =
-            st.stage("C").expect("exists").loops.iter().map(|l| l.name.as_str()).collect();
+        let loops: Vec<&str> = st
+            .stage("C")
+            .expect("exists")
+            .loops
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
         assert_eq!(loops, vec!["C.ij", "C.r"]);
     }
 
@@ -510,8 +546,13 @@ mod tests {
     fn reorder_permutes() {
         let mut st = gemm_state();
         st.reorder("C", &["C.r", "C.i", "C.j"]);
-        let loops: Vec<&str> =
-            st.stage("C").expect("exists").loops.iter().map(|l| l.name.as_str()).collect();
+        let loops: Vec<&str> = st
+            .stage("C")
+            .expect("exists")
+            .loops
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
         assert_eq!(loops, vec!["C.r", "C.i", "C.j"]);
     }
 
@@ -595,7 +636,10 @@ mod tests {
         // The anchored stage appears after (inside) the parent's r0 loop.
         let r0_pos = text.find("for C.r0").expect("r0 loop present");
         let child_pos = text.find("stage A.shared").expect("child present");
-        assert!(child_pos > r0_pos, "anchored stage must render inside the parent");
+        assert!(
+            child_pos > r0_pos,
+            "anchored stage must render inside the parent"
+        );
         assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 

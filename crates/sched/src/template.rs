@@ -9,9 +9,9 @@
 
 use heron_tensor::DType;
 
+use crate::primitive::Primitive;
 use crate::scope::{MemScope, StageRole};
 use crate::state::ScheduleState;
-use crate::primitive::Primitive;
 
 /// Intrinsic shape variables of a tensorized stage.
 #[derive(Debug, Clone, PartialEq, Eq)]

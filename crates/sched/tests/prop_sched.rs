@@ -1,9 +1,11 @@
 //! Property tests of the schedule state: random split/fuse/reorder
 //! sequences preserve the loop structure's invariants.
+//! (heron-testkit harness; see DESIGN.md, "Zero-dependency &
+//! determinism policy".)
 
 use heron_sched::{LoopSym, MemScope, ScheduleState, StageRole};
 use heron_tensor::{DType, IterKind};
-use proptest::prelude::*;
+use heron_testkit::{property_cases, Gen};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,12 +14,19 @@ enum Op {
     Reorder { seed: u64 },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..8, 2usize..4).prop_map(|(loop_idx, parts)| Op::Split { loop_idx, parts }),
-        (0usize..8).prop_map(|start| Op::Fuse { start }),
-        proptest::num::u64::ANY.prop_map(|seed| Op::Reorder { seed }),
-    ]
+fn op(g: &mut Gen) -> Op {
+    match g.int(0, 3) {
+        0 => Op::Split {
+            loop_idx: g.index(0, 8),
+            parts: g.index(2, 4),
+        },
+        1 => Op::Fuse {
+            start: g.index(0, 8),
+        },
+        _ => Op::Reorder {
+            seed: g.int(0, i64::MAX) as u64,
+        },
+    }
 }
 
 fn fresh_state() -> ScheduleState {
@@ -37,14 +46,13 @@ fn fresh_state() -> ScheduleState {
     st
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Random transformation sequences keep invariants: loop names stay
-    /// unique, origins are preserved per kind, and the template records
-    /// exactly one primitive per applied transformation.
-    #[test]
-    fn transformations_preserve_invariants(ops in proptest::collection::vec(op(), 1..10)) {
+/// Random transformation sequences keep invariants: loop names stay
+/// unique, origins are preserved per kind, and the template records
+/// exactly one primitive per applied transformation.
+#[test]
+fn transformations_preserve_invariants() {
+    property_cases("transformations_preserve_invariants", 128, |g| {
+        let ops = g.vec(1, 9, op);
         let mut st = fresh_state();
         let mut fresh = 0usize;
         let mut applied = 0usize;
@@ -59,17 +67,25 @@ proptest! {
             match o {
                 Op::Split { loop_idx, parts } => {
                     let idx = loop_idx % loops.len();
-                    let names: Vec<String> =
-                        (0..parts).map(|p| { fresh += 1; format!("L{fresh}.{p}") }).collect();
+                    let names: Vec<String> = (0..parts)
+                        .map(|p| {
+                            fresh += 1;
+                            format!("L{fresh}.{p}")
+                        })
+                        .collect();
                     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
                     st.split("C", &loops[idx].0, &refs);
                     applied += 1;
                 }
                 Op::Fuse { start } => {
-                    if loops.len() < 2 { continue; }
+                    if loops.len() < 2 {
+                        continue;
+                    }
                     let idx = start % (loops.len() - 1);
                     // Only fuse same-kind adjacent loops.
-                    if loops[idx].1 != loops[idx + 1].1 { continue; }
+                    if loops[idx].1 != loops[idx + 1].1 {
+                        continue;
+                    }
                     fresh += 1;
                     let fused = format!("F{fresh}");
                     st.fuse("C", &[&loops[idx].0, &loops[idx + 1].0], &fused);
@@ -79,9 +95,8 @@ proptest! {
                     // Deterministic permutation: rotate by seed.
                     let n = loops.len();
                     let rot = (seed as usize) % n;
-                    let order: Vec<&str> = (0..n)
-                        .map(|x| loops[(x + rot) % n].0.as_str())
-                        .collect();
+                    let order: Vec<&str> =
+                        (0..n).map(|x| loops[(x + rot) % n].0.as_str()).collect();
                     st.reorder("C", &order);
                     applied += 1;
                 }
@@ -93,28 +108,31 @@ proptest! {
         let before = names.len();
         names.sort_unstable();
         names.dedup();
-        prop_assert_eq!(names.len(), before, "duplicate loop names");
+        assert_eq!(names.len(), before, "duplicate loop names");
         // Origins only come from the initial axes.
         for l in &stage.loops {
-            prop_assert!(["i", "j", "r"].contains(&l.origin.as_str()));
+            assert!(["i", "j", "r"].contains(&l.origin.as_str()));
             // Reduce loops only descend from r.
             if l.kind == IterKind::Reduce {
-                prop_assert_eq!(l.origin.as_str(), "r");
+                assert_eq!(l.origin.as_str(), "r");
             }
         }
         // One template entry per applied transformation.
-        prop_assert_eq!(st.template().len(), applied);
-    }
+        assert_eq!(st.template().len(), applied);
+    });
+}
 
-    /// Splitting then fusing the same parts restores a single loop for
-    /// that origin.
-    #[test]
-    fn split_then_fuse_roundtrip(parts in 2usize..5) {
+/// Splitting then fusing the same parts restores a single loop for
+/// that origin.
+#[test]
+fn split_then_fuse_roundtrip() {
+    property_cases("split_then_fuse_roundtrip", 128, |g| {
+        let parts = g.index(2, 5);
         let mut st = fresh_state();
         let names: Vec<String> = (0..parts).map(|p| format!("C.i{p}")).collect();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         st.split("C", "C.i", &refs);
-        prop_assert_eq!(st.stage("C").expect("exists").loops.len(), 2 + parts);
+        assert_eq!(st.stage("C").expect("exists").loops.len(), 2 + parts);
         // Fuse pairwise back into one.
         let mut current = names.clone();
         while current.len() > 1 {
@@ -125,7 +143,7 @@ proptest! {
             current = next;
         }
         let stage = st.stage("C").expect("exists");
-        prop_assert_eq!(stage.loops.len(), 3);
-        prop_assert_eq!(stage.loops[0].origin.as_str(), "i");
-    }
+        assert_eq!(stage.loops.len(), 3);
+        assert_eq!(stage.loops[0].origin.as_str(), "i");
+    });
 }

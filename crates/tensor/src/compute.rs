@@ -67,7 +67,13 @@ impl ComputeOp {
         if reduce == ReduceKind::None {
             assert!(reduce_axes.is_empty(), "reduce axes without a reduction");
         }
-        ComputeOp { output, axes, reduce_axes, body, reduce }
+        ComputeOp {
+            output,
+            axes,
+            reduce_axes,
+            body,
+            reduce,
+        }
     }
 
     /// All axes, spatial first then reduce — the naive loop order.
@@ -82,8 +88,12 @@ impl ComputeOp {
 
     /// Names of the input tensors this stage reads.
     pub fn input_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.body.accesses().iter().map(|a| a.tensor.name.clone()).collect();
+        let mut names: Vec<String> = self
+            .body
+            .accesses()
+            .iter()
+            .map(|a| a.tensor.name.clone())
+            .collect();
         names.sort();
         names.dedup();
         names
@@ -116,7 +126,10 @@ impl ComputeOp {
     /// all convolutions.
     pub fn has_data_reuse(&self) -> bool {
         let axis_count = self.axes.len() + self.reduce_axes.len();
-        self.body.accesses().iter().any(|acc| acc.vars().len() < axis_count)
+        self.body
+            .accesses()
+            .iter()
+            .any(|acc| acc.vars().len() < axis_count)
     }
 
     /// Whether the stage is a pure element-wise transform of a single input
@@ -129,9 +142,9 @@ impl ComputeOp {
         let accesses = self.body.accesses();
         // Element-wise chains over one or two inputs inline cleanly.
         !accesses.is_empty()
-            && accesses.iter().all(|acc| {
-                acc.indices.iter().all(|ix| ix.vars().len() <= 1)
-            })
+            && accesses
+                .iter()
+                .all(|acc| acc.indices.iter().all(|ix| ix.vars().len() <= 1))
     }
 
     /// Element type produced by the stage.
@@ -207,8 +220,14 @@ mod tests {
         let j = IterVar::spatial(1, "j", n);
         let r = IterVar::reduce(2, "r", k);
         let body = ScalarExpr::Mul(
-            Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&i), IndexExpr::var(&r)])),
-            Box::new(ScalarExpr::load(b, vec![IndexExpr::var(&r), IndexExpr::var(&j)])),
+            Box::new(ScalarExpr::load(
+                a,
+                vec![IndexExpr::var(&i), IndexExpr::var(&r)],
+            )),
+            Box::new(ScalarExpr::load(
+                b,
+                vec![IndexExpr::var(&r), IndexExpr::var(&j)],
+            )),
         );
         ComputeOp::new(c, vec![i, j], vec![r], body, ReduceKind::Sum)
     }

@@ -37,7 +37,10 @@ impl Dag {
     /// # Panics
     /// Panics if a stage of the same name already exists.
     pub fn placeholder(&mut self, tensor: Tensor) -> StageId {
-        self.push(Stage { name: tensor.name.clone(), kind: StageKind::Placeholder(tensor) })
+        self.push(Stage {
+            name: tensor.name.clone(),
+            kind: StageKind::Placeholder(tensor),
+        })
     }
 
     /// Adds a compute stage.
@@ -54,7 +57,10 @@ impl Dag {
                 input
             );
         }
-        self.push(Stage { name: op.output.name.clone(), kind: StageKind::Compute(op) })
+        self.push(Stage {
+            name: op.output.name.clone(),
+            kind: StageKind::Compute(op),
+        })
     }
 
     fn push(&mut self, stage: Stage) -> StageId {
@@ -99,7 +105,8 @@ impl Dag {
 
     /// Iterator over compute stages only.
     pub fn compute_stages(&self) -> impl Iterator<Item = (StageId, &ComputeOp)> {
-        self.iter().filter_map(|(id, s)| s.compute().map(|op| (id, op)))
+        self.iter()
+            .filter_map(|(id, s)| s.compute().map(|op| (id, op)))
     }
 
     /// Producer stage ids for each input tensor of `id`.
@@ -119,7 +126,8 @@ impl Dag {
         let name = &self.stage(id).name;
         self.iter()
             .filter(|(_, s)| {
-                s.compute().is_some_and(|op| op.input_names().iter().any(|n| n == name))
+                s.compute()
+                    .is_some_and(|op| op.input_names().iter().any(|n| n == name))
             })
             .map(|(cid, _)| cid)
             .collect()
@@ -130,9 +138,17 @@ impl Dag {
     /// # Panics
     /// Panics if the DAG is empty or has multiple sink stages.
     pub fn output(&self) -> StageId {
-        let sinks: Vec<StageId> =
-            self.iter().filter(|(id, _)| self.consumers(*id).is_empty()).map(|(id, _)| id).collect();
-        assert_eq!(sinks.len(), 1, "DAG must have exactly one output stage, has {}", sinks.len());
+        let sinks: Vec<StageId> = self
+            .iter()
+            .filter(|(id, _)| self.consumers(*id).is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(
+            sinks.len(),
+            1,
+            "DAG must have exactly one output stage, has {}",
+            sinks.len()
+        );
         sinks[0]
     }
 
@@ -225,9 +241,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "undefined tensor")]
     fn reading_unknown_tensor_panics() {
+        use crate::compute::ReduceKind;
         use crate::dtype::DType;
         use crate::expr::{IndexExpr, IterVar, ScalarExpr};
-        use crate::compute::ReduceKind;
         let mut dag = Dag::new();
         let ghost = Tensor::new("ghost", vec![4], DType::F32);
         let c = Tensor::new("C", vec![4], DType::F32);

@@ -51,7 +51,12 @@ impl IterVar {
     /// Panics if `extent < 1`.
     pub fn spatial(id: u32, name: impl Into<String>, extent: i64) -> Self {
         assert!(extent >= 1, "iteration extent must be >= 1");
-        IterVar { id: VarId(id), name: name.into(), extent, kind: IterKind::Spatial }
+        IterVar {
+            id: VarId(id),
+            name: name.into(),
+            extent,
+            kind: IterKind::Spatial,
+        }
     }
 
     /// Creates a reduction iteration variable.
@@ -60,7 +65,12 @@ impl IterVar {
     /// Panics if `extent < 1`.
     pub fn reduce(id: u32, name: impl Into<String>, extent: i64) -> Self {
         assert!(extent >= 1, "iteration extent must be >= 1");
-        IterVar { id: VarId(id), name: name.into(), extent, kind: IterKind::Reduce }
+        IterVar {
+            id: VarId(id),
+            name: name.into(),
+            extent,
+            kind: IterKind::Reduce,
+        }
     }
 }
 
@@ -396,8 +406,14 @@ mod tests {
         let j = IterVar::spatial(1, "j", 4);
         let r = IterVar::reduce(2, "r", 4);
         let body = ScalarExpr::Mul(
-            Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&i), IndexExpr::var(&r)])),
-            Box::new(ScalarExpr::load(b, vec![IndexExpr::var(&r), IndexExpr::var(&j)])),
+            Box::new(ScalarExpr::load(
+                a,
+                vec![IndexExpr::var(&i), IndexExpr::var(&r)],
+            )),
+            Box::new(ScalarExpr::load(
+                b,
+                vec![IndexExpr::var(&r), IndexExpr::var(&j)],
+            )),
         );
         let (x, y) = body.as_mac_pattern().expect("is a MAC");
         assert_eq!(x.tensor.name, "A");

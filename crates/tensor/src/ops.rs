@@ -33,10 +33,22 @@ pub fn gemm_dtyped(m: i64, n: i64, k: i64, dtype: DType) -> Dag {
     let j = IterVar::spatial(1, "j", n);
     let r = IterVar::reduce(2, "r", k);
     let body = ScalarExpr::Mul(
-        Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&i), IndexExpr::var(&r)])),
-        Box::new(ScalarExpr::load(b, vec![IndexExpr::var(&r), IndexExpr::var(&j)])),
+        Box::new(ScalarExpr::load(
+            a,
+            vec![IndexExpr::var(&i), IndexExpr::var(&r)],
+        )),
+        Box::new(ScalarExpr::load(
+            b,
+            vec![IndexExpr::var(&r), IndexExpr::var(&j)],
+        )),
     );
-    dag.compute(ComputeOp::new(c, vec![i, j], vec![r], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        c,
+        vec![i, j],
+        vec![r],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -67,7 +79,13 @@ pub fn bmm_dtyped(batch: i64, m: i64, n: i64, k: i64, dtype: DType) -> Dag {
             vec![IndexExpr::var(&bv), IndexExpr::var(&r), IndexExpr::var(&j)],
         )),
     );
-    dag.compute(ComputeOp::new(c, vec![bv, i, j], vec![r], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        c,
+        vec![bv, i, j],
+        vec![r],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -84,10 +102,22 @@ pub fn gemv(m: i64, k: i64, batch: i64) -> Dag {
     let j = IterVar::spatial(1, "j", batch);
     let r = IterVar::reduce(2, "r", k);
     let body = ScalarExpr::Mul(
-        Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&i), IndexExpr::var(&r)])),
-        Box::new(ScalarExpr::load(x, vec![IndexExpr::var(&r), IndexExpr::var(&j)])),
+        Box::new(ScalarExpr::load(
+            a,
+            vec![IndexExpr::var(&i), IndexExpr::var(&r)],
+        )),
+        Box::new(ScalarExpr::load(
+            x,
+            vec![IndexExpr::var(&r), IndexExpr::var(&j)],
+        )),
     );
-    dag.compute(ComputeOp::new(y, vec![i, j], vec![r], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        y,
+        vec![i, j],
+        vec![r],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -176,10 +206,16 @@ impl Conv2dConfig {
 /// Inserts a `pad` stage when `padding > 0`.
 pub fn conv2d(cfg: Conv2dConfig) -> Dag {
     let mut dag = Dag::new();
-    let input =
-        Tensor::new("I", vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width], cfg.dtype);
-    let weight =
-        Tensor::new("W", vec![cfg.out_channels, cfg.in_channels, cfg.kh, cfg.kw], cfg.dtype);
+    let input = Tensor::new(
+        "I",
+        vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width],
+        cfg.dtype,
+    );
+    let weight = Tensor::new(
+        "W",
+        vec![cfg.out_channels, cfg.in_channels, cfg.kh, cfg.kw],
+        cfg.dtype,
+    );
     dag.placeholder(input.clone());
     dag.placeholder(weight.clone());
 
@@ -207,7 +243,13 @@ pub fn conv2d(cfg: Conv2dConfig) -> Dag {
                 )),
             }),
         };
-        dag.compute(ComputeOp::new(padded.clone(), vec![n, c, h, w], vec![], body, ReduceKind::None));
+        dag.compute(ComputeOp::new(
+            padded.clone(),
+            vec![n, c, h, w],
+            vec![],
+            body,
+            ReduceKind::None,
+        ));
         padded
     } else {
         input
@@ -233,13 +275,27 @@ pub fn conv2d(cfg: Conv2dConfig) -> Dag {
     let iw = IndexExpr::var(&w) * IndexExpr::constant(cfg.stride)
         + IndexExpr::var(&rw) * IndexExpr::constant(cfg.dilation);
     let body = ScalarExpr::Mul(
-        Box::new(ScalarExpr::load(data, vec![IndexExpr::var(&n), IndexExpr::var(&rc), ih, iw])),
+        Box::new(ScalarExpr::load(
+            data,
+            vec![IndexExpr::var(&n), IndexExpr::var(&rc), ih, iw],
+        )),
         Box::new(ScalarExpr::load(
             weight,
-            vec![IndexExpr::var(&co), IndexExpr::var(&rc), IndexExpr::var(&rh), IndexExpr::var(&rw)],
+            vec![
+                IndexExpr::var(&co),
+                IndexExpr::var(&rc),
+                IndexExpr::var(&rh),
+                IndexExpr::var(&rw),
+            ],
         )),
     );
-    dag.compute(ComputeOp::new(out, vec![n, co, h, w], vec![rc, rh, rw], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        out,
+        vec![n, co, h, w],
+        vec![rc, rh, rw],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -280,7 +336,13 @@ pub fn conv1d(
                 vec![IndexExpr::var(&n), IndexExpr::var(&c), ll],
             )),
         };
-        dag.compute(ComputeOp::new(padded.clone(), vec![n, c, l], vec![], body, ReduceKind::None));
+        dag.compute(ComputeOp::new(
+            padded.clone(),
+            vec![n, c, l],
+            vec![],
+            body,
+            ReduceKind::None,
+        ));
         padded
     } else {
         input
@@ -295,13 +357,26 @@ pub fn conv1d(
     let rk = IterVar::reduce(4, "rk", kernel);
     let il = IndexExpr::var(&l) * IndexExpr::constant(stride) + IndexExpr::var(&rk);
     let body = ScalarExpr::Mul(
-        Box::new(ScalarExpr::load(data, vec![IndexExpr::var(&n), IndexExpr::var(&rc), il])),
+        Box::new(ScalarExpr::load(
+            data,
+            vec![IndexExpr::var(&n), IndexExpr::var(&rc), il],
+        )),
         Box::new(ScalarExpr::load(
             weight,
-            vec![IndexExpr::var(&co), IndexExpr::var(&rc), IndexExpr::var(&rk)],
+            vec![
+                IndexExpr::var(&co),
+                IndexExpr::var(&rc),
+                IndexExpr::var(&rk),
+            ],
         )),
     );
-    dag.compute(ComputeOp::new(out, vec![n, co, l], vec![rc, rk], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        out,
+        vec![n, co, l],
+        vec![rc, rk],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -321,8 +396,11 @@ pub fn conv3d(
     let mut dag = Dag::new();
     let dtype = DType::F16;
     let input = Tensor::new("I", vec![batch, in_channels, depth, height, width], dtype);
-    let weight =
-        Tensor::new("W", vec![out_channels, in_channels, kernel, kernel, kernel], dtype);
+    let weight = Tensor::new(
+        "W",
+        vec![out_channels, in_channels, kernel, kernel, kernel],
+        dtype,
+    );
     dag.placeholder(input.clone());
     dag.placeholder(weight.clone());
     let data = if padding > 0 {
@@ -372,8 +450,11 @@ pub fn conv3d(
     let oh = (height + 2 * padding - kernel) / stride + 1;
     let ow = (width + 2 * padding - kernel) / stride + 1;
     assert!(od >= 1 && oh >= 1 && ow >= 1, "conv3d output is empty");
-    let out =
-        Tensor::new("O", vec![batch, out_channels, od, oh, ow], dtype.accumulator());
+    let out = Tensor::new(
+        "O",
+        vec![batch, out_channels, od, oh, ow],
+        dtype.accumulator(),
+    );
     let n = IterVar::spatial(0, "n", batch);
     let co = IterVar::spatial(1, "co", out_channels);
     let d = IterVar::spatial(2, "od", od);
@@ -419,17 +500,26 @@ pub fn conv3d(
 pub fn t2d(cfg: Conv2dConfig) -> Dag {
     let mut dag = Dag::new();
     let dtype = cfg.dtype;
-    let input =
-        Tensor::new("I", vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width], dtype);
-    let weight =
-        Tensor::new("W", vec![cfg.in_channels, cfg.out_channels, cfg.kh, cfg.kw], dtype);
+    let input = Tensor::new(
+        "I",
+        vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width],
+        dtype,
+    );
+    let weight = Tensor::new(
+        "W",
+        vec![cfg.in_channels, cfg.out_channels, cfg.kh, cfg.kw],
+        dtype,
+    );
     dag.placeholder(input.clone());
     dag.placeholder(weight.clone());
 
     // Zero-stuffed and padded input: dimensions (H-1)*stride + 1 + 2*(k-1-p).
     let edge_h = cfg.kh - 1 - cfg.padding;
     let edge_w = cfg.kw - 1 - cfg.padding;
-    assert!(edge_h >= 0 && edge_w >= 0, "t2d requires padding <= kernel-1");
+    assert!(
+        edge_h >= 0 && edge_w >= 0,
+        "t2d requires padding <= kernel-1"
+    );
     let sh = (cfg.height - 1) * cfg.stride + 1 + 2 * edge_h;
     let sw = (cfg.width - 1) * cfg.stride + 1 + 2 * edge_w;
     let stuffed = Tensor::new("pad", vec![cfg.batch, cfg.in_channels, sh, sw], dtype);
@@ -502,7 +592,13 @@ pub fn t2d(cfg: Conv2dConfig) -> Dag {
             ],
         )),
     );
-    dag.compute(ComputeOp::new(out, vec![n, co, h, w], vec![rc, rh, rw], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        out,
+        vec![n, co, h, w],
+        vec![rc, rh, rw],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -514,8 +610,11 @@ pub fn t2d(cfg: Conv2dConfig) -> Dag {
 /// exploit matrix units on real DLAs.
 pub fn depthwise_conv2d(cfg: Conv2dConfig) -> Dag {
     let mut dag = Dag::new();
-    let input =
-        Tensor::new("I", vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width], cfg.dtype);
+    let input = Tensor::new(
+        "I",
+        vec![cfg.batch, cfg.in_channels, cfg.height, cfg.width],
+        cfg.dtype,
+    );
     let weight = Tensor::new("W", vec![cfg.in_channels, cfg.kh, cfg.kw], cfg.dtype);
     dag.placeholder(input.clone());
     dag.placeholder(weight.clone());
@@ -573,13 +672,22 @@ pub fn depthwise_conv2d(cfg: Conv2dConfig) -> Dag {
     let ih = IndexExpr::var(&h) * IndexExpr::constant(cfg.stride) + IndexExpr::var(&rh);
     let iw = IndexExpr::var(&w) * IndexExpr::constant(cfg.stride) + IndexExpr::var(&rw);
     let body = ScalarExpr::Mul(
-        Box::new(ScalarExpr::load(data, vec![IndexExpr::var(&n), IndexExpr::var(&c), ih, iw])),
+        Box::new(ScalarExpr::load(
+            data,
+            vec![IndexExpr::var(&n), IndexExpr::var(&c), ih, iw],
+        )),
         Box::new(ScalarExpr::load(
             weight,
             vec![IndexExpr::var(&c), IndexExpr::var(&rh), IndexExpr::var(&rw)],
         )),
     );
-    dag.compute(ComputeOp::new(out, vec![n, c, h, w], vec![rh, rw], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        out,
+        vec![n, c, h, w],
+        vec![rh, rw],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -599,9 +707,18 @@ pub fn scan(batch: i64, length: i64) -> Dag {
         index: IndexExpr::var(&i) - IndexExpr::var(&r),
         lo: 0,
         hi: length - 1,
-        value: Box::new(ScalarExpr::load(a, vec![IndexExpr::var(&b), IndexExpr::var(&r)])),
+        value: Box::new(ScalarExpr::load(
+            a,
+            vec![IndexExpr::var(&b), IndexExpr::var(&r)],
+        )),
     };
-    dag.compute(ComputeOp::new(s, vec![b, i], vec![r], body, ReduceKind::Sum));
+    dag.compute(ComputeOp::new(
+        s,
+        vec![b, i],
+        vec![r],
+        body,
+        ReduceKind::Sum,
+    ));
     dag
 }
 
@@ -662,7 +779,10 @@ mod tests {
     #[test]
     fn conv3d_shape() {
         let dag = conv3d(1, 16, 16, 16, 16, 32, 3, 1, 1);
-        assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 32, 16, 16, 16]);
+        assert_eq!(
+            dag.stage(dag.output()).tensor().shape,
+            vec![1, 32, 16, 16, 16]
+        );
     }
 
     #[test]
@@ -683,10 +803,7 @@ mod tests {
         let dag = depthwise_conv2d(cfg);
         assert_eq!(dag.stage(dag.output()).tensor().shape, vec![1, 32, 28, 28]);
         // Per output point: kh*kw MACs, 2 ops each; pad stage adds none.
-        assert_eq!(
-            dag.total_flops(),
-            (2 * 28 * 28 * 32 * 9) as u64
-        );
+        assert_eq!(dag.total_flops(), (2 * 28 * 28 * 32 * 9) as u64);
     }
 
     #[test]

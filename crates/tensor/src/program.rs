@@ -83,7 +83,9 @@ pub fn naive_program(dag: &Dag) -> NaiveProgram {
             })
             .collect();
         let name_of = |vid| {
-            op.axis(vid).map(|a| a.name.clone()).unwrap_or_else(|| format!("{vid}"))
+            op.axis(vid)
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| format!("{vid}"))
         };
         let lhs_idx: Vec<String> = op.axes.iter().map(|a| a.name.clone()).collect();
         let rhs: Vec<String> = op
@@ -111,7 +113,11 @@ pub fn naive_program(dag: &Dag) -> NaiveProgram {
             assign,
             rhs.join(" * ")
         );
-        stages.push(NaiveStage { name: stage.name.clone(), loops, body });
+        stages.push(NaiveStage {
+            name: stage.name.clone(),
+            loops,
+            body,
+        });
     }
     NaiveProgram { stages }
 }

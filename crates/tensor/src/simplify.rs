@@ -82,9 +82,7 @@ pub fn simplify(expr: &IndexExpr) -> IndexExpr {
 pub fn size(expr: &IndexExpr) -> usize {
     match expr {
         IndexExpr::Const(_) | IndexExpr::Var(_) => 1,
-        IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) | IndexExpr::Mul(a, b) => {
-            1 + size(a) + size(b)
-        }
+        IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) | IndexExpr::Mul(a, b) => 1 + size(a) + size(b),
         IndexExpr::Div(a, _) | IndexExpr::Mod(a, _) => 1 + size(a),
     }
 }
@@ -137,8 +135,7 @@ mod tests {
     #[test]
     fn simplification_preserves_semantics() {
         // Exhaustively check a representative conv-style expression.
-        let e = (v(0) * IndexExpr::Const(1) + v(1) * IndexExpr::Const(1))
-            - IndexExpr::Const(0);
+        let e = (v(0) * IndexExpr::Const(1) + v(1) * IndexExpr::Const(1)) - IndexExpr::Const(0);
         let s = simplify(&e);
         assert!(size(&s) < size(&e));
         for i in 0..16i64 {

@@ -26,8 +26,15 @@ impl Tensor {
     /// Panics if any dimension is < 1 or the shape is empty.
     pub fn new(name: impl Into<String>, shape: Vec<i64>, dtype: DType) -> Self {
         assert!(!shape.is_empty(), "tensor must have at least one dimension");
-        assert!(shape.iter().all(|&d| d >= 1), "tensor dimensions must be >= 1");
-        Tensor { name: name.into(), shape, dtype }
+        assert!(
+            shape.iter().all(|&d| d >= 1),
+            "tensor dimensions must be >= 1"
+        );
+        Tensor {
+            name: name.into(),
+            shape,
+            dtype,
+        }
     }
 
     /// Number of dimensions.

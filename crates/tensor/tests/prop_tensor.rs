@@ -1,66 +1,73 @@
 //! Property tests of the tensor language: index-expression ranges bound
 //! every reachable value, and operator builders produce well-formed DAGs
-//! for arbitrary valid shapes.
+//! for arbitrary valid shapes. (heron-testkit harness; see DESIGN.md,
+//! "Zero-dependency & determinism policy".)
 
 use heron_tensor::expr::IndexExpr;
 use heron_tensor::{ops, DType, IterVar, VarId};
-use proptest::prelude::*;
+use heron_testkit::{property_cases, Gen};
 
-/// A random affine-ish index expression over two variables.
-fn index_expr() -> impl Strategy<Value = IndexExpr> {
-    let leaf = prop_oneof![
-        (0i64..8).prop_map(IndexExpr::Const),
-        Just(IndexExpr::Var(VarId(0))),
-        Just(IndexExpr::Var(VarId(1))),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
-            (inner.clone(), 1i64..5).prop_map(|(a, c)| a * IndexExpr::Const(c)),
-            (inner.clone(), 1i64..5).prop_map(|(a, c)| IndexExpr::Div(Box::new(a), c)),
-            (inner, 1i64..5).prop_map(|(a, c)| IndexExpr::Mod(Box::new(a), c)),
-        ]
-    })
+/// A random affine-ish index expression over two variables, depth ≤ 3.
+fn index_expr(g: &mut Gen, depth: usize) -> IndexExpr {
+    // Shrinks toward small constants (kind 0 with value 0).
+    let kind = if depth == 0 { g.int(0, 3) } else { g.int(0, 8) };
+    match kind {
+        0 => IndexExpr::Const(g.int(0, 8)),
+        1 => IndexExpr::Var(VarId(0)),
+        2 => IndexExpr::Var(VarId(1)),
+        3 => index_expr(g, depth - 1) + index_expr(g, depth - 1),
+        4 => index_expr(g, depth - 1) - index_expr(g, depth - 1),
+        5 => index_expr(g, depth - 1) * IndexExpr::Const(g.int(1, 5)),
+        6 => IndexExpr::Div(Box::new(index_expr(g, depth - 1)), g.int(1, 5)),
+        _ => IndexExpr::Mod(Box::new(index_expr(g, depth - 1)), g.int(1, 5)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// `range()` is a sound enclosure of `eval()` over the whole domain.
-    #[test]
-    fn range_encloses_eval(e in index_expr(), e0 in 1i64..6, e1 in 1i64..6) {
+/// `range()` is a sound enclosure of `eval()` over the whole domain.
+#[test]
+fn range_encloses_eval() {
+    property_cases("range_encloses_eval", 128, |g| {
+        let e = index_expr(g, 3);
+        let e0 = g.int(1, 6);
+        let e1 = g.int(1, 6);
         let ext = |v: VarId| if v.0 == 0 { e0 } else { e1 };
         let (lo, hi) = e.range(&ext);
         for v0 in 0..e0 {
             for v1 in 0..e1 {
                 let env = |v: VarId| Some(if v.0 == 0 { v0 } else { v1 });
                 let val = e.eval(&env).expect("closed expression");
-                prop_assert!(val >= lo && val <= hi,
-                    "value {val} outside range [{lo}, {hi}] for {e:?}");
+                assert!(
+                    val >= lo && val <= hi,
+                    "value {val} outside range [{lo}, {hi}] for {e:?}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Conv2d builders produce consistent DAGs for arbitrary valid configs.
-    #[test]
-    fn conv2d_builds_consistently(
-        batch in 1i64..4,
-        hw in 4i64..24,
-        ci in 1i64..32,
-        co in 1i64..32,
-        kk in 1i64..4,
-        pad in 0i64..2,
-        stride in 1i64..3,
-    ) {
-        prop_assume!(hw + 2 * pad >= kk);
+/// Conv2d builders produce consistent DAGs for arbitrary valid configs.
+#[test]
+fn conv2d_builds_consistently() {
+    property_cases("conv2d_builds_consistently", 128, |g| {
+        let batch = g.int(1, 4);
+        let hw = g.int(4, 24);
+        let ci = g.int(1, 32);
+        let co = g.int(1, 32);
+        let kk = g.int(1, 4);
+        let pad = g.int(0, 2);
+        let stride = g.int(1, 3);
+        if hw + 2 * pad < kk {
+            return; // assume
+        }
         let cfg = ops::Conv2dConfig::new(batch, hw, hw, ci, co, kk, kk, pad, stride);
-        prop_assume!(cfg.out_height() >= 1 && cfg.out_width() >= 1);
+        if cfg.out_height() < 1 || cfg.out_width() < 1 {
+            return; // assume
+        }
         let dag = ops::conv2d(cfg);
         // Output shape matches the config arithmetic.
         let out = dag.stage(dag.output());
-        prop_assert_eq!(
-            out.tensor().shape.clone(),
+        assert_eq!(
+            out.tensor().shape,
             vec![batch, co, cfg.out_height(), cfg.out_width()]
         );
         // Flops match the closed form: 2 * N * Co * OH * OW * Ci * Kh * Kw.
@@ -68,53 +75,65 @@ proptest! {
         let pad_stage_present = pad > 0;
         let total = dag.total_flops() as i64;
         if pad_stage_present {
-            prop_assert!(total >= conv_flops, "{total} < {conv_flops}");
+            assert!(total >= conv_flops, "{total} < {conv_flops}");
         } else {
-            prop_assert_eq!(total, conv_flops);
+            assert_eq!(total, conv_flops);
         }
         // Topological validity: producers precede consumers.
         let order = dag.post_order_traverse();
-        prop_assert_eq!(order.len(), dag.len());
-    }
+        assert_eq!(order.len(), dag.len());
+    });
+}
 
-    /// GEMM flops and naive program agree for any shape.
-    #[test]
-    fn gemm_naive_program_consistent(m in 1i64..64, n in 1i64..64, k in 1i64..64) {
+/// GEMM flops and naive program agree for any shape.
+#[test]
+fn gemm_naive_program_consistent() {
+    property_cases("gemm_naive_program_consistent", 128, |g| {
+        let m = g.int(1, 64);
+        let n = g.int(1, 64);
+        let k = g.int(1, 64);
         let dag = ops::gemm(m, n, k);
-        prop_assert_eq!(dag.total_flops(), (2 * m * n * k) as u64);
+        assert_eq!(dag.total_flops(), (2 * m * n * k) as u64);
         let p = heron_tensor::program::naive_program(&dag);
-        prop_assert_eq!(p.stages.len(), 1);
+        assert_eq!(p.stages.len(), 1);
         let loops = &p.stages[0].loops;
-        prop_assert_eq!(loops.iter().map(|l| l.extent).product::<i64>(), m * n * k);
+        assert_eq!(loops.iter().map(|l| l.extent).product::<i64>(), m * n * k);
         let code = p.to_pseudo_code();
-        prop_assert_eq!(code.matches('{').count(), code.matches('}').count());
-    }
+        assert_eq!(code.matches('{').count(), code.matches('}').count());
+    });
+}
 
-    /// Simplification preserves semantics and never grows the AST.
-    #[test]
-    fn simplify_preserves_semantics(e in index_expr(), e0 in 1i64..5, e1 in 1i64..5) {
+/// Simplification preserves semantics and never grows the AST.
+#[test]
+fn simplify_preserves_semantics() {
+    property_cases("simplify_preserves_semantics", 128, |g| {
         use heron_tensor::simplify::{simplify, size};
+        let e = index_expr(g, 3);
+        let e0 = g.int(1, 5);
+        let e1 = g.int(1, 5);
         let s = simplify(&e);
-        prop_assert!(size(&s) <= size(&e));
+        assert!(size(&s) <= size(&e));
         // Simplification is idempotent.
-        prop_assert_eq!(simplify(&s).clone(), s.clone());
+        assert_eq!(simplify(&s), s);
         for v0 in 0..e0 {
             for v1 in 0..e1 {
                 let env = |v: VarId| Some(if v.0 == 0 { v0 } else { v1 });
-                prop_assert_eq!(e.eval(&env), s.eval(&env), "simplify changed {:?}", e);
+                assert_eq!(e.eval(&env), s.eval(&env), "simplify changed {e:?}");
             }
         }
-    }
+    });
+}
 
-    /// Accumulator dtypes widen for every input dtype.
-    #[test]
-    fn gemm_dtype_widening(sel in 0usize..3) {
-        let dt = [DType::F16, DType::BF16, DType::I8][sel];
+/// Accumulator dtypes widen for every input dtype.
+#[test]
+fn gemm_dtype_widening() {
+    property_cases("gemm_dtype_widening", 128, |g| {
+        let dt = *g.pick(&[DType::F16, DType::BF16, DType::I8]);
         let dag = ops::gemm_dtyped(8, 8, 8, dt);
         let out = dag.stage(dag.output()).tensor().dtype;
-        prop_assert_eq!(out, dt.accumulator());
-        prop_assert!(out.bytes() >= dt.bytes());
-    }
+        assert_eq!(out, dt.accumulator());
+        assert!(out.bytes() >= dt.bytes());
+    });
 }
 
 /// Extra deterministic check: IterVar extents must be positive.

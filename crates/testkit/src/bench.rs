@@ -1,0 +1,224 @@
+//! Micro-benchmark timer replacing `criterion` for the workspace's
+//! `harness = false` benches.
+//!
+//! Deliberately small: wall-clock warmup, N timed iterations, order
+//! statistics (min / median / p95 / mean / max), TSV output in the
+//! same title-line + header-row shape as the committed `results/*.tsv`
+//! artifacts. Configure via `HERON_BENCH_WARMUP`, `HERON_BENCH_ITERS`,
+//! and write a TSV copy with `HERON_BENCH_TSV=<path>`.
+
+pub use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Warmup / iteration counts for a bench run.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    pub warmup: u32,
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup: 3,
+            iters: 15,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Defaults overridden by `HERON_BENCH_WARMUP` / `HERON_BENCH_ITERS`.
+    pub fn from_env() -> Self {
+        let mut cfg = BenchConfig::default();
+        if let Some(w) = env_u32("HERON_BENCH_WARMUP") {
+            cfg.warmup = w;
+        }
+        if let Some(n) = env_u32("HERON_BENCH_ITERS") {
+            cfg.iters = n.max(1);
+        }
+        cfg
+    }
+}
+
+fn env_u32(key: &str) -> Option<u32> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Timing summary for one benchmark, in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    pub name: String,
+    pub iters: u32,
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub p95_ns: u128,
+    pub mean_ns: u128,
+    pub max_ns: u128,
+}
+
+impl Sample {
+    fn from_times(name: &str, mut times: Vec<u128>) -> Sample {
+        times.sort_unstable();
+        let n = times.len();
+        assert!(n > 0);
+        let pct = |p: f64| -> u128 {
+            // Nearest-rank percentile on the sorted sample.
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            times[rank - 1]
+        };
+        Sample {
+            name: name.to_string(),
+            iters: n as u32,
+            min_ns: times[0],
+            median_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            mean_ns: times.iter().sum::<u128>() / n as u128,
+            max_ns: times[n - 1],
+        }
+    }
+}
+
+/// A bench suite: times closures, accumulates samples, emits TSV.
+pub struct Harness {
+    suite: String,
+    cfg: BenchConfig,
+    samples: Vec<Sample>,
+}
+
+impl Harness {
+    pub fn new(suite: &str) -> Harness {
+        Harness {
+            suite: suite.to_string(),
+            cfg: BenchConfig::from_env(),
+            samples: Vec::new(),
+        }
+    }
+
+    pub fn with_config(suite: &str, cfg: BenchConfig) -> Harness {
+        Harness {
+            suite: suite.to_string(),
+            cfg,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Run `f` warmup + iters times, recording wall-clock times. The
+    /// closure's return value is passed through [`black_box`] so the
+    /// optimiser cannot delete the work.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &Sample {
+        for _ in 0..self.cfg.warmup {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.cfg.iters as usize);
+        for _ in 0..self.cfg.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed().as_nanos());
+        }
+        let sample = Sample::from_times(name, times);
+        eprintln!(
+            "  {:<40} median {:>12}  p95 {:>12}  ({} iters)",
+            sample.name,
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.p95_ns),
+            sample.iters
+        );
+        self.samples.push(sample);
+        self.samples.last().expect("just pushed")
+    }
+
+    /// TSV rendering: title line, header row, one row per bench —
+    /// the same shape as the committed `results/*.tsv` artifacts.
+    pub fn to_tsv(&self) -> String {
+        let mut out = format!(
+            "Micro-bench: {} (warmup={}, iters={})\n",
+            self.suite, self.cfg.warmup, self.cfg.iters
+        );
+        out.push_str("bench\titers\tmin_ns\tmedian_ns\tp95_ns\tmean_ns\tmax_ns\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                s.name, s.iters, s.min_ns, s.median_ns, s.p95_ns, s.mean_ns, s.max_ns
+            ));
+        }
+        out
+    }
+
+    /// Print the TSV to stdout and, when `HERON_BENCH_TSV` is set,
+    /// also write it to that path.
+    pub fn finish(self) {
+        let tsv = self.to_tsv();
+        print!("{tsv}");
+        if let Ok(path) = std::env::var("HERON_BENCH_TSV") {
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(tsv.as_bytes());
+                    eprintln!("[heron-testkit] wrote {path}");
+                }
+                Err(e) => eprintln!("[heron-testkit] cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_statistics_are_order_stats() {
+        let s = Sample::from_times("t", vec![50, 10, 40, 20, 30]);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.median_ns, 30);
+        assert_eq!(s.p95_ns, 50);
+        assert_eq!(s.mean_ns, 30);
+        assert_eq!(s.max_ns, 50);
+        assert_eq!(s.iters, 5);
+    }
+
+    #[test]
+    fn harness_runs_and_renders_tsv() {
+        let mut h = Harness::with_config(
+            "unit",
+            BenchConfig {
+                warmup: 1,
+                iters: 4,
+            },
+        );
+        let mut acc = 0u64;
+        h.bench("sum", || {
+            acc = (0..100u64).sum();
+            acc
+        });
+        let tsv = h.to_tsv();
+        let mut lines = tsv.lines();
+        assert!(lines.next().unwrap().starts_with("Micro-bench: unit"));
+        assert_eq!(
+            lines.next().unwrap(),
+            "bench\titers\tmin_ns\tmedian_ns\tp95_ns\tmean_ns\tmax_ns"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("sum\t4\t"), "row: {row}");
+        assert_eq!(row.split('\t').count(), 7);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        let s = Sample::from_times("one", vec![42]);
+        assert_eq!(s.median_ns, 42);
+        assert_eq!(s.p95_ns, 42);
+    }
+}

@@ -1,0 +1,207 @@
+//! The case generator handed to property bodies.
+//!
+//! Every random decision a property makes flows through
+//! [`Gen::choice`], which records the decision on a *tape* of `u64`
+//! magnitudes. Shrinking (see [`crate::shrink`]) never needs to know
+//! anything about the generated types: it replays the property with
+//! numerically smaller tapes, and the clamping in `choice` keeps every
+//! replayed decision in range. This is the "internal reduction"
+//! approach (à la Hypothesis) — one shrinker for every input shape.
+
+use heron_rng::{HeronRng, Rng};
+
+/// Seeded, tape-recording generator for property-test cases.
+pub struct Gen {
+    rng: HeronRng,
+    /// Decisions made so far this case (generate mode: recorded;
+    /// replay mode: prefix comes from `replay`).
+    tape: Vec<u64>,
+    /// When `Some`, decisions are read from this tape (clamped into
+    /// range) instead of drawn; positions past its end read as 0.
+    replay: Option<Vec<u64>>,
+    pos: usize,
+    seed: u64,
+}
+
+impl Gen {
+    /// Fresh generate-mode generator for one case.
+    pub fn new(case_seed: u64) -> Gen {
+        Gen {
+            rng: HeronRng::from_seed(case_seed),
+            tape: Vec::with_capacity(64),
+            replay: None,
+            pos: 0,
+            seed: case_seed,
+        }
+    }
+
+    /// Replay-mode generator: decisions come from `tape` (clamped);
+    /// positions past the tape end are 0 ("smallest choice").
+    pub fn replay(case_seed: u64, tape: Vec<u64>) -> Gen {
+        Gen {
+            rng: HeronRng::from_seed(case_seed),
+            tape: Vec::with_capacity(tape.len()),
+            replay: Some(tape),
+            pos: 0,
+            seed: case_seed,
+        }
+    }
+
+    /// The seed this case was generated from (printed on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The recorded decision tape (for the shrinker).
+    pub fn tape(&self) -> &[u64] {
+        &self.tape
+    }
+
+    /// The primitive decision: a value in `[0, n)`. `n == 0` is a
+    /// caller bug and panics.
+    ///
+    /// Generate mode draws uniformly and records the magnitude; replay
+    /// mode reads the tape and clamps to `n - 1` so a tape shrunk for
+    /// one control path stays valid on another. The *effective* value
+    /// is re-recorded so `tape()` is always consistent with what the
+    /// property observed.
+    pub fn choice(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Gen::choice requires a non-empty range");
+        let v = match &self.replay {
+            Some(t) => t.get(self.pos).copied().unwrap_or(0).min(n - 1),
+            None => {
+                if n == u64::MAX {
+                    self.rng.next_u64() % n
+                } else {
+                    self.rng.random_range(0..n)
+                }
+            }
+        };
+        self.tape.push(v);
+        self.pos += 1;
+        v
+    }
+
+    // ---- typed draws -------------------------------------------------
+
+    /// Integer in `[lo, hi)`. Shrinks toward `lo`. Handles spans up to
+    /// the full `i64` range via two's-complement arithmetic.
+    pub fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "Gen::int: empty range {lo}..{hi}");
+        let span = (hi as u64).wrapping_sub(lo as u64);
+        lo.wrapping_add(self.choice(span) as i64)
+    }
+
+    /// Integer in `[lo, hi]` (inclusive). Shrinks toward `lo`.
+    pub fn int_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "Gen::int_inclusive: empty range {lo}..={hi}");
+        let span = (hi as u64).wrapping_sub(lo as u64);
+        if span == u64::MAX {
+            // Full-range draw: every u64 magnitude is valid.
+            let v = self.choice(u64::MAX); // covers all but u64::MAX itself…
+            return lo.wrapping_add(v as i64);
+        }
+        lo.wrapping_add(self.choice(span + 1) as i64)
+    }
+
+    /// `usize` in `[lo, hi)`. Shrinks toward `lo`.
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        self.int(lo as i64, hi as i64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit resolution. Shrinks
+    /// toward 0.0.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.choice(1u64 << 53) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. Shrinks toward `lo`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "Gen::f64_in: empty range {lo}..{hi}");
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// `true` with probability `p`. Shrinks toward `false`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        // Invert so the all-zero (fully shrunk) tape yields `false`.
+        self.f64_unit() >= 1.0 - p
+    }
+
+    /// A uniformly chosen element of `xs`. Shrinks toward `xs[0]`.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "Gen::pick on empty slice");
+        &xs[self.choice(xs.len() as u64) as usize]
+    }
+
+    /// A vector with a length drawn from `[min_len, max_len]` whose
+    /// elements come from `f`. Shrinks toward shorter vectors of
+    /// smaller elements.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.int_inclusive(min_len as i64, max_len as i64) as usize;
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_and_replay_agree_on_recorded_tape() {
+        let mut g = Gen::new(99);
+        let a = g.int(3, 40);
+        let b = g.f64_unit();
+        let c = g.bool(0.5);
+        let tape = g.tape().to_vec();
+
+        let mut r = Gen::replay(99, tape);
+        assert_eq!(r.int(3, 40), a);
+        assert_eq!(r.f64_unit(), b);
+        assert_eq!(r.bool(0.5), c);
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range_entries() {
+        let mut r = Gen::replay(0, vec![u64::MAX, 5]);
+        assert_eq!(r.int(0, 10), 9); // clamped to n-1
+        assert_eq!(r.int(0, 100), 5);
+        assert_eq!(r.int(0, 7), 0); // past tape end → 0
+    }
+
+    #[test]
+    fn zero_tape_is_minimal_everything() {
+        let mut r = Gen::replay(1, vec![]);
+        assert_eq!(r.int(-4, 9), -4);
+        assert_eq!(r.f64_unit(), 0.0);
+        assert!(!r.bool(0.99));
+        assert_eq!(*r.pick(&[7, 8, 9]), 7);
+        assert!(r.vec(0, 5, |g| g.int(0, 3)).is_empty());
+    }
+
+    #[test]
+    fn draws_stay_in_bounds() {
+        let mut g = Gen::new(5);
+        for _ in 0..2_000 {
+            let v = g.int(-7, 13);
+            assert!((-7..13).contains(&v));
+            let f = g.f64_in(2.0, 3.0);
+            assert!((2.0..3.0).contains(&f));
+            let x = g.index(2, 9);
+            assert!((2..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut g = Gen::new(6);
+        for _ in 0..100 {
+            assert!(!g.bool(0.0));
+            assert!(g.bool(1.0));
+        }
+    }
+}

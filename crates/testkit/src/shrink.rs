@@ -1,0 +1,146 @@
+//! Tape shrinking: given a failing decision tape, find a smaller tape
+//! that still fails.
+//!
+//! Two moves, iterated to a fixpoint (bounded by a replay budget):
+//!
+//! 1. **Truncation** — binary-search the shortest failing prefix
+//!    (dropped positions replay as 0, the minimal decision).
+//! 2. **Pointwise minimisation** — for each position, binary-search
+//!    the smallest replacement magnitude in `[0, current]` that still
+//!    fails.
+//!
+//! Both moves only ever *lower* tape entries or *shorten* the tape, so
+//! the procedure terminates; with the clamping semantics of
+//! [`crate::Gen::choice`], every candidate tape is a valid input.
+
+/// Outcome of one shrink run.
+pub struct Shrunk {
+    pub tape: Vec<u64>,
+    /// Total number of replays spent shrinking.
+    pub replays: usize,
+}
+
+/// Shrink `tape` against `fails` (returns `true` while the property
+/// still fails). `budget` caps the number of replays.
+pub fn shrink(tape: Vec<u64>, mut fails: impl FnMut(&[u64]) -> bool, budget: usize) -> Shrunk {
+    let mut best = tape;
+    let mut spent = 0usize;
+    let mut try_tape = |cand: &[u64], spent: &mut usize| -> bool {
+        if *spent >= budget {
+            return false;
+        }
+        *spent += 1;
+        fails(cand)
+    };
+
+    // Phase 1: shortest failing prefix, by binary search on length.
+    // Invariant: prefix of length `hi` fails; test midpoints downward.
+    let mut lo = 0usize;
+    let mut hi = best.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2; // candidate length < hi
+        if try_tape(&best[..mid], &mut spent) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    best.truncate(hi);
+
+    // Phase 2: pointwise binary-search minimisation, repeated until a
+    // whole pass makes no progress (or the budget runs out).
+    loop {
+        let mut progressed = false;
+        for i in 0..best.len() {
+            if best[i] == 0 {
+                continue;
+            }
+            // Try the floor first — often succeeds and ends the search.
+            let mut cand = best.clone();
+            cand[i] = 0;
+            if try_tape(&cand, &mut spent) {
+                best = cand;
+                progressed = true;
+                continue;
+            }
+            // Binary search the smallest failing value in (0, best[i]].
+            let (mut lo, mut hi) = (1u64, best[i]);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                cand[i] = mid;
+                if try_tape(&cand, &mut spent) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            if hi < best[i] {
+                best[i] = hi;
+                progressed = true;
+            }
+        }
+        if !progressed || spent >= budget {
+            break;
+        }
+    }
+
+    // Drop trailing zeros: they replay identically to an absent tail.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    Shrunk {
+        tape: best,
+        replays: spent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_single_value_to_boundary() {
+        // Fails iff entry 0 >= 17: minimal failing tape is [17].
+        let s = shrink(
+            vec![9000],
+            |t| t.first().copied().unwrap_or(0) >= 17,
+            10_000,
+        );
+        assert_eq!(s.tape, vec![17]);
+    }
+
+    #[test]
+    fn truncates_irrelevant_tail() {
+        // Only the first entry matters.
+        let s = shrink(
+            vec![40, 1, 2, 3, 4, 5, 6],
+            |t| t.first().copied().unwrap_or(0) >= 3,
+            10_000,
+        );
+        assert_eq!(s.tape, vec![3]);
+    }
+
+    #[test]
+    fn shrinks_pairs_independently() {
+        // Fails iff t0 >= 5 && t1 >= 8.
+        let s = shrink(
+            vec![100, 200],
+            |t| t.first().copied().unwrap_or(0) >= 5 && t.get(1).copied().unwrap_or(0) >= 8,
+            10_000,
+        );
+        assert_eq!(s.tape, vec![5, 8]);
+    }
+
+    #[test]
+    fn always_failing_shrinks_to_empty() {
+        let s = shrink(vec![3, 1, 4, 1, 5], |_| true, 10_000);
+        assert!(s.tape.is_empty());
+    }
+
+    #[test]
+    fn budget_bounds_replays() {
+        let s = shrink(vec![u64::MAX; 32], |_| true, 7);
+        assert!(s.replays <= 7);
+    }
+}

@@ -7,7 +7,7 @@
 //! layers (the paper's Figure 10 protocol with batch size 16).
 
 use heron_tensor::ops::{self, Conv2dConfig};
-use heron_tensor::{Dag, DType};
+use heron_tensor::{DType, Dag};
 
 /// One operator instance (kind + shape parameters).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,7 +106,10 @@ pub struct Workload {
 impl Workload {
     /// Creates a named workload.
     pub fn new(name: impl Into<String>, kind: OpKind) -> Self {
-        Workload { name: name.into(), kind }
+        Workload {
+            name: name.into(),
+            kind,
+        }
     }
 
     /// Builds the compute DAG with the given input element type.
@@ -115,12 +118,27 @@ impl Workload {
             OpKind::Gemm { m, n, k } => ops::gemm_dtyped(*m, *n, *k, dtype),
             OpKind::Bmm { b, m, n, k } => ops::bmm_dtyped(*b, *m, *n, *k, dtype),
             OpKind::Gemv { m, k, b } => ops::gemv(*m, *k, *b),
-            OpKind::C1d { n, l, ci, co, k, s, p } => ops::conv1d(*n, *l, *ci, *co, *k, *p, *s),
+            OpKind::C1d {
+                n,
+                l,
+                ci,
+                co,
+                k,
+                s,
+                p,
+            } => ops::conv1d(*n, *l, *ci, *co, *k, *p, *s),
             OpKind::C2d(cfg) => ops::conv2d(cfg.with_dtype(dtype)),
             OpKind::Dw(cfg) => ops::depthwise_conv2d(cfg.with_dtype(dtype)),
-            OpKind::C3d { n, d, hw, ci, co, k, s, p } => {
-                ops::conv3d(*n, *d, *hw, *hw, *ci, *co, *k, *p, *s)
-            }
+            OpKind::C3d {
+                n,
+                d,
+                hw,
+                ci,
+                co,
+                k,
+                s,
+                p,
+            } => ops::conv3d(*n, *d, *hw, *hw, *ci, *co, *k, *p, *s),
             OpKind::T2d(cfg) => ops::t2d(cfg.with_dtype(dtype)),
             OpKind::Dil(cfg, dil) => ops::dil(cfg.with_dtype(dtype), *dil),
             OpKind::Scan { b, l } => ops::scan(*b, *l),
@@ -153,7 +171,10 @@ pub fn table9_c2d() -> Vec<Workload> {
     ]
     .into_iter()
     .map(|(name, n, h, w, ci, co, kk, p, s)| {
-        Workload::new(name, OpKind::C2d(Conv2dConfig::new(n, h, w, ci, co, kk, kk, p, s)))
+        Workload::new(
+            name,
+            OpKind::C2d(Conv2dConfig::new(n, h, w, ci, co, kk, kk, p, s)),
+        )
     })
     .collect()
 }
@@ -164,38 +185,211 @@ pub fn table9_c2d() -> Vec<Workload> {
 /// Panics on an unknown operator name.
 pub fn operator_suite(op: &str) -> Vec<Workload> {
     let c2 = |name: &str, n, h, w, ci, co, k, p, s| {
-        Workload::new(name, OpKind::C2d(Conv2dConfig::new(n, h, w, ci, co, k, k, p, s)))
+        Workload::new(
+            name,
+            OpKind::C2d(Conv2dConfig::new(n, h, w, ci, co, k, k, p, s)),
+        )
     };
     match op {
         "GEMM" => {
             let mut v = table9_gemm();
-            v.push(Workload::new("G6", OpKind::Gemm { m: 512, n: 512, k: 512 }));
-            v.push(Workload::new("G7", OpKind::Gemm { m: 16, n: 512, k: 128 }));
+            v.push(Workload::new(
+                "G6",
+                OpKind::Gemm {
+                    m: 512,
+                    n: 512,
+                    k: 512,
+                },
+            ));
+            v.push(Workload::new(
+                "G7",
+                OpKind::Gemm {
+                    m: 16,
+                    n: 512,
+                    k: 128,
+                },
+            ));
             v
         }
         "BMM" => vec![
-            Workload::new("B1", OpKind::Bmm { b: 16, m: 512, n: 512, k: 64 }),
-            Workload::new("B2", OpKind::Bmm { b: 16, m: 512, n: 64, k: 512 }),
-            Workload::new("B3", OpKind::Bmm { b: 192, m: 128, n: 128, k: 64 }),
-            Workload::new("B4", OpKind::Bmm { b: 192, m: 128, n: 64, k: 128 }),
-            Workload::new("B5", OpKind::Bmm { b: 8, m: 1024, n: 1024, k: 64 }),
-            Workload::new("B6", OpKind::Bmm { b: 16, m: 128, n: 128, k: 128 }),
+            Workload::new(
+                "B1",
+                OpKind::Bmm {
+                    b: 16,
+                    m: 512,
+                    n: 512,
+                    k: 64,
+                },
+            ),
+            Workload::new(
+                "B2",
+                OpKind::Bmm {
+                    b: 16,
+                    m: 512,
+                    n: 64,
+                    k: 512,
+                },
+            ),
+            Workload::new(
+                "B3",
+                OpKind::Bmm {
+                    b: 192,
+                    m: 128,
+                    n: 128,
+                    k: 64,
+                },
+            ),
+            Workload::new(
+                "B4",
+                OpKind::Bmm {
+                    b: 192,
+                    m: 128,
+                    n: 64,
+                    k: 128,
+                },
+            ),
+            Workload::new(
+                "B5",
+                OpKind::Bmm {
+                    b: 8,
+                    m: 1024,
+                    n: 1024,
+                    k: 64,
+                },
+            ),
+            Workload::new(
+                "B6",
+                OpKind::Bmm {
+                    b: 16,
+                    m: 128,
+                    n: 128,
+                    k: 128,
+                },
+            ),
         ],
         "GEMV" => vec![
-            Workload::new("V1", OpKind::Gemv { m: 1024, k: 1024, b: 1 }),
-            Workload::new("V2", OpKind::Gemv { m: 4096, k: 4096, b: 1 }),
-            Workload::new("V3", OpKind::Gemv { m: 1000, k: 2048, b: 1 }),
-            Workload::new("V4", OpKind::Gemv { m: 2048, k: 512, b: 8 }),
-            Workload::new("V5", OpKind::Gemv { m: 512, k: 2048, b: 8 }),
-            Workload::new("V6", OpKind::Gemv { m: 1024, k: 4096, b: 4 }),
+            Workload::new(
+                "V1",
+                OpKind::Gemv {
+                    m: 1024,
+                    k: 1024,
+                    b: 1,
+                },
+            ),
+            Workload::new(
+                "V2",
+                OpKind::Gemv {
+                    m: 4096,
+                    k: 4096,
+                    b: 1,
+                },
+            ),
+            Workload::new(
+                "V3",
+                OpKind::Gemv {
+                    m: 1000,
+                    k: 2048,
+                    b: 1,
+                },
+            ),
+            Workload::new(
+                "V4",
+                OpKind::Gemv {
+                    m: 2048,
+                    k: 512,
+                    b: 8,
+                },
+            ),
+            Workload::new(
+                "V5",
+                OpKind::Gemv {
+                    m: 512,
+                    k: 2048,
+                    b: 8,
+                },
+            ),
+            Workload::new(
+                "V6",
+                OpKind::Gemv {
+                    m: 1024,
+                    k: 4096,
+                    b: 4,
+                },
+            ),
         ],
         "C1D" => vec![
-            Workload::new("D1", OpKind::C1d { n: 1, l: 256, ci: 64, co: 128, k: 3, s: 2, p: 1 }),
-            Workload::new("D2", OpKind::C1d { n: 1, l: 256, ci: 64, co: 128, k: 1, s: 1, p: 0 }),
-            Workload::new("D3", OpKind::C1d { n: 8, l: 128, ci: 128, co: 256, k: 3, s: 1, p: 1 }),
-            Workload::new("D4", OpKind::C1d { n: 16, l: 64, ci: 256, co: 256, k: 5, s: 1, p: 2 }),
-            Workload::new("D5", OpKind::C1d { n: 16, l: 512, ci: 32, co: 64, k: 3, s: 1, p: 1 }),
-            Workload::new("D6", OpKind::C1d { n: 4, l: 1024, ci: 64, co: 64, k: 7, s: 2, p: 3 }),
+            Workload::new(
+                "D1",
+                OpKind::C1d {
+                    n: 1,
+                    l: 256,
+                    ci: 64,
+                    co: 128,
+                    k: 3,
+                    s: 2,
+                    p: 1,
+                },
+            ),
+            Workload::new(
+                "D2",
+                OpKind::C1d {
+                    n: 1,
+                    l: 256,
+                    ci: 64,
+                    co: 128,
+                    k: 1,
+                    s: 1,
+                    p: 0,
+                },
+            ),
+            Workload::new(
+                "D3",
+                OpKind::C1d {
+                    n: 8,
+                    l: 128,
+                    ci: 128,
+                    co: 256,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+            ),
+            Workload::new(
+                "D4",
+                OpKind::C1d {
+                    n: 16,
+                    l: 64,
+                    ci: 256,
+                    co: 256,
+                    k: 5,
+                    s: 1,
+                    p: 2,
+                },
+            ),
+            Workload::new(
+                "D5",
+                OpKind::C1d {
+                    n: 16,
+                    l: 512,
+                    ci: 32,
+                    co: 64,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+            ),
+            Workload::new(
+                "D6",
+                OpKind::C1d {
+                    n: 4,
+                    l: 1024,
+                    ci: 64,
+                    co: 64,
+                    k: 7,
+                    s: 2,
+                    p: 3,
+                },
+            ),
         ],
         "C2D" => {
             let mut v = table9_c2d();
@@ -204,28 +398,136 @@ pub fn operator_suite(op: &str) -> Vec<Workload> {
             v
         }
         "C3D" => vec![
-            Workload::new("E1", OpKind::C3d { n: 1, d: 16, hw: 28, ci: 64, co: 64, k: 3, s: 1, p: 1 }),
-            Workload::new("E2", OpKind::C3d { n: 1, d: 16, hw: 14, ci: 128, co: 256, k: 3, s: 1, p: 1 }),
-            Workload::new("E3", OpKind::C3d { n: 8, d: 8, hw: 28, ci: 64, co: 64, k: 3, s: 2, p: 1 }),
-            Workload::new("E4", OpKind::C3d { n: 1, d: 32, hw: 56, ci: 16, co: 32, k: 3, s: 1, p: 1 }),
-            Workload::new("E5", OpKind::C3d { n: 4, d: 16, hw: 14, ci: 256, co: 256, k: 1, s: 1, p: 0 }),
-            Workload::new("E6", OpKind::C3d { n: 2, d: 8, hw: 28, ci: 128, co: 128, k: 3, s: 1, p: 1 }),
+            Workload::new(
+                "E1",
+                OpKind::C3d {
+                    n: 1,
+                    d: 16,
+                    hw: 28,
+                    ci: 64,
+                    co: 64,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+            ),
+            Workload::new(
+                "E2",
+                OpKind::C3d {
+                    n: 1,
+                    d: 16,
+                    hw: 14,
+                    ci: 128,
+                    co: 256,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+            ),
+            Workload::new(
+                "E3",
+                OpKind::C3d {
+                    n: 8,
+                    d: 8,
+                    hw: 28,
+                    ci: 64,
+                    co: 64,
+                    k: 3,
+                    s: 2,
+                    p: 1,
+                },
+            ),
+            Workload::new(
+                "E4",
+                OpKind::C3d {
+                    n: 1,
+                    d: 32,
+                    hw: 56,
+                    ci: 16,
+                    co: 32,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+            ),
+            Workload::new(
+                "E5",
+                OpKind::C3d {
+                    n: 4,
+                    d: 16,
+                    hw: 14,
+                    ci: 256,
+                    co: 256,
+                    k: 1,
+                    s: 1,
+                    p: 0,
+                },
+            ),
+            Workload::new(
+                "E6",
+                OpKind::C3d {
+                    n: 2,
+                    d: 8,
+                    hw: 28,
+                    ci: 128,
+                    co: 128,
+                    k: 3,
+                    s: 1,
+                    p: 1,
+                },
+            ),
         ],
         "T2D" => vec![
-            Workload::new("T1", OpKind::T2d(Conv2dConfig::new(1, 4, 4, 512, 256, 4, 4, 1, 2))),
-            Workload::new("T2", OpKind::T2d(Conv2dConfig::new(1, 8, 8, 256, 128, 4, 4, 1, 2))),
-            Workload::new("T3", OpKind::T2d(Conv2dConfig::new(1, 16, 16, 128, 64, 4, 4, 1, 2))),
-            Workload::new("T4", OpKind::T2d(Conv2dConfig::new(8, 32, 32, 64, 3, 4, 4, 1, 2))),
-            Workload::new("T5", OpKind::T2d(Conv2dConfig::new(16, 8, 8, 128, 128, 4, 4, 1, 2))),
-            Workload::new("T6", OpKind::T2d(Conv2dConfig::new(4, 16, 16, 64, 64, 4, 4, 1, 2))),
+            Workload::new(
+                "T1",
+                OpKind::T2d(Conv2dConfig::new(1, 4, 4, 512, 256, 4, 4, 1, 2)),
+            ),
+            Workload::new(
+                "T2",
+                OpKind::T2d(Conv2dConfig::new(1, 8, 8, 256, 128, 4, 4, 1, 2)),
+            ),
+            Workload::new(
+                "T3",
+                OpKind::T2d(Conv2dConfig::new(1, 16, 16, 128, 64, 4, 4, 1, 2)),
+            ),
+            Workload::new(
+                "T4",
+                OpKind::T2d(Conv2dConfig::new(8, 32, 32, 64, 3, 4, 4, 1, 2)),
+            ),
+            Workload::new(
+                "T5",
+                OpKind::T2d(Conv2dConfig::new(16, 8, 8, 128, 128, 4, 4, 1, 2)),
+            ),
+            Workload::new(
+                "T6",
+                OpKind::T2d(Conv2dConfig::new(4, 16, 16, 64, 64, 4, 4, 1, 2)),
+            ),
         ],
         "DIL" => vec![
-            Workload::new("L1", OpKind::Dil(Conv2dConfig::new(1, 56, 56, 64, 64, 3, 3, 2, 1), 2)),
-            Workload::new("L2", OpKind::Dil(Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 2, 1), 2)),
-            Workload::new("L3", OpKind::Dil(Conv2dConfig::new(16, 14, 14, 256, 256, 3, 3, 2, 1), 2)),
-            Workload::new("L4", OpKind::Dil(Conv2dConfig::new(1, 28, 28, 256, 256, 3, 3, 4, 1), 4)),
-            Workload::new("L5", OpKind::Dil(Conv2dConfig::new(4, 56, 56, 32, 64, 3, 3, 2, 1), 2)),
-            Workload::new("L6", OpKind::Dil(Conv2dConfig::new(2, 14, 14, 512, 512, 3, 3, 2, 1), 2)),
+            Workload::new(
+                "L1",
+                OpKind::Dil(Conv2dConfig::new(1, 56, 56, 64, 64, 3, 3, 2, 1), 2),
+            ),
+            Workload::new(
+                "L2",
+                OpKind::Dil(Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 2, 1), 2),
+            ),
+            Workload::new(
+                "L3",
+                OpKind::Dil(Conv2dConfig::new(16, 14, 14, 256, 256, 3, 3, 2, 1), 2),
+            ),
+            Workload::new(
+                "L4",
+                OpKind::Dil(Conv2dConfig::new(1, 28, 28, 256, 256, 3, 3, 4, 1), 4),
+            ),
+            Workload::new(
+                "L5",
+                OpKind::Dil(Conv2dConfig::new(4, 56, 56, 32, 64, 3, 3, 2, 1), 2),
+            ),
+            Workload::new(
+                "L6",
+                OpKind::Dil(Conv2dConfig::new(2, 14, 14, 512, 512, 3, 3, 2, 1), 2),
+            ),
         ],
         "SCAN" => vec![
             Workload::new("S1", OpKind::Scan { b: 16, l: 512 }),
@@ -241,7 +543,9 @@ pub fn operator_suite(op: &str) -> Vec<Workload> {
 
 /// The nine operator names of the evaluation, in the paper's order.
 pub fn operator_names() -> [&'static str; 9] {
-    ["GEMM", "C1D", "C2D", "C3D", "T2D", "DIL", "BMM", "GEMV", "SCAN"]
+    [
+        "GEMM", "C1D", "C2D", "C3D", "T2D", "DIL", "BMM", "GEMV", "SCAN",
+    ]
 }
 
 /// Network layer inventory: each distinct layer with its occurrence count.
@@ -251,7 +555,10 @@ pub fn operator_names() -> [&'static str; 9] {
 pub fn network(name: &str) -> Vec<(Workload, usize)> {
     let bs = 16; // the paper's batch size
     let c2 = |tag: &str, h, w, ci, co, k, p, s| {
-        Workload::new(tag, OpKind::C2d(Conv2dConfig::new(bs, h, w, ci, co, k, k, p, s)))
+        Workload::new(
+            tag,
+            OpKind::C2d(Conv2dConfig::new(bs, h, w, ci, co, k, k, p, s)),
+        )
     };
     match name {
         "resnet-50" => vec![
@@ -268,7 +575,17 @@ pub fn network(name: &str) -> Vec<(Workload, usize)> {
             (c2("r.c5a", 7, 7, 1024, 512, 1, 0, 1), 3),
             (c2("r.c5b", 7, 7, 512, 512, 3, 1, 1), 3),
             (c2("r.c5c", 7, 7, 512, 2048, 1, 0, 1), 3),
-            (Workload::new("r.fc", OpKind::Gemm { m: bs, n: 1000, k: 2048 }), 1),
+            (
+                Workload::new(
+                    "r.fc",
+                    OpKind::Gemm {
+                        m: bs,
+                        n: 1000,
+                        k: 2048,
+                    },
+                ),
+                1,
+            ),
         ],
         "inception-v3" => vec![
             (c2("i.stem1", 149, 149, 3, 32, 3, 0, 2), 1),
@@ -280,7 +597,17 @@ pub fn network(name: &str) -> Vec<(Workload, usize)> {
             (c2("i.b7x1", 17, 17, 128, 128, 7, 3, 1), 8),
             (c2("i.c1x1", 8, 8, 1280, 320, 1, 0, 1), 2),
             (c2("i.c3x3", 8, 8, 384, 384, 3, 1, 1), 4),
-            (Workload::new("i.fc", OpKind::Gemm { m: bs, n: 1000, k: 2048 }), 1),
+            (
+                Workload::new(
+                    "i.fc",
+                    OpKind::Gemm {
+                        m: bs,
+                        n: 1000,
+                        k: 2048,
+                    },
+                ),
+                1,
+            ),
         ],
         "vgg-16" => vec![
             (c2("v.c1", 224, 224, 3, 64, 3, 1, 1), 1),
@@ -292,9 +619,39 @@ pub fn network(name: &str) -> Vec<(Workload, usize)> {
             (c2("v.c7", 28, 28, 256, 512, 3, 1, 1), 1),
             (c2("v.c8", 28, 28, 512, 512, 3, 1, 1), 2),
             (c2("v.c9", 14, 14, 512, 512, 3, 1, 1), 3),
-            (Workload::new("v.fc1", OpKind::Gemm { m: bs, n: 4096, k: 25088 }), 1),
-            (Workload::new("v.fc2", OpKind::Gemm { m: bs, n: 4096, k: 4096 }), 1),
-            (Workload::new("v.fc3", OpKind::Gemm { m: bs, n: 1000, k: 4096 }), 1),
+            (
+                Workload::new(
+                    "v.fc1",
+                    OpKind::Gemm {
+                        m: bs,
+                        n: 4096,
+                        k: 25088,
+                    },
+                ),
+                1,
+            ),
+            (
+                Workload::new(
+                    "v.fc2",
+                    OpKind::Gemm {
+                        m: bs,
+                        n: 4096,
+                        k: 4096,
+                    },
+                ),
+                1,
+            ),
+            (
+                Workload::new(
+                    "v.fc3",
+                    OpKind::Gemm {
+                        m: bs,
+                        n: 1000,
+                        k: 4096,
+                    },
+                ),
+                1,
+            ),
         ],
         "bert" => {
             let seq = 128;
@@ -302,30 +659,71 @@ pub fn network(name: &str) -> Vec<(Workload, usize)> {
             let heads = 12;
             vec![
                 (
-                    Workload::new("b.qkv", OpKind::Gemm { m: bs * seq, n: 3 * hidden, k: hidden }),
+                    Workload::new(
+                        "b.qkv",
+                        OpKind::Gemm {
+                            m: bs * seq,
+                            n: 3 * hidden,
+                            k: hidden,
+                        },
+                    ),
                     24,
                 ),
                 (
                     Workload::new(
                         "b.attn_qk",
-                        OpKind::Bmm { b: bs * heads, m: seq, n: seq, k: hidden / heads },
+                        OpKind::Bmm {
+                            b: bs * heads,
+                            m: seq,
+                            n: seq,
+                            k: hidden / heads,
+                        },
                     ),
                     24,
                 ),
                 (
                     Workload::new(
                         "b.attn_v",
-                        OpKind::Bmm { b: bs * heads, m: seq, n: hidden / heads, k: seq },
+                        OpKind::Bmm {
+                            b: bs * heads,
+                            m: seq,
+                            n: hidden / heads,
+                            k: seq,
+                        },
                     ),
                     24,
                 ),
-                (Workload::new("b.proj", OpKind::Gemm { m: bs * seq, n: hidden, k: hidden }), 24),
                 (
-                    Workload::new("b.ffn1", OpKind::Gemm { m: bs * seq, n: 4 * hidden, k: hidden }),
+                    Workload::new(
+                        "b.proj",
+                        OpKind::Gemm {
+                            m: bs * seq,
+                            n: hidden,
+                            k: hidden,
+                        },
+                    ),
                     24,
                 ),
                 (
-                    Workload::new("b.ffn2", OpKind::Gemm { m: bs * seq, n: hidden, k: 4 * hidden }),
+                    Workload::new(
+                        "b.ffn1",
+                        OpKind::Gemm {
+                            m: bs * seq,
+                            n: 4 * hidden,
+                            k: hidden,
+                        },
+                    ),
+                    24,
+                ),
+                (
+                    Workload::new(
+                        "b.ffn2",
+                        OpKind::Gemm {
+                            m: bs * seq,
+                            n: hidden,
+                            k: 4 * hidden,
+                        },
+                    ),
                     24,
                 ),
             ]
@@ -359,7 +757,14 @@ mod tests {
     fn table9_matches_paper() {
         let g = table9_gemm();
         assert_eq!(g.len(), 5);
-        assert_eq!(g[2].kind, OpKind::Gemm { m: 32, n: 1000, k: 2048 });
+        assert_eq!(
+            g[2].kind,
+            OpKind::Gemm {
+                m: 32,
+                n: 1000,
+                k: 2048
+            }
+        );
         let c = table9_c2d();
         assert_eq!(c.len(), 5);
         match &c[3].kind {

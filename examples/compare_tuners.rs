@@ -13,12 +13,18 @@ fn main() {
     let spec = heron::dla::v100();
     let trials = 300;
     let cases = [
-        ("G2: 4096x4096x4096", heron::tensor::ops::gemm(4096, 4096, 4096)),
+        (
+            "G2: 4096x4096x4096",
+            heron::tensor::ops::gemm(4096, 4096, 4096),
+        ),
         ("G5: 32x1000x4096", heron::tensor::ops::gemm(32, 1000, 4096)),
     ];
     for (label, dag) in cases {
         println!("== {label} ({trials} trials each) ==");
-        println!("{:<10} {:>12} {:>10} {:>9} {:>9}", "approach", "Gops", "latency", "valid", "invalid");
+        println!(
+            "{:<10} {:>12} {:>10} {:>9} {:>9}",
+            "approach", "Gops", "latency", "valid", "invalid"
+        );
         for approach in Approach::all() {
             let o = tune(approach, &spec, &dag, label, trials, 7).expect("generates");
             println!(

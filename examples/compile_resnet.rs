@@ -26,7 +26,15 @@ fn main() {
     );
 
     let spec = heron::dla::v100();
-    let model = compile::compile(&g, &fused, &spec, &CompileOptions { trials: 120, seed: 42 });
+    let model = compile::compile(
+        &g,
+        &fused,
+        &spec,
+        &CompileOptions {
+            trials: 120,
+            seed: 42,
+        },
+    );
     println!(
         "\ntuned {} distinct workloads, {} layers served from the cache",
         model.tuned_workloads, model.cache_hits

@@ -58,7 +58,12 @@ fn main() {
         space.csp.num_constraints()
     );
 
-    let mut tuner = Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(200), 9);
+    let mut tuner = Tuner::new(
+        space,
+        Measurer::new(spec.clone()),
+        TuneConfig::quick(200),
+        9,
+    );
     let r = tuner.run();
     println!(
         "best: {:.1} Gops ({:.1}% of peak), invalid trials: {}",
@@ -67,8 +72,14 @@ fn main() {
         r.invalid_trials
     );
     if let Some(k) = &r.best_kernel {
-        let (m, n, kk) = k.tensorized_stage().and_then(|s| s.intrinsic).expect("tensorized");
+        let (m, n, kk) = k
+            .tensorized_stage()
+            .and_then(|s| s.intrinsic)
+            .expect("tensorized");
         println!("chosen intrinsic shape: ({m}, {n}, {kk})");
-        assert!(spec.allows_intrinsic(m, n, kk), "only legal shapes are explored");
+        assert!(
+            spec.allows_intrinsic(m, n, kk),
+            "only legal shapes are explored"
+        );
     }
 }

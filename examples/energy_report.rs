@@ -20,8 +20,12 @@ fn main() {
         let space = SpaceGenerator::new(spec.clone())
             .generate_named(&dag, &SpaceOptions::heron(), "gemm-1024")
             .expect("gemm is tensorizable everywhere");
-        let mut tuner =
-            Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(trials), 17);
+        let mut tuner = Tuner::new(
+            space,
+            Measurer::new(spec.clone()),
+            TuneConfig::quick(trials),
+            17,
+        );
         let result = tuner.run();
         let Some(kernel) = result.best_kernel else {
             println!("{:<10} no valid program", spec.name);

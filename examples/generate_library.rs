@@ -42,12 +42,17 @@ fn main() {
     // 3. Deploy: materialise a stored kernel without tuning and verify it
     //    still measures at the recorded speed.
     let (key, dag) = &workloads[0];
-    let kernel = loaded.materialize(key, dag, &spec).expect("stored config is valid");
+    let kernel = loaded
+        .materialize(key, dag, &spec)
+        .expect("stored config is valid");
     let measured = Measurer::new(spec).measure(&kernel).expect("runs");
     let stored = loaded.get(key).expect("present");
     println!(
         "deployed `{key}` from the library: stored {:.0} Gops, re-measured {:.0} Gops",
         stored.gflops, measured.gflops
     );
-    println!("\ngenerated kernel:\n{}", heron::sched::kernel_pseudo_code(&kernel));
+    println!(
+        "\ngenerated kernel:\n{}",
+        heron::sched::kernel_pseudo_code(&kernel)
+    );
 }

@@ -8,8 +8,7 @@
 
 use heron::core::explore::cga::offspring_csp;
 use heron::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use heron_rng::HeronRng;
 
 fn main() {
     let spec = heron::dla::v100();
@@ -39,10 +38,13 @@ fn main() {
     for (tag, n) in &census.constraints_by_type {
         println!("    {tag}: {n}");
     }
-    println!("  raw tunable cross-product: 10^{:.1} configurations", space.csp.tunable_space_log10());
+    println!(
+        "  raw tunable cross-product: 10^{:.1} configurations",
+        space.csp.tunable_space_log10()
+    );
 
     println!("\n== random valid configurations (RandSAT) ==");
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = HeronRng::from_seed(1);
     let sols = heron::csp::rand_sat(&space.csp, &mut rng, 3);
     let tunables = space.csp.tunables();
     for (i, sol) in sols.iter().enumerate() {

@@ -12,7 +12,10 @@ fn main() {
     let spec = heron::dla::v100();
     let trials = 200;
     let layers = heron::workloads::network("bert");
-    println!("BERT (batch 16) on simulated V100 — {} distinct layers", layers.len());
+    println!(
+        "BERT (batch 16) on simulated V100 — {} distinct layers",
+        layers.len()
+    );
     println!(
         "{:<12} {:>6} {:>14} {:>14} {:>12}",
         "layer", "count", "Heron (us)", "vendor (us)", "speedup"

@@ -11,7 +11,10 @@ use heron::prelude::*;
 fn main() {
     // A 1024^3 half-precision matrix multiply.
     let dag = heron::tensor::ops::gemm(1024, 1024, 1024);
-    println!("compute:\n{}", heron::tensor::program::naive_program(&dag).to_pseudo_code());
+    println!(
+        "compute:\n{}",
+        heron::tensor::program::naive_program(&dag).to_pseudo_code()
+    );
 
     // Stage 1: constrained space generation (paper Section 4).
     let spec = heron::dla::v100();
@@ -28,7 +31,12 @@ fn main() {
 
     // Stage 2: constrained space exploration with CGA (paper Section 5).
     let trials = 300;
-    let mut tuner = Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(trials), 42);
+    let mut tuner = Tuner::new(
+        space,
+        Measurer::new(spec.clone()),
+        TuneConfig::quick(trials),
+        42,
+    );
     let result = tuner.run();
 
     println!(

@@ -23,7 +23,10 @@ fn main() {
         .generate_named(&dag, &SpaceOptions::heron(), "c2d-vta")
         .expect("conv2d maps onto the GEMM unit via im2col");
 
-    println!("\nschedule template ({} primitives):", space.template.primitives.len());
+    println!(
+        "\nschedule template ({} primitives):",
+        space.template.primitives.len()
+    );
     for p in space.template.primitives.iter().take(12) {
         println!("  {p}");
     }
@@ -31,7 +34,12 @@ fn main() {
         println!("  … {} more", space.template.primitives.len() - 12);
     }
 
-    let mut tuner = Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(200), 3);
+    let mut tuner = Tuner::new(
+        space,
+        Measurer::new(spec.clone()),
+        TuneConfig::quick(200),
+        3,
+    );
     let r = tuner.run();
     println!(
         "\nbest: {:.2} Gops ({:.1}% of the {:.1}-Gops peak), latency {:.2} ms",

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the Heron reproduction (see ROADMAP.md).
+#
+# Everything runs --offline: the workspace must build from a clean checkout
+# with no registry access (DESIGN.md, "Zero-dependency & determinism
+# policy"). A registry dependency sneaking back into any Cargo.toml is a
+# build break on air-gapped machines, so we lint for it explicitly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== registry-dependency lint =="
+# Only path dependencies inside the workspace are allowed. In particular the
+# previously vendored external packages (the registry RNG crate, the property
+# -testing crate, the statistics bench harness) must not reappear.
+banned='^[[:space:]]*(rand|rand_[a-z0-9_]+|proptest|criterion)[[:space:]]*[=.]'
+if grep -rInE "$banned" --include=Cargo.toml .; then
+    echo "error: registry dependency found in a Cargo.toml (listed above)" >&2
+    echo "hint: use heron-rng / heron-testkit instead (DESIGN.md policy)" >&2
+    exit 1
+fi
+# Belt and braces: no Cargo.toml may name the banned packages at all.
+if grep -rIn --include=Cargo.toml -wE 'rand|proptest|criterion' .; then
+    echo "error: banned package name appears in a Cargo.toml (listed above)" >&2
+    exit 1
+fi
+echo "ok: no registry dependencies"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== offline release build (workspace) =="
+cargo build --release --offline --workspace
+
+echo "== offline tests (workspace) =="
+# NB: a bare `cargo test` from the root only tests the root package;
+# --workspace covers every crate, including heron-rng golden-stream tests
+# and the heron-testkit self-tests.
+cargo test -q --offline --workspace
+
+echo "verify.sh: all checks passed"

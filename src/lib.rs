@@ -70,6 +70,6 @@ pub mod prelude {
     pub use heron_core::tuner::{TuneConfig, TuneResult, Tuner};
     pub use heron_csp::{Csp, Domain, Solution, VarCategory};
     pub use heron_dla::{Measurement, Measurer};
-    pub use heron_tensor::{Dag, DType};
+    pub use heron_tensor::{DType, Dag};
     pub use heron_workloads::{operator_suite, Workload};
 }

@@ -12,15 +12,31 @@ fn pseudo_code_renders_for_every_platform() {
         let space = SpaceGenerator::new(spec.clone())
             .generate_named(&dag, &SpaceOptions::heron(), "cg")
             .expect("generates");
-        let mut tuner =
-            Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(24), 29);
+        let mut tuner = Tuner::new(
+            space,
+            Measurer::new(spec.clone()),
+            TuneConfig::quick(24),
+            29,
+        );
         let kernel = tuner.run().best_kernel.expect("kernel found");
         let code = kernel_pseudo_code(&kernel);
-        assert!(code.contains(&format!("for {}", spec.name).replace(&spec.name, "")) || code.contains("for ("));
-        assert_eq!(code.matches('{').count(), code.matches('}').count(), "{}", spec.name);
+        assert!(
+            code.contains(&format!("for {}", spec.name).replace(&spec.name, ""))
+                || code.contains("for (")
+        );
+        assert_eq!(
+            code.matches('{').count(),
+            code.matches('}').count(),
+            "{}",
+            spec.name
+        );
         assert!(code.contains("// kernel"));
         if kernel.tensorized_stage().is_some() {
-            assert!(code.contains("mma_sync_"), "{}: intrinsic not rendered", spec.name);
+            assert!(
+                code.contains("mma_sync_"),
+                "{}: intrinsic not rendered",
+                spec.name
+            );
         }
     }
 }
@@ -33,8 +49,12 @@ fn schedule_program_text_renders_from_generated_spaces() {
         .expect("generates");
     // The template records every primitive applied by the rules.
     assert!(space.template.primitives.len() >= 10);
-    let rendered: Vec<String> =
-        space.template.primitives.iter().map(|p| p.to_string()).collect();
+    let rendered: Vec<String> = space
+        .template
+        .primitives
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
     let all = rendered.join("\n");
     assert!(all.contains("tensorize"));
     assert!(all.contains("cache_read"));
@@ -54,7 +74,7 @@ fn csp_export_of_generated_space_roundtrips() {
     assert_eq!(back.num_vars(), space.csp.num_vars());
     assert_eq!(back.num_constraints(), space.csp.num_constraints());
     // Solutions of the original validate on the parsed copy and vice versa.
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(31);
+    let mut rng = heron_rng::HeronRng::from_seed(31);
     for sol in heron::csp::rand_sat(&space.csp, &mut rng, 4) {
         assert!(heron::csp::validate(&back, &sol));
     }
@@ -62,7 +82,9 @@ fn csp_export_of_generated_space_roundtrips() {
         assert!(heron::csp::validate(&space.csp, &sol));
     }
     // Solution text round trip against the parsed CSP.
-    let sol = heron::csp::rand_sat(&back, &mut rng, 1).pop().expect("solvable");
+    let sol = heron::csp::rand_sat(&back, &mut rng, 1)
+        .pop()
+        .expect("solvable");
     let stext = heron::csp::solution_to_text(&back, &sol);
     let sback = heron::csp::solution_from_text(&back, &stext).expect("parses");
     assert_eq!(sback, sol);

@@ -16,7 +16,11 @@ fn run(spec: heron::dla::DlaSpec, dag: heron::tensor::Dag, trials: usize, seed: 
 #[test]
 fn tensorcore_gemm_pipeline() {
     let r = run(heron::dla::v100(), ops::gemm(512, 512, 512), 48, 1);
-    assert!(r.best_gflops > 1000.0, "TC gemm should exceed 1 Tflops: {}", r.best_gflops);
+    assert!(
+        r.best_gflops > 1000.0,
+        "TC gemm should exceed 1 Tflops: {}",
+        r.best_gflops
+    );
     assert_eq!(r.invalid_trials, 0);
     assert!(r.best_kernel.is_some());
 }
@@ -28,17 +32,27 @@ fn tensorcore_conv2d_pipeline() {
     assert!(r.best_gflops > 1000.0);
     assert_eq!(r.invalid_trials, 0);
     let k = r.best_kernel.expect("kernel");
-    assert!(k.tensorized_stage().is_some(), "conv2d maps onto wmma via im2col");
+    assert!(
+        k.tensorized_stage().is_some(),
+        "conv2d maps onto wmma via im2col"
+    );
 }
 
 #[test]
 fn dlboost_gemm_pipeline() {
     let dag = ops::gemm_dtyped(512, 512, 512, DType::I8);
     let r = run(heron::dla::dlboost(), dag, 48, 3);
-    assert!(r.best_gflops > 100.0, "VNNI gemm too slow: {}", r.best_gflops);
+    assert!(
+        r.best_gflops > 100.0,
+        "VNNI gemm too slow: {}",
+        r.best_gflops
+    );
     assert_eq!(r.invalid_trials, 0);
     let k = r.best_kernel.expect("kernel");
-    assert_eq!(k.tensorized_stage().and_then(|s| s.intrinsic), Some((1, 16, 4)));
+    assert_eq!(
+        k.tensorized_stage().and_then(|s| s.intrinsic),
+        Some((1, 16, 4))
+    );
 }
 
 #[test]
@@ -50,7 +64,11 @@ fn vta_gemm_pipeline() {
     let k = r.best_kernel.expect("kernel");
     // The access-cycle rule holds on the best program.
     let comp = k.tensorized_stage().expect("tensorized");
-    assert!(comp.row_elems >= 2, "access-cycle rule violated: {}", comp.row_elems);
+    assert!(
+        comp.row_elems >= 2,
+        "access-cycle rule violated: {}",
+        comp.row_elems
+    );
 }
 
 #[test]
@@ -70,7 +88,7 @@ fn every_operator_suite_generates_on_v100() {
                 .generate_named(&dag, &SpaceOptions::heron(), &w.name)
                 .expect("v100 supports every operator");
             // Every space is satisfiable.
-            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+            let mut rng = heron_rng::HeronRng::from_seed(9);
             let sols = heron::csp::rand_sat(&space.csp, &mut rng, 1);
             assert!(!sols.is_empty(), "{op}/{} space unsatisfiable", w.name);
         }

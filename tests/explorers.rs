@@ -4,14 +4,11 @@
 
 use heron::core::explore::cga::{CgaConfig, CgaExplorer};
 use heron::core::explore::classic::{GaExplorer, RandomExplorer, SaExplorer};
-use heron::core::explore::variants::{
-    InfeasibilityDrivenGa, SatDecoderGa, StochasticRankingGa,
-};
+use heron::core::explore::variants::{InfeasibilityDrivenGa, SatDecoderGa, StochasticRankingGa};
 use heron::core::explore::Explorer;
 use heron::core::tuner::evaluate;
 use heron::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use heron_rng::HeronRng;
 
 fn space() -> GeneratedSpace {
     let dag = heron::tensor::ops::gemm(512, 512, 512);
@@ -23,10 +20,9 @@ fn space() -> GeneratedSpace {
 fn run(explorer: &mut dyn Explorer, steps: usize, seed: u64) -> Vec<f64> {
     let s = space();
     let measurer = Measurer::new(heron::dla::v100());
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut measure = |sol: &heron::csp::Solution| {
-        evaluate(&s, &measurer, sol).ok().map(|(_, m)| m.gflops)
-    };
+    let mut rng = HeronRng::from_seed(seed);
+    let mut measure =
+        |sol: &heron::csp::Solution| evaluate(&s, &measurer, sol).ok().map(|(_, m)| m.gflops);
     explorer.explore(&s, &mut measure, steps, &mut rng)
 }
 
@@ -65,7 +61,11 @@ fn every_explorer_finds_something_valid() {
     for explorer in &mut all_explorers() {
         let curve = run(explorer.as_mut(), 60, 6);
         let best = curve.last().copied().unwrap_or(0.0);
-        assert!(best > 0.0, "{} found no valid program in 60 trials", explorer.name());
+        assert!(
+            best > 0.0,
+            "{} found no valid program in 60 trials",
+            explorer.name()
+        );
     }
 }
 
@@ -74,9 +74,14 @@ fn cga_outperforms_sa_at_fixed_seed() {
     // The paper's Figure 12 ordering; SA gets stuck in the irregular space.
     let cga = run(&mut CgaExplorer::new(CgaConfig::default()), 120, 7);
     let sa = run(&mut SaExplorer::default(), 120, 7);
-    let (cga_best, sa_best) =
-        (cga.last().copied().unwrap_or(0.0), sa.last().copied().unwrap_or(0.0));
-    assert!(cga_best > sa_best, "CGA {cga_best} should beat SA {sa_best}");
+    let (cga_best, sa_best) = (
+        cga.last().copied().unwrap_or(0.0),
+        sa.last().copied().unwrap_or(0.0),
+    );
+    assert!(
+        cga_best > sa_best,
+        "CGA {cga_best} should beat SA {sa_best}"
+    );
 }
 
 #[test]
@@ -91,7 +96,7 @@ fn explorer_names_are_distinct() {
 fn sat_decoder_offspring_are_always_valid() {
     // GA-2's defining property: decoded phenotypes satisfy CSP_initial.
     let s = space();
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = HeronRng::from_seed(8);
     let parents = heron::csp::rand_sat(&s.csp, &mut rng, 2);
     for _ in 0..10 {
         let geno = heron::core::explore::classic::crossover_tunables(

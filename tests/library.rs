@@ -28,7 +28,9 @@ fn library_generation_across_platforms() {
         let kernel = loaded
             .materialize("gemm-512", &dag, &spec)
             .expect("stored config re-materialises");
-        let m = Measurer::new(spec.clone()).measure(&kernel).expect("still valid");
+        let m = Measurer::new(spec.clone())
+            .measure(&kernel)
+            .expect("still valid");
         let rel = (m.gflops - entry.gflops).abs() / entry.gflops;
         assert!(rel < 0.05, "{}: drift {rel}", spec.name);
     }
@@ -68,6 +70,8 @@ fn stale_library_entries_fail_gracefully_on_other_shapes() {
     let result = lib.materialize("g", &dag_small, &spec);
     if let Some(kernel) = result {
         // If it happens to fit, it must still be a valid kernel.
-        Measurer::new(spec).validate(&kernel).expect("fit implies valid");
+        Measurer::new(spec)
+            .validate(&kernel)
+            .expect("fit implies valid");
     }
 }

@@ -9,7 +9,12 @@ fn tuned_kernel(spec: &heron::dla::DlaSpec) -> heron::sched::Kernel {
     let space = SpaceGenerator::new(spec.clone())
         .generate_named(&dag, &SpaceOptions::heron(), "mc")
         .expect("generates");
-    let mut tuner = Tuner::new(space, Measurer::new(spec.clone()), TuneConfig::quick(32), 23);
+    let mut tuner = Tuner::new(
+        space,
+        Measurer::new(spec.clone()),
+        TuneConfig::quick(32),
+        23,
+    );
     tuner.run().best_kernel.expect("found a kernel")
 }
 
@@ -28,7 +33,11 @@ fn analysis_tracks_measurement_on_every_platform() {
         };
         let trend = a.total_cycles / clock_hz;
         let rel = (m.latency_s - trend).abs() / trend;
-        assert!(rel < 0.1, "{}: analysis drifts {rel} from measurement", spec.name);
+        assert!(
+            rel < 0.1,
+            "{}: analysis drifts {rel} from measurement",
+            spec.name
+        );
         // The report renders and names the bound.
         let text = a.to_string();
         assert!(text.contains("bound"));
@@ -43,7 +52,11 @@ fn energy_is_consistent_and_positive_everywhere() {
         let measurer = Measurer::new(spec.clone());
         let (m, e) = measurer.measure_with_energy(&kernel).expect("valid");
         assert!(e.total_j() > 0.0);
-        assert!(e.compute_j > 0.0, "{}: tuned GEMM must burn compute energy", spec.name);
+        assert!(
+            e.compute_j > 0.0,
+            "{}: tuned GEMM must burn compute energy",
+            spec.name
+        );
         assert!(e.offchip_j > 0.0, "{}: operands come from DRAM", spec.name);
         let eff = e.gops_per_watt(kernel.total_flops, m.latency_s);
         assert!(eff.is_finite() && eff > 0.0);

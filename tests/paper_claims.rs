@@ -74,7 +74,10 @@ fn heron_never_wastes_trials_but_amos_does() {
     let heron = tune(Approach::Heron, &spec, &dag, "g", TRIALS, 4).expect("ok");
     assert_eq!(heron.invalid_trials, 0);
     let amos = tune(Approach::Amos, &spec, &dag, "g", TRIALS, 4).expect("ok");
-    assert!(amos.invalid_trials > 0, "AMOS should hit register-pressure failures");
+    assert!(
+        amos.invalid_trials > 0,
+        "AMOS should hit register-pressure failures"
+    );
 }
 
 #[test]

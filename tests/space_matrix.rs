@@ -5,8 +5,7 @@
 use heron::prelude::*;
 use heron::sched::lower;
 use heron::tensor::ops;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use heron_rng::HeronRng;
 
 fn check_space(
     spec: &heron::dla::DlaSpec,
@@ -18,13 +17,16 @@ fn check_space(
     let Ok(space) = SpaceGenerator::new(spec.clone()).generate_named(dag, opts, label) else {
         panic!("{label}: generation failed");
     };
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = HeronRng::from_seed(11);
     let sols = heron::csp::rand_sat(&space.csp, &mut rng, 12);
     assert!(!sols.is_empty(), "{label}: space unsatisfiable");
     let measurer = Measurer::new(spec.clone());
     let mut valid = 0;
     for sol in &sols {
-        assert!(heron::csp::validate(&space.csp, sol), "{label}: solver returned non-solution");
+        assert!(
+            heron::csp::validate(&space.csp, sol),
+            "{label}: solver returned non-solution"
+        );
         let kernel = lower(&space.template, sol.fingerprint(), &|n| {
             sol.value_by_name(&space.csp, n)
         })
@@ -34,7 +36,11 @@ fn check_space(
         }
     }
     if expect_all_valid {
-        assert_eq!(valid, sols.len(), "{label}: Heron sample violated arch limits");
+        assert_eq!(
+            valid,
+            sols.len(),
+            "{label}: Heron sample violated arch limits"
+        );
     } else {
         assert!(valid > 0, "{label}: no runnable sample at all");
     }
@@ -54,7 +60,10 @@ fn v100_matrix() {
     let spec = heron::dla::v100();
     let dags = [
         ("gemm", ops::gemm(512, 512, 512)),
-        ("c2d", ops::conv2d(ops::Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 1, 1))),
+        (
+            "c2d",
+            ops::conv2d(ops::Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 1, 1)),
+        ),
         ("scan", ops::scan(16, 512)),
     ];
     for (op, dag) in &dags {
@@ -72,14 +81,19 @@ fn dlboost_matrix() {
         (
             "c2d",
             ops::conv2d(
-                ops::Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 1, 1)
-                    .with_dtype(DType::I8),
+                ops::Conv2dConfig::new(8, 28, 28, 128, 128, 3, 3, 1, 1).with_dtype(DType::I8),
             ),
         ),
     ];
     for (op, dag) in &dags {
         for (name, opts, all_valid) in approaches() {
-            check_space(&spec, &opts, dag, &format!("dlboost/{op}/{name}"), all_valid);
+            check_space(
+                &spec,
+                &opts,
+                dag,
+                &format!("dlboost/{op}/{name}"),
+                all_valid,
+            );
         }
     }
 }
@@ -110,7 +124,13 @@ fn flexible_intrinsic_platforms_generate() {
     // shape choice.
     let spec = heron::dla::cambricon();
     let dag = ops::gemm_dtyped(512, 512, 512, DType::I8);
-    check_space(&spec, &SpaceOptions::heron(), &dag, "cambricon/gemm/heron", true);
+    check_space(
+        &spec,
+        &SpaceOptions::heron(),
+        &dag,
+        "cambricon/gemm/heron",
+        true,
+    );
     let tpu = heron::dla::tpu();
     let big = ops::gemm_dtyped(1024, 1024, 1024, DType::I8);
     check_space(&tpu, &SpaceOptions::heron(), &big, "tpu/gemm/heron", true);
