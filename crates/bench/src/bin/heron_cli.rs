@@ -3,10 +3,17 @@
 //! ```text
 //! heron-cli platforms
 //! heron-cli tune    --dla v100 --op gemm --shape 1024x1024x1024 [--trials N] [--seed S] [--code]  (--code also prints the bottleneck analysis)
+//! heron-cli tune    ... [--fault-rate R] [--pause-at N --checkpoint F] [--resume F]
 //! heron-cli compare --dla v100 --op c2d  --shape 16x56x56x64x64x3x1x1 [--trials N]
 //! heron-cli census  --dla v100 --op gemm --shape 512x512x512
 //! heron-cli export  --dla v100 --op gemm --shape 512x512x512   # CSP_initial as text
 //! ```
+//!
+//! Fault tolerance: `--fault-rate 0.2` injects deterministic transient
+//! faults (timeouts, device hangs, RPC drops, noisy latencies) seeded by
+//! `--seed`; `--pause-at N` stops after ~N trials and writes a checkpoint;
+//! `--resume F` continues a checkpointed session and reproduces the
+//! uninterrupted run exactly.
 //!
 //! Shapes: `gemm MxNxK`, `bmm BxMxNxK`, `gemv MxKxB`, `scan BxL`,
 //! `c2d NxHxWxCIxCOxKxPxS`, `c1d NxLxCIxCOxKxPxS`, `c3d NxDxHWxCIxCOxKxPxS`.
@@ -40,7 +47,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code]");
+    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE]");
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -191,8 +198,97 @@ fn common(args: &[String]) -> Common {
     }
 }
 
+/// Direct-`Tuner` path for the resilience features: fault injection,
+/// pause-at-N checkpointing, and resume. (The plain path goes through the
+/// `heron_baselines::tune` facade, which has no session handle to pause.)
+fn tune_resilient(args: &[String], c: &Common) {
+    use heron_core::checkpoint::TuneCheckpoint;
+    use heron_core::tuner::Tuner;
+    use heron_dla::{FaultPlan, Measurer};
+
+    let dag = c.workload.build(c.spec.in_dtype);
+    let fault_rate: f64 = flag(args, "--fault-rate")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(0.0);
+    let plan = if fault_rate > 0.0 {
+        FaultPlan::uniform(c.seed, fault_rate)
+    } else {
+        FaultPlan::none(c.seed)
+    };
+    let config = heron_baselines::tune::heron_config(c.trials);
+    let space = match SpaceGenerator::new(c.spec.clone()).generate_named(
+        &dag,
+        &SpaceOptions::heron(),
+        &c.workload.name,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot generate: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut tuner = if let Some(path) = flag(args, "--resume") {
+        let ckpt = match TuneCheckpoint::load(&path) {
+            Ok(ck) => ck,
+            Err(e) => {
+                eprintln!("cannot load checkpoint `{path}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "resuming `{}` on {} from `{path}` ({} trials done)…",
+            ckpt.workload,
+            ckpt.dla,
+            ckpt.curve.len()
+        );
+        match Tuner::resume(space, Measurer::new(c.spec.clone()), config, plan, &ckpt) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot resume: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!(
+            "tuning `{}` on {} for {} trials (fault rate {:.0}%)…",
+            c.workload.name,
+            c.spec.name,
+            c.trials,
+            fault_rate * 100.0
+        );
+        Tuner::new(space, Measurer::new(c.spec.clone()), config, c.seed).with_faults(plan)
+    };
+
+    if let Some(pause_at) = flag(args, "--pause-at").and_then(|n| n.parse::<usize>().ok()) {
+        let finished = tuner.run_until(pause_at);
+        if !finished {
+            let path =
+                flag(args, "--checkpoint").unwrap_or_else(|| format!("{}.ckpt", c.workload.name));
+            if let Err(e) = tuner.checkpoint().save(&path) {
+                eprintln!("cannot write checkpoint `{path}`: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "paused after {} trials; checkpoint written to `{path}` (resume with --resume {path})",
+                tuner.trials_done()
+            );
+            return;
+        }
+        println!("session finished before trial {pause_at}; nothing to pause");
+    } else {
+        tuner.run();
+    }
+    print!("{}", tuner.result().report());
+}
+
 fn tune_cmd(args: &[String]) {
     let c = common(args);
+    if has_flag(args, "--fault-rate") || has_flag(args, "--pause-at") || has_flag(args, "--resume")
+    {
+        tune_resilient(args, &c);
+        return;
+    }
     let dag = c.workload.build(c.spec.in_dtype);
     println!(
         "tuning `{}` on {} for {} trials…",

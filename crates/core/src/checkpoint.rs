@@ -1,0 +1,598 @@
+//! Checkpoint/resume for tuning sessions.
+//!
+//! A [`TuneCheckpoint`] captures *everything* a [`crate::tuner::Tuner`]
+//! needs to continue an interrupted session bit-for-bit: the best program
+//! so far, the best-so-far curve, every measured fingerprint, the
+//! quarantine set, the cost-model sample log (replayed on resume), the
+//! survivor population, and — critically — the exact RNG stream position.
+//!
+//! The on-disk format is a line-oriented UTF-8 text format in the same
+//! `key = value` idiom as the [`crate::library`] format, versioned by a
+//! `heron-checkpoint v1` header. Floating-point values are serialised as
+//! the 16-hex-digit big-endian IEEE-754 bit pattern (via [`f64::to_bits`])
+//! so the roundtrip is *exact* — a resumed session must reproduce the
+//! uninterrupted one to the last bit, which decimal formatting cannot
+//! guarantee. A human-readable decimal rendering follows as a `#` comment
+//! and is ignored by the parser.
+//!
+//! ```text
+//! heron-checkpoint v1
+//! workload = gemm-256
+//! dla = nvidia-v100
+//! seed = 42
+//! rng = 0123456789abcdef ... (4 words)
+//! best_gflops = 40b3880000000000 # 5000
+//! curve = 40b3880000000000 ...
+//! sample = 40b3880000000000 4 16 2 ...
+//! survivor = 4 16 2 ...
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::tuner::{IterationStats, TuneTiming};
+
+/// Why loading or applying a checkpoint failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The checkpoint text is malformed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The checkpoint is internally valid but does not belong to the
+    /// session it was applied to (wrong workload, platform or solution
+    /// arity).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Parse { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+            CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A complete serialisable snapshot of a tuning session, exact at
+/// iteration boundaries. See the [module docs](self) for the format.
+#[derive(Debug, Clone)]
+pub struct TuneCheckpoint {
+    /// Workload name the session tunes (must match the space on resume).
+    pub workload: String,
+    /// Platform name the session targets (must match on resume).
+    pub dla: String,
+    /// The session seed (identifies the fork-stream family).
+    pub seed: u64,
+    /// Exact xoshiro256** state words of the main RNG stream.
+    pub rng_state: [u64; 4],
+    /// Consecutive stalled ε-greedy rounds at checkpoint time.
+    pub stall_rounds: usize,
+    /// Best observed throughput so far, Gops.
+    pub best_gflops: f64,
+    /// Latency of the best program, seconds (`inf` if none found yet).
+    pub best_latency_s: f64,
+    /// Raw variable values of the best solution, if any.
+    pub best_solution: Option<Vec<i64>>,
+    /// Best-so-far score after every trial.
+    pub curve: Vec<f64>,
+    /// Trials that produced a running program.
+    pub valid_trials: usize,
+    /// Trials rejected or quarantined.
+    pub invalid_trials: usize,
+    /// Trials that needed at least one transient-failure retry.
+    pub retried_trials: usize,
+    /// Total transient-failure retries across all trials.
+    pub total_retries: usize,
+    /// Trials that saw at least one measurement timeout.
+    pub timeout_trials: usize,
+    /// Error occurrences by class tag.
+    pub error_counts: BTreeMap<String, usize>,
+    /// Timing breakdown so far.
+    pub timing: TuneTiming,
+    /// Per-iteration statistics so far.
+    pub iterations: Vec<IterationStats>,
+    /// Fingerprints of every measured solution, ascending.
+    pub measured: Vec<u64>,
+    /// Fingerprints of every quarantined solution, ascending.
+    pub quarantined: Vec<u64>,
+    /// The cost-model training log in measurement order:
+    /// `(solution values, trained score)`.
+    pub samples: Vec<(Vec<i64>, f64)>,
+    /// Raw variable values of the survivor population.
+    pub survivors: Vec<Vec<i64>>,
+}
+
+const HEADER: &str = "heron-checkpoint v1";
+
+/// Exact f64 serialisation: 16 hex digits of the IEEE-754 bit pattern.
+fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_f64_hex(tok: &str, line: usize) -> Result<f64, CheckpointError> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError::Parse {
+            line,
+            message: format!("expected 16-hex-digit f64 bits, got `{tok}`"),
+        })
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, CheckpointError> {
+    tok.parse::<u64>().map_err(|_| CheckpointError::Parse {
+        line,
+        message: format!("expected unsigned integer, got `{tok}`"),
+    })
+}
+
+fn parse_usize(tok: &str, line: usize) -> Result<usize, CheckpointError> {
+    tok.parse::<usize>().map_err(|_| CheckpointError::Parse {
+        line,
+        message: format!("expected unsigned integer, got `{tok}`"),
+    })
+}
+
+fn parse_i64_list(toks: &str, line: usize) -> Result<Vec<i64>, CheckpointError> {
+    toks.split_whitespace()
+        .map(|t| {
+            t.parse::<i64>().map_err(|_| CheckpointError::Parse {
+                line,
+                message: format!("expected integer, got `{t}`"),
+            })
+        })
+        .collect()
+}
+
+impl TuneCheckpoint {
+    /// Serialises the checkpoint to its versioned text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "# tuning-session checkpoint; floats are IEEE-754 bits");
+        let _ = writeln!(out, "workload = {}", self.workload);
+        let _ = writeln!(out, "dla = {}", self.dla);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        let _ = writeln!(
+            out,
+            "rng = {:016x} {:016x} {:016x} {:016x}",
+            self.rng_state[0], self.rng_state[1], self.rng_state[2], self.rng_state[3]
+        );
+        let _ = writeln!(out, "stall_rounds = {}", self.stall_rounds);
+        let _ = writeln!(
+            out,
+            "best_gflops = {} # {}",
+            f64_hex(self.best_gflops),
+            self.best_gflops
+        );
+        let _ = writeln!(
+            out,
+            "best_latency_s = {} # {}",
+            f64_hex(self.best_latency_s),
+            self.best_latency_s
+        );
+        if let Some(values) = &self.best_solution {
+            let _ = writeln!(out, "best_solution = {}", join_i64(values));
+        }
+        let _ = writeln!(out, "valid_trials = {}", self.valid_trials);
+        let _ = writeln!(out, "invalid_trials = {}", self.invalid_trials);
+        let _ = writeln!(out, "retried_trials = {}", self.retried_trials);
+        let _ = writeln!(out, "total_retries = {}", self.total_retries);
+        let _ = writeln!(out, "timeout_trials = {}", self.timeout_trials);
+        for (tag, n) in &self.error_counts {
+            let _ = writeln!(out, "error.{tag} = {n}");
+        }
+        let _ = writeln!(out, "timing.cga_s = {}", f64_hex(self.timing.cga_s));
+        let _ = writeln!(out, "timing.sim_s = {}", f64_hex(self.timing.sim_s));
+        let _ = writeln!(out, "timing.model_s = {}", f64_hex(self.timing.model_s));
+        let _ = writeln!(
+            out,
+            "timing.hw_measure_s = {}",
+            f64_hex(self.timing.hw_measure_s)
+        );
+        if !self.curve.is_empty() {
+            let hex: Vec<String> = self.curve.iter().map(|&x| f64_hex(x)).collect();
+            let _ = writeln!(out, "curve = {}", hex.join(" "));
+        }
+        for it in &self.iterations {
+            let _ = writeln!(
+                out,
+                "iter = {} {} {} {} {} {}",
+                it.iteration,
+                it.trials_done,
+                f64_hex(it.best_gflops),
+                f64_hex(it.batch_mean_gflops),
+                u8::from(it.model_fitted),
+                it.population
+            );
+        }
+        if !self.measured.is_empty() {
+            let toks: Vec<String> = self.measured.iter().map(|fp| fp.to_string()).collect();
+            let _ = writeln!(out, "measured = {}", toks.join(" "));
+        }
+        if !self.quarantined.is_empty() {
+            let toks: Vec<String> = self.quarantined.iter().map(|fp| fp.to_string()).collect();
+            let _ = writeln!(out, "quarantined = {}", toks.join(" "));
+        }
+        for (values, score) in &self.samples {
+            let _ = writeln!(out, "sample = {} {}", f64_hex(*score), join_i64(values));
+        }
+        for values in &self.survivors {
+            let _ = writeln!(out, "survivor = {}", join_i64(values));
+        }
+        out
+    }
+
+    /// Parses a checkpoint from its text format.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Parse`] on a missing/incompatible header, an
+    /// unknown key, or a malformed value; the error carries the 1-based
+    /// line number.
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines().enumerate();
+        let header = loop {
+            match lines.next() {
+                Some((_, l)) if l.trim().is_empty() => continue,
+                Some((i, l)) => break (i, l.trim()),
+                None => {
+                    return Err(CheckpointError::Parse {
+                        line: 1,
+                        message: "empty checkpoint".into(),
+                    })
+                }
+            }
+        };
+        if header.1 != HEADER {
+            return Err(CheckpointError::Parse {
+                line: header.0 + 1,
+                message: format!("expected `{HEADER}` header, got `{}`", header.1),
+            });
+        }
+
+        let mut ck = TuneCheckpoint {
+            workload: String::new(),
+            dla: String::new(),
+            seed: 0,
+            rng_state: [0; 4],
+            stall_rounds: 0,
+            best_gflops: 0.0,
+            best_latency_s: f64::INFINITY,
+            best_solution: None,
+            curve: Vec::new(),
+            valid_trials: 0,
+            invalid_trials: 0,
+            retried_trials: 0,
+            total_retries: 0,
+            timeout_trials: 0,
+            error_counts: BTreeMap::new(),
+            timing: TuneTiming::default(),
+            iterations: Vec::new(),
+            measured: Vec::new(),
+            quarantined: Vec::new(),
+            samples: Vec::new(),
+            survivors: Vec::new(),
+        };
+        let mut seen_rng = false;
+
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            // Strip trailing comments; skip blank/comment-only lines.
+            let content = raw.split('#').next().unwrap_or("").trim();
+            if content.is_empty() {
+                continue;
+            }
+            let (key, value) = content
+                .split_once('=')
+                .ok_or_else(|| CheckpointError::Parse {
+                    line: line_no,
+                    message: format!("expected `key = value`, got `{content}`"),
+                })?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "workload" => ck.workload = value.to_string(),
+                "dla" => ck.dla = value.to_string(),
+                "seed" => ck.seed = parse_u64(value, line_no)?,
+                "rng" => {
+                    let words: Vec<&str> = value.split_whitespace().collect();
+                    if words.len() != 4 {
+                        return Err(CheckpointError::Parse {
+                            line: line_no,
+                            message: format!("rng needs 4 state words, got {}", words.len()),
+                        });
+                    }
+                    for (i, w) in words.iter().enumerate() {
+                        ck.rng_state[i] =
+                            u64::from_str_radix(w, 16).map_err(|_| CheckpointError::Parse {
+                                line: line_no,
+                                message: format!("bad rng state word `{w}`"),
+                            })?;
+                    }
+                    seen_rng = true;
+                }
+                "stall_rounds" => ck.stall_rounds = parse_usize(value, line_no)?,
+                "best_gflops" => ck.best_gflops = parse_f64_hex(value, line_no)?,
+                "best_latency_s" => ck.best_latency_s = parse_f64_hex(value, line_no)?,
+                "best_solution" => ck.best_solution = Some(parse_i64_list(value, line_no)?),
+                "valid_trials" => ck.valid_trials = parse_usize(value, line_no)?,
+                "invalid_trials" => ck.invalid_trials = parse_usize(value, line_no)?,
+                "retried_trials" => ck.retried_trials = parse_usize(value, line_no)?,
+                "total_retries" => ck.total_retries = parse_usize(value, line_no)?,
+                "timeout_trials" => ck.timeout_trials = parse_usize(value, line_no)?,
+                "timing.cga_s" => ck.timing.cga_s = parse_f64_hex(value, line_no)?,
+                "timing.sim_s" => ck.timing.sim_s = parse_f64_hex(value, line_no)?,
+                "timing.model_s" => ck.timing.model_s = parse_f64_hex(value, line_no)?,
+                "timing.hw_measure_s" => ck.timing.hw_measure_s = parse_f64_hex(value, line_no)?,
+                "curve" => {
+                    ck.curve = value
+                        .split_whitespace()
+                        .map(|t| parse_f64_hex(t, line_no))
+                        .collect::<Result<_, _>>()?;
+                }
+                "iter" => {
+                    let toks: Vec<&str> = value.split_whitespace().collect();
+                    if toks.len() != 6 {
+                        return Err(CheckpointError::Parse {
+                            line: line_no,
+                            message: format!("iter needs 6 fields, got {}", toks.len()),
+                        });
+                    }
+                    ck.iterations.push(IterationStats {
+                        iteration: parse_usize(toks[0], line_no)?,
+                        trials_done: parse_usize(toks[1], line_no)?,
+                        best_gflops: parse_f64_hex(toks[2], line_no)?,
+                        batch_mean_gflops: parse_f64_hex(toks[3], line_no)?,
+                        model_fitted: toks[4] == "1",
+                        population: parse_usize(toks[5], line_no)?,
+                    });
+                }
+                "measured" => {
+                    ck.measured = value
+                        .split_whitespace()
+                        .map(|t| parse_u64(t, line_no))
+                        .collect::<Result<_, _>>()?;
+                }
+                "quarantined" => {
+                    ck.quarantined = value
+                        .split_whitespace()
+                        .map(|t| parse_u64(t, line_no))
+                        .collect::<Result<_, _>>()?;
+                }
+                "sample" => {
+                    let mut toks = value.splitn(2, char::is_whitespace);
+                    let score = parse_f64_hex(toks.next().unwrap_or_default(), line_no)?;
+                    let values = parse_i64_list(toks.next().unwrap_or(""), line_no)?;
+                    ck.samples.push((values, score));
+                }
+                "survivor" => ck.survivors.push(parse_i64_list(value, line_no)?),
+                k if k.starts_with("error.") => {
+                    let tag = k.trim_start_matches("error.").to_string();
+                    ck.error_counts.insert(tag, parse_usize(value, line_no)?);
+                }
+                _ => {
+                    return Err(CheckpointError::Parse {
+                        line: line_no,
+                        message: format!("unknown key `{key}`"),
+                    });
+                }
+            }
+        }
+        if ck.workload.is_empty() || ck.dla.is_empty() || !seen_rng {
+            return Err(CheckpointError::Parse {
+                line: 1,
+                message: "checkpoint is missing workload, dla or rng state".into(),
+            });
+        }
+        Ok(ck)
+    }
+
+    /// Writes the checkpoint to `path` in text format.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] on filesystem failure,
+    /// [`CheckpointError::Parse`] on malformed content.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text)
+    }
+}
+
+fn join_i64(values: &[i64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> TuneCheckpoint {
+        let mut error_counts = BTreeMap::new();
+        error_counts.insert("timeout".to_string(), 3);
+        error_counts.insert("capacity".to_string(), 7);
+        TuneCheckpoint {
+            workload: "gemm-256".into(),
+            dla: "nvidia-v100".into(),
+            seed: 42,
+            rng_state: [
+                0x0123_4567_89ab_cdef,
+                0xfedc_ba98_7654_3210,
+                0xdead_beef_cafe_f00d,
+                0x0000_0000_0000_0001,
+            ],
+            stall_rounds: 2,
+            best_gflops: 1_234.567_890_123,
+            best_latency_s: 3.2e-5,
+            best_solution: Some(vec![4, 16, 2, -1, 8]),
+            curve: vec![0.0, 100.5, 100.5, 1_234.567_890_123],
+            valid_trials: 3,
+            invalid_trials: 1,
+            retried_trials: 2,
+            total_retries: 5,
+            timeout_trials: 1,
+            error_counts,
+            timing: TuneTiming {
+                cga_s: 0.25,
+                sim_s: 0.125,
+                model_s: 0.0625,
+                hw_measure_s: 17.75,
+            },
+            iterations: vec![IterationStats {
+                iteration: 0,
+                trials_done: 4,
+                best_gflops: 1_234.567_890_123,
+                batch_mean_gflops: 617.3,
+                model_fitted: true,
+                population: 32,
+            }],
+            measured: vec![11, 22, 33, 44],
+            quarantined: vec![22],
+            samples: vec![
+                (vec![4, 16, 2, -1, 8], 1_234.567_890_123),
+                (vec![2, 8, 4, 0, 16], 100.5),
+            ],
+            survivors: vec![vec![4, 16, 2, -1, 8], vec![2, 8, 4, 0, 16]],
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let ck = sample_checkpoint();
+        let text = ck.to_text();
+        let back = TuneCheckpoint::from_text(&text).expect("parses");
+        assert_eq!(back.workload, ck.workload);
+        assert_eq!(back.dla, ck.dla);
+        assert_eq!(back.seed, ck.seed);
+        assert_eq!(back.rng_state, ck.rng_state);
+        assert_eq!(back.stall_rounds, ck.stall_rounds);
+        assert_eq!(back.best_gflops.to_bits(), ck.best_gflops.to_bits());
+        assert_eq!(back.best_latency_s.to_bits(), ck.best_latency_s.to_bits());
+        assert_eq!(back.best_solution, ck.best_solution);
+        assert_eq!(back.curve.len(), ck.curve.len());
+        for (a, b) in back.curve.iter().zip(&ck.curve) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.valid_trials, ck.valid_trials);
+        assert_eq!(back.invalid_trials, ck.invalid_trials);
+        assert_eq!(back.retried_trials, ck.retried_trials);
+        assert_eq!(back.total_retries, ck.total_retries);
+        assert_eq!(back.timeout_trials, ck.timeout_trials);
+        assert_eq!(back.error_counts, ck.error_counts);
+        assert_eq!(back.timing.cga_s.to_bits(), ck.timing.cga_s.to_bits());
+        assert_eq!(
+            back.timing.hw_measure_s.to_bits(),
+            ck.timing.hw_measure_s.to_bits()
+        );
+        assert_eq!(back.iterations, ck.iterations);
+        assert_eq!(back.measured, ck.measured);
+        assert_eq!(back.quarantined, ck.quarantined);
+        assert_eq!(back.samples.len(), ck.samples.len());
+        for ((va, sa), (vb, sb)) in back.samples.iter().zip(&ck.samples) {
+            assert_eq!(va, vb);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        assert_eq!(back.survivors, ck.survivors);
+        // And re-serialising the parsed checkpoint is byte-identical.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn infinity_and_empty_session_roundtrip() {
+        let mut ck = sample_checkpoint();
+        ck.best_gflops = 0.0;
+        ck.best_latency_s = f64::INFINITY;
+        ck.best_solution = None;
+        ck.curve.clear();
+        ck.measured.clear();
+        ck.quarantined.clear();
+        ck.samples.clear();
+        ck.survivors.clear();
+        ck.iterations.clear();
+        ck.error_counts.clear();
+        let back = TuneCheckpoint::from_text(&ck.to_text()).expect("parses");
+        assert!(back.best_latency_s.is_infinite());
+        assert_eq!(back.best_solution, None);
+        assert!(back.curve.is_empty());
+        assert!(back.samples.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header_and_malformed_lines() {
+        let err = TuneCheckpoint::from_text("heron-library v1\n").expect_err("bad header");
+        assert!(matches!(err, CheckpointError::Parse { line: 1, .. }));
+
+        let text = format!("{HEADER}\nworkload = g\ndla = d\nrng = 1 2 3\n");
+        let err = TuneCheckpoint::from_text(&text).expect_err("3-word rng");
+        match err {
+            CheckpointError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("4 state words"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+
+        let text = format!("{HEADER}\nnonsense line without equals\n");
+        assert!(TuneCheckpoint::from_text(&text).is_err());
+
+        let text = format!("{HEADER}\nworkload = g\ndla = d\nfrobnicate = 1\n");
+        let err = TuneCheckpoint::from_text(&text).expect_err("unknown key");
+        assert!(err.to_string().contains("unknown key"));
+
+        // Missing rng state is rejected even if everything else parses.
+        let text = format!("{HEADER}\nworkload = g\ndla = d\n");
+        assert!(TuneCheckpoint::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let ck = sample_checkpoint();
+        let path = std::env::temp_dir().join(format!(
+            "heron-ckpt-test-{}-{}.txt",
+            std::process::id(),
+            ck.seed
+        ));
+        ck.save(&path).expect("saves");
+        let back = TuneCheckpoint::load(&path).expect("loads");
+        assert_eq!(back.to_text(), ck.to_text());
+        std::fs::remove_file(&path).ok();
+
+        let missing = TuneCheckpoint::load("/nonexistent/heron.ckpt");
+        assert!(matches!(missing, Err(CheckpointError::Io(_))));
+    }
+}

@@ -33,13 +33,15 @@
 //! println!("best: {:.3} Gops", best.best_gflops);
 //! ```
 
+pub mod checkpoint;
 pub mod explore;
 pub mod generate;
 pub mod library;
 pub mod model;
 pub mod tuner;
 
+pub use checkpoint::{CheckpointError, TuneCheckpoint};
 pub use generate::{GeneratedSpace, SpaceGenerator, SpaceOptions};
 pub use library::{KernelLibrary, LibraryEntry};
 pub use model::CostModel;
-pub use tuner::{TuneConfig, TuneResult, Tuner};
+pub use tuner::{EvalError, Termination, TuneConfig, TuneResult, Tuner};

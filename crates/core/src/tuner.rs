@@ -1,39 +1,130 @@
-//! The full Heron tuning session: Algorithm 2 with instrumentation.
+//! The full Heron tuning session: Algorithm 2 with instrumentation and a
+//! fault-tolerant measurement pipeline.
 //!
 //! Couples the generated space, the CGA evolutionary loop, the ε-greedy
 //! measurement selection, the DLA measurer, and the cost model. Records
 //! the best program found, the best-so-far curve, and a compilation-time
 //! breakdown (CGA / measurement / model-training) used to regenerate the
 //! paper's Table 10 and Figure 14.
+//!
+//! # Fault tolerance
+//!
+//! Real measurement infrastructure (the paper's V100/T4/A100 boards, DL
+//! Boost sockets, VTA FPGAs behind TVM RPC) times out, drops sessions and
+//! reports noisy latencies. The loop therefore:
+//!
+//! * takes each hardware number as the **median** of
+//!   [`TuneConfig::measure_repeats`] independent runs (outlier rejection);
+//! * **retries** transient failures ([`heron_dla::ErrorClass::Transient`])
+//!   with capped exponential backoff, charging both the fault cost and the
+//!   backoff wait to the simulated `hw_measure_s` clock;
+//! * **quarantines** (by solution fingerprint) any candidate that exhausts
+//!   [`TuneConfig::max_retries`], so a configuration that reliably hangs
+//!   the board cannot eat the session's measurement budget;
+//! * trains the cost model on failures with a **penalty score**
+//!   ([`TuneConfig::penalty_fraction`] of the current best) instead of a
+//!   raw `0.0`, which would drag predictions toward zero in fault-heavy
+//!   regimes;
+//! * runs in resumable **steps**: [`Tuner::checkpoint`] captures the whole
+//!   session (including RNG state) and [`Tuner::resume`] continues it so a
+//!   killed session reproduces the uninterrupted run bit-for-bit.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use heron_csp::{rand_sat_with_budget, Solution};
-use heron_dla::{MeasureError, Measurement, Measurer};
+use heron_dla::{FaultPlan, FaultyMeasurer, MeasureError, Measurement, Measurer};
 use heron_rng::HeronRng;
 use heron_rng::IndexedRandom;
-use heron_sched::{lower, Kernel};
+use heron_sched::{lower, Kernel, LowerError};
 
+use crate::checkpoint::{CheckpointError, TuneCheckpoint};
 use crate::explore::cga::{offspring_csp, CgaConfig};
 use crate::explore::{eps_greedy, roulette_wheel, Chromosome};
 use crate::generate::GeneratedSpace;
 use crate::model::CostModel;
 
+/// Fork-stream base for cost-model fitting: fit at iteration `i` draws
+/// from `rng.fork(FIT_STREAM + i)`, which depends only on `(seed, i)` —
+/// never on how many values the main stream has consumed — so a resumed
+/// session can refit the exact model of the interrupted one.
+const FIT_STREAM: u64 = 0x4649_5453_5452_4d00; // "FITSTRM\0"
+
+/// Why one evaluation failed: the template could not be lowered under the
+/// solution (a generator bug — but one bad template variable must not
+/// kill a 2,000-trial session) or the measurer rejected / failed the
+/// kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Lowering referenced an undefined variable.
+    Lower(LowerError),
+    /// The device rejected or failed the kernel.
+    Measure(MeasureError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Lower(e) => write!(f, "lowering failed: {e}"),
+            EvalError::Measure(e) => write!(f, "measurement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Lower(e) => Some(e),
+            EvalError::Measure(e) => Some(e),
+        }
+    }
+}
+
+impl From<LowerError> for EvalError {
+    fn from(e: LowerError) -> Self {
+        EvalError::Lower(e)
+    }
+}
+
+impl From<MeasureError> for EvalError {
+    fn from(e: MeasureError) -> Self {
+        EvalError::Measure(e)
+    }
+}
+
+impl EvalError {
+    /// Stable short tag for per-error-class accounting.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EvalError::Lower(_) => "lower",
+            EvalError::Measure(e) => e.tag(),
+        }
+    }
+
+    /// Whether a retry of the identical candidate can succeed.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EvalError::Lower(_) => false,
+            EvalError::Measure(e) => e.is_transient(),
+        }
+    }
+}
+
 /// Lowers and measures one solution.
 ///
 /// # Errors
-/// Propagates [`MeasureError`] for invalid programs; lowering failures are
-/// generator bugs and panic.
+/// Returns [`EvalError`] when lowering fails or the measurer rejects the
+/// kernel. Never panics: lowering failures are generator bugs, but they
+/// surface as errors so one bad template variable cannot kill a session.
 pub fn evaluate(
     space: &GeneratedSpace,
     measurer: &Measurer,
     sol: &Solution,
-) -> Result<(Kernel, Measurement), MeasureError> {
+) -> Result<(Kernel, Measurement), EvalError> {
     let csp = &space.csp;
     let kernel = lower(&space.template, sol.fingerprint(), &|name| {
         sol.value_by_name(csp, name)
-    })
-    .expect("generated templates reference only declared variables");
+    })?;
     let m = measurer.measure(&kernel)?;
     Ok((kernel, m))
 }
@@ -48,8 +139,28 @@ pub struct TuneConfig {
     /// Per-trial fixed overhead charged to the simulated wall clock
     /// (compilation + transfer on a real deployment), seconds.
     pub trial_overhead_s: f64,
-    /// Repeats per hardware measurement.
+    /// Repeats per hardware measurement; the trial latency is the
+    /// *median* of the repeats (outlier rejection for noisy boards).
     pub measure_repeats: u32,
+    /// Transient-failure retries per candidate before it is quarantined.
+    pub max_retries: u32,
+    /// First retry backoff, seconds (doubles per retry, charged to the
+    /// simulated measurement clock).
+    pub backoff_base_s: f64,
+    /// Backoff cap, seconds.
+    pub backoff_cap_s: f64,
+    /// Failed/quarantined trials train the cost model with
+    /// `penalty_fraction × best_gflops_so_far` instead of raw `0.0`
+    /// (which would drag predictions toward zero in fault-heavy regimes).
+    pub penalty_fraction: f64,
+    /// Space-exhaustion heuristic: after this many consecutive ε-greedy
+    /// rounds in which evolution produced no yet-unmeasured candidate,
+    /// the session concludes the reachable space is exhausted and stops
+    /// ([`Termination::SpaceExhausted`]). Small constrained spaces (e.g.
+    /// VTA conv layers) genuinely run dry long before the trial budget;
+    /// without this bail-out the loop would spin forever re-deriving
+    /// already-measured configurations.
+    pub max_stall_rounds: usize,
 }
 
 impl TuneConfig {
@@ -60,6 +171,11 @@ impl TuneConfig {
             cga: CgaConfig::default(),
             trial_overhead_s: 0.8,
             measure_repeats: 3,
+            max_retries: 3,
+            backoff_base_s: 0.5,
+            backoff_cap_s: 8.0,
+            penalty_fraction: 0.1,
+            max_stall_rounds: 16,
         }
     }
 
@@ -76,9 +192,35 @@ impl TuneConfig {
                 measure_batch: 8,
                 solver_budget: 300,
             },
-            trial_overhead_s: 0.8,
-            measure_repeats: 3,
+            ..TuneConfig::paper()
         }
+    }
+}
+
+/// Why a tuning session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The session is still in progress (only observable through
+    /// [`Tuner::result`] on a live session).
+    Running,
+    /// The full trial budget was spent.
+    TrialsExhausted,
+    /// Evolution stalled for [`TuneConfig::max_stall_rounds`] consecutive
+    /// rounds without producing an unmeasured candidate: the reachable
+    /// space is exhausted.
+    SpaceExhausted,
+    /// The constraint space admits no solution at all.
+    Infeasible,
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Termination::Running => "running",
+            Termination::TrialsExhausted => "trials-exhausted",
+            Termination::SpaceExhausted => "space-exhausted",
+            Termination::Infeasible => "infeasible",
+        })
     }
 }
 
@@ -91,9 +233,10 @@ pub struct TuneTiming {
     pub sim_s: f64,
     /// Real seconds spent fitting the cost model.
     pub model_s: f64,
-    /// *Simulated deployment* measurement wall clock: per-trial overhead
-    /// plus `latency × repeats` for every trial — what "hardware
-    /// measurement" would cost on the physical DLA.
+    /// *Simulated deployment* measurement wall clock: per-trial overhead,
+    /// per-run latencies, fault costs (timeout budgets, device resets,
+    /// RPC reconnects) and retry backoff — what "hardware measurement"
+    /// would cost on the physical DLA.
     pub hw_measure_s: f64,
 }
 
@@ -138,8 +281,29 @@ pub struct TuneResult {
     pub curve: Vec<f64>,
     /// Trials that produced a running program.
     pub valid_trials: usize,
-    /// Trials rejected by the measurer (compile/run errors).
+    /// Trials rejected by the measurer (compile/run errors) or
+    /// quarantined after exhausting their retries.
     pub invalid_trials: usize,
+    /// Trials that needed at least one transient-failure retry.
+    pub retried_trials: usize,
+    /// Total transient-failure retries across all trials.
+    pub total_retries: usize,
+    /// Candidates quarantined after exhausting
+    /// [`TuneConfig::max_retries`].
+    pub quarantined: usize,
+    /// Trials that experienced at least one measurement timeout.
+    pub timeout_trials: usize,
+    /// Error occurrences by class tag (`capacity`, `intrinsic`, `launch`,
+    /// `timeout`, `rpc-dropped`, …), counting every failed attempt
+    /// including retried ones.
+    pub error_counts: BTreeMap<String, usize>,
+    /// Why the session ended.
+    pub termination: Termination,
+    /// Pairwise rank accuracy of the final cost model on its training
+    /// samples (`None` if it never fitted) — the fidelity signal that
+    /// matters for ε-greedy selection, reported so fault-heavy sessions
+    /// can prove the penalty policy kept the model sane.
+    pub model_rank_accuracy: Option<f64>,
     /// Timing breakdown.
     pub timing: TuneTiming,
     /// Per-iteration statistics.
@@ -147,6 +311,27 @@ pub struct TuneResult {
 }
 
 impl TuneResult {
+    fn empty() -> Self {
+        TuneResult {
+            best_gflops: 0.0,
+            best_latency_s: f64::INFINITY,
+            best_solution: None,
+            best_kernel: None,
+            curve: Vec::new(),
+            valid_trials: 0,
+            invalid_trials: 0,
+            retried_trials: 0,
+            total_retries: 0,
+            quarantined: 0,
+            timeout_trials: 0,
+            error_counts: BTreeMap::new(),
+            termination: Termination::Running,
+            model_rank_accuracy: None,
+            timing: TuneTiming::default(),
+            iterations: Vec::new(),
+        }
+    }
+
     /// Multi-line human-readable session report.
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
@@ -160,6 +345,26 @@ impl TuneResult {
             self.best_gflops,
             self.best_latency_s * 1e6
         );
+        let _ = writeln!(
+            out,
+            "resilience: {} retried trials ({} retries), {} quarantined, {} timeout trials; termination: {}",
+            self.retried_trials,
+            self.total_retries,
+            self.quarantined,
+            self.timeout_trials,
+            self.termination
+        );
+        if !self.error_counts.is_empty() {
+            let classes: Vec<String> = self
+                .error_counts
+                .iter()
+                .map(|(tag, n)| format!("{tag}={n}"))
+                .collect();
+            let _ = writeln!(out, "errors: {}", classes.join(", "));
+        }
+        if let Some(acc) = self.model_rank_accuracy {
+            let _ = writeln!(out, "cost model rank accuracy: {acc:.3}");
+        }
         let _ = writeln!(
             out,
             "time: cga {:.2}s, simulator {:.2}s, model {:.2}s, simulated hw measurement {:.1}s",
@@ -185,25 +390,87 @@ impl TuneResult {
     }
 }
 
+/// The mutable mid-session state (everything a checkpoint captures,
+/// except the RNG which lives beside it on the [`Tuner`]).
+#[derive(Debug)]
+struct SessionState {
+    model: CostModel,
+    /// Every recorded `(solution values, score)` sample in measurement
+    /// order — the replay log that lets [`Tuner::resume`] rebuild the
+    /// cost model exactly.
+    samples: Vec<(Vec<i64>, f64)>,
+    result: TuneResult,
+    measured: BTreeSet<u64>,
+    quarantined: BTreeSet<u64>,
+    survivors: Vec<Chromosome>,
+    stall_rounds: usize,
+    finished: bool,
+}
+
+impl SessionState {
+    fn fresh(space: &GeneratedSpace) -> Self {
+        SessionState {
+            model: CostModel::new(&space.csp),
+            samples: Vec::new(),
+            result: TuneResult::empty(),
+            measured: BTreeSet::new(),
+            quarantined: BTreeSet::new(),
+            survivors: Vec::new(),
+            stall_rounds: 0,
+            finished: false,
+        }
+    }
+}
+
+/// Capped exponential backoff for retry `retry` (1-based), seconds.
+fn backoff_s(cfg: &TuneConfig, retry: u32) -> f64 {
+    (cfg.backoff_base_s * 2f64.powi(retry.saturating_sub(1).min(62) as i32)).min(cfg.backoff_cap_s)
+}
+
+/// Median of a slice (mean of the middle two for even lengths).
+fn median(xs: &mut [f64]) -> f64 {
+    debug_assert!(!xs.is_empty());
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
 /// A tuning session for one generated space.
 #[derive(Debug)]
 pub struct Tuner {
     space: GeneratedSpace,
-    measurer: Measurer,
+    measurer: FaultyMeasurer,
     config: TuneConfig,
     rng: HeronRng,
+    state: SessionState,
 }
 
 impl Tuner {
-    /// Creates a session.
+    /// Creates a session with a perfectly reliable (fault-free) device.
     pub fn new(space: GeneratedSpace, measurer: Measurer, config: TuneConfig, seed: u64) -> Self {
-        let measurer = measurer.with_protocol(config.measure_repeats, 0.01);
+        let measurer = FaultyMeasurer::new(
+            measurer.with_protocol(config.measure_repeats, 0.01),
+            FaultPlan::none(seed),
+        );
+        let state = SessionState::fresh(&space);
         Tuner {
             space,
             measurer,
             config,
             rng: HeronRng::from_seed(seed),
+            state,
         }
+    }
+
+    /// Replaces the fault-injection plan (builder style):
+    /// `Tuner::new(..).with_faults(FaultPlan::uniform(seed, 0.2))`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.measurer = FaultyMeasurer::new(self.measurer.inner().clone(), plan);
+        self
     }
 
     /// The tuned space.
@@ -211,164 +478,454 @@ impl Tuner {
         &self.space
     }
 
+    /// Trials measured so far.
+    pub fn trials_done(&self) -> usize {
+        self.state.result.curve.len()
+    }
+
+    /// Whether the session has terminated.
+    pub fn is_finished(&self) -> bool {
+        self.state.finished
+    }
+
+    /// A snapshot of the session result so far (termination is
+    /// [`Termination::Running`] until the session ends).
+    pub fn result(&self) -> TuneResult {
+        self.state.result.clone()
+    }
+
     /// Runs Algorithm 2 to completion.
     pub fn run(&mut self) -> TuneResult {
+        while self.step() {}
+        self.state.result.clone()
+    }
+
+    /// Runs until at least `trials_done` trials have been measured (or
+    /// the session terminates first); returns whether the session is
+    /// finished. Because the loop advances in whole ε-greedy iterations,
+    /// the session stops at the first iteration boundary at or past the
+    /// requested count — the granularity at which [`Tuner::checkpoint`]
+    /// is exact.
+    pub fn run_until(&mut self, trials_done: usize) -> bool {
+        while !self.state.finished && self.state.result.curve.len() < trials_done {
+            if !self.step() {
+                break;
+            }
+        }
+        self.state.finished
+    }
+
+    fn finish(&mut self, termination: Termination) {
+        self.state.result.termination = termination;
+        self.state.result.model_rank_accuracy = self.state.model.rank_accuracy();
+        self.state.finished = true;
+    }
+
+    /// One Algorithm-2 iteration: (re)populate, evolve on CSPs, ε-greedy
+    /// measure one batch with retries/quarantine, refit the model.
+    /// Returns `false` once the session has terminated.
+    pub fn step(&mut self) -> bool {
+        if self.state.finished {
+            return false;
+        }
         let cfg = self.config;
-        let mut model = CostModel::new(&self.space.csp);
-        let mut result = TuneResult {
-            best_gflops: 0.0,
-            best_latency_s: f64::INFINITY,
-            best_solution: None,
-            best_kernel: None,
-            curve: Vec::with_capacity(cfg.trials),
-            valid_trials: 0,
-            invalid_trials: 0,
-            timing: TuneTiming::default(),
-            iterations: Vec::new(),
-        };
-        let mut measured: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        let mut survivors: Vec<Chromosome> = Vec::new();
-        let mut stall_rounds = 0usize;
+        if self.state.result.curve.len() >= cfg.trials {
+            self.finish(Termination::TrialsExhausted);
+            return false;
+        }
 
-        while result.curve.len() < cfg.trials {
-            // ---- Step 1: first generation --------------------------------
-            let t = Instant::now();
-            let need = cfg.cga.population.saturating_sub(survivors.len());
-            let fresh =
-                rand_sat_with_budget(&self.space.csp, &mut self.rng, need, cfg.cga.solver_budget);
-            let mut pop: Vec<Chromosome> = survivors.clone();
-            pop.extend(fresh.into_iter().map(|solution| Chromosome {
-                fitness: model.predict(&solution),
-                solution,
-            }));
-            if pop.is_empty() {
-                break; // the space is infeasible
-            }
+        // ---- Step 1: first generation --------------------------------
+        let t = Instant::now();
+        let need = cfg
+            .cga
+            .population
+            .saturating_sub(self.state.survivors.len());
+        let fresh =
+            rand_sat_with_budget(&self.space.csp, &mut self.rng, need, cfg.cga.solver_budget);
+        let mut pop: Vec<Chromosome> = self.state.survivors.clone();
+        pop.extend(fresh.into_iter().map(|solution| Chromosome {
+            fitness: self.state.model.predict(&solution),
+            solution,
+        }));
+        if pop.is_empty() {
+            self.finish(Termination::Infeasible);
+            return false;
+        }
 
-            // ---- Step 2: evolve on CSPs -----------------------------------
-            for _ in 0..cfg.cga.generations {
-                let parents =
-                    roulette_wheel(&pop, pop.len().min(cfg.cga.population), &mut self.rng);
-                let key_vars = if model.is_fitted() {
-                    model.key_variables(cfg.cga.key_vars)
-                } else {
-                    let tunables = self.space.csp.tunables();
-                    let mut keys = Vec::new();
-                    for _ in 0..cfg.cga.key_vars.min(tunables.len()) {
-                        if let Some(&v) = tunables.as_slice().choose(&mut self.rng) {
-                            keys.push(v);
-                        }
-                    }
-                    keys.sort_unstable();
-                    keys.dedup();
-                    keys
-                };
-                let mut children = Vec::with_capacity(cfg.cga.offspring);
-                for _ in 0..cfg.cga.offspring {
-                    let &i1 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
-                    let &i2 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
-                    let csp = offspring_csp(
-                        &self.space.csp,
-                        &key_vars,
-                        &pop[i1].solution,
-                        &pop[i2].solution,
-                        &mut self.rng,
-                    );
-                    if let Some(sol) =
-                        rand_sat_with_budget(&csp, &mut self.rng, 1, cfg.cga.solver_budget).pop()
-                    {
-                        children.push(Chromosome {
-                            fitness: model.predict(&sol),
-                            solution: sol,
-                        });
+        // ---- Step 2: evolve on CSPs -----------------------------------
+        for _ in 0..cfg.cga.generations {
+            let parents = roulette_wheel(&pop, pop.len().min(cfg.cga.population), &mut self.rng);
+            let key_vars = if self.state.model.is_fitted() {
+                self.state.model.key_variables(cfg.cga.key_vars)
+            } else {
+                let tunables = self.space.csp.tunables();
+                let mut keys = Vec::new();
+                for _ in 0..cfg.cga.key_vars.min(tunables.len()) {
+                    if let Some(&v) = tunables.as_slice().choose(&mut self.rng) {
+                        keys.push(v);
                     }
                 }
-                pop.extend(children);
-                pop.sort_by(|a, b| {
-                    b.fitness
-                        .partial_cmp(&a.fitness)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                pop.truncate(cfg.cga.population * 2);
-            }
-            result.timing.cga_s += t.elapsed().as_secs_f64();
-
-            // ---- Step 3: ε-greedy measurement -----------------------------
-            let unmeasured: Vec<&Chromosome> = pop
-                .iter()
-                .filter(|c| !measured.contains(&c.solution.fingerprint()))
-                .collect();
-            if unmeasured.is_empty() {
-                stall_rounds += 1;
-                survivors.clear();
-                if stall_rounds > 16 {
-                    break; // space exhausted
+                keys.sort_unstable();
+                keys.dedup();
+                keys
+            };
+            let mut children = Vec::with_capacity(cfg.cga.offspring);
+            for _ in 0..cfg.cga.offspring {
+                let &i1 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
+                let &i2 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
+                let csp = offspring_csp(
+                    &self.space.csp,
+                    &key_vars,
+                    &pop[i1].solution,
+                    &pop[i2].solution,
+                    &mut self.rng,
+                );
+                if let Some(sol) =
+                    rand_sat_with_budget(&csp, &mut self.rng, 1, cfg.cga.solver_budget).pop()
+                {
+                    children.push(Chromosome {
+                        fitness: self.state.model.predict(&sol),
+                        solution: sol,
+                    });
                 }
-                continue;
             }
-            stall_rounds = 0;
-            let predicted: Vec<f64> = unmeasured.iter().map(|c| c.fitness).collect();
-            let budget = cfg.cga.measure_batch.min(cfg.trials - result.curve.len());
-            let picks = eps_greedy(&predicted, budget, cfg.cga.eps, &mut self.rng);
-            let chosen: Vec<Solution> = picks
-                .iter()
-                .map(|&i| unmeasured[i].solution.clone())
-                .collect();
-            let mut batch_scores: Vec<f64> = Vec::with_capacity(chosen.len());
-            let population = pop.len();
-            for sol in chosen {
-                measured.insert(sol.fingerprint());
-                let t = Instant::now();
-                let outcome = evaluate(&self.space, &self.measurer, &sol);
-                result.timing.sim_s += t.elapsed().as_secs_f64();
-                result.timing.hw_measure_s += cfg.trial_overhead_s;
-                let score = match outcome {
-                    Ok((kernel, m)) => {
-                        result.valid_trials += 1;
-                        result.timing.hw_measure_s += m.latency_s * f64::from(cfg.measure_repeats);
-                        if m.gflops > result.best_gflops {
-                            result.best_gflops = m.gflops;
-                            result.best_latency_s = m.latency_s;
-                            result.best_solution = Some(sol.clone());
-                            result.best_kernel = Some(kernel);
-                        }
-                        m.gflops
-                    }
-                    Err(_) => {
-                        result.invalid_trials += 1;
-                        0.0
-                    }
-                };
-                let prev = result.curve.last().copied().unwrap_or(0.0);
-                result.curve.push(prev.max(score));
-                batch_scores.push(score);
-                model.add_sample(&sol, score);
-            }
-
-            // ---- Step 4: update the cost model -----------------------------
-            let t = Instant::now();
-            model.fit(&mut self.rng);
-            result.timing.model_s += t.elapsed().as_secs_f64();
-            result.iterations.push(IterationStats {
-                iteration: result.iterations.len(),
-                trials_done: result.curve.len(),
-                best_gflops: result.best_gflops,
-                batch_mean_gflops: batch_scores.iter().sum::<f64>()
-                    / batch_scores.len().max(1) as f64,
-                model_fitted: model.is_fitted(),
-                population,
-            });
-            for c in &mut pop {
-                c.fitness = model.predict(&c.solution);
-            }
+            pop.extend(children);
             pop.sort_by(|a, b| {
                 b.fitness
                     .partial_cmp(&a.fitness)
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
-            survivors = pop.into_iter().take(cfg.cga.population / 2).collect();
+            pop.truncate(cfg.cga.population * 2);
         }
-        result
+        self.state.result.timing.cga_s += t.elapsed().as_secs_f64();
+
+        // ---- Step 3: ε-greedy measurement -----------------------------
+        let unmeasured: Vec<&Chromosome> = pop
+            .iter()
+            .filter(|c| !self.state.measured.contains(&c.solution.fingerprint()))
+            .collect();
+        if unmeasured.is_empty() {
+            self.state.stall_rounds += 1;
+            self.state.survivors.clear();
+            if self.state.stall_rounds > cfg.max_stall_rounds {
+                self.finish(Termination::SpaceExhausted);
+                return false;
+            }
+            return true;
+        }
+        self.state.stall_rounds = 0;
+        let predicted: Vec<f64> = unmeasured.iter().map(|c| c.fitness).collect();
+        let budget = cfg
+            .cga
+            .measure_batch
+            .min(cfg.trials - self.state.result.curve.len());
+        let picks = eps_greedy(&predicted, budget, cfg.cga.eps, &mut self.rng);
+        let chosen: Vec<Solution> = picks
+            .iter()
+            .map(|&i| unmeasured[i].solution.clone())
+            .collect();
+        let mut batch_scores: Vec<f64> = Vec::with_capacity(chosen.len());
+        let population = pop.len();
+        for sol in chosen {
+            self.state.measured.insert(sol.fingerprint());
+            let score = self.measure_trial(&sol);
+            batch_scores.push(score);
+        }
+
+        // ---- Step 4: update the cost model -----------------------------
+        let t = Instant::now();
+        let iter_index = self.state.result.iterations.len() as u64;
+        let mut fit_rng = self.rng.fork(FIT_STREAM.wrapping_add(iter_index));
+        self.state.model.fit(&mut fit_rng);
+        self.state.result.timing.model_s += t.elapsed().as_secs_f64();
+        self.state.result.iterations.push(IterationStats {
+            iteration: iter_index as usize,
+            trials_done: self.state.result.curve.len(),
+            best_gflops: self.state.result.best_gflops,
+            batch_mean_gflops: batch_scores.iter().sum::<f64>() / batch_scores.len().max(1) as f64,
+            model_fitted: self.state.model.is_fitted(),
+            population,
+        });
+        for c in &mut pop {
+            c.fitness = self.state.model.predict(&c.solution);
+        }
+        pop.sort_by(|a, b| {
+            b.fitness
+                .partial_cmp(&a.fitness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.state.survivors = pop.into_iter().take(cfg.cga.population / 2).collect();
+
+        if self.state.result.curve.len() >= cfg.trials {
+            self.finish(Termination::TrialsExhausted);
+            return false;
+        }
+        true
+    }
+
+    /// Measures one candidate with the full resilience protocol
+    /// (median-of-repeats, transient retries with backoff, quarantine)
+    /// and records the trial in the session result and the cost model.
+    /// Returns the score the trial was trained with.
+    fn measure_trial(&mut self, sol: &Solution) -> f64 {
+        let cfg = self.config;
+        let t = Instant::now();
+        let csp = &self.space.csp;
+        let lowered = lower(&self.space.template, sol.fingerprint(), &|name| {
+            sol.value_by_name(csp, name)
+        });
+
+        let mut retries: u32 = 0;
+        let mut saw_timeout = false;
+        let mut quarantine = false;
+        let res = &mut self.state.result;
+        res.timing.hw_measure_s += cfg.trial_overhead_s;
+
+        let outcome: Result<(Kernel, Measurement), EvalError> = match lowered {
+            Err(e) => Err(EvalError::Lower(e)),
+            Ok(kernel) => {
+                let repeats = cfg.measure_repeats.max(1) as usize;
+                let mut runs: Vec<f64> = Vec::with_capacity(repeats);
+                let mut attempt: u32 = 0;
+                let mut fail: Option<MeasureError> = None;
+                while runs.len() < repeats {
+                    match self.measurer.measure_attempt(&kernel, attempt) {
+                        Ok(m) => {
+                            res.timing.hw_measure_s += m.latency_s;
+                            runs.push(m.latency_s);
+                        }
+                        Err(e) if e.is_transient() => {
+                            *res.error_counts.entry(e.tag().to_string()).or_insert(0) += 1;
+                            if matches!(e, MeasureError::Timeout { .. }) {
+                                saw_timeout = true;
+                            }
+                            retries += 1;
+                            res.timing.hw_measure_s +=
+                                self.measurer.fault_cost_s(&e) + backoff_s(&cfg, retries);
+                            if retries > cfg.max_retries {
+                                quarantine = true;
+                                fail = Some(e);
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            *res.error_counts.entry(e.tag().to_string()).or_insert(0) += 1;
+                            fail = Some(e);
+                            break;
+                        }
+                    }
+                    attempt += 1;
+                }
+                match fail {
+                    Some(e) => Err(EvalError::Measure(e)),
+                    None => {
+                        let latency_s = median(&mut runs);
+                        let m = Measurement {
+                            latency_s,
+                            gflops: kernel.total_flops as f64 / latency_s / 1e9,
+                        };
+                        Ok((kernel, m))
+                    }
+                }
+            }
+        };
+
+        if retries > 0 {
+            res.retried_trials += 1;
+            res.total_retries += retries as usize;
+        }
+        if saw_timeout {
+            res.timeout_trials += 1;
+        }
+        let score = match outcome {
+            Ok((kernel, m)) => {
+                res.valid_trials += 1;
+                if m.gflops > res.best_gflops {
+                    res.best_gflops = m.gflops;
+                    res.best_latency_s = m.latency_s;
+                    res.best_solution = Some(sol.clone());
+                    res.best_kernel = Some(kernel);
+                }
+                m.gflops
+            }
+            Err(e) => {
+                if let EvalError::Lower(_) = e {
+                    *res.error_counts.entry(e.tag().to_string()).or_insert(0) += 1;
+                }
+                res.invalid_trials += 1;
+                if quarantine {
+                    self.state.quarantined.insert(sol.fingerprint());
+                    res.quarantined = self.state.quarantined.len();
+                }
+                // Penalty policy: teach the model "bad", not "zero".
+                res.best_gflops * cfg.penalty_fraction
+            }
+        };
+        res.timing.sim_s += t.elapsed().as_secs_f64();
+        let prev = res.curve.last().copied().unwrap_or(0.0);
+        res.curve.push(prev.max(score));
+        self.state.model.add_sample(sol, score);
+        self.state.samples.push((sol.values().to_vec(), score));
+        score
+    }
+
+    /// Captures the complete session state — result so far, measured and
+    /// quarantined fingerprints, cost-model samples, survivor population
+    /// and the exact RNG stream position — as a serialisable
+    /// [`TuneCheckpoint`]. Exact at iteration boundaries (which is where
+    /// [`Tuner::run_until`] stops).
+    pub fn checkpoint(&self) -> TuneCheckpoint {
+        let r = &self.state.result;
+        TuneCheckpoint {
+            workload: self.space.workload.clone(),
+            dla: self.space.dla.name.clone(),
+            seed: self.rng.seed(),
+            rng_state: self.rng.state_words(),
+            stall_rounds: self.state.stall_rounds,
+            best_gflops: r.best_gflops,
+            best_latency_s: r.best_latency_s,
+            best_solution: r.best_solution.as_ref().map(|s| s.values().to_vec()),
+            curve: r.curve.clone(),
+            valid_trials: r.valid_trials,
+            invalid_trials: r.invalid_trials,
+            retried_trials: r.retried_trials,
+            total_retries: r.total_retries,
+            timeout_trials: r.timeout_trials,
+            error_counts: r.error_counts.clone(),
+            timing: r.timing,
+            iterations: r.iterations.clone(),
+            measured: self.state.measured.iter().copied().collect(),
+            quarantined: self.state.quarantined.iter().copied().collect(),
+            samples: self.state.samples.clone(),
+            survivors: self
+                .state
+                .survivors
+                .iter()
+                .map(|c| c.solution.values().to_vec())
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a session from a checkpoint so that continuing it
+    /// produces *exactly* what the uninterrupted run would have: the RNG
+    /// resumes at its saved stream position, the cost model is refitted
+    /// from the replayed samples with the same fork stream it was
+    /// originally fitted with, and survivor fitness is re-derived from
+    /// that model.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Mismatch`] when the checkpoint does not belong
+    /// to this `(space, platform)` pair or its solutions have the wrong
+    /// arity.
+    pub fn resume(
+        space: GeneratedSpace,
+        measurer: Measurer,
+        config: TuneConfig,
+        plan: FaultPlan,
+        ckpt: &TuneCheckpoint,
+    ) -> Result<Tuner, CheckpointError> {
+        if ckpt.workload != space.workload {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is for workload `{}`, space is `{}`",
+                ckpt.workload, space.workload
+            )));
+        }
+        if ckpt.dla != space.dla.name {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is for platform `{}`, space targets `{}`",
+                ckpt.dla, space.dla.name
+            )));
+        }
+        let num_vars = space.csp.num_vars();
+        let arity_check = |values: &Vec<i64>, what: &str| -> Result<(), CheckpointError> {
+            if values.len() == num_vars {
+                Ok(())
+            } else {
+                Err(CheckpointError::Mismatch(format!(
+                    "{} has {} variables, space has {}",
+                    what,
+                    values.len(),
+                    num_vars
+                )))
+            }
+        };
+
+        let rng = HeronRng::restore(ckpt.seed, ckpt.rng_state);
+
+        // Replay the sample log into a fresh model and refit it with the
+        // same fork stream the interrupted session last used.
+        let mut model = CostModel::new(&space.csp);
+        for (values, score) in &ckpt.samples {
+            arity_check(values, "a recorded sample")?;
+            model.add_sample(&Solution::new(values.clone()), *score);
+        }
+        if let Some(last_iter) = ckpt.iterations.len().checked_sub(1) {
+            let mut fit_rng = rng.fork(FIT_STREAM.wrapping_add(last_iter as u64));
+            model.fit(&mut fit_rng);
+        }
+
+        let mut survivors = Vec::with_capacity(ckpt.survivors.len());
+        for values in &ckpt.survivors {
+            arity_check(values, "a survivor solution")?;
+            let solution = Solution::new(values.clone());
+            survivors.push(Chromosome {
+                fitness: model.predict(&solution),
+                solution,
+            });
+        }
+
+        let best_solution = match &ckpt.best_solution {
+            Some(values) => {
+                arity_check(values, "the best solution")?;
+                Some(Solution::new(values.clone()))
+            }
+            None => None,
+        };
+        let best_kernel = best_solution.as_ref().and_then(|sol| {
+            lower(&space.template, sol.fingerprint(), &|name| {
+                sol.value_by_name(&space.csp, name)
+            })
+            .ok()
+        });
+
+        let result = TuneResult {
+            best_gflops: ckpt.best_gflops,
+            best_latency_s: ckpt.best_latency_s,
+            best_solution,
+            best_kernel,
+            curve: ckpt.curve.clone(),
+            valid_trials: ckpt.valid_trials,
+            invalid_trials: ckpt.invalid_trials,
+            retried_trials: ckpt.retried_trials,
+            total_retries: ckpt.total_retries,
+            quarantined: ckpt.quarantined.len(),
+            timeout_trials: ckpt.timeout_trials,
+            error_counts: ckpt.error_counts.clone(),
+            termination: Termination::Running,
+            model_rank_accuracy: None,
+            timing: ckpt.timing,
+            iterations: ckpt.iterations.clone(),
+        };
+
+        let state = SessionState {
+            model,
+            samples: ckpt.samples.clone(),
+            result,
+            measured: ckpt.measured.iter().copied().collect(),
+            quarantined: ckpt.quarantined.iter().copied().collect(),
+            survivors,
+            stall_rounds: ckpt.stall_rounds,
+            finished: false,
+        };
+        let measurer =
+            FaultyMeasurer::new(measurer.with_protocol(config.measure_repeats, 0.01), plan);
+        Ok(Tuner {
+            space,
+            measurer,
+            config,
+            rng,
+            state,
+        })
     }
 }
 
@@ -376,15 +933,19 @@ impl Tuner {
 mod tests {
     use super::*;
     use crate::generate::{SpaceGenerator, SpaceOptions};
-    use heron_dla::v100;
+    use heron_dla::{v100, vta};
     use heron_tensor::ops;
+
+    fn gemm_space(n: i64, name: &str) -> GeneratedSpace {
+        let dag = ops::gemm(n, n, n);
+        SpaceGenerator::new(v100())
+            .generate_named(&dag, &SpaceOptions::heron(), name)
+            .expect("generates")
+    }
 
     #[test]
     fn tuner_finds_valid_programs_and_improves() {
-        let dag = ops::gemm(256, 256, 256);
-        let space = SpaceGenerator::new(v100())
-            .generate_named(&dag, &SpaceOptions::heron(), "gemm-256")
-            .expect("generates");
+        let space = gemm_space(256, "gemm-256");
         let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(48), 7);
         let result = tuner.run();
         assert!(result.best_gflops > 0.0, "no valid program found");
@@ -406,5 +967,115 @@ mod tests {
         );
         assert!(result.best_kernel.is_some());
         assert!(result.timing.total_s() > 0.0);
+        // A fault-free session retries and quarantines nothing.
+        assert_eq!(result.retried_trials, 0);
+        assert_eq!(result.quarantined, 0);
+        assert_eq!(result.timeout_trials, 0);
+        assert!(result.error_counts.is_empty());
+        assert_eq!(result.termination, Termination::TrialsExhausted);
+        let report = result.report();
+        assert!(report.contains("termination: trials-exhausted"));
+    }
+
+    #[test]
+    fn evaluate_reports_lowering_failures_instead_of_panicking() {
+        let space = gemm_space(256, "gemm-el");
+        // A solution with the right arity but evaluated against a measurer
+        // still works; to exercise the lowering error we strip the CSP of
+        // its variables by handing evaluate a foreign space whose template
+        // references names the solution's CSP does not declare.
+        let mut broken = space.clone();
+        broken.csp = heron_csp::Csp::new(); // no variables declared at all
+        let sol = Solution::new(Vec::new());
+        let err = evaluate(&broken, &Measurer::new(v100()), &sol)
+            .expect_err("lowering must fail, not panic");
+        assert!(matches!(err, EvalError::Lower(_)));
+        assert_eq!(err.tag(), "lower");
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("lowering failed"));
+    }
+
+    #[test]
+    fn mismatched_platform_counts_invalid_trials_without_aborting() {
+        // A space generated for V100 lowers kernels whose (16,16,16)
+        // intrinsic VTA rejects deterministically: every trial is invalid,
+        // the session completes anyway, and the penalty policy keeps
+        // scores at 0 (no best to take a fraction of).
+        let space = gemm_space(256, "gemm-mismatch");
+        let mut tuner = Tuner::new(space, Measurer::new(vta()), TuneConfig::quick(16), 3);
+        let result = tuner.run();
+        assert_eq!(result.valid_trials, 0);
+        assert!(result.invalid_trials > 0, "trials must be counted");
+        assert_eq!(result.best_gflops, 0.0);
+        assert!(result.best_solution.is_none());
+        assert!(
+            result.error_counts.contains_key("intrinsic")
+                || result.error_counts.contains_key("missing-intrinsic"),
+            "deterministic rejection must be classified: {:?}",
+            result.error_counts
+        );
+        assert_eq!(result.quarantined, 0, "deterministic errors never retry");
+        assert_eq!(result.retried_trials, 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_repeat_offenders_quarantined() {
+        let space = gemm_space(256, "gemm-faulty");
+        let seed = 11;
+        let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(48), seed)
+            .with_faults(FaultPlan::uniform(seed, 0.35));
+        let result = tuner.run();
+        assert_eq!(result.curve.len(), 48, "all trials must complete");
+        assert!(result.best_gflops > 0.0, "faults must not kill the session");
+        assert!(result.retried_trials > 0, "no retries at 35% fault rate");
+        assert!(
+            result.quarantined > 0,
+            "persistent offenders must be quarantined: {}",
+            result.report()
+        );
+        assert_eq!(result.invalid_trials + result.valid_trials, 48);
+        assert!(result.total_retries >= result.retried_trials);
+        // Fault costs and backoff are charged to the simulated clock:
+        // strictly more expensive than the same session without faults.
+        let space2 = gemm_space(256, "gemm-faulty");
+        let mut reliable = Tuner::new(space2, Measurer::new(v100()), TuneConfig::quick(48), seed);
+        let base = reliable.run();
+        assert!(result.timing.hw_measure_s > base.timing.hw_measure_s);
+    }
+
+    #[test]
+    fn stall_bailout_is_configurable_and_reported() {
+        // Pin every tunable to one known-satisfying assignment: the space
+        // now admits a single configuration. With a huge trial budget the
+        // session must drain it immediately and report SpaceExhausted
+        // instead of spinning on the remaining budget forever.
+        let mut space = gemm_space(256, "gemm-stall");
+        let mut pin_rng = HeronRng::from_seed(9);
+        let sol = rand_sat_with_budget(&space.csp, &mut pin_rng, 1, 2_000)
+            .pop()
+            .expect("satisfiable");
+        for v in space.csp.tunables() {
+            let value = sol.value(v);
+            space.csp.post_in(v, [value]);
+        }
+        let mut config = TuneConfig::quick(10_000);
+        config.max_stall_rounds = 2;
+        let mut tuner = Tuner::new(space, Measurer::new(v100()), config, 5);
+        let result = tuner.run();
+        assert_eq!(result.termination, Termination::SpaceExhausted);
+        assert!(result.curve.len() < 10_000);
+        assert!(result.report().contains("space-exhausted"));
+    }
+
+    #[test]
+    fn median_rejects_outliers_and_backoff_caps() {
+        let mut xs = [1.0, 100.0, 1.2];
+        assert_eq!(median(&mut xs), 1.2);
+        let mut ys = [4.0, 1.0];
+        assert_eq!(median(&mut ys), 2.5);
+        let cfg = TuneConfig::quick(1);
+        assert_eq!(backoff_s(&cfg, 1), cfg.backoff_base_s);
+        assert_eq!(backoff_s(&cfg, 2), cfg.backoff_base_s * 2.0);
+        assert_eq!(backoff_s(&cfg, 30), cfg.backoff_cap_s);
     }
 }

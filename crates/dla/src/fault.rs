@@ -1,0 +1,482 @@
+//! Deterministic fault injection for the measurement pipeline.
+//!
+//! Real DLA measurement infrastructure (AutoTVM's `LocalRunner`/
+//! `RPCRunner`, Ansor's program measurer) lives with timeouts, dropped
+//! RPC sessions, hung boards and noisy latencies; Heron's Algorithm-2
+//! loop must survive all of them without losing determinism. This module
+//! provides:
+//!
+//! * [`FaultConfig`] — per-class injection rates and cost parameters;
+//! * [`FaultPlan`] — a seeded, **stateless** fault oracle: the outcome of
+//!   `(kernel fingerprint, attempt)` is a pure hash of
+//!   `(plan seed, fingerprint, attempt)`, so replaying a tuning session —
+//!   or resuming it from a checkpoint — re-observes byte-identical faults
+//!   without serialising any fault state;
+//! * [`FaultyMeasurer`] — a [`Measurer`] wrapper that injects the planned
+//!   faults into single-run measurements.
+//!
+//! Fault affinity is *per kernel*: a configuration that hangs the device
+//! tends to hang it again (the draw first decides whether a kernel is
+//! susceptible to a fault class at all, then whether a given attempt
+//! actually fires, with probability [`FaultConfig::persistence`]). That
+//! is what makes retry + quarantine meaningful: retries rescue the
+//! occasionally flaky, quarantine removes the reliably broken.
+
+use heron_rng::{Rng, SplitMix64};
+use heron_sched::Kernel;
+
+use crate::sim::{hash2, signed_unit, MeasureError, Measurement, Measurer};
+use crate::spec::DlaSpec;
+
+/// The injectable fault classes (all map to the transient
+/// [`MeasureError`] variants, except [`FaultKind::NoisyLatency`] which
+/// perturbs a successful run instead of failing it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Run exceeds the measurement budget.
+    Timeout {
+        /// Budget charged to the simulated clock when it fires, seconds.
+        budget_s: f64,
+    },
+    /// Device stops responding; costs a budget-exhausting wait plus a
+    /// reset.
+    DeviceHang,
+    /// RPC session to the measurement server drops; cheap to re-establish.
+    RpcDropped,
+    /// Latency outlier: the run "succeeds" but reports a latency scaled
+    /// by a half-normal factor of relative width `sigma`.
+    NoisyLatency {
+        /// Relative width of the outlier distribution.
+        sigma: f64,
+    },
+    /// Run fails with no diagnosable cause; succeeds on retry.
+    SpuriousFailure,
+}
+
+/// Per-class fault injection rates and simulated costs.
+///
+/// Rates are *per kernel*: the probability that a given configuration is
+/// susceptible to the class. A susceptible kernel's individual attempts
+/// then fire with probability [`FaultConfig::persistence`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Fraction of kernels whose runs can time out.
+    pub timeout_rate: f64,
+    /// Measurement budget charged when a timeout fires, seconds.
+    pub timeout_budget_s: f64,
+    /// Fraction of kernels that can hang the device.
+    pub hang_rate: f64,
+    /// Extra device-reset cost charged on a hang (on top of the timeout
+    /// budget), seconds.
+    pub hang_reset_s: f64,
+    /// Fraction of kernels whose measurements can drop the RPC session.
+    pub rpc_drop_rate: f64,
+    /// Cost of re-establishing a dropped RPC session, seconds.
+    pub rpc_reconnect_s: f64,
+    /// Fraction of kernels subject to spurious run failures.
+    pub spurious_rate: f64,
+    /// Fixed cost of a spurious failed run, seconds.
+    pub spurious_cost_s: f64,
+    /// Fraction of kernels whose latencies are outlier-prone.
+    pub noisy_rate: f64,
+    /// Relative width of the latency-outlier distribution.
+    pub noisy_sigma: f64,
+    /// Probability that one attempt on a susceptible kernel actually
+    /// fires the fault (`< 1.0` so retries can rescue flaky kernels).
+    pub persistence: f64,
+}
+
+impl FaultConfig {
+    /// No injected faults at all (the plan every non-fault session uses).
+    pub fn none() -> Self {
+        FaultConfig {
+            timeout_rate: 0.0,
+            timeout_budget_s: 4.0,
+            hang_rate: 0.0,
+            hang_reset_s: 8.0,
+            rpc_drop_rate: 0.0,
+            rpc_reconnect_s: 0.5,
+            spurious_rate: 0.0,
+            spurious_cost_s: 0.2,
+            noisy_rate: 0.0,
+            noisy_sigma: 0.5,
+            persistence: 0.7,
+        }
+    }
+
+    /// A total transient-fault rate split evenly across the four failing
+    /// classes (timeout / hang / rpc-drop / spurious), plus the same
+    /// fraction of latency-outlier-prone kernels. `rate` is clamped to
+    /// `[0, 1]`.
+    pub fn uniform(rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultConfig {
+            timeout_rate: rate / 4.0,
+            hang_rate: rate / 4.0,
+            rpc_drop_rate: rate / 4.0,
+            spurious_rate: rate / 4.0,
+            noisy_rate: rate,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Total per-kernel probability of being susceptible to *some*
+    /// failing (non-noise) transient class.
+    pub fn total_fault_rate(&self) -> f64 {
+        (self.timeout_rate + self.hang_rate + self.rpc_drop_rate + self.spurious_rate).min(1.0)
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_none(&self) -> bool {
+        self.total_fault_rate() == 0.0 && self.noisy_rate == 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// The outcome the plan dictates for one measurement attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultDraw {
+    /// Measure normally.
+    None,
+    /// Measure normally, then scale the reported latency by `factor`
+    /// (≥ 1: outliers are slow, which is what median-of-repeats rejects).
+    Noisy {
+        /// Latency multiplier.
+        factor: f64,
+    },
+    /// Fail the attempt with this (always transient) error.
+    Fault(MeasureError),
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// `outcome(fingerprint, attempt)` is a pure function — no interior
+/// state, no dependence on call order — so identical seeds replay
+/// identical fault traces and a resumed session re-draws exactly what
+/// the interrupted one saw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    config: FaultConfig,
+}
+
+/// Domain-separation salts for the per-class susceptibility hashes.
+const SALT_TIMEOUT: u64 = 0x54_49_4d_45; // "TIME"
+const SALT_HANG: u64 = 0x48_41_4e_47; // "HANG"
+const SALT_RPC: u64 = 0x52_50_43_44; // "RPCD"
+const SALT_SPURIOUS: u64 = 0x53_50_55_52; // "SPUR"
+const SALT_NOISY: u64 = 0x4e_4f_49_53; // "NOIS"
+const SALT_ATTEMPT: u64 = 0x41_54_54_50; // "ATTP"
+
+impl FaultPlan {
+    /// A plan injecting according to `config`, deterministically derived
+    /// from `seed`.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        FaultPlan { seed, config }
+    }
+
+    /// The no-fault plan (every draw is [`FaultDraw::None`]).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan::new(seed, FaultConfig::none())
+    }
+
+    /// Shorthand for `FaultPlan::new(seed, FaultConfig::uniform(rate))`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed, FaultConfig::uniform(rate))
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Uniform `[0, 1)` hash of `(seed, fingerprint, salt)`.
+    fn unit(&self, fingerprint: u64, salt: u64) -> f64 {
+        let h = hash2(hash2(self.seed, salt), fingerprint);
+        (signed_unit(h) + 1.0) / 2.0
+    }
+
+    /// Whether one attempt on a susceptible kernel fires, given the
+    /// per-class salt.
+    fn attempt_fires(&self, fingerprint: u64, attempt: u32, salt: u64) -> bool {
+        let h = hash2(
+            hash2(self.seed, salt ^ SALT_ATTEMPT),
+            hash2(fingerprint, u64::from(attempt)),
+        );
+        (signed_unit(h) + 1.0) / 2.0 < self.config.persistence
+    }
+
+    /// The deterministic outcome for measurement attempt `attempt` of the
+    /// kernel with the given fingerprint.
+    ///
+    /// Class precedence when a kernel is susceptible to several classes:
+    /// hang > timeout > rpc-drop > spurious > noisy (the nastiest fault
+    /// wins, mirroring how a hung board masks everything else).
+    pub fn outcome(&self, fingerprint: u64, attempt: u32) -> FaultDraw {
+        let c = &self.config;
+        if c.is_none() {
+            return FaultDraw::None;
+        }
+        if self.unit(fingerprint, SALT_HANG) < c.hang_rate
+            && self.attempt_fires(fingerprint, attempt, SALT_HANG)
+        {
+            return FaultDraw::Fault(MeasureError::DeviceHang);
+        }
+        if self.unit(fingerprint, SALT_TIMEOUT) < c.timeout_rate
+            && self.attempt_fires(fingerprint, attempt, SALT_TIMEOUT)
+        {
+            return FaultDraw::Fault(MeasureError::Timeout {
+                budget_s: c.timeout_budget_s,
+            });
+        }
+        if self.unit(fingerprint, SALT_RPC) < c.rpc_drop_rate
+            && self.attempt_fires(fingerprint, attempt, SALT_RPC)
+        {
+            return FaultDraw::Fault(MeasureError::RpcDropped);
+        }
+        if self.unit(fingerprint, SALT_SPURIOUS) < c.spurious_rate
+            && self.attempt_fires(fingerprint, attempt, SALT_SPURIOUS)
+        {
+            return FaultDraw::Fault(MeasureError::SpuriousFailure);
+        }
+        if self.unit(fingerprint, SALT_NOISY) < c.noisy_rate
+            && self.attempt_fires(fingerprint, attempt, SALT_NOISY)
+        {
+            // Half-normal slow-outlier factor ≥ 1, deterministic per
+            // (seed, fingerprint, attempt).
+            let mut sm = SplitMix64::new(hash2(
+                hash2(self.seed, SALT_NOISY ^ SALT_ATTEMPT),
+                hash2(fingerprint, u64::from(attempt).wrapping_add(1)),
+            ));
+            let g = sm.gaussian(0.0, 1.0).abs();
+            return FaultDraw::Noisy {
+                factor: 1.0 + c.noisy_sigma * g,
+            };
+        }
+        FaultDraw::None
+    }
+
+    /// Simulated seconds one *failed* attempt costs the measurement
+    /// clock. Deterministic errors cost nothing extra here: they are
+    /// host-side compile/validation failures already covered by the
+    /// per-trial overhead.
+    pub fn fault_cost_s(&self, err: &MeasureError) -> f64 {
+        let c = &self.config;
+        match err {
+            MeasureError::Timeout { budget_s } => *budget_s,
+            MeasureError::DeviceHang => c.timeout_budget_s + c.hang_reset_s,
+            MeasureError::RpcDropped => c.rpc_reconnect_s,
+            MeasureError::SpuriousFailure => c.spurious_cost_s,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A [`Measurer`] wrapped with a [`FaultPlan`]: the resilient tuner's
+/// view of the device.
+#[derive(Debug, Clone)]
+pub struct FaultyMeasurer {
+    inner: Measurer,
+    plan: FaultPlan,
+}
+
+impl FaultyMeasurer {
+    /// Wraps a measurer with an injection plan.
+    pub fn new(inner: Measurer, plan: FaultPlan) -> Self {
+        FaultyMeasurer { inner, plan }
+    }
+
+    /// A fault-free wrapper (used by sessions without injection so the
+    /// tuner has a single code path).
+    pub fn reliable(inner: Measurer) -> Self {
+        FaultyMeasurer::new(inner, FaultPlan::none(0))
+    }
+
+    /// The wrapped measurer.
+    pub fn inner(&self) -> &Measurer {
+        &self.inner
+    }
+
+    /// The injection plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The simulated platform.
+    pub fn spec(&self) -> &DlaSpec {
+        self.inner.spec()
+    }
+
+    /// One measurement attempt: deterministic architectural validation
+    /// first (a kernel that cannot compile fails identically with or
+    /// without infrastructure faults), then the planned fault draw, then
+    /// a single noisy run keyed by `attempt`.
+    ///
+    /// # Errors
+    /// Deterministic [`MeasureError`]s for invalid kernels; transient
+    /// ones when the plan injects a fault into this attempt.
+    pub fn measure_attempt(
+        &self,
+        kernel: &Kernel,
+        attempt: u32,
+    ) -> Result<Measurement, MeasureError> {
+        self.inner.validate(kernel)?;
+        match self.plan.outcome(kernel.fingerprint, attempt) {
+            FaultDraw::Fault(e) => Err(e),
+            FaultDraw::Noisy { factor } => {
+                let m = self.inner.measure_once(kernel, u64::from(attempt))?;
+                let latency_s = m.latency_s * factor;
+                Ok(Measurement {
+                    latency_s,
+                    gflops: kernel.total_flops as f64 / latency_s / 1e9,
+                })
+            }
+            FaultDraw::None => self.inner.measure_once(kernel, u64::from(attempt)),
+        }
+    }
+
+    /// Simulated seconds a failed attempt costs (see
+    /// [`FaultPlan::fault_cost_s`]).
+    pub fn fault_cost_s(&self, err: &MeasureError) -> f64 {
+        self.plan.fault_cost_s(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_plan_never_injects() {
+        let plan = FaultPlan::none(7);
+        for fp in 0..200u64 {
+            for a in 0..4 {
+                assert_eq!(plan.outcome(fp, a), FaultDraw::None);
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::uniform(42, 0.5);
+        let b = FaultPlan::uniform(42, 0.5);
+        let c = FaultPlan::uniform(43, 0.5);
+        let mut diverged = false;
+        for fp in 0..500u64 {
+            for att in 0..3 {
+                assert_eq!(a.outcome(fp, att), b.outcome(fp, att), "same seed");
+                if a.outcome(fp, att) != c.outcome(fp, att) {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "different seeds never diverged");
+    }
+
+    #[test]
+    fn injection_rate_is_roughly_honoured() {
+        let plan = FaultPlan::uniform(11, 0.2);
+        let n = 4000u64;
+        let mut affected = 0usize;
+        for fp in 0..n {
+            // A kernel is "affected" when some early attempt faults.
+            if (0..8).any(|a| matches!(plan.outcome(fp, a), FaultDraw::Fault(_))) {
+                affected += 1;
+            }
+        }
+        let frac = affected as f64 / n as f64;
+        // 20% of kernels are susceptible; with persistence 0.7 over 8
+        // attempts nearly all of them fire at least once.
+        assert!(
+            (0.12..=0.28).contains(&frac),
+            "fault fraction {frac} far from configured 0.2"
+        );
+    }
+
+    #[test]
+    fn all_transient_classes_appear_and_cost_time() {
+        let plan = FaultPlan::uniform(3, 0.9);
+        let mut tags = std::collections::BTreeSet::new();
+        let mut saw_noisy = false;
+        for fp in 0..3000u64 {
+            for a in 0..4 {
+                match plan.outcome(fp, a) {
+                    FaultDraw::Fault(e) => {
+                        assert!(e.is_transient(), "plan injected a deterministic error");
+                        assert!(plan.fault_cost_s(&e) > 0.0, "fault {e} is free");
+                        tags.insert(e.tag());
+                    }
+                    FaultDraw::Noisy { factor } => {
+                        assert!(factor >= 1.0);
+                        saw_noisy = true;
+                    }
+                    FaultDraw::None => {}
+                }
+            }
+        }
+        for want in ["timeout", "device-hang", "rpc-dropped", "spurious"] {
+            assert!(tags.contains(want), "class {want} never injected: {tags:?}");
+        }
+        assert!(saw_noisy, "noisy latency never injected");
+    }
+
+    #[test]
+    fn faulty_measurer_matches_plain_measurer_when_reliable() {
+        use heron_sched::{KernelStage, MemScope, StageRole};
+        use heron_tensor::DType;
+        let comp = KernelStage {
+            name: "C".into(),
+            role: StageRole::Compute,
+            src_scope: MemScope::FragA,
+            dst_scope: MemScope::FragAcc,
+            dtype: DType::F16,
+            elems: 0,
+            execs: 1,
+            vector: 1,
+            align_pad: 0,
+            row_elems: 0,
+            intrinsic: Some((16, 16, 16)),
+            intrinsic_execs: 1 << 14,
+            scalar_ops: 0,
+            unroll: 512,
+        };
+        let k = Kernel {
+            dla: "v100".into(),
+            workload: "t".into(),
+            total_flops: 1 << 28,
+            grid: 80,
+            threads: 8,
+            stages: vec![comp],
+            buffers: vec![],
+            fingerprint: 4242,
+        };
+        let inner = Measurer::new(crate::platforms::v100());
+        let fm = FaultyMeasurer::reliable(inner.clone());
+        for a in 0..3u32 {
+            assert_eq!(
+                fm.measure_attempt(&k, a).expect("valid").latency_s,
+                inner
+                    .measure_once(&k, u64::from(a))
+                    .expect("valid")
+                    .latency_s
+            );
+        }
+        // Deterministic validation errors pass straight through.
+        let mut bad = k.clone();
+        bad.stages[0].intrinsic = Some((16, 16, 8));
+        assert_eq!(
+            fm.measure_attempt(&bad, 0),
+            Err(MeasureError::IllegalIntrinsic { m: 16, n: 16, k: 8 })
+        );
+    }
+}

@@ -30,11 +30,13 @@
 //! # let _ = measurer;
 //! ```
 
+pub mod fault;
 pub mod platforms;
 pub mod sim;
 pub mod spec;
 
+pub use fault::{FaultConfig, FaultDraw, FaultKind, FaultPlan, FaultyMeasurer};
 pub use platforms::{a100, cambricon, dlboost, t4, tpu, v100, vta};
 pub use sim::energy::{EnergyEstimate, EnergyParams};
-pub use sim::{Analysis, Bound, MeasureError, Measurement, Measurer};
+pub use sim::{Analysis, Bound, ErrorClass, MeasureError, Measurement, Measurer};
 pub use spec::{CpuParams, DlaFamily, DlaSpec, GpuParams, VtaParams};

@@ -19,6 +19,31 @@ use heron_sched::{Kernel, MemScope};
 
 use crate::spec::{DlaFamily, DlaSpec};
 
+/// Failure class of a [`MeasureError`]: whether retrying the same
+/// configuration can ever succeed.
+///
+/// Deterministic errors are properties of the *kernel* (it violates an
+/// architectural limit and always will); transient errors are properties
+/// of the *measurement* (an RPC session dropped, the board hung, the run
+/// timed out) and are worth retrying with backoff — exactly the split
+/// AutoTVM/Ansor measurement infrastructure makes on real boards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying the identical kernel may succeed (infrastructure fault).
+    Transient,
+    /// The kernel itself is invalid; retrying is pointless.
+    Deterministic,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Deterministic => "deterministic",
+        })
+    }
+}
+
 /// Why a kernel cannot execute on the platform.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MeasureError {
@@ -60,6 +85,19 @@ pub enum MeasureError {
     },
     /// The platform requires a tensorized compute stage but none exists.
     MissingIntrinsic,
+    /// The run exceeded its measurement budget (transient: the board was
+    /// busy, the queue stalled — a retry may finish in time).
+    Timeout {
+        /// Budget that was exhausted, seconds.
+        budget_s: f64,
+    },
+    /// The device stopped responding and had to be reset (transient).
+    DeviceHang,
+    /// The RPC session to the measurement server dropped (transient).
+    RpcDropped,
+    /// The run failed with no diagnosable cause and succeeds on retry
+    /// (transient flakiness: ECC hiccups, driver races).
+    SpuriousFailure,
 }
 
 impl fmt::Display for MeasureError {
@@ -81,11 +119,59 @@ impl fmt::Display for MeasureError {
             MeasureError::MissingIntrinsic => {
                 write!(f, "platform requires a tensorized compute stage")
             }
+            MeasureError::Timeout { budget_s } => {
+                write!(f, "measurement timed out after {budget_s} s")
+            }
+            MeasureError::DeviceHang => write!(f, "device hang (reset required)"),
+            MeasureError::RpcDropped => write!(f, "rpc session to measurement server dropped"),
+            MeasureError::SpuriousFailure => write!(f, "spurious run failure (retryable)"),
         }
     }
 }
 
 impl std::error::Error for MeasureError {}
+
+impl MeasureError {
+    /// Whether retrying the same kernel can succeed
+    /// ([`ErrorClass::Transient`]) or the kernel itself is invalid
+    /// ([`ErrorClass::Deterministic`]).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            MeasureError::Timeout { .. }
+            | MeasureError::DeviceHang
+            | MeasureError::RpcDropped
+            | MeasureError::SpuriousFailure => ErrorClass::Transient,
+            MeasureError::CapacityExceeded { .. }
+            | MeasureError::IllegalIntrinsic { .. }
+            | MeasureError::IllegalVector { .. }
+            | MeasureError::IllegalLaunch { .. }
+            | MeasureError::AccessCycleViolation { .. }
+            | MeasureError::MissingIntrinsic => ErrorClass::Deterministic,
+        }
+    }
+
+    /// Shorthand for `self.class() == ErrorClass::Transient`.
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
+
+    /// Stable short tag for per-error-class accounting
+    /// (`TuneResult::error_counts`, checkpoint files, reports).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MeasureError::CapacityExceeded { .. } => "capacity",
+            MeasureError::IllegalIntrinsic { .. } => "intrinsic",
+            MeasureError::IllegalVector { .. } => "vector",
+            MeasureError::IllegalLaunch { .. } => "launch",
+            MeasureError::AccessCycleViolation { .. } => "access-cycle",
+            MeasureError::MissingIntrinsic => "missing-intrinsic",
+            MeasureError::Timeout { .. } => "timeout",
+            MeasureError::DeviceHang => "device-hang",
+            MeasureError::RpcDropped => "rpc-dropped",
+            MeasureError::SpuriousFailure => "spurious",
+        }
+    }
+}
 
 /// What limits a kernel's performance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,31 +362,61 @@ impl Measurer {
     /// of a compile error or CUDA launch failure in the paper's pipeline.
     pub fn measure(&self, kernel: &Kernel) -> Result<Measurement, MeasureError> {
         self.validate(kernel)?;
+        // Averaged measurement noise across the protocol's repeats.
+        let mut acc = 0.0;
+        for r in 0..self.repeats {
+            acc += self.run_cycles(kernel, u64::from(r));
+        }
+        let cycles = acc / f64::from(self.repeats);
+        let latency_s = cycles / self.clock_hz();
+        Ok(Measurement {
+            latency_s,
+            gflops: kernel.total_flops as f64 / latency_s / 1e9,
+        })
+    }
+
+    /// Validates and measures a *single* run of a kernel, keyed by
+    /// `run_id` so distinct runs of the same kernel see distinct (but
+    /// deterministic) measurement noise.
+    ///
+    /// `measure()` is exactly the mean of `measure_once` over
+    /// `run_id ∈ 0..repeats`; fault-tolerant callers (the tuner's
+    /// median-of-repeats protocol, [`crate::fault::FaultyMeasurer`]) use
+    /// this entry point to see individual runs and reject outliers.
+    ///
+    /// # Errors
+    /// Returns [`MeasureError`] for any constraint violation.
+    pub fn measure_once(&self, kernel: &Kernel, run_id: u64) -> Result<Measurement, MeasureError> {
+        self.validate(kernel)?;
+        let latency_s = self.run_cycles(kernel, run_id) / self.clock_hz();
+        Ok(Measurement {
+            latency_s,
+            gflops: kernel.total_flops as f64 / latency_s / 1e9,
+        })
+    }
+
+    /// Simulated clock rate in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        match &self.spec.family {
+            DlaFamily::Gpu(g) => g.clock_ghz * 1e9,
+            DlaFamily::Cpu(c) => c.clock_ghz * 1e9,
+            DlaFamily::Vta(v) => v.clock_ghz * 1e9,
+        }
+    }
+
+    /// Cycles of one run: the analytic trend times deterministic
+    /// configuration jitter times per-run measurement noise.
+    fn run_cycles(&self, kernel: &Kernel, run_id: u64) -> f64 {
         let base_cycles = match &self.spec.family {
             DlaFamily::Gpu(g) => gpu::estimate_cycles(g, kernel),
             DlaFamily::Cpu(c) => cpu::estimate_cycles(c, kernel),
             DlaFamily::Vta(v) => vta::estimate_cycles(v, kernel),
         };
-        let clock_hz = match &self.spec.family {
-            DlaFamily::Gpu(g) => g.clock_ghz * 1e9,
-            DlaFamily::Cpu(c) => c.clock_ghz * 1e9,
-            DlaFamily::Vta(v) => v.clock_ghz * 1e9,
-        };
         // Deterministic configuration jitter (fabrication/cache-set effects
         // that make neighbouring configs differ on real silicon).
         let config_jitter = 1.0 + 0.04 * signed_unit(hash2(kernel.fingerprint, 0x9e3779b97f4a7c15));
-        // Averaged measurement noise.
-        let mut acc = 0.0;
-        for r in 0..self.repeats {
-            let run_noise = 1.0 + self.noise * signed_unit(hash2(kernel.fingerprint, r as u64 + 1));
-            acc += base_cycles * config_jitter * run_noise;
-        }
-        let cycles = acc / self.repeats as f64;
-        let latency_s = cycles / clock_hz;
-        Ok(Measurement {
-            latency_s,
-            gflops: kernel.total_flops as f64 / latency_s / 1e9,
-        })
+        let run_noise = 1.0 + self.noise * signed_unit(hash2(kernel.fingerprint, run_id + 1));
+        base_cycles * config_jitter * run_noise
     }
 }
 
@@ -377,6 +493,71 @@ mod tests {
         let clock = 1.38e9;
         let trend = a.total_cycles / clock;
         assert!((meas.latency_s - trend).abs() / trend < 0.1);
+    }
+
+    #[test]
+    fn measure_is_the_mean_of_single_runs() {
+        let comp = KernelStage {
+            name: "C".into(),
+            role: StageRole::Compute,
+            src_scope: MemScope::FragA,
+            dst_scope: MemScope::FragAcc,
+            dtype: DType::F16,
+            elems: 0,
+            execs: 1,
+            vector: 1,
+            align_pad: 0,
+            row_elems: 0,
+            intrinsic: Some((16, 16, 16)),
+            intrinsic_execs: 1 << 14,
+            scalar_ops: 0,
+            unroll: 512,
+        };
+        let k = Kernel {
+            dla: "v100".into(),
+            workload: "t".into(),
+            total_flops: 1 << 28,
+            grid: 80,
+            threads: 8,
+            stages: vec![comp],
+            buffers: vec![],
+            fingerprint: 99,
+        };
+        let m = Measurer::new(crate::platforms::v100()).with_protocol(3, 0.02);
+        let mean = m.measure(&k).expect("valid").latency_s;
+        let runs: Vec<f64> = (0..3)
+            .map(|r| m.measure_once(&k, r).expect("valid").latency_s)
+            .collect();
+        let avg = runs.iter().sum::<f64>() / 3.0;
+        assert!((mean - avg).abs() / mean < 1e-12, "{mean} vs {avg}");
+        // Distinct run ids see distinct noise.
+        assert_ne!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn error_classes_split_transient_from_deterministic() {
+        assert_eq!(
+            MeasureError::Timeout { budget_s: 1.0 }.class(),
+            ErrorClass::Transient
+        );
+        assert!(MeasureError::DeviceHang.is_transient());
+        assert!(MeasureError::RpcDropped.is_transient());
+        assert!(MeasureError::SpuriousFailure.is_transient());
+        assert!(!MeasureError::MissingIntrinsic.is_transient());
+        assert_eq!(
+            MeasureError::IllegalVector { len: 3 }.class(),
+            ErrorClass::Deterministic
+        );
+        assert_eq!(MeasureError::RpcDropped.tag(), "rpc-dropped");
+        assert_eq!(
+            MeasureError::CapacityExceeded {
+                scope: MemScope::Shared,
+                used: 2,
+                limit: 1
+            }
+            .tag(),
+            "capacity"
+        );
     }
 
     #[test]

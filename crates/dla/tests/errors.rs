@@ -1,0 +1,338 @@
+//! Integration tests of the measurer's error taxonomy: every
+//! [`MeasureError`] variant is exercised on the platform whose
+//! architectural rule raises it, and every variant carries the correct
+//! transient/deterministic class and accounting tag.
+
+use heron_dla::{dlboost, v100, vta, ErrorClass, MeasureError, Measurer};
+use heron_sched::{Kernel, KernelBuffer, KernelStage, MemScope, StageRole};
+use heron_tensor::DType;
+
+fn stage(role: StageRole, src: MemScope, dst: MemScope, dtype: DType) -> KernelStage {
+    KernelStage {
+        name: "s".into(),
+        role,
+        src_scope: src,
+        dst_scope: dst,
+        dtype,
+        elems: 4096,
+        execs: 8,
+        vector: 4,
+        align_pad: 0,
+        row_elems: 64,
+        intrinsic: None,
+        intrinsic_execs: 0,
+        scalar_ops: 0,
+        unroll: 0,
+    }
+}
+
+/// A small, valid TensorCore kernel for V100.
+fn gpu_kernel() -> Kernel {
+    let mut comp = stage(
+        StageRole::Compute,
+        MemScope::FragA,
+        MemScope::FragAcc,
+        DType::F16,
+    );
+    comp.intrinsic = Some((16, 16, 16));
+    comp.intrinsic_execs = 1024;
+    Kernel {
+        dla: "v100".into(),
+        workload: "errors".into(),
+        total_flops: 1 << 30,
+        grid: 80,
+        threads: 8,
+        stages: vec![
+            stage(
+                StageRole::Load,
+                MemScope::Global,
+                MemScope::Shared,
+                DType::F16,
+            ),
+            comp,
+            stage(
+                StageRole::Store,
+                MemScope::FragAcc,
+                MemScope::Global,
+                DType::F16,
+            ),
+        ],
+        buffers: vec![KernelBuffer {
+            name: "A.shared".into(),
+            scope: MemScope::Shared,
+            bytes: 16 * 1024,
+        }],
+        fingerprint: 901,
+    }
+}
+
+/// A small, valid VNNI kernel for DL Boost.
+fn cpu_kernel() -> Kernel {
+    let mut comp = stage(StageRole::Compute, MemScope::L1, MemScope::L1, DType::I8);
+    comp.intrinsic = Some((1, 16, 4));
+    comp.intrinsic_execs = 65536;
+    Kernel {
+        dla: "dlboost".into(),
+        workload: "errors".into(),
+        total_flops: 1 << 26,
+        grid: 18,
+        threads: 1,
+        stages: vec![
+            stage(StageRole::Load, MemScope::Global, MemScope::L2, DType::I8),
+            comp,
+        ],
+        buffers: vec![KernelBuffer {
+            name: "pack".into(),
+            scope: MemScope::L2,
+            bytes: 256 * 1024,
+        }],
+        fingerprint: 902,
+    }
+}
+
+/// A small, valid GEMM-core kernel for VTA.
+fn vta_kernel() -> Kernel {
+    let mut comp = stage(
+        StageRole::Compute,
+        MemScope::VtaInput,
+        MemScope::VtaAcc,
+        DType::I8,
+    );
+    comp.intrinsic = Some((1, 16, 16));
+    comp.intrinsic_execs = 4096;
+    comp.row_elems = 16;
+    Kernel {
+        dla: "vta".into(),
+        workload: "errors".into(),
+        total_flops: 1 << 24,
+        grid: 1,
+        threads: 1,
+        stages: vec![
+            stage(
+                StageRole::Load,
+                MemScope::Global,
+                MemScope::VtaInput,
+                DType::I8,
+            ),
+            comp,
+            stage(
+                StageRole::Store,
+                MemScope::VtaAcc,
+                MemScope::Global,
+                DType::I8,
+            ),
+        ],
+        buffers: vec![
+            KernelBuffer {
+                name: "inp".into(),
+                scope: MemScope::VtaInput,
+                bytes: 8 * 1024,
+            },
+            KernelBuffer {
+                name: "acc".into(),
+                scope: MemScope::VtaAcc,
+                bytes: 16 * 1024,
+            },
+        ],
+        fingerprint: 903,
+    }
+}
+
+#[test]
+fn base_kernels_are_valid_on_their_platforms() {
+    assert!(Measurer::new(v100()).measure(&gpu_kernel()).is_ok());
+    assert!(Measurer::new(dlboost()).measure(&cpu_kernel()).is_ok());
+    assert!(Measurer::new(vta()).measure(&vta_kernel()).is_ok());
+}
+
+#[test]
+fn tensorcore_capacity_exceeded() {
+    let mut k = gpu_kernel();
+    k.buffers[0].bytes = 48 * 1024 + 1; // V100 smem per block is 48 KiB
+    let err = Measurer::new(v100())
+        .measure(&k)
+        .expect_err("over capacity");
+    match err {
+        MeasureError::CapacityExceeded { scope, used, limit } => {
+            assert_eq!(scope, MemScope::Shared);
+            assert_eq!(used, 48 * 1024 + 1);
+            assert_eq!(limit, 48 * 1024);
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    assert_eq!(err.class(), ErrorClass::Deterministic);
+    assert_eq!(err.tag(), "capacity");
+}
+
+#[test]
+fn tensorcore_illegal_intrinsic_shape() {
+    let mut k = gpu_kernel();
+    // (16, 16, 8) has m*n*k = 2048, not a legal wmma shape.
+    for s in &mut k.stages {
+        if s.role == StageRole::Compute {
+            s.intrinsic = Some((16, 16, 8));
+        }
+    }
+    let err = Measurer::new(v100()).measure(&k).expect_err("bad wmma");
+    assert_eq!(err, MeasureError::IllegalIntrinsic { m: 16, n: 16, k: 8 });
+    assert_eq!(err.tag(), "intrinsic");
+    assert!(!err.is_transient());
+}
+
+#[test]
+fn tensorcore_illegal_vector_width() {
+    let mut k = gpu_kernel();
+    k.stages[0].vector = 16; // V100 vectorises 1/2/4/8 only
+    let err = Measurer::new(v100()).measure(&k).expect_err("bad vector");
+    assert_eq!(err, MeasureError::IllegalVector { len: 16 });
+    assert_eq!(err.tag(), "vector");
+    assert_eq!(err.class(), ErrorClass::Deterministic);
+}
+
+#[test]
+fn tensorcore_warp_limit_is_a_launch_error() {
+    let mut k = gpu_kernel();
+    k.threads = 64; // > max_warps_per_block = 32
+    let err = Measurer::new(v100())
+        .measure(&k)
+        .expect_err("too many warps");
+    assert!(matches!(err, MeasureError::IllegalLaunch { .. }));
+    assert_eq!(err.tag(), "launch");
+    assert!(err.to_string().contains("warps"));
+}
+
+#[test]
+fn empty_grid_is_a_launch_error_everywhere() {
+    for (spec, mut kernel) in [
+        (v100(), gpu_kernel()),
+        (dlboost(), cpu_kernel()),
+        (vta(), vta_kernel()),
+    ] {
+        kernel.grid = 0;
+        let err = Measurer::new(spec.clone())
+            .measure(&kernel)
+            .expect_err("empty grid");
+        assert!(
+            matches!(err, MeasureError::IllegalLaunch { .. }),
+            "{}: {err}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn dlboost_core_oversubscription_is_a_launch_error() {
+    let mut k = cpu_kernel();
+    k.threads = 32; // > 18 cores
+    let err = Measurer::new(dlboost())
+        .measure(&k)
+        .expect_err("too many threads");
+    assert!(matches!(err, MeasureError::IllegalLaunch { .. }));
+    assert!(err.to_string().contains("cores"));
+}
+
+#[test]
+fn dlboost_rejects_foreign_intrinsics_and_l1_overflow() {
+    // VNNI consumes fixed (1, 16, 4) tiles; a wmma shape is illegal.
+    let mut k = cpu_kernel();
+    for s in &mut k.stages {
+        if s.role == StageRole::Compute {
+            s.intrinsic = Some((16, 16, 16));
+        }
+    }
+    let err = Measurer::new(dlboost())
+        .measure(&k)
+        .expect_err("wmma on cpu");
+    assert_eq!(
+        err,
+        MeasureError::IllegalIntrinsic {
+            m: 16,
+            n: 16,
+            k: 16
+        }
+    );
+
+    let mut k = cpu_kernel();
+    k.buffers.push(KernelBuffer {
+        name: "tile".into(),
+        scope: MemScope::L1,
+        bytes: 64 * 1024, // > 32 KiB L1
+    });
+    let err = Measurer::new(dlboost())
+        .measure(&k)
+        .expect_err("L1 overflow");
+    assert!(matches!(
+        err,
+        MeasureError::CapacityExceeded {
+            scope: MemScope::L1,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn vta_requires_its_gemm_intrinsic() {
+    let mut k = vta_kernel();
+    for s in &mut k.stages {
+        s.intrinsic = None;
+    }
+    let err = Measurer::new(vta()).measure(&k).expect_err("no intrinsic");
+    assert_eq!(err, MeasureError::MissingIntrinsic);
+    assert_eq!(err.tag(), "missing-intrinsic");
+    assert_eq!(err.class(), ErrorClass::Deterministic);
+}
+
+#[test]
+fn vta_access_cycle_rule() {
+    let mut k = vta_kernel();
+    for s in &mut k.stages {
+        if s.role == StageRole::Compute {
+            s.row_elems = 1; // < min_access_cycle = 2
+        }
+    }
+    let err = Measurer::new(vta()).measure(&k).expect_err("access cycle");
+    assert_eq!(
+        err,
+        MeasureError::AccessCycleViolation {
+            observed: 1,
+            required: 2
+        }
+    );
+    assert_eq!(err.tag(), "access-cycle");
+}
+
+#[test]
+fn vta_sram_capacity() {
+    let mut k = vta_kernel();
+    k.buffers[0].bytes = 33 * 1024; // > 32 KiB input SRAM
+    let err = Measurer::new(vta()).measure(&k).expect_err("SRAM overflow");
+    assert!(matches!(
+        err,
+        MeasureError::CapacityExceeded {
+            scope: MemScope::VtaInput,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn transient_variants_classify_and_display() {
+    // The injected (infrastructure) failures are transient; a validator
+    // never produces them — they only come from a `FaultPlan`.
+    let transients = [
+        MeasureError::Timeout { budget_s: 4.0 },
+        MeasureError::DeviceHang,
+        MeasureError::RpcDropped,
+        MeasureError::SpuriousFailure,
+    ];
+    let mut tags = Vec::new();
+    for e in transients {
+        assert_eq!(e.class(), ErrorClass::Transient, "{e}");
+        assert!(e.is_transient());
+        assert!(!e.to_string().is_empty());
+        tags.push(e.tag());
+    }
+    assert_eq!(tags, ["timeout", "device-hang", "rpc-dropped", "spurious"]);
+    assert_eq!(ErrorClass::Transient.to_string(), "transient");
+    assert_eq!(ErrorClass::Deterministic.to_string(), "deterministic");
+}

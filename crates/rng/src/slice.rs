@@ -45,7 +45,7 @@ impl<T> IndexedRandom for [T] {
     {
         let weights: Vec<f64> = self.iter().map(|x| weight(x).max(0.0)).collect();
         let total: f64 = weights.iter().sum();
-        if self.is_empty() || !(total > 0.0) || !total.is_finite() {
+        if self.is_empty() || total <= 0.0 || !total.is_finite() {
             return None;
         }
         let mut ticket = rng.random::<f64>() * total;
@@ -111,7 +111,7 @@ where
 /// `None` when no weight is strictly positive.
 pub fn weighted_index<R: Rng, W: Copy + Into<f64>>(weights: &[W], rng: &mut R) -> Option<usize> {
     let total: f64 = weights.iter().map(|&w| w.into().max(0.0)).sum();
-    if !(total > 0.0) || !total.is_finite() {
+    if total <= 0.0 || !total.is_finite() {
         return None;
     }
     let mut ticket = rng.random::<f64>() * total;

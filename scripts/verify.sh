@@ -28,6 +28,16 @@ echo "ok: no registry dependencies"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy (deny warnings) =="
+# Lint everything (lib, bins, tests, benches) with warnings promoted to
+# errors so lints cannot accumulate. Skipped gracefully on toolchains
+# without the clippy component.
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "warning: clippy not installed; skipping lint gate" >&2
+fi
+
 echo "== offline release build (workspace) =="
 cargo build --release --offline --workspace
 
@@ -36,5 +46,11 @@ echo "== offline tests (workspace) =="
 # --workspace covers every crate, including heron-rng golden-stream tests
 # and the heron-testkit self-tests.
 cargo test -q --offline --workspace
+
+echo "== fault-injection smoke (resilient tuning) =="
+# A quick tune at a 10% transient-fault rate must still complete every
+# trial and find a valid program (DESIGN.md §6); exits non-zero otherwise.
+cargo run --release --offline -p heron-bench --bin fault_sweep -- --smoke >/dev/null
+echo "ok: tuner finds valid programs under injected faults"
 
 echo "verify.sh: all checks passed"

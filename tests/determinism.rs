@@ -5,6 +5,8 @@
 //! (RandSAT, CGA explorer, cost model, measurer) trips these tests.
 
 use heron::core::tuner::{TuneConfig, TuneResult, Tuner};
+use heron::core::TuneCheckpoint;
+use heron::dla::FaultPlan;
 use heron::prelude::*;
 use heron_rng::HeronRng;
 
@@ -43,6 +45,18 @@ fn record(result: &TuneResult) -> String {
     for it in &result.iterations {
         let _ = writeln!(out, "iter={it:?}");
     }
+    let _ = writeln!(
+        out,
+        "retried={} retries={} quarantined={} timeouts={} termination={}",
+        result.retried_trials,
+        result.total_retries,
+        result.quarantined,
+        result.timeout_trials,
+        result.termination
+    );
+    for (tag, n) in &result.error_counts {
+        let _ = writeln!(out, "error[{tag}]={n}");
+    }
     out
 }
 
@@ -73,6 +87,94 @@ fn tuner_runs_diverge_across_seeds() {
     let a = tune(7);
     let b = tune(8);
     assert_ne!(a, b, "different seeds gave identical tuning traces");
+}
+
+fn faulty_tune(seed: u64, rate: f64, trials: usize) -> TuneResult {
+    let mut tuner = Tuner::new(
+        space(),
+        Measurer::new(heron::dla::v100()),
+        TuneConfig::quick(trials),
+        seed,
+    )
+    .with_faults(FaultPlan::uniform(seed, rate));
+    tuner.run()
+}
+
+/// Fault injection is part of the deterministic trace: the same seed and
+/// the same `FaultPlan` reproduce every injected timeout, hang, retry and
+/// quarantine byte-for-byte; a different fault seed diverges.
+#[test]
+fn fault_injection_is_deterministic() {
+    let a = record(&faulty_tune(21, 0.25, 24));
+    let b = record(&faulty_tune(21, 0.25, 24));
+    assert_eq!(a, b, "same-seed faulty tuning traces diverged");
+
+    let mut tuner = Tuner::new(
+        space(),
+        Measurer::new(heron::dla::v100()),
+        TuneConfig::quick(24),
+        21,
+    )
+    .with_faults(FaultPlan::uniform(99, 0.25));
+    let c = record(&tuner.run());
+    assert_ne!(a, c, "different fault seeds gave identical traces");
+}
+
+/// Checkpoint/resume is exact: killing a session at an iteration boundary,
+/// serialising the checkpoint through its text format, and resuming in a
+/// fresh `Tuner` reproduces the uninterrupted run's full trace — best
+/// solution, curve and resilience counters included.
+#[test]
+fn checkpoint_resume_matches_uninterrupted_run() {
+    let seed = 13;
+    let rate = 0.2;
+    let config = TuneConfig::quick(32);
+
+    // Uninterrupted reference run.
+    let full = record(&faulty_tune(seed, rate, 32));
+
+    // Kill at ~half the budget, checkpoint, roundtrip through text.
+    let mut first = Tuner::new(space(), Measurer::new(heron::dla::v100()), config, seed)
+        .with_faults(FaultPlan::uniform(seed, rate));
+    let finished = first.run_until(16);
+    assert!(!finished, "32-trial session must not finish by trial 16");
+    assert!(first.trials_done() >= 16);
+    let text = first.checkpoint().to_text();
+    let ckpt = TuneCheckpoint::from_text(&text).expect("checkpoint roundtrips");
+
+    // Resume in a brand-new tuner and finish the budget.
+    let mut second = Tuner::resume(
+        space(),
+        Measurer::new(heron::dla::v100()),
+        config,
+        FaultPlan::uniform(seed, rate),
+        &ckpt,
+    )
+    .expect("checkpoint applies to the same space");
+    let resumed = record(&second.run());
+
+    assert_eq!(
+        resumed, full,
+        "resumed trace diverged from uninterrupted run"
+    );
+}
+
+/// At a 20% transient-fault rate the session still completes every trial,
+/// quarantines repeat offenders, and finds a valid program.
+#[test]
+fn faulty_sessions_complete_and_quarantine() {
+    let result = faulty_tune(17, 0.2, 24);
+    assert_eq!(result.curve.len(), 24, "all trials must complete");
+    assert!(result.best_gflops > 0.0, "{}", result.report());
+    assert!(
+        result.retried_trials > 0 || result.quarantined > 0,
+        "a 20% fault rate must leave traces: {}",
+        result.report()
+    );
+    assert!(
+        !result.error_counts.is_empty(),
+        "injected faults must be accounted"
+    );
 }
 
 /// RandSAT (constraint-guided random sampling) is a pure function of

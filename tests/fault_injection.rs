@@ -1,0 +1,118 @@
+//! Integration tests of the fault-tolerant measurement pipeline: the
+//! tuner must absorb device-level rejections *and* injected infrastructure
+//! faults without aborting, without poisoning the cost model, and with
+//! every failure accounted.
+
+use heron::core::tuner::{Termination, TuneConfig, Tuner};
+use heron::dla::FaultPlan;
+use heron::prelude::*;
+
+fn space(name: &str) -> GeneratedSpace {
+    let dag = heron::tensor::ops::gemm(384, 384, 384);
+    SpaceGenerator::new(heron::dla::v100())
+        .generate_named(&dag, &SpaceOptions::heron(), name)
+        .expect("generates")
+}
+
+/// Regression for the cost-model poisoning bug: failed trials used to be
+/// trained with a raw `0.0`, dragging predictions toward zero whenever
+/// the fault rate was non-trivial. With the penalty policy the model's
+/// pairwise rank accuracy at a 20% transient-fault rate stays close to
+/// the fault-free model's.
+#[test]
+fn cost_model_survives_a_20pct_fault_rate() {
+    let seed = 29;
+    let trials = 48;
+
+    let mut clean = Tuner::new(
+        space("fi-clean"),
+        Measurer::new(heron::dla::v100()),
+        TuneConfig::quick(trials),
+        seed,
+    );
+    let clean = clean.run();
+    let clean_acc = clean.model_rank_accuracy.expect("model fitted");
+
+    let mut faulty = Tuner::new(
+        space("fi-faulty"),
+        Measurer::new(heron::dla::v100()),
+        TuneConfig::quick(trials),
+        seed,
+    )
+    .with_faults(FaultPlan::uniform(seed, 0.2));
+    let faulty = faulty.run();
+    let faulty_acc = faulty.model_rank_accuracy.expect("model fitted");
+
+    assert_eq!(faulty.curve.len(), trials, "faults must not eat trials");
+    assert!(faulty.best_gflops > 0.0, "{}", faulty.report());
+    assert!(
+        faulty_acc > 0.6,
+        "cost model poisoned at 20% faults: rank accuracy {faulty_acc:.3}\n{}",
+        faulty.report()
+    );
+    assert!(
+        faulty_acc > clean_acc - 0.25,
+        "fault-rate accuracy collapse: {faulty_acc:.3} vs clean {clean_acc:.3}"
+    );
+    // The faulty session pays for its faults in simulated measurement time.
+    assert!(faulty.timing.hw_measure_s > clean.timing.hw_measure_s);
+}
+
+/// Deterministic device rejections (wrong platform for the space) are
+/// counted as invalid trials; the session terminates normally instead of
+/// panicking, and nothing is retried (retries are for transient faults).
+#[test]
+fn deterministic_rejections_never_abort_the_session() {
+    let mut tuner = Tuner::new(
+        space("fi-mismatch"),
+        Measurer::new(heron::dla::vta()),
+        TuneConfig::quick(12),
+        5,
+    );
+    let result = tuner.run();
+    assert_eq!(result.valid_trials, 0);
+    assert!(result.invalid_trials > 0);
+    assert_eq!(result.retried_trials, 0);
+    assert_eq!(result.total_retries, 0);
+    assert!(matches!(
+        result.termination,
+        Termination::TrialsExhausted | Termination::SpaceExhausted
+    ));
+    let total: usize = result.error_counts.values().sum();
+    assert!(
+        total >= result.invalid_trials,
+        "every failed attempt must be classified: {:?}",
+        result.error_counts
+    );
+}
+
+/// Injected fault classes surface in the per-class accounting, and
+/// timeouts are tracked per trial.
+#[test]
+fn fault_classes_are_accounted() {
+    let seed = 31;
+    let mut tuner = Tuner::new(
+        space("fi-classes"),
+        Measurer::new(heron::dla::v100()),
+        TuneConfig::quick(48),
+        seed,
+    )
+    .with_faults(FaultPlan::uniform(seed, 0.4));
+    let result = tuner.run();
+    let transient: usize = ["timeout", "device-hang", "rpc-dropped", "spurious"]
+        .iter()
+        .filter_map(|t| result.error_counts.get(*t))
+        .sum();
+    assert!(
+        transient > 0,
+        "a 40% fault plan must inject something: {:?}",
+        result.error_counts
+    );
+    assert!(result.total_retries >= transient.min(result.total_retries));
+    if result.error_counts.contains_key("timeout") {
+        assert!(result.timeout_trials > 0);
+    }
+    let report = result.report();
+    assert!(report.contains("resilience:"));
+    assert!(report.contains("errors:"));
+}
