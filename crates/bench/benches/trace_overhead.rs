@@ -1,0 +1,119 @@
+//! Micro-bench (heron-testkit): cost of the tracing subsystem.
+//!
+//! The acceptance bar for `heron-trace` is that a **disabled** tracer is
+//! effectively free (<2% on instrumented hot paths), so instrumentation
+//! can stay compiled into the solver and tuner unconditionally. This
+//! bench times the two instrumented hot paths (RandSAT solving, GBDT
+//! fitting) three ways — uninstrumented entry point, disabled tracer,
+//! enabled manual-clock tracer — plus the raw per-op tracer costs, and
+//! prints the measured disabled-vs-baseline overhead.
+
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_cost::{Gbdt, GbdtParams};
+use heron_dla::v100;
+use heron_rng::{HeronRng, Rng};
+use heron_tensor::ops;
+use heron_testkit::bench::{black_box, Harness};
+use heron_trace::Tracer;
+
+fn synthetic(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = HeronRng::from_seed(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random::<f64>() * 8.0).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| 3.0 * r[0] - 2.0 * r[1] + (r[2] * r[3]).sqrt())
+        .collect();
+    (x, y)
+}
+
+fn main() {
+    let mut h = Harness::new("trace_overhead");
+
+    // Hot path 1: RandSAT over a real generated space (csp.solve spans +
+    // attempt/propagation counters when traced).
+    let dag = ops::gemm(512, 512, 512);
+    let space = SpaceGenerator::new(v100())
+        .generate_named(&dag, &SpaceOptions::heron(), "gemm-512")
+        .expect("generates");
+    let mut rng = HeronRng::from_seed(7);
+    let base = h
+        .bench("rand_sat/baseline", || {
+            black_box(heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 16, 4096).len())
+        })
+        .median_ns;
+    let mut rng = HeronRng::from_seed(7);
+    let off = Tracer::disabled();
+    let disabled = h
+        .bench("rand_sat/tracer-disabled", || {
+            black_box(
+                heron_csp::rand_sat_traced(&space.csp, &mut rng, 16, 4096, &off)
+                    .0
+                    .len(),
+            )
+        })
+        .median_ns;
+    let mut rng = HeronRng::from_seed(7);
+    let on = Tracer::manual();
+    h.bench("rand_sat/tracer-enabled", || {
+        black_box(
+            heron_csp::rand_sat_traced(&space.csp, &mut rng, 16, 4096, &on)
+                .0
+                .len(),
+        )
+    });
+    let overhead = disabled as f64 / base as f64 - 1.0;
+    eprintln!(
+        "  rand_sat disabled-tracer overhead: {:+.2}%",
+        overhead * 100.0
+    );
+
+    // Hot path 2: GBDT fit (cost.fit span + fit counters when traced).
+    let (x, y) = synthetic(512, 80, 9);
+    let mut rng = HeronRng::from_seed(1);
+    let base = h
+        .bench("gbdt-fit/baseline", || {
+            black_box(Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng).num_trees())
+        })
+        .median_ns;
+    let mut rng = HeronRng::from_seed(1);
+    let disabled = h
+        .bench("gbdt-fit/tracer-disabled", || {
+            black_box(Gbdt::fit_traced(&x, &y, &GbdtParams::default(), &mut rng, &off).num_trees())
+        })
+        .median_ns;
+    let overhead = disabled as f64 / base as f64 - 1.0;
+    eprintln!(
+        "  gbdt-fit disabled-tracer overhead: {:+.2}%",
+        overhead * 100.0
+    );
+
+    // Raw per-operation cost of the tracer itself.
+    h.bench("tracer/span-disabled/10k", || {
+        for i in 0..10_000u64 {
+            let _g = off.span_with("bench.span", || [("i", i.to_string())]);
+        }
+        black_box(off.event_count())
+    });
+    h.bench("tracer/counter-disabled/10k", || {
+        for _ in 0..10_000u64 {
+            off.counter_add("bench.count", 1);
+        }
+        black_box(off.metrics_len())
+    });
+    let live = Tracer::manual();
+    h.bench("tracer/span-enabled/10k", || {
+        for i in 0..10_000u64 {
+            let _g = live.span_with("bench.span", || [("i", i.to_string())]);
+        }
+        black_box(live.event_count())
+    });
+    h.bench("tracer/counter-enabled/10k", || {
+        for _ in 0..10_000u64 {
+            live.counter_add("bench.count", 1);
+        }
+        black_box(live.metrics_len())
+    });
+    h.finish();
+}

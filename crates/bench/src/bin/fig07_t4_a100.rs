@@ -4,13 +4,18 @@
 //! the vendor libraries (cuDNN/cuBLAS model).
 
 use heron_baselines::{akg_outcome, Approach};
-use heron_bench::{run_approach, run_vendor, seed, trials};
+use heron_bench::{run_approach, run_vendor, seed, trials, TsvTable};
 use heron_workloads::{table9_c2d, table9_gemm};
 
 fn main() {
     let trials = trials();
     println!("Figure 7 / Table 9: absolute Gops on T4 and A100 (trials={trials})");
-    println!("platform\tworkload\tHeron\tAutoTVM\tAnsor\tAMOS\tAKG\tVendor\tpeak%");
+    let mut table = TsvTable::new(
+        "fig07",
+        &[
+            "platform", "workload", "Heron", "AutoTVM", "Ansor", "AMOS", "AKG", "Vendor", "peak%",
+        ],
+    );
     for spec in [heron_dla::t4(), heron_dla::a100()] {
         let peak = spec.peak_ops_per_sec() / 1e9;
         for w in table9_gemm().into_iter().chain(table9_c2d()) {
@@ -25,18 +30,17 @@ fn main() {
                 o.as_ref()
                     .map_or("-".into(), |o| format!("{:.0}", o.best_gflops))
             };
-            println!(
-                "{}\t{}\t{:.0}\t{}\t{}\t{}\t{}\t{}\t{:.1}",
-                spec.name,
-                w.name,
-                hg,
+            table.emit(&[
+                spec.name.to_string(),
+                w.name.clone(),
+                format!("{hg:.0}"),
                 fmt(&autotvm),
                 fmt(&ansor),
                 fmt(&amos),
                 akg.map_or("-".into(), |o| format!("{:.0}", o.gflops)),
                 vendor.map_or("-".into(), |(g, _)| format!("{g:.0}")),
-                hg / peak * 100.0
-            );
+                format!("{:.1}", hg / peak * 100.0),
+            ]);
         }
     }
 }

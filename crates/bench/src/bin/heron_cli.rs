@@ -4,6 +4,7 @@
 //! heron-cli platforms
 //! heron-cli tune    --dla v100 --op gemm --shape 1024x1024x1024 [--trials N] [--seed S] [--code]  (--code also prints the bottleneck analysis)
 //! heron-cli tune    ... [--fault-rate R] [--pause-at N --checkpoint F] [--resume F]
+//! heron-cli tune    ... [--trace-out T.jsonl] [--metrics-out M.tsv] [--profile]
 //! heron-cli compare --dla v100 --op c2d  --shape 16x56x56x64x64x3x1x1 [--trials N]
 //! heron-cli census  --dla v100 --op gemm --shape 512x512x512
 //! heron-cli export  --dla v100 --op gemm --shape 512x512x512   # CSP_initial as text
@@ -15,15 +16,23 @@
 //! `--resume F` continues a checkpointed session and reproduces the
 //! uninterrupted run exactly.
 //!
+//! Observability: `--trace-out` writes the session's span trace as JSONL
+//! (validate or re-render it with the `trace_report` binary),
+//! `--metrics-out` snapshots every counter/gauge/histogram as TSV, and
+//! `--profile` prints the hierarchical time breakdown. Traces use the
+//! simulated manual clock, so the same seed yields byte-identical files.
+//!
 //! Shapes: `gemm MxNxK`, `bmm BxMxNxK`, `gemv MxKxB`, `scan BxL`,
 //! `c2d NxHxWxCIxCOxKxPxS`, `c1d NxLxCIxCOxKxPxS`, `c3d NxDxHWxCIxCOxKxPxS`.
 
 use heron_baselines::{tune, vendor_outcome, Approach};
+use heron_bench::{flag, has_flag};
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_csp::SpaceCensus;
 use heron_dla::DlaSpec;
 use heron_sched::kernel_pseudo_code;
 use heron_tensor::ops::Conv2dConfig;
+use heron_trace::Tracer;
 use heron_workloads::{OpKind, Workload};
 
 fn main() {
@@ -47,17 +56,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE]");
-}
-
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
+    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE] [--trace-out FILE.jsonl] [--metrics-out FILE.tsv] [--profile]");
 }
 
 fn platform(name: &str) -> DlaSpec {
@@ -198,13 +197,45 @@ fn common(args: &[String]) -> Common {
     }
 }
 
-/// Direct-`Tuner` path for the resilience features: fault injection,
-/// pause-at-N checkpointing, and resume. (The plain path goes through the
-/// `heron_baselines::tune` facade, which has no session handle to pause.)
+/// Writes `--trace-out` / `--metrics-out` files and prints the
+/// `--profile` tree; shared by every way a traced session can end
+/// (finish, pause, resume).
+fn emit_observability(args: &[String], tracer: &Tracer, result: &heron_core::tuner::TuneResult) {
+    if let Some(path) = flag(args, "--trace-out") {
+        if let Err(e) = tracer.write_jsonl(&path) {
+            eprintln!("cannot write trace to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace written to `{path}` ({} events)",
+            tracer.event_count()
+        );
+    }
+    heron_bench::write_metrics_flag(args, tracer);
+    if has_flag(args, "--profile") {
+        print!("{}", result.profile());
+    }
+}
+
+/// Direct-`Tuner` path for the resilience and observability features:
+/// fault injection, pause-at-N checkpointing, resume, and tracing. (The
+/// plain path goes through the `heron_baselines::tune` facade, which has
+/// no session handle to pause or instrument.)
 fn tune_resilient(args: &[String], c: &Common) {
     use heron_core::checkpoint::TuneCheckpoint;
     use heron_core::tuner::Tuner;
     use heron_dla::{FaultPlan, Measurer};
+
+    let traced = has_flag(args, "--trace-out")
+        || has_flag(args, "--metrics-out")
+        || has_flag(args, "--profile");
+    // Manual clock: timestamps advance by simulated measurement time, so
+    // traced runs are reproducible byte-for-byte from the seed.
+    let tracer = if traced {
+        Tracer::manual()
+    } else {
+        Tracer::disabled()
+    };
 
     let dag = c.workload.build(c.spec.in_dtype);
     let fault_rate: f64 = flag(args, "--fault-rate")
@@ -259,6 +290,7 @@ fn tune_resilient(args: &[String], c: &Common) {
         );
         Tuner::new(space, Measurer::new(c.spec.clone()), config, c.seed).with_faults(plan)
     };
+    tuner.set_tracer(tracer.clone());
 
     if let Some(pause_at) = flag(args, "--pause-at").and_then(|n| n.parse::<usize>().ok()) {
         let finished = tuner.run_until(pause_at);
@@ -273,6 +305,7 @@ fn tune_resilient(args: &[String], c: &Common) {
                 "paused after {} trials; checkpoint written to `{path}` (resume with --resume {path})",
                 tuner.trials_done()
             );
+            emit_observability(args, &tracer, &tuner.result());
             return;
         }
         println!("session finished before trial {pause_at}; nothing to pause");
@@ -280,12 +313,22 @@ fn tune_resilient(args: &[String], c: &Common) {
         tuner.run();
     }
     print!("{}", tuner.result().report());
+    emit_observability(args, &tracer, &tuner.result());
 }
 
 fn tune_cmd(args: &[String]) {
     let c = common(args);
-    if has_flag(args, "--fault-rate") || has_flag(args, "--pause-at") || has_flag(args, "--resume")
-    {
+    let needs_session = [
+        "--fault-rate",
+        "--pause-at",
+        "--resume",
+        "--trace-out",
+        "--metrics-out",
+        "--profile",
+    ]
+    .iter()
+    .any(|f| has_flag(args, f));
+    if needs_session {
         tune_resilient(args, &c);
         return;
     }

@@ -1,0 +1,64 @@
+//! `trace_report` — validate and render session traces.
+//!
+//! Reads a JSONL trace written by `heron-cli tune --trace-out` (or any
+//! `heron_trace::Tracer::write_jsonl` output) and either validates it or
+//! renders the hierarchical profile tree it implies.
+//!
+//! ```text
+//! trace_report trace.jsonl            # profile tree + span/point totals
+//! trace_report trace.jsonl --check    # validate only; exit 1 if invalid
+//! ```
+//!
+//! Validation enforces the trace invariants (one JSON object per line,
+//! contiguous `seq`, monotone timestamps, LIFO span closes, no unclosed
+//! spans), so `--check` doubles as the CI gate for the tracing pipeline.
+
+use heron_bench::has_flag;
+use heron_trace::{check_trace, profile_from_summary, TraceSummary};
+
+fn usage() -> ! {
+    eprintln!("usage: trace_report <trace.jsonl> [--check]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> TraceSummary {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    match check_trace(&text) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("invalid trace `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let summary = load(path);
+    if has_flag(&args, "--check") {
+        println!(
+            "ok: {} events ({} spans, {} points), all spans balanced",
+            summary.events,
+            summary.spans.len(),
+            summary.points
+        );
+        return;
+    }
+    print!("{}", profile_from_summary(&summary).render());
+    println!(
+        "{} events, {} spans ({} distinct names), {} points",
+        summary.events,
+        summary.spans.len(),
+        summary.span_names().len(),
+        summary.points
+    );
+}

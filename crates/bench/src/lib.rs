@@ -15,6 +15,7 @@
 use heron_baselines::{tune, vendor_outcome, Approach, Outcome};
 use heron_dla::DlaSpec;
 use heron_tensor::DType;
+use heron_trace::Tracer;
 use heron_workloads::Workload;
 
 /// Measured trials per tuning run (`HERON_TRIALS`, default 300).
@@ -84,6 +85,113 @@ pub fn row(cells: &[String]) {
     println!("{}", cells.join("\t"));
 }
 
+/// Value of a `--name VALUE` flag, shared by every binary's argument
+/// parsing.
+pub fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--name` flag is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Streaming TSV table writer shared by the figure/table binaries.
+///
+/// Replaces the per-binary header/row `println!` boilerplate: rows go to
+/// stdout exactly as before (diffable output is the bench contract), and
+/// every numeric cell is mirrored into a [`heron_trace`] metrics registry
+/// as a histogram `bench.<table>.<column>` plus a row counter
+/// `bench.<table>.rows`, so any binary can also dump a machine-readable
+/// snapshot via [`TsvTable::write_metrics`].
+#[derive(Debug)]
+pub struct TsvTable {
+    name: String,
+    columns: Vec<String>,
+    tracer: Tracer,
+    rows: usize,
+}
+
+impl TsvTable {
+    /// Creates a table, printing the header row immediately. `name` keys
+    /// the mirrored metrics (`bench.<name>.…`) and should be short and
+    /// dot-free.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Self::with_tracer(name, columns, Tracer::manual())
+    }
+
+    /// Like [`TsvTable::new`] but mirrors metrics into an existing
+    /// tracer (e.g. one shared with a tuning session).
+    pub fn with_tracer(name: &str, columns: &[&str], tracer: Tracer) -> Self {
+        row(&columns.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        TsvTable {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            tracer,
+            rows: 0,
+        }
+    }
+
+    /// Prints one row and mirrors its numeric cells into the metrics
+    /// registry. Cells that do not parse as `f64` (labels, `-`, `n/a`)
+    /// are printed but not mirrored.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the cell count does not match the
+    /// header.
+    pub fn emit(&mut self, cells: &[String]) {
+        debug_assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "table `{}`: row width {} vs header width {}",
+            self.name,
+            cells.len(),
+            self.columns.len()
+        );
+        row(cells);
+        self.rows += 1;
+        self.tracer
+            .counter_add(&format!("bench.{}.rows", self.name), 1);
+        for (col, cell) in self.columns.iter().zip(cells) {
+            if let Ok(v) = cell.parse::<f64>() {
+                self.tracer
+                    .hist_record(&format!("bench.{}.{col}", self.name), v);
+            }
+        }
+    }
+
+    /// Number of data rows emitted so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The tracer holding the mirrored metrics.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Writes the metrics snapshot to `path`
+    /// (see [`Tracer::write_metrics_tsv`]).
+    pub fn write_metrics(&self, path: &str) -> std::io::Result<()> {
+        self.tracer.write_metrics_tsv(path)
+    }
+}
+
+/// Handles the shared `--metrics-out PATH` flag: writes the tracer's
+/// metrics snapshot and confirms on stderr (stdout stays pure TSV).
+/// Exits non-zero when the file cannot be written.
+pub fn write_metrics_flag(args: &[String], tracer: &Tracer) {
+    if let Some(path) = flag(args, "--metrics-out") {
+        if let Err(e) = tracer.write_metrics_tsv(&path) {
+            eprintln!("cannot write metrics to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to `{path}`");
+    }
+}
+
 /// Downsamples a curve to at most `n` evenly spaced points (always keeps
 /// the last).
 pub fn downsample(curve: &[f64], n: usize) -> Vec<(usize, f64)> {
@@ -130,5 +238,34 @@ mod tests {
     fn ratio_formats() {
         assert_eq!(ratio(4.0, 2.0), "2.00");
         assert_eq!(ratio(4.0, 0.0), "-");
+    }
+
+    #[test]
+    fn flag_helpers_parse_args() {
+        let args: Vec<String> = ["--seed", "7", "--smoke"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag(&args, "--seed"), Some("7".into()));
+        assert_eq!(flag(&args, "--trials"), None);
+        assert_eq!(flag(&args, "--smoke"), None, "bare flag has no value");
+        assert!(has_flag(&args, "--smoke"));
+        assert!(!has_flag(&args, "--resume"));
+    }
+
+    #[test]
+    fn tsv_table_mirrors_numeric_cells_as_metrics() {
+        let mut t = TsvTable::new("demo", &["case", "gops", "ratio"]);
+        t.emit(&["a".into(), "10.5".into(), "1.00".into()]);
+        t.emit(&["b".into(), "21.0".into(), "-".into()]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.tracer().counter("bench.demo.rows"), Some(2));
+        let tsv = t.tracer().metrics_tsv();
+        assert!(tsv.contains("bench.demo.gops\thistogram\t31.5\t2"));
+        assert!(
+            tsv.contains("bench.demo.ratio\thistogram\t1\t1"),
+            "non-numeric `-` cell must be skipped: {tsv}"
+        );
+        assert!(!tsv.contains("bench.demo.case"), "labels are not mirrored");
     }
 }

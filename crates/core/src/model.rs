@@ -9,6 +9,7 @@
 use heron_cost::{Gbdt, GbdtParams};
 use heron_csp::{Csp, Solution, VarRef};
 use heron_rng::Rng;
+use heron_trace::Tracer;
 
 /// Cost model bound to one CSP's variable layout.
 #[derive(Debug)]
@@ -18,6 +19,7 @@ pub struct CostModel {
     data_y: Vec<f64>,
     model: Option<Gbdt>,
     params: GbdtParams,
+    tracer: Tracer,
 }
 
 impl CostModel {
@@ -29,7 +31,14 @@ impl CostModel {
             data_y: Vec::new(),
             model: None,
             params: GbdtParams::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: refits run under a `model.fit` span and record
+    /// `model.fits` / `model.fit_ms`; predictions count `model.predicts`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Log-scaled feature vector of a solution.
@@ -63,11 +72,26 @@ impl CostModel {
         if self.data_y.len() < 8 {
             return;
         }
-        self.model = Some(Gbdt::fit(&self.data_x, &self.data_y, &self.params, rng));
+        let span = self
+            .tracer
+            .span_with("model.fit", || [("samples", self.data_y.len().to_string())]);
+        let wall = std::time::Instant::now();
+        self.model = Some(Gbdt::fit_traced(
+            &self.data_x,
+            &self.data_y,
+            &self.params,
+            rng,
+            &self.tracer,
+        ));
+        self.tracer.counter_add("model.fits", 1);
+        self.tracer
+            .hist_record("model.fit_ms", wall.elapsed().as_secs_f64() * 1e3);
+        drop(span);
     }
 
     /// Predicted score for a solution (0 before the first fit).
     pub fn predict(&self, sol: &Solution) -> f64 {
+        self.tracer.counter_add("model.predicts", 1);
         match &self.model {
             Some(m) => m.predict(&self.featurize(sol)).max(0.0),
             None => 0.0,

@@ -32,11 +32,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
-use heron_csp::{rand_sat_with_budget, Solution};
+use heron_csp::{rand_sat_traced, Solution};
 use heron_dla::{FaultPlan, FaultyMeasurer, MeasureError, Measurement, Measurer};
 use heron_rng::HeronRng;
 use heron_rng::IndexedRandom;
 use heron_sched::{lower, Kernel, LowerError};
+use heron_trace::{ProfileNode, Tracer};
 
 use crate::checkpoint::{CheckpointError, TuneCheckpoint};
 use crate::explore::cga::{offspring_csp, CgaConfig};
@@ -332,6 +333,24 @@ impl TuneResult {
         }
     }
 
+    /// Flamegraph-style text breakdown of the session's simulated
+    /// compilation time. Built directly from [`TuneTiming`], so the layer
+    /// totals sum exactly to [`TuneTiming::total_s`] (the trace-derived
+    /// profile of `trace_report` is span-based and may differ by the
+    /// uninstrumented slack).
+    pub fn profile(&self) -> String {
+        let mut root = ProfileNode::new("tune", self.timing.total_s());
+        root.push(
+            ProfileNode::new("cga.evolve", self.timing.cga_s).with_note("evolution + csp solving"),
+        );
+        root.push(ProfileNode::new("model.fit", self.timing.model_s));
+        root.push(
+            ProfileNode::new("measure.hw", self.timing.hw_measure_s)
+                .with_note("simulated deployment"),
+        );
+        root.render()
+    }
+
     /// Multi-line human-readable session report.
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
@@ -370,6 +389,9 @@ impl TuneResult {
             "time: cga {:.2}s, simulator {:.2}s, model {:.2}s, simulated hw measurement {:.1}s",
             self.timing.cga_s, self.timing.sim_s, self.timing.model_s, self.timing.hw_measure_s
         );
+        for line in self.profile().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
         for it in &self.iterations {
             let _ = writeln!(
                 out,
@@ -447,6 +469,7 @@ pub struct Tuner {
     config: TuneConfig,
     rng: HeronRng,
     state: SessionState,
+    tracer: Tracer,
 }
 
 impl Tuner {
@@ -463,14 +486,40 @@ impl Tuner {
             config,
             rng: HeronRng::from_seed(seed),
             state,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Replaces the fault-injection plan (builder style):
     /// `Tuner::new(..).with_faults(FaultPlan::uniform(seed, 0.2))`.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.measurer = FaultyMeasurer::new(self.measurer.inner().clone(), plan);
+        self.measurer = FaultyMeasurer::new(self.measurer.inner().clone(), plan)
+            .with_tracer(self.tracer.clone());
         self
+    }
+
+    /// Attaches a tracer (builder style). All pipeline layers the session
+    /// touches — CSP solving, CGA evolution, ε-greedy measurement, fault
+    /// injection, cost-model fitting — record spans and metrics on it.
+    /// The tracer observes only: it never draws from the session RNG, so
+    /// traced and untraced runs are bit-identical.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Replaces the attached tracer in place (used by checkpoint/resume
+    /// tests to start tracing at an iteration boundary).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        self.measurer.set_tracer(tracer.clone());
+        self.state.model.set_tracer(tracer);
+    }
+
+    /// The attached tracer ([`Tracer::disabled`] unless one was set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The tuned space.
@@ -533,6 +582,10 @@ impl Tuner {
             self.finish(Termination::TrialsExhausted);
             return false;
         }
+        let tracer = self.tracer.clone();
+        let iter_no = self.state.result.iterations.len();
+        let _step_span = tracer.span_with("tuner.step", || [("iter", iter_no.to_string())]);
+        tracer.counter_add("tuner.steps", 1);
 
         // ---- Step 1: first generation --------------------------------
         let t = Instant::now();
@@ -540,8 +593,16 @@ impl Tuner {
             .cga
             .population
             .saturating_sub(self.state.survivors.len());
-        let fresh =
-            rand_sat_with_budget(&self.space.csp, &mut self.rng, need, cfg.cga.solver_budget);
+        let populate_span = tracer.span_with("cga.populate", || [("need", need.to_string())]);
+        let (fresh, _) = rand_sat_traced(
+            &self.space.csp,
+            &mut self.rng,
+            need,
+            cfg.cga.solver_budget,
+            &tracer,
+        );
+        tracer.counter_add("cga.fresh_sampled", fresh.len() as u64);
+        drop(populate_span);
         let mut pop: Vec<Chromosome> = self.state.survivors.clone();
         pop.extend(fresh.into_iter().map(|solution| Chromosome {
             fitness: self.state.model.predict(&solution),
@@ -553,6 +614,9 @@ impl Tuner {
         }
 
         // ---- Step 2: evolve on CSPs -----------------------------------
+        let evolve_span = tracer.span_with("cga.evolve", || {
+            [("generations", cfg.cga.generations.to_string())]
+        });
         for _ in 0..cfg.cga.generations {
             let parents = roulette_wheel(&pop, pop.len().min(cfg.cga.population), &mut self.rng);
             let key_vars = if self.state.model.is_fitted() {
@@ -580,13 +644,16 @@ impl Tuner {
                     &pop[i2].solution,
                     &mut self.rng,
                 );
-                if let Some(sol) =
-                    rand_sat_with_budget(&csp, &mut self.rng, 1, cfg.cga.solver_budget).pop()
+                tracer.counter_add("cga.offspring_attempted", 1);
+                match rand_sat_traced(&csp, &mut self.rng, 1, cfg.cga.solver_budget, &tracer)
+                    .0
+                    .pop()
                 {
-                    children.push(Chromosome {
+                    Some(sol) => children.push(Chromosome {
                         fitness: self.state.model.predict(&sol),
                         solution: sol,
-                    });
+                    }),
+                    None => tracer.counter_add("cga.offspring_invalid", 1),
                 }
             }
             pop.extend(children);
@@ -597,7 +664,9 @@ impl Tuner {
             });
             pop.truncate(cfg.cga.population * 2);
         }
+        drop(evolve_span);
         self.state.result.timing.cga_s += t.elapsed().as_secs_f64();
+        tracer.gauge_set("tuner.cga_s", self.state.result.timing.cga_s);
 
         // ---- Step 3: ε-greedy measurement -----------------------------
         let unmeasured: Vec<&Chromosome> = pop
@@ -607,6 +676,7 @@ impl Tuner {
         if unmeasured.is_empty() {
             self.state.stall_rounds += 1;
             self.state.survivors.clear();
+            tracer.counter_add("tuner.stall_rounds", 1);
             if self.state.stall_rounds > cfg.max_stall_rounds {
                 self.finish(Termination::SpaceExhausted);
                 return false;
@@ -620,10 +690,13 @@ impl Tuner {
             .measure_batch
             .min(cfg.trials - self.state.result.curve.len());
         let picks = eps_greedy(&predicted, budget, cfg.cga.eps, &mut self.rng);
+        tracer.counter_add("tuner.eps_rounds", 1);
         let chosen: Vec<Solution> = picks
             .iter()
             .map(|&i| unmeasured[i].solution.clone())
             .collect();
+        let batch_span =
+            tracer.span_with("measure.batch", || [("batch", chosen.len().to_string())]);
         let mut batch_scores: Vec<f64> = Vec::with_capacity(chosen.len());
         let population = pop.len();
         for sol in chosen {
@@ -631,6 +704,8 @@ impl Tuner {
             let score = self.measure_trial(&sol);
             batch_scores.push(score);
         }
+        drop(batch_span);
+        tracer.gauge_set("tuner.hw_measure_s", self.state.result.timing.hw_measure_s);
 
         // ---- Step 4: update the cost model -----------------------------
         let t = Instant::now();
@@ -638,6 +713,8 @@ impl Tuner {
         let mut fit_rng = self.rng.fork(FIT_STREAM.wrapping_add(iter_index));
         self.state.model.fit(&mut fit_rng);
         self.state.result.timing.model_s += t.elapsed().as_secs_f64();
+        tracer.gauge_set("tuner.model_s", self.state.result.timing.model_s);
+        tracer.gauge_set("tuner.best_gflops", self.state.result.best_gflops);
         self.state.result.iterations.push(IterationStats {
             iteration: iter_index as usize,
             trials_done: self.state.result.curve.len(),
@@ -669,6 +746,10 @@ impl Tuner {
     /// Returns the score the trial was trained with.
     fn measure_trial(&mut self, sol: &Solution) -> f64 {
         let cfg = self.config;
+        let tracer = self.tracer.clone();
+        let _trial_span =
+            tracer.span_with("measure.trial", || [("fp", sol.fingerprint().to_string())]);
+        tracer.counter_add("measure.trials", 1);
         let t = Instant::now();
         let csp = &self.space.csp;
         let lowered = lower(&self.space.template, sol.fingerprint(), &|name| {
@@ -680,6 +761,8 @@ impl Tuner {
         let mut quarantine = false;
         let res = &mut self.state.result;
         res.timing.hw_measure_s += cfg.trial_overhead_s;
+        tracer.advance_s(cfg.trial_overhead_s);
+        tracer.gauge_add("measure.overhead_s", cfg.trial_overhead_s);
 
         let outcome: Result<(Kernel, Measurement), EvalError> = match lowered {
             Err(e) => Err(EvalError::Lower(e)),
@@ -692,6 +775,8 @@ impl Tuner {
                     match self.measurer.measure_attempt(&kernel, attempt) {
                         Ok(m) => {
                             res.timing.hw_measure_s += m.latency_s;
+                            tracer.advance_s(m.latency_s);
+                            tracer.gauge_add("measure.run_s", m.latency_s);
                             runs.push(m.latency_s);
                         }
                         Err(e) if e.is_transient() => {
@@ -700,8 +785,16 @@ impl Tuner {
                                 saw_timeout = true;
                             }
                             retries += 1;
-                            res.timing.hw_measure_s +=
-                                self.measurer.fault_cost_s(&e) + backoff_s(&cfg, retries);
+                            let fault_s = self.measurer.fault_cost_s(&e);
+                            let wait_s = backoff_s(&cfg, retries);
+                            res.timing.hw_measure_s += fault_s + wait_s;
+                            tracer.advance_s(fault_s + wait_s);
+                            tracer.gauge_add("measure.fault_s", fault_s);
+                            tracer.gauge_add("measure.backoff_s", wait_s);
+                            tracer.counter_add("measure.retries", 1);
+                            tracer.point_with("measure.retry", || {
+                                [("tag", e.tag().to_string()), ("retry", retries.to_string())]
+                            });
                             if retries > cfg.max_retries {
                                 quarantine = true;
                                 fail = Some(e);
@@ -736,6 +829,7 @@ impl Tuner {
         }
         if saw_timeout {
             res.timeout_trials += 1;
+            tracer.counter_add("measure.timeout_trials", 1);
         }
         let score = match outcome {
             Ok((kernel, m)) => {
@@ -753,9 +847,14 @@ impl Tuner {
                     *res.error_counts.entry(e.tag().to_string()).or_insert(0) += 1;
                 }
                 res.invalid_trials += 1;
+                tracer.counter_add("measure.invalid_trials", 1);
                 if quarantine {
                     self.state.quarantined.insert(sol.fingerprint());
                     res.quarantined = self.state.quarantined.len();
+                    tracer.counter_add("measure.quarantined", 1);
+                    tracer.point_with("measure.quarantine", || {
+                        [("fp", sol.fingerprint().to_string())]
+                    });
                 }
                 // Penalty policy: teach the model "bad", not "zero".
                 res.best_gflops * cfg.penalty_fraction
@@ -925,6 +1024,7 @@ impl Tuner {
             config,
             rng,
             state,
+            tracer: Tracer::disabled(),
         })
     }
 }
@@ -933,6 +1033,7 @@ impl Tuner {
 mod tests {
     use super::*;
     use crate::generate::{SpaceGenerator, SpaceOptions};
+    use heron_csp::rand_sat_with_budget;
     use heron_dla::{v100, vta};
     use heron_tensor::ops;
 
@@ -1065,6 +1166,72 @@ mod tests {
         assert_eq!(result.termination, Termination::SpaceExhausted);
         assert!(result.curve.len() < 10_000);
         assert!(result.report().contains("space-exhausted"));
+    }
+
+    #[test]
+    fn traced_session_matches_untraced_and_emits_balanced_trace() {
+        let run = |tracer: Option<Tracer>| {
+            let space = gemm_space(256, "gemm-traced");
+            let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(24), 7)
+                .with_faults(FaultPlan::uniform(7, 0.3));
+            if let Some(t) = tracer {
+                tuner = tuner.with_tracer(t);
+            }
+            tuner.run()
+        };
+        let tracer = Tracer::manual();
+        let traced = run(Some(tracer.clone()));
+        let plain = run(None);
+        assert_eq!(traced.best_gflops, plain.best_gflops);
+        assert_eq!(
+            traced.curve, plain.curve,
+            "tracing must not perturb the session"
+        );
+        assert_eq!(traced.total_retries, plain.total_retries);
+
+        // The trace parses, balances, and covers every pipeline layer.
+        let summary = heron_trace::check_trace(&tracer.to_jsonl()).expect("balanced trace");
+        let names = summary.span_names();
+        for want in [
+            "tuner.step",
+            "cga.populate",
+            "csp.solve",
+            "cga.evolve",
+            "measure.batch",
+            "measure.trial",
+            "model.fit",
+            "cost.fit",
+        ] {
+            assert!(names.contains(&want), "span {want} missing: {names:?}");
+        }
+        assert!(
+            tracer.metrics_len() >= 12,
+            "expected a rich instrument set:\n{}",
+            tracer.metrics_tsv()
+        );
+        assert_eq!(
+            tracer.counter("measure.trials"),
+            Some(traced.curve.len() as u64)
+        );
+        assert_eq!(
+            tracer.counter("measure.retries"),
+            Some(traced.total_retries as u64)
+        );
+        assert_eq!(
+            tracer.counter("measure.quarantined"),
+            Some(traced.quarantined as u64)
+        );
+        // The manual clock advanced by exactly the simulated charges.
+        let last_t = summary.spans.iter().map(|s| s.t_close_ns).max().unwrap();
+        let hw_ns = (traced.timing.hw_measure_s * 1e9).round() as u64;
+        assert!(
+            last_t.abs_diff(hw_ns) < 1_000,
+            "manual clock {last_t} vs charged {hw_ns}"
+        );
+        // The profile tree is exposed in the report and sums to total_s.
+        assert!(traced.profile().starts_with("tune "));
+        assert!(traced.report().contains("tune "));
+        assert!(traced.report().contains("measure.hw"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Gradient boosting over regression trees (squared loss).
 
 use heron_rng::Rng;
+use heron_trace::Tracer;
 
 use crate::tree::{RegressionTree, TreeParams};
 
@@ -47,6 +48,38 @@ impl Gbdt {
     /// # Panics
     /// Panics if `x` is empty, ragged, or `x.len() != y.len()`.
     pub fn fit<R: Rng>(x: &[Vec<f64>], y: &[f64], params: &GbdtParams, rng: &mut R) -> Self {
+        Gbdt::fit_traced(x, y, params, rng, &Tracer::disabled())
+    }
+
+    /// [`Gbdt::fit`] under a `cost.fit` span, recording the counter
+    /// `cost.fits` and the wall-time histogram `cost.fit_ms` on `tracer`.
+    /// The tracer never draws from `rng`, so traced and untraced fits
+    /// produce identical models.
+    ///
+    /// # Panics
+    /// Same conditions as [`Gbdt::fit`].
+    pub fn fit_traced<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        params: &GbdtParams,
+        rng: &mut R,
+        tracer: &Tracer,
+    ) -> Self {
+        let span = tracer.span_with("cost.fit", || {
+            [
+                ("rows", x.len().to_string()),
+                ("trees", params.n_trees.to_string()),
+            ]
+        });
+        let wall = std::time::Instant::now();
+        let model = Gbdt::fit_inner(x, y, params, rng);
+        tracer.counter_add("cost.fits", 1);
+        tracer.hist_record("cost.fit_ms", wall.elapsed().as_secs_f64() * 1e3);
+        drop(span);
+        model
+    }
+
+    fn fit_inner<R: Rng>(x: &[Vec<f64>], y: &[f64], params: &GbdtParams, rng: &mut R) -> Self {
         assert!(!x.is_empty(), "cannot fit to zero samples");
         assert_eq!(x.len(), y.len(), "feature/target length mismatch");
         let num_features = x[0].len();
@@ -195,6 +228,31 @@ mod tests {
         let mut rng = HeronRng::from_seed(0);
         let m = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng);
         assert!((m.predict(&[100.0]) - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_fit_matches_untraced_and_records_metrics() {
+        let (x, y) = toy();
+        let tracer = Tracer::manual();
+        let mut rng_a = HeronRng::from_seed(7);
+        let mut rng_b = HeronRng::from_seed(7);
+        let traced = Gbdt::fit_traced(&x, &y, &GbdtParams::default(), &mut rng_a, &tracer);
+        let plain = Gbdt::fit(&x, &y, &GbdtParams::default(), &mut rng_b);
+        let probe = vec![3.0, 1.0, 0.4];
+        assert_eq!(
+            traced.predict(&probe),
+            plain.predict(&probe),
+            "tracing must not perturb fitting"
+        );
+        assert_eq!(tracer.counter("cost.fits"), Some(1));
+        let summary = heron_trace::check_trace(&tracer.to_jsonl()).expect("balanced");
+        assert_eq!(summary.spans.len(), 1);
+        assert_eq!(summary.spans[0].name, "cost.fit");
+        assert!(summary.spans[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "rows" && v == "128"));
+        assert!(tracer.metrics_tsv().contains("cost.fit_ms\thistogram"));
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use constraint::Constraint;
 pub use domain::Domain;
 pub use problem::{Csp, Solution, VarCategory, VarRef};
 pub use serialize::{from_text, solution_from_text, solution_to_text, to_text};
-pub use solver::{rand_sat, rand_sat_with_budget, validate};
+pub use solver::{rand_sat, rand_sat_traced, rand_sat_with_budget, validate, SolveStats};
 pub use stats::SpaceCensus;

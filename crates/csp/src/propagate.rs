@@ -5,6 +5,7 @@
 //! cannot appear in any solution; it is deliberately not complete (complete
 //! filtering of PROD is NP-hard), which is the standard CP trade-off.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use crate::constraint::Constraint;
@@ -30,6 +31,11 @@ pub struct Propagator<'a> {
     csp: &'a Csp,
     /// For each variable, the indices of constraints mentioning it.
     watching: Vec<Vec<u32>>,
+    /// Number of single-constraint filtering passes executed (observability
+    /// counter; `Cell` keeps the propagation API `&self`).
+    propagations: Cell<u64>,
+    /// Number of times propagation proved the domains unsatisfiable.
+    wipeouts: Cell<u64>,
 }
 
 impl<'a> Propagator<'a> {
@@ -44,7 +50,28 @@ impl<'a> Propagator<'a> {
                 }
             }
         }
-        Propagator { csp, watching }
+        Propagator {
+            csp,
+            watching,
+            propagations: Cell::new(0),
+            wipeouts: Cell::new(0),
+        }
+    }
+
+    /// Total single-constraint filtering passes executed so far.
+    pub fn propagations(&self) -> u64 {
+        self.propagations.get()
+    }
+
+    /// Total domain wipeouts (infeasibility proofs) observed so far.
+    pub fn wipeouts(&self) -> u64 {
+        self.wipeouts.get()
+    }
+
+    /// Resets both observability counters to zero.
+    pub fn reset_stats(&self) {
+        self.propagations.set(0);
+        self.wipeouts.set(0);
     }
 
     /// Initial domains as declared.
@@ -78,12 +105,16 @@ impl<'a> Propagator<'a> {
         while let Some(ci) = queue.pop_front() {
             queued[ci as usize] = false;
             changed_vars.clear();
+            self.propagations.set(self.propagations.get() + 1);
             filter(
                 &self.csp.constraints()[ci as usize],
                 domains,
                 &mut changed_vars,
             )
-            .map_err(|_| Infeasible)?;
+            .map_err(|_| {
+                self.wipeouts.set(self.wipeouts.get() + 1);
+                Infeasible
+            })?;
             for v in &changed_vars {
                 for &wi in &self.watching[v.0] {
                     // The triggering constraint re-enqueues itself too: one

@@ -8,10 +8,33 @@
 
 use heron_rng::Rng;
 use heron_rng::SliceRandom;
+use heron_trace::Tracer;
 
 use crate::domain::Domain;
 use crate::problem::{Csp, Solution, VarRef};
 use crate::propagate::Propagator;
+
+/// Counters describing one [`rand_sat_traced`] call.
+///
+/// All counts are exact and deterministic for a fixed `(csp, seed, n,
+/// budget)` tuple, which is what the exact-count unit tests pin down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Randomised backtracking dives started (including the ones that
+    /// found a duplicate or nothing).
+    pub attempts: u64,
+    /// Single-constraint filtering passes executed, root propagation
+    /// included.
+    pub propagations: u64,
+    /// Dives that ended without contributing a new solution — either the
+    /// budget ran out or the result duplicated an earlier sample — and
+    /// therefore restarted the search from the root.
+    pub restarts: u64,
+    /// Domain wipeouts (infeasibility proofs) hit during propagation.
+    pub wipeouts: u64,
+    /// Distinct solutions returned.
+    pub solutions: u64,
+}
 
 /// Checks a complete assignment against every declared domain and every
 /// posted constraint.
@@ -45,27 +68,69 @@ pub fn rand_sat_with_budget<R: Rng>(
     n: usize,
     budget: u32,
 ) -> Vec<Solution> {
+    rand_sat_traced(csp, rng, n, budget, &Tracer::disabled()).0
+}
+
+/// [`rand_sat_with_budget`] that additionally reports exact solver
+/// counters and records them on `tracer` (span `csp.solve`, counters
+/// `csp.*`). The tracer never touches `rng`, so traced and untraced runs
+/// draw identical samples.
+pub fn rand_sat_traced<R: Rng>(
+    csp: &Csp,
+    rng: &mut R,
+    n: usize,
+    budget: u32,
+    tracer: &Tracer,
+) -> (Vec<Solution>, SolveStats) {
+    let span = tracer.span_with("csp.solve", || {
+        [
+            ("n", n.to_string()),
+            ("budget", budget.to_string()),
+            ("vars", csp.num_vars().to_string()),
+        ]
+    });
+    let mut stats = SolveStats::default();
     let prop = Propagator::new(csp);
     let mut root = prop.initial_domains();
-    if prop.run_all(&mut root).is_err() {
-        return Vec::new();
-    }
+    let root_ok = prop.run_all(&mut root).is_ok();
     let mut out = Vec::with_capacity(n);
-    let mut seen = std::collections::HashSet::new();
-    // Give each requested sample a few attempts before giving up, so that a
-    // handful of unlucky random walks does not starve the population.
-    let mut attempts = n * 3;
-    while out.len() < n && attempts > 0 {
-        attempts -= 1;
-        let mut fails = budget;
-        if let Some(sol) = search_one(csp, &prop, &root, rng, &mut fails) {
-            debug_assert!(validate(csp, &sol), "search produced an invalid solution");
-            if seen.insert(sol.fingerprint()) {
-                out.push(sol);
+    if root_ok {
+        let mut seen = std::collections::HashSet::new();
+        // Give each requested sample a few attempts before giving up, so
+        // that a handful of unlucky random walks does not starve the
+        // population.
+        let mut attempts = n * 3;
+        while out.len() < n && attempts > 0 {
+            attempts -= 1;
+            stats.attempts += 1;
+            let mut fails = budget;
+            let found = match search_one(csp, &prop, &root, rng, &mut fails) {
+                Some(sol) => {
+                    debug_assert!(validate(csp, &sol), "search produced an invalid solution");
+                    if seen.insert(sol.fingerprint()) {
+                        out.push(sol);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            if !found {
+                stats.restarts += 1;
             }
         }
     }
-    out
+    stats.propagations = prop.propagations();
+    stats.wipeouts = prop.wipeouts();
+    stats.solutions = out.len() as u64;
+    tracer.counter_add("csp.attempts", stats.attempts);
+    tracer.counter_add("csp.propagations", stats.propagations);
+    tracer.counter_add("csp.restarts", stats.restarts);
+    tracer.counter_add("csp.wipeouts", stats.wipeouts);
+    tracer.counter_add("csp.solutions", stats.solutions);
+    drop(span);
+    (out, stats)
 }
 
 /// One randomised dive with chronological backtracking.
@@ -227,6 +292,103 @@ mod tests {
         let mut bad = s.values().to_vec();
         bad[1] += 1; // break PROD
         assert!(!validate(&csp, &Solution::new(bad)));
+    }
+
+    #[test]
+    fn solve_stats_exact_counts_on_trivial_space() {
+        // One variable, no constraints: a single dive, no propagation.
+        let mut csp = Csp::new();
+        csp.add_var("a", Domain::values([1, 2]), VarCategory::Tunable);
+        let mut rng = HeronRng::from_seed(5);
+        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 1, 100, &Tracer::disabled());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(
+            stats,
+            SolveStats {
+                attempts: 1,
+                propagations: 0,
+                restarts: 0,
+                wipeouts: 0,
+                solutions: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn solve_stats_exact_counts_with_one_constraint() {
+        // `a IN {1}` filters once (changes the domain, re-enqueues itself)
+        // and once more at fixpoint: exactly 2 propagations at the root.
+        let mut csp = Csp::new();
+        let a = csp.add_var("a", Domain::values([1, 2]), VarCategory::Tunable);
+        csp.post_in(a, [1]);
+        let mut rng = HeronRng::from_seed(5);
+        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 1, 100, &Tracer::disabled());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].value(a), 1);
+        assert_eq!(
+            stats,
+            SolveStats {
+                attempts: 1,
+                propagations: 2,
+                restarts: 0,
+                wipeouts: 0,
+                solutions: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn solve_stats_count_wipeouts_and_restarts() {
+        // Infeasible: the root propagation wipes out immediately, no dives.
+        let mut csp = Csp::new();
+        let a = csp.add_var("a", Domain::values([2, 3]), VarCategory::Tunable);
+        csp.post_in(a, [7, 9]);
+        let mut rng = HeronRng::from_seed(0);
+        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 4, 100, &Tracer::disabled());
+        assert!(sols.is_empty());
+        assert_eq!(
+            stats,
+            SolveStats {
+                attempts: 0,
+                propagations: 1,
+                restarts: 0,
+                wipeouts: 1,
+                solutions: 0,
+            }
+        );
+
+        // A one-solution space asked for two: every extra dive rediscovers
+        // the duplicate and counts as a restart (attempt budget = n * 3).
+        let mut csp = Csp::new();
+        csp.add_var("b", Domain::values([7]), VarCategory::Tunable);
+        let mut rng = HeronRng::from_seed(1);
+        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 2, 100, &Tracer::disabled());
+        assert_eq!(sols.len(), 1);
+        assert_eq!(stats.attempts, 6);
+        assert_eq!(stats.restarts, 5);
+        assert_eq!(stats.solutions, 1);
+    }
+
+    #[test]
+    fn traced_solve_records_span_and_counters_without_touching_rng() {
+        let (csp, _) = tiling_csp();
+        let tracer = Tracer::manual();
+        let mut rng_a = HeronRng::from_seed(11);
+        let mut rng_b = HeronRng::from_seed(11);
+        let (traced, stats) = rand_sat_traced(&csp, &mut rng_a, 8, 2_000, &tracer);
+        let untraced = rand_sat_with_budget(&csp, &mut rng_b, 8, 2_000);
+        assert_eq!(traced, untraced, "tracing must not perturb sampling");
+        assert_eq!(tracer.counter("csp.attempts"), Some(stats.attempts));
+        assert_eq!(tracer.counter("csp.propagations"), Some(stats.propagations));
+        assert_eq!(tracer.counter("csp.solutions"), Some(stats.solutions));
+        assert!(stats.propagations > 0);
+        let summary = heron_trace::check_trace(&tracer.to_jsonl()).expect("balanced trace");
+        assert_eq!(summary.spans.len(), 1);
+        assert_eq!(summary.spans[0].name, "csp.solve");
+        assert!(summary.spans[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "n" && v == "8"));
     }
 
     #[test]

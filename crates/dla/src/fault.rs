@@ -24,6 +24,7 @@
 
 use heron_rng::{Rng, SplitMix64};
 use heron_sched::Kernel;
+use heron_trace::Tracer;
 
 use crate::sim::{hash2, signed_unit, MeasureError, Measurement, Measurer};
 use crate::spec::DlaSpec;
@@ -288,12 +289,31 @@ impl FaultPlan {
 pub struct FaultyMeasurer {
     inner: Measurer,
     plan: FaultPlan,
+    tracer: Tracer,
 }
 
 impl FaultyMeasurer {
     /// Wraps a measurer with an injection plan.
     pub fn new(inner: Measurer, plan: FaultPlan) -> Self {
-        FaultyMeasurer { inner, plan }
+        FaultyMeasurer {
+            inner,
+            plan,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a tracer: attempts and injected faults are counted under
+    /// `dla.*` (per-tag: `dla.fault_injected.<tag>`). The tracer observes
+    /// only; outcomes are unchanged.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Replaces the attached tracer in place.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// A fault-free wrapper (used by sessions without injection so the
@@ -330,10 +350,18 @@ impl FaultyMeasurer {
         kernel: &Kernel,
         attempt: u32,
     ) -> Result<Measurement, MeasureError> {
+        self.tracer.counter_add("dla.measure_attempts", 1);
         self.inner.validate(kernel)?;
         match self.plan.outcome(kernel.fingerprint, attempt) {
-            FaultDraw::Fault(e) => Err(e),
+            FaultDraw::Fault(e) => {
+                if self.tracer.is_enabled() {
+                    self.tracer
+                        .counter_add(&format!("dla.fault_injected.{}", e.tag()), 1);
+                }
+                Err(e)
+            }
             FaultDraw::Noisy { factor } => {
+                self.tracer.counter_add("dla.noisy_injected", 1);
                 let m = self.inner.measure_once(kernel, u64::from(attempt))?;
                 let latency_s = m.latency_s * factor;
                 Ok(Measurement {
@@ -428,6 +456,66 @@ mod tests {
             assert!(tags.contains(want), "class {want} never injected: {tags:?}");
         }
         assert!(saw_noisy, "noisy latency never injected");
+    }
+
+    #[test]
+    fn tracer_counts_attempts_and_injections_per_tag() {
+        use heron_sched::{KernelStage, MemScope, StageRole};
+        use heron_tensor::DType;
+        let comp = KernelStage {
+            name: "C".into(),
+            role: StageRole::Compute,
+            src_scope: MemScope::FragA,
+            dst_scope: MemScope::FragAcc,
+            dtype: DType::F16,
+            elems: 0,
+            execs: 1,
+            vector: 1,
+            align_pad: 0,
+            row_elems: 0,
+            intrinsic: Some((16, 16, 16)),
+            intrinsic_execs: 1 << 14,
+            scalar_ops: 0,
+            unroll: 512,
+        };
+        let mut k = Kernel {
+            dla: "v100".into(),
+            workload: "t".into(),
+            total_flops: 1 << 28,
+            grid: 80,
+            threads: 8,
+            stages: vec![comp],
+            buffers: vec![],
+            fingerprint: 0,
+        };
+        let tracer = Tracer::manual();
+        let fm = FaultyMeasurer::new(
+            Measurer::new(crate::platforms::v100()),
+            FaultPlan::uniform(3, 0.9),
+        )
+        .with_tracer(tracer.clone());
+        let mut attempts = 0u64;
+        let mut faults = 0u64;
+        for fp in 0..300u64 {
+            k.fingerprint = fp;
+            for a in 0..3u32 {
+                attempts += 1;
+                if fm.measure_attempt(&k, a).is_err() {
+                    faults += 1;
+                }
+            }
+        }
+        assert_eq!(tracer.counter("dla.measure_attempts"), Some(attempts));
+        let tagged: u64 = ["timeout", "device-hang", "rpc-dropped", "spurious"]
+            .iter()
+            .filter_map(|t| tracer.counter(&format!("dla.fault_injected.{t}")))
+            .sum();
+        assert_eq!(tagged, faults, "every failure is attributed to a tag");
+        assert!(faults > 0, "a 0.9 plan must inject something");
+        assert!(
+            tracer.counter("dla.noisy_injected").unwrap_or(0) > 0,
+            "noisy outliers appear at rate 0.9"
+        );
     }
 
     #[test]

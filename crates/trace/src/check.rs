@@ -1,0 +1,273 @@
+//! Trace validation: parses a JSONL export back and checks that it is a
+//! well-formed span trace (`trace_report --check` and the determinism
+//! tests build on this).
+//!
+//! A trace is valid iff every line parses as a JSON object, events carry
+//! the fields their `ev` kind requires, sequence numbers are the line
+//! indices, every `close` matches the innermost open span (strict LIFO),
+//! timestamps are monotone non-decreasing, and no span is left open at
+//! end of input.
+
+use crate::json::{self, Json};
+
+/// One reconstructed span (open + close pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// Span id as recorded.
+    pub id: u64,
+    /// Enclosing span id (0 at top level).
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Timestamp of the open event, nanoseconds.
+    pub t_open_ns: u64,
+    /// Timestamp of the close event, nanoseconds.
+    pub t_close_ns: u64,
+    /// Structured fields recorded at open.
+    pub fields: Vec<(String, String)>,
+}
+
+impl SpanRec {
+    /// Span duration (close − open), nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.t_close_ns.saturating_sub(self.t_open_ns)
+    }
+}
+
+/// The result of validating a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Every completed span, in order of the *open* events.
+    pub spans: Vec<SpanRec>,
+    /// Number of point events.
+    pub points: usize,
+    /// Total number of events (lines).
+    pub events: usize,
+}
+
+impl TraceSummary {
+    /// The spans with the given parent id, in open order.
+    pub fn children_of(&self, parent: u64) -> Vec<&SpanRec> {
+        self.spans.iter().filter(|s| s.parent == parent).collect()
+    }
+
+    /// Distinct span names, in first-seen order.
+    pub fn span_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for s in &self.spans {
+            if !names.contains(&s.name.as_str()) {
+                names.push(&s.name);
+            }
+        }
+        names
+    }
+}
+
+fn get_u64(obj: &Json, key: &str, line: usize) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line}: missing or non-integer `{key}`"))
+}
+
+fn get_str<'j>(obj: &'j Json, key: &str, line: usize) -> Result<&'j str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line}: missing or non-string `{key}`"))
+}
+
+fn get_fields(obj: &Json, line: usize) -> Result<Vec<(String, String)>, String> {
+    match obj.get("fields") {
+        None => Ok(Vec::new()),
+        Some(Json::Obj(members)) => members
+            .iter()
+            .map(|(k, v)| match v {
+                Json::Str(s) => Ok((k.clone(), s.clone())),
+                other => Err(format!(
+                    "line {line}: field `{k}` is not a string: {other:?}"
+                )),
+            })
+            .collect(),
+        Some(other) => Err(format!("line {line}: `fields` is not an object: {other:?}")),
+    }
+}
+
+/// Validates a JSONL trace and reconstructs its spans.
+///
+/// # Errors
+/// A human-readable message naming the first offending line.
+pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
+    // Pending open spans, innermost last: (index into `spans`, id).
+    let mut stack: Vec<(usize, u64)> = Vec::new();
+    let mut spans: Vec<SpanRec> = Vec::new();
+    let mut points = 0usize;
+    let mut events = 0usize;
+    let mut last_t_ns = 0u64;
+
+    for (idx, line) in jsonl.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: empty line in trace"));
+        }
+        let obj = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !matches!(obj, Json::Obj(_)) {
+            return Err(format!("line {lineno}: event is not a JSON object"));
+        }
+        events += 1;
+
+        let seq = get_u64(&obj, "seq", lineno)?;
+        if seq != idx as u64 {
+            return Err(format!(
+                "line {lineno}: seq {seq} does not match line index {idx}"
+            ));
+        }
+        let t_ns = get_u64(&obj, "t_ns", lineno)?;
+        if t_ns < last_t_ns {
+            return Err(format!(
+                "line {lineno}: timestamp {t_ns} goes backwards (previous {last_t_ns})"
+            ));
+        }
+        last_t_ns = t_ns;
+
+        match get_str(&obj, "ev", lineno)? {
+            "open" => {
+                let id = get_u64(&obj, "id", lineno)?;
+                if id == 0 {
+                    return Err(format!("line {lineno}: span id 0 is reserved"));
+                }
+                let parent = get_u64(&obj, "parent", lineno)?;
+                let expected_parent = stack.last().map_or(0, |&(_, id)| id);
+                if parent != expected_parent {
+                    return Err(format!(
+                        "line {lineno}: span {id} claims parent {parent} but innermost open span is {expected_parent}"
+                    ));
+                }
+                let name = get_str(&obj, "name", lineno)?.to_string();
+                let fields = get_fields(&obj, lineno)?;
+                stack.push((spans.len(), id));
+                spans.push(SpanRec {
+                    id,
+                    parent,
+                    name,
+                    t_open_ns: t_ns,
+                    t_close_ns: t_ns,
+                    fields,
+                });
+            }
+            "close" => {
+                let id = get_u64(&obj, "id", lineno)?;
+                match stack.pop() {
+                    Some((slot, open_id)) if open_id == id => {
+                        spans[slot].t_close_ns = t_ns;
+                    }
+                    Some((_, open_id)) => {
+                        return Err(format!(
+                            "line {lineno}: close of span {id} but innermost open span is {open_id} (not LIFO)"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {lineno}: close of span {id} with no span open"
+                        ));
+                    }
+                }
+            }
+            "point" => {
+                get_str(&obj, "name", lineno)?;
+                get_fields(&obj, lineno)?;
+                points += 1;
+            }
+            other => return Err(format!("line {lineno}: unknown event kind `{other}`")),
+        }
+    }
+
+    if let Some(&(slot, id)) = stack.last() {
+        return Err(format!(
+            "span {id} (`{}`) is never closed",
+            spans[slot].name
+        ));
+    }
+
+    Ok(TraceSummary {
+        spans,
+        points,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn accepts_a_real_trace_and_reconstructs_it() {
+        let t = Tracer::manual();
+        {
+            let _a = t.span("tuner.step");
+            t.advance_s(0.25);
+            {
+                let _b = t.span_with("model.fit", || vec![("rows", "32".to_string())]);
+                t.advance_s(0.25);
+            }
+            t.point("measure.retry");
+        }
+        let summary = check_trace(&t.to_jsonl()).expect("valid");
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.points, 1);
+        assert_eq!(summary.span_names(), vec!["tuner.step", "model.fit"]);
+        let fit = &summary.spans[1];
+        assert_eq!(fit.fields, vec![("rows".to_string(), "32".to_string())]);
+        assert_eq!(fit.dur_ns(), 250_000_000);
+        assert_eq!(summary.children_of(summary.spans[0].id).len(), 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_malformed_traces() {
+        // Unclosed span.
+        let open = r#"{"seq":0,"ev":"open","id":1,"parent":0,"name":"a","t_ns":0,"fields":{}}"#;
+        let err = check_trace(open).unwrap_err();
+        assert!(err.contains("never closed"), "{err}");
+
+        // Close without open.
+        let close = r#"{"seq":0,"ev":"close","id":1,"t_ns":0}"#;
+        assert!(check_trace(close).unwrap_err().contains("no span open"));
+
+        // Non-LIFO close.
+        let bad = [
+            r#"{"seq":0,"ev":"open","id":1,"parent":0,"name":"a","t_ns":0,"fields":{}}"#,
+            r#"{"seq":1,"ev":"open","id":2,"parent":1,"name":"b","t_ns":0,"fields":{}}"#,
+            r#"{"seq":2,"ev":"close","id":1,"t_ns":0}"#,
+        ]
+        .join("\n");
+        assert!(check_trace(&bad).unwrap_err().contains("not LIFO"));
+
+        // Wrong parent claim.
+        let orphan = [
+            r#"{"seq":0,"ev":"open","id":1,"parent":0,"name":"a","t_ns":0,"fields":{}}"#,
+            r#"{"seq":1,"ev":"open","id":2,"parent":7,"name":"b","t_ns":0,"fields":{}}"#,
+        ]
+        .join("\n");
+        assert!(check_trace(&orphan).unwrap_err().contains("claims parent"));
+
+        // Bad seq numbering.
+        let seq = r#"{"seq":5,"ev":"point","name":"p","t_ns":0,"fields":{}}"#;
+        assert!(check_trace(seq).unwrap_err().contains("seq"));
+
+        // Time going backwards.
+        let back = [
+            r#"{"seq":0,"ev":"point","name":"p","t_ns":10,"fields":{}}"#,
+            r#"{"seq":1,"ev":"point","name":"q","t_ns":5,"fields":{}}"#,
+        ]
+        .join("\n");
+        assert!(check_trace(&back).unwrap_err().contains("backwards"));
+
+        // Not JSON at all.
+        assert!(check_trace("not json").is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid_and_empty() {
+        let s = check_trace("").expect("empty ok");
+        assert_eq!(s, TraceSummary::default());
+    }
+}

@@ -1,0 +1,280 @@
+//! Named-instrument metrics registry: counters, gauges and fixed-bucket
+//! histograms, snapshotable to TSV.
+//!
+//! Naming convention (DESIGN.md §7): `layer.noun_verb`, lower-case, with
+//! the pipeline layer as the first dotted component — `csp.propagations`,
+//! `cga.offspring_invalid`, `model.fit_ms`, `measure.retries`. Dynamic
+//! tags append one more component (`dla.fault_injected.timeout`).
+//!
+//! The registry is a `BTreeMap`, so snapshots list instruments in stable
+//! lexicographic order — a prerequisite for diffable, deterministic TSV
+//! output.
+
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds (inclusive), tuned for
+/// millisecond-scale timings: `v <= bound` lands in the bucket. Values
+/// above the last bound land in the implicit `inf` bucket.
+pub const DEFAULT_BUCKETS: [f64; 7] = [0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// A fixed-bucket histogram with running count/sum/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// One count per finite bucket, plus a final overflow (`inf`) bucket.
+    pub counts: Vec<u64>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (`inf` when empty).
+    pub min: f64,
+    /// Largest recorded value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Renders the buckets as `le<bound>:<count>;…;inf:<count>`.
+    pub fn buckets_string(&self) -> String {
+        let mut parts: Vec<String> = self
+            .bounds
+            .iter()
+            .zip(&self.counts)
+            .map(|(b, c)| format!("le{b}:{c}"))
+            .collect();
+        parts.push(format!("inf:{}", self.counts[self.bounds.len()]));
+        parts.join(";")
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instrument {
+    /// Monotonically increasing integer count.
+    Counter(u64),
+    /// Last-write-wins (or accumulated) floating-point value.
+    Gauge(f64),
+    /// Fixed-bucket distribution.
+    Hist(Histogram),
+}
+
+impl Instrument {
+    /// Short type tag used in the TSV snapshot.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: instrument name → instrument, in stable order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    map: BTreeMap<String, Instrument>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the named counter (created at 0 on first use).
+    /// Panics in debug builds if the name is already registered with a
+    /// different instrument type.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        match self
+            .map
+            .entry(name.to_string())
+            .or_insert(Instrument::Counter(0))
+        {
+            Instrument::Counter(c) => *c += n,
+            other => debug_assert!(false, "{name} is a {}, not a counter", other.type_tag()),
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        match self
+            .map
+            .entry(name.to_string())
+            .or_insert(Instrument::Gauge(0.0))
+        {
+            Instrument::Gauge(g) => *g = v,
+            other => debug_assert!(false, "{name} is a {}, not a gauge", other.type_tag()),
+        }
+    }
+
+    /// Adds `v` to the named gauge (accumulating seconds, bytes, …).
+    pub fn gauge_add(&mut self, name: &str, v: f64) {
+        match self
+            .map
+            .entry(name.to_string())
+            .or_insert(Instrument::Gauge(0.0))
+        {
+            Instrument::Gauge(g) => *g += v,
+            other => debug_assert!(false, "{name} is a {}, not a gauge", other.type_tag()),
+        }
+    }
+
+    /// Records a value into the named histogram (default buckets on first
+    /// use).
+    pub fn hist_record(&mut self, name: &str, v: f64) {
+        match self
+            .map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Hist(Histogram::new(&DEFAULT_BUCKETS)))
+        {
+            Instrument::Hist(h) => h.record(v),
+            other => debug_assert!(false, "{name} is a {}, not a histogram", other.type_tag()),
+        }
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up the current value of a counter (`None` when absent or not
+    /// a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.map.get(name) {
+            Some(Instrument::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Looks up the current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.map.get(name) {
+            Some(Instrument::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, instrument)` in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Instrument)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// TSV snapshot: header row plus one row per instrument, in stable
+    /// lexicographic order.
+    ///
+    /// ```text
+    /// metric              type       value  count  min  max  buckets
+    /// csp.propagations    counter    1234   -      -    -    -
+    /// measure.latency_ms  histogram  42.5   16     0.9  9.1  le0.01:0;…;inf:0
+    /// ```
+    /// (columns are separated by single tab characters)
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("metric\ttype\tvalue\tcount\tmin\tmax\tbuckets\n");
+        for (name, inst) in &self.map {
+            let row = match inst {
+                Instrument::Counter(c) => format!("{name}\tcounter\t{c}\t-\t-\t-\t-"),
+                Instrument::Gauge(g) => format!("{name}\tgauge\t{g}\t-\t-\t-\t-"),
+                Instrument::Hist(h) => {
+                    let (min, max) = if h.count == 0 {
+                        ("-".to_string(), "-".to_string())
+                    } else {
+                        (h.min.to_string(), h.max.to_string())
+                    };
+                    format!(
+                        "{name}\thistogram\t{}\t{}\t{min}\t{max}\t{}",
+                        h.sum,
+                        h.count,
+                        h.buckets_string()
+                    )
+                }
+            };
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("csp.propagations", 3);
+        m.counter_add("csp.propagations", 4);
+        m.gauge_set("tuner.best_gflops", 12.5);
+        m.gauge_add("measure.hw_s", 1.5);
+        m.gauge_add("measure.hw_s", 2.5);
+        m.hist_record("model.fit_ms", 0.5);
+        m.hist_record("model.fit_ms", 50.0);
+        assert_eq!(m.counter("csp.propagations"), Some(7));
+        assert_eq!(m.gauge("tuner.best_gflops"), Some(12.5));
+        assert_eq!(m.gauge("measure.hw_s"), Some(4.0));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn tsv_snapshot_is_sorted_and_complete() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z.last", 1);
+        m.counter_add("a.first", 2);
+        m.hist_record("m.mid_ms", 5.0);
+        let tsv = m.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[0], "metric\ttype\tvalue\tcount\tmin\tmax\tbuckets");
+        assert!(lines[1].starts_with("a.first\tcounter\t2"));
+        assert!(lines[2].starts_with("m.mid_ms\thistogram\t5\t1\t5\t5\t"));
+        assert!(lines[2].contains("le10:1"));
+        assert!(lines[3].starts_with("z.last\tcounter\t1"));
+        for line in &lines[1..] {
+            assert_eq!(line.split('\t').count(), 7, "row {line}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_cover_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(10.0); // inclusive upper bound
+        h.record(99.0); // overflow
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets_string(), "le1:1;le10:1;inf:1");
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 99.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Hierarchical profile reports: a flamegraph-style text tree of where
+//! time went, either built directly from known totals (the tuner's
+//! `TuneTiming`) or aggregated from a validated trace.
+
+use crate::check::TraceSummary;
+
+/// One node of the profile tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Display name (span or layer name).
+    pub name: String,
+    /// Total seconds attributed to this node, children included.
+    pub total_s: f64,
+    /// Number of times the span was entered (0 = not applicable).
+    pub count: u64,
+    /// Optional annotation rendered after the timing.
+    pub note: String,
+    /// Child nodes, in insertion order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// A leaf node.
+    pub fn new(name: &str, total_s: f64) -> Self {
+        ProfileNode {
+            name: name.to_string(),
+            total_s,
+            count: 0,
+            note: String::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: sets the annotation.
+    #[must_use]
+    pub fn with_note(mut self, note: &str) -> Self {
+        self.note = note.to_string();
+        self
+    }
+
+    /// Builder: sets the entry count.
+    #[must_use]
+    pub fn with_count(mut self, count: u64) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Adds a child and returns `self` for chaining.
+    pub fn push(&mut self, child: ProfileNode) -> &mut Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Seconds not covered by any child (`total - Σ children`), clamped
+    /// at zero.
+    pub fn self_s(&self) -> f64 {
+        let covered: f64 = self.children.iter().map(|c| c.total_s).sum();
+        (self.total_s - covered).max(0.0)
+    }
+
+    /// Renders the tree with box-drawing branches, percentages relative
+    /// to this (root) node, and `self` rows for interior nodes whose
+    /// children don't account for all their time.
+    ///
+    /// ```text
+    /// tune 12.000s 100.0%
+    /// ├─ cga.evolve 3.000s 25.0% (x40)
+    /// ├─ model.fit 1.000s 8.3%
+    /// └─ measure.hw 8.000s 66.7%
+    /// ```
+    pub fn render(&self) -> String {
+        let root_total = if self.total_s > 0.0 {
+            self.total_s
+        } else {
+            1.0
+        };
+        let mut out = String::new();
+        out.push_str(&self.row_text(root_total));
+        out.push('\n');
+        render_children(&self.children, "", root_total, &mut out);
+        out
+    }
+
+    fn row_text(&self, root_total: f64) -> String {
+        let pct = 100.0 * self.total_s / root_total;
+        let mut row = format!("{} {:.3}s {:.1}%", self.name, self.total_s, pct);
+        if self.count > 0 {
+            row.push_str(&format!(" (x{})", self.count));
+        }
+        if !self.note.is_empty() {
+            row.push_str(&format!(" [{}]", self.note));
+        }
+        row
+    }
+}
+
+fn render_children(children: &[ProfileNode], prefix: &str, root_total: f64, out: &mut String) {
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let branch = if last { "└─ " } else { "├─ " };
+        out.push_str(prefix);
+        out.push_str(branch);
+        out.push_str(&child.row_text(root_total));
+        out.push('\n');
+        let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        if !child.children.is_empty() {
+            render_children(&child.children, &child_prefix, root_total, out);
+            // An explicit self-time row when the children leave a gap.
+            let self_s = child.self_s();
+            if self_s > 1e-9 {
+                out.push_str(&child_prefix);
+                out.push_str("└─ ");
+                out.push_str(&ProfileNode::new("(self)", self_s).row_text(root_total));
+                out.push('\n');
+            }
+        }
+    }
+}
+
+/// Aggregates a validated trace into a profile tree: spans with the same
+/// name under the same parent-name path are merged, their durations
+/// summed and entries counted. The synthetic root spans the whole trace.
+pub fn profile_from_summary(summary: &TraceSummary) -> ProfileNode {
+    let total_ns = summary
+        .spans
+        .iter()
+        .filter(|s| s.parent == 0)
+        .map(super::check::SpanRec::dur_ns)
+        .sum::<u64>();
+    let mut root = ProfileNode::new("trace", total_ns as f64 / 1e9);
+    aggregate_children(summary, 0, &mut root);
+    root
+}
+
+fn aggregate_children(summary: &TraceSummary, parent: u64, into: &mut ProfileNode) {
+    // Merge by name, preserving first-seen order.
+    for span in summary.spans.iter().filter(|s| s.parent == parent) {
+        let dur_s = span.dur_ns() as f64 / 1e9;
+        let node = match into.children.iter_mut().find(|c| c.name == span.name) {
+            Some(existing) => {
+                existing.total_s += dur_s;
+                existing.count += 1;
+                existing
+            }
+            None => {
+                into.children
+                    .push(ProfileNode::new(&span.name, dur_s).with_count(1));
+                into.children.last_mut().expect("just pushed")
+            }
+        };
+        aggregate_children(summary, span.id, node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check_trace;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn render_shows_tree_percentages_and_self_time() {
+        let mut root = ProfileNode::new("tune", 12.0);
+        let mut evolve = ProfileNode::new("cga.evolve", 3.0).with_count(40);
+        evolve.push(ProfileNode::new("cga.crossover", 1.0));
+        root.push(evolve);
+        root.push(ProfileNode::new("measure.hw", 8.0).with_note("simulated"));
+        let text = root.render();
+        assert!(text.starts_with("tune 12.000s 100.0%\n"), "{text}");
+        assert!(text.contains("├─ cga.evolve 3.000s 25.0% (x40)"), "{text}");
+        assert!(text.contains("│  └─ cga.crossover 1.000s 8.3%"), "{text}");
+        // evolve's children cover 1.0 of 3.0 → a (self) row for 2.0.
+        assert!(text.contains("└─ (self) 2.000s 16.7%"), "{text}");
+        assert!(
+            text.contains("└─ measure.hw 8.000s 66.7% [simulated]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn self_time_never_negative_and_zero_total_renders() {
+        let mut n = ProfileNode::new("n", 1.0);
+        n.push(ProfileNode::new("big", 5.0));
+        assert_eq!(n.self_s(), 0.0);
+        let z = ProfileNode::new("zero", 0.0);
+        assert!(z.render().contains("zero 0.000s"));
+    }
+
+    #[test]
+    fn aggregates_repeated_spans_from_a_trace() {
+        let t = Tracer::manual();
+        for _ in 0..3 {
+            let _step = t.span("tuner.step");
+            {
+                let _e = t.span("cga.evolve");
+                t.advance_s(1.0);
+            }
+            {
+                let _m = t.span("measure.batch");
+                t.advance_s(2.0);
+            }
+        }
+        let summary = check_trace(&t.to_jsonl()).expect("valid");
+        let prof = profile_from_summary(&summary);
+        assert_eq!(prof.name, "trace");
+        assert!((prof.total_s - 9.0).abs() < 1e-9);
+        assert_eq!(prof.children.len(), 1);
+        let step = &prof.children[0];
+        assert_eq!(step.name, "tuner.step");
+        assert_eq!(step.count, 3);
+        assert!((step.total_s - 9.0).abs() < 1e-9);
+        let evolve = step
+            .children
+            .iter()
+            .find(|c| c.name == "cga.evolve")
+            .unwrap();
+        assert_eq!(evolve.count, 3);
+        assert!((evolve.total_s - 3.0).abs() < 1e-9);
+        assert!(step.self_s() < 1e-9);
+    }
+}

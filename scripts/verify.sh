@@ -53,4 +53,51 @@ echo "== fault-injection smoke (resilient tuning) =="
 cargo run --release --offline -p heron-bench --bin fault_sweep -- --smoke >/dev/null
 echo "ok: tuner finds valid programs under injected faults"
 
+echo "== observability smoke (traced tuning) =="
+# A traced smoke tune must produce (a) a JSONL trace that passes the
+# structural validator (balanced spans, contiguous seq, monotone
+# timestamps — DESIGN.md §7) and (b) a metrics snapshot covering at
+# least 12 distinct instruments across the pipeline layers.
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run --release --offline -p heron-bench --bin heron_cli -- \
+    tune --op gemm --shape 256x256x256 --trials 24 --fault-rate 0.2 \
+    --trace-out "$obs_dir/trace.jsonl" --metrics-out "$obs_dir/metrics.tsv" \
+    >/dev/null 2>&1
+cargo run --release --offline -p heron-bench --bin trace_report -- \
+    "$obs_dir/trace.jsonl" --check
+instruments=$(($(wc -l < "$obs_dir/metrics.tsv") - 1))
+if [ "$instruments" -lt 12 ]; then
+    echo "error: traced tune registered only $instruments instruments (<12)" >&2
+    exit 1
+fi
+for layer in csp. cga. model. measure. dla.; do
+    if ! grep -q "^$layer" "$obs_dir/metrics.tsv"; then
+        echo "error: no \`$layer*\` instrument in the metrics snapshot" >&2
+        exit 1
+    fi
+done
+echo "ok: trace validates; $instruments instruments across all layers"
+
+echo "== stray-print lint (library crates) =="
+# Library crates must report through heron-trace (or return values), not
+# by printing: only the bench binaries and the test harness may talk to
+# stdout/stderr directly. Doc comments and test modules are exempt; the
+# lint is line-based, so code-fence examples inside `//!`/`///` blocks
+# and `#[cfg(test)]` sections are matched by their comment or `grep -v`
+# context below.
+stray=$(grep -rn --include='*.rs' -E '\b(println!|eprintln!)' crates src \
+    | grep -v '^crates/bench/' \
+    | grep -v '^crates/testkit/' \
+    | grep -vE ':[0-9]+:[[:space:]]*//' \
+    | grep -vE '(^|/)tests/' \
+    || true)
+if [ -n "$stray" ]; then
+    echo "error: direct println!/eprintln! in a library crate:" >&2
+    echo "$stray" >&2
+    echo "hint: route diagnostics through heron-trace (DESIGN.md §7)" >&2
+    exit 1
+fi
+echo "ok: no stray prints outside bench/testkit"
+
 echo "verify.sh: all checks passed"

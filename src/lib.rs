@@ -26,6 +26,7 @@
 //! | [`baselines`] | `heron-baselines` | AutoTVM/Ansor/AMOS-like tuners, vendor models |
 //! | [`graph`] | `heron-graph` | network IR, operator fusion, compile/tuning cache |
 //! | [`workloads`] | `heron-workloads` | paper benchmark suites and networks |
+//! | [`trace`] | `heron-trace` | span tracing, metrics registry, profile reports |
 //!
 //! # Quickstart
 //!
@@ -61,6 +62,7 @@ pub use heron_dla as dla;
 pub use heron_graph as graph;
 pub use heron_sched as sched;
 pub use heron_tensor as tensor;
+pub use heron_trace as trace;
 pub use heron_workloads as workloads;
 
 /// Convenient single-import surface for the common workflow.

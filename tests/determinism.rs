@@ -8,6 +8,7 @@ use heron::core::tuner::{TuneConfig, TuneResult, Tuner};
 use heron::core::TuneCheckpoint;
 use heron::dla::FaultPlan;
 use heron::prelude::*;
+use heron::trace::{check_trace, normalize_jsonl, Tracer};
 use heron_rng::HeronRng;
 
 fn space() -> GeneratedSpace {
@@ -175,6 +176,143 @@ fn faulty_sessions_complete_and_quarantine() {
         !result.error_counts.is_empty(),
         "injected faults must be accounted"
     );
+}
+
+/// Strips the wall-clock instruments (`*_ms` fit-time histograms,
+/// `tuner.cga_s`/`tuner.model_s` host-time gauges) whose *values* depend
+/// on the machine; every remaining instrument — all counters and all
+/// simulated-time gauges — must be byte-identical across same-seed runs.
+fn deterministic_metrics(tsv: &str) -> String {
+    tsv.lines()
+        .filter(|l| {
+            let name = l.split('\t').next().unwrap_or("");
+            !name.ends_with("_ms") && name != "tuner.cga_s" && name != "tuner.model_s"
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The full instrument name list (wall-clock ones included) — the set of
+/// registered instruments is itself deterministic even when their values
+/// are not.
+fn metric_names(tsv: &str) -> Vec<String> {
+    tsv.lines()
+        .skip(1)
+        .map(|l| l.split('\t').next().unwrap_or("").to_string())
+        .collect()
+}
+
+fn traced_tune_with(tracer: &Tracer, seed: u64) -> (String, String) {
+    let mut tuner = Tuner::new(
+        space(),
+        Measurer::new(heron::dla::v100()),
+        TuneConfig::quick(24),
+        seed,
+    )
+    .with_faults(FaultPlan::uniform(seed, 0.2));
+    tuner.set_tracer(tracer.clone());
+    tuner.run();
+    (tracer.to_jsonl(), tracer.metrics_tsv())
+}
+
+/// Tracing is part of the determinism contract: under the simulated
+/// manual clock, two same-seed sessions emit byte-identical JSONL traces
+/// (timestamps included) and byte-identical metrics snapshots; a
+/// different seed diverges. The trace also passes structural validation
+/// and covers every pipeline layer.
+#[test]
+fn traced_runs_are_byte_identical_for_same_seed() {
+    let (ja, ma) = traced_tune_with(&Tracer::manual(), 7);
+    let (jb, mb) = traced_tune_with(&Tracer::manual(), 7);
+    assert_eq!(ja, jb, "same-seed JSONL traces diverged");
+    assert_eq!(
+        deterministic_metrics(&ma),
+        deterministic_metrics(&mb),
+        "same-seed metrics snapshots diverged"
+    );
+    assert_eq!(
+        metric_names(&ma),
+        metric_names(&mb),
+        "instrument sets diverged"
+    );
+
+    let summary = check_trace(&ja).expect("trace must be well-formed");
+    for layer in ["csp.solve", "cga.evolve", "measure.trial", "model.fit"] {
+        assert!(
+            summary.span_names().contains(&layer),
+            "trace must cover `{layer}`: {:?}",
+            summary.span_names()
+        );
+    }
+
+    let (jc, _) = traced_tune_with(&Tracer::manual(), 8);
+    assert_ne!(ja, jc, "different seeds gave identical traces");
+}
+
+/// Under the real monotonic clock only the timestamps may differ between
+/// same-seed runs: after zeroing `t_ns`, the event sequences are
+/// byte-identical.
+#[test]
+fn real_clock_traces_match_after_timestamp_normalisation() {
+    let (ja, _) = traced_tune_with(&Tracer::real(), 7);
+    let (jb, _) = traced_tune_with(&Tracer::real(), 7);
+    assert_eq!(
+        normalize_jsonl(&ja),
+        normalize_jsonl(&jb),
+        "same-seed real-clock traces diverged beyond timestamps"
+    );
+}
+
+/// Killing a session at an iteration boundary and resuming it from the
+/// checkpoint reproduces the *trace* of the uninterrupted run's second
+/// half, byte for byte — not just the final scores.
+#[test]
+fn resumed_trace_matches_uninterrupted_suffix() {
+    let seed = 13;
+    let rate = 0.2;
+    let config = TuneConfig::quick(32);
+
+    // Uninterrupted reference: attach a fresh tracer at the trial-16
+    // boundary, so it records exactly the second half of the session.
+    let mut full = Tuner::new(space(), Measurer::new(heron::dla::v100()), config, seed)
+        .with_faults(FaultPlan::uniform(seed, rate));
+    assert!(
+        !full.run_until(16),
+        "32-trial session must not finish by 16"
+    );
+    let t_full = Tracer::manual();
+    full.set_tracer(t_full.clone());
+    full.run();
+
+    // Interrupted run: checkpoint at the same boundary, resume in a
+    // brand-new tuner with its own fresh tracer.
+    let mut first = Tuner::new(space(), Measurer::new(heron::dla::v100()), config, seed)
+        .with_faults(FaultPlan::uniform(seed, rate));
+    assert!(!first.run_until(16));
+    let ckpt = TuneCheckpoint::from_text(&first.checkpoint().to_text()).expect("roundtrips");
+    let mut second = Tuner::resume(
+        space(),
+        Measurer::new(heron::dla::v100()),
+        config,
+        FaultPlan::uniform(seed, rate),
+        &ckpt,
+    )
+    .expect("checkpoint applies");
+    let t_res = Tracer::manual();
+    second.set_tracer(t_res.clone());
+    second.run();
+
+    let (full_trace, res_trace) = (t_full.to_jsonl(), t_res.to_jsonl());
+    assert!(!res_trace.is_empty(), "resumed session must emit events");
+    assert_eq!(
+        res_trace, full_trace,
+        "post-resume trace diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        deterministic_metrics(&t_full.metrics_tsv()),
+        deterministic_metrics(&t_res.metrics_tsv())
+    );
+    check_trace(&res_trace).expect("resumed trace is balanced");
 }
 
 /// RandSAT (constraint-guided random sampling) is a pure function of
