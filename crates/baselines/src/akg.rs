@@ -82,7 +82,7 @@ pub fn akg_outcome(spec: &DlaSpec, dag: &Dag, workload: &str, seed: u64) -> Opti
         }
         // The polyhedral scheduler emits exactly one program: take the
         // first solution of the pinned space.
-        let Some(sol) = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 400).pop() else {
+        let Some(sol) = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 400).one() else {
             continue;
         };
         if let Ok((_, m)) = evaluate(&space, &measurer, &sol) {

@@ -124,7 +124,7 @@ fn realize_entry(
         csp.post_in(var, [*value]);
     }
     // Several completions of the micro knobs; the vendor picks the best.
-    heron_csp::rand_sat_with_budget(&csp, rng, 12, 400)
+    heron_csp::rand_sat_with_budget(&csp, rng, 12, 400).solutions
 }
 
 /// Evaluates the vendor library on a workload; `None` when the platform
@@ -176,7 +176,7 @@ pub fn vendor_outcome(
     if best.is_none() {
         if let Ok(generic) = generator.generate_named(dag, &SpaceOptions::autotvm(), workload) {
             let generic_measurer = Measurer::new(spec.clone());
-            for sol in heron_csp::rand_sat_with_budget(&generic.csp, &mut rng, 3, 400) {
+            for sol in heron_csp::rand_sat_with_budget(&generic.csp, &mut rng, 3, 400).solutions {
                 let Ok((_, m)) = evaluate(&generic, &generic_measurer, &sol) else {
                     continue;
                 };

@@ -18,7 +18,7 @@ fn main() {
         .generate_named(&dag, &SpaceOptions::heron(), "g1")
         .expect("generates");
     let mut rng = HeronRng::from_seed(1);
-    let parents = heron_csp::rand_sat(&space.csp, &mut rng, 2);
+    let parents = heron_csp::rand_sat(&space.csp, &mut rng, 2).expect_sat("gemm space");
     let keys: Vec<_> = space.csp.tunables().into_iter().take(8).collect();
 
     h.bench("cga/offspring_csp", || {
@@ -29,7 +29,7 @@ fn main() {
     h.bench("cga/offspring_csp+solve", || {
         let csp = offspring_csp(&space.csp, &keys, &parents[0], &parents[1], &mut rng);
         let sol = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 400);
-        black_box(sol.len())
+        black_box(sol.solutions.len())
     });
 
     let tune_dag = ops::gemm(512, 512, 512);

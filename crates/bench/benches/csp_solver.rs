@@ -23,13 +23,13 @@ fn main() {
     let mut rng = HeronRng::from_seed(1);
     h.bench("rand_sat/gemm-1024/1-solution", || {
         let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 1, 400);
-        black_box(sols.len())
+        black_box(sols.solutions.len())
     });
 
     let mut rng = HeronRng::from_seed(2);
     h.bench("rand_sat/gemm-1024/16-solutions", || {
         let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 16, 400);
-        black_box(sols.len())
+        black_box(sols.solutions.len())
     });
 
     let prop = Propagator::new(&space.csp);
@@ -41,7 +41,7 @@ fn main() {
 
     let mut rng = HeronRng::from_seed(3);
     let sol = heron_csp::rand_sat(&space.csp, &mut rng, 1)
-        .pop()
+        .one()
         .expect("solvable");
     h.bench("validate/gemm-1024", || {
         black_box(heron_csp::validate(&space.csp, &sol))

@@ -31,7 +31,7 @@ fn main() {
         let measurer = Measurer::new(spec);
         let mut rng = HeronRng::from_seed(1);
         let sol = heron_csp::rand_sat(&space.csp, &mut rng, 1)
-            .pop()
+            .one()
             .expect("solvable");
         let csp = space.csp.clone();
         let kernel = lower(&space.template, sol.fingerprint(), &|n| {

@@ -40,16 +40,21 @@ fn main() {
     let mut rng = HeronRng::from_seed(7);
     let base = h
         .bench("rand_sat/baseline", || {
-            black_box(heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 16, 4096).len())
+            black_box(
+                heron_csp::rand_sat_with_budget(&space.csp, &mut rng, 16, 4096)
+                    .solutions
+                    .len(),
+            )
         })
         .median_ns;
     let mut rng = HeronRng::from_seed(7);
+    let policy = heron_csp::SolvePolicy::fixed(4096);
     let off = Tracer::disabled();
     let disabled = h
         .bench("rand_sat/tracer-disabled", || {
             black_box(
-                heron_csp::rand_sat_traced(&space.csp, &mut rng, 16, 4096, &off)
-                    .0
+                heron_csp::rand_sat_traced(&space.csp, &mut rng, 16, &policy, &off)
+                    .solutions
                     .len(),
             )
         })
@@ -58,8 +63,8 @@ fn main() {
     let on = Tracer::manual();
     h.bench("rand_sat/tracer-enabled", || {
         black_box(
-            heron_csp::rand_sat_traced(&space.csp, &mut rng, 16, 4096, &on)
-                .0
+            heron_csp::rand_sat_traced(&space.csp, &mut rng, 16, &policy, &on)
+                .solutions
                 .len(),
         )
     });

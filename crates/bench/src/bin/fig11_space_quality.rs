@@ -39,7 +39,7 @@ fn main() {
             .generate_named(&dag, &opts, "G1")
             .expect("generates");
         let mut rng = HeronRng::from_seed(seed());
-        let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, samples, 400);
+        let sols = heron_csp::rand_sat_with_budget(&space.csp, &mut rng, samples, 400).solutions;
         let mut cells: BTreeMap<(u32, u32), f64> = BTreeMap::new();
         let mut valid = 0usize;
         let mut total_perf = 0.0;

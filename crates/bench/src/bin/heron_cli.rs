@@ -5,6 +5,7 @@
 //! heron-cli tune    --dla v100 --op gemm --shape 1024x1024x1024 [--trials N] [--seed S] [--code]  (--code also prints the bottleneck analysis)
 //! heron-cli tune    ... [--fault-rate R] [--pause-at N --checkpoint F] [--resume F]
 //! heron-cli tune    ... [--trace-out T.jsonl] [--metrics-out M.tsv] [--profile]
+//! heron-cli tune    ... [--solve-deadline STEPS] [--diagnose]
 //! heron-cli compare --dla v100 --op c2d  --shape 16x56x56x64x64x3x1x1 [--trials N]
 //! heron-cli census  --dla v100 --op gemm --shape 512x512x512
 //! heron-cli export  --dla v100 --op gemm --shape 512x512x512   # CSP_initial as text
@@ -21,6 +22,13 @@
 //! `--metrics-out` snapshots every counter/gauge/histogram as TSV, and
 //! `--profile` prints the hierarchical time breakdown. Traces use the
 //! simulated manual clock, so the same seed yields byte-identical files.
+//!
+//! Robustness: `--solve-deadline STEPS` bounds every RandSAT call to a
+//! deterministic number of candidate-value trials; `--diagnose` explains
+//! an infeasible space by printing the minimal constraint removal that
+//! restores feasibility (greedy conflict diagnosis). Corrupt or truncated
+//! checkpoints are rejected by `--resume` with the byte offset of the
+//! damage.
 //!
 //! Shapes: `gemm MxNxK`, `bmm BxMxNxK`, `gemv MxKxB`, `scan BxL`,
 //! `c2d NxHxWxCIxCOxKxPxS`, `c1d NxLxCIxCOxKxPxS`, `c3d NxDxHWxCIxCOxKxPxS`.
@@ -56,7 +64,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE] [--trace-out FILE.jsonl] [--metrics-out FILE.tsv] [--profile]");
+    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE] [--trace-out FILE.jsonl] [--metrics-out FILE.tsv] [--profile] [--solve-deadline STEPS] [--diagnose]");
 }
 
 fn platform(name: &str) -> DlaSpec {
@@ -246,7 +254,10 @@ fn tune_resilient(args: &[String], c: &Common) {
     } else {
         FaultPlan::none(c.seed)
     };
-    let config = heron_baselines::tune::heron_config(c.trials);
+    let mut config = heron_baselines::tune::heron_config(c.trials);
+    if let Some(deadline) = flag(args, "--solve-deadline").and_then(|d| d.parse::<u64>().ok()) {
+        config.cga.solve_deadline = deadline;
+    }
     let space = match SpaceGenerator::new(c.spec.clone()).generate_named(
         &dag,
         &SpaceOptions::heron(),
@@ -313,6 +324,17 @@ fn tune_resilient(args: &[String], c: &Common) {
         tuner.run();
     }
     print!("{}", tuner.result().report());
+    if has_flag(args, "--diagnose")
+        && tuner.result().termination == heron_core::tuner::Termination::Infeasible
+    {
+        match heron_csp::diagnose_root_conflict(&tuner.space().csp) {
+            Some(report) => print!("{report}"),
+            None => println!(
+                "diagnosis: the root is propagation-feasible; \
+                 infeasibility was proven deeper in the search"
+            ),
+        }
+    }
     emit_observability(args, &tracer, &tuner.result());
 }
 
@@ -325,6 +347,8 @@ fn tune_cmd(args: &[String]) {
         "--trace-out",
         "--metrics-out",
         "--profile",
+        "--solve-deadline",
+        "--diagnose",
     ]
     .iter()
     .any(|f| has_flag(args, f));

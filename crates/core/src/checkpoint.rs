@@ -8,15 +8,32 @@
 //!
 //! The on-disk format is a line-oriented UTF-8 text format in the same
 //! `key = value` idiom as the [`crate::library`] format, versioned by a
-//! `heron-checkpoint v1` header. Floating-point values are serialised as
+//! `heron-checkpoint v2` header. Floating-point values are serialised as
 //! the 16-hex-digit big-endian IEEE-754 bit pattern (via [`f64::to_bits`])
 //! so the roundtrip is *exact* — a resumed session must reproduce the
 //! uninterrupted one to the last bit, which decimal formatting cannot
 //! guarantee. A human-readable decimal rendering follows as a `#` comment
 //! and is ignored by the parser.
 //!
+//! # Corruption proofing (format v2)
+//!
+//! Resuming from a half-written or bit-flipped checkpoint must fail
+//! loudly, never half-parse into a wrong-but-plausible session. Two
+//! mechanisms guarantee that:
+//!
+//! * **Atomic save** — [`TuneCheckpoint::save`] writes to a temporary
+//!   sibling file, syncs it, then renames over the target, so no reader
+//!   can ever observe a partially written checkpoint.
+//! * **CRC32 footer** — the final line is `crc32 = xxxxxxxx`, the IEEE
+//!   CRC-32 of every byte before it. [`TuneCheckpoint::from_text`]
+//!   verifies the footer *before* parsing anything (the header included),
+//!   so any truncation or byte flip is rejected with
+//!   [`CheckpointError::Corrupt`] carrying the corrupt byte offset. A
+//!   pre-CRC `heron-checkpoint v1` file is rejected with
+//!   [`CheckpointError::VersionMismatch`].
+//!
 //! ```text
-//! heron-checkpoint v1
+//! heron-checkpoint v2
 //! workload = gemm-256
 //! dla = nvidia-v100
 //! seed = 42
@@ -25,9 +42,11 @@
 //! curve = 40b3880000000000 ...
 //! sample = 40b3880000000000 4 16 2 ...
 //! survivor = 4 16 2 ...
+//! crc32 = 89abcdef
 //! ```
 
 use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::path::Path;
 
 use crate::tuner::{IterationStats, TuneTiming};
@@ -37,7 +56,24 @@ use crate::tuner::{IterationStats, TuneTiming};
 pub enum CheckpointError {
     /// Reading or writing the checkpoint file failed.
     Io(std::io::Error),
-    /// The checkpoint text is malformed.
+    /// The checkpoint bytes fail integrity verification (truncated file,
+    /// bit flip, invalid UTF-8, missing or mismatching CRC footer). The
+    /// offset points at the corrupt region so operators can inspect it.
+    Corrupt {
+        /// Byte offset of (the start of) the corrupt region.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The checkpoint uses a different (e.g. pre-CRC `v1`) format
+    /// version.
+    VersionMismatch {
+        /// The header found in the file.
+        found: String,
+        /// The header this build writes and reads.
+        expected: String,
+    },
+    /// The checkpoint text passed integrity checks but is malformed.
     Parse {
         /// 1-based line number of the offending line.
         line: usize,
@@ -54,6 +90,13 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { offset, message } => {
+                write!(f, "checkpoint corrupt at byte offset {offset}: {message}")
+            }
+            CheckpointError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint version mismatch: found `{found}`, this build reads `{expected}`"
+            ),
             CheckpointError::Parse { line, message } => {
                 write!(f, "checkpoint parse error at line {line}: {message}")
             }
@@ -75,6 +118,22 @@ impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
         CheckpointError::Io(e)
     }
+}
+
+/// IEEE CRC-32 (polynomial `0xEDB88320`, bit-reflected, init/xorout
+/// `0xFFFFFFFF`) — the checksum protecting the checkpoint body. Bitwise,
+/// dependency-free; checkpoints are small, so table-driven speed is not
+/// worth the code.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 /// A complete serialisable snapshot of a tuning session, exact at
@@ -109,6 +168,15 @@ pub struct TuneCheckpoint {
     pub total_retries: usize,
     /// Trials that saw at least one measurement timeout.
     pub timeout_trials: usize,
+    /// Offspring whose CSP needed constraint relaxation to materialise.
+    pub repaired_offspring: usize,
+    /// Total injected `IN` constraints dropped by offspring repair.
+    pub relaxed_constraints: usize,
+    /// Solver calls that hit the step deadline.
+    pub solver_deadline_hits: usize,
+    /// Offspring replaced by a random `CSP_initial` sample after repair
+    /// failed.
+    pub fallback_samples: usize,
     /// Error occurrences by class tag.
     pub error_counts: BTreeMap<String, usize>,
     /// Timing breakdown so far.
@@ -126,7 +194,9 @@ pub struct TuneCheckpoint {
     pub survivors: Vec<Vec<i64>>,
 }
 
-const HEADER: &str = "heron-checkpoint v1";
+const HEADER: &str = "heron-checkpoint v2";
+const HEADER_PREFIX: &str = "heron-checkpoint v";
+const FOOTER_KEY: &str = "crc32 = ";
 
 /// Exact f64 serialisation: 16 hex digits of the IEEE-754 bit pattern.
 fn f64_hex(x: f64) -> String {
@@ -167,8 +237,74 @@ fn parse_i64_list(toks: &str, line: usize) -> Result<Vec<i64>, CheckpointError> 
         .collect()
 }
 
+/// Locates and verifies the CRC footer; returns the protected body on
+/// success. Runs *before* any parsing so corruption can never half-parse.
+fn verify_footer(text: &str) -> Result<&str, CheckpointError> {
+    if text.trim().is_empty() {
+        return Err(CheckpointError::Corrupt {
+            offset: 0,
+            message: "empty checkpoint".into(),
+        });
+    }
+    let footer_pos = match text.rfind(&format!("\n{FOOTER_KEY}")) {
+        Some(p) => p + 1,
+        None => {
+            // No footer at all: an old v1 file (pre-CRC format) is a
+            // version mismatch; anything else is corrupt/truncated.
+            let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+            if first.trim().starts_with(HEADER_PREFIX) && first.trim() != HEADER {
+                return Err(CheckpointError::VersionMismatch {
+                    found: first.trim().to_string(),
+                    expected: HEADER.to_string(),
+                });
+            }
+            return Err(CheckpointError::Corrupt {
+                offset: text.len(),
+                message: "missing crc32 footer (truncated checkpoint?)".into(),
+            });
+        }
+    };
+    // The footer must be the *exact* tail of the file — `crc32 = ` plus 8
+    // lowercase hex digits plus one final newline, nothing else. A strict
+    // byte-level check (no trimming, no tolerated trailing whitespace)
+    // guarantees that a flip of any byte of the file, footer included,
+    // is detected: bytes before the footer change the CRC, bytes inside
+    // it break this shape or the stored value.
+    let tail = &text[footer_pos..];
+    let hex = tail
+        .strip_prefix(FOOTER_KEY)
+        .and_then(|rest| rest.strip_suffix('\n'))
+        .filter(|h| {
+            h.len() == 8
+                && h.bytes()
+                    .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        });
+    let stored = match hex.and_then(|h| u32::from_str_radix(h, 16).ok()) {
+        Some(v) => v,
+        None => {
+            return Err(CheckpointError::Corrupt {
+                offset: footer_pos,
+                message: format!("unreadable crc32 footer `{}`", tail.trim_end()),
+            });
+        }
+    };
+    let body = &text[..footer_pos];
+    let computed = crc32(body.as_bytes());
+    if stored != computed {
+        return Err(CheckpointError::Corrupt {
+            offset: footer_pos,
+            message: format!(
+                "crc mismatch over bytes 0..{}: stored {stored:08x}, computed {computed:08x}",
+                body.len()
+            ),
+        });
+    }
+    Ok(body)
+}
+
 impl TuneCheckpoint {
-    /// Serialises the checkpoint to its versioned text format.
+    /// Serialises the checkpoint to its versioned text format, CRC footer
+    /// included.
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -203,6 +339,10 @@ impl TuneCheckpoint {
         let _ = writeln!(out, "retried_trials = {}", self.retried_trials);
         let _ = writeln!(out, "total_retries = {}", self.total_retries);
         let _ = writeln!(out, "timeout_trials = {}", self.timeout_trials);
+        let _ = writeln!(out, "repaired_offspring = {}", self.repaired_offspring);
+        let _ = writeln!(out, "relaxed_constraints = {}", self.relaxed_constraints);
+        let _ = writeln!(out, "solver_deadline_hits = {}", self.solver_deadline_hits);
+        let _ = writeln!(out, "fallback_samples = {}", self.fallback_samples);
         for (tag, n) in &self.error_counts {
             let _ = writeln!(out, "error.{tag} = {n}");
         }
@@ -244,17 +384,21 @@ impl TuneCheckpoint {
         for values in &self.survivors {
             let _ = writeln!(out, "survivor = {}", join_i64(values));
         }
+        let crc = crc32(out.as_bytes());
+        let _ = writeln!(out, "{FOOTER_KEY}{crc:08x}");
         out
     }
 
     /// Parses a checkpoint from its text format.
     ///
-    /// # Errors
-    /// [`CheckpointError::Parse`] on a missing/incompatible header, an
-    /// unknown key, or a malformed value; the error carries the 1-based
-    /// line number.
+    /// Verification order is strict: CRC footer first (any truncation or
+    /// byte flip → [`CheckpointError::Corrupt`]), then the version header
+    /// ([`CheckpointError::VersionMismatch`] for a recognised older
+    /// format), then the line-by-line parse
+    /// ([`CheckpointError::Parse`] with the 1-based line number).
     pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
-        let mut lines = text.lines().enumerate();
+        let body = verify_footer(text)?;
+        let mut lines = body.lines().enumerate();
         let header = loop {
             match lines.next() {
                 Some((_, l)) if l.trim().is_empty() => continue,
@@ -262,12 +406,18 @@ impl TuneCheckpoint {
                 None => {
                     return Err(CheckpointError::Parse {
                         line: 1,
-                        message: "empty checkpoint".into(),
+                        message: "checkpoint has no header line".into(),
                     })
                 }
             }
         };
         if header.1 != HEADER {
+            if header.1.starts_with(HEADER_PREFIX) {
+                return Err(CheckpointError::VersionMismatch {
+                    found: header.1.to_string(),
+                    expected: HEADER.to_string(),
+                });
+            }
             return Err(CheckpointError::Parse {
                 line: header.0 + 1,
                 message: format!("expected `{HEADER}` header, got `{}`", header.1),
@@ -289,6 +439,10 @@ impl TuneCheckpoint {
             retried_trials: 0,
             total_retries: 0,
             timeout_trials: 0,
+            repaired_offspring: 0,
+            relaxed_constraints: 0,
+            solver_deadline_hits: 0,
+            fallback_samples: 0,
             error_counts: BTreeMap::new(),
             timing: TuneTiming::default(),
             iterations: Vec::new(),
@@ -343,6 +497,10 @@ impl TuneCheckpoint {
                 "retried_trials" => ck.retried_trials = parse_usize(value, line_no)?,
                 "total_retries" => ck.total_retries = parse_usize(value, line_no)?,
                 "timeout_trials" => ck.timeout_trials = parse_usize(value, line_no)?,
+                "repaired_offspring" => ck.repaired_offspring = parse_usize(value, line_no)?,
+                "relaxed_constraints" => ck.relaxed_constraints = parse_usize(value, line_no)?,
+                "solver_deadline_hits" => ck.solver_deadline_hits = parse_usize(value, line_no)?,
+                "fallback_samples" => ck.fallback_samples = parse_usize(value, line_no)?,
                 "timing.cga_s" => ck.timing.cga_s = parse_f64_hex(value, line_no)?,
                 "timing.sim_s" => ck.timing.sim_s = parse_f64_hex(value, line_no)?,
                 "timing.model_s" => ck.timing.model_s = parse_f64_hex(value, line_no)?,
@@ -410,12 +568,31 @@ impl TuneCheckpoint {
         Ok(ck)
     }
 
-    /// Writes the checkpoint to `path` in text format.
+    /// Writes the checkpoint to `path` **atomically**: the text is
+    /// written to a temporary sibling (`<path>.tmp.<pid>`), synced to
+    /// disk, then renamed over the target. A crash at any point leaves
+    /// either the previous checkpoint or the new one — never a partial
+    /// file.
     ///
     /// # Errors
-    /// [`CheckpointError::Io`] on filesystem failure.
+    /// [`CheckpointError::Io`] on filesystem failure (the temporary file
+    /// is cleaned up best-effort).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        std::fs::write(path, self.to_text())?;
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let write_sync_rename = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = write_sync_rename {
+            std::fs::remove_file(&tmp).ok();
+            return Err(CheckpointError::Io(e));
+        }
         Ok(())
     }
 
@@ -423,9 +600,16 @@ impl TuneCheckpoint {
     ///
     /// # Errors
     /// [`CheckpointError::Io`] on filesystem failure,
-    /// [`CheckpointError::Parse`] on malformed content.
+    /// [`CheckpointError::Corrupt`] on integrity failure (invalid UTF-8,
+    /// truncation, CRC mismatch), [`CheckpointError::VersionMismatch`]
+    /// for pre-CRC formats, [`CheckpointError::Parse`] on malformed
+    /// content.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
-        let text = std::fs::read_to_string(path)?;
+        let bytes = std::fs::read(path)?;
+        let text = String::from_utf8(bytes).map_err(|e| CheckpointError::Corrupt {
+            offset: e.utf8_error().valid_up_to(),
+            message: "checkpoint is not valid UTF-8".into(),
+        })?;
         Self::from_text(&text)
     }
 }
@@ -441,6 +625,12 @@ fn join_i64(values: &[i64]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Appends a valid CRC footer to a hand-written body, so tests can
+    /// exercise the parser behind the integrity gate.
+    fn with_crc(body: &str) -> String {
+        format!("{body}{FOOTER_KEY}{:08x}\n", crc32(body.as_bytes()))
+    }
 
     fn sample_checkpoint() -> TuneCheckpoint {
         let mut error_counts = BTreeMap::new();
@@ -466,6 +656,10 @@ mod tests {
             retried_trials: 2,
             total_retries: 5,
             timeout_trials: 1,
+            repaired_offspring: 4,
+            relaxed_constraints: 9,
+            solver_deadline_hits: 2,
+            fallback_samples: 1,
             error_counts,
             timing: TuneTiming {
                 cga_s: 0.25,
@@ -492,6 +686,14 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
     fn text_roundtrip_is_exact() {
         let ck = sample_checkpoint();
         let text = ck.to_text();
@@ -513,6 +715,10 @@ mod tests {
         assert_eq!(back.retried_trials, ck.retried_trials);
         assert_eq!(back.total_retries, ck.total_retries);
         assert_eq!(back.timeout_trials, ck.timeout_trials);
+        assert_eq!(back.repaired_offspring, ck.repaired_offspring);
+        assert_eq!(back.relaxed_constraints, ck.relaxed_constraints);
+        assert_eq!(back.solver_deadline_hits, ck.solver_deadline_hits);
+        assert_eq!(back.fallback_samples, ck.fallback_samples);
         assert_eq!(back.error_counts, ck.error_counts);
         assert_eq!(back.timing.cga_s.to_bits(), ck.timing.cga_s.to_bits());
         assert_eq!(
@@ -530,6 +736,8 @@ mod tests {
         assert_eq!(back.survivors, ck.survivors);
         // And re-serialising the parsed checkpoint is byte-identical.
         assert_eq!(back.to_text(), text);
+        // The serialised form ends with the CRC footer.
+        assert!(text.trim_end().lines().last().unwrap().starts_with("crc32"));
     }
 
     #[test]
@@ -553,11 +761,83 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_flip_is_rejected_as_corrupt() {
+        let text = sample_checkpoint().to_text();
+        let bytes = text.as_bytes();
+        // Deterministically sweep a sample of offsets across the whole
+        // file (every 7th byte, plus the first and last).
+        let offsets: Vec<usize> = std::iter::once(0)
+            .chain((0..bytes.len()).step_by(7))
+            .chain(std::iter::once(bytes.len() - 1))
+            .collect();
+        for &off in &offsets {
+            let mut mutated = bytes.to_vec();
+            mutated[off] ^= 0x01; // guaranteed different byte
+            let outcome = match String::from_utf8(mutated) {
+                Ok(s) => TuneCheckpoint::from_text(&s),
+                // Invalid UTF-8 is what `load` maps to Corrupt; simulate.
+                Err(_) => Err(CheckpointError::Corrupt {
+                    offset: off,
+                    message: "utf8".into(),
+                }),
+            };
+            assert!(
+                matches!(outcome, Err(CheckpointError::Corrupt { .. })),
+                "flip at byte {off} was not rejected as Corrupt: {:?}",
+                outcome.map(|_| ()).map_err(|e| e.to_string())
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected_as_corrupt() {
+        let text = sample_checkpoint().to_text();
+        for cut in [1, text.len() / 4, text.len() / 2, text.len() - 2] {
+            let truncated = &text[..cut];
+            let err = TuneCheckpoint::from_text(truncated).expect_err("truncated");
+            assert!(
+                matches!(err, CheckpointError::Corrupt { .. }),
+                "truncation at {cut} gave {err}"
+            );
+        }
+        let err = TuneCheckpoint::from_text("").expect_err("empty");
+        assert!(matches!(err, CheckpointError::Corrupt { offset: 0, .. }));
+    }
+
+    #[test]
+    fn v1_checkpoints_are_a_version_mismatch() {
+        // A pre-CRC v1 file: old header, no footer.
+        let v1 = "heron-checkpoint v1\nworkload = g\ndla = d\nrng = 1 2 3 4\n";
+        let err = TuneCheckpoint::from_text(v1).expect_err("v1");
+        match &err {
+            CheckpointError::VersionMismatch { found, expected } => {
+                assert_eq!(found, "heron-checkpoint v1");
+                assert_eq!(expected, HEADER);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("version mismatch"));
+
+        // A v1 header *with* a valid CRC footer is still a mismatch.
+        let crcd = with_crc("heron-checkpoint v1\nworkload = g\ndla = d\nrng = 1 2 3 4\n");
+        assert!(matches!(
+            TuneCheckpoint::from_text(&crcd),
+            Err(CheckpointError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn rejects_bad_header_and_malformed_lines() {
+        // Foreign format without a footer: corrupt, not half-parsed.
         let err = TuneCheckpoint::from_text("heron-library v1\n").expect_err("bad header");
+        assert!(matches!(err, CheckpointError::Corrupt { .. }));
+
+        // Foreign format with a valid footer: a parse error on the header.
+        let err =
+            TuneCheckpoint::from_text(&with_crc("heron-library v1\n")).expect_err("bad header");
         assert!(matches!(err, CheckpointError::Parse { line: 1, .. }));
 
-        let text = format!("{HEADER}\nworkload = g\ndla = d\nrng = 1 2 3\n");
+        let text = with_crc(&format!("{HEADER}\nworkload = g\ndla = d\nrng = 1 2 3\n"));
         let err = TuneCheckpoint::from_text(&text).expect_err("3-word rng");
         match err {
             CheckpointError::Parse { line, message } => {
@@ -567,22 +847,25 @@ mod tests {
             other => panic!("wrong error: {other}"),
         }
 
-        let text = format!("{HEADER}\nnonsense line without equals\n");
+        let text = with_crc(&format!("{HEADER}\nnonsense line without equals\n"));
         assert!(TuneCheckpoint::from_text(&text).is_err());
 
-        let text = format!("{HEADER}\nworkload = g\ndla = d\nfrobnicate = 1\n");
+        let text = with_crc(&format!(
+            "{HEADER}\nworkload = g\ndla = d\nfrobnicate = 1\n"
+        ));
         let err = TuneCheckpoint::from_text(&text).expect_err("unknown key");
         assert!(err.to_string().contains("unknown key"));
 
         // Missing rng state is rejected even if everything else parses.
-        let text = format!("{HEADER}\nworkload = g\ndla = d\n");
+        let text = with_crc(&format!("{HEADER}\nworkload = g\ndla = d\n"));
         assert!(TuneCheckpoint::from_text(&text).is_err());
     }
 
     #[test]
-    fn save_and_load_via_filesystem() {
+    fn save_is_atomic_and_load_roundtrips() {
         let ck = sample_checkpoint();
-        let path = std::env::temp_dir().join(format!(
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
             "heron-ckpt-test-{}-{}.txt",
             std::process::id(),
             ck.seed
@@ -590,9 +873,49 @@ mod tests {
         ck.save(&path).expect("saves");
         let back = TuneCheckpoint::load(&path).expect("loads");
         assert_eq!(back.to_text(), ck.to_text());
+        // No temporary file remains next to the checkpoint.
+        let tmp_leftover = std::fs::read_dir(&dir)
+            .expect("temp dir lists")
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                let name = e.file_name().to_string_lossy().to_string();
+                name.starts_with(&format!(
+                    "heron-ckpt-test-{}-{}.txt.tmp",
+                    std::process::id(),
+                    ck.seed
+                )) && name != path.file_name().unwrap().to_string_lossy()
+            });
+        assert!(!tmp_leftover, "atomic save left a temporary file behind");
+        // Overwriting an existing checkpoint also succeeds atomically.
+        ck.save(&path).expect("overwrites");
         std::fs::remove_file(&path).ok();
 
         let missing = TuneCheckpoint::load("/nonexistent/heron.ckpt");
         assert!(matches!(missing, Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn corrupt_file_on_disk_reports_offset() {
+        let ck = sample_checkpoint();
+        let path = std::env::temp_dir().join(format!(
+            "heron-ckpt-corrupt-{}-{}.txt",
+            std::process::id(),
+            ck.seed
+        ));
+        ck.save(&path).expect("saves");
+        // Flip one byte mid-file.
+        let mut bytes = std::fs::read(&path).expect("reads");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("writes");
+        let err = TuneCheckpoint::load(&path).expect_err("corrupt");
+        match &err {
+            CheckpointError::Corrupt { message, .. } => {
+                assert!(err.to_string().contains("byte offset"), "{err}");
+                assert!(message.contains("crc mismatch"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -5,11 +5,20 @@
 //! `CSP_initial + IN(v, [c1_v, c2_v]) for key variables v` minus one
 //! randomly removed crossover constraint (mutation); a `RandSAT` call then
 //! materialises a concrete, *guaranteed-valid* chromosome.
+//!
+//! Hardening (see DESIGN.md §6, "Solver-side failure & repair"): an
+//! offspring CSP whose injected `IN` constraints over-constrain the space
+//! is *repaired* by dropping the most-recently-injected constraint and
+//! retrying, instead of being silently discarded. The explorer also
+//! degrades gracefully when `RandSAT` starves — falling back to random
+//! samples of `CSP_initial` and bailing out after a bounded number of
+//! stalled rounds instead of spinning forever.
 
-use heron_csp::{rand_sat_with_budget, Csp, Solution, VarRef};
+use heron_csp::{rand_sat_traced, Csp, Solution, SolvePolicy, SolveStatus, VarRef};
 use heron_rng::HeronRng;
 use heron_rng::IndexedRandom;
 use heron_rng::Rng;
+use heron_trace::Tracer;
 
 use crate::generate::GeneratedSpace;
 use crate::model::CostModel;
@@ -43,6 +52,69 @@ pub fn offspring_csp<R: Rng>(
     csp
 }
 
+/// Result of materialising one offspring CSP, possibly after repair.
+#[derive(Debug, Clone)]
+pub struct OffspringOutcome {
+    /// The concrete chromosome, or `None` when even the fully relaxed
+    /// offspring (== `CSP_initial`) could not be solved.
+    pub solution: Option<Solution>,
+    /// How many injected crossover constraints were dropped to make the
+    /// offspring solvable (0 == solved as posted).
+    pub relaxed: u32,
+    /// Whether any solve attempt hit the step deadline.
+    pub deadline_hit: bool,
+}
+
+/// Materialises an offspring chromosome, repairing over-constrained CSPs.
+///
+/// Repair policy: when the posted offspring CSP yields no solution, drop
+/// the **most recently injected** `IN` constraint (last posted first) and
+/// retry, until either a solution appears or all injected constraints are
+/// gone. Constraints belonging to `initial` are never removed, so any
+/// returned solution still satisfies `CSP_initial` by construction.
+///
+/// Emits `csp.repairs` (+1 per repaired offspring) and
+/// `csp.relaxed_constraints` (+dropped count) on the tracer.
+pub fn materialize_offspring<R: Rng>(
+    initial: &Csp,
+    mut offspring: Csp,
+    rng: &mut R,
+    policy: &SolvePolicy,
+    tracer: &Tracer,
+) -> OffspringOutcome {
+    let injected = offspring
+        .num_constraints()
+        .saturating_sub(initial.num_constraints()) as u32;
+    let mut relaxed = 0u32;
+    let mut deadline_hit = false;
+    loop {
+        let outcome = rand_sat_traced(&offspring, rng, 1, policy, tracer);
+        if outcome.status == SolveStatus::DeadlineExceeded {
+            deadline_hit = true;
+        }
+        if let Some(sol) = outcome.one() {
+            if relaxed > 0 {
+                tracer.counter_add("csp.repairs", 1);
+                tracer.counter_add("csp.relaxed_constraints", u64::from(relaxed));
+            }
+            return OffspringOutcome {
+                solution: Some(sol),
+                relaxed,
+                deadline_hit,
+            };
+        }
+        if relaxed >= injected {
+            return OffspringOutcome {
+                solution: None,
+                relaxed,
+                deadline_hit,
+            };
+        }
+        offspring.pop_constraints(1);
+        relaxed += 1;
+    }
+}
+
 /// Configuration of the CGA explorer.
 #[derive(Debug, Clone, Copy)]
 pub struct CgaConfig {
@@ -60,6 +132,27 @@ pub struct CgaConfig {
     pub measure_batch: usize,
     /// Backtracking budget per RandSAT call.
     pub solver_budget: u32,
+    /// Step deadline per RandSAT call (0 = none). One step == one
+    /// candidate-value trial inside the solver's dive.
+    pub solve_deadline: u64,
+    /// Rounds without progress (no fresh population, or nothing left to
+    /// measure) tolerated before the explorer gives up.
+    pub max_stall_rounds: usize,
+    /// Fraction of the best-so-far score recorded as a penalty sample for
+    /// candidates whose measurement fails (mirrors the tuner loop's
+    /// penalty policy; keeps the cost model from learning that failures
+    /// score exactly 0.0).
+    pub penalty_fraction: f64,
+}
+
+impl CgaConfig {
+    /// The solve policy implied by this configuration (budget escalation
+    /// enabled, with the configured fixed budget and step deadline).
+    pub fn solver_policy(&self) -> SolvePolicy {
+        SolvePolicy::default()
+            .with_budget(self.solver_budget)
+            .with_deadline(self.solve_deadline)
+    }
 }
 
 impl Default for CgaConfig {
@@ -72,8 +165,27 @@ impl Default for CgaConfig {
             eps: 0.15,
             measure_batch: 16,
             solver_budget: 400,
+            solve_deadline: 0,
+            max_stall_rounds: 16,
+            penalty_fraction: 0.1,
         }
     }
+}
+
+/// Counters accumulated over one `explore` run (read by the stress bench
+/// and surfaced as trace counters by the tuner).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CgaRunStats {
+    /// Offspring that needed at least one constraint dropped.
+    pub repairs: u64,
+    /// Total injected constraints dropped across all repairs.
+    pub relaxed_constraints: u64,
+    /// Solve calls that hit the step deadline.
+    pub deadline_hits: u64,
+    /// Offspring replaced by a fresh random sample of `CSP_initial`.
+    pub fallback_samples: u64,
+    /// Rounds that made no exploration progress.
+    pub stall_rounds: u64,
 }
 
 /// The CGA explorer: Heron's Algorithm 2 with the cost model in the loop.
@@ -84,6 +196,8 @@ pub struct CgaExplorer {
     /// feature importance.
     random_key_vars: bool,
     model: Option<CostModel>,
+    stats: CgaRunStats,
+    tracer: Tracer,
 }
 
 impl CgaExplorer {
@@ -93,6 +207,8 @@ impl CgaExplorer {
             config,
             random_key_vars: false,
             model: None,
+            stats: CgaRunStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -102,12 +218,25 @@ impl CgaExplorer {
             config,
             random_key_vars: true,
             model: None,
+            stats: CgaRunStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer: repairs, relaxations and deadline hits are
+    /// recorded as `csp.*` counters during `explore`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Access to the trained cost model after exploration.
     pub fn model(&self) -> Option<&CostModel> {
         self.model.as_ref()
+    }
+
+    /// Robustness counters from the most recent `explore` run.
+    pub fn run_stats(&self) -> CgaRunStats {
+        self.stats
     }
 }
 
@@ -143,20 +272,37 @@ impl Explorer for CgaExplorer {
         rng: &mut HeronRng,
     ) -> Vec<f64> {
         let cfg = self.config;
+        let policy = cfg.solver_policy();
         let mut model = CostModel::new(&space.csp);
+        model.set_tracer(self.tracer.clone());
+        let mut stats = CgaRunStats::default();
         let mut curve = Vec::with_capacity(steps);
         let mut measured: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut survivors: Vec<Chromosome> = Vec::new();
+        let mut stalls = 0usize;
 
         while curve.len() < steps {
             // Step-1: first generation = survivors + fresh random solutions.
             let need = cfg.population.saturating_sub(survivors.len());
-            let fresh = rand_sat_with_budget(&space.csp, rng, need, cfg.solver_budget);
-            if fresh.is_empty() && survivors.is_empty() {
-                break; // infeasible space
+            let outcome = rand_sat_traced(&space.csp, rng, need, &policy, &self.tracer);
+            if outcome.status == SolveStatus::DeadlineExceeded {
+                stats.deadline_hits += 1;
+            }
+            if outcome.solutions.is_empty() && survivors.is_empty() {
+                if outcome.status == SolveStatus::RootInfeasible {
+                    break; // proven infeasible space: nothing to explore
+                }
+                // Solver starved (budget/deadline) on a possibly-feasible
+                // space: retry a bounded number of rounds before giving up.
+                stalls += 1;
+                stats.stall_rounds += 1;
+                if stalls > cfg.max_stall_rounds {
+                    break;
+                }
+                continue;
             }
             let mut pop: Vec<Chromosome> = survivors.clone();
-            pop.extend(fresh.into_iter().map(|solution| {
+            pop.extend(outcome.solutions.into_iter().map(|solution| {
                 let fitness = model.predict(&solution);
                 Chromosome { solution, fitness }
             }));
@@ -185,7 +331,29 @@ impl Explorer for CgaExplorer {
                         &pop[i2].solution,
                         rng,
                     );
-                    if let Some(sol) = rand_sat_with_budget(&csp, rng, 1, cfg.solver_budget).pop() {
+                    let off = materialize_offspring(&space.csp, csp, rng, &policy, &self.tracer);
+                    if off.relaxed > 0 && off.solution.is_some() {
+                        stats.repairs += 1;
+                        stats.relaxed_constraints += u64::from(off.relaxed);
+                    }
+                    if off.deadline_hit {
+                        stats.deadline_hits += 1;
+                    }
+                    let sol = match off.solution {
+                        Some(sol) => Some(sol),
+                        None => {
+                            // Graceful degradation: sample CSP_initial
+                            // directly instead of dropping the slot.
+                            let fb =
+                                rand_sat_traced(&space.csp, rng, 1, &policy, &self.tracer).one();
+                            if fb.is_some() {
+                                stats.fallback_samples += 1;
+                                self.tracer.counter_add("cga.fallback_samples", 1);
+                            }
+                            fb
+                        }
+                    };
+                    if let Some(sol) = sol {
                         debug_assert!(
                             heron_csp::validate(&space.csp, &sol),
                             "CGA offspring must satisfy CSP_initial"
@@ -199,11 +367,9 @@ impl Explorer for CgaExplorer {
                 }
                 pop.extend(children);
                 // Keep the population bounded: best by predicted fitness.
-                pop.sort_by(|a, b| {
-                    b.fitness
-                        .partial_cmp(&a.fitness)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
+                // NaN predictions were sanitised to -inf at the source, so
+                // total_cmp gives a strict, deterministic order.
+                pop.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
                 pop.truncate(cfg.population * 2);
             }
 
@@ -213,17 +379,32 @@ impl Explorer for CgaExplorer {
                 .filter(|c| !measured.contains(&c.solution.fingerprint()))
                 .collect();
             if unmeasured.is_empty() {
-                // Space exhausted around the population; restart randomly.
+                // Space exhausted around the population; restart randomly,
+                // but only a bounded number of times.
+                stalls += 1;
+                stats.stall_rounds += 1;
+                if stalls > cfg.max_stall_rounds {
+                    break;
+                }
                 survivors.clear();
                 continue;
             }
+            stalls = 0;
             let predicted: Vec<f64> = unmeasured.iter().map(|c| c.fitness).collect();
             let budget = cfg.measure_batch.min(steps - curve.len());
             let picks = super::eps_greedy(&predicted, budget, cfg.eps, rng);
             for idx in picks {
                 let sol = unmeasured[idx].solution.clone();
                 measured.insert(sol.fingerprint());
-                let score = measure(&sol).unwrap_or(0.0);
+                // Failed measurements feed a *penalty* sample into the
+                // model (a fraction of the best-so-far score), mirroring
+                // the tuner loop's EvalError policy, instead of a hard 0.0
+                // that would poison the regressor near real low scores.
+                let best = curve.last().copied().unwrap_or_default();
+                let score = match measure(&sol) {
+                    Some(s) => s,
+                    None => cfg.penalty_fraction * best,
+                };
                 model.add_sample(&sol, score);
                 push_best(&mut curve, score);
                 if curve.len() >= steps {
@@ -237,14 +418,11 @@ impl Explorer for CgaExplorer {
             for c in &mut pop {
                 c.fitness = model.predict(&c.solution);
             }
-            pop.sort_by(|a, b| {
-                b.fitness
-                    .partial_cmp(&a.fitness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            pop.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
             survivors = pop.into_iter().take(cfg.population / 2).collect();
         }
         self.model = Some(model);
+        self.stats = stats;
         curve
     }
 }
@@ -267,11 +445,11 @@ mod tests {
     fn offspring_satisfy_initial_constraints() {
         let csp = toy_csp();
         let mut rng = HeronRng::from_seed(0);
-        let parents = heron_csp::rand_sat(&csp, &mut rng, 2);
+        let parents = heron_csp::rand_sat(&csp, &mut rng, 2).expect_sat("toy csp");
         let keys: Vec<VarRef> = csp.tunables();
         for _ in 0..20 {
             let child_csp = offspring_csp(&csp, &keys, &parents[0], &parents[1], &mut rng);
-            for sol in heron_csp::rand_sat(&child_csp, &mut rng, 2) {
+            for sol in heron_csp::rand_sat(&child_csp, &mut rng, 2).solutions {
                 assert!(heron_csp::validate(&csp, &sol));
             }
         }
@@ -281,12 +459,64 @@ mod tests {
     fn mutation_removes_exactly_one_constraint() {
         let csp = toy_csp();
         let mut rng = HeronRng::from_seed(1);
-        let parents = heron_csp::rand_sat(&csp, &mut rng, 2);
+        let parents = heron_csp::rand_sat(&csp, &mut rng, 2).expect_sat("toy csp");
         let keys: Vec<VarRef> = csp.tunables();
         let child = offspring_csp(&csp, &keys, &parents[0], &parents[1], &mut rng);
         assert_eq!(
             child.num_constraints(),
             csp.num_constraints() + keys.len() - 1
         );
+    }
+
+    #[test]
+    fn repair_recovers_over_constrained_offspring() {
+        // Inject IN constraints that contradict each other: x in {1} and
+        // x in {16} cannot both hold with x*y == 16 and y in {1}.
+        let csp = toy_csp();
+        let mut rng = HeronRng::from_seed(7);
+        let mut off = csp.clone();
+        off.post_in(VarRef(0), [1]);
+        off.post_in(VarRef(1), [3]); // y == 3 impossible: domain lacks 3? domain has 1,2,4,8,16 → empty IN intersection
+        let policy = SolvePolicy::fixed(500);
+        let tracer = Tracer::disabled();
+        let out = materialize_offspring(&csp, off, &mut rng, &policy, &tracer);
+        let sol = out.solution.expect("repair must recover a solution");
+        assert!(heron_csp::validate(&csp, &sol));
+        assert!(out.relaxed >= 1, "must have dropped the impossible IN");
+    }
+
+    #[test]
+    fn repair_drops_most_recent_first() {
+        // First injected IN is satisfiable (x in {2}); the second is the
+        // poison (y in {3}, not in domain). Dropping most-recent-first
+        // must keep the x constraint: solution has x == 2.
+        let csp = toy_csp();
+        let mut rng = HeronRng::from_seed(9);
+        let mut off = csp.clone();
+        off.post_in(VarRef(0), [2]);
+        off.post_in(VarRef(1), [3]);
+        let policy = SolvePolicy::fixed(500);
+        let tracer = Tracer::disabled();
+        let out = materialize_offspring(&csp, off, &mut rng, &policy, &tracer);
+        let sol = out.solution.expect("solvable after one drop");
+        assert_eq!(out.relaxed, 1);
+        assert_eq!(sol.value(VarRef(0)), 2, "older IN constraint must survive");
+    }
+
+    #[test]
+    fn unrepairable_offspring_returns_none() {
+        // CSP_initial itself is infeasible: no amount of relaxation helps.
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::values([1, 2]), VarCategory::Tunable);
+        let n = csp.add_const("n", 7);
+        csp.post_prod(n, vec![x]);
+        let mut rng = HeronRng::from_seed(3);
+        let mut off = csp.clone();
+        off.post_in(x, [1]);
+        let policy = SolvePolicy::fixed(200);
+        let tracer = Tracer::disabled();
+        let out = materialize_offspring(&csp, off, &mut rng, &policy, &tracer);
+        assert!(out.solution.is_none());
+        assert_eq!(out.relaxed, 1, "tried dropping the one injected IN");
     }
 }

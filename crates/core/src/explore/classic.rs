@@ -35,11 +35,11 @@ impl Explorer for RandomExplorer {
         let mut curve = Vec::with_capacity(steps);
         while curve.len() < steps {
             let batch = rand_sat_with_budget(&space.csp, rng, 16.min(steps - curve.len()), 400);
-            if batch.is_empty() {
+            if batch.solutions.is_empty() {
                 break;
             }
-            for sol in batch {
-                let score = measure(&sol).unwrap_or(0.0);
+            for sol in batch.solutions {
+                let score = measure(&sol).unwrap_or_default();
                 push_best(&mut curve, score);
                 if curve.len() >= steps {
                     break;
@@ -82,7 +82,7 @@ pub fn complete_from_tunables(
         }
         csp.post_in(var, [v]);
     }
-    let sol = rand_sat_with_budget(&csp, rng, 1, 200).pop()?;
+    let sol = rand_sat_with_budget(&csp, rng, 1, 200).one()?;
     validate(&space.csp, &sol).then_some(sol)
 }
 
@@ -118,11 +118,11 @@ impl Explorer for SaExplorer {
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         // Initial valid program from the solver (as in the paper's setup).
-        let Some(start) = rand_sat_with_budget(&space.csp, rng, 1, 400).pop() else {
+        let Some(start) = rand_sat_with_budget(&space.csp, rng, 1, 400).one() else {
             return curve;
         };
         let mut current = start;
-        let mut current_score = measure(&current).unwrap_or(0.0);
+        let mut current_score = measure(&current).unwrap_or_default();
         push_best(&mut curve, current_score);
         let mut temp = self.start_temp * current_score.max(1.0);
         while curve.len() < steps {
@@ -133,7 +133,7 @@ impl Explorer for SaExplorer {
                 push_best(&mut curve, 0.0);
                 continue;
             };
-            let score = measure(&candidate).unwrap_or(0.0);
+            let score = measure(&candidate).unwrap_or_default();
             push_best(&mut curve, score);
             let accept = score >= current_score
                 || rng.random::<f64>() < ((score - current_score) / temp.max(1e-9)).exp();
@@ -198,15 +198,15 @@ impl Explorer for GaExplorer {
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
         let init = rand_sat_with_budget(&space.csp, rng, self.population, 400);
-        if init.is_empty() {
+        if init.solutions.is_empty() {
             return curve;
         }
         let mut pop: Vec<Chromosome> = Vec::new();
-        for sol in init {
+        for sol in init.solutions {
             if curve.len() >= steps {
                 break;
             }
-            let fitness = measure(&sol).unwrap_or(0.0);
+            let fitness = measure(&sol).unwrap_or_default();
             push_best(&mut curve, fitness);
             pop.push(Chromosome {
                 solution: sol,
@@ -228,7 +228,7 @@ impl Explorer for GaExplorer {
             };
             match complete_from_tunables(space, &child, rng) {
                 Some(sol) => {
-                    let fitness = measure(&sol).unwrap_or(0.0);
+                    let fitness = measure(&sol).unwrap_or_default();
                     push_best(&mut curve, fitness);
                     pop.push(Chromosome {
                         solution: sol,
@@ -239,9 +239,9 @@ impl Explorer for GaExplorer {
                     // Invalid offspring: wasted trial + random restart, the
                     // behaviour the paper observes for plain GA.
                     push_best(&mut curve, 0.0);
-                    if let Some(sol) = rand_sat_with_budget(&space.csp, rng, 1, 200).pop() {
+                    if let Some(sol) = rand_sat_with_budget(&space.csp, rng, 1, 200).one() {
                         if curve.len() < steps {
-                            let fitness = measure(&sol).unwrap_or(0.0);
+                            let fitness = measure(&sol).unwrap_or_default();
                             push_best(&mut curve, fitness);
                             pop.push(Chromosome {
                                 solution: sol,
@@ -252,11 +252,7 @@ impl Explorer for GaExplorer {
                 }
             }
             // Bound the population.
-            pop.sort_by(|a, b| {
-                b.fitness
-                    .partial_cmp(&a.fitness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            pop.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
             pop.truncate(self.population);
         }
         curve

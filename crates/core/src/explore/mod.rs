@@ -78,11 +78,9 @@ pub fn roulette_wheel<R: Rng>(pop: &[Chromosome], n: usize, rng: &mut R) -> Vec<
 /// one. Returns indices into `candidates`.
 pub fn eps_greedy<R: Rng>(predicted: &[f64], n: usize, eps: f64, rng: &mut R) -> Vec<usize> {
     let mut order: Vec<usize> = (0..predicted.len()).collect();
-    order.sort_by(|&a, &b| {
-        predicted[b]
-            .partial_cmp(&predicted[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: NaN predictions are sanitised to -inf at the model, so
+    // the order is strict and deterministic.
+    order.sort_by(|&a, &b| predicted[b].total_cmp(&predicted[a]));
     let mut picked = Vec::with_capacity(n);
     let mut used = vec![false; predicted.len()];
     let mut next_best = 0usize;
@@ -111,7 +109,7 @@ pub fn eps_greedy<R: Rng>(predicted: &[f64], n: usize, eps: f64, rng: &mut R) ->
 
 /// Extends a best-so-far curve with a new score.
 pub(crate) fn push_best(curve: &mut Vec<f64>, score: f64) {
-    let prev = curve.last().copied().unwrap_or(0.0);
+    let prev = curve.last().copied().unwrap_or_default();
     curve.push(prev.max(score));
 }
 

@@ -109,7 +109,7 @@ impl Explorer for StochasticRankingGa {
         rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
-        let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400);
+        let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400).solutions;
         if seeds.is_empty() {
             return curve;
         }
@@ -118,7 +118,7 @@ impl Explorer for StochasticRankingGa {
             if curve.len() >= steps {
                 break;
             }
-            let fitness = measure(&sol).unwrap_or(0.0);
+            let fitness = measure(&sol).unwrap_or_default();
             push_best(&mut curve, fitness);
             pop.push(Ranked {
                 violations: violation_count(&space.csp, &sol),
@@ -145,7 +145,7 @@ impl Explorer for StochasticRankingGa {
             let child = complete_or_keep(space, child, rng);
             let violations = violation_count(&space.csp, &child);
             let fitness = if violations == 0 {
-                measure(&child).unwrap_or(0.0)
+                measure(&child).unwrap_or_default()
             } else {
                 0.0
             };
@@ -209,7 +209,7 @@ pub fn sat_decode(
         };
         if domains[var.0].fix(pick).is_err() || prop.run_from(&mut domains, var).is_err() {
             // Re-solve from scratch for the remainder.
-            return rand_sat_with_budget(csp, rng, 1, 200).pop();
+            return rand_sat_with_budget(csp, rng, 1, 200).one();
         }
     }
     // Complete any remaining free variables through the solver with pins.
@@ -219,7 +219,7 @@ pub fn sat_decode(
             pinned.post_in(var, [v]);
         }
     }
-    rand_sat_with_budget(&pinned, rng, 1, 200).pop()
+    rand_sat_with_budget(&pinned, rng, 1, 200).one()
 }
 
 impl Explorer for SatDecoderGa {
@@ -235,7 +235,7 @@ impl Explorer for SatDecoderGa {
         rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
-        let seeds = rand_sat_with_budget(&space.csp, rng, self.population, 400);
+        let seeds = rand_sat_with_budget(&space.csp, rng, self.population, 400).solutions;
         if seeds.is_empty() {
             return curve;
         }
@@ -245,7 +245,7 @@ impl Explorer for SatDecoderGa {
             if curve.len() >= steps {
                 break;
             }
-            let fitness = measure(&sol).unwrap_or(0.0);
+            let fitness = measure(&sol).unwrap_or_default();
             push_best(&mut curve, fitness);
             pop.push(Chromosome {
                 solution: sol,
@@ -270,17 +270,13 @@ impl Explorer for SatDecoderGa {
                 continue;
             };
             debug_assert!(heron_csp::validate(&space.csp, &pheno));
-            let fitness = measure(&pheno).unwrap_or(0.0);
+            let fitness = measure(&pheno).unwrap_or_default();
             push_best(&mut curve, fitness);
             pop.push(Chromosome {
                 solution: pheno,
                 fitness,
             });
-            pop.sort_by(|a, b| {
-                b.fitness
-                    .partial_cmp(&a.fitness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            pop.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
             pop.truncate(self.population);
         }
         curve
@@ -320,7 +316,7 @@ impl Explorer for InfeasibilityDrivenGa {
         rng: &mut HeronRng,
     ) -> Vec<f64> {
         let mut curve = Vec::with_capacity(steps);
-        let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400);
+        let seeds = rand_sat_with_budget(&space.csp, rng, self.population / 2, 400).solutions;
         if seeds.is_empty() {
             return curve;
         }
@@ -329,7 +325,7 @@ impl Explorer for InfeasibilityDrivenGa {
             if curve.len() >= steps {
                 break;
             }
-            let fitness = measure(&sol).unwrap_or(0.0);
+            let fitness = measure(&sol).unwrap_or_default();
             push_best(&mut curve, fitness);
             pop.push(Ranked {
                 violations: violation_count(&space.csp, &sol),
@@ -359,7 +355,7 @@ impl Explorer for InfeasibilityDrivenGa {
             let child = complete_or_keep(space, child, rng);
             let violations = violation_count(&space.csp, &child);
             let fitness = if violations == 0 {
-                measure(&child).unwrap_or(0.0)
+                measure(&child).unwrap_or_default()
             } else {
                 0.0
             };
@@ -374,11 +370,7 @@ impl Explorer for InfeasibilityDrivenGa {
             let slots_inf = ((self.population as f64) * self.infeasible_fraction).round() as usize;
             let (mut feas, mut infeas): (Vec<Ranked>, Vec<Ranked>) =
                 pop.drain(..).partition(|c| c.violations == 0);
-            feas.sort_by(|x, y| {
-                y.fitness
-                    .partial_cmp(&x.fitness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            feas.sort_by(|x, y| y.fitness.total_cmp(&x.fitness));
             infeas.sort_by_key(|c| c.violations);
             feas.truncate(self.population - slots_inf.min(infeas.len()));
             infeas.truncate(slots_inf);

@@ -175,7 +175,7 @@ impl KernelLibrary {
             csp.post_in(var, [*value]);
         }
         let mut rng = heron_rng::HeronRng::from_seed(0);
-        let sol: Solution = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 800).pop()?;
+        let sol: Solution = heron_csp::rand_sat_with_budget(&csp, &mut rng, 1, 800).one()?;
         lower(&space.template, sol.fingerprint(), &|n| {
             sol.value_by_name(&csp, n)
         })

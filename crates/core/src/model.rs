@@ -90,10 +90,24 @@ impl CostModel {
     }
 
     /// Predicted score for a solution (0 before the first fit).
+    ///
+    /// Predictions are sanitised at the source: a NaN coming out of the
+    /// regressor (degenerate fit) is counted on `model.nan_predictions`
+    /// and mapped to `-inf`, so it sorts strictly below every real
+    /// fitness under `f64::total_cmp` instead of floating arbitrarily
+    /// through truncation sorts.
     pub fn predict(&self, sol: &Solution) -> f64 {
         self.tracer.counter_add("model.predicts", 1);
         match &self.model {
-            Some(m) => m.predict(&self.featurize(sol)).max(0.0),
+            Some(m) => {
+                let raw = m.predict(&self.featurize(sol));
+                if raw.is_nan() {
+                    self.tracer.counter_add("model.nan_predictions", 1);
+                    f64::NEG_INFINITY
+                } else {
+                    raw.max(0.0)
+                }
+            }
             None => 0.0,
         }
     }

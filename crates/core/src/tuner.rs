@@ -32,7 +32,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
-use heron_csp::{rand_sat_traced, Solution};
+use heron_csp::{rand_sat_traced, Solution, SolveStatus};
 use heron_dla::{FaultPlan, FaultyMeasurer, MeasureError, Measurement, Measurer};
 use heron_rng::HeronRng;
 use heron_rng::IndexedRandom;
@@ -40,7 +40,7 @@ use heron_sched::{lower, Kernel, LowerError};
 use heron_trace::{ProfileNode, Tracer};
 
 use crate::checkpoint::{CheckpointError, TuneCheckpoint};
-use crate::explore::cga::{offspring_csp, CgaConfig};
+use crate::explore::cga::{materialize_offspring, offspring_csp, CgaConfig};
 use crate::explore::{eps_greedy, roulette_wheel, Chromosome};
 use crate::generate::GeneratedSpace;
 use crate::model::CostModel;
@@ -192,6 +192,9 @@ impl TuneConfig {
                 eps: 0.15,
                 measure_batch: 8,
                 solver_budget: 300,
+                solve_deadline: 0,
+                max_stall_rounds: 16,
+                penalty_fraction: 0.1,
             },
             ..TuneConfig::paper()
         }
@@ -212,6 +215,10 @@ pub enum Termination {
     SpaceExhausted,
     /// The constraint space admits no solution at all.
     Infeasible,
+    /// The space was never proven infeasible, but the solver repeatedly
+    /// failed to materialise any chromosome within its budget/deadline
+    /// ([`TuneConfig::max_stall_rounds`] consecutive starved rounds).
+    SolverStarved,
 }
 
 impl std::fmt::Display for Termination {
@@ -221,6 +228,7 @@ impl std::fmt::Display for Termination {
             Termination::TrialsExhausted => "trials-exhausted",
             Termination::SpaceExhausted => "space-exhausted",
             Termination::Infeasible => "infeasible",
+            Termination::SolverStarved => "solver-starved",
         })
     }
 }
@@ -294,6 +302,16 @@ pub struct TuneResult {
     pub quarantined: usize,
     /// Trials that experienced at least one measurement timeout.
     pub timeout_trials: usize,
+    /// Offspring CSPs that needed at least one injected constraint
+    /// dropped before the solver could materialise them.
+    pub repaired_offspring: usize,
+    /// Total injected constraints dropped across all repairs.
+    pub relaxed_constraints: usize,
+    /// Solve calls that hit the configured step deadline.
+    pub solver_deadline_hits: usize,
+    /// Offspring slots filled by a fresh random sample of `CSP_initial`
+    /// after repair could not recover the offspring CSP.
+    pub fallback_samples: usize,
     /// Error occurrences by class tag (`capacity`, `intrinsic`, `launch`,
     /// `timeout`, `rpc-dropped`, …), counting every failed attempt
     /// including retried ones.
@@ -325,6 +343,10 @@ impl TuneResult {
             total_retries: 0,
             quarantined: 0,
             timeout_trials: 0,
+            repaired_offspring: 0,
+            relaxed_constraints: 0,
+            solver_deadline_hits: 0,
+            fallback_samples: 0,
             error_counts: BTreeMap::new(),
             termination: Termination::Running,
             model_rank_accuracy: None,
@@ -373,6 +395,17 @@ impl TuneResult {
             self.timeout_trials,
             self.termination
         );
+        if self.repaired_offspring > 0 || self.solver_deadline_hits > 0 || self.fallback_samples > 0
+        {
+            let _ = writeln!(
+                out,
+                "solver: {} repaired offspring ({} constraints relaxed), {} deadline hits, {} fallback samples",
+                self.repaired_offspring,
+                self.relaxed_constraints,
+                self.solver_deadline_hits,
+                self.fallback_samples
+            );
+        }
         if !self.error_counts.is_empty() {
             let classes: Vec<String> = self
                 .error_counts
@@ -452,7 +485,7 @@ fn backoff_s(cfg: &TuneConfig, retry: u32) -> f64 {
 /// Median of a slice (mean of the middle two for even lengths).
 fn median(xs: &mut [f64]) -> f64 {
     debug_assert!(!xs.is_empty());
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.sort_by(f64::total_cmp);
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]
@@ -589,28 +622,42 @@ impl Tuner {
 
         // ---- Step 1: first generation --------------------------------
         let t = Instant::now();
+        let policy = cfg.cga.solver_policy();
         let need = cfg
             .cga
             .population
             .saturating_sub(self.state.survivors.len());
         let populate_span = tracer.span_with("cga.populate", || [("need", need.to_string())]);
-        let (fresh, _) = rand_sat_traced(
-            &self.space.csp,
-            &mut self.rng,
-            need,
-            cfg.cga.solver_budget,
-            &tracer,
-        );
-        tracer.counter_add("cga.fresh_sampled", fresh.len() as u64);
+        let outcome = rand_sat_traced(&self.space.csp, &mut self.rng, need, &policy, &tracer);
+        let populate_status = outcome.status;
+        if populate_status == SolveStatus::DeadlineExceeded {
+            self.state.result.solver_deadline_hits += 1;
+        }
+        tracer.counter_add("cga.fresh_sampled", outcome.solutions.len() as u64);
         drop(populate_span);
         let mut pop: Vec<Chromosome> = self.state.survivors.clone();
-        pop.extend(fresh.into_iter().map(|solution| Chromosome {
+        pop.extend(outcome.solutions.into_iter().map(|solution| Chromosome {
             fitness: self.state.model.predict(&solution),
             solution,
         }));
         if pop.is_empty() {
-            self.finish(Termination::Infeasible);
-            return false;
+            if populate_status == SolveStatus::RootInfeasible {
+                // A propagation wipeout at the root is an UNSAT *proof*:
+                // the space admits no solution at all.
+                self.finish(Termination::Infeasible);
+                return false;
+            }
+            // The solver merely starved (budget / deadline) on a space not
+            // proven infeasible: retry a bounded number of rounds instead
+            // of misreporting `Infeasible`.
+            self.state.stall_rounds += 1;
+            tracer.counter_add("tuner.solver_starved", 1);
+            self.state.result.timing.cga_s += t.elapsed().as_secs_f64();
+            if self.state.stall_rounds > cfg.max_stall_rounds {
+                self.finish(Termination::SolverStarved);
+                return false;
+            }
+            return true;
         }
 
         // ---- Step 2: evolve on CSPs -----------------------------------
@@ -645,23 +692,43 @@ impl Tuner {
                     &mut self.rng,
                 );
                 tracer.counter_add("cga.offspring_attempted", 1);
-                match rand_sat_traced(&csp, &mut self.rng, 1, cfg.cga.solver_budget, &tracer)
-                    .0
-                    .pop()
-                {
+                let off =
+                    materialize_offspring(&self.space.csp, csp, &mut self.rng, &policy, &tracer);
+                if off.deadline_hit {
+                    self.state.result.solver_deadline_hits += 1;
+                }
+                if off.solution.is_some() && off.relaxed > 0 {
+                    self.state.result.repaired_offspring += 1;
+                    self.state.result.relaxed_constraints += off.relaxed as usize;
+                }
+                match off.solution {
                     Some(sol) => children.push(Chromosome {
                         fitness: self.state.model.predict(&sol),
                         solution: sol,
                     }),
-                    None => tracer.counter_add("cga.offspring_invalid", 1),
+                    None => {
+                        tracer.counter_add("cga.offspring_invalid", 1);
+                        // Graceful degradation: replace the unrecoverable
+                        // offspring with a fresh sample of CSP_initial so
+                        // the generation keeps its size.
+                        if let Some(sol) =
+                            rand_sat_traced(&self.space.csp, &mut self.rng, 1, &policy, &tracer)
+                                .one()
+                        {
+                            self.state.result.fallback_samples += 1;
+                            tracer.counter_add("cga.fallback_samples", 1);
+                            children.push(Chromosome {
+                                fitness: self.state.model.predict(&sol),
+                                solution: sol,
+                            });
+                        }
+                    }
                 }
             }
             pop.extend(children);
-            pop.sort_by(|a, b| {
-                b.fitness
-                    .partial_cmp(&a.fitness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            // NaN predictions are sanitised to -inf at the model, so
+            // total_cmp yields a strict deterministic order.
+            pop.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
             pop.truncate(cfg.cga.population * 2);
         }
         drop(evolve_span);
@@ -726,11 +793,7 @@ impl Tuner {
         for c in &mut pop {
             c.fitness = self.state.model.predict(&c.solution);
         }
-        pop.sort_by(|a, b| {
-            b.fitness
-                .partial_cmp(&a.fitness)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        pop.sort_by(|a, b| b.fitness.total_cmp(&a.fitness));
         self.state.survivors = pop.into_iter().take(cfg.cga.population / 2).collect();
 
         if self.state.result.curve.len() >= cfg.trials {
@@ -861,7 +924,7 @@ impl Tuner {
             }
         };
         res.timing.sim_s += t.elapsed().as_secs_f64();
-        let prev = res.curve.last().copied().unwrap_or(0.0);
+        let prev = res.curve.last().copied().unwrap_or_default();
         res.curve.push(prev.max(score));
         self.state.model.add_sample(sol, score);
         self.state.samples.push((sol.values().to_vec(), score));
@@ -890,6 +953,10 @@ impl Tuner {
             retried_trials: r.retried_trials,
             total_retries: r.total_retries,
             timeout_trials: r.timeout_trials,
+            repaired_offspring: r.repaired_offspring,
+            relaxed_constraints: r.relaxed_constraints,
+            solver_deadline_hits: r.solver_deadline_hits,
+            fallback_samples: r.fallback_samples,
             error_counts: r.error_counts.clone(),
             timing: r.timing,
             iterations: r.iterations.clone(),
@@ -999,6 +1066,10 @@ impl Tuner {
             total_retries: ckpt.total_retries,
             quarantined: ckpt.quarantined.len(),
             timeout_trials: ckpt.timeout_trials,
+            repaired_offspring: ckpt.repaired_offspring,
+            relaxed_constraints: ckpt.relaxed_constraints,
+            solver_deadline_hits: ckpt.solver_deadline_hits,
+            fallback_samples: ckpt.fallback_samples,
             error_counts: ckpt.error_counts.clone(),
             termination: Termination::Running,
             model_rank_accuracy: None,
@@ -1153,7 +1224,7 @@ mod tests {
         let mut space = gemm_space(256, "gemm-stall");
         let mut pin_rng = HeronRng::from_seed(9);
         let sol = rand_sat_with_budget(&space.csp, &mut pin_rng, 1, 2_000)
-            .pop()
+            .one()
             .expect("satisfiable");
         for v in space.csp.tunables() {
             let value = sol.value(v);

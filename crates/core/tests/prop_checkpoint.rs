@@ -1,0 +1,80 @@
+//! Property tests of the corruption-proof checkpoint format
+//! (DESIGN.md §6): a real checkpoint round-trips exactly, and **any**
+//! random single-byte corruption — bit flip or truncation — is rejected
+//! with `CheckpointError::Corrupt` before a single field is parsed.
+
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_core::tuner::{TuneConfig, Tuner};
+use heron_core::{CheckpointError, TuneCheckpoint};
+use heron_dla::{v100, Measurer};
+use heron_tensor::ops;
+use heron_testkit::property_cases;
+
+/// One real checkpoint, produced by an actual short tuning session so
+/// it exercises every section of the format (curve, samples,
+/// survivors, error counts, robustness counters…).
+fn real_checkpoint_text() -> String {
+    let dag = ops::gemm(64, 64, 64);
+    let space = SpaceGenerator::new(v100())
+        .generate(&dag, &SpaceOptions::heron())
+        .expect("generates");
+    let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(6), 7);
+    let _ = tuner.run();
+    tuner.checkpoint().to_text()
+}
+
+#[test]
+fn round_trip_is_exact_and_corruption_is_always_detected() {
+    let text = real_checkpoint_text();
+
+    // 1. Clean round-trip: parse → re-serialise is byte-identical.
+    let ck = TuneCheckpoint::from_text(&text).expect("clean checkpoint parses");
+    assert_eq!(
+        ck.to_text(),
+        text,
+        "checkpoint serialisation must round-trip byte-for-byte"
+    );
+
+    // 2. Random single-byte bit flips are always `Corrupt` — never a
+    //    silent success, never misreported as a version or field error.
+    let bytes = text.as_bytes().to_vec();
+    property_cases("checkpoint_bit_flip_rejected", 128, |g| {
+        let pos = g.index(0, bytes.len());
+        let bit = g.index(0, 8) as u32;
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 1u8 << bit;
+        // The format is ASCII text; an arbitrary flip may produce
+        // invalid UTF-8, which the loader also treats as corruption.
+        let parsed = match String::from_utf8(mutated) {
+            Ok(s) => TuneCheckpoint::from_text(&s),
+            Err(_) => return, // load() maps invalid UTF-8 to Corrupt
+        };
+        match parsed {
+            Err(CheckpointError::Corrupt { .. }) => {}
+            Err(other) => {
+                panic!("flip at byte {pos} bit {bit}: corruption misclassified as {other:?}")
+            }
+            Ok(_) => panic!("flip at byte {pos} bit {bit} went undetected"),
+        }
+    });
+
+    // 3. Random truncations are always `Corrupt` (a prefix of a valid
+    //    checkpoint never carries a valid footer).
+    property_cases("checkpoint_truncation_rejected", 64, |g| {
+        let cut = g.index(0, text.len()); // strictly shorter than full
+        let truncated = &text[..floor_char_boundary(&text, cut)];
+        match TuneCheckpoint::from_text(truncated) {
+            Err(CheckpointError::Corrupt { .. }) => {}
+            Err(other) => panic!("truncation at {cut}: misclassified as {other:?}"),
+            Ok(_) => panic!("truncation at {cut} went undetected"),
+        }
+    });
+}
+
+/// Stable replacement for the unstable `str::floor_char_boundary`.
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}

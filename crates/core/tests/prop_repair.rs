@@ -1,0 +1,115 @@
+//! Property tests of the CGA offspring-repair loop (DESIGN.md §6).
+//!
+//! The contract: whatever `materialize_offspring` returns, the
+//! chromosome always satisfies `CSP_initial` — repair only ever drops
+//! *injected* crossover constraints, never constraints of the original
+//! space — and repair succeeds whenever the initial space is
+//! satisfiable (the fully relaxed offspring *is* `CSP_initial`).
+
+use heron_core::explore::cga::{materialize_offspring, offspring_csp};
+use heron_csp::{rand_sat, validate, SolvePolicy};
+use heron_rng::HeronRng;
+use heron_testkit::csp_corpus::{knife_edge_csp, single_solution_csp, unsat_csp};
+use heron_testkit::{property_cases, Gen};
+use heron_trace::Tracer;
+
+fn solver_rng(g: &mut Gen) -> HeronRng {
+    HeronRng::from_seed(g.int(0, i64::MAX) as u64)
+}
+
+/// Genuine Algorithm-3 offspring (crossover `IN`s + one mutation drop)
+/// always materialise to a solution that validates against the
+/// *initial* CSP, even when repair had to relax constraints.
+#[test]
+fn materialised_offspring_always_satisfy_initial() {
+    property_cases("repair_offspring_valid", 32, |g| {
+        let initial = knife_edge_csp(g);
+        let mut rng = solver_rng(g);
+        let parents = rand_sat(&initial, &mut rng, 2);
+        let parents = parents.solutions;
+        if parents.len() < 2 {
+            return; // solver starved on this case; nothing to cross over
+        }
+        let key_vars = initial.tunables();
+        let off = offspring_csp(&initial, &key_vars, &parents[0], &parents[1], &mut rng);
+        let outcome = materialize_offspring(
+            &initial,
+            off,
+            &mut rng,
+            &SolvePolicy::default(),
+            &Tracer::disabled(),
+        );
+        let sol = outcome
+            .solution
+            .expect("satisfiable initial space must always materialise");
+        assert!(
+            validate(&initial, &sol),
+            "repaired offspring must satisfy CSP_initial"
+        );
+    });
+}
+
+/// Poisoned offspring — `IN` constraints pinning a tunable to a value
+/// *outside its domain* — are repaired by dropping the injected
+/// constraints, and the result still satisfies `CSP_initial`.
+#[test]
+fn poisoned_offspring_are_repaired() {
+    property_cases("repair_poisoned_offspring", 32, |g| {
+        let (initial, _expected) = single_solution_csp(g);
+        let mut offspring = initial.clone();
+        // Inject 1..=3 unsatisfiable INs (value far outside any domain).
+        let tunables = initial.tunables();
+        let poisons = g.index(1, 4);
+        for i in 0..poisons {
+            let v = tunables[g.index(0, tunables.len())];
+            csp_poison(&mut offspring, v, 1_000 + i as i64);
+        }
+        let mut rng = solver_rng(g);
+        let outcome = materialize_offspring(
+            &initial,
+            offspring,
+            &mut rng,
+            &SolvePolicy::default(),
+            &Tracer::disabled(),
+        );
+        let sol = outcome
+            .solution
+            .expect("repair must recover: relaxing all injected INs leaves CSP_initial");
+        assert!(outcome.relaxed >= 1, "at least one poison must be dropped");
+        assert!(
+            u64::from(outcome.relaxed) <= poisons as u64,
+            "repair never drops more than the injected constraints"
+        );
+        assert!(validate(&initial, &sol));
+    });
+}
+
+/// When even `CSP_initial` is infeasible, repair refuses to invent a
+/// chromosome: the outcome is `None` after relaxing all injected
+/// constraints.
+#[test]
+fn unrepairable_offspring_return_none() {
+    property_cases("repair_unsat_initial", 32, |g| {
+        let initial = unsat_csp(g);
+        let mut offspring = initial.clone();
+        if let Some(&v) = initial.tunables().first() {
+            csp_poison(&mut offspring, v, 9_999);
+        }
+        let mut rng = solver_rng(g);
+        let outcome = materialize_offspring(
+            &initial,
+            offspring,
+            &mut rng,
+            &SolvePolicy::fixed(256),
+            &Tracer::disabled(),
+        );
+        assert!(
+            outcome.solution.is_none(),
+            "an UNSAT initial space admits no chromosome, repaired or not"
+        );
+    });
+}
+
+fn csp_poison(csp: &mut heron_csp::Csp, v: heron_csp::VarRef, value: i64) {
+    csp.post_in(v, [value]);
+}

@@ -146,11 +146,7 @@ impl Gbdt {
     pub fn top_features(&self, k: usize) -> Vec<usize> {
         let imp = self.feature_importance();
         let mut idx: Vec<usize> = (0..imp.len()).collect();
-        idx.sort_by(|&a, &b| {
-            imp[b]
-                .partial_cmp(&imp[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        idx.sort_by(|&a, &b| imp[b].total_cmp(&imp[a]));
         idx.truncate(k);
         idx
     }

@@ -132,11 +132,7 @@ impl RegressionTree {
         let mut best: Option<(usize, f64, f64)> = None;
         let mut sorted = rows.to_vec();
         for &f in &features {
-            sorted.sort_by(|&a, &b| {
-                x[a][f]
-                    .partial_cmp(&x[b][f])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            sorted.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
             for i in 0..sorted.len() - 1 {

@@ -18,7 +18,8 @@
 //! let n = csp.add_const("n", 12);
 //! csp.post_prod(n, vec![x, y]); // x * y == 12
 //! let mut rng = heron_rng::HeronRng::from_seed(7);
-//! let sols = heron_csp::solver::rand_sat(&csp, &mut rng, 8);
+//! let outcome = heron_csp::solver::rand_sat(&csp, &mut rng, 8);
+//! let sols = outcome.expect_sat("doc example");
 //! assert!(!sols.is_empty());
 //! for s in &sols {
 //!     assert_eq!(s.value(x) * s.value(y), 12);
@@ -26,6 +27,7 @@
 //! ```
 
 pub mod constraint;
+pub mod diagnose;
 pub mod domain;
 pub mod problem;
 pub mod propagate;
@@ -34,8 +36,12 @@ pub mod solver;
 pub mod stats;
 
 pub use constraint::Constraint;
+pub use diagnose::{diagnose_root_conflict, root_feasible, ConflictEntry, ConflictReport};
 pub use domain::Domain;
 pub use problem::{Csp, Solution, VarCategory, VarRef};
 pub use serialize::{from_text, solution_from_text, solution_to_text, to_text};
-pub use solver::{rand_sat, rand_sat_traced, rand_sat_with_budget, validate, SolveStats};
+pub use solver::{
+    rand_sat, rand_sat_policy, rand_sat_traced, rand_sat_with_budget, validate, SolveOutcome,
+    SolvePolicy, SolveStats, SolveStatus,
+};
 pub use stats::SpaceCensus;

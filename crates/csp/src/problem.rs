@@ -192,6 +192,25 @@ impl Csp {
         self.constraints.truncate(keep);
     }
 
+    /// A copy of this problem with the same variables but only the
+    /// constraints whose indices appear in `keep` (in `keep` order).
+    /// Used by the conflict diagnoser to test feasibility of constraint
+    /// subsets.
+    ///
+    /// # Panics
+    /// Panics if an index in `keep` is out of range.
+    pub fn with_constraint_subset(&self, keep: &[usize]) -> Csp {
+        let mut sub = Csp {
+            vars: self.vars.clone(),
+            by_name: self.by_name.clone(),
+            constraints: Vec::with_capacity(keep.len()),
+        };
+        for &i in keep {
+            sub.constraints.push(self.constraints[i].clone());
+        }
+        sub
+    }
+
     /// Size (in assignments, log10) of the raw cross product of tunable
     /// domains — the unconstrained search-space size reported in figures.
     pub fn tunable_space_log10(&self) -> f64 {

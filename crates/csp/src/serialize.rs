@@ -333,7 +333,7 @@ mod tests {
         assert_eq!(back.num_constraints(), csp.num_constraints());
         // Solutions transfer across the round trip.
         let mut rng = HeronRng::from_seed(1);
-        for sol in crate::solver::rand_sat(&csp, &mut rng, 8) {
+        for sol in crate::solver::rand_sat(&csp, &mut rng, 8).expect_sat("sample csp") {
             assert!(crate::solver::validate(&back, &sol));
         }
         // Second round trip is a fixed point.
@@ -345,7 +345,7 @@ mod tests {
         let csp = sample_csp();
         let mut rng = HeronRng::from_seed(2);
         let sol = crate::solver::rand_sat(&csp, &mut rng, 1)
-            .pop()
+            .one()
             .expect("solvable");
         let text = solution_to_text(&csp, &sol);
         let back = solution_from_text(&csp, &text).expect("parses");

@@ -5,6 +5,15 @@
 //! multiple random, valid, concrete assignments). Sampling is implemented
 //! as propagation-guided backtracking search with randomised variable and
 //! value order, restarted per requested sample.
+//!
+//! Solver failure is a first-class outcome, not a silent empty `Vec`:
+//! every sampling call returns a [`SolveOutcome`] whose [`SolveStatus`]
+//! distinguishes a satisfiable space ([`SolveStatus::Sat`]) from a
+//! root-infeasible one ([`SolveStatus::RootInfeasible`]), an exhausted
+//! backtracking budget ([`SolveStatus::BudgetExhausted`]) and an exceeded
+//! solve deadline ([`SolveStatus::DeadlineExceeded`]). Callers must match
+//! on the status — the explorer uses it to drive offspring repair and
+//! graceful degradation instead of silently shrinking generations.
 
 use heron_rng::Rng;
 use heron_rng::SliceRandom;
@@ -17,7 +26,7 @@ use crate::propagate::Propagator;
 /// Counters describing one [`rand_sat_traced`] call.
 ///
 /// All counts are exact and deterministic for a fixed `(csp, seed, n,
-/// budget)` tuple, which is what the exact-count unit tests pin down.
+/// policy)` tuple, which is what the exact-count unit tests pin down.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Randomised backtracking dives started (including the ones that
@@ -34,6 +43,179 @@ pub struct SolveStats {
     pub wipeouts: u64,
     /// Distinct solutions returned.
     pub solutions: u64,
+    /// Budget-escalation rounds taken: each multiplies the per-sample
+    /// backtracking budget by [`SolvePolicy::escalation_factor`] after a
+    /// round that produced zero solutions on a root-feasible space.
+    pub escalations: u64,
+}
+
+/// Classification of one sampling call — the solver's answer is never a
+/// bare (possibly empty) solution list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// At least one solution was materialised (or zero were requested).
+    Sat,
+    /// Root propagation wiped out a domain: the CSP has *no* solutions,
+    /// proven before any search. [`crate::diagnose::diagnose_root_conflict`]
+    /// can name a culpable constraint subset.
+    RootInfeasible,
+    /// The space may be satisfiable, but every dive exhausted its
+    /// backtracking budget (after any escalation rounds) without finding a
+    /// solution.
+    BudgetExhausted,
+    /// The step deadline ([`SolvePolicy::deadline_steps`]) ran out before
+    /// the requested samples materialised. Any solutions found before the
+    /// deadline are still carried in [`SolveOutcome::solutions`].
+    DeadlineExceeded,
+}
+
+impl SolveStatus {
+    /// Short stable tag, used in traces and error counters.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SolveStatus::Sat => "sat",
+            SolveStatus::RootInfeasible => "root-infeasible",
+            SolveStatus::BudgetExhausted => "budget-exhausted",
+            SolveStatus::DeadlineExceeded => "deadline-exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Solve-effort policy: per-sample backtracking budget, the geometric
+/// budget-escalation restart schedule, and an optional deterministic step
+/// deadline.
+///
+/// The deadline counts *candidate-value trials* (branch decisions), not
+/// wall-clock time, so same-seed runs remain byte-identical on any
+/// machine; it is a deterministic proxy for a wall deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolvePolicy {
+    /// Initial per-sample backtracking budget (counted in failures).
+    pub budget: u32,
+    /// Extra rounds allowed after a zero-solution round on a feasible
+    /// root; each multiplies the budget by `escalation_factor`.
+    pub max_escalations: u32,
+    /// Geometric budget growth per escalation round.
+    pub escalation_factor: u32,
+    /// Hard ceiling on the escalated budget.
+    pub budget_cap: u32,
+    /// Maximum branch decisions for the whole call; `0` disables the
+    /// deadline.
+    pub deadline_steps: u64,
+}
+
+impl Default for SolvePolicy {
+    fn default() -> Self {
+        SolvePolicy {
+            budget: 2_000,
+            max_escalations: 2,
+            escalation_factor: 4,
+            budget_cap: 32_000,
+            deadline_steps: 0,
+        }
+    }
+}
+
+impl SolvePolicy {
+    /// A fixed-budget policy with no escalation and no deadline — the
+    /// behaviour of the historical `rand_sat_with_budget` contract.
+    pub fn fixed(budget: u32) -> Self {
+        SolvePolicy {
+            budget,
+            max_escalations: 0,
+            escalation_factor: 1,
+            budget_cap: budget,
+            deadline_steps: 0,
+        }
+    }
+
+    /// Sets the step deadline (`0` disables it).
+    pub fn with_deadline(mut self, steps: u64) -> Self {
+        self.deadline_steps = steps;
+        self
+    }
+
+    /// Sets the initial budget, keeping the escalation schedule.
+    pub fn with_budget(mut self, budget: u32) -> Self {
+        self.budget = budget;
+        self.budget_cap = self.budget_cap.max(budget);
+        self
+    }
+}
+
+/// The full result of one sampling call: classification, the solutions
+/// materialised (possibly fewer than requested), and exact counters.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// What happened.
+    pub status: SolveStatus,
+    /// Distinct solutions found, in discovery order.
+    pub solutions: Vec<Solution>,
+    /// Exact deterministic counters for this call.
+    pub stats: SolveStats,
+}
+
+impl SolveOutcome {
+    /// `true` iff the call is classified [`SolveStatus::Sat`].
+    pub fn is_sat(&self) -> bool {
+        self.status == SolveStatus::Sat
+    }
+
+    /// Unwraps the solutions, panicking with `ctx` and the status if the
+    /// call was not `Sat`. For tests, benches and pipeline stages where a
+    /// non-`Sat` outcome is a bug, never an expected condition.
+    #[track_caller]
+    pub fn expect_sat(self, ctx: &str) -> Vec<Solution> {
+        assert!(
+            self.status == SolveStatus::Sat,
+            "{ctx}: solver returned `{}` with {} solution(s)",
+            self.status,
+            self.solutions.len()
+        );
+        self.solutions
+    }
+
+    /// First solution, if any — for single-sample decode paths that handle
+    /// absence explicitly via `Option`.
+    pub fn one(self) -> Option<Solution> {
+        self.solutions.into_iter().next()
+    }
+}
+
+/// Deterministic step deadline threaded through the dives.
+struct Deadline {
+    remaining: u64,
+    enabled: bool,
+    hit: bool,
+}
+
+impl Deadline {
+    fn new(steps: u64) -> Self {
+        Deadline {
+            remaining: steps,
+            enabled: steps > 0,
+            hit: false,
+        }
+    }
+
+    /// Consumes one branch decision; returns `false` once exhausted.
+    fn tick(&mut self) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        if self.remaining == 0 {
+            self.hit = true;
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
 }
 
 /// Checks a complete assignment against every declared domain and every
@@ -51,41 +233,47 @@ pub fn validate(csp: &Csp, sol: &Solution) -> bool {
     csp.constraints().iter().all(|c| c.check(&env))
 }
 
-/// Draws up to `n` *distinct* random solutions of `csp`.
+/// Draws up to `n` *distinct* random solutions of `csp` under the default
+/// [`SolvePolicy`] (budget 2 000, two 4× escalation rounds, no deadline).
 ///
-/// Returns fewer than `n` (possibly zero) solutions if the problem is
-/// infeasible or the per-sample backtracking budget is exhausted — callers
-/// treat an empty result as "space wiped out", mirroring how or-tools is
-/// used in the paper.
-pub fn rand_sat<R: Rng>(csp: &Csp, rng: &mut R, n: usize) -> Vec<Solution> {
-    rand_sat_with_budget(csp, rng, n, 2_000)
+/// The returned [`SolveOutcome`] classifies the result; an empty solution
+/// list always comes with a non-`Sat` status explaining why.
+pub fn rand_sat<R: Rng>(csp: &Csp, rng: &mut R, n: usize) -> SolveOutcome {
+    rand_sat_policy(csp, rng, n, &SolvePolicy::default())
 }
 
-/// [`rand_sat`] with an explicit per-sample backtracking budget.
-pub fn rand_sat_with_budget<R: Rng>(
+/// [`rand_sat`] with an explicit fixed per-sample backtracking budget and
+/// no escalation (see [`SolvePolicy::fixed`]).
+pub fn rand_sat_with_budget<R: Rng>(csp: &Csp, rng: &mut R, n: usize, budget: u32) -> SolveOutcome {
+    rand_sat_policy(csp, rng, n, &SolvePolicy::fixed(budget))
+}
+
+/// [`rand_sat_traced`] without a tracer.
+pub fn rand_sat_policy<R: Rng>(
     csp: &Csp,
     rng: &mut R,
     n: usize,
-    budget: u32,
-) -> Vec<Solution> {
-    rand_sat_traced(csp, rng, n, budget, &Tracer::disabled()).0
+    policy: &SolvePolicy,
+) -> SolveOutcome {
+    rand_sat_traced(csp, rng, n, policy, &Tracer::disabled())
 }
 
-/// [`rand_sat_with_budget`] that additionally reports exact solver
-/// counters and records them on `tracer` (span `csp.solve`, counters
-/// `csp.*`). The tracer never touches `rng`, so traced and untraced runs
-/// draw identical samples.
+/// The canonical sampling entry point: applies the full [`SolvePolicy`]
+/// (budget, escalation, deadline), reports exact solver counters and
+/// records them on `tracer` (span `csp.solve`, counters `csp.*`). The
+/// tracer never touches `rng`, so traced and untraced runs draw identical
+/// samples.
 pub fn rand_sat_traced<R: Rng>(
     csp: &Csp,
     rng: &mut R,
     n: usize,
-    budget: u32,
+    policy: &SolvePolicy,
     tracer: &Tracer,
-) -> (Vec<Solution>, SolveStats) {
+) -> SolveOutcome {
     let span = tracer.span_with("csp.solve", || {
         [
             ("n", n.to_string()),
-            ("budget", budget.to_string()),
+            ("budget", policy.budget.to_string()),
             ("vars", csp.num_vars().to_string()),
         ]
     });
@@ -94,43 +282,85 @@ pub fn rand_sat_traced<R: Rng>(
     let mut root = prop.initial_domains();
     let root_ok = prop.run_all(&mut root).is_ok();
     let mut out = Vec::with_capacity(n);
-    if root_ok {
+    let mut deadline = Deadline::new(policy.deadline_steps);
+    if root_ok && n > 0 {
         let mut seen = std::collections::HashSet::new();
-        // Give each requested sample a few attempts before giving up, so
-        // that a handful of unlucky random walks does not starve the
-        // population.
-        let mut attempts = n * 3;
-        while out.len() < n && attempts > 0 {
-            attempts -= 1;
-            stats.attempts += 1;
-            let mut fails = budget;
-            let found = match search_one(csp, &prop, &root, rng, &mut fails) {
-                Some(sol) => {
-                    debug_assert!(validate(csp, &sol), "search produced an invalid solution");
-                    if seen.insert(sol.fingerprint()) {
-                        out.push(sol);
-                        true
-                    } else {
-                        false
+        let mut budget = policy.budget;
+        let mut escalation = 0u32;
+        loop {
+            // Give each requested sample a few attempts before giving up,
+            // so that a handful of unlucky random walks does not starve
+            // the population.
+            let mut attempts = n * 3;
+            while out.len() < n && attempts > 0 && !deadline.hit {
+                attempts -= 1;
+                stats.attempts += 1;
+                let mut fails = budget;
+                let found = match search_one(csp, &prop, &root, rng, &mut fails, &mut deadline) {
+                    Some(sol) => {
+                        debug_assert!(validate(csp, &sol), "search produced an invalid solution");
+                        if seen.insert(sol.fingerprint()) {
+                            out.push(sol);
+                            true
+                        } else {
+                            false
+                        }
                     }
+                    None => false,
+                };
+                if !found {
+                    stats.restarts += 1;
                 }
-                None => false,
-            };
-            if !found {
-                stats.restarts += 1;
             }
+            // Budget escalation: a zero-solution round on a feasible root
+            // retries the whole round with a geometrically larger budget,
+            // up to the cap — the restart policy for knife-edge spaces
+            // whose only solutions hide behind deep backtracking.
+            if !out.is_empty()
+                || deadline.hit
+                || escalation >= policy.max_escalations
+                || budget >= policy.budget_cap
+            {
+                break;
+            }
+            escalation += 1;
+            stats.escalations += 1;
+            budget = budget
+                .max(1)
+                .saturating_mul(policy.escalation_factor.max(1))
+                .min(policy.budget_cap.max(1));
         }
     }
     stats.propagations = prop.propagations();
     stats.wipeouts = prop.wipeouts();
     stats.solutions = out.len() as u64;
+    let status = if !root_ok {
+        SolveStatus::RootInfeasible
+    } else if deadline.hit {
+        SolveStatus::DeadlineExceeded
+    } else if out.is_empty() && n > 0 {
+        SolveStatus::BudgetExhausted
+    } else {
+        SolveStatus::Sat
+    };
     tracer.counter_add("csp.attempts", stats.attempts);
     tracer.counter_add("csp.propagations", stats.propagations);
     tracer.counter_add("csp.restarts", stats.restarts);
     tracer.counter_add("csp.wipeouts", stats.wipeouts);
     tracer.counter_add("csp.solutions", stats.solutions);
+    tracer.counter_add("csp.escalations", stats.escalations);
+    if status == SolveStatus::DeadlineExceeded {
+        tracer.counter_add("csp.deadline_exceeded", 1);
+    }
+    if status == SolveStatus::RootInfeasible {
+        tracer.counter_add("csp.root_infeasible", 1);
+    }
     drop(span);
-    (out, stats)
+    SolveOutcome {
+        status,
+        solutions: out,
+        stats,
+    }
 }
 
 /// One randomised dive with chronological backtracking.
@@ -140,6 +370,7 @@ fn search_one<R: Rng>(
     root: &[Domain],
     rng: &mut R,
     fails: &mut u32,
+    deadline: &mut Deadline,
 ) -> Option<Solution> {
     // Branch order: tunables in random order, then everything else in
     // declaration order (those are functionally determined in well-formed
@@ -152,9 +383,10 @@ fn search_one<R: Rng>(
         }
     }
     let mut domains = root.to_vec();
-    dive(csp, prop, &mut domains, &order, 0, rng, fails)
+    dive(csp, prop, &mut domains, &order, 0, rng, fails, deadline)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dive<R: Rng>(
     csp: &Csp,
     prop: &Propagator<'_>,
@@ -163,6 +395,7 @@ fn dive<R: Rng>(
     depth: usize,
     rng: &mut R,
     fails: &mut u32,
+    deadline: &mut Deadline,
 ) -> Option<Solution> {
     // Find the next unfixed variable at or after `depth`.
     let mut d = depth;
@@ -208,10 +441,13 @@ fn dive<R: Rng>(
         if *fails == 0 {
             return None;
         }
+        if !deadline.tick() {
+            return None;
+        }
         let mut trial = domains.to_vec();
         if trial[var.0].fix(val).is_ok() && prop.run_from(&mut trial, var).is_ok() {
             let mut trial = trial;
-            if let Some(sol) = dive(csp, prop, &mut trial, order, d + 1, rng, fails) {
+            if let Some(sol) = dive(csp, prop, &mut trial, order, d + 1, rng, fails, deadline) {
                 return Some(sol);
             }
         }
@@ -248,7 +484,7 @@ mod tests {
     fn solutions_satisfy_all_constraints() {
         let (csp, [i0, i1, i2, vec]) = tiling_csp();
         let mut rng = HeronRng::from_seed(42);
-        let sols = rand_sat(&csp, &mut rng, 32);
+        let sols = rand_sat(&csp, &mut rng, 32).expect_sat("tiling space");
         assert!(
             sols.len() >= 16,
             "expected many solutions, got {}",
@@ -266,7 +502,7 @@ mod tests {
     fn solutions_are_distinct_and_diverse() {
         let (csp, [i0, ..]) = tiling_csp();
         let mut rng = HeronRng::from_seed(1);
-        let sols = rand_sat(&csp, &mut rng, 24);
+        let sols = rand_sat(&csp, &mut rng, 24).expect_sat("tiling space");
         let fps: std::collections::HashSet<u64> = sols.iter().map(|s| s.fingerprint()).collect();
         assert_eq!(fps.len(), sols.len(), "duplicate solutions returned");
         let i0_values: std::collections::HashSet<i64> = sols.iter().map(|s| s.value(i0)).collect();
@@ -274,12 +510,27 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_returns_empty() {
+    fn infeasible_is_classified_root_infeasible() {
         let mut csp = Csp::new();
         let a = csp.add_var("a", Domain::values([2, 3]), VarCategory::Tunable);
         csp.post_in(a, [7, 9]);
         let mut rng = HeronRng::from_seed(0);
-        assert!(rand_sat(&csp, &mut rng, 4).is_empty());
+        let outcome = rand_sat(&csp, &mut rng, 4);
+        assert_eq!(outcome.status, SolveStatus::RootInfeasible);
+        assert!(outcome.solutions.is_empty());
+        assert!(!outcome.is_sat());
+        // Escalation never fires on a proven-infeasible root.
+        assert_eq!(outcome.stats.escalations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root-infeasible")]
+    fn expect_sat_panics_with_context_on_failure() {
+        let mut csp = Csp::new();
+        let a = csp.add_var("a", Domain::values([2, 3]), VarCategory::Tunable);
+        csp.post_in(a, [7, 9]);
+        let mut rng = HeronRng::from_seed(0);
+        rand_sat(&csp, &mut rng, 4).expect_sat("unit test");
     }
 
     #[test]
@@ -287,7 +538,7 @@ mod tests {
         let (csp, _) = tiling_csp();
         assert!(!validate(&csp, &Solution::new(vec![1, 2])));
         let mut rng = HeronRng::from_seed(3);
-        let sols = rand_sat(&csp, &mut rng, 1);
+        let sols = rand_sat(&csp, &mut rng, 1).expect_sat("tiling space");
         let s = &sols[0];
         let mut bad = s.values().to_vec();
         bad[1] += 1; // break PROD
@@ -300,16 +551,18 @@ mod tests {
         let mut csp = Csp::new();
         csp.add_var("a", Domain::values([1, 2]), VarCategory::Tunable);
         let mut rng = HeronRng::from_seed(5);
-        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 1, 100, &Tracer::disabled());
-        assert_eq!(sols.len(), 1);
+        let outcome = rand_sat_policy(&csp, &mut rng, 1, &SolvePolicy::fixed(100));
+        assert_eq!(outcome.status, SolveStatus::Sat);
+        assert_eq!(outcome.solutions.len(), 1);
         assert_eq!(
-            stats,
+            outcome.stats,
             SolveStats {
                 attempts: 1,
                 propagations: 0,
                 restarts: 0,
                 wipeouts: 0,
                 solutions: 1,
+                escalations: 0,
             }
         );
     }
@@ -322,17 +575,18 @@ mod tests {
         let a = csp.add_var("a", Domain::values([1, 2]), VarCategory::Tunable);
         csp.post_in(a, [1]);
         let mut rng = HeronRng::from_seed(5);
-        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 1, 100, &Tracer::disabled());
-        assert_eq!(sols.len(), 1);
-        assert_eq!(sols[0].value(a), 1);
+        let outcome = rand_sat_policy(&csp, &mut rng, 1, &SolvePolicy::fixed(100));
+        assert_eq!(outcome.solutions.len(), 1);
+        assert_eq!(outcome.solutions[0].value(a), 1);
         assert_eq!(
-            stats,
+            outcome.stats,
             SolveStats {
                 attempts: 1,
                 propagations: 2,
                 restarts: 0,
                 wipeouts: 0,
                 solutions: 1,
+                escalations: 0,
             }
         );
     }
@@ -344,16 +598,18 @@ mod tests {
         let a = csp.add_var("a", Domain::values([2, 3]), VarCategory::Tunable);
         csp.post_in(a, [7, 9]);
         let mut rng = HeronRng::from_seed(0);
-        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 4, 100, &Tracer::disabled());
-        assert!(sols.is_empty());
+        let outcome = rand_sat_policy(&csp, &mut rng, 4, &SolvePolicy::fixed(100));
+        assert_eq!(outcome.status, SolveStatus::RootInfeasible);
+        assert!(outcome.solutions.is_empty());
         assert_eq!(
-            stats,
+            outcome.stats,
             SolveStats {
                 attempts: 0,
                 propagations: 1,
                 restarts: 0,
                 wipeouts: 1,
                 solutions: 0,
+                escalations: 0,
             }
         );
 
@@ -362,11 +618,95 @@ mod tests {
         let mut csp = Csp::new();
         csp.add_var("b", Domain::values([7]), VarCategory::Tunable);
         let mut rng = HeronRng::from_seed(1);
-        let (sols, stats) = rand_sat_traced(&csp, &mut rng, 2, 100, &Tracer::disabled());
-        assert_eq!(sols.len(), 1);
-        assert_eq!(stats.attempts, 6);
-        assert_eq!(stats.restarts, 5);
-        assert_eq!(stats.solutions, 1);
+        let outcome = rand_sat_policy(&csp, &mut rng, 2, &SolvePolicy::fixed(100));
+        assert_eq!(outcome.status, SolveStatus::Sat);
+        assert_eq!(outcome.solutions.len(), 1);
+        assert_eq!(outcome.stats.attempts, 6);
+        assert_eq!(outcome.stats.restarts, 5);
+        assert_eq!(outcome.stats.solutions, 1);
+    }
+
+    #[test]
+    fn zero_budget_is_budget_exhausted_and_escalation_recovers() {
+        // With a zero backtracking budget no dive can fix a value, so the
+        // feasible space classifies as BudgetExhausted…
+        let (csp, _) = tiling_csp();
+        let mut rng = HeronRng::from_seed(2);
+        let starved = rand_sat_policy(&csp, &mut rng, 4, &SolvePolicy::fixed(0));
+        assert_eq!(starved.status, SolveStatus::BudgetExhausted);
+        assert!(starved.solutions.is_empty());
+        assert_eq!(starved.stats.escalations, 0);
+
+        // …and the escalation schedule recovers from a starvation budget
+        // by geometric restarts (0 → 4 → 16 → 64 → 256 here).
+        let mut rng = HeronRng::from_seed(2);
+        let policy = SolvePolicy {
+            budget: 0,
+            max_escalations: 4,
+            escalation_factor: 4,
+            budget_cap: 1_000,
+            deadline_steps: 0,
+        };
+        let escalated = rand_sat_policy(&csp, &mut rng, 4, &policy);
+        assert_eq!(escalated.status, SolveStatus::Sat);
+        assert!(escalated.stats.escalations >= 1);
+        assert!(!escalated.solutions.is_empty());
+    }
+
+    #[test]
+    fn deadline_exceeded_is_classified_and_deterministic() {
+        let (csp, _) = tiling_csp();
+        // One branch decision is never enough to fix every tunable.
+        let policy = SolvePolicy::default().with_deadline(1);
+        let run = |seed: u64| {
+            let mut rng = HeronRng::from_seed(seed);
+            rand_sat_policy(&csp, &mut rng, 8, &policy)
+        };
+        let a = run(3);
+        assert_eq!(a.status, SolveStatus::DeadlineExceeded);
+        assert!(a.solutions.is_empty());
+        let b = run(3);
+        assert_eq!(a.stats, b.stats, "same-seed deadline runs diverged");
+
+        // A generous deadline changes nothing: still Sat.
+        let generous = SolvePolicy::default().with_deadline(1_000_000);
+        let mut rng = HeronRng::from_seed(3);
+        let ok = rand_sat_policy(&csp, &mut rng, 8, &generous);
+        assert_eq!(ok.status, SolveStatus::Sat);
+        assert_eq!(ok.solutions.len(), 8);
+    }
+
+    #[test]
+    fn deadline_keeps_partial_solutions() {
+        let (csp, _) = tiling_csp();
+        // Binary-search the smallest deadline that still yields all 8
+        // samples (step consumption is deterministic and monotone in the
+        // deadline for a fixed seed), then run just under it: the
+        // truncated call must classify DeadlineExceeded and carry fewer
+        // than 8 solutions — without discarding the ones it found.
+        let run = |deadline: u64| {
+            let mut rng = HeronRng::from_seed(9);
+            rand_sat_policy(
+                &csp,
+                &mut rng,
+                8,
+                &SolvePolicy::default().with_deadline(deadline),
+            )
+        };
+        assert_eq!(run(1_000_000).status, SolveStatus::Sat);
+        let (mut lo, mut hi) = (1u64, 1_000_000u64);
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if run(mid).status == SolveStatus::Sat {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        assert!(hi > 2, "tiling space cannot be solved in two steps");
+        let cut = run(hi - 1);
+        assert_eq!(cut.status, SolveStatus::DeadlineExceeded);
+        assert!(cut.solutions.len() < 8);
     }
 
     #[test]
@@ -375,12 +715,19 @@ mod tests {
         let tracer = Tracer::manual();
         let mut rng_a = HeronRng::from_seed(11);
         let mut rng_b = HeronRng::from_seed(11);
-        let (traced, stats) = rand_sat_traced(&csp, &mut rng_a, 8, 2_000, &tracer);
+        let policy = SolvePolicy::fixed(2_000);
+        let traced = rand_sat_traced(&csp, &mut rng_a, 8, &policy, &tracer);
         let untraced = rand_sat_with_budget(&csp, &mut rng_b, 8, 2_000);
-        assert_eq!(traced, untraced, "tracing must not perturb sampling");
+        assert_eq!(
+            traced.solutions, untraced.solutions,
+            "tracing must not perturb sampling"
+        );
+        assert_eq!(traced.status, untraced.status);
+        let stats = traced.stats;
         assert_eq!(tracer.counter("csp.attempts"), Some(stats.attempts));
         assert_eq!(tracer.counter("csp.propagations"), Some(stats.propagations));
         assert_eq!(tracer.counter("csp.solutions"), Some(stats.solutions));
+        assert_eq!(tracer.counter("csp.escalations"), Some(0));
         assert!(stats.propagations > 0);
         let summary = heron_trace::check_trace(&tracer.to_jsonl()).expect("balanced trace");
         assert_eq!(summary.spans.len(), 1);
@@ -402,7 +749,7 @@ mod tests {
         let len = csp.add_var("len", Domain::range(1, 64), VarCategory::LoopLength);
         csp.post_select(len, loc, vec![l1, l2, l3]);
         let mut rng = HeronRng::from_seed(9);
-        let sols = rand_sat(&csp, &mut rng, 16);
+        let sols = rand_sat(&csp, &mut rng, 16).expect_sat("select space");
         assert!(!sols.is_empty());
         for s in &sols {
             let expected = [4, 16, 64][s.value(loc) as usize];

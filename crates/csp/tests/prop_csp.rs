@@ -109,7 +109,7 @@ fn rand_sat_solutions_validate() {
         let seed = g.int(0, 1000) as u64;
         let csp = small.build();
         let mut rng = heron_rng::HeronRng::from_seed(seed);
-        for sol in rand_sat(&csp, &mut rng, 8) {
+        for sol in rand_sat(&csp, &mut rng, 8).solutions {
             assert!(
                 validate(&csp, &sol),
                 "invalid RandSAT solution for {small:?}"
@@ -131,11 +131,15 @@ fn rand_sat_finds_solutions_when_they_exist() {
         let found = rand_sat(&csp, &mut rng, 4);
         if !solutions.is_empty() {
             assert!(
-                !found.is_empty(),
-                "solver missed a satisfiable problem: {small:?}"
+                found.is_sat() && !found.solutions.is_empty(),
+                "solver missed a satisfiable problem ({}): {small:?}",
+                found.status
             );
         } else {
-            assert!(found.is_empty(), "solver invented a solution: {small:?}");
+            assert!(
+                !found.is_sat() && found.solutions.is_empty(),
+                "solver invented a solution: {small:?}"
+            );
         }
     });
 }

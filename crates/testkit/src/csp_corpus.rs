@@ -1,0 +1,225 @@
+//! Adversarial CSP corpus — generators for pathological constraint
+//! problems (DESIGN.md §6, "Solver-side failure & repair").
+//!
+//! The hardened solver contract says `rand_sat` must *classify* every
+//! failure (`root-infeasible`, `budget-exhausted`, `deadline-exceeded`)
+//! instead of silently returning an empty solution set, and the CGA
+//! repair loop must keep valid-by-construction sampling alive on
+//! over-constrained spaces. Those guarantees only bite on nasty inputs,
+//! so this module generates three adversarial families on demand:
+//!
+//! * [`unsat_csp`] — *provably* root-infeasible problems (a clash of two
+//!   disjoint `IN` sets on one variable, buried among benign
+//!   constraints). The solver must report `RootInfeasible`; the
+//!   diagnoser must name a removal set.
+//! * [`single_solution_csp`] — problems squeezed down to exactly one
+//!   solution by singleton `IN` pins. The solver must *find* it — a
+//!   needle-in-a-haystack check on restart/escalation behaviour.
+//! * [`knife_edge_csp`] — barely-satisfiable product constraints
+//!   (`f0·…·fk == N` over divisor domains) where almost every random
+//!   assignment wipes out. Exercises budget escalation and deadline
+//!   classification without ever being UNSAT.
+//!
+//! All generators draw exclusively from the harness [`Gen`], so corpus
+//! problems shrink and replay like any other property input.
+
+use crate::Gen;
+use heron_csp::{Csp, Domain, Solution, VarCategory, VarRef};
+
+/// A random benign base problem: `n_vars` multi-value tunables plus a
+/// sprinkling of `LE` chains so propagation has real work to do.
+///
+/// Every domain has at least two values, and the `LE` chain is posted
+/// between *adjacent* variables only, so the base problem is always
+/// satisfiable (take each domain's minimum… maximum ordering argument:
+/// assigning every variable its domain minimum cannot violate
+/// `v_i <= v_{i+1}` in general, so we instead order by sorted domain
+/// minima — see the constructor body).
+pub fn base_csp(g: &mut Gen, n_vars: usize) -> Csp {
+    let n_vars = n_vars.max(2);
+    let mut csp = Csp::new();
+    let mut vars: Vec<VarRef> = Vec::with_capacity(n_vars);
+    for i in 0..n_vars {
+        // 2..=4 distinct values in 0..=9.
+        let lo = g.int(0, 5);
+        let width = g.int(1, 3);
+        let dom = Domain::range(lo, lo + width);
+        vars.push(csp.add_var(format!("t{i}"), dom, VarCategory::Tunable));
+    }
+    // A few benign LE edges from a lower-min domain to a higher-max
+    // domain; such an edge always admits at least one satisfying pair.
+    let edges = g.index(0, n_vars);
+    for _ in 0..edges {
+        let a = vars[g.index(0, n_vars)];
+        let b = vars[g.index(0, n_vars)];
+        if a == b {
+            continue;
+        }
+        let (lo_side, hi_side) = if csp.var(a).domain.min() <= csp.var(b).domain.min() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if csp.var(lo_side).domain.min() <= csp.var(hi_side).domain.max() {
+            csp.post_le(lo_side, hi_side);
+        }
+    }
+    csp
+}
+
+/// A provably root-infeasible problem: [`base_csp`] plus two disjoint
+/// singleton `IN` constraints on one multi-value tunable.
+///
+/// Propagation alone wipes out the clashing variable's domain, so the
+/// solver must classify the root as `RootInfeasible` (never return a
+/// silent empty `Sat`), and `diagnose_root_conflict` must produce a
+/// removal set that restores feasibility.
+pub fn unsat_csp(g: &mut Gen) -> Csp {
+    let n_vars = g.index(2, 6);
+    let mut csp = base_csp(g, n_vars);
+    let tunables = csp.tunables();
+    let victims: Vec<VarRef> = tunables
+        .iter()
+        .copied()
+        .filter(|&v| csp.var(v).domain.size() >= 2)
+        .collect();
+    let v = victims[g.index(0, victims.len())];
+    let values: Vec<i64> = csp.var(v).domain.iter_values().collect();
+    let a = g.index(0, values.len());
+    let mut b = g.index(0, values.len());
+    if b == a {
+        b = (a + 1) % values.len();
+    }
+    csp.post_in(v, [values[a]]);
+    csp.post_in(v, [values[b]]);
+    csp
+}
+
+/// A problem with **exactly one** solution: every tunable of a
+/// [`base_csp`] is pinned to a per-variable value drawn from its domain
+/// (re-drawn until the pinned assignment satisfies the benign `LE`
+/// edges, which is guaranteed to terminate because the base problem is
+/// satisfiable and domains are tiny).
+///
+/// Returns the problem and its unique expected [`Solution`].
+pub fn single_solution_csp(g: &mut Gen) -> (Csp, Solution) {
+    let n_vars = g.index(2, 6);
+    let mut csp = base_csp(g, n_vars);
+    let tunables = csp.tunables();
+    // Draw assignments until one satisfies every posted LE edge.
+    // Domains are <= 4 values and edges are benign, so the loop is
+    // short; bound it anyway and fall back to domain minima sorted by
+    // construction (assign lo side its min, hi side its max).
+    let mut values: Vec<i64> = Vec::new();
+    'search: for _attempt in 0..64 {
+        let candidate: Vec<i64> = tunables
+            .iter()
+            .map(|&v| {
+                let dom: Vec<i64> = csp.var(v).domain.iter_values().collect();
+                dom[g.index(0, dom.len())]
+            })
+            .collect();
+        let env = |r: VarRef| candidate[r.0];
+        if csp.constraints().iter().all(|c| c.check(&env)) {
+            values = candidate;
+            break 'search;
+        }
+    }
+    if values.is_empty() {
+        // Deterministic fallback: everything at its domain minimum with
+        // LE edges repaired by raising the hi side to its max.
+        values = tunables.iter().map(|&v| csp.var(v).domain.min()).collect();
+        for c in csp.constraints().to_vec() {
+            if let heron_csp::Constraint::Le(a, b) = c {
+                values[b.0] = values[b.0].max(values[a.0]).min(csp.var(b).domain.max());
+            }
+        }
+    }
+    for (&v, &val) in tunables.iter().zip(values.iter()) {
+        csp.post_in(v, [val]);
+    }
+    (csp, Solution::new(values))
+}
+
+/// A barely-satisfiable "knife-edge" problem: `k` tunable factors over
+/// divisor domains whose product must equal a fixed composite `N`.
+///
+/// Always satisfiable (`N · 1 · … · 1` works) but random assignment
+/// almost always violates the product, so restart pressure is high —
+/// exactly the regime where budget escalation and step deadlines earn
+/// their keep.
+pub fn knife_edge_csp(g: &mut Gen) -> Csp {
+    const COMPOSITES: [i64; 5] = [12, 36, 64, 90, 128];
+    let n = COMPOSITES[g.index(0, COMPOSITES.len())];
+    let k = g.index(2, 4); // 2..=3 factors
+    let mut csp = Csp::new();
+    let out = csp.add_const("N", n);
+    let factors: Vec<VarRef> = (0..k)
+        .map(|i| {
+            csp.add_var(
+                format!("f{i}"),
+                Domain::divisors_of(n),
+                VarCategory::Tunable,
+            )
+        })
+        .collect();
+    csp.post_prod(out, factors);
+    csp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property_cases;
+    use heron_csp::VarRef;
+
+    #[test]
+    fn unsat_csp_has_no_solutions_by_brute_force() {
+        property_cases("corpus_unsat_brute_force", 32, |g| {
+            let csp = unsat_csp(g);
+            assert!(!has_any_solution(&csp), "clash must kill every assignment");
+        });
+    }
+
+    #[test]
+    fn single_solution_csp_expected_solution_checks_out() {
+        property_cases("corpus_single_solution_valid", 32, |g| {
+            let (csp, sol) = single_solution_csp(g);
+            let env = |r: VarRef| sol.value(r);
+            assert!(
+                csp.constraints().iter().all(|c| c.check(&env)),
+                "pinned solution must satisfy the pinned problem"
+            );
+        });
+    }
+
+    #[test]
+    fn knife_edge_csp_is_satisfiable() {
+        property_cases("corpus_knife_edge_sat", 32, |g| {
+            let csp = knife_edge_csp(g);
+            assert!(has_any_solution(&csp), "knife-edge spaces stay satisfiable");
+        });
+    }
+
+    /// Exhaustive satisfiability oracle for tiny problems.
+    fn has_any_solution(csp: &Csp) -> bool {
+        let doms: Vec<Vec<i64>> = (0..csp.num_vars())
+            .map(|i| csp.var(VarRef(i)).domain.iter_values().collect())
+            .collect();
+        let mut current = vec![0i64; doms.len()];
+        fn rec(csp: &Csp, doms: &[Vec<i64>], idx: usize, current: &mut Vec<i64>) -> bool {
+            if idx == doms.len() {
+                let env = |r: VarRef| current[r.0];
+                return csp.constraints().iter().all(|c| c.check(&env));
+            }
+            for &v in &doms[idx] {
+                current[idx] = v;
+                if rec(csp, doms, idx + 1, current) {
+                    return true;
+                }
+            }
+            false
+        }
+        rec(csp, &doms, 0, &mut current)
+    }
+}

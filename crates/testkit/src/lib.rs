@@ -39,6 +39,7 @@
 //! the committed `results/*.tsv` files.
 
 pub mod bench;
+pub mod csp_corpus;
 mod gen;
 pub mod shrink;
 

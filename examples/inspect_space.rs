@@ -45,7 +45,7 @@ fn main() {
 
     println!("\n== random valid configurations (RandSAT) ==");
     let mut rng = HeronRng::from_seed(1);
-    let sols = heron::csp::rand_sat(&space.csp, &mut rng, 3);
+    let sols = heron::csp::rand_sat(&space.csp, &mut rng, 3).expect_sat("generated space");
     let tunables = space.csp.tunables();
     for (i, sol) in sols.iter().enumerate() {
         let values: Vec<String> = tunables
@@ -65,7 +65,7 @@ fn main() {
         child_csp.num_constraints(),
         keys.len()
     );
-    let children = heron::csp::rand_sat(&child_csp, &mut rng, 2);
+    let children = heron::csp::rand_sat(&child_csp, &mut rng, 2).solutions;
     for child in &children {
         assert!(heron::csp::validate(&space.csp, child));
         println!("  offspring is valid under CSP_initial ✓");

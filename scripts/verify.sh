@@ -79,6 +79,57 @@ for layer in csp. cga. model. measure. dla.; do
 done
 echo "ok: trace validates; $instruments instruments across all layers"
 
+echo "== robustness smoke (hardened exploration) =="
+# Over-constrained and UNSAT spaces must terminate with a classified
+# status (repair/fallback on satisfiable spaces, `root-infeasible` +
+# diagnosis on contradictory ones), and deadline-bounded solves must be
+# deterministic (DESIGN.md §6, "Solver-side failure & repair").
+cargo run --release --offline -p heron-bench --bin space_stress -- --smoke >/dev/null
+echo "ok: over-constrained + UNSAT spaces behave (space_stress --smoke)"
+
+# A corrupt checkpoint must be rejected up front: write a real
+# checkpoint, flip one byte mid-file, and require `--resume` to exit
+# non-zero naming the corruption (never a partial load).
+ck="$obs_dir/gemm.ckpt"
+cargo run --release --offline -p heron-bench --bin heron_cli -- \
+    tune --op gemm --shape 256x256x256 --trials 16 \
+    --pause-at 8 --checkpoint "$ck" >/dev/null 2>&1
+size=$(wc -c < "$ck")
+mid=$((size / 2))
+orig=$(dd if="$ck" bs=1 skip="$mid" count=1 2>/dev/null)
+flip='Z'; [ "$orig" = 'Z' ] && flip='Q'
+printf '%s' "$flip" | dd of="$ck" bs=1 seek="$mid" conv=notrunc 2>/dev/null
+if cargo run --release --offline -p heron-bench --bin heron_cli -- \
+    tune --op gemm --shape 256x256x256 --trials 16 \
+    --resume "$ck" >"$obs_dir/resume.out" 2>&1; then
+    echo "error: resume from a corrupted checkpoint succeeded" >&2
+    exit 1
+fi
+if ! grep -qi "corrupt" "$obs_dir/resume.out"; then
+    echo "error: corrupted-checkpoint rejection does not mention corruption:" >&2
+    cat "$obs_dir/resume.out" >&2
+    exit 1
+fi
+echo "ok: bit-flipped checkpoint rejected as corrupt (byte $mid)"
+
+echo "== fitness-robustness lint (explorer/solver/model layers) =="
+# Two recurring NaN/error-poisoning bugs, kept out by lint:
+#  - `unwrap_or(0.0)` on a measurement feeds failures into the cost
+#    model as perfect-zero scores (use the penalty policy instead);
+#  - `partial_cmp(..)` on fitness silently reorders NaNs (use
+#    `f64::total_cmp` after sanitising at the source).
+poison=$(grep -rn --include='*.rs' -E 'unwrap_or\(0\.0\)|partial_cmp' \
+    crates/core/src crates/csp/src crates/cost/src \
+    | grep -vE ':[0-9]+:[[:space:]]*//' \
+    || true)
+if [ -n "$poison" ]; then
+    echo "error: fitness-poisoning pattern in a library crate:" >&2
+    echo "$poison" >&2
+    echo "hint: penalty-fraction scoring + f64::total_cmp (DESIGN.md §6)" >&2
+    exit 1
+fi
+echo "ok: no unwrap_or(0.0) / partial_cmp on the fitness paths"
+
 echo "== stray-print lint (library crates) =="
 # Library crates must report through heron-trace (or return values), not
 # by printing: only the bench binaries and the test harness may talk to

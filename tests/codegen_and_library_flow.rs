@@ -75,15 +75,15 @@ fn csp_export_of_generated_space_roundtrips() {
     assert_eq!(back.num_constraints(), space.csp.num_constraints());
     // Solutions of the original validate on the parsed copy and vice versa.
     let mut rng = heron_rng::HeronRng::from_seed(31);
-    for sol in heron::csp::rand_sat(&space.csp, &mut rng, 4) {
+    for sol in heron::csp::rand_sat(&space.csp, &mut rng, 4).solutions {
         assert!(heron::csp::validate(&back, &sol));
     }
-    for sol in heron::csp::rand_sat(&back, &mut rng, 4) {
+    for sol in heron::csp::rand_sat(&back, &mut rng, 4).solutions {
         assert!(heron::csp::validate(&space.csp, &sol));
     }
     // Solution text round trip against the parsed CSP.
     let sol = heron::csp::rand_sat(&back, &mut rng, 1)
-        .pop()
+        .one()
         .expect("solvable");
     let stext = heron::csp::solution_to_text(&back, &sol);
     let sback = heron::csp::solution_from_text(&back, &stext).expect("parses");

@@ -55,6 +55,14 @@ fn record(result: &TuneResult) -> String {
         result.timeout_trials,
         result.termination
     );
+    let _ = writeln!(
+        out,
+        "repaired={} relaxed={} deadline_hits={} fallbacks={}",
+        result.repaired_offspring,
+        result.relaxed_constraints,
+        result.solver_deadline_hits,
+        result.fallback_samples
+    );
     for (tag, n) in &result.error_counts {
         let _ = writeln!(out, "error[{tag}]={n}");
     }
@@ -323,6 +331,7 @@ fn rand_sat_is_reproducible() {
     let sample = |seed: u64| -> Vec<Vec<i64>> {
         let mut rng = HeronRng::from_seed(seed);
         heron::csp::rand_sat(&s.csp, &mut rng, 8)
+            .solutions
             .iter()
             .map(|sol| sol.values().to_vec())
             .collect()

@@ -90,7 +90,12 @@ fn every_operator_suite_generates_on_v100() {
             // Every space is satisfiable.
             let mut rng = heron_rng::HeronRng::from_seed(9);
             let sols = heron::csp::rand_sat(&space.csp, &mut rng, 1);
-            assert!(!sols.is_empty(), "{op}/{} space unsatisfiable", w.name);
+            assert!(
+                sols.is_sat() && !sols.solutions.is_empty(),
+                "{op}/{} space unsatisfiable ({})",
+                w.name,
+                sols.status
+            );
         }
     }
 }

@@ -97,7 +97,7 @@ fn sat_decoder_offspring_are_always_valid() {
     // GA-2's defining property: decoded phenotypes satisfy CSP_initial.
     let s = space();
     let mut rng = HeronRng::from_seed(8);
-    let parents = heron::csp::rand_sat(&s.csp, &mut rng, 2);
+    let parents = heron::csp::rand_sat(&s.csp, &mut rng, 2).expect_sat("explorer space");
     for _ in 0..10 {
         let geno = heron::core::explore::classic::crossover_tunables(
             &s,

@@ -19,7 +19,12 @@ fn check_space(
     };
     let mut rng = HeronRng::from_seed(11);
     let sols = heron::csp::rand_sat(&space.csp, &mut rng, 12);
-    assert!(!sols.is_empty(), "{label}: space unsatisfiable");
+    assert!(
+        sols.is_sat() && !sols.solutions.is_empty(),
+        "{label}: space unsatisfiable ({})",
+        sols.status
+    );
+    let sols = sols.solutions;
     let measurer = Measurer::new(spec.clone());
     let mut valid = 0;
     for sol in &sols {
