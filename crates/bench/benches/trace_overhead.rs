@@ -94,6 +94,68 @@ fn main() {
         overhead * 100.0
     );
 
+    // Hot path 3: the full tuner step loop, with search-health insight
+    // disabled (the default — every insight hook behind a `is_some`
+    // branch) vs enabled. The disabled-insight overhead relative to a
+    // hypothetical uninstrumented tuner is a handful of branch tests per
+    // round, so the enabled-vs-disabled delta printed here is a strict
+    // upper bound on it; the acceptance bar is <2% for the disabled
+    // path, which holds as long as the printed enabled overhead stays
+    // single-digit.
+    let tuner_dag = ops::gemm(256, 256, 256);
+    let tuner_space = || {
+        SpaceGenerator::new(v100())
+            .generate_named(&tuner_dag, &SpaceOptions::heron(), "gemm-256")
+            .expect("generates")
+    };
+    let base = h
+        .bench("tuner/insight-disabled", || {
+            let mut tuner = heron_core::tuner::Tuner::new(
+                tuner_space(),
+                heron_dla::Measurer::new(v100()),
+                heron_core::tuner::TuneConfig::quick(16),
+                7,
+            );
+            black_box(tuner.run().curve.len())
+        })
+        .median_ns;
+    let enabled = h
+        .bench("tuner/insight-enabled", || {
+            let mut tuner = heron_core::tuner::Tuner::new(
+                tuner_space(),
+                heron_dla::Measurer::new(v100()),
+                heron_core::tuner::TuneConfig::quick(16),
+                7,
+            )
+            .with_insight(8);
+            black_box(tuner.run().curve.len())
+        })
+        .median_ns;
+    let overhead = enabled as f64 / base as f64 - 1.0;
+    eprintln!(
+        "  tuner insight-enabled overhead (upper bound on disabled): {:+.2}%",
+        overhead * 100.0
+    );
+
+    // Raw per-operation cost of the insight log itself.
+    let mut log = heron_insight::SearchLog::new("bench", "v100", 7, 8);
+    log.set_vars((0..20).map(|i| (format!("v{i}"), 16u64)));
+    let mut rng = HeronRng::from_seed(3);
+    let rows: Vec<Vec<i64>> = (0..32)
+        .map(|_| (0..20).map(|_| (rng.random::<u64>() % 16) as i64).collect())
+        .collect();
+    h.bench("insight/observe-assignment/10k", || {
+        for _ in 0..500u32 {
+            for row in &rows {
+                log.observe_assignment(row);
+            }
+        }
+        black_box(log.vars.len())
+    });
+    h.bench("insight/population-entropy/32x20", || {
+        black_box(heron_insight::population_entropy_bits(&rows))
+    });
+
     // Raw per-operation cost of the tracer itself.
     h.bench("tracer/span-disabled/10k", || {
         for i in 0..10_000u64 {

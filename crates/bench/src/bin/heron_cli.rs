@@ -23,6 +23,13 @@
 //! `--profile` prints the hierarchical time breakdown. Traces use the
 //! simulated manual clock, so the same seed yields byte-identical files.
 //!
+//! Search-health analytics: `--insight-out I.json` writes the analyzer's
+//! deterministic `insight.json` (per-round regret, diversity/entropy,
+//! ε-greedy split, per-refit model quality and importance drift,
+//! constraint pressure, per-variable coverage); `--insight-report` prints
+//! the human-readable search-health report. Both survive `--pause-at` /
+//! `--resume`: a resumed session emits the identical insight stream.
+//!
 //! Robustness: `--solve-deadline STEPS` bounds every RandSAT call to a
 //! deterministic number of candidate-value trials; `--diagnose` explains
 //! an infeasible space by printing the minimal constraint removal that
@@ -64,7 +71,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE] [--trace-out FILE.jsonl] [--metrics-out FILE.tsv] [--profile] [--solve-deadline STEPS] [--diagnose]");
+    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE] [--trace-out FILE.jsonl] [--metrics-out FILE.tsv] [--profile] [--insight-out FILE.json] [--insight-report] [--solve-deadline STEPS] [--diagnose]");
 }
 
 fn platform(name: &str) -> DlaSpec {
@@ -225,6 +232,30 @@ fn emit_observability(args: &[String], tracer: &Tracer, result: &heron_core::tun
     }
 }
 
+/// Handles `--insight-out` / `--insight-report`: runs the search-health
+/// analyzer over the session's [`heron_insight::SearchLog`] and writes
+/// the deterministic `insight.json` and/or prints the text report.
+fn emit_insight(args: &[String], tuner: &heron_core::tuner::Tuner) {
+    let Some(log) = tuner.insight() else { return };
+    let report = heron_insight::analyze(log);
+    if let Some(path) = flag(args, "--insight-out") {
+        let doc = report.to_json(log);
+        debug_assert!(heron_insight::validate_insight(&doc).is_ok());
+        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+            eprintln!("cannot write insight to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "insight written to `{path}` ({} rounds, {} refits)",
+            log.rounds.len(),
+            log.refits.len()
+        );
+    }
+    if has_flag(args, "--insight-report") {
+        print!("{}", report.render_text(log));
+    }
+}
+
 /// Direct-`Tuner` path for the resilience and observability features:
 /// fault injection, pause-at-N checkpointing, resume, and tracing. (The
 /// plain path goes through the `heron_baselines::tune` facade, which has
@@ -302,6 +333,13 @@ fn tune_resilient(args: &[String], c: &Common) {
         Tuner::new(space, Measurer::new(c.spec.clone()), config, c.seed).with_faults(plan)
     };
     tuner.set_tracer(tracer.clone());
+    // Search-health analytics: enable the log unless resume already
+    // restored one from the checkpoint (resetting it would lose the
+    // pre-pause rounds and break insight-exact resumption).
+    let want_insight = has_flag(args, "--insight-out") || has_flag(args, "--insight-report");
+    if want_insight && tuner.insight().is_none() {
+        tuner.enable_insight(8);
+    }
 
     if let Some(pause_at) = flag(args, "--pause-at").and_then(|n| n.parse::<usize>().ok()) {
         let finished = tuner.run_until(pause_at);
@@ -317,6 +355,7 @@ fn tune_resilient(args: &[String], c: &Common) {
                 tuner.trials_done()
             );
             emit_observability(args, &tracer, &tuner.result());
+            emit_insight(args, &tuner);
             return;
         }
         println!("session finished before trial {pause_at}; nothing to pause");
@@ -336,6 +375,7 @@ fn tune_resilient(args: &[String], c: &Common) {
         }
     }
     emit_observability(args, &tracer, &tuner.result());
+    emit_insight(args, &tuner);
 }
 
 fn tune_cmd(args: &[String]) {
@@ -347,6 +387,8 @@ fn tune_cmd(args: &[String]) {
         "--trace-out",
         "--metrics-out",
         "--profile",
+        "--insight-out",
+        "--insight-report",
         "--solve-deadline",
         "--diagnose",
     ]

@@ -6,18 +6,21 @@
 //!
 //! ```text
 //! trace_report trace.jsonl            # profile tree + span/point totals
+//! trace_report trace.jsonl --top 5    # …plus the 5 hottest spans, flat
 //! trace_report trace.jsonl --check    # validate only; exit 1 if invalid
 //! ```
 //!
 //! Validation enforces the trace invariants (one JSON object per line,
 //! contiguous `seq`, monotone timestamps, LIFO span closes, no unclosed
 //! spans), so `--check` doubles as the CI gate for the tracing pipeline.
+//! A file whose *final* line was cut off mid-write (crashed producer)
+//! fails with a dedicated "truncated" message naming the recovery.
 
-use heron_bench::has_flag;
+use heron_bench::{flag, has_flag};
 use heron_trace::{check_trace, profile_from_summary, TraceSummary};
 
 fn usage() -> ! {
-    eprintln!("usage: trace_report <trace.jsonl> [--check]");
+    eprintln!("usage: trace_report <trace.jsonl> [--check] [--top N]");
     std::process::exit(2);
 }
 
@@ -38,9 +41,60 @@ fn load(path: &str) -> TraceSummary {
     }
 }
 
+/// Renders the `n` hottest span names as a flat table: call count, total
+/// and mean duration, and share of the top-level wall time. Aggregation
+/// is by span name across the whole trace; ties break name-ascending so
+/// the table is deterministic.
+fn hottest_spans(summary: &TraceSummary, n: usize) -> String {
+    let mut by_name: Vec<(String, u64, u64)> = Vec::new(); // (name, count, total_ns)
+    for s in &summary.spans {
+        match by_name.iter_mut().find(|(name, _, _)| *name == s.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += s.dur_ns();
+            }
+            None => by_name.push((s.name.clone(), 1, s.dur_ns())),
+        }
+    }
+    by_name.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    let shown = n.min(by_name.len());
+    let wall_ns: u64 = summary
+        .spans
+        .iter()
+        .filter(|s| s.parent == 0)
+        .map(|s| s.dur_ns())
+        .sum();
+    let mut out = format!(
+        "hottest spans (top {shown} of {} by total time)\n",
+        by_name.len()
+    );
+    out.push_str(&format!(
+        "  {:<24} {:>7} {:>12} {:>10} {:>7}\n",
+        "span", "count", "total_ms", "mean_ms", "%wall"
+    ));
+    for (name, count, total_ns) in by_name.iter().take(n) {
+        let total_ms = *total_ns as f64 / 1e6;
+        let mean_ms = total_ms / *count as f64;
+        let pct = if wall_ns == 0 {
+            0.0
+        } else {
+            *total_ns as f64 * 100.0 / wall_ns as f64
+        };
+        out.push_str(&format!(
+            "  {name:<24} {count:>7} {total_ms:>12.3} {mean_ms:>10.3} {pct:>6.1}%\n"
+        ));
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+    let Some(path) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--top"))
+        .map(|(_, a)| a)
+    else {
         usage();
     };
     let summary = load(path);
@@ -54,6 +108,13 @@ fn main() {
         return;
     }
     print!("{}", profile_from_summary(&summary).render());
+    if let Some(top) = flag(&args, "--top") {
+        let Ok(n) = top.parse::<usize>() else {
+            eprintln!("--top expects a positive integer, got `{top}`");
+            std::process::exit(2);
+        };
+        print!("{}", hottest_spans(&summary, n));
+    }
     println!(
         "{} events, {} spans ({} distinct names), {} points",
         summary.events,

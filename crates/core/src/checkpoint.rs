@@ -49,6 +49,8 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::Path;
 
+use heron_insight::SearchLog;
+
 use crate::tuner::{IterationStats, TuneTiming};
 
 /// Why loading or applying a checkpoint failed.
@@ -192,6 +194,12 @@ pub struct TuneCheckpoint {
     pub samples: Vec<(Vec<i64>, f64)>,
     /// Raw variable values of the survivor population.
     pub survivors: Vec<Vec<i64>>,
+    /// The search-health log, when insight was enabled on the session.
+    /// Serialised as `insight.*` keys so a resumed run's `insight.json`
+    /// is byte-identical to the uninterrupted run's. Absent (`None`) in
+    /// checkpoints written without insight — including every pre-insight
+    /// v2 file, which therefore still parses.
+    pub insight: Option<SearchLog>,
 }
 
 const HEADER: &str = "heron-checkpoint v2";
@@ -384,6 +392,11 @@ impl TuneCheckpoint {
         for values in &self.survivors {
             let _ = writeln!(out, "survivor = {}", join_i64(values));
         }
+        if let Some(log) = &self.insight {
+            for (k, v) in log.checkpoint_lines() {
+                let _ = writeln!(out, "{k} = {v}");
+            }
+        }
         let crc = crc32(out.as_bytes());
         let _ = writeln!(out, "{FOOTER_KEY}{crc:08x}");
         out
@@ -450,6 +463,7 @@ impl TuneCheckpoint {
             quarantined: Vec::new(),
             samples: Vec::new(),
             survivors: Vec::new(),
+            insight: None,
         };
         let mut seen_rng = false;
 
@@ -547,6 +561,15 @@ impl TuneCheckpoint {
                     ck.samples.push((values, score));
                 }
                 "survivor" => ck.survivors.push(parse_i64_list(value, line_no)?),
+                k if k.starts_with("insight.") => {
+                    ck.insight
+                        .get_or_insert_with(|| SearchLog::new("", "", 0, 0))
+                        .apply_checkpoint_line(k, value)
+                        .map_err(|message| CheckpointError::Parse {
+                            line: line_no,
+                            message,
+                        })?;
+                }
                 k if k.starts_with("error.") => {
                     let tag = k.trim_start_matches("error.").to_string();
                     ck.error_counts.insert(tag, parse_usize(value, line_no)?);
@@ -682,6 +705,7 @@ mod tests {
                 (vec![2, 8, 4, 0, 16], 100.5),
             ],
             survivors: vec![vec![4, 16, 2, -1, 8], vec![2, 8, 4, 0, 16]],
+            insight: None,
         }
     }
 
@@ -738,6 +762,55 @@ mod tests {
         assert_eq!(back.to_text(), text);
         // The serialised form ends with the CRC footer.
         assert!(text.trim_end().lines().last().unwrap().starts_with("crc32"));
+    }
+
+    #[test]
+    fn insight_log_roundtrips_inside_the_checkpoint() {
+        use heron_insight::{RefitRecord, RoundRecord};
+        let mut log = SearchLog::new("gemm-256", "nvidia-v100", 42, 3);
+        log.set_vars([
+            ("tile.C.i".to_string(), 16u64),
+            ("vec width".to_string(), 4),
+        ]);
+        log.observe_assignment(&[8, 2]);
+        log.observe_assignment(&[4, 2]);
+        let mut r0 = RoundRecord::new(0);
+        r0.trials_done = 8;
+        r0.best_gflops = 123.456;
+        r0.batch_rank_accuracy = Some(0.75);
+        r0.entropy_bits = 1.5;
+        log.push_round(r0);
+        let mut r1 = RoundRecord::new(1);
+        r1.stalled = true;
+        log.push_round(r1);
+        log.push_refit(RefitRecord {
+            round: 0,
+            samples: 8,
+            train_rank_accuracy: 0.9,
+            train_spearman: 0.85,
+            top_importance: vec![(0, 0.7), (3, 0.2)],
+        });
+        let mut ck = sample_checkpoint();
+        ck.insight = Some(log.clone());
+        let text = ck.to_text();
+        let back = TuneCheckpoint::from_text(&text).expect("parses");
+        assert_eq!(back.insight.as_ref(), Some(&log));
+        // Re-serialising is byte-identical (insight lines included).
+        assert_eq!(back.to_text(), text);
+        // A checkpoint without insight still parses to None (backwards
+        // compatibility with pre-insight v2 files).
+        let plain = sample_checkpoint();
+        let back = TuneCheckpoint::from_text(&plain.to_text()).expect("parses");
+        assert!(back.insight.is_none());
+        // A malformed insight line is a parse error, not a panic.
+        let bad = with_crc(&format!(
+            "{HEADER}\nworkload = g\ndla = d\nrng = 1 2 3 4\ninsight.round = nonsense\n"
+        ));
+        let err = TuneCheckpoint::from_text(&bad).expect_err("bad insight line");
+        assert!(
+            matches!(err, CheckpointError::Parse { line: 5, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -77,6 +77,29 @@ pub fn roulette_wheel<R: Rng>(pop: &[Chromosome], n: usize, rng: &mut R) -> Vec<
 /// `1 - eps` the best-predicted unmeasured candidate, otherwise a random
 /// one. Returns indices into `candidates`.
 pub fn eps_greedy<R: Rng>(predicted: &[f64], n: usize, eps: f64, rng: &mut R) -> Vec<usize> {
+    eps_greedy_detailed(predicted, n, eps, rng).picks
+}
+
+/// The result of one ε-greedy selection round, with the exploit/explore
+/// split that the search-health log records per round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpsGreedyPicks {
+    /// Chosen indices into the candidate slice, in pick order.
+    pub picks: Vec<usize>,
+    /// Picks that took the greedy (best-predicted) branch.
+    pub exploit: u32,
+    /// Picks that took the random-exploration branch.
+    pub explore: u32,
+}
+
+/// [`eps_greedy`] with bookkeeping: identical RNG draw sequence and pick
+/// set, plus counts of how many picks were greedy vs random.
+pub fn eps_greedy_detailed<R: Rng>(
+    predicted: &[f64],
+    n: usize,
+    eps: f64,
+    rng: &mut R,
+) -> EpsGreedyPicks {
     let mut order: Vec<usize> = (0..predicted.len()).collect();
     // total_cmp: NaN predictions are sanitised to -inf at the model, so
     // the order is strict and deterministic.
@@ -84,6 +107,8 @@ pub fn eps_greedy<R: Rng>(predicted: &[f64], n: usize, eps: f64, rng: &mut R) ->
     let mut picked = Vec::with_capacity(n);
     let mut used = vec![false; predicted.len()];
     let mut next_best = 0usize;
+    let mut exploit = 0u32;
+    let mut explore = 0u32;
     while picked.len() < n && picked.len() < predicted.len() {
         let greedy = rng.random::<f64>() >= eps;
         let idx = if greedy {
@@ -101,10 +126,19 @@ pub fn eps_greedy<R: Rng>(predicted: &[f64], n: usize, eps: f64, rng: &mut R) ->
                 None => break,
             }
         };
+        if greedy {
+            exploit += 1;
+        } else {
+            explore += 1;
+        }
         used[idx] = true;
         picked.push(idx);
     }
-    picked
+    EpsGreedyPicks {
+        picks: picked,
+        exploit,
+        explore,
+    }
 }
 
 /// Extends a best-so-far curve with a new score.
@@ -163,6 +197,28 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), picks.len());
+    }
+
+    #[test]
+    fn eps_greedy_detailed_matches_plain_and_splits() {
+        let pred = [0.5, 3.0, 1.0, 2.0, 4.0, 0.1];
+        for eps in [0.0, 0.3, 1.0] {
+            let mut a = HeronRng::from_seed(9);
+            let mut b = HeronRng::from_seed(9);
+            let plain = eps_greedy(&pred, 4, eps, &mut a);
+            let detail = eps_greedy_detailed(&pred, 4, eps, &mut b);
+            assert_eq!(plain, detail.picks, "eps = {eps}");
+            assert_eq!(
+                (detail.exploit + detail.explore) as usize,
+                detail.picks.len()
+            );
+        }
+        // Pure greed / pure exploration pin the split exactly.
+        let mut rng = HeronRng::from_seed(4);
+        let d = eps_greedy_detailed(&pred, 3, 0.0, &mut rng);
+        assert_eq!((d.exploit, d.explore), (3, 0));
+        let d = eps_greedy_detailed(&pred, 3, 1.0, &mut rng);
+        assert_eq!((d.exploit, d.explore), (0, 3));
     }
 
     #[test]

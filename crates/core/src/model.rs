@@ -134,6 +134,39 @@ impl CostModel {
         let preds = model.predict_batch(&self.data_x);
         Some(heron_cost::pairwise_rank_accuracy(&preds, &self.data_y))
     }
+
+    /// Training-set fit quality `(rank accuracy, Spearman ρ)` of the
+    /// fitted model, or `None` before the first fit. Both are computed on
+    /// the same batch prediction pass, which is what the search-health log
+    /// records after every refit.
+    pub fn train_quality(&self) -> Option<(f64, f64)> {
+        let model = self.model.as_ref()?;
+        let preds = model.predict_batch(&self.data_x);
+        Some((
+            heron_cost::pairwise_rank_accuracy(&preds, &self.data_y),
+            heron_cost::spearman_rho(&preds, &self.data_y),
+        ))
+    }
+
+    /// The `k` highest gain-based feature importances as
+    /// `(variable index, importance)` pairs, sorted by importance
+    /// (descending) with variable index as the deterministic tiebreak.
+    /// Empty before the first fit; zero-importance features are skipped.
+    pub fn importance_topk(&self, k: usize) -> Vec<(u32, f64)> {
+        let Some(m) = &self.model else {
+            return Vec::new();
+        };
+        let mut pairs: Vec<(u32, f64)> = m
+            .feature_importance()
+            .into_iter()
+            .enumerate()
+            .filter(|(_, imp)| *imp > 0.0)
+            .map(|(i, imp)| (i as u32, imp))
+            .collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +202,13 @@ mod tests {
         assert_eq!(model.key_variables(1), vec![VarRef(0)]);
         let acc = model.rank_accuracy().expect("fitted");
         assert!(acc > 0.9, "training rank accuracy too low: {acc}");
+        let (acc2, rho) = model.train_quality().expect("fitted");
+        assert_eq!(acc, acc2);
+        assert!(rho > 0.9, "training spearman too low: {rho}");
+        let top = model.importance_topk(2);
+        assert_eq!(top[0].0, 0, "variable a carries the signal: {top:?}");
+        assert!(top[0].1 > 0.0);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]

@@ -32,8 +32,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
-use heron_csp::{rand_sat_traced, Solution, SolveStatus};
+use heron_csp::{rand_sat_traced, tunable_domains, Solution, SolveStats, SolveStatus};
 use heron_dla::{FaultPlan, FaultyMeasurer, MeasureError, Measurement, Measurer};
+use heron_insight::{population_entropy_bits, RefitRecord, RoundRecord, SearchLog};
 use heron_rng::HeronRng;
 use heron_rng::IndexedRandom;
 use heron_sched::{lower, Kernel, LowerError};
@@ -41,7 +42,7 @@ use heron_trace::{ProfileNode, Tracer};
 
 use crate::checkpoint::{CheckpointError, TuneCheckpoint};
 use crate::explore::cga::{materialize_offspring, offspring_csp, CgaConfig};
-use crate::explore::{eps_greedy, roulette_wheel, Chromosome};
+use crate::explore::{eps_greedy_detailed, roulette_wheel, Chromosome};
 use crate::generate::GeneratedSpace;
 use crate::model::CostModel;
 
@@ -460,6 +461,10 @@ struct SessionState {
     survivors: Vec<Chromosome>,
     stall_rounds: usize,
     finished: bool,
+    /// Search-health log (`None` unless [`Tuner::with_insight`] enabled
+    /// it). Checkpointed alongside the rest of the session so a resumed
+    /// run reports the identical insight stream.
+    insight: Option<SearchLog>,
 }
 
 impl SessionState {
@@ -473,6 +478,28 @@ impl SessionState {
             survivors: Vec::new(),
             stall_rounds: 0,
             finished: false,
+            insight: None,
+        }
+    }
+}
+
+/// Robustness-counter snapshot taken at round start so the search-health
+/// log can record per-round deltas instead of cumulative totals.
+#[derive(Debug, Clone, Copy)]
+struct RoundSnapshot {
+    repaired_offspring: usize,
+    relaxed_constraints: usize,
+    fallback_samples: usize,
+    deadline_hits: usize,
+}
+
+impl RoundSnapshot {
+    fn of(r: &TuneResult) -> Self {
+        RoundSnapshot {
+            repaired_offspring: r.repaired_offspring,
+            relaxed_constraints: r.relaxed_constraints,
+            fallback_samples: r.fallback_samples,
+            deadline_hits: r.solver_deadline_hits,
         }
     }
 }
@@ -555,6 +582,81 @@ impl Tuner {
         &self.tracer
     }
 
+    /// Enables the search-health log (builder style): per-round
+    /// exploration statistics, per-refit cost-model quality and drift,
+    /// and per-variable domain coverage accumulate on a [`SearchLog`]
+    /// readable through [`Tuner::insight`]. `top_k` caps the
+    /// feature-importance snapshot recorded per refit. Like the tracer,
+    /// the log observes only: it never draws from the session RNG, so
+    /// logged and unlogged runs are bit-identical.
+    #[must_use]
+    pub fn with_insight(mut self, top_k: u32) -> Self {
+        self.enable_insight(top_k);
+        self
+    }
+
+    /// Enables (or resets) the search-health log in place, registering
+    /// every tunable variable's initial domain size as the coverage
+    /// denominator.
+    pub fn enable_insight(&mut self, top_k: u32) {
+        let mut log = SearchLog::new(
+            &self.space.workload,
+            &self.space.dla.name,
+            self.rng.seed(),
+            top_k,
+        );
+        log.set_vars(tunable_domains(&self.space.csp));
+        self.state.insight = Some(log);
+    }
+
+    /// The accumulated search-health log (`None` unless insight is
+    /// enabled).
+    pub fn insight(&self) -> Option<&SearchLog> {
+        self.state.insight.as_ref()
+    }
+
+    /// Base per-round record: round index, trials, best-so-far, and the
+    /// round's deltas of the robustness counters plus its visible solver
+    /// work (population sampling + fallback sampling).
+    fn insight_round_record(
+        &self,
+        snap: &RoundSnapshot,
+        solver: &SolveStats,
+        population: usize,
+    ) -> Option<RoundRecord> {
+        let log = self.state.insight.as_ref()?;
+        let r = &self.state.result;
+        let mut rec = RoundRecord::new(log.next_round());
+        rec.trials_done = r.curve.len() as u32;
+        rec.best_gflops = r.best_gflops;
+        rec.population = population as u32;
+        rec.repaired_offspring = (r.repaired_offspring - snap.repaired_offspring) as u32;
+        rec.relaxed_constraints = (r.relaxed_constraints - snap.relaxed_constraints) as u32;
+        rec.fallback_samples = (r.fallback_samples - snap.fallback_samples) as u32;
+        rec.deadline_hits = (r.solver_deadline_hits - snap.deadline_hits) as u32;
+        rec.solver_attempts = solver.attempts;
+        rec.solver_propagations = solver.propagations;
+        rec.solver_wipeouts = solver.wipeouts;
+        Some(rec)
+    }
+
+    /// Records a round in which no measurable candidate was produced
+    /// (solver starvation or space exhaustion).
+    fn record_stalled_round(
+        &mut self,
+        snap: &RoundSnapshot,
+        solver: &SolveStats,
+        population: usize,
+    ) {
+        let Some(mut rec) = self.insight_round_record(snap, solver, population) else {
+            return;
+        };
+        rec.stalled = true;
+        if let Some(log) = &mut self.state.insight {
+            log.push_round(rec);
+        }
+    }
+
     /// The tuned space.
     pub fn space(&self) -> &GeneratedSpace {
         &self.space
@@ -619,6 +721,9 @@ impl Tuner {
         let iter_no = self.state.result.iterations.len();
         let _step_span = tracer.span_with("tuner.step", || [("iter", iter_no.to_string())]);
         tracer.counter_add("tuner.steps", 1);
+        let insight_on = self.state.insight.is_some();
+        let snap = RoundSnapshot::of(&self.state.result);
+        let mut round_solver = SolveStats::default();
 
         // ---- Step 1: first generation --------------------------------
         let t = Instant::now();
@@ -630,6 +735,7 @@ impl Tuner {
         let populate_span = tracer.span_with("cga.populate", || [("need", need.to_string())]);
         let outcome = rand_sat_traced(&self.space.csp, &mut self.rng, need, &policy, &tracer);
         let populate_status = outcome.status;
+        round_solver.absorb(&outcome.stats);
         if populate_status == SolveStatus::DeadlineExceeded {
             self.state.result.solver_deadline_hits += 1;
         }
@@ -641,6 +747,7 @@ impl Tuner {
             solution,
         }));
         if pop.is_empty() {
+            self.record_stalled_round(&snap, &round_solver, 0);
             if populate_status == SolveStatus::RootInfeasible {
                 // A propagation wipeout at the root is an UNSAT *proof*:
                 // the space admits no solution at all.
@@ -711,10 +818,10 @@ impl Tuner {
                         // Graceful degradation: replace the unrecoverable
                         // offspring with a fresh sample of CSP_initial so
                         // the generation keeps its size.
-                        if let Some(sol) =
-                            rand_sat_traced(&self.space.csp, &mut self.rng, 1, &policy, &tracer)
-                                .one()
-                        {
+                        let fallback =
+                            rand_sat_traced(&self.space.csp, &mut self.rng, 1, &policy, &tracer);
+                        round_solver.absorb(&fallback.stats);
+                        if let Some(sol) = fallback.one() {
                             self.state.result.fallback_samples += 1;
                             tracer.counter_add("cga.fallback_samples", 1);
                             children.push(Chromosome {
@@ -735,12 +842,48 @@ impl Tuner {
         self.state.result.timing.cga_s += t.elapsed().as_secs_f64();
         tracer.gauge_set("tuner.cga_s", self.state.result.timing.cga_s);
 
+        // Search-health observables over the evolved population: per-column
+        // Shannon entropy of the tunable assignments and the distinct-
+        // solution count. Computed only when insight is enabled (the
+        // tunable projection is O(population × variables)).
+        let tunables = if insight_on {
+            self.space.csp.tunables()
+        } else {
+            Vec::new()
+        };
+        let mut entropy_bits = 0.0;
+        let mut distinct = 0usize;
+        if insight_on {
+            let rows: Vec<Vec<i64>> = pop
+                .iter()
+                .map(|c| tunables.iter().map(|&v| c.solution.value(v)).collect())
+                .collect();
+            entropy_bits = population_entropy_bits(&rows);
+            distinct = pop
+                .iter()
+                .map(|c| c.solution.fingerprint())
+                .collect::<BTreeSet<u64>>()
+                .len();
+        }
+
         // ---- Step 3: ε-greedy measurement -----------------------------
         let unmeasured: Vec<&Chromosome> = pop
             .iter()
             .filter(|c| !self.state.measured.contains(&c.solution.fingerprint()))
             .collect();
         if unmeasured.is_empty() {
+            let population = pop.len();
+            drop(unmeasured);
+            drop(pop);
+            if let Some(mut rec) = self.insight_round_record(&snap, &round_solver, population) {
+                rec.stalled = true;
+                rec.entropy_bits = entropy_bits;
+                rec.distinct_solutions = distinct as u32;
+                rec.diversity = distinct as f64 / population.max(1) as f64;
+                if let Some(log) = &mut self.state.insight {
+                    log.push_round(rec);
+                }
+            }
             self.state.stall_rounds += 1;
             self.state.survivors.clear();
             tracer.counter_add("tuner.stall_rounds", 1);
@@ -756,12 +899,17 @@ impl Tuner {
             .cga
             .measure_batch
             .min(cfg.trials - self.state.result.curve.len());
-        let picks = eps_greedy(&predicted, budget, cfg.cga.eps, &mut self.rng);
+        let sel = eps_greedy_detailed(&predicted, budget, cfg.cga.eps, &mut self.rng);
         tracer.counter_add("tuner.eps_rounds", 1);
-        let chosen: Vec<Solution> = picks
+        let chosen: Vec<Solution> = sel
+            .picks
             .iter()
             .map(|&i| unmeasured[i].solution.clone())
             .collect();
+        // Pre-measurement predictions of the chosen batch: the per-batch
+        // calibration signal (prediction vs measurement on fresh data).
+        let chosen_predicted: Vec<f64> = sel.picks.iter().map(|&i| predicted[i]).collect();
+        let model_was_fitted = self.state.model.is_fitted();
         let batch_span =
             tracer.span_with("measure.batch", || [("batch", chosen.len().to_string())]);
         let mut batch_scores: Vec<f64> = Vec::with_capacity(chosen.len());
@@ -770,6 +918,12 @@ impl Tuner {
             self.state.measured.insert(sol.fingerprint());
             let score = self.measure_trial(&sol);
             batch_scores.push(score);
+            if insight_on {
+                let row: Vec<i64> = tunables.iter().map(|&v| sol.value(v)).collect();
+                if let Some(log) = &mut self.state.insight {
+                    log.observe_assignment(&row);
+                }
+            }
         }
         drop(batch_span);
         tracer.gauge_set("tuner.hw_measure_s", self.state.result.timing.hw_measure_s);
@@ -790,6 +944,49 @@ impl Tuner {
             model_fitted: self.state.model.is_fitted(),
             population,
         });
+
+        // ---- Search-health log record for this round ------------------
+        if let Some(mut rec) = self.insight_round_record(&snap, &round_solver, population) {
+            rec.batch_size = batch_scores.len() as u32;
+            rec.batch_best_gflops = batch_scores.iter().copied().fold(0.0_f64, f64::max);
+            rec.batch_mean_gflops =
+                batch_scores.iter().sum::<f64>() / batch_scores.len().max(1) as f64;
+            rec.exploit_picks = sel.exploit;
+            rec.explore_picks = sel.explore;
+            rec.distinct_solutions = distinct as u32;
+            rec.diversity = distinct as f64 / population.max(1) as f64;
+            rec.entropy_bits = entropy_bits;
+            // Per-batch calibration: the model's pre-measurement ranking
+            // of the chosen batch vs what the hardware actually said.
+            // Only meaningful when a fitted model produced the ranking
+            // and the batch has at least one comparable pair.
+            if model_was_fitted && chosen_predicted.len() >= 2 {
+                rec.batch_rank_accuracy = Some(heron_cost::pairwise_rank_accuracy(
+                    &chosen_predicted,
+                    &batch_scores,
+                ));
+                rec.batch_spearman =
+                    Some(heron_cost::spearman_rho(&chosen_predicted, &batch_scores));
+            }
+            let round_no = rec.round;
+            let refit_quality = self.state.model.train_quality();
+            let refit_samples = self.state.model.len() as u32;
+            let top_k = self.state.insight.as_ref().map_or(0, |l| l.top_k);
+            let top_importance = self.state.model.importance_topk(top_k as usize);
+            if let Some(log) = &mut self.state.insight {
+                log.push_round(rec);
+                if let Some((acc, rho)) = refit_quality {
+                    log.push_refit(RefitRecord {
+                        round: round_no,
+                        samples: refit_samples,
+                        train_rank_accuracy: acc,
+                        train_spearman: rho,
+                        top_importance,
+                    });
+                }
+            }
+        }
+
         for c in &mut pop {
             c.fitness = self.state.model.predict(&c.solution);
         }
@@ -969,6 +1166,7 @@ impl Tuner {
                 .iter()
                 .map(|c| c.solution.values().to_vec())
                 .collect(),
+            insight: self.state.insight.clone(),
         }
     }
 
@@ -1086,6 +1284,7 @@ impl Tuner {
             survivors,
             stall_rounds: ckpt.stall_rounds,
             finished: false,
+            insight: ckpt.insight.clone(),
         };
         let measurer =
             FaultyMeasurer::new(measurer.with_protocol(config.measure_repeats, 0.01), plan);
@@ -1303,6 +1502,101 @@ mod tests {
         assert!(traced.profile().starts_with("tune "));
         assert!(traced.report().contains("tune "));
         assert!(traced.report().contains("measure.hw"));
+    }
+
+    #[test]
+    fn insight_log_observes_without_perturbing_the_session() {
+        let run = |insight: bool| {
+            let space = gemm_space(256, "gemm-insight");
+            let mut tuner = Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(32), 7);
+            if insight {
+                tuner = tuner.with_insight(5);
+            }
+            let result = tuner.run();
+            let log = tuner.insight().cloned();
+            (result, log)
+        };
+        let (plain, none) = run(false);
+        let (logged, log) = run(true);
+        assert!(none.is_none());
+        let log = log.expect("insight enabled");
+
+        // Observation only: the session is bit-identical either way.
+        assert_eq!(plain.best_gflops, logged.best_gflops);
+        assert_eq!(plain.curve, logged.curve);
+
+        // The log is populated and internally consistent.
+        assert_eq!(log.workload, "gemm-insight");
+        assert_eq!(log.seed, 7);
+        assert!(!log.rounds.is_empty());
+        for (i, r) in log.rounds.iter().enumerate() {
+            assert_eq!(r.round as usize, i, "rounds are sequential");
+        }
+        let last = log
+            .rounds
+            .iter()
+            .rev()
+            .find(|r| !r.stalled)
+            .expect("measured rounds");
+        assert_eq!(last.best_gflops, logged.best_gflops);
+        assert_eq!(log.final_best(), logged.best_gflops);
+        let trials: u32 = log.rounds.iter().map(|r| r.batch_size).sum();
+        assert_eq!(trials as usize, logged.curve.len());
+        let picks: u32 = log
+            .rounds
+            .iter()
+            .map(|r| r.exploit_picks + r.explore_picks)
+            .sum();
+        assert_eq!(picks, trials, "every measured trial came from ε-greedy");
+        // Population observables are recorded on measured rounds.
+        assert!(log.rounds.iter().any(|r| r.entropy_bits > 0.0));
+        assert!(log
+            .rounds
+            .iter()
+            .filter(|r| !r.stalled)
+            .all(|r| r.population > 0 && r.distinct_solutions > 0 && r.diversity > 0.0));
+        // Solver work is visible.
+        assert!(log.rounds.iter().any(|r| r.solver_attempts > 0));
+        assert!(log.rounds.iter().any(|r| r.solver_propagations > 0));
+        // 32 trials cross the 8-sample fit threshold: refits recorded
+        // with quality and a non-empty importance snapshot.
+        assert!(!log.refits.is_empty(), "model refits must be logged");
+        let refit = log.refits.last().unwrap();
+        assert!(refit.samples >= 8);
+        assert!((0.0..=1.0).contains(&refit.train_rank_accuracy));
+        assert!((-1.0..=1.0).contains(&refit.train_spearman));
+        assert!(!refit.top_importance.is_empty());
+        assert!(refit.top_importance.len() <= 5);
+        // Once the model is fitted, later batches carry calibration.
+        assert!(log
+            .rounds
+            .iter()
+            .any(|r| r.batch_rank_accuracy.is_some() && r.batch_spearman.is_some()));
+        // Coverage accumulated on the tunable variables.
+        assert!(!log.vars.is_empty());
+        assert!(log.vars.iter().any(|v| !v.seen.is_empty()));
+        for v in &log.vars {
+            assert!(v.seen.len() as u64 <= v.domain_size);
+        }
+
+        // The log survives the checkpoint roundtrip bit-exactly.
+        let space = gemm_space(256, "gemm-insight");
+        let mut tuner =
+            Tuner::new(space, Measurer::new(v100()), TuneConfig::quick(32), 7).with_insight(5);
+        tuner.run_until(16);
+        let ckpt = tuner.checkpoint();
+        let reparsed = TuneCheckpoint::from_text(&ckpt.to_text()).expect("parses");
+        assert_eq!(reparsed.insight, ckpt.insight);
+        let space = gemm_space(256, "gemm-insight");
+        let resumed = Tuner::resume(
+            space,
+            Measurer::new(v100()),
+            TuneConfig::quick(32),
+            FaultPlan::none(7),
+            &reparsed,
+        )
+        .expect("resumes");
+        assert_eq!(resumed.insight(), tuner.insight());
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod metrics;
 pub mod tree;
 
 pub use gbdt::{Gbdt, GbdtParams};
-pub use metrics::{pairwise_rank_accuracy, r_squared};
+pub use metrics::{pairwise_rank_accuracy, r_squared, spearman_rho};
 pub use tree::RegressionTree;

@@ -5,31 +5,113 @@
 //! that matters; R² is reported alongside for calibration debugging.
 
 /// Fraction of pairs `(i, j)` whose predicted ordering matches the true
-/// ordering (ties in the truth are skipped). Returns 0.5 for fewer than
-/// two usable pairs — the chance level.
+/// ordering. Returns 0.5 for fewer than two usable pairs — the chance
+/// level.
+///
+/// Edge-case contract (pinned by unit + property tests):
+///
+/// * A pair is **skipped** when any of its four values is NaN — NaN is
+///   unordered, so the pair carries no ranking information.
+/// * Pairs tied **in the truth** are skipped: there is no ordering to
+///   recover.
+/// * Pairs tied **in the prediction** (truth differing) count as
+///   **half-correct**: a constant predictor scores exactly 0.5, not 0.
+/// * Infinities are ordered normally (`-∞ < x < ∞`).
 pub fn pairwise_rank_accuracy(predicted: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(predicted.len(), truth.len(), "length mismatch");
     let n = truth.len();
-    let mut correct = 0u64;
+    let mut correct = 0.0f64;
     let mut total = 0u64;
     for i in 0..n {
         for j in (i + 1)..n {
+            if predicted[i].is_nan()
+                || predicted[j].is_nan()
+                || truth[i].is_nan()
+                || truth[j].is_nan()
+            {
+                continue;
+            }
             if truth[i] == truth[j] {
                 continue;
             }
             total += 1;
+            if predicted[i] == predicted[j] {
+                correct += 0.5;
+                continue;
+            }
             let truth_gt = truth[i] > truth[j];
             let pred_gt = predicted[i] > predicted[j];
             if truth_gt == pred_gt {
-                correct += 1;
+                correct += 1.0;
             }
         }
     }
     if total == 0 {
         0.5
     } else {
-        correct as f64 / total as f64
+        correct / total as f64
     }
+}
+
+/// Spearman rank correlation ρ between `predicted` and `truth`.
+///
+/// Pairs with a non-finite value on either side are dropped before
+/// ranking (NaN and ±∞ have no meaningful rank distance). Ties receive
+/// average (fractional) ranks. Returns 0.0 — no evidence of monotone
+/// association — when fewer than two finite pairs remain or either
+/// side's ranks have zero variance.
+pub fn spearman_rho(predicted: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let pairs: Vec<(f64, f64)> = predicted
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| p.is_finite() && t.is_finite())
+        .map(|(&p, &t)| (p, t))
+        .collect();
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let rp = average_ranks(pairs.iter().map(|(p, _)| *p));
+    let rt = average_ranks(pairs.iter().map(|(_, t)| *t));
+    let n = rp.len() as f64;
+    let mp = rp.iter().sum::<f64>() / n;
+    let mt = rt.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vp = 0.0;
+    let mut vt = 0.0;
+    for (a, b) in rp.iter().zip(&rt) {
+        cov += (a - mp) * (b - mt);
+        vp += (a - mp) * (a - mp);
+        vt += (b - mt) * (b - mt);
+    }
+    if vp == 0.0 || vt == 0.0 {
+        0.0
+    } else {
+        cov / (vp.sqrt() * vt.sqrt())
+    }
+}
+
+/// Average (fractional) ranks of finite values, 1-based: ties share the
+/// mean of the ranks they occupy.
+fn average_ranks(values: impl Iterator<Item = f64>) -> Vec<f64> {
+    let values: Vec<f64> = values.collect();
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the mean 1-based rank.
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = mean_rank;
+        }
+        i = j + 1;
+    }
+    ranks
 }
 
 /// Coefficient of determination R² (1 = perfect, 0 = mean predictor,
@@ -113,5 +195,78 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         pairwise_rank_accuracy(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_pairs_are_skipped() {
+        // Index 1 is NaN in the prediction: pairs (0,1) and (1,2) drop,
+        // leaving only (0,2), which is correct.
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [1.0, f64::NAN, 3.0];
+        assert_eq!(pairwise_rank_accuracy(&pred, &truth), 1.0);
+        // NaN in the truth behaves the same.
+        let truth = [1.0, f64::NAN, 3.0];
+        let pred = [3.0, 2.0, 1.0];
+        assert_eq!(pairwise_rank_accuracy(&pred, &truth), 0.0);
+        // All pairs poisoned => chance level.
+        assert_eq!(
+            pairwise_rank_accuracy(&[f64::NAN, f64::NAN], &[1.0, 2.0]),
+            0.5
+        );
+    }
+
+    #[test]
+    fn predicted_ties_count_half() {
+        // Constant predictor: every usable pair is a predicted tie.
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [7.0, 7.0, 7.0];
+        assert_eq!(pairwise_rank_accuracy(&pred, &truth), 0.5);
+        // One tied pair among two usable pairs: (0,1) tie = 0.5,
+        // (0,2)/(1,2) correct => (0.5 + 2) / 3.
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [5.0, 5.0, 9.0];
+        let acc = pairwise_rank_accuracy(&pred, &truth);
+        assert!((acc - 2.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinities_are_ordered() {
+        let truth = [1.0, 2.0];
+        let pred = [f64::NEG_INFINITY, f64::INFINITY];
+        assert_eq!(pairwise_rank_accuracy(&pred, &truth), 1.0);
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverted() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 80.0, 90.0]; // monotone, non-linear
+        assert!((spearman_rho(&up, &t) - 1.0).abs() < 1e-12);
+        let down = [9.0, 8.0, 7.0, 6.0];
+        assert!((spearman_rho(&down, &t) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ties_use_average_ranks() {
+        // Textbook tie case: ranks of [1, 2, 2, 4] are [1, 2.5, 2.5, 4].
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [1.0, 2.0, 2.0, 4.0];
+        let rho = spearman_rho(&p, &t);
+        // cov/sqrt product computed by hand: ≈ 0.9486832980505138.
+        assert!((rho - 0.948_683_298_050_513_8).abs() < 1e-12, "rho = {rho}");
+    }
+
+    #[test]
+    fn spearman_degenerate_inputs_are_zero() {
+        assert_eq!(spearman_rho(&[], &[]), 0.0);
+        assert_eq!(spearman_rho(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman_rho(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        // Non-finite entries are filtered, leaving one pair => 0.
+        assert_eq!(
+            spearman_rho(&[1.0, f64::NAN, f64::INFINITY], &[1.0, 2.0, 3.0]),
+            0.0
+        );
+        // Filtering keeps the rest usable.
+        let rho = spearman_rho(&[1.0, f64::NAN, 3.0, 4.0], &[1.0, 5.0, 3.0, 4.0]);
+        assert!((rho - 1.0).abs() < 1e-12);
     }
 }

@@ -95,3 +95,65 @@ fn importances_form_distribution() {
         assert!(imp[top[0]] >= imp[top[1]]);
     });
 }
+
+/// A vector of scores where some entries may be NaN/±∞ and ties are
+/// common (small integer grid).
+fn noisy_scores(g: &mut Gen, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| match g.choice(10) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => g.int_inclusive(0, 5) as f64,
+        })
+        .collect()
+}
+
+/// `pairwise_rank_accuracy` is bounded, NaN-proof, symmetric under
+/// jointly reversing both inputs, and scores a perfect copy of a
+/// tie-free truth at exactly 1.
+#[test]
+fn rank_accuracy_contract() {
+    use heron_cost::pairwise_rank_accuracy;
+    property_cases("rank_accuracy_contract", 128, |g| {
+        let n = g.index(0, 17);
+        let truth = noisy_scores(g, n);
+        let pred = noisy_scores(g, n);
+        let acc = pairwise_rank_accuracy(&pred, &truth);
+        assert!((0.0..=1.0).contains(&acc), "acc {acc} out of range");
+        assert!(acc.is_finite());
+        // Reversing both sequences preserves every pairwise relation.
+        let rt: Vec<f64> = truth.iter().rev().copied().collect();
+        let rp: Vec<f64> = pred.iter().rev().copied().collect();
+        assert_eq!(acc, pairwise_rank_accuracy(&rp, &rt));
+        // Perfect predictor on a strict (finite, tie-free) truth.
+        let strict: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        assert_eq!(
+            pairwise_rank_accuracy(&strict, &strict),
+            if n < 2 { 0.5 } else { 1.0 }
+        );
+    });
+}
+
+/// `spearman_rho` is bounded, finite on arbitrary (NaN-laced) input,
+/// +1 on any strictly increasing finite pairing and −1 on its reverse.
+#[test]
+fn spearman_contract() {
+    use heron_cost::spearman_rho;
+    property_cases("spearman_contract", 128, |g| {
+        let n = g.index(0, 17);
+        let truth = noisy_scores(g, n);
+        let pred = noisy_scores(g, n);
+        let rho = spearman_rho(&pred, &truth);
+        assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&rho), "rho {rho}");
+        assert!(rho.is_finite());
+        // Monotone transforms of a strict sequence give rho = ±1.
+        if n >= 2 {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let up: Vec<f64> = xs.iter().map(|x| x * x + 3.0).collect();
+            let down: Vec<f64> = xs.iter().map(|x| -x).collect();
+            assert!((spearman_rho(&up, &xs) - 1.0).abs() < 1e-12);
+            assert!((spearman_rho(&down, &xs) + 1.0).abs() < 1e-12);
+        }
+    });
+}

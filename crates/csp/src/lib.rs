@@ -44,4 +44,4 @@ pub use solver::{
     rand_sat, rand_sat_policy, rand_sat_traced, rand_sat_with_budget, validate, SolveOutcome,
     SolvePolicy, SolveStats, SolveStatus,
 };
-pub use stats::SpaceCensus;
+pub use stats::{tunable_domains, SpaceCensus};

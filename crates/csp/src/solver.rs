@@ -49,6 +49,20 @@ pub struct SolveStats {
     pub escalations: u64,
 }
 
+impl SolveStats {
+    /// Accumulates another call's counters into this one. The tuner's
+    /// search log uses this to aggregate per-round solver pressure
+    /// across the populate / evolve / fallback solve calls of a round.
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.attempts += other.attempts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.wipeouts += other.wipeouts;
+        self.solutions += other.solutions;
+        self.escalations += other.escalations;
+    }
+}
+
 /// Classification of one sampling call — the solver's answer is never a
 /// bare (possibly empty) solution list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -63,6 +63,17 @@ impl SpaceCensus {
     }
 }
 
+/// `(name, initial domain size)` for every tunable variable, in
+/// declaration order — the coverage denominator the search-health log
+/// registers before the first tuning round (per-variable coverage vs.
+/// domain size in `insight.json`).
+pub fn tunable_domains(csp: &Csp) -> Vec<(String, u64)> {
+    csp.vars()
+        .filter(|(_, d)| d.category == VarCategory::Tunable)
+        .map(|(_, d)| (d.name.clone(), d.domain.size()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

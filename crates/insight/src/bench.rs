@@ -1,0 +1,350 @@
+//! The perf-trajectory layer: the canonical `BENCH_heron.json` snapshot
+//! ([`BenchReport`]) and the [`compare`] regression gate.
+//!
+//! Everything stored in the snapshot is **deterministic** for a fixed
+//! seed: scores come from the simulated measurer, solver throughput
+//! from RandSAT's own counters, and wall-clock from the *simulated*
+//! measurement clock (`hw_measure_s`). Host wall-clock times are
+//! intentionally excluded — they would make the committed baseline
+//! machine-dependent and the gate flaky (DESIGN.md §7).
+
+use heron_trace::Json;
+
+/// One workload's performance snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadBench {
+    /// Workload (space) name.
+    pub name: String,
+    /// Best achieved score.
+    pub best_gflops: f64,
+    /// Latency of the best schedule in microseconds.
+    pub best_latency_us: f64,
+    /// Measured trials attempted / that produced a valid score.
+    pub trials: u32,
+    /// See [`WorkloadBench::trials`].
+    pub valid_trials: u32,
+    /// Tuning rounds executed.
+    pub rounds: u32,
+    /// Simulated hardware measurement seconds consumed.
+    pub hw_measure_s: f64,
+    /// RandSAT solutions produced across the run.
+    pub randsat_solutions: u64,
+    /// RandSAT constraint propagations across the run.
+    pub randsat_propagations: u64,
+    /// Solver throughput: solutions per 1000 propagations.
+    pub sol_per_kprop: f64,
+    /// Cost model refits.
+    pub model_fits: u32,
+    /// Final model pairwise rank accuracy on its training set.
+    pub final_rank_accuracy: f64,
+}
+
+/// The canonical `BENCH_heron.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Tuning seed the snapshot was taken with.
+    pub seed: u64,
+    /// Trials per workload the snapshot was taken with.
+    pub trials: u32,
+    /// Per-workload snapshots, name-ascending.
+    pub workloads: Vec<WorkloadBench>,
+}
+
+impl BenchReport {
+    /// A new empty report.
+    pub fn new(seed: u64, trials: u32) -> Self {
+        BenchReport {
+            seed,
+            trials,
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Adds a workload snapshot, keeping the list name-sorted.
+    pub fn push(&mut self, w: WorkloadBench) {
+        self.workloads.push(w);
+        self.workloads.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Geometric mean of per-workload best scores (0 when empty or any
+    /// score is non-positive).
+    pub fn geomean_gflops(&self) -> f64 {
+        if self.workloads.is_empty() || self.workloads.iter().any(|w| w.best_gflops <= 0.0) {
+            return 0.0;
+        }
+        let log_sum: f64 = self.workloads.iter().map(|w| w.best_gflops.ln()).sum();
+        (log_sum / self.workloads.len() as f64).exp()
+    }
+
+    /// Serializes the report as the canonical JSON document.
+    pub fn to_json(&self) -> Json {
+        let num = Json::Num;
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("heron-bench-v1".into())),
+            ("seed".into(), num(self.seed as f64)),
+            ("trials".into(), num(f64::from(self.trials))),
+            ("geomean_gflops".into(), num(self.geomean_gflops())),
+            (
+                "workloads".into(),
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(w.name.clone())),
+                                ("best_gflops".into(), num(w.best_gflops)),
+                                ("best_latency_us".into(), num(w.best_latency_us)),
+                                ("trials".into(), num(f64::from(w.trials))),
+                                ("valid_trials".into(), num(f64::from(w.valid_trials))),
+                                ("rounds".into(), num(f64::from(w.rounds))),
+                                ("hw_measure_s".into(), num(w.hw_measure_s)),
+                                ("randsat_solutions".into(), num(w.randsat_solutions as f64)),
+                                (
+                                    "randsat_propagations".into(),
+                                    num(w.randsat_propagations as f64),
+                                ),
+                                ("sol_per_kprop".into(), num(w.sol_per_kprop)),
+                                ("model_fits".into(), num(f64::from(w.model_fits))),
+                                ("final_rank_accuracy".into(), num(w.final_rank_accuracy)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    /// A message naming the missing/invalid member.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        if doc.get("schema").and_then(Json::as_str) != Some("heron-bench-v1") {
+            return Err("not a heron-bench-v1 document".to_string());
+        }
+        let f = |obj: &Json, key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric member `{key}`"))
+        };
+        let mut report = BenchReport::new(f(doc, "seed")? as u64, f(doc, "trials")? as u32);
+        let workloads = doc
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "missing `workloads` array".to_string())?;
+        for w in workloads {
+            report.push(WorkloadBench {
+                name: w
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "workload missing `name`".to_string())?
+                    .to_string(),
+                best_gflops: f(w, "best_gflops")?,
+                best_latency_us: f(w, "best_latency_us")?,
+                trials: f(w, "trials")? as u32,
+                valid_trials: f(w, "valid_trials")? as u32,
+                rounds: f(w, "rounds")? as u32,
+                hw_measure_s: f(w, "hw_measure_s")?,
+                randsat_solutions: f(w, "randsat_solutions")? as u64,
+                randsat_propagations: f(w, "randsat_propagations")? as u64,
+                sol_per_kprop: f(w, "sol_per_kprop")?,
+                model_fits: f(w, "model_fits")? as u32,
+                final_rank_accuracy: f(w, "final_rank_accuracy")?,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// Deterministic regression-gate thresholds (fractions, not percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Max tolerated relative drop in per-workload `best_gflops` and in
+    /// the geomean.
+    pub max_perf_drop: f64,
+    /// Max tolerated relative rise in per-workload `best_latency_us`.
+    pub max_latency_rise: f64,
+    /// Max tolerated relative drop in RandSAT `sol_per_kprop`.
+    pub max_throughput_drop: f64,
+    /// Max tolerated relative drop in `final_rank_accuracy`.
+    pub max_accuracy_drop: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            max_perf_drop: 0.10,
+            max_latency_rise: 0.10,
+            max_throughput_drop: 0.25,
+            max_accuracy_drop: 0.15,
+        }
+    }
+}
+
+fn rel_drop(base: f64, new: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (base - new) / base
+    }
+}
+
+/// Compares a new snapshot against a baseline. Returns the list of
+/// regression messages — empty means the gate passes. Comparing a
+/// report against itself always passes.
+pub fn compare(base: &BenchReport, new: &BenchReport, cfg: &CompareConfig) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for b in &base.workloads {
+        let Some(n) = new.workloads.iter().find(|w| w.name == b.name) else {
+            regressions.push(format!("workload `{}` missing from new snapshot", b.name));
+            continue;
+        };
+        let perf_drop = rel_drop(b.best_gflops, n.best_gflops);
+        if perf_drop > cfg.max_perf_drop {
+            regressions.push(format!(
+                "`{}` best_gflops dropped {:.1}% ({:.2} → {:.2}, limit {:.0}%)",
+                b.name,
+                perf_drop * 100.0,
+                b.best_gflops,
+                n.best_gflops,
+                cfg.max_perf_drop * 100.0
+            ));
+        }
+        let lat_rise = rel_drop(n.best_latency_us, b.best_latency_us);
+        if lat_rise > cfg.max_latency_rise {
+            regressions.push(format!(
+                "`{}` best_latency_us rose {:.1}% ({:.2} → {:.2}, limit {:.0}%)",
+                b.name,
+                lat_rise * 100.0,
+                b.best_latency_us,
+                n.best_latency_us,
+                cfg.max_latency_rise * 100.0
+            ));
+        }
+        let thr_drop = rel_drop(b.sol_per_kprop, n.sol_per_kprop);
+        if thr_drop > cfg.max_throughput_drop {
+            regressions.push(format!(
+                "`{}` RandSAT sol_per_kprop dropped {:.1}% ({:.3} → {:.3}, limit {:.0}%)",
+                b.name,
+                thr_drop * 100.0,
+                b.sol_per_kprop,
+                n.sol_per_kprop,
+                cfg.max_throughput_drop * 100.0
+            ));
+        }
+        let acc_drop = rel_drop(b.final_rank_accuracy, n.final_rank_accuracy);
+        if acc_drop > cfg.max_accuracy_drop {
+            regressions.push(format!(
+                "`{}` final_rank_accuracy dropped {:.1}% ({:.3} → {:.3}, limit {:.0}%)",
+                b.name,
+                acc_drop * 100.0,
+                b.final_rank_accuracy,
+                n.final_rank_accuracy,
+                cfg.max_accuracy_drop * 100.0
+            ));
+        }
+    }
+    let geo_drop = rel_drop(base.geomean_gflops(), new.geomean_gflops());
+    if geo_drop > cfg.max_perf_drop {
+        regressions.push(format!(
+            "geomean_gflops dropped {:.1}% ({:.2} → {:.2}, limit {:.0}%)",
+            geo_drop * 100.0,
+            base.geomean_gflops(),
+            new.geomean_gflops(),
+            cfg.max_perf_drop * 100.0
+        ));
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new(2023, 64);
+        r.push(WorkloadBench {
+            name: "gemm-512".into(),
+            best_gflops: 4000.0,
+            best_latency_us: 67.1,
+            trials: 64,
+            valid_trials: 60,
+            rounds: 8,
+            hw_measure_s: 1.25,
+            randsat_solutions: 900,
+            randsat_propagations: 120_000,
+            sol_per_kprop: 7.5,
+            model_fits: 8,
+            final_rank_accuracy: 0.91,
+        });
+        r.push(WorkloadBench {
+            name: "conv-64".into(),
+            best_gflops: 1000.0,
+            best_latency_us: 10.0,
+            trials: 64,
+            valid_trials: 64,
+            rounds: 8,
+            hw_measure_s: 0.5,
+            randsat_solutions: 500,
+            randsat_propagations: 40_000,
+            sol_per_kprop: 12.5,
+            model_fits: 8,
+            final_rank_accuracy: 0.88,
+        });
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_and_sorted_workloads() {
+        let r = sample();
+        assert_eq!(r.workloads[0].name, "conv-64");
+        let parsed =
+            BenchReport::from_json(&heron_trace::json::parse(&r.to_json().render()).unwrap())
+                .unwrap();
+        assert_eq!(parsed, r);
+        assert!((r.geomean_gflops() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_comparison_passes() {
+        let r = sample();
+        assert!(compare(&r, &r, &CompareConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn degradations_are_caught() {
+        let base = sample();
+        let mut degraded = sample();
+        degraded.workloads[0].best_gflops *= 0.8; // conv-64: >10% drop
+        degraded.workloads[1].best_latency_us *= 1.5;
+        degraded.workloads[1].sol_per_kprop *= 0.5;
+        let regs = compare(&base, &degraded, &CompareConfig::default());
+        assert!(regs.iter().any(|r| r.contains("best_gflops dropped")));
+        assert!(regs.iter().any(|r| r.contains("best_latency_us rose")));
+        assert!(regs.iter().any(|r| r.contains("sol_per_kprop dropped")));
+        assert!(regs.iter().any(|r| r.contains("geomean_gflops dropped")));
+
+        let mut missing = sample();
+        missing.workloads.remove(0);
+        let regs = compare(&base, &missing, &CompareConfig::default());
+        assert!(regs.iter().any(|r| r.contains("missing from new snapshot")));
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = sample();
+        let mut better = sample();
+        for w in better.workloads.iter_mut() {
+            w.best_gflops *= 1.5;
+            w.best_latency_us *= 0.5;
+            w.sol_per_kprop *= 2.0;
+        }
+        assert!(compare(&base, &better, &CompareConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let doc = heron_trace::json::parse(r#"{"schema":"other"}"#).unwrap();
+        assert!(BenchReport::from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,586 @@
+//! The per-round structured search log.
+//!
+//! [`SearchLog`] is the event stream the tuner appends to while it
+//! runs: one [`RoundRecord`] per tuning round, one [`RefitRecord`] per
+//! cost-model refit, plus per-variable coverage sets. The log carries
+//! *semantic* search-health signals (is the population diverse, is the
+//! model ranking candidates well, which constraints push back) on top
+//! of the mechanical spans/counters `heron-trace` already records.
+//!
+//! The log has an exact line-oriented checkpoint encoding
+//! ([`SearchLog::checkpoint_lines`] / [`SearchLog::apply_checkpoint_line`])
+//! using the same `f64`-bit-hex convention as `heron-checkpoint v2`, so
+//! a killed-and-resumed tuning session produces a byte-identical
+//! `insight.json` to the uninterrupted run.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{f64_hex, parse_f64_hex};
+
+/// Search coverage for one tunable CSP variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarCoverage {
+    /// The CSP variable name.
+    pub name: String,
+    /// Domain size at space-generation time.
+    pub domain_size: u64,
+    /// Distinct values this variable took across every *measured*
+    /// candidate (ordered, so reports are deterministic).
+    pub seen: BTreeSet<i64>,
+}
+
+impl VarCoverage {
+    /// Fraction of the domain the search has touched, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.domain_size == 0 {
+            0.0
+        } else {
+            self.seen.len() as f64 / self.domain_size as f64
+        }
+    }
+}
+
+/// One tuning round's search-health record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Total measured trials after this round.
+    pub trials_done: u32,
+    /// Best score (GFLOPS) seen so far, after this round's batch.
+    pub best_gflops: f64,
+    /// Best score inside this round's measured batch (0 when empty).
+    pub batch_best_gflops: f64,
+    /// Mean score of this round's measured batch (0 when empty).
+    pub batch_mean_gflops: f64,
+    /// Number of candidates measured this round.
+    pub batch_size: u32,
+    /// ε-greedy picks taken from the model-ranked head.
+    pub exploit_picks: u32,
+    /// ε-greedy picks taken uniformly at random.
+    pub explore_picks: u32,
+    /// Population size entering selection.
+    pub population: u32,
+    /// Distinct solutions (by fingerprint) in the population.
+    pub distinct_solutions: u32,
+    /// `distinct_solutions / population` in `[0, 1]` (0 when empty).
+    pub diversity: f64,
+    /// Mean per-variable Shannon entropy (bits) of population
+    /// assignments over the tunable variables.
+    pub entropy_bits: f64,
+    /// Pairwise rank accuracy of pre-batch predictions vs. this batch's
+    /// measurements (`None` before the first model fit).
+    pub batch_rank_accuracy: Option<f64>,
+    /// Spearman ρ of the same pairing (`None` before the first fit).
+    pub batch_spearman: Option<f64>,
+    /// Offspring repaired by constraint-dropping this round.
+    pub repaired_offspring: u32,
+    /// Crossover constraints relaxed during those repairs.
+    pub relaxed_constraints: u32,
+    /// Fresh `CSP_initial` fallback samples injected this round.
+    pub fallback_samples: u32,
+    /// Solver deadline hits this round.
+    pub deadline_hits: u32,
+    /// RandSAT assignment attempts this round.
+    pub solver_attempts: u64,
+    /// RandSAT constraint propagations this round.
+    pub solver_propagations: u64,
+    /// RandSAT domain wipeouts this round.
+    pub solver_wipeouts: u64,
+    /// True when the round ended in a stall (no unmeasured candidates
+    /// or solver starvation) rather than a measured batch.
+    pub stalled: bool,
+}
+
+impl RoundRecord {
+    /// A zeroed record for round `round`.
+    pub fn new(round: u32) -> Self {
+        RoundRecord {
+            round,
+            trials_done: 0,
+            best_gflops: 0.0,
+            batch_best_gflops: 0.0,
+            batch_mean_gflops: 0.0,
+            batch_size: 0,
+            exploit_picks: 0,
+            explore_picks: 0,
+            population: 0,
+            distinct_solutions: 0,
+            diversity: 0.0,
+            entropy_bits: 0.0,
+            batch_rank_accuracy: None,
+            batch_spearman: None,
+            repaired_offspring: 0,
+            relaxed_constraints: 0,
+            fallback_samples: 0,
+            deadline_hits: 0,
+            solver_attempts: 0,
+            solver_propagations: 0,
+            solver_wipeouts: 0,
+            stalled: false,
+        }
+    }
+}
+
+/// One cost-model refit's quality + explainability snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefitRecord {
+    /// Round index the refit happened in.
+    pub round: u32,
+    /// Training-set size at fit time.
+    pub samples: u32,
+    /// Pairwise rank accuracy of the refit model on its training set.
+    pub train_rank_accuracy: f64,
+    /// Spearman ρ of the refit model on its training set.
+    pub train_spearman: f64,
+    /// Top-k `(feature index, normalized gain importance)` pairs,
+    /// importance-descending.
+    pub top_importance: Vec<(u32, f64)>,
+}
+
+/// The tuner-side search-health event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchLog {
+    /// Workload name (space name).
+    pub workload: String,
+    /// Target DLA name.
+    pub dla: String,
+    /// Tuning seed.
+    pub seed: u64,
+    /// How many importance entries each refit snapshot keeps.
+    pub top_k: u32,
+    /// Per-tunable coverage, index-aligned with the tunable list the
+    /// tuner registered via [`SearchLog::set_vars`].
+    pub vars: Vec<VarCoverage>,
+    /// One record per tuning round, in order.
+    pub rounds: Vec<RoundRecord>,
+    /// One record per model refit, in order.
+    pub refits: Vec<RefitRecord>,
+}
+
+impl SearchLog {
+    /// An empty log for one tuning session.
+    pub fn new(workload: &str, dla: &str, seed: u64, top_k: u32) -> Self {
+        SearchLog {
+            workload: workload.to_string(),
+            dla: dla.to_string(),
+            seed,
+            top_k,
+            vars: Vec::new(),
+            rounds: Vec::new(),
+            refits: Vec::new(),
+        }
+    }
+
+    /// Registers the tunable variables (name, domain size), resetting
+    /// coverage. Called once by the tuner before the first round.
+    pub fn set_vars(&mut self, vars: impl IntoIterator<Item = (String, u64)>) {
+        self.vars = vars
+            .into_iter()
+            .map(|(name, domain_size)| VarCoverage {
+                name,
+                domain_size,
+                seen: BTreeSet::new(),
+            })
+            .collect();
+    }
+
+    /// Records one measured candidate's tunable assignment (values
+    /// index-aligned with the registered vars).
+    pub fn observe_assignment(&mut self, values: &[i64]) {
+        for (var, &v) in self.vars.iter_mut().zip(values) {
+            var.seen.insert(v);
+        }
+    }
+
+    /// Index of the next round to be recorded.
+    pub fn next_round(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+
+    /// Appends a round record.
+    pub fn push_round(&mut self, rec: RoundRecord) {
+        self.rounds.push(rec);
+    }
+
+    /// Appends a refit record, truncating importance to `top_k`.
+    pub fn push_refit(&mut self, mut rec: RefitRecord) {
+        rec.top_importance.truncate(self.top_k as usize);
+        self.refits.push(rec);
+    }
+
+    /// Final best score, i.e. the last round's best-so-far.
+    pub fn final_best(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.best_gflops)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint encoding (heron-checkpoint v2 `insight.*` keys)
+    // ------------------------------------------------------------------
+
+    /// Serializes the log as `(key, value)` checkpoint lines. The
+    /// encoding is exact: floats are bit-hex, optionals are `-`.
+    pub fn checkpoint_lines(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        out.push((
+            "insight.meta".to_string(),
+            format!("{} {}", self.top_k, self.seed),
+        ));
+        out.push(("insight.workload".to_string(), self.workload.clone()));
+        out.push(("insight.dla".to_string(), self.dla.clone()));
+        for (i, var) in self.vars.iter().enumerate() {
+            out.push((
+                "insight.var".to_string(),
+                format!("{} {} {}", i, var.domain_size, var.name),
+            ));
+            if !var.seen.is_empty() {
+                let vals: Vec<String> = var.seen.iter().map(|v| v.to_string()).collect();
+                out.push((
+                    "insight.seen".to_string(),
+                    format!("{} {}", i, vals.join(" ")),
+                ));
+            }
+        }
+        for r in &self.rounds {
+            out.push(("insight.round".to_string(), encode_round(r)));
+        }
+        for f in &self.refits {
+            out.push(("insight.refit".to_string(), encode_refit(f)));
+        }
+        out
+    }
+
+    /// Applies one checkpoint line previously produced by
+    /// [`SearchLog::checkpoint_lines`].
+    ///
+    /// # Errors
+    /// A message naming the malformed key/value.
+    pub fn apply_checkpoint_line(&mut self, key: &str, value: &str) -> Result<(), String> {
+        match key {
+            "insight.meta" => {
+                let mut it = value.split_whitespace();
+                self.top_k = next_u32(&mut it, key)?;
+                self.seed = next_u64(&mut it, key)?;
+                Ok(())
+            }
+            "insight.workload" => {
+                self.workload = value.to_string();
+                Ok(())
+            }
+            "insight.dla" => {
+                self.dla = value.to_string();
+                Ok(())
+            }
+            "insight.var" => {
+                let mut it = value.splitn(3, ' ');
+                let idx = it
+                    .next()
+                    .ok_or_else(|| format!("truncated `{key}`"))?
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad index in `{key}`"))?;
+                let domain_size = it
+                    .next()
+                    .ok_or_else(|| format!("truncated `{key}`"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad domain size in `{key}`"))?;
+                let name = it.next().unwrap_or("").to_string();
+                if idx != self.vars.len() {
+                    return Err(format!("out-of-order `{key}` index {idx}"));
+                }
+                self.vars.push(VarCoverage {
+                    name,
+                    domain_size,
+                    seen: BTreeSet::new(),
+                });
+                Ok(())
+            }
+            "insight.seen" => {
+                let mut it = value.split_whitespace();
+                let idx = next_u32(&mut it, key)? as usize;
+                let var = self
+                    .vars
+                    .get_mut(idx)
+                    .ok_or_else(|| format!("`{key}` references unknown var {idx}"))?;
+                for tok in it {
+                    let v = tok
+                        .parse::<i64>()
+                        .map_err(|_| format!("bad value `{tok}` in `{key}`"))?;
+                    var.seen.insert(v);
+                }
+                Ok(())
+            }
+            "insight.round" => {
+                let rec = decode_round(value)?;
+                self.rounds.push(rec);
+                Ok(())
+            }
+            "insight.refit" => {
+                let rec = decode_refit(value)?;
+                self.refits.push(rec);
+                Ok(())
+            }
+            other => Err(format!("unknown insight checkpoint key `{other}`")),
+        }
+    }
+}
+
+fn next_u32<'a>(it: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<u32, String> {
+    it.next()
+        .ok_or_else(|| format!("truncated `{key}`"))?
+        .parse::<u32>()
+        .map_err(|_| format!("bad u32 in `{key}`"))
+}
+
+fn next_u64<'a>(it: &mut impl Iterator<Item = &'a str>, key: &str) -> Result<u64, String> {
+    it.next()
+        .ok_or_else(|| format!("truncated `{key}`"))?
+        .parse::<u64>()
+        .map_err(|_| format!("bad u64 in `{key}`"))
+}
+
+fn opt_hex(x: Option<f64>) -> String {
+    match x {
+        Some(v) => f64_hex(v),
+        None => "-".to_string(),
+    }
+}
+
+fn parse_opt_hex(tok: &str) -> Result<Option<f64>, String> {
+    if tok == "-" {
+        Ok(None)
+    } else {
+        parse_f64_hex(tok).map(Some)
+    }
+}
+
+fn encode_round(r: &RoundRecord) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        r.round,
+        r.trials_done,
+        f64_hex(r.best_gflops),
+        f64_hex(r.batch_best_gflops),
+        f64_hex(r.batch_mean_gflops),
+        r.batch_size,
+        r.exploit_picks,
+        r.explore_picks,
+        r.population,
+        r.distinct_solutions,
+        f64_hex(r.diversity),
+        f64_hex(r.entropy_bits),
+        opt_hex(r.batch_rank_accuracy),
+        opt_hex(r.batch_spearman),
+        r.repaired_offspring,
+        r.relaxed_constraints,
+        r.fallback_samples,
+        r.deadline_hits,
+        r.solver_attempts,
+        r.solver_propagations,
+        r.solver_wipeouts,
+        u8::from(r.stalled),
+    )
+}
+
+fn decode_round(value: &str) -> Result<RoundRecord, String> {
+    let toks: Vec<&str> = value.split_whitespace().collect();
+    if toks.len() != 22 {
+        return Err(format!(
+            "`insight.round` expects 22 tokens, got {}",
+            toks.len()
+        ));
+    }
+    let u32_at = |i: usize| -> Result<u32, String> {
+        toks[i]
+            .parse::<u32>()
+            .map_err(|_| format!("bad u32 `{}` in `insight.round`", toks[i]))
+    };
+    let u64_at = |i: usize| -> Result<u64, String> {
+        toks[i]
+            .parse::<u64>()
+            .map_err(|_| format!("bad u64 `{}` in `insight.round`", toks[i]))
+    };
+    Ok(RoundRecord {
+        round: u32_at(0)?,
+        trials_done: u32_at(1)?,
+        best_gflops: parse_f64_hex(toks[2])?,
+        batch_best_gflops: parse_f64_hex(toks[3])?,
+        batch_mean_gflops: parse_f64_hex(toks[4])?,
+        batch_size: u32_at(5)?,
+        exploit_picks: u32_at(6)?,
+        explore_picks: u32_at(7)?,
+        population: u32_at(8)?,
+        distinct_solutions: u32_at(9)?,
+        diversity: parse_f64_hex(toks[10])?,
+        entropy_bits: parse_f64_hex(toks[11])?,
+        batch_rank_accuracy: parse_opt_hex(toks[12])?,
+        batch_spearman: parse_opt_hex(toks[13])?,
+        repaired_offspring: u32_at(14)?,
+        relaxed_constraints: u32_at(15)?,
+        fallback_samples: u32_at(16)?,
+        deadline_hits: u32_at(17)?,
+        solver_attempts: u64_at(18)?,
+        solver_propagations: u64_at(19)?,
+        solver_wipeouts: u64_at(20)?,
+        stalled: match toks[21] {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("bad stalled flag `{other}` in `insight.round`")),
+        },
+    })
+}
+
+fn encode_refit(f: &RefitRecord) -> String {
+    let mut s = format!(
+        "{} {} {} {}",
+        f.round,
+        f.samples,
+        f64_hex(f.train_rank_accuracy),
+        f64_hex(f.train_spearman),
+    );
+    for (idx, imp) in &f.top_importance {
+        s.push_str(&format!(" {}:{}", idx, f64_hex(*imp)));
+    }
+    s
+}
+
+fn decode_refit(value: &str) -> Result<RefitRecord, String> {
+    let mut it = value.split_whitespace();
+    let round = next_u32(&mut it, "insight.refit")?;
+    let samples = next_u32(&mut it, "insight.refit")?;
+    let train_rank_accuracy = parse_f64_hex(
+        it.next()
+            .ok_or_else(|| "truncated `insight.refit`".to_string())?,
+    )?;
+    let train_spearman = parse_f64_hex(
+        it.next()
+            .ok_or_else(|| "truncated `insight.refit`".to_string())?,
+    )?;
+    let mut top_importance = Vec::new();
+    for tok in it {
+        let (idx, imp) = tok
+            .split_once(':')
+            .ok_or_else(|| format!("bad importance pair `{tok}` in `insight.refit`"))?;
+        let idx = idx
+            .parse::<u32>()
+            .map_err(|_| format!("bad feature index `{idx}` in `insight.refit`"))?;
+        top_importance.push((idx, parse_f64_hex(imp)?));
+    }
+    Ok(RefitRecord {
+        round,
+        samples,
+        train_rank_accuracy,
+        train_spearman,
+        top_importance,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Population statistics helpers (used by the tuner per round)
+// ----------------------------------------------------------------------
+
+/// Mean per-variable Shannon entropy (bits) of a population's tunable
+/// assignments. `rows` are index-aligned assignment vectors, one per
+/// population member. Empty populations (or zero-width rows) yield 0.
+pub fn population_entropy_bits(rows: &[Vec<i64>]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let width = rows[0].len();
+    if width == 0 {
+        return 0.0;
+    }
+    let n = rows.len() as f64;
+    let mut total = 0.0;
+    for col in 0..width {
+        let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
+        for row in rows {
+            *counts.entry(row[col]).or_insert(0) += 1;
+        }
+        let mut h = 0.0;
+        for &c in counts.values() {
+            let p = c as f64 / n;
+            h -= p * p.log2();
+        }
+        total += h;
+    }
+    total / width as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> SearchLog {
+        let mut log = SearchLog::new("gemm-64", "v100", 42, 3);
+        log.set_vars(vec![("tile_x".to_string(), 8), ("tile y".to_string(), 4)]);
+        log.observe_assignment(&[2, 1]);
+        log.observe_assignment(&[4, 1]);
+        let mut r0 = RoundRecord::new(0);
+        r0.trials_done = 8;
+        r0.best_gflops = 123.456;
+        r0.batch_size = 8;
+        r0.exploit_picks = 6;
+        r0.explore_picks = 2;
+        r0.diversity = 0.75;
+        r0.entropy_bits = 1.5;
+        log.push_round(r0);
+        let mut r1 = RoundRecord::new(1);
+        r1.trials_done = 16;
+        r1.best_gflops = 150.0;
+        r1.batch_rank_accuracy = Some(0.8125);
+        r1.batch_spearman = Some(0.9);
+        r1.solver_attempts = 321;
+        r1.stalled = false;
+        log.push_round(r1);
+        log.push_refit(RefitRecord {
+            round: 1,
+            samples: 16,
+            train_rank_accuracy: 0.9,
+            train_spearman: 0.85,
+            top_importance: vec![(3, 0.5), (0, 0.25), (7, 0.125), (9, 0.0625)],
+        });
+        log
+    }
+
+    #[test]
+    fn checkpoint_lines_roundtrip_exactly() {
+        let log = sample_log();
+        let mut back = SearchLog::new("", "", 0, 0);
+        for (k, v) in log.checkpoint_lines() {
+            back.apply_checkpoint_line(&k, &v).unwrap();
+        }
+        assert_eq!(back, log);
+        // Second serialization is byte-identical.
+        assert_eq!(back.checkpoint_lines(), log.checkpoint_lines());
+    }
+
+    #[test]
+    fn refit_importance_truncated_to_top_k() {
+        let log = sample_log();
+        assert_eq!(log.refits[0].top_importance.len(), 3);
+    }
+
+    #[test]
+    fn malformed_checkpoint_lines_are_rejected() {
+        let mut log = SearchLog::new("", "", 0, 0);
+        assert!(log.apply_checkpoint_line("insight.round", "1 2 3").is_err());
+        assert!(log.apply_checkpoint_line("insight.bogus", "x").is_err());
+        assert!(log.apply_checkpoint_line("insight.seen", "0 1").is_err());
+        assert!(log
+            .apply_checkpoint_line("insight.refit", "0 4 nothex")
+            .is_err());
+    }
+
+    #[test]
+    fn entropy_and_coverage() {
+        // Uniform column over 4 values => 2 bits; constant column => 0.
+        let rows: Vec<Vec<i64>> = (0..4).map(|i| vec![i, 7]).collect();
+        let h = population_entropy_bits(&rows);
+        assert!((h - 1.0).abs() < 1e-12, "mean of 2 and 0 bits, got {h}");
+        assert_eq!(population_entropy_bits(&[]), 0.0);
+
+        let log = sample_log();
+        assert!((log.vars[0].coverage() - 0.25).abs() < 1e-12);
+        assert!((log.vars[1].coverage() - 0.25).abs() < 1e-12);
+    }
+}

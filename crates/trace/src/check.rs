@@ -103,12 +103,27 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
     let mut events = 0usize;
     let mut last_t_ns = 0u64;
 
+    let total_lines = jsonl.lines().count();
     for (idx, line) in jsonl.lines().enumerate() {
         let lineno = idx + 1;
         if line.trim().is_empty() {
             return Err(format!("line {lineno}: empty line in trace"));
         }
-        let obj = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let obj = json::parse(line).map_err(|e| {
+            // A parse failure on the *final* line of a file that does not
+            // end in `}` is the signature of a write interrupted mid-line
+            // (crash, kill -9, full disk). Name that case explicitly so
+            // `trace_report --check` tells the operator what happened
+            // instead of surfacing a bare parse error.
+            if lineno == total_lines && !line.trim_end().ends_with('}') {
+                format!(
+                    "line {lineno}: final line is truncated (interrupted write?) — \
+                     recover by dropping it and re-checking: {e}"
+                )
+            } else {
+                format!("line {lineno}: {e}")
+            }
+        })?;
         if !matches!(obj, Json::Obj(_)) {
             return Err(format!("line {lineno}: event is not a JSON object"));
         }
@@ -263,6 +278,30 @@ mod tests {
 
         // Not JSON at all.
         assert!(check_trace("not json").is_err());
+    }
+
+    #[test]
+    fn truncated_final_line_gets_a_specific_message() {
+        // A valid point event followed by a line cut off mid-write.
+        let trace = [
+            r#"{"seq":0,"ev":"point","name":"p","t_ns":0,"fields":{}}"#,
+            r#"{"seq":1,"ev":"poi"#,
+        ]
+        .join("\n");
+        let err = check_trace(&trace).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains("interrupted write"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+
+        // A malformed line that is NOT last keeps the plain parse error.
+        let trace = [
+            r#"{"seq":0,"ev":"poi"#,
+            r#"{"seq":1,"ev":"point","name":"p","t_ns":0,"fields":{}}"#,
+        ]
+        .join("\n");
+        let err = check_trace(&trace).unwrap_err();
+        assert!(!err.contains("truncated"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
     }
 
     #[test]

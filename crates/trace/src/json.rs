@@ -58,6 +58,115 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value back to compact JSON text.
+    ///
+    /// The output is deterministic: object member order is preserved as
+    /// stored, strings use [`escape`], and numbers use Rust's
+    /// shortest-roundtrip `f64` formatting (which is
+    /// platform-independent). Non-finite numbers have no JSON spelling
+    /// and render as `null` — producers that care should never store
+    /// them.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) if !n.is_finite() => out.push_str("null"),
+            Json::Num(n) => out.push_str(&format!("{n}")),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as indented multi-line JSON (two spaces per
+    /// level, trailing newline). Deterministic like [`Json::render`].
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    item.render_pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    indent(out, depth + 1);
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\": ");
+                    v.render_pretty_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.render_into(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
 }
 
 /// Escapes `s` as the *contents* of a JSON string literal (no quotes).
@@ -298,6 +407,32 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted: {bad:?}");
         }
+    }
+
+    #[test]
+    fn render_roundtrips_and_is_compact() {
+        let doc = r#"{"a":1,"b":[true,null,"x\ny"],"c":{"d":-2.5,"e":1000}}"#;
+        let v = parse(doc).expect("parses");
+        assert_eq!(v.render(), doc);
+        // Round-trip stability: render(parse(render(v))) == render(v).
+        let again = parse(&v.render()).expect("reparses");
+        assert_eq!(again.render(), v.render());
+    }
+
+    #[test]
+    fn render_maps_non_finite_to_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::Num(0.1 + 0.2).render(), "0.30000000000000004");
+    }
+
+    #[test]
+    fn render_pretty_parses_back_equal() {
+        let v = parse(r#"{"a":[1,2],"b":{},"c":[],"d":{"e":"f"}}"#).unwrap();
+        let pretty = v.render_pretty();
+        assert!(pretty.ends_with('\n'));
+        assert_eq!(parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("  \"a\": ["));
     }
 
     #[test]

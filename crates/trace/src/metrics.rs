@@ -277,4 +277,86 @@ mod tests {
         assert_eq!(h.min, 0.5);
         assert_eq!(h.max, 99.0);
     }
+
+    /// Every default bound, recorded exactly, must land in its *own*
+    /// bucket (the bounds are inclusive), and the next representable
+    /// value above it must land in the following bucket.
+    #[test]
+    fn histogram_default_bounds_are_inclusive_edges() {
+        for (i, &bound) in DEFAULT_BUCKETS.iter().enumerate() {
+            let mut h = Histogram::new(&DEFAULT_BUCKETS);
+            h.record(bound);
+            assert_eq!(h.counts[i], 1, "bound {bound} must land in bucket {i}");
+
+            let mut h = Histogram::new(&DEFAULT_BUCKETS);
+            let above = bound + bound * f64::EPSILON * 4.0;
+            assert!(above > bound);
+            h.record(above);
+            assert_eq!(
+                h.counts[i + 1],
+                1,
+                "value just above {bound} must land in bucket {}",
+                i + 1
+            );
+        }
+    }
+
+    /// Saturation: extreme and non-finite values must not corrupt the
+    /// bucket structure. `+inf` (and anything above the last bound)
+    /// lands in the overflow bucket; `-inf` and negatives land in the
+    /// first bucket; the total count always equals the bucket sum.
+    #[test]
+    fn histogram_saturates_without_corruption() {
+        let mut h = Histogram::new(&DEFAULT_BUCKETS);
+        h.record(f64::MAX);
+        h.record(f64::INFINITY);
+        h.record(1e300);
+        assert_eq!(h.counts[DEFAULT_BUCKETS.len()], 3, "all in overflow");
+
+        h.record(-1.0);
+        h.record(f64::NEG_INFINITY);
+        h.record(f64::MIN_POSITIVE);
+        assert_eq!(h.counts[0], 3, "all at or below the first bound");
+
+        assert_eq!(h.count, 6);
+        assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+        assert_eq!(h.counts.len(), DEFAULT_BUCKETS.len() + 1);
+        assert_eq!(h.min, f64::NEG_INFINITY);
+        assert_eq!(h.max, f64::INFINITY);
+    }
+
+    /// NaN comparisons are all-false, so a NaN value falls through to
+    /// the overflow bucket and leaves min/max untouched — the histogram
+    /// stays internally consistent (count still matches bucket sum).
+    #[test]
+    fn histogram_nan_lands_in_overflow_and_keeps_invariants() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(0.5);
+        h.record(f64::NAN);
+        assert_eq!(h.counts, vec![1, 0, 1]);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+        assert_eq!(h.min, 0.5, "NaN must not clobber min");
+        assert_eq!(h.max, 0.5, "NaN must not clobber max");
+        assert!(h.sum.is_nan());
+    }
+
+    /// An empty histogram renders `-` sentinels for min/max in the TSV
+    /// snapshot rather than `inf`/`-inf`.
+    #[test]
+    fn empty_histogram_renders_dash_min_max() {
+        let mut m = MetricsRegistry::new();
+        // Force an empty histogram into the registry via a typed entry.
+        m.hist_record("x.empty_ms", 1.0);
+        match m.map.get_mut("x.empty_ms") {
+            Some(Instrument::Hist(h)) => *h = Histogram::new(&DEFAULT_BUCKETS),
+            _ => unreachable!(),
+        }
+        let tsv = m.to_tsv();
+        let row = tsv.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split('\t').collect();
+        assert_eq!(cols[3], "0", "count");
+        assert_eq!(cols[4], "-", "min placeholder");
+        assert_eq!(cols[5], "-", "max placeholder");
+    }
 }

@@ -60,6 +60,7 @@ pub use heron_cost as cost;
 pub use heron_csp as csp;
 pub use heron_dla as dla;
 pub use heron_graph as graph;
+pub use heron_insight as insight;
 pub use heron_sched as sched;
 pub use heron_tensor as tensor;
 pub use heron_trace as trace;

@@ -323,6 +323,115 @@ fn resumed_trace_matches_uninterrupted_suffix() {
     check_trace(&res_trace).expect("resumed trace is balanced");
 }
 
+/// Renders the full `insight.json` document a tuning session would emit.
+fn insight_json(seed: u64, trials: usize, kill_at: Option<usize>) -> String {
+    let mut tuner = Tuner::new(
+        space(),
+        Measurer::new(heron::dla::v100()),
+        TuneConfig::quick(trials),
+        seed,
+    )
+    .with_faults(FaultPlan::uniform(seed, 0.2))
+    .with_insight(8);
+    if let Some(boundary) = kill_at {
+        // Kill at the boundary, roundtrip the checkpoint through its text
+        // encoding (insight state included), resume in a brand-new tuner.
+        assert!(!tuner.run_until(boundary), "session must not finish early");
+        let ckpt =
+            TuneCheckpoint::from_text(&tuner.checkpoint().to_text()).expect("ckpt roundtrips");
+        tuner = Tuner::resume(
+            space(),
+            Measurer::new(heron::dla::v100()),
+            TuneConfig::quick(trials),
+            FaultPlan::uniform(seed, 0.2),
+            &ckpt,
+        )
+        .expect("checkpoint applies");
+    }
+    tuner.run();
+    let log = tuner.insight().expect("insight enabled");
+    let doc = heron::insight::analyze(log).to_json(log);
+    heron::insight::validate_insight(&doc).expect("schema-valid insight");
+    doc.render_pretty()
+}
+
+/// Search-health analytics are part of the determinism contract:
+/// same-seed sessions emit byte-identical `insight.json` documents,
+/// different seeds diverge.
+#[test]
+fn insight_reports_are_byte_identical_for_same_seed() {
+    let a = insight_json(7, 24, None);
+    let b = insight_json(7, 24, None);
+    assert_eq!(a, b, "same-seed insight.json diverged");
+
+    let c = insight_json(8, 24, None);
+    assert_ne!(a, c, "different seeds gave identical insight.json");
+}
+
+/// Insight-exact resume: killing a session at an iteration boundary and
+/// resuming from the text checkpoint yields an `insight.json` byte-
+/// identical to the uninterrupted run's — the analyzer sees the same
+/// rounds, refits and coverage either way.
+#[test]
+fn resumed_insight_report_matches_uninterrupted_run() {
+    let full = insight_json(13, 32, None);
+    let resumed = insight_json(13, 32, Some(16));
+    assert_eq!(resumed, full, "post-resume insight.json diverged");
+}
+
+/// The perf-trajectory snapshot is deterministic too: building the same
+/// `BENCH_heron.json` workload entry twice from same-seed sessions gives
+/// byte-identical documents, and the gate passes self-comparison.
+#[test]
+fn bench_snapshot_json_is_byte_identical_for_same_seed() {
+    use heron::insight::{compare, BenchReport, CompareConfig, WorkloadBench};
+
+    let snapshot = |seed: u64| -> BenchReport {
+        let mut tuner = Tuner::new(
+            space(),
+            Measurer::new(heron::dla::v100()),
+            TuneConfig::quick(24),
+            seed,
+        )
+        .with_insight(8);
+        let result = tuner.run();
+        let log = tuner.insight().expect("insight enabled");
+        let mut report = BenchReport::new(seed, 24);
+        report.push(WorkloadBench {
+            name: "det".into(),
+            best_gflops: result.best_gflops,
+            best_latency_us: result.best_latency_s * 1e6,
+            trials: result.curve.len() as u32,
+            valid_trials: result.valid_trials as u32,
+            rounds: log.rounds.len() as u32,
+            hw_measure_s: result.timing.hw_measure_s,
+            randsat_solutions: 0,
+            randsat_propagations: 0,
+            sol_per_kprop: 0.0,
+            model_fits: log.refits.len() as u32,
+            final_rank_accuracy: result.model_rank_accuracy.unwrap_or(0.0),
+        });
+        report
+    };
+
+    let a = snapshot(7);
+    let b = snapshot(7);
+    let (ja, jb) = (a.to_json().render_pretty(), b.to_json().render_pretty());
+    assert_eq!(ja, jb, "same-seed BENCH_heron.json diverged");
+    heron::insight::validate_bench(&a.to_json()).expect("schema-valid snapshot");
+    assert!(
+        compare(&a, &b, &CompareConfig::default()).is_empty(),
+        "self-comparison must pass the gate"
+    );
+
+    let c = snapshot(9);
+    assert_ne!(
+        ja,
+        c.to_json().render_pretty(),
+        "different seeds gave identical snapshots"
+    );
+}
+
 /// RandSAT (constraint-guided random sampling) is a pure function of
 /// (CSP, seed): same seed, same solutions, in the same order.
 #[test]
