@@ -34,9 +34,9 @@ fn main() {
 
     let prop = Propagator::new(&space.csp);
     h.bench("propagate/gemm-1024/run_all", || {
-        let mut domains = prop.initial_domains();
-        prop.run_all(&mut domains).expect("feasible");
-        black_box(domains.len())
+        let mut store = prop.store();
+        prop.run_all(&mut store).expect("feasible");
+        black_box(store.min(0))
     });
 
     let mut rng = HeronRng::from_seed(3);

@@ -1,0 +1,93 @@
+//! Micro-bench (heron-testkit): trail+bitset RandSAT vs the historical
+//! clone-based engine (`heron_testkit::csp_reference`) on the conv2d
+//! `CSP_initial` — the speed-campaign receipt for the solver rewrite.
+//!
+//! Both engines draw the same 16-solution sample with the same seed and
+//! policy, so the comparison is apples-to-apples: identical solution
+//! sequences (enforced by `crates/csp/tests/prop_equiv.rs`), different
+//! machinery. Besides the usual per-engine timing rows, the run prints
+//! a summary with the wall-clock speedup and the propagation-pass
+//! counts; the rewrite should show ~2× wall-clock and ≥2× fewer passes
+//! for the same sample on this space. (Raw passes/sec is *not*
+//! comparable across the engines: a trail-engine `PROD`/`SUM`/`SELECT`
+//! pass runs its filter to a local fixpoint, so each pass does strictly
+//! more work than a reference pass.)
+
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_csp::SolvePolicy;
+use heron_rng::HeronRng;
+use heron_tensor::ops;
+use heron_testkit::bench::{black_box, Harness};
+use heron_testkit::csp_reference::rand_sat_reference;
+use std::time::Instant;
+
+const SEED: u64 = 2023;
+const SAMPLES: usize = 16;
+
+fn space() -> heron_core::generate::GeneratedSpace {
+    let dag = ops::conv2d(ops::Conv2dConfig::new(1, 14, 14, 64, 64, 3, 3, 1, 1));
+    SpaceGenerator::new(heron_dla::v100())
+        .generate_named(&dag, &SpaceOptions::heron(), "c2d-14x64")
+        .expect("generates")
+}
+
+/// Times `reps` fresh-seeded runs of `f`, which returns the run's
+/// propagation count. Returns (total seconds, total propagations).
+fn measure(reps: u32, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    black_box(f()); // warmup
+    let mut props = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        props += black_box(f());
+    }
+    (t0.elapsed().as_secs_f64(), props)
+}
+
+fn main() {
+    let mut h = Harness::new("solver_speedup");
+    let space = space();
+    let policy = SolvePolicy::default();
+
+    h.bench("reference/c2d-14x64/16-solutions", || {
+        let mut rng = HeronRng::from_seed(SEED);
+        let out = rand_sat_reference(&space.csp, &mut rng, SAMPLES, &policy);
+        black_box(out.solutions.len())
+    });
+    h.bench("trail/c2d-14x64/16-solutions", || {
+        let mut rng = HeronRng::from_seed(SEED);
+        let out = heron_csp::rand_sat(&space.csp, &mut rng, SAMPLES);
+        black_box(out.solutions.len())
+    });
+
+    let reps = std::env::var("HERON_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15u32);
+    let (ref_s, ref_props) = measure(reps, || {
+        let mut rng = HeronRng::from_seed(SEED);
+        rand_sat_reference(&space.csp, &mut rng, SAMPLES, &policy)
+            .stats
+            .propagations
+    });
+    let (new_s, new_props) = measure(reps, || {
+        let mut rng = HeronRng::from_seed(SEED);
+        heron_csp::rand_sat(&space.csp, &mut rng, SAMPLES)
+            .stats
+            .propagations
+    });
+    let ref_pps = ref_props as f64 / ref_s;
+    let new_pps = new_props as f64 / new_s;
+    eprintln!(
+        "  summary: wall-clock speedup {:.2}x | props/run {} -> {} ({:.2}x fewer) | \
+         props/sec {:.2}M -> {:.2}M ({:.2}x)",
+        ref_s / new_s,
+        ref_props / u64::from(reps),
+        new_props / u64::from(reps),
+        ref_props as f64 / new_props as f64,
+        ref_pps / 1e6,
+        new_pps / 1e6,
+        new_pps / ref_pps,
+    );
+
+    h.finish();
+}

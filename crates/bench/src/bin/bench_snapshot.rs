@@ -41,15 +41,26 @@ fn workloads() -> Vec<(&'static str, Dag)> {
 /// Count-based RandSAT throughput probe: solutions per 1000 propagations
 /// when drawing `n` samples of `CSP_initial`. Deterministic (counts, not
 /// time).
-fn randsat_probe(csp: &heron_csp::Csp, seed: u64, n: usize) -> (u64, u64, f64) {
+fn randsat_probe(csp: &heron_csp::Csp, seed: u64, n: usize) -> (heron_csp::SolveStats, f64) {
+    // Session-based, mirroring how the tuner consumes the solver: the
+    // one-time root fixpoint is session setup (see the `SolveSession`
+    // determinism note) and is excluded from the probe's counts.
     let mut rng = HeronRng::from_seed(seed);
-    let stats = heron_csp::rand_sat(csp, &mut rng, n).stats;
+    let mut session = heron_csp::SolveSession::new(csp);
+    let stats = session
+        .solve(
+            &mut rng,
+            n,
+            &heron_csp::SolvePolicy::default(),
+            &heron_trace::Tracer::disabled(),
+        )
+        .stats;
     let per_kprop = if stats.propagations == 0 {
         0.0
     } else {
         stats.solutions as f64 * 1000.0 / stats.propagations as f64
     };
-    (stats.solutions, stats.propagations, per_kprop)
+    (stats, per_kprop)
 }
 
 fn main() {
@@ -75,6 +86,8 @@ fn main() {
             "rounds",
             "hw_measure_s",
             "sol_per_kprop",
+            "max_trail",
+            "incr_hits",
             "model_fits",
             "rank_acc",
         ],
@@ -83,7 +96,7 @@ fn main() {
         let space = SpaceGenerator::new(spec.clone())
             .generate_named(&dag, &SpaceOptions::heron(), name)
             .expect("space generates");
-        let (sols, props, per_kprop) = randsat_probe(&space.csp, seed, 64);
+        let (probe, per_kprop) = randsat_probe(&space.csp, seed, 64);
         let mut tuner = Tuner::new(
             space,
             Measurer::new(spec.clone()),
@@ -101,9 +114,17 @@ fn main() {
             valid_trials: result.valid_trials as u32,
             rounds: log.rounds.len() as u32,
             hw_measure_s: result.timing.hw_measure_s,
-            randsat_solutions: sols,
-            randsat_propagations: props,
+            randsat_solutions: probe.solutions,
+            randsat_propagations: probe.propagations,
             sol_per_kprop: per_kprop,
+            randsat_max_trail: log
+                .rounds
+                .iter()
+                .map(|r| r.solver_max_trail)
+                .max()
+                .unwrap_or(0)
+                .max(probe.max_trail_depth),
+            incremental_hits: log.rounds.iter().map(|r| r.solver_incremental).sum(),
             model_fits: log.refits.len() as u32,
             final_rank_accuracy: result.model_rank_accuracy.unwrap_or(0.0),
         };
@@ -116,6 +137,8 @@ fn main() {
             w.rounds.to_string(),
             format!("{:.3}", w.hw_measure_s),
             format!("{:.4}", w.sol_per_kprop),
+            w.randsat_max_trail.to_string(),
+            w.incremental_hits.to_string(),
             w.model_fits.to_string(),
             format!("{:.4}", w.final_rank_accuracy),
         ]);

@@ -14,7 +14,9 @@
 //! samples of `CSP_initial` and bailing out after a bounded number of
 //! stalled rounds instead of spinning forever.
 
-use heron_csp::{rand_sat_traced, Csp, Solution, SolvePolicy, SolveStatus, VarRef};
+use heron_csp::{
+    rand_sat_traced, Csp, Solution, SolvePolicy, SolveSession, SolveStats, SolveStatus, VarRef,
+};
 use heron_rng::HeronRng;
 use heron_rng::IndexedRandom;
 use heron_rng::Rng;
@@ -52,6 +54,38 @@ pub fn offspring_csp<R: Rng>(
     csp
 }
 
+/// The *pin form* of one offspring: Algorithm 3's crossover `IN`
+/// constraints compiled to `(variable, allowed values)` pairs for
+/// [`SolveSession::solve_pinned`], instead of a cloned-and-reposted CSP.
+///
+/// Consumes the RNG exactly like [`offspring_csp`] (one draw for the
+/// mutation drop), and produces the same constraint set — values sorted
+/// and deduplicated as `Csp::post_in` would — so the two representations
+/// sample identical chromosome streams from the same seed.
+pub fn offspring_pins<R: Rng>(
+    key_vars: &[VarRef],
+    c1: &Solution,
+    c2: &Solution,
+    rng: &mut R,
+) -> Vec<(VarRef, Vec<i64>)> {
+    if key_vars.is_empty() {
+        return Vec::new();
+    }
+    // Step-3 mutation: drop one crossover constraint at random.
+    let dropped = rng.random_range(0..key_vars.len());
+    let mut pins = Vec::with_capacity(key_vars.len().saturating_sub(1));
+    for (idx, &v) in key_vars.iter().enumerate() {
+        if idx == dropped {
+            continue;
+        }
+        let mut values = vec![c1.value(v), c2.value(v)];
+        values.sort_unstable();
+        values.dedup();
+        pins.push((v, values));
+    }
+    pins
+}
+
 /// Result of materialising one offspring CSP, possibly after repair.
 #[derive(Debug, Clone)]
 pub struct OffspringOutcome {
@@ -63,6 +97,9 @@ pub struct OffspringOutcome {
     pub relaxed: u32,
     /// Whether any solve attempt hit the step deadline.
     pub deadline_hit: bool,
+    /// Solver counters aggregated over every solve attempt (initial and
+    /// repair retries).
+    pub stats: SolveStats,
 }
 
 /// Materialises an offspring chromosome, repairing over-constrained CSPs.
@@ -87,8 +124,10 @@ pub fn materialize_offspring<R: Rng>(
         .saturating_sub(initial.num_constraints()) as u32;
     let mut relaxed = 0u32;
     let mut deadline_hit = false;
+    let mut stats = SolveStats::default();
     loop {
         let outcome = rand_sat_traced(&offspring, rng, 1, policy, tracer);
+        stats.absorb(&outcome.stats);
         if outcome.status == SolveStatus::DeadlineExceeded {
             deadline_hit = true;
         }
@@ -101,6 +140,7 @@ pub fn materialize_offspring<R: Rng>(
                 solution: Some(sol),
                 relaxed,
                 deadline_hit,
+                stats,
             };
         }
         if relaxed >= injected {
@@ -108,9 +148,60 @@ pub fn materialize_offspring<R: Rng>(
                 solution: None,
                 relaxed,
                 deadline_hit,
+                stats,
             };
         }
         offspring.pop_constraints(1);
+        relaxed += 1;
+    }
+}
+
+/// [`materialize_offspring`] on a [`SolveSession`]: the incremental-solve
+/// fast path. The offspring is described by `pins`
+/// (see [`offspring_pins`]) and solved from the session's cached root
+/// fixpoint; repair pops the **most recently injected** pin and retries,
+/// matching the CSP-materialising path's drop order — and, because the
+/// pinned fixpoint equals the from-scratch fixpoint, its exact solution
+/// stream.
+///
+/// Emits the same `csp.repairs` / `csp.relaxed_constraints` counters.
+pub fn materialize_offspring_session<R: Rng>(
+    session: &mut SolveSession,
+    mut pins: Vec<(VarRef, Vec<i64>)>,
+    rng: &mut R,
+    policy: &SolvePolicy,
+    tracer: &Tracer,
+) -> OffspringOutcome {
+    let mut relaxed = 0u32;
+    let mut deadline_hit = false;
+    let mut stats = SolveStats::default();
+    loop {
+        let outcome = session.solve_pinned(&pins, rng, 1, policy, tracer);
+        stats.absorb(&outcome.stats);
+        if outcome.status == SolveStatus::DeadlineExceeded {
+            deadline_hit = true;
+        }
+        if let Some(sol) = outcome.one() {
+            if relaxed > 0 {
+                tracer.counter_add("csp.repairs", 1);
+                tracer.counter_add("csp.relaxed_constraints", u64::from(relaxed));
+            }
+            return OffspringOutcome {
+                solution: Some(sol),
+                relaxed,
+                deadline_hit,
+                stats,
+            };
+        }
+        if pins.is_empty() {
+            return OffspringOutcome {
+                solution: None,
+                relaxed,
+                deadline_hit,
+                stats,
+            };
+        }
+        pins.pop();
         relaxed += 1;
     }
 }
@@ -280,11 +371,14 @@ impl Explorer for CgaExplorer {
         let mut measured: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut survivors: Vec<Chromosome> = Vec::new();
         let mut stalls = 0usize;
+        // One propagator + root fixpoint for the whole run; offspring are
+        // solved incrementally from it via value pins.
+        let mut session = SolveSession::new(&space.csp);
 
         while curve.len() < steps {
             // Step-1: first generation = survivors + fresh random solutions.
             let need = cfg.population.saturating_sub(survivors.len());
-            let outcome = rand_sat_traced(&space.csp, rng, need, &policy, &self.tracer);
+            let outcome = session.solve(rng, need, &policy, &self.tracer);
             if outcome.status == SolveStatus::DeadlineExceeded {
                 stats.deadline_hits += 1;
             }
@@ -324,14 +418,14 @@ impl Explorer for CgaExplorer {
                 for _ in 0..cfg.offspring {
                     let &i1 = parents.as_slice().choose(rng).expect("non-empty");
                     let &i2 = parents.as_slice().choose(rng).expect("non-empty");
-                    let csp = offspring_csp(
-                        &space.csp,
-                        &key_vars,
-                        &pop[i1].solution,
-                        &pop[i2].solution,
+                    let pins = offspring_pins(&key_vars, &pop[i1].solution, &pop[i2].solution, rng);
+                    let off = materialize_offspring_session(
+                        &mut session,
+                        pins,
                         rng,
+                        &policy,
+                        &self.tracer,
                     );
-                    let off = materialize_offspring(&space.csp, csp, rng, &policy, &self.tracer);
                     if off.relaxed > 0 && off.solution.is_some() {
                         stats.repairs += 1;
                         stats.relaxed_constraints += u64::from(off.relaxed);
@@ -344,8 +438,7 @@ impl Explorer for CgaExplorer {
                         None => {
                             // Graceful degradation: sample CSP_initial
                             // directly instead of dropping the slot.
-                            let fb =
-                                rand_sat_traced(&space.csp, rng, 1, &policy, &self.tracer).one();
+                            let fb = session.solve(rng, 1, &policy, &self.tracer).one();
                             if fb.is_some() {
                                 stats.fallback_samples += 1;
                                 self.tracer.counter_add("cga.fallback_samples", 1);
@@ -501,6 +594,58 @@ mod tests {
         let sol = out.solution.expect("solvable after one drop");
         assert_eq!(out.relaxed, 1);
         assert_eq!(sol.value(VarRef(0)), 2, "older IN constraint must survive");
+    }
+
+    #[test]
+    fn session_offspring_matches_materialised_offspring() {
+        // The pin-based incremental path and the CSP-materialising path
+        // must sample identical chromosome streams from identical seeds,
+        // including under repair.
+        let csp = toy_csp();
+        let keys: Vec<VarRef> = csp.tunables();
+        let policy = SolvePolicy::fixed(500);
+        let tracer = Tracer::disabled();
+        let mut rng = HeronRng::from_seed(4);
+        let parents = heron_csp::rand_sat(&csp, &mut rng, 2).expect_sat("toy csp");
+        let mut session = SolveSession::new(&csp);
+        for seed in 0..10u64 {
+            let mut rng_a = HeronRng::from_seed(seed);
+            let mut rng_b = HeronRng::from_seed(seed);
+            let pins = offspring_pins(&keys, &parents[0], &parents[1], &mut rng_a);
+            let child = offspring_csp(&csp, &keys, &parents[0], &parents[1], &mut rng_b);
+            let a = materialize_offspring_session(&mut session, pins, &mut rng_a, &policy, &tracer);
+            let b = materialize_offspring(&csp, child, &mut rng_b, &policy, &tracer);
+            assert_eq!(a.solution, b.solution, "offspring stream diverged");
+            assert_eq!(a.relaxed, b.relaxed);
+            assert_eq!(a.deadline_hit, b.deadline_hit);
+            assert!(a.stats.incremental_hits >= 1);
+            assert!(
+                a.stats.propagations <= b.stats.propagations,
+                "incremental offspring solve must not propagate more"
+            );
+        }
+    }
+
+    #[test]
+    fn session_repair_recovers_over_constrained_pins() {
+        let csp = toy_csp();
+        let mut session = SolveSession::new(&csp);
+        let mut rng = HeronRng::from_seed(7);
+        // x pinned to {2} is satisfiable; the later y pin to {3} (not in
+        // the domain) is poison — repair must drop it and keep x == 2.
+        let pins = vec![(VarRef(0), vec![2]), (VarRef(1), vec![3])];
+        let policy = SolvePolicy::fixed(500);
+        let out = materialize_offspring_session(
+            &mut session,
+            pins,
+            &mut rng,
+            &policy,
+            &Tracer::disabled(),
+        );
+        let sol = out.solution.expect("solvable after one drop");
+        assert_eq!(out.relaxed, 1);
+        assert_eq!(sol.value(VarRef(0)), 2, "older pin must survive repair");
+        assert!(heron_csp::validate(&csp, &sol));
     }
 
     #[test]

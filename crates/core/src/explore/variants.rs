@@ -185,29 +185,30 @@ pub fn sat_decode(
     rng: &mut HeronRng,
 ) -> Option<Solution> {
     use heron_csp::propagate::Propagator;
+    use heron_csp::Dom;
     let csp = &space.csp;
     let prop = Propagator::new(csp);
-    let mut domains = prop.initial_domains();
-    if prop.run_all(&mut domains).is_err() {
+    let mut store = prop.store();
+    if prop.run_all(&mut store).is_err() {
         return None;
     }
     for var in csp.tunables() {
         let gene = genotype.value(var);
-        let dom = &domains[var.0];
-        let pick = if dom.contains(gene) {
+        let pick = if store.contains(var.0, gene) {
             gene
         } else {
             // Nearest value in the current domain.
-            let options: Vec<i64> = match dom {
-                Domain::Values(v) => v.clone(),
-                Domain::Range { lo, hi } => vec![*lo, *hi],
+            let options: Vec<i64> = match store.dom(var.0) {
+                Dom::Bits(_) => store.value_list(var.0),
+                Dom::Wide(Domain::Values(v)) => v.clone(),
+                Dom::Wide(Domain::Range { lo, hi }) => vec![*lo, *hi],
             };
             *options
                 .iter()
                 .min_by_key(|&&v| (v - gene).abs())
                 .expect("domains are non-empty")
         };
-        if domains[var.0].fix(pick).is_err() || prop.run_from(&mut domains, var).is_err() {
+        if store.fix(var.0, pick).is_err() || prop.run_from(&mut store, var).is_err() {
             // Re-solve from scratch for the remainder.
             return rand_sat_with_budget(csp, rng, 1, 200).one();
         }
@@ -215,7 +216,7 @@ pub fn sat_decode(
     // Complete any remaining free variables through the solver with pins.
     let mut pinned = csp.clone();
     for var in csp.tunables() {
-        if let Some(v) = domains[var.0].fixed_value() {
+        if let Some(v) = store.fixed_value(var.0) {
             pinned.post_in(var, [v]);
         }
     }

@@ -32,7 +32,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
-use heron_csp::{rand_sat_traced, tunable_domains, Solution, SolveStats, SolveStatus};
+use heron_csp::{tunable_domains, Solution, SolveSession, SolveStats, SolveStatus};
 use heron_dla::{FaultPlan, FaultyMeasurer, MeasureError, Measurement, Measurer};
 use heron_insight::{population_entropy_bits, RefitRecord, RoundRecord, SearchLog};
 use heron_rng::HeronRng;
@@ -41,7 +41,7 @@ use heron_sched::{lower, Kernel, LowerError};
 use heron_trace::{ProfileNode, Tracer};
 
 use crate::checkpoint::{CheckpointError, TuneCheckpoint};
-use crate::explore::cga::{materialize_offspring, offspring_csp, CgaConfig};
+use crate::explore::cga::{materialize_offspring_session, offspring_pins, CgaConfig};
 use crate::explore::{eps_greedy_detailed, roulette_wheel, Chromosome};
 use crate::generate::GeneratedSpace;
 use crate::model::CostModel;
@@ -530,6 +530,11 @@ pub struct Tuner {
     rng: HeronRng,
     state: SessionState,
     tracer: Tracer,
+    /// Long-lived solver state: propagator adjacency and the cached root
+    /// fixpoint, built once per session (and rebuilt identically on
+    /// resume — its setup cost is never charged to any round's stats, so
+    /// resumed runs stay byte-identical).
+    solver: SolveSession,
 }
 
 impl Tuner {
@@ -540,6 +545,7 @@ impl Tuner {
             FaultPlan::none(seed),
         );
         let state = SessionState::fresh(&space);
+        let solver = SolveSession::new(&space.csp);
         Tuner {
             space,
             measurer,
@@ -547,6 +553,7 @@ impl Tuner {
             rng: HeronRng::from_seed(seed),
             state,
             tracer: Tracer::disabled(),
+            solver,
         }
     }
 
@@ -622,6 +629,7 @@ impl Tuner {
         &self,
         snap: &RoundSnapshot,
         solver: &SolveStats,
+        offspring: &SolveStats,
         population: usize,
     ) -> Option<RoundRecord> {
         let log = self.state.insight.as_ref()?;
@@ -637,6 +645,8 @@ impl Tuner {
         rec.solver_attempts = solver.attempts;
         rec.solver_propagations = solver.propagations;
         rec.solver_wipeouts = solver.wipeouts;
+        rec.solver_max_trail = solver.max_trail_depth.max(offspring.max_trail_depth);
+        rec.solver_incremental = offspring.incremental_hits;
         Some(rec)
     }
 
@@ -646,9 +656,10 @@ impl Tuner {
         &mut self,
         snap: &RoundSnapshot,
         solver: &SolveStats,
+        offspring: &SolveStats,
         population: usize,
     ) {
-        let Some(mut rec) = self.insight_round_record(snap, solver, population) else {
+        let Some(mut rec) = self.insight_round_record(snap, solver, offspring, population) else {
             return;
         };
         rec.stalled = true;
@@ -724,6 +735,11 @@ impl Tuner {
         let insight_on = self.state.insight.is_some();
         let snap = RoundSnapshot::of(&self.state.result);
         let mut round_solver = SolveStats::default();
+        // Solver work spent materialising offspring (incremental pinned
+        // re-solves); kept apart from `round_solver` so the populate /
+        // fallback columns of the round record keep their historical
+        // meaning.
+        let mut round_offspring = SolveStats::default();
 
         // ---- Step 1: first generation --------------------------------
         let t = Instant::now();
@@ -733,7 +749,7 @@ impl Tuner {
             .population
             .saturating_sub(self.state.survivors.len());
         let populate_span = tracer.span_with("cga.populate", || [("need", need.to_string())]);
-        let outcome = rand_sat_traced(&self.space.csp, &mut self.rng, need, &policy, &tracer);
+        let outcome = self.solver.solve(&mut self.rng, need, &policy, &tracer);
         let populate_status = outcome.status;
         round_solver.absorb(&outcome.stats);
         if populate_status == SolveStatus::DeadlineExceeded {
@@ -747,7 +763,7 @@ impl Tuner {
             solution,
         }));
         if pop.is_empty() {
-            self.record_stalled_round(&snap, &round_solver, 0);
+            self.record_stalled_round(&snap, &round_solver, &round_offspring, 0);
             if populate_status == SolveStatus::RootInfeasible {
                 // A propagation wipeout at the root is an UNSAT *proof*:
                 // the space admits no solution at all.
@@ -791,16 +807,21 @@ impl Tuner {
             for _ in 0..cfg.cga.offspring {
                 let &i1 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
                 let &i2 = parents.as_slice().choose(&mut self.rng).expect("non-empty");
-                let csp = offspring_csp(
-                    &self.space.csp,
+                let pins = offspring_pins(
                     &key_vars,
                     &pop[i1].solution,
                     &pop[i2].solution,
                     &mut self.rng,
                 );
                 tracer.counter_add("cga.offspring_attempted", 1);
-                let off =
-                    materialize_offspring(&self.space.csp, csp, &mut self.rng, &policy, &tracer);
+                let off = materialize_offspring_session(
+                    &mut self.solver,
+                    pins,
+                    &mut self.rng,
+                    &policy,
+                    &tracer,
+                );
+                round_offspring.absorb(&off.stats);
                 if off.deadline_hit {
                     self.state.result.solver_deadline_hits += 1;
                 }
@@ -818,8 +839,7 @@ impl Tuner {
                         // Graceful degradation: replace the unrecoverable
                         // offspring with a fresh sample of CSP_initial so
                         // the generation keeps its size.
-                        let fallback =
-                            rand_sat_traced(&self.space.csp, &mut self.rng, 1, &policy, &tracer);
+                        let fallback = self.solver.solve(&mut self.rng, 1, &policy, &tracer);
                         round_solver.absorb(&fallback.stats);
                         if let Some(sol) = fallback.one() {
                             self.state.result.fallback_samples += 1;
@@ -875,7 +895,9 @@ impl Tuner {
             let population = pop.len();
             drop(unmeasured);
             drop(pop);
-            if let Some(mut rec) = self.insight_round_record(&snap, &round_solver, population) {
+            if let Some(mut rec) =
+                self.insight_round_record(&snap, &round_solver, &round_offspring, population)
+            {
                 rec.stalled = true;
                 rec.entropy_bits = entropy_bits;
                 rec.distinct_solutions = distinct as u32;
@@ -946,7 +968,9 @@ impl Tuner {
         });
 
         // ---- Search-health log record for this round ------------------
-        if let Some(mut rec) = self.insight_round_record(&snap, &round_solver, population) {
+        if let Some(mut rec) =
+            self.insight_round_record(&snap, &round_solver, &round_offspring, population)
+        {
             rec.batch_size = batch_scores.len() as u32;
             rec.batch_best_gflops = batch_scores.iter().copied().fold(0.0_f64, f64::max);
             rec.batch_mean_gflops =
@@ -1288,6 +1312,7 @@ impl Tuner {
         };
         let measurer =
             FaultyMeasurer::new(measurer.with_protocol(config.measure_repeats, 0.01), plan);
+        let solver = SolveSession::new(&space.csp);
         Ok(Tuner {
             space,
             measurer,
@@ -1295,6 +1320,7 @@ impl Tuner {
             rng,
             state,
             tracer: Tracer::disabled(),
+            solver,
         })
     }
 }

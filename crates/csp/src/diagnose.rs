@@ -71,8 +71,8 @@ impl std::fmt::Display for ConflictReport {
 /// means the root survived bounds-consistent filtering).
 pub fn root_feasible(csp: &Csp) -> bool {
     let prop = Propagator::new(csp);
-    let mut domains = prop.initial_domains();
-    prop.run_all(&mut domains).is_ok()
+    let mut store = prop.store();
+    prop.run_all(&mut store).is_ok()
 }
 
 /// Diagnoses a root-infeasible CSP.

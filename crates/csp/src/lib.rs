@@ -32,16 +32,20 @@ pub mod domain;
 pub mod problem;
 pub mod propagate;
 pub mod serialize;
+pub mod session;
 pub mod solver;
 pub mod stats;
+pub mod store;
 
 pub use constraint::Constraint;
 pub use diagnose::{diagnose_root_conflict, root_feasible, ConflictEntry, ConflictReport};
 pub use domain::Domain;
 pub use problem::{Csp, Solution, VarCategory, VarRef};
 pub use serialize::{from_text, solution_from_text, solution_to_text, to_text};
+pub use session::SolveSession;
 pub use solver::{
     rand_sat, rand_sat_policy, rand_sat_traced, rand_sat_with_budget, validate, SolveOutcome,
     SolvePolicy, SolveStats, SolveStatus,
 };
 pub use stats::{tunable_domains, SpaceCensus};
+pub use store::{Dom, DomainStore, VarTables};

@@ -1,16 +1,62 @@
-//! Worklist-based domain propagation.
+//! Worklist-based domain propagation over a [`DomainStore`].
 //!
 //! Each constraint contributes a (bounds-consistent, sometimes stronger)
 //! filtering rule. Propagation is *sound*: it only removes values that
 //! cannot appear in any solution; it is deliberately not complete (complete
 //! filtering of PROD is NP-hard), which is the standard CP trade-off.
+//!
+//! The engine is built once per CSP and owns everything it needs —
+//! constraint list, per-variable watch lists (properly deduplicated, so a
+//! constraint mentioning a variable in non-adjacent positions is woken
+//! once), precompiled `IN` bitmasks, and the initial domain state — so a
+//! tuner session can reuse one `Propagator` across thousands of solves
+//! instead of rebuilding the adjacency on every offspring.
+//!
+//! Because every filter is sound and monotone, chaotic iteration reaches
+//! the *same* least fixpoint (and the same wipeout verdict) under any
+//! fair schedule — so the engine is free to reorder and skip work as
+//! long as it never skips a pass that could still prune. Four
+//! propagation-count optimisations exploit that freedom:
+//!
+//! * **Entailment dormancy** — a filter pass reports when its constraint
+//!   has become *entailed* (can never prune again while domains only
+//!   shrink: `IN` after any successful pass, `LE` once `max(a) ≤ min(b)`,
+//!   `EQ`/`PROD`/`SUM`/`SELECT` once the touched variables are fixed).
+//!   Dormant constraints are skipped at enqueue time; the flags live on
+//!   the [`DomainStore`] trail, so entailment discovered inside a dive is
+//!   undone on backtrack.
+//! * **Local-fixpoint filters (no self-wakes)** — one `IN`/`LE`/`EQ`
+//!   pass is naturally idempotent, and a `PROD`/`SUM`/`SELECT` pass runs
+//!   its filtering rule *to its own local fixpoint* before returning
+//!   (bounds feedback between the output and the factors converges
+//!   within the pass). Re-running any filter immediately is therefore a
+//!   guaranteed no-op, so constraints never re-enqueue themselves — the
+//!   historical engine paid one no-op verification pass per productive
+//!   `PROD`/`SUM`/`SELECT` pass.
+//! * **Event-based wakeups** — each domain change is classified as
+//!   min-raised / max-lowered / interior-only, and a watcher is woken
+//!   only when the event can enable new pruning. `PROD`/`SUM` filters
+//!   read nothing but bounds, so interior-only removals never wake them;
+//!   `LE(a, b)` additionally only consumes `min(a)` and `max(b)`, so it
+//!   wakes on exactly that event on exactly that side. `EQ`/`IN`/`SELECT`
+//!   read whole value sets and keep wake-on-any-change. A skipped wake
+//!   can at most delay a *dormancy marking*, never a pruning, so
+//!   fixpoints are unchanged (enforced against the historical engine by
+//!   `tests/prop_equiv.rs`).
+//! * **Two-tier priority queue** — the worklist drains cheap filters
+//!   (`EQ`/`IN`/`LE`) before expensive local-fixpoint filters
+//!   (`PROD`/`SUM`/`SELECT`), so each heavy pass runs against the
+//!   tightest bounds the cheap tier can derive and converges in fewer
+//!   rounds. Scheduling order cannot change the fixpoint (confluence
+//!   above), only how many passes it takes to get there.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use crate::constraint::Constraint;
-use crate::domain::Domain;
 use crate::problem::{Csp, VarRef};
+use crate::store::{dom_for, Dom, DomainStore, VarTables};
 
 /// Returned when propagation proves the current domains unsatisfiable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,13 +70,63 @@ impl std::fmt::Display for Infeasible {
 
 impl std::error::Error for Infeasible {}
 
-/// Reusable propagation engine for one CSP (precomputes the variable →
-/// constraint adjacency).
+/// One domain shrink, classified for event-based wakeups: which bounds
+/// moved. `min: false, max: false` means only interior values were
+/// removed — invisible to pure bounds consumers.
+#[derive(Debug, Clone, Copy)]
+struct Change {
+    var: VarRef,
+    min: bool,
+    max: bool,
+}
+
+impl Change {
+    /// A change whose kind is derived by comparing the variable's bounds
+    /// against a pre-operation snapshot.
+    fn since(store: &DomainStore, var: VarRef, pre_lo: i64, pre_hi: i64) -> Change {
+        Change {
+            var,
+            min: store.min(var.0) != pre_lo,
+            max: store.max(var.0) != pre_hi,
+        }
+    }
+
+    /// A `restrict_min` result: only the lower bound moved.
+    fn min_raised(var: VarRef) -> Change {
+        Change {
+            var,
+            min: true,
+            max: false,
+        }
+    }
+
+    /// A `restrict_max` result: only the upper bound moved.
+    fn max_lowered(var: VarRef) -> Change {
+        Change {
+            var,
+            min: false,
+            max: true,
+        }
+    }
+}
+
+/// Reusable propagation engine for one CSP.
+///
+/// Owns a copy of the constraints and the precomputed variable →
+/// constraint adjacency, so it has no borrow of the originating [`Csp`]
+/// and can live inside a long-lived solver session.
 #[derive(Debug)]
-pub struct Propagator<'a> {
-    csp: &'a Csp,
-    /// For each variable, the indices of constraints mentioning it.
+pub struct Propagator {
+    constraints: Vec<Constraint>,
+    /// For each variable, the (sorted, deduplicated) indices of
+    /// constraints mentioning it.
     watching: Vec<Vec<u32>>,
+    tables: Rc<VarTables>,
+    /// Declared domains in store representation.
+    init: Vec<Dom>,
+    /// Per-constraint precompiled `IN` mask (constraints that are `IN` on
+    /// a bitset variable filter with a single AND).
+    in_masks: Vec<Option<u64>>,
     /// Number of single-constraint filtering passes executed (observability
     /// counter; `Cell` keeps the propagation API `&self`).
     propagations: Cell<u64>,
@@ -38,24 +134,50 @@ pub struct Propagator<'a> {
     wipeouts: Cell<u64>,
 }
 
-impl<'a> Propagator<'a> {
+impl Propagator {
     /// Builds the engine for `csp`.
-    pub fn new(csp: &'a Csp) -> Self {
+    pub fn new(csp: &Csp) -> Self {
+        let tables = Rc::new(VarTables::for_csp(csp));
         let mut watching = vec![Vec::new(); csp.num_vars()];
+        let mut in_masks = Vec::with_capacity(csp.num_constraints());
         for (ci, c) in csp.constraints().iter().enumerate() {
-            for v in c.vars() {
-                let w = &mut watching[v.0];
-                if w.last() != Some(&(ci as u32)) {
-                    w.push(ci as u32);
-                }
+            // A constraint may mention the same variable in non-adjacent
+            // positions (SELECT with `out` among the choices, PROD with a
+            // repeated factor): sort + dedup so each variable watches the
+            // constraint exactly once.
+            let mut vars = c.vars();
+            vars.sort_unstable();
+            vars.dedup();
+            for v in vars {
+                watching[v.0].push(ci as u32);
             }
+            in_masks.push(match c {
+                Constraint::In { var, values } => tables.mask_of(var.0, values),
+                _ => None,
+            });
         }
+        let init = csp
+            .vars()
+            .map(|(r, d)| dom_for(&tables, r.0, &d.domain))
+            .collect();
         Propagator {
-            csp,
+            constraints: csp.constraints().to_vec(),
             watching,
+            tables,
+            init,
+            in_masks,
             propagations: Cell::new(0),
             wipeouts: Cell::new(0),
         }
+    }
+
+    /// A fresh store over the declared domains (untracked, no dormancy).
+    pub fn store(&self) -> DomainStore {
+        DomainStore::new(
+            self.tables.clone(),
+            self.init.clone(),
+            self.constraints.len(),
+        )
     }
 
     /// Total single-constraint filtering passes executed so far.
@@ -74,101 +196,258 @@ impl<'a> Propagator<'a> {
         self.wipeouts.set(0);
     }
 
-    /// Initial domains as declared.
-    pub fn initial_domains(&self) -> Vec<Domain> {
-        self.csp.vars().map(|(_, d)| d.domain.clone()).collect()
+    /// Marks every already-entailed constraint dormant using read-only
+    /// bounds checks — no filtering pass runs and no domain changes, so
+    /// the propagation counter and the fixpoint are untouched.
+    ///
+    /// Only meaningful when `store` holds a propagation fixpoint: the
+    /// per-type entailment predicates are the ones `filter` reports at
+    /// the end of a pass, and they assume the last pass has already
+    /// enforced consistency. Called after the root fixpoint (and after
+    /// an incremental pin fixpoint), it catches constraints whose
+    /// entailment arose *after* their final filtering pass — without the
+    /// sweep, every subsequent dive re-runs them for a guaranteed no-op.
+    pub fn sweep_entailed(&self, store: &mut DomainStore) {
+        for (ci, c) in self.constraints.iter().enumerate() {
+            if store.is_dormant(ci) {
+                continue;
+            }
+            let entailed = match c {
+                Constraint::Prod { out, factors } => {
+                    store.is_fixed(out.0) && factors.iter().all(|f| store.is_fixed(f.0))
+                }
+                Constraint::Sum { out, terms } => {
+                    store.is_fixed(out.0) && terms.iter().all(|t| store.is_fixed(t.0))
+                }
+                Constraint::Eq(a, b) => a == b || (store.is_fixed(a.0) && store.is_fixed(b.0)),
+                Constraint::Le(a, b) => store.max(a.0) <= store.min(b.0),
+                // IN goes dormant on its first pass; nothing to sweep.
+                Constraint::In { .. } => false,
+                Constraint::Select {
+                    out,
+                    index,
+                    choices,
+                } => {
+                    store.is_fixed(index.0) && store.is_fixed(out.0) && {
+                        let i = store.min(index.0);
+                        store.is_fixed(choices[i as usize].0)
+                    }
+                }
+            };
+            if entailed {
+                store.set_dormant(ci);
+            }
+        }
     }
 
     /// Runs propagation to fixpoint starting from every constraint.
-    pub fn run_all(&self, domains: &mut [Domain]) -> Result<(), Infeasible> {
-        let all: Vec<u32> = (0..self.csp.num_constraints() as u32).collect();
-        self.run(domains, all)
+    pub fn run_all(&self, store: &mut DomainStore) -> Result<(), Infeasible> {
+        let all: Vec<u32> = (0..self.constraints.len() as u32).collect();
+        self.run(store, all)
     }
 
     /// Runs propagation to fixpoint starting from the constraints watching
     /// `changed_var`.
-    pub fn run_from(&self, domains: &mut [Domain], changed_var: VarRef) -> Result<(), Infeasible> {
-        self.run(domains, self.watching[changed_var.0].to_vec())
+    pub fn run_from(&self, store: &mut DomainStore, changed_var: VarRef) -> Result<(), Infeasible> {
+        self.run(store, self.watching[changed_var.0].clone())
     }
 
-    fn run(&self, domains: &mut [Domain], seed: Vec<u32>) -> Result<(), Infeasible> {
-        let ncons = self.csp.num_constraints();
+    /// [`Propagator::run_from`] for a variable just *fixed* by branching,
+    /// given its pre-fix bounds: seeds only the watchers whose wake
+    /// events actually fired (fixing to the old min leaves `min`
+    /// untouched, so min-sensitive `LE` sides stay asleep).
+    pub fn run_from_fixed(
+        &self,
+        store: &mut DomainStore,
+        var: VarRef,
+        pre_lo: i64,
+        pre_hi: i64,
+    ) -> Result<(), Infeasible> {
+        let val = store.min(var.0);
+        let ch = Change {
+            var,
+            min: val != pre_lo,
+            max: val != pre_hi,
+        };
+        let seed: Vec<u32> = self.watching[var.0]
+            .iter()
+            .copied()
+            .filter(|&wi| self.wakes_on(wi as usize, &ch))
+            .collect();
+        self.run(store, seed)
+    }
+
+    /// Runs propagation to fixpoint starting from the constraints watching
+    /// any of `changed` — the incremental re-solve entry point.
+    pub fn run_from_vars(
+        &self,
+        store: &mut DomainStore,
+        changed: &[VarRef],
+    ) -> Result<(), Infeasible> {
+        let mut seed = Vec::new();
+        for v in changed {
+            seed.extend_from_slice(&self.watching[v.0]);
+        }
+        self.run(store, seed)
+    }
+
+    /// Cheap constraints (`EQ`/`IN`/`LE`: one bounds comparison or a
+    /// single mask AND) drain before expensive ones (`PROD`/`SUM`/
+    /// `SELECT`: local-fixpoint loops over many variables), so a heavy
+    /// pass always sees the strongest bounds the cheap tier can provide.
+    fn is_cheap(&self, ci: usize) -> bool {
+        matches!(
+            self.constraints[ci],
+            Constraint::Eq(..) | Constraint::In { .. } | Constraint::Le(..)
+        )
+    }
+
+    fn run(&self, store: &mut DomainStore, seed: Vec<u32>) -> Result<(), Infeasible> {
+        let ncons = self.constraints.len();
         let mut queued = vec![false; ncons];
-        let mut queue: VecDeque<u32> = VecDeque::with_capacity(seed.len());
+        let mut cheap: VecDeque<u32> = VecDeque::new();
+        let mut heavy: VecDeque<u32> = VecDeque::with_capacity(seed.len());
         for ci in seed {
-            if !queued[ci as usize] {
+            if !queued[ci as usize] && !store.is_dormant(ci as usize) {
                 queued[ci as usize] = true;
-                queue.push_back(ci);
+                if self.is_cheap(ci as usize) {
+                    cheap.push_back(ci);
+                } else {
+                    heavy.push_back(ci);
+                }
             }
         }
-        let mut changed_vars: Vec<VarRef> = Vec::new();
-        while let Some(ci) = queue.pop_front() {
-            queued[ci as usize] = false;
+        let mut changed_vars: Vec<Change> = Vec::new();
+        while let Some(ci) = cheap.pop_front().or_else(|| heavy.pop_front()) {
+            let ci = ci as usize;
+            queued[ci] = false;
+            if store.is_dormant(ci) {
+                // Went dormant while queued; skipping is not a pass.
+                continue;
+            }
             changed_vars.clear();
             self.propagations.set(self.propagations.get() + 1);
-            filter(
-                &self.csp.constraints()[ci as usize],
-                domains,
-                &mut changed_vars,
-            )
-            .map_err(|_| {
+            let entailed = self.filter(ci, store, &mut changed_vars).map_err(|_| {
                 self.wipeouts.set(self.wipeouts.get() + 1);
                 Infeasible
             })?;
-            for v in &changed_vars {
-                for &wi in &self.watching[v.0] {
-                    // The triggering constraint re-enqueues itself too: one
-                    // filtering pass is not idempotent (and constraints may
-                    // mention a variable on both sides).
-                    if !queued[wi as usize] {
-                        queued[wi as usize] = true;
-                        queue.push_back(wi);
+            if entailed {
+                store.set_dormant(ci);
+            }
+            // Filters run to their local fixpoint, so an immediate
+            // re-run of `ci` is always a no-op: no self-wake.
+            for ch in &changed_vars {
+                for &wi in &self.watching[ch.var.0] {
+                    let wi = wi as usize;
+                    if wi != ci && !queued[wi] && !store.is_dormant(wi) && self.wakes_on(wi, ch) {
+                        queued[wi] = true;
+                        if self.is_cheap(wi) {
+                            cheap.push_back(wi as u32);
+                        } else {
+                            heavy.push_back(wi as u32);
+                        }
                     }
                 }
             }
         }
         Ok(())
     }
-}
 
-/// Applies one constraint's filtering rule, recording changed variables.
-fn filter(c: &Constraint, domains: &mut [Domain], changed: &mut Vec<VarRef>) -> Result<(), ()> {
-    match c {
-        Constraint::Prod { out, factors } => filter_prod(*out, factors, domains, changed),
-        Constraint::Sum { out, terms } => filter_sum(*out, terms, domains, changed),
-        Constraint::Eq(a, b) => {
-            let db = domains[b.0].clone();
-            if domains[a.0].intersect(&db)? {
-                changed.push(*a);
-            }
-            let da = domains[a.0].clone();
-            if domains[b.0].intersect(&da)? {
-                changed.push(*b);
-            }
-            Ok(())
+    /// Event filter: whether constraint `wi` can possibly prune after
+    /// `ch`. Pure bounds consumers ignore interior-only removals; `LE`
+    /// additionally only reads one bound of each side.
+    fn wakes_on(&self, wi: usize, ch: &Change) -> bool {
+        match &self.constraints[wi] {
+            Constraint::Eq(..) | Constraint::In { .. } | Constraint::Select { .. } => true,
+            Constraint::Prod { .. } | Constraint::Sum { .. } => ch.min || ch.max,
+            Constraint::Le(a, b) => (ch.var == *a && ch.min) || (ch.var == *b && ch.max),
         }
-        Constraint::Le(a, b) => {
-            let bhi = domains[b.0].max();
-            if domains[a.0].restrict_max(bhi)? {
-                changed.push(*a);
+    }
+
+    /// Applies one constraint's filtering rule, recording changed
+    /// variables. `Ok(true)` means the constraint is now entailed.
+    /// Non-idempotent rules (`PROD`/`SUM`/`SELECT`) iterate to their
+    /// local fixpoint, so re-applying any rule immediately is a no-op.
+    fn filter(
+        &self,
+        ci: usize,
+        store: &mut DomainStore,
+        changed: &mut Vec<Change>,
+    ) -> Result<bool, ()> {
+        match &self.constraints[ci] {
+            Constraint::Prod { out, factors } => {
+                loop {
+                    let before = changed.len();
+                    filter_prod(store, *out, factors, changed)?;
+                    if changed.len() == before {
+                        break;
+                    }
+                }
+                Ok(store.is_fixed(out.0) && factors.iter().all(|f| store.is_fixed(f.0)))
             }
-            let alo = domains[a.0].min();
-            if domains[b.0].restrict_min(alo)? {
-                changed.push(*b);
+            Constraint::Sum { out, terms } => {
+                loop {
+                    let before = changed.len();
+                    filter_sum(store, *out, terms, changed)?;
+                    if changed.len() == before {
+                        break;
+                    }
+                }
+                Ok(store.is_fixed(out.0) && terms.iter().all(|t| store.is_fixed(t.0)))
             }
-            Ok(())
+            Constraint::Eq(a, b) => {
+                let (alo, ahi) = (store.min(a.0), store.max(a.0));
+                if store.intersect_var(a.0, b.0)? {
+                    changed.push(Change::since(store, *a, alo, ahi));
+                }
+                let (blo, bhi) = (store.min(b.0), store.max(b.0));
+                if store.intersect_var(b.0, a.0)? {
+                    changed.push(Change::since(store, *b, blo, bhi));
+                }
+                Ok(a == b || (store.is_fixed(a.0) && store.is_fixed(b.0)))
+            }
+            Constraint::Le(a, b) => {
+                let bhi = store.max(b.0);
+                if store.restrict_max(a.0, bhi)? {
+                    changed.push(Change::max_lowered(*a));
+                }
+                let alo = store.min(a.0);
+                if store.restrict_min(b.0, alo)? {
+                    changed.push(Change::min_raised(*b));
+                }
+                Ok(store.max(a.0) <= store.min(b.0))
+            }
+            Constraint::In { var, values } => {
+                let (lo, hi) = (store.min(var.0), store.max(var.0));
+                let ch = match self.in_masks[ci] {
+                    Some(mask) => store.and_mask(var.0, mask)?,
+                    None => store.restrict_to(var.0, values)?,
+                };
+                if ch {
+                    changed.push(Change::since(store, *var, lo, hi));
+                }
+                // Domains only shrink, so once inside the IN set, always
+                // inside: entailed after any successful pass.
+                Ok(true)
+            }
+            Constraint::Select {
+                out,
+                index,
+                choices,
+            } => {
+                loop {
+                    let before = changed.len();
+                    filter_select(store, *out, *index, choices, changed)?;
+                    if changed.len() == before {
+                        break;
+                    }
+                }
+                Ok(store.is_fixed(index.0) && store.is_fixed(out.0) && {
+                    let i = store.min(index.0);
+                    store.is_fixed(choices[i as usize].0)
+                })
+            }
         }
-        Constraint::In { var, values } => {
-            if domains[var.0].restrict_to(values)? {
-                changed.push(*var);
-            }
-            Ok(())
-        }
-        Constraint::Select {
-            out,
-            index,
-            choices,
-        } => filter_select(*out, *index, choices, domains, changed),
     }
 }
 
@@ -185,23 +464,23 @@ fn sat_prod(vals: impl Iterator<Item = i64>) -> i64 {
 }
 
 fn filter_prod(
+    store: &mut DomainStore,
     out: VarRef,
     factors: &[VarRef],
-    domains: &mut [Domain],
-    changed: &mut Vec<VarRef>,
+    changed: &mut Vec<Change>,
 ) -> Result<(), ()> {
     // Bounds for the product.
-    let lo = sat_prod(factors.iter().map(|f| domains[f.0].min()));
-    let hi = sat_prod(factors.iter().map(|f| domains[f.0].max()));
-    if domains[out.0].restrict_min(lo)? {
-        changed.push(out);
+    let lo = sat_prod(factors.iter().map(|f| store.min(f.0)));
+    let hi = sat_prod(factors.iter().map(|f| store.max(f.0)));
+    if store.restrict_min(out.0, lo)? {
+        changed.push(Change::min_raised(out));
     }
-    if hi < i64::MAX && domains[out.0].restrict_max(hi)? {
-        changed.push(out);
+    if hi < i64::MAX && store.restrict_max(out.0, hi)? {
+        changed.push(Change::max_lowered(out));
     }
-    let out_lo = domains[out.0].min();
-    let out_hi = domains[out.0].max();
-    let out_fixed = domains[out.0].fixed_value();
+    let out_lo = store.min(out.0);
+    let out_hi = store.max(out.0);
+    let out_fixed = store.fixed_value(out.0);
 
     for (i, f) in factors.iter().enumerate() {
         let others_lo = sat_prod(
@@ -209,44 +488,32 @@ fn filter_prod(
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, g)| domains[g.0].min()),
+                .map(|(_, g)| store.min(g.0)),
         );
         let others_hi = sat_prod(
             factors
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != i)
-                .map(|(_, g)| domains[g.0].max()),
+                .map(|(_, g)| store.max(g.0)),
         );
         if others_hi > 0 && others_hi < i64::MAX {
             let min_f = out_lo.div_euclid(others_hi) + i64::from(out_lo.rem_euclid(others_hi) != 0);
-            if domains[f.0].restrict_min(min_f)? {
-                changed.push(*f);
+            if store.restrict_min(f.0, min_f)? {
+                changed.push(Change::min_raised(*f));
             }
         }
         if others_lo > 0 {
             let max_f = out_hi / others_lo;
-            if domains[f.0].restrict_max(max_f)? {
-                changed.push(*f);
+            if store.restrict_max(f.0, max_f)? {
+                changed.push(Change::max_lowered(*f));
             }
         }
         // Divisibility: with a fixed positive product, every factor divides it.
         if let Some(p) = out_fixed {
-            if p > 0 {
-                if let Domain::Values(vals) = &domains[f.0] {
-                    if vals.iter().any(|&v| v == 0 || p % v != 0) {
-                        let kept: Vec<i64> = vals
-                            .iter()
-                            .copied()
-                            .filter(|&v| v != 0 && p % v == 0)
-                            .collect();
-                        if kept.is_empty() {
-                            return Err(());
-                        }
-                        domains[f.0] = Domain::Values(kept);
-                        changed.push(*f);
-                    }
-                }
+            let (flo, fhi) = (store.min(f.0), store.max(f.0));
+            if p > 0 && store.retain_divisors(f.0, p)? {
+                changed.push(Change::since(store, *f, flo, fhi));
             }
         }
     }
@@ -254,102 +521,104 @@ fn filter_prod(
 }
 
 fn filter_sum(
+    store: &mut DomainStore,
     out: VarRef,
     terms: &[VarRef],
-    domains: &mut [Domain],
-    changed: &mut Vec<VarRef>,
+    changed: &mut Vec<Change>,
 ) -> Result<(), ()> {
-    let lo: i64 = terms.iter().map(|t| domains[t.0].min()).sum();
-    let hi: i64 = terms.iter().map(|t| domains[t.0].max()).sum();
-    if domains[out.0].restrict_min(lo)? {
-        changed.push(out);
+    let lo: i64 = terms.iter().map(|t| store.min(t.0)).sum();
+    let hi: i64 = terms.iter().map(|t| store.max(t.0)).sum();
+    if store.restrict_min(out.0, lo)? {
+        changed.push(Change::min_raised(out));
     }
-    if domains[out.0].restrict_max(hi)? {
-        changed.push(out);
+    if store.restrict_max(out.0, hi)? {
+        changed.push(Change::max_lowered(out));
     }
-    let out_lo = domains[out.0].min();
-    let out_hi = domains[out.0].max();
+    let out_lo = store.min(out.0);
+    let out_hi = store.max(out.0);
     for (i, t) in terms.iter().enumerate() {
         let others_lo: i64 = terms
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != i)
-            .map(|(_, g)| domains[g.0].min())
+            .map(|(_, g)| store.min(g.0))
             .sum();
         let others_hi: i64 = terms
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != i)
-            .map(|(_, g)| domains[g.0].max())
+            .map(|(_, g)| store.max(g.0))
             .sum();
-        if domains[t.0].restrict_min(out_lo - others_hi)?.max(false) {
-            changed.push(*t);
+        if store.restrict_min(t.0, out_lo - others_hi)? {
+            changed.push(Change::min_raised(*t));
         }
-        if domains[t.0].restrict_max(out_hi - others_lo)? {
-            changed.push(*t);
+        if store.restrict_max(t.0, out_hi - others_lo)? {
+            changed.push(Change::max_lowered(*t));
         }
     }
     Ok(())
 }
 
 fn filter_select(
+    store: &mut DomainStore,
     out: VarRef,
     index: VarRef,
     choices: &[VarRef],
-    domains: &mut [Domain],
-    changed: &mut Vec<VarRef>,
+    changed: &mut Vec<Change>,
 ) -> Result<(), ()> {
     let n = choices.len() as i64;
-    if domains[index.0].restrict_min(0)? {
-        changed.push(index);
+    if store.restrict_min(index.0, 0)? {
+        changed.push(Change::min_raised(index));
     }
-    if domains[index.0].restrict_max(n - 1)? {
-        changed.push(index);
+    if store.restrict_max(index.0, n - 1)? {
+        changed.push(Change::max_lowered(index));
     }
     // Prune indices whose choice cannot overlap the output (bounds check).
-    let out_lo = domains[out.0].min();
-    let out_hi = domains[out.0].max();
-    let feasible: Vec<i64> = domains[index.0]
-        .iter_values()
+    let out_lo = store.min(out.0);
+    let out_hi = store.max(out.0);
+    let feasible: Vec<i64> = store
+        .value_list(index.0)
+        .into_iter()
         .filter(|&i| {
-            let d = &domains[choices[i as usize].0];
-            d.max() >= out_lo && d.min() <= out_hi
+            let c = choices[i as usize].0;
+            store.max(c) >= out_lo && store.min(c) <= out_hi
         })
         .collect();
     if feasible.is_empty() {
         return Err(());
     }
-    if feasible.len() as u64 != domains[index.0].size() {
-        domains[index.0] = Domain::Values(feasible.clone());
-        changed.push(index);
+    if feasible.len() as u64 != store.size(index.0) {
+        let (ilo, ihi) = (store.min(index.0), store.max(index.0));
+        store.restrict_to(index.0, &feasible)?;
+        changed.push(Change::since(store, index, ilo, ihi));
     }
     // Output bounds from remaining choices.
     let lo = feasible
         .iter()
-        .map(|&i| domains[choices[i as usize].0].min())
+        .map(|&i| store.min(choices[i as usize].0))
         .min()
         .expect("nonempty");
     let hi = feasible
         .iter()
-        .map(|&i| domains[choices[i as usize].0].max())
+        .map(|&i| store.max(choices[i as usize].0))
         .max()
         .expect("nonempty");
-    if domains[out.0].restrict_min(lo)? {
-        changed.push(out);
+    if store.restrict_min(out.0, lo)? {
+        changed.push(Change::min_raised(out));
     }
-    if domains[out.0].restrict_max(hi)? {
-        changed.push(out);
+    if store.restrict_max(out.0, hi)? {
+        changed.push(Change::max_lowered(out));
     }
     // Fixed index degenerates to EQ.
-    if let Some(i) = domains[index.0].fixed_value() {
+    if let Some(i) = store.fixed_value(index.0) {
         let ch = choices[i as usize];
-        let dch = domains[ch.0].clone();
-        if domains[out.0].intersect(&dch)? {
-            changed.push(out);
+        let (olo, ohi) = (store.min(out.0), store.max(out.0));
+        if store.intersect_var(out.0, ch.0)? {
+            changed.push(Change::since(store, out, olo, ohi));
         }
-        let dout = domains[out.0].clone();
-        if domains[ch.0].intersect(&dout)? {
-            changed.push(ch);
+        let (clo, chi) = (store.min(ch.0), store.max(ch.0));
+        if store.intersect_var(ch.0, out.0)? {
+            changed.push(Change::since(store, ch, clo, chi));
         }
     }
     Ok(())
@@ -358,6 +627,7 @@ fn filter_select(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::Domain;
     use crate::problem::VarCategory;
 
     #[test]
@@ -372,9 +642,9 @@ mod tests {
         );
         csp.post_prod(n, vec![a, b]);
         let p = Propagator::new(&csp);
-        let mut d = p.initial_domains();
-        p.run_all(&mut d).expect("feasible");
-        assert_eq!(d[b.0].fixed_value(), Some(12));
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
+        assert_eq!(s.fixed_value(b.0), Some(12));
     }
 
     #[test]
@@ -389,13 +659,10 @@ mod tests {
         let b = csp.add_var("b", Domain::range(1, 12), VarCategory::Other);
         csp.post_prod(n, vec![a, b]);
         let p = Propagator::new(&csp);
-        let mut d = p.initial_domains();
-        p.run_all(&mut d).expect("feasible");
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
         // 5, 7, 8 do not divide 12
-        assert_eq!(
-            d[a.0].iter_values().collect::<Vec<_>>(),
-            vec![1, 2, 3, 4, 6, 12]
-        );
+        assert_eq!(s.value_list(a.0), vec![1, 2, 3, 4, 6, 12]);
     }
 
     #[test]
@@ -408,12 +675,12 @@ mod tests {
         let limit = csp.add_const("lim", 50);
         csp.post_le(total, limit);
         let p = Propagator::new(&csp);
-        let mut d = p.initial_domains();
-        p.run_all(&mut d).expect("feasible");
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
         // a + b <= 50 with b >= 20 forces a <= 30
-        assert!(d[a.0].max() <= 30);
-        assert!(d[b.0].max() <= 40);
-        assert!(d[total.0].min() >= 30);
+        assert!(s.max(a.0) <= 30);
+        assert!(s.max(b.0) <= 40);
+        assert!(s.min(total.0) >= 30);
     }
 
     #[test]
@@ -423,8 +690,9 @@ mod tests {
         let b = csp.add_var("b", Domain::range(0, 5), VarCategory::Other);
         csp.post_le(a, b);
         let p = Propagator::new(&csp);
-        let mut d = p.initial_domains();
-        assert_eq!(p.run_all(&mut d), Err(Infeasible));
+        let mut s = p.store();
+        assert_eq!(p.run_all(&mut s), Err(Infeasible));
+        assert_eq!(p.wipeouts(), 1);
     }
 
     #[test]
@@ -437,11 +705,11 @@ mod tests {
         let out = csp.add_var("out", Domain::range(10, 100), VarCategory::Other);
         csp.post_select(out, idx, vec![c0, c1, c2]);
         let p = Propagator::new(&csp);
-        let mut d = p.initial_domains();
-        p.run_all(&mut d).expect("feasible");
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
         // Only choice 1 (=50) fits in [10, 100].
-        assert_eq!(d[idx.0].fixed_value(), Some(1));
-        assert_eq!(d[out.0].fixed_value(), Some(50));
+        assert_eq!(s.fixed_value(idx.0), Some(1));
+        assert_eq!(s.fixed_value(out.0), Some(50));
     }
 
     #[test]
@@ -451,10 +719,10 @@ mod tests {
         let b = csp.add_var("b", Domain::values([3, 4, 5, 6]), VarCategory::Other);
         csp.post_eq(a, b);
         let p = Propagator::new(&csp);
-        let mut d = p.initial_domains();
-        p.run_all(&mut d).expect("feasible");
-        assert_eq!(d[a.0], Domain::values([3, 4]));
-        assert_eq!(d[b.0], Domain::values([3, 4]));
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
+        assert_eq!(s.value_list(a.0), vec![3, 4]);
+        assert_eq!(s.value_list(b.0), vec![3, 4]);
     }
 
     #[test]
@@ -468,15 +736,104 @@ mod tests {
         csp.post_prod(n, vec![x, y]);
         csp.post_eq(x, y);
         let p = Propagator::new(&csp);
-        let mut d = p.initial_domains();
-        p.run_all(&mut d).expect("feasible");
-        d[x.0].fix(8).expect("8 is a divisor");
-        p.run_from(&mut d, x).expect("feasible");
-        assert_eq!(d[y.0].fixed_value(), Some(8));
-        // An inconsistent branch is rejected.
-        let mut d2 = p.initial_domains();
-        p.run_all(&mut d2).expect("feasible");
-        d2[x.0].fix(4).expect("4 is a divisor");
-        assert_eq!(p.run_from(&mut d2, x), Err(Infeasible));
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
+        s.commit();
+        let m = s.mark();
+        s.fix(x.0, 8).expect("8 is a divisor");
+        p.run_from(&mut s, x).expect("feasible");
+        assert_eq!(s.fixed_value(y.0), Some(8));
+        // An inconsistent branch is rejected — and the trail restores the
+        // pre-branch domains, dormancy included.
+        s.undo_to(m);
+        let m2 = s.mark();
+        s.fix(x.0, 4).expect("4 is a divisor");
+        assert_eq!(p.run_from(&mut s, x), Err(Infeasible));
+        s.undo_to(m2);
+        assert_eq!(
+            s.value_list(x.0),
+            Domain::divisors_of(64).iter_values().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn watcher_dedup_handles_non_adjacent_repeats() {
+        // PROD with a repeated factor and SELECT with `out` among the
+        // choices: `c.vars()` lists the repeated variable in non-adjacent
+        // positions, which the old adjacent-only dedup kept as duplicate
+        // watch entries (double wakeups). Each variable must watch each
+        // constraint exactly once.
+        let mut csp = Csp::new();
+        let n = csp.add_const("n", 16);
+        let x = csp.add_var("x", Domain::divisors_of(16), VarCategory::Tunable);
+        let y = csp.add_var("y", Domain::divisors_of(16), VarCategory::Tunable);
+        csp.post_prod(n, vec![x, y, x]); // x² · y == 16
+        let idx = csp.add_var("idx", Domain::values([0, 1]), VarCategory::Tunable);
+        let out = csp.add_var("out", Domain::range(1, 16), VarCategory::Other);
+        csp.post_select(out, idx, vec![y, out]);
+        let p = Propagator::new(&csp);
+        for (v, w) in p.watching.iter().enumerate() {
+            let mut dd = w.clone();
+            dd.dedup();
+            assert_eq!(*w, dd, "duplicate watch entries for x{v}: {w:?}");
+        }
+        assert_eq!(p.watching[x.0], vec![0], "x watches PROD once");
+        assert_eq!(p.watching[out.0], vec![1], "out watches SELECT once");
+    }
+
+    #[test]
+    fn dormant_in_constraint_propagates_once() {
+        // `a IN {1}` prunes on its first pass and is then entailed: the
+        // fixpoint must cost exactly one filtering pass (the old engine
+        // re-enqueued the constraint against itself for a no-op second
+        // pass).
+        let mut csp = Csp::new();
+        let a = csp.add_var("a", Domain::values([1, 2]), VarCategory::Tunable);
+        csp.post_in(a, [1]);
+        let p = Propagator::new(&csp);
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
+        assert_eq!(s.fixed_value(a.0), Some(1));
+        assert_eq!(p.propagations(), 1);
+        assert!(s.is_dormant(0));
+        // Re-running from the changed variable is free: the constraint
+        // stays dormant and no pass executes.
+        p.run_from(&mut s, a).expect("feasible");
+        assert_eq!(p.propagations(), 1);
+    }
+
+    #[test]
+    fn dormancy_does_not_change_fixpoints() {
+        // Entailment skipping must be invisible in the computed domains:
+        // compare against a store where dormancy never kicks in because
+        // every pass is seeded fresh.
+        let mut csp = Csp::new();
+        let n = csp.add_const("n", 64);
+        let x = csp.add_var("x", Domain::divisors_of(64), VarCategory::Tunable);
+        let y = csp.add_var("y", Domain::divisors_of(64), VarCategory::Tunable);
+        let z = csp.add_var("z", Domain::divisors_of(64), VarCategory::Tunable);
+        csp.post_prod(n, vec![x, y, z]);
+        let cap = csp.add_const("cap", 16);
+        let inner = csp.add_var("inner", Domain::range(1, 4096), VarCategory::Other);
+        csp.post_prod(inner, vec![y, z]);
+        csp.post_le(inner, cap);
+        csp.post_in(x, [4, 8, 16, 32, 64]);
+        let p = Propagator::new(&csp);
+        let mut s = p.store();
+        p.run_all(&mut s).expect("feasible");
+        s.commit();
+        let m = s.mark();
+        s.fix(y.0, 4).expect("in domain");
+        p.run_from(&mut s, y).expect("feasible");
+        let fixed: Vec<Vec<i64>> = (0..csp.num_vars()).map(|v| s.value_list(v)).collect();
+        s.undo_to(m);
+        // Second, identical branch: dormancy discovered the first time was
+        // rolled back, so the result must be identical.
+        let m2 = s.mark();
+        s.fix(y.0, 4).expect("in domain");
+        p.run_from(&mut s, y).expect("feasible");
+        let again: Vec<Vec<i64>> = (0..csp.num_vars()).map(|v| s.value_list(v)).collect();
+        s.undo_to(m2);
+        assert_eq!(fixed, again);
     }
 }

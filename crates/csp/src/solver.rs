@@ -6,6 +6,13 @@
 //! as propagation-guided backtracking search with randomised variable and
 //! value order, restarted per requested sample.
 //!
+//! Search state lives in a [`DomainStore`]: branching fixes a value and
+//! propagates on the shared store, and backtracking pops the store's
+//! trail — O(changes) per node instead of the historical full
+//! `Vec<Domain>` clone per candidate trial. The branch order's tunable
+//! set is precomputed once per solve as a boolean mask (no per-node
+//! `csp.tunables()` allocation, no O(V²) `contains` scans).
+//!
 //! Solver failure is a first-class outcome, not a silent empty `Vec`:
 //! every sampling call returns a [`SolveOutcome`] whose [`SolveStatus`]
 //! distinguishes a satisfiable space ([`SolveStatus::Sat`]) from a
@@ -22,6 +29,7 @@ use heron_trace::Tracer;
 use crate::domain::Domain;
 use crate::problem::{Csp, Solution, VarRef};
 use crate::propagate::Propagator;
+use crate::store::{Dom, DomainStore};
 
 /// Counters describing one [`rand_sat_traced`] call.
 ///
@@ -33,7 +41,8 @@ pub struct SolveStats {
     /// found a duplicate or nothing).
     pub attempts: u64,
     /// Single-constraint filtering passes executed, root propagation
-    /// included.
+    /// included (for session solves the root fixpoint is one-time setup
+    /// and is excluded — see `SolveSession`).
     pub propagations: u64,
     /// Dives that ended without contributing a new solution — either the
     /// budget ran out or the result duplicated an earlier sample — and
@@ -47,12 +56,18 @@ pub struct SolveStats {
     /// backtracking budget by [`SolvePolicy::escalation_factor`] after a
     /// round that produced zero solutions on a root-feasible space.
     pub escalations: u64,
+    /// Deepest trail (undo-stack) length reached while backtracking.
+    pub max_trail_depth: u64,
+    /// Solves served incrementally from a session's cached root fixpoint
+    /// (1 for a `SolveSession::solve_pinned` call, 0 otherwise).
+    pub incremental_hits: u64,
 }
 
 impl SolveStats {
     /// Accumulates another call's counters into this one. The tuner's
     /// search log uses this to aggregate per-round solver pressure
     /// across the populate / evolve / fallback solve calls of a round.
+    /// `max_trail_depth` aggregates as a maximum, everything else sums.
     pub fn absorb(&mut self, other: &SolveStats) {
         self.attempts += other.attempts;
         self.propagations += other.propagations;
@@ -60,6 +75,8 @@ impl SolveStats {
         self.wipeouts += other.wipeouts;
         self.solutions += other.solutions;
         self.escalations += other.escalations;
+        self.max_trail_depth = self.max_trail_depth.max(other.max_trail_depth);
+        self.incremental_hits += other.incremental_hits;
     }
 }
 
@@ -203,14 +220,14 @@ impl SolveOutcome {
 }
 
 /// Deterministic step deadline threaded through the dives.
-struct Deadline {
+pub(crate) struct Deadline {
     remaining: u64,
     enabled: bool,
-    hit: bool,
+    pub(crate) hit: bool,
 }
 
 impl Deadline {
-    fn new(steps: u64) -> Self {
+    pub(crate) fn new(steps: u64) -> Self {
         Deadline {
             remaining: steps,
             enabled: steps > 0,
@@ -293,62 +310,59 @@ pub fn rand_sat_traced<R: Rng>(
     });
     let mut stats = SolveStats::default();
     let prop = Propagator::new(csp);
-    let mut root = prop.initial_domains();
-    let root_ok = prop.run_all(&mut root).is_ok();
+    let mut store = prop.store();
+    let root_ok = prop.run_all(&mut store).is_ok();
     let mut out = Vec::with_capacity(n);
     let mut deadline = Deadline::new(policy.deadline_steps);
     if root_ok && n > 0 {
-        let mut seen = std::collections::HashSet::new();
-        let mut budget = policy.budget;
-        let mut escalation = 0u32;
-        loop {
-            // Give each requested sample a few attempts before giving up,
-            // so that a handful of unlucky random walks does not starve
-            // the population.
-            let mut attempts = n * 3;
-            while out.len() < n && attempts > 0 && !deadline.hit {
-                attempts -= 1;
-                stats.attempts += 1;
-                let mut fails = budget;
-                let found = match search_one(csp, &prop, &root, rng, &mut fails, &mut deadline) {
-                    Some(sol) => {
-                        debug_assert!(validate(csp, &sol), "search produced an invalid solution");
-                        if seen.insert(sol.fingerprint()) {
-                            out.push(sol);
-                            true
-                        } else {
-                            false
-                        }
-                    }
-                    None => false,
-                };
-                if !found {
-                    stats.restarts += 1;
-                }
-            }
-            // Budget escalation: a zero-solution round on a feasible root
-            // retries the whole round with a geometrically larger budget,
-            // up to the cap — the restart policy for knife-edge spaces
-            // whose only solutions hide behind deep backtracking.
-            if !out.is_empty()
-                || deadline.hit
-                || escalation >= policy.max_escalations
-                || budget >= policy.budget_cap
-            {
-                break;
-            }
-            escalation += 1;
-            stats.escalations += 1;
-            budget = budget
-                .max(1)
-                .saturating_mul(policy.escalation_factor.max(1))
-                .min(policy.budget_cap.max(1));
+        store.commit();
+        // Permanently retire constraints already entailed at the root —
+        // a free (uncounted, fixpoint-preserving) bounds sweep.
+        prop.sweep_entailed(&mut store);
+        let tunables = csp.tunables();
+        let mut tmask = vec![false; csp.num_vars()];
+        for t in &tunables {
+            tmask[t.0] = true;
         }
+        let ctx = SampleCtx {
+            csp,
+            prop: &prop,
+            tunables: &tunables,
+            tmask: &tmask,
+        };
+        sample_into(
+            &ctx,
+            &mut store,
+            rng,
+            n,
+            policy,
+            &mut deadline,
+            &mut stats,
+            &mut out,
+        );
     }
     stats.propagations = prop.propagations();
     stats.wipeouts = prop.wipeouts();
     stats.solutions = out.len() as u64;
-    let status = if !root_ok {
+    stats.max_trail_depth = store.take_max_trail();
+    let status = classify(root_ok, &deadline, &out, n);
+    record(tracer, &stats, status);
+    drop(span);
+    SolveOutcome {
+        status,
+        solutions: out,
+        stats,
+    }
+}
+
+/// Maps the terminal solver state to a [`SolveStatus`].
+pub(crate) fn classify(
+    root_ok: bool,
+    deadline: &Deadline,
+    out: &[Solution],
+    n: usize,
+) -> SolveStatus {
+    if !root_ok {
         SolveStatus::RootInfeasible
     } else if deadline.hit {
         SolveStatus::DeadlineExceeded
@@ -356,7 +370,11 @@ pub fn rand_sat_traced<R: Rng>(
         SolveStatus::BudgetExhausted
     } else {
         SolveStatus::Sat
-    };
+    }
+}
+
+/// Emits the per-call counters shared by every sampling entry point.
+pub(crate) fn record(tracer: &Tracer, stats: &SolveStats, status: SolveStatus) {
     tracer.counter_add("csp.attempts", stats.attempts);
     tracer.counter_add("csp.propagations", stats.propagations);
     tracer.counter_add("csp.restarts", stats.restarts);
@@ -369,19 +387,90 @@ pub fn rand_sat_traced<R: Rng>(
     if status == SolveStatus::RootInfeasible {
         tracer.counter_add("csp.root_infeasible", 1);
     }
-    drop(span);
-    SolveOutcome {
-        status,
-        solutions: out,
-        stats,
+}
+
+/// Everything a dive needs besides the mutable store: the problem (for
+/// leaf validation), the shared propagator, and the branch-order inputs
+/// precomputed once per solve (satellite of the O(V²) order-building and
+/// per-node `csp.tunables()` bugs).
+pub(crate) struct SampleCtx<'a> {
+    pub csp: &'a Csp,
+    pub prop: &'a Propagator,
+    pub tunables: &'a [VarRef],
+    pub tmask: &'a [bool],
+}
+
+/// The sampling loop shared by [`rand_sat_traced`] and `SolveSession`:
+/// draws up to `n` distinct solutions on `store` (which must hold a
+/// committed root fixpoint), applying the attempt/escalation schedule.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_into<R: Rng>(
+    ctx: &SampleCtx<'_>,
+    store: &mut DomainStore,
+    rng: &mut R,
+    n: usize,
+    policy: &SolvePolicy,
+    deadline: &mut Deadline,
+    stats: &mut SolveStats,
+    out: &mut Vec<Solution>,
+) {
+    let mut seen = std::collections::HashSet::new();
+    let mut budget = policy.budget;
+    let mut escalation = 0u32;
+    loop {
+        // Give each requested sample a few attempts before giving up,
+        // so that a handful of unlucky random walks does not starve
+        // the population.
+        let mut attempts = n * 3;
+        while out.len() < n && attempts > 0 && !deadline.hit {
+            attempts -= 1;
+            stats.attempts += 1;
+            let mut fails = budget;
+            let found = match search_one(ctx, store, rng, &mut fails, deadline) {
+                Some(sol) => {
+                    debug_assert!(
+                        validate(ctx.csp, &sol),
+                        "search produced an invalid solution"
+                    );
+                    if seen.insert(sol.fingerprint()) {
+                        out.push(sol);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            if !found {
+                stats.restarts += 1;
+            }
+        }
+        // Budget escalation: a zero-solution round on a feasible root
+        // retries the whole round with a geometrically larger budget,
+        // up to the cap — the restart policy for knife-edge spaces
+        // whose only solutions hide behind deep backtracking.
+        if !out.is_empty()
+            || deadline.hit
+            || escalation >= policy.max_escalations
+            || budget >= policy.budget_cap
+        {
+            break;
+        }
+        escalation += 1;
+        stats.escalations += 1;
+        budget = budget
+            .max(1)
+            .saturating_mul(policy.escalation_factor.max(1))
+            .min(policy.budget_cap.max(1));
     }
 }
 
-/// One randomised dive with chronological backtracking.
+/// One randomised dive with chronological backtracking on the store's
+/// trail. The store is returned to its pre-call state regardless of the
+/// result.
 fn search_one<R: Rng>(
-    csp: &Csp,
-    prop: &Propagator<'_>,
-    root: &[Domain],
+    ctx: &SampleCtx<'_>,
+    store: &mut DomainStore,
     rng: &mut R,
     fails: &mut u32,
     deadline: &mut Deadline,
@@ -389,22 +478,22 @@ fn search_one<R: Rng>(
     // Branch order: tunables in random order, then everything else in
     // declaration order (those are functionally determined in well-formed
     // Heron spaces, so they rarely need branching).
-    let mut order = csp.tunables();
+    let mut order: Vec<VarRef> = ctx.tunables.to_vec();
     order.shuffle(rng);
-    for (r, _) in csp.vars() {
-        if !order.contains(&r) {
-            order.push(r);
+    for i in 0..ctx.csp.num_vars() {
+        if !ctx.tmask[i] {
+            order.push(VarRef(i));
         }
     }
-    let mut domains = root.to_vec();
-    dive(csp, prop, &mut domains, &order, 0, rng, fails, deadline)
+    let top = store.mark();
+    let sol = dive(ctx, store, &order, 0, rng, fails, deadline);
+    store.undo_to(top);
+    sol
 }
 
-#[allow(clippy::too_many_arguments)]
 fn dive<R: Rng>(
-    csp: &Csp,
-    prop: &Propagator<'_>,
-    domains: &mut [Domain],
+    ctx: &SampleCtx<'_>,
+    store: &mut DomainStore,
     order: &[VarRef],
     depth: usize,
     rng: &mut R,
@@ -413,37 +502,50 @@ fn dive<R: Rng>(
 ) -> Option<Solution> {
     // Find the next unfixed variable at or after `depth`.
     let mut d = depth;
-    while d < order.len() && domains[order[d].0].is_fixed() {
+    while d < order.len() && store.is_fixed(order[d].0) {
         d += 1;
     }
     if d == order.len() {
         // Propagation is deliberately incomplete (bounds consistency), so a
         // fully fixed assignment must still pass the exact check.
-        let values: Vec<i64> = domains.iter().map(|dom| dom.min()).collect();
+        let values: Vec<i64> = (0..ctx.csp.num_vars()).map(|i| store.min(i)).collect();
         let sol = Solution::new(values);
-        if validate(csp, &sol) {
+        if validate(ctx.csp, &sol) {
             return Some(sol);
         }
         *fails = fails.saturating_sub(1);
         return None;
     }
     let var = order[d];
-    let is_tunable = csp.tunables().contains(&var);
-    let candidates: Vec<i64> = match &domains[var.0] {
-        Domain::Values(v) => {
-            let mut v = v.clone();
+    let is_tunable = ctx.tmask[var.0];
+    let candidates: Vec<i64> = match store.dom(var.0) {
+        Dom::Bits(_) => {
+            let mut v = store.value_list(var.0);
             v.shuffle(rng);
             v
         }
-        Domain::Range { lo, hi } => {
-            // Auxiliary range variable still unfixed: try a random value and
-            // the bounds. Occurs only for slack-like variables.
-            let mut v = vec![*lo, *hi];
-            if hi > lo {
-                v.push(rng.random_range(*lo..=*hi));
-            }
-            v.dedup();
+        Dom::Wide(Domain::Values(vals)) => {
+            let mut v = vals.clone();
+            v.shuffle(rng);
             v
+        }
+        Dom::Wide(Domain::Range { lo, hi }) => {
+            // Auxiliary range variable still unfixed: try the bounds and a
+            // random value. Occurs only for slack-like variables. The
+            // random draw joins the candidate list only when it is a
+            // genuinely new value (the historical adjacent-only `dedup`
+            // let `random == lo` through as a duplicate trial).
+            let (lo, hi) = (*lo, *hi);
+            if hi > lo {
+                let mut v = vec![lo, hi];
+                let r = rng.random_range(lo..=hi);
+                if r != lo && r != hi {
+                    v.push(r);
+                }
+                v
+            } else {
+                vec![lo]
+            }
         }
     };
     let try_limit = if is_tunable {
@@ -458,13 +560,18 @@ fn dive<R: Rng>(
         if !deadline.tick() {
             return None;
         }
-        let mut trial = domains.to_vec();
-        if trial[var.0].fix(val).is_ok() && prop.run_from(&mut trial, var).is_ok() {
-            let mut trial = trial;
-            if let Some(sol) = dive(csp, prop, &mut trial, order, d + 1, rng, fails, deadline) {
+        let m = store.mark();
+        let (pre_lo, pre_hi) = (store.min(var.0), store.max(var.0));
+        if store.fix(var.0, val).is_ok()
+            && ctx.prop.run_from_fixed(store, var, pre_lo, pre_hi).is_ok()
+        {
+            if let Some(sol) = dive(ctx, store, order, d + 1, rng, fails, deadline) {
+                // No undo on success: the top-level mark unwinds the
+                // whole branch in one pass.
                 return Some(sol);
             }
         }
+        store.undo_to(m);
         *fails = fails.saturating_sub(1);
     }
     None
@@ -561,7 +668,8 @@ mod tests {
 
     #[test]
     fn solve_stats_exact_counts_on_trivial_space() {
-        // One variable, no constraints: a single dive, no propagation.
+        // One variable, no constraints: a single dive, no propagation,
+        // exactly one trailed write (the branched variable).
         let mut csp = Csp::new();
         csp.add_var("a", Domain::values([1, 2]), VarCategory::Tunable);
         let mut rng = HeronRng::from_seed(5);
@@ -577,14 +685,17 @@ mod tests {
                 wipeouts: 0,
                 solutions: 1,
                 escalations: 0,
+                max_trail_depth: 1,
+                incremental_hits: 0,
             }
         );
     }
 
     #[test]
     fn solve_stats_exact_counts_with_one_constraint() {
-        // `a IN {1}` filters once (changes the domain, re-enqueues itself)
-        // and once more at fixpoint: exactly 2 propagations at the root.
+        // `a IN {1}` filters once and is then entailed (dormant): exactly
+        // 1 propagation at the root, and the dive finds everything fixed
+        // (no trail).
         let mut csp = Csp::new();
         let a = csp.add_var("a", Domain::values([1, 2]), VarCategory::Tunable);
         csp.post_in(a, [1]);
@@ -596,11 +707,13 @@ mod tests {
             outcome.stats,
             SolveStats {
                 attempts: 1,
-                propagations: 2,
+                propagations: 1,
                 restarts: 0,
                 wipeouts: 0,
                 solutions: 1,
                 escalations: 0,
+                max_trail_depth: 0,
+                incremental_hits: 0,
             }
         );
     }
@@ -624,6 +737,8 @@ mod tests {
                 wipeouts: 1,
                 solutions: 0,
                 escalations: 0,
+                max_trail_depth: 0,
+                incremental_hits: 0,
             }
         );
 
@@ -743,6 +858,7 @@ mod tests {
         assert_eq!(tracer.counter("csp.solutions"), Some(stats.solutions));
         assert_eq!(tracer.counter("csp.escalations"), Some(0));
         assert!(stats.propagations > 0);
+        assert!(stats.max_trail_depth > 0, "dives must exercise the trail");
         let summary = heron_trace::check_trace(&tracer.to_jsonl()).expect("balanced trace");
         assert_eq!(summary.spans.len(), 1);
         assert_eq!(summary.spans[0].name, "csp.solve");

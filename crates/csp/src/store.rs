@@ -1,0 +1,576 @@
+//! Trail-based domain store with bitset small domains.
+//!
+//! The RandSAT hot path used to clone the entire `Vec<Domain>` at every
+//! search node (`domains.to_vec()` per candidate trial). This module
+//! replaces that with the classic CP engine layout:
+//!
+//! * [`Dom`] — a per-variable domain representation that stores small
+//!   finite domains (≤ 64 declared values — every Heron tunable) as a
+//!   single `u64` bitset indexing into a per-variable sorted value table
+//!   ([`VarTables`]), so PROD/SUM/SELECT/IN filtering becomes word
+//!   operations. Large `Values` sets and `Range` domains keep the
+//!   original [`Domain`] representation (`Dom::Wide`).
+//! * [`DomainStore`] — the mutable domain state plus a **trail**: every
+//!   first write to a variable inside a [`DomainStore::mark`] scope
+//!   records the old value; [`DomainStore::undo_to`] pops the trail to
+//!   restore it. Backtracking is O(changes), not O(vars).
+//!
+//! The store also tracks per-constraint *dormancy* flags (entailed
+//! constraints the propagator may skip); these are trailed alongside
+//! domain writes so entailment discovered inside a dive is undone on
+//! backtrack, while entailment discovered at the root (before
+//! [`DomainStore::commit`]) is permanent.
+//!
+//! Save-on-write dedup uses monotone epochs: `mark()` hands out a fresh
+//! epoch, a variable is trailed at most once per epoch, and epochs are
+//! never reused so stale `saved_at` entries are harmless after an undo.
+//! Epoch 0 means "untracked": writes before the first `mark()` (or after
+//! a `commit()`) mutate the base state directly without trailing.
+
+use std::rc::Rc;
+
+use crate::domain::Domain;
+use crate::problem::Csp;
+
+/// Per-variable sorted value tables for bitset domains.
+///
+/// `tables[v]` is `Some(sorted values)` iff variable `v` was declared
+/// with an explicit value set of at most 64 values; its [`Dom::Bits`]
+/// word indexes into that table (bit `i` ⇔ `tables[v][i]` present).
+#[derive(Debug)]
+pub struct VarTables {
+    tables: Vec<Option<Box<[i64]>>>,
+}
+
+impl VarTables {
+    /// Builds the tables for every variable of `csp`.
+    pub fn for_csp(csp: &Csp) -> Self {
+        let tables = csp
+            .vars()
+            .map(|(_, d)| match &d.domain {
+                Domain::Values(v) if v.len() <= 64 => Some(v.clone().into_boxed_slice()),
+                _ => None,
+            })
+            .collect();
+        VarTables { tables }
+    }
+
+    /// The sorted value table of `v`, if it has a bitset representation.
+    pub fn table(&self, v: usize) -> Option<&[i64]> {
+        self.tables[v].as_deref()
+    }
+
+    /// Bitmask over `v`'s table selecting the values in `values` (which
+    /// must be sorted). `None` if `v` has no table.
+    pub fn mask_of(&self, v: usize, values: &[i64]) -> Option<u64> {
+        let table = self.tables[v].as_deref()?;
+        let mut mask = 0u64;
+        for (i, val) in table.iter().enumerate() {
+            if values.binary_search(val).is_ok() {
+                mask |= 1u64 << i;
+            }
+        }
+        Some(mask)
+    }
+}
+
+/// One variable's current domain: a bitset into its [`VarTables`] table,
+/// or the original wide representation.
+///
+/// A variable's representation kind never changes during solving — a
+/// `Bits` domain shrinks by masking, a `Wide` domain shrinks through the
+/// usual [`Domain`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dom {
+    /// Bitset over the variable's sorted value table (never 0 while the
+    /// store is consistent).
+    Bits(u64),
+    /// Large value set or interval, kept as a [`Domain`].
+    Wide(Domain),
+}
+
+/// A snapshot token returned by [`DomainStore::mark`].
+#[derive(Debug, Clone, Copy)]
+pub struct Mark {
+    trail_len: usize,
+    dormant_len: usize,
+    epoch: u64,
+}
+
+/// Mutable domain state with trailing, dormancy flags and bitset domains.
+#[derive(Debug, Clone)]
+pub struct DomainStore {
+    tables: Rc<VarTables>,
+    doms: Vec<Dom>,
+    /// Per-constraint "entailed, skip me" flags (owned here, not by the
+    /// propagator, so they backtrack with the domains).
+    dormant: Vec<bool>,
+    trail: Vec<(u32, Dom)>,
+    dormant_trail: Vec<u32>,
+    saved_at: Vec<u64>,
+    epoch: u64,
+    next_epoch: u64,
+    max_trail: usize,
+}
+
+// Wipeouts are signalled with `Err(())` exactly like `Domain`'s own
+// mutators; the propagator maps them to `Infeasible`.
+#[allow(clippy::result_unit_err)]
+impl DomainStore {
+    /// A store over `doms` (one entry per variable) with `ncons`
+    /// constraint dormancy flags, starting untracked (epoch 0).
+    pub fn new(tables: Rc<VarTables>, doms: Vec<Dom>, ncons: usize) -> Self {
+        let nvars = doms.len();
+        DomainStore {
+            tables,
+            doms,
+            dormant: vec![false; ncons],
+            trail: Vec::new(),
+            dormant_trail: Vec::new(),
+            saved_at: vec![0; nvars],
+            epoch: 0,
+            next_epoch: 1,
+            max_trail: 0,
+        }
+    }
+
+    /// Opens a backtrack scope: subsequent writes are trailed until the
+    /// matching [`undo_to`](Self::undo_to).
+    pub fn mark(&mut self) -> Mark {
+        let m = Mark {
+            trail_len: self.trail.len(),
+            dormant_len: self.dormant_trail.len(),
+            epoch: self.epoch,
+        };
+        self.epoch = self.next_epoch;
+        self.next_epoch += 1;
+        m
+    }
+
+    /// Restores every domain and dormancy flag changed since `m`.
+    pub fn undo_to(&mut self, m: Mark) {
+        while self.trail.len() > m.trail_len {
+            let (v, dom) = self.trail.pop().expect("trail non-empty");
+            self.doms[v as usize] = dom;
+        }
+        while self.dormant_trail.len() > m.dormant_len {
+            let ci = self.dormant_trail.pop().expect("dormant trail non-empty");
+            self.dormant[ci as usize] = false;
+        }
+        self.epoch = m.epoch;
+    }
+
+    /// Makes the current state the new untracked baseline: clears the
+    /// trail (changes become permanent) and returns to epoch 0.
+    pub fn commit(&mut self) {
+        self.trail.clear();
+        self.dormant_trail.clear();
+        self.epoch = 0;
+    }
+
+    /// Deepest trail length observed since the last call; resets the
+    /// high-water mark to the current depth.
+    pub fn take_max_trail(&mut self) -> u64 {
+        let m = self.max_trail as u64;
+        self.max_trail = self.trail.len();
+        m
+    }
+
+    /// Marks constraint `ci` entailed (skippable). Trailed unless the
+    /// store is untracked, in which case the flag is permanent.
+    pub fn set_dormant(&mut self, ci: usize) {
+        if !self.dormant[ci] {
+            self.dormant[ci] = true;
+            if self.epoch != 0 {
+                self.dormant_trail.push(ci as u32);
+                self.max_trail = self.max_trail.max(self.trail.len());
+            }
+        }
+    }
+
+    /// Whether constraint `ci` is currently entailed.
+    pub fn is_dormant(&self, ci: usize) -> bool {
+        self.dormant[ci]
+    }
+
+    /// Current representation of variable `v`.
+    pub fn dom(&self, v: usize) -> &Dom {
+        &self.doms[v]
+    }
+
+    /// Smallest value in `v`'s domain.
+    pub fn min(&self, v: usize) -> i64 {
+        match &self.doms[v] {
+            Dom::Bits(w) => self.table(v)[w.trailing_zeros() as usize],
+            Dom::Wide(d) => d.min(),
+        }
+    }
+
+    /// Largest value in `v`'s domain.
+    pub fn max(&self, v: usize) -> i64 {
+        match &self.doms[v] {
+            Dom::Bits(w) => self.table(v)[63 - w.leading_zeros() as usize],
+            Dom::Wide(d) => d.max(),
+        }
+    }
+
+    /// Number of values in `v`'s domain.
+    pub fn size(&self, v: usize) -> u64 {
+        match &self.doms[v] {
+            Dom::Bits(w) => u64::from(w.count_ones()),
+            Dom::Wide(d) => d.size(),
+        }
+    }
+
+    /// Whether `v` is fixed to a single value.
+    pub fn is_fixed(&self, v: usize) -> bool {
+        match &self.doms[v] {
+            Dom::Bits(w) => w.is_power_of_two(),
+            Dom::Wide(d) => d.is_fixed(),
+        }
+    }
+
+    /// The single value of `v`, if fixed.
+    pub fn fixed_value(&self, v: usize) -> Option<i64> {
+        if self.is_fixed(v) {
+            Some(self.min(v))
+        } else {
+            None
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: usize, val: i64) -> bool {
+        match &self.doms[v] {
+            Dom::Bits(w) => match self.table(v).binary_search(&val) {
+                Ok(i) => w & (1u64 << i) != 0,
+                Err(_) => false,
+            },
+            Dom::Wide(d) => d.contains(val),
+        }
+    }
+
+    /// The current values of `v` in ascending order.
+    ///
+    /// # Panics
+    /// Panics on a `Range` domain wider than 2^20 values, like
+    /// [`Domain::iter_values`].
+    pub fn value_list(&self, v: usize) -> Vec<i64> {
+        match &self.doms[v] {
+            Dom::Bits(w) => {
+                let table = self.table(v);
+                let mut out = Vec::with_capacity(w.count_ones() as usize);
+                let mut bits = *w;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    out.push(table[i]);
+                    bits &= bits - 1;
+                }
+                out
+            }
+            Dom::Wide(d) => d.iter_values().collect(),
+        }
+    }
+
+    /// Materialises `v`'s domain as a [`Domain`].
+    pub fn domain(&self, v: usize) -> Domain {
+        match &self.doms[v] {
+            Dom::Bits(_) => Domain::Values(self.value_list(v)),
+            Dom::Wide(d) => d.clone(),
+        }
+    }
+
+    /// Restricts `v` to values `>= bound`.
+    pub fn restrict_min(&mut self, v: usize, bound: i64) -> Result<bool, ()> {
+        match &self.doms[v] {
+            Dom::Bits(w) => {
+                let idx = self.table(v).partition_point(|&x| x < bound);
+                let mask = if idx >= 64 { 0 } else { !0u64 << idx };
+                self.set_bits(v, *w, w & mask)
+            }
+            Dom::Wide(_) => self.mutate_wide(v, |d| d.restrict_min(bound)),
+        }
+    }
+
+    /// Restricts `v` to values `<= bound`.
+    pub fn restrict_max(&mut self, v: usize, bound: i64) -> Result<bool, ()> {
+        match &self.doms[v] {
+            Dom::Bits(w) => {
+                let idx = self.table(v).partition_point(|&x| x <= bound);
+                let mask = if idx >= 64 { !0u64 } else { (1u64 << idx) - 1 };
+                self.set_bits(v, *w, w & mask)
+            }
+            Dom::Wide(_) => self.mutate_wide(v, |d| d.restrict_max(bound)),
+        }
+    }
+
+    /// Restricts `v` to the given sorted candidate set.
+    pub fn restrict_to(&mut self, v: usize, candidates: &[i64]) -> Result<bool, ()> {
+        match &self.doms[v] {
+            Dom::Bits(w) => {
+                let table = self.table(v);
+                let mut nw = 0u64;
+                let mut bits = *w;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    if candidates.binary_search(&table[i]).is_ok() {
+                        nw |= 1u64 << i;
+                    }
+                    bits &= bits - 1;
+                }
+                self.set_bits(v, *w, nw)
+            }
+            Dom::Wide(_) => self.mutate_wide(v, |d| d.restrict_to(candidates)),
+        }
+    }
+
+    /// Intersects a bitset variable with a precompiled value mask (the
+    /// compiled form of an `IN` constraint).
+    ///
+    /// # Panics
+    /// Panics if `v` is not a bitset variable.
+    pub fn and_mask(&mut self, v: usize, mask: u64) -> Result<bool, ()> {
+        match &self.doms[v] {
+            Dom::Bits(w) => self.set_bits(v, *w, w & mask),
+            Dom::Wide(_) => panic!("and_mask on a wide domain"),
+        }
+    }
+
+    /// Fixes `v` to a single value.
+    pub fn fix(&mut self, v: usize, val: i64) -> Result<bool, ()> {
+        match &self.doms[v] {
+            Dom::Bits(w) => match self.table(v).binary_search(&val) {
+                Ok(i) => self.set_bits(v, *w, w & (1u64 << i)),
+                Err(_) => Err(()),
+            },
+            Dom::Wide(_) => self.mutate_wide(v, |d| d.fix(val)),
+        }
+    }
+
+    /// Intersects `target`'s domain with `src`'s (EQ propagation). A
+    /// self-intersection is a no-op.
+    pub fn intersect_var(&mut self, target: usize, src: usize) -> Result<bool, ()> {
+        if target == src {
+            return Ok(false);
+        }
+        match &self.doms[target] {
+            Dom::Bits(w) => {
+                let table = self.table(target);
+                let mut nw = 0u64;
+                let mut bits = *w;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    if self.contains(src, table[i]) {
+                        nw |= 1u64 << i;
+                    }
+                    bits &= bits - 1;
+                }
+                self.set_bits(target, *w, nw)
+            }
+            Dom::Wide(_) => {
+                let src_dom = self.domain(src);
+                self.mutate_wide(target, |d| d.intersect(&src_dom))
+            }
+        }
+    }
+
+    /// Keeps only non-zero divisors of `p` in `v`'s domain (PROD's
+    /// divisibility rule). Applies only to explicit value sets; a
+    /// `Range` domain is left untouched, mirroring the historical
+    /// filter.
+    pub fn retain_divisors(&mut self, v: usize, p: i64) -> Result<bool, ()> {
+        match &self.doms[v] {
+            Dom::Bits(w) => {
+                let table = self.table(v);
+                let mut nw = 0u64;
+                let mut bits = *w;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    let val = table[i];
+                    if val != 0 && p % val == 0 {
+                        nw |= 1u64 << i;
+                    }
+                    bits &= bits - 1;
+                }
+                self.set_bits(v, *w, nw)
+            }
+            Dom::Wide(Domain::Values(vals)) => {
+                if vals.iter().all(|&x| x != 0 && p % x == 0) {
+                    return Ok(false);
+                }
+                self.mutate_wide(v, |d| {
+                    let Domain::Values(vals) = d else {
+                        unreachable!()
+                    };
+                    vals.retain(|&x| x != 0 && p % x == 0);
+                    if vals.is_empty() {
+                        Err(())
+                    } else {
+                        Ok(true)
+                    }
+                })
+            }
+            Dom::Wide(Domain::Range { .. }) => Ok(false),
+        }
+    }
+
+    fn table(&self, v: usize) -> &[i64] {
+        self.tables.table(v).expect("bitset variable has a table")
+    }
+
+    /// Writes a new bitset word, trailing the old one. `Err(())` on
+    /// wipeout (the store is left untouched).
+    fn set_bits(&mut self, v: usize, old: u64, new: u64) -> Result<bool, ()> {
+        if new == 0 {
+            return Err(());
+        }
+        if new == old {
+            return Ok(false);
+        }
+        self.save(v, Dom::Bits(old));
+        self.doms[v] = Dom::Bits(new);
+        Ok(true)
+    }
+
+    /// Clone-mutate-swap for wide domains: `f` runs on a copy, so an
+    /// `Err(())` (wipeout) never dirties the store.
+    fn mutate_wide(
+        &mut self,
+        v: usize,
+        f: impl FnOnce(&mut Domain) -> Result<bool, ()>,
+    ) -> Result<bool, ()> {
+        let Dom::Wide(d) = &self.doms[v] else {
+            unreachable!("mutate_wide on a bitset domain")
+        };
+        let mut nd = d.clone();
+        match f(&mut nd) {
+            Ok(true) => {
+                let old = std::mem::replace(&mut self.doms[v], Dom::Wide(nd));
+                self.save(v, old);
+                Ok(true)
+            }
+            Ok(false) => Ok(false),
+            Err(()) => Err(()),
+        }
+    }
+
+    /// Trails `old` as `v`'s pre-scope value (at most once per epoch;
+    /// never while untracked).
+    fn save(&mut self, v: usize, old: Dom) {
+        if self.epoch == 0 || self.saved_at[v] == self.epoch {
+            return;
+        }
+        self.saved_at[v] = self.epoch;
+        self.trail.push((v as u32, old));
+        self.max_trail = self.max_trail.max(self.trail.len());
+    }
+}
+
+/// Converts a declared [`Domain`] to its store representation under the
+/// given tables.
+pub fn dom_for(tables: &VarTables, v: usize, domain: &Domain) -> Dom {
+    match tables.table(v) {
+        Some(table) => {
+            debug_assert!(matches!(domain, Domain::Values(vals) if vals.as_slice() == table));
+            let n = table.len();
+            let full = if n >= 64 { !0u64 } else { (1u64 << n) - 1 };
+            Dom::Bits(full)
+        }
+        None => Dom::Wide(domain.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::VarCategory;
+
+    fn store_for(csp: &Csp) -> DomainStore {
+        let tables = Rc::new(VarTables::for_csp(csp));
+        let doms = csp
+            .vars()
+            .map(|(r, d)| dom_for(&tables, r.0, &d.domain))
+            .collect();
+        DomainStore::new(tables, doms, csp.num_constraints())
+    }
+
+    #[test]
+    fn bitset_ops_match_domain_semantics() {
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::values([1, 2, 4, 8, 16]), VarCategory::Tunable);
+        let mut s = store_for(&csp);
+        assert!(matches!(s.dom(x.0), Dom::Bits(0b11111)));
+        assert_eq!(s.min(x.0), 1);
+        assert_eq!(s.max(x.0), 16);
+        assert_eq!(s.size(x.0), 5);
+        assert_eq!(s.restrict_min(x.0, 3), Ok(true));
+        assert_eq!(s.restrict_max(x.0, 8), Ok(true));
+        assert_eq!(s.value_list(x.0), vec![4, 8]);
+        assert_eq!(s.restrict_to(x.0, &[2, 8, 32]), Ok(true));
+        assert_eq!(s.fixed_value(x.0), Some(8));
+        assert!(s.restrict_min(x.0, 100).is_err());
+        // The failed restriction left the domain intact.
+        assert_eq!(s.fixed_value(x.0), Some(8));
+    }
+
+    #[test]
+    fn trail_restores_domains_and_dormancy() {
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::values([1, 2, 3]), VarCategory::Tunable);
+        let y = csp.add_var("y", Domain::range(0, 100), VarCategory::Other);
+        csp.post_le(x, y);
+        let mut s = store_for(&csp);
+        // Untracked changes are permanent.
+        s.restrict_max(y.0, 50).unwrap();
+        s.commit();
+        let m = s.mark();
+        s.fix(x.0, 2).unwrap();
+        s.restrict_min(y.0, 10).unwrap();
+        s.set_dormant(0);
+        assert!(s.is_dormant(0));
+        let inner = s.mark();
+        s.restrict_max(y.0, 20).unwrap();
+        s.undo_to(inner);
+        assert_eq!(s.max(y.0), 50);
+        s.undo_to(m);
+        assert_eq!(s.value_list(x.0), vec![1, 2, 3]);
+        assert_eq!(s.min(y.0), 0);
+        assert_eq!(s.max(y.0), 50);
+        assert!(!s.is_dormant(0));
+        assert!(s.take_max_trail() >= 2);
+    }
+
+    #[test]
+    fn save_on_write_dedups_per_scope() {
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::values([1, 2, 3, 4]), VarCategory::Tunable);
+        let mut s = store_for(&csp);
+        s.commit();
+        let m = s.mark();
+        s.restrict_min(x.0, 2).unwrap();
+        s.restrict_max(x.0, 3).unwrap();
+        // Two writes, one trail entry.
+        assert_eq!(s.take_max_trail(), 1);
+        s.undo_to(m);
+        assert_eq!(s.size(x.0), 4);
+    }
+
+    #[test]
+    fn wide_domains_round_trip() {
+        let mut csp = Csp::new();
+        let big: Vec<i64> = (0..100).collect();
+        let x = csp.add_var("x", Domain::values(big), VarCategory::Other);
+        let y = csp.add_var("y", Domain::range(0, 1_000_000), VarCategory::Other);
+        let mut s = store_for(&csp);
+        assert!(matches!(s.dom(x.0), Dom::Wide(_)));
+        s.commit();
+        let m = s.mark();
+        s.restrict_min(x.0, 90).unwrap();
+        s.intersect_var(y.0, x.0).unwrap();
+        assert_eq!(s.min(y.0), 90);
+        assert_eq!(s.max(y.0), 99);
+        s.undo_to(m);
+        assert_eq!(s.min(x.0), 0);
+        assert_eq!(s.max(y.0), 1_000_000);
+    }
+}

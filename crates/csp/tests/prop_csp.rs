@@ -154,8 +154,8 @@ fn propagation_is_sound() {
         let solutions = small.brute_force();
         let csp = small.build();
         let prop = Propagator::new(&csp);
-        let mut domains = prop.initial_domains();
-        match prop.run_all(&mut domains) {
+        let mut store = prop.store();
+        match prop.run_all(&mut store) {
             Err(_) => assert!(
                 solutions.is_empty(),
                 "propagation wiped a satisfiable problem: {small:?}"
@@ -164,7 +164,7 @@ fn propagation_is_sound() {
                 for sol in &solutions {
                     for (i, &v) in sol.iter().enumerate() {
                         assert!(
-                            domains[i].contains(v),
+                            store.contains(i, v),
                             "propagation removed value {v} of v{i} used by solution {sol:?}"
                         );
                     }

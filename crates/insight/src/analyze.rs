@@ -97,6 +97,10 @@ pub struct InsightReport {
     pub solver_propagations: u64,
     /// See [`InsightReport::solver_attempts`].
     pub solver_wipeouts: u64,
+    /// Deepest solver trail (undo-stack) depth across rounds.
+    pub solver_max_trail: u64,
+    /// Σ incremental (pinned) offspring re-solves across rounds.
+    pub solver_incremental: u64,
     /// Rounds that ended stalled.
     pub stalled_rounds: u32,
     /// Deterministic analyzer warnings.
@@ -225,6 +229,8 @@ pub fn analyze(log: &SearchLog) -> InsightReport {
         solver_attempts: sum64(|r| r.solver_attempts),
         solver_propagations: sum64(|r| r.solver_propagations),
         solver_wipeouts: sum64(|r| r.solver_wipeouts),
+        solver_max_trail: rounds.iter().map(|r| r.solver_max_trail).max().unwrap_or(0),
+        solver_incremental: sum64(|r| r.solver_incremental),
         stalled_rounds: rounds.iter().filter(|r| r.stalled).count() as u32,
         warnings: Vec::new(),
     };
@@ -439,6 +445,11 @@ impl InsightReport {
                 num(self.solver_propagations as f64),
             ),
             ("solver_wipeouts".into(), num(self.solver_wipeouts as f64)),
+            ("solver_max_trail".into(), num(self.solver_max_trail as f64)),
+            (
+                "solver_incremental".into(),
+                num(self.solver_incremental as f64),
+            ),
         ]);
         let rounds = Json::Arr(log.rounds.iter().map(round_json).collect());
         let warnings = Json::Arr(
@@ -515,8 +526,12 @@ impl InsightReport {
             self.deadline_hits
         ));
         s.push_str(&format!(
-            "  solver: {} attempts · {} propagations · {} wipeouts\n",
-            self.solver_attempts, self.solver_propagations, self.solver_wipeouts
+            "  solver: {} attempts · {} propagations · {} wipeouts · max trail {} · {} incremental re-solves\n",
+            self.solver_attempts,
+            self.solver_propagations,
+            self.solver_wipeouts,
+            self.solver_max_trail,
+            self.solver_incremental
         ));
         let shallow = log
             .vars
@@ -580,6 +595,11 @@ fn round_json(r: &crate::RoundRecord) -> Json {
             num(r.solver_propagations as f64),
         ),
         ("solver_wipeouts".into(), num(r.solver_wipeouts as f64)),
+        ("solver_max_trail".into(), num(r.solver_max_trail as f64)),
+        (
+            "solver_incremental".into(),
+            num(r.solver_incremental as f64),
+        ),
         ("stalled".into(), Json::Bool(r.stalled)),
     ])
 }

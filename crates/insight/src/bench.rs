@@ -33,6 +33,11 @@ pub struct WorkloadBench {
     pub randsat_propagations: u64,
     /// Solver throughput: solutions per 1000 propagations.
     pub sol_per_kprop: f64,
+    /// Deepest trail (save-on-write undo log) any solve reached.
+    pub randsat_max_trail: u64,
+    /// Offspring solves answered from the session's cached root
+    /// fixpoint instead of a from-scratch `run_all`.
+    pub incremental_hits: u64,
     /// Cost model refits.
     pub model_fits: u32,
     /// Final model pairwise rank accuracy on its training set.
@@ -104,6 +109,8 @@ impl BenchReport {
                                     num(w.randsat_propagations as f64),
                                 ),
                                 ("sol_per_kprop".into(), num(w.sol_per_kprop)),
+                                ("randsat_max_trail".into(), num(w.randsat_max_trail as f64)),
+                                ("incremental_hits".into(), num(w.incremental_hits as f64)),
                                 ("model_fits".into(), num(f64::from(w.model_fits))),
                                 ("final_rank_accuracy".into(), num(w.final_rank_accuracy)),
                             ])
@@ -148,6 +155,16 @@ impl BenchReport {
                 randsat_solutions: f(w, "randsat_solutions")? as u64,
                 randsat_propagations: f(w, "randsat_propagations")? as u64,
                 sol_per_kprop: f(w, "sol_per_kprop")?,
+                // Optional with a 0 default so pre-trail baselines
+                // (no such members) still parse for comparison.
+                randsat_max_trail: w
+                    .get("randsat_max_trail")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64,
+                incremental_hits: w
+                    .get("incremental_hits")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0) as u64,
                 model_fits: f(w, "model_fits")? as u32,
                 final_rank_accuracy: f(w, "final_rank_accuracy")?,
             });
@@ -274,6 +291,8 @@ mod tests {
             randsat_solutions: 900,
             randsat_propagations: 120_000,
             sol_per_kprop: 7.5,
+            randsat_max_trail: 12,
+            incremental_hits: 30,
             model_fits: 8,
             final_rank_accuracy: 0.91,
         });
@@ -288,6 +307,8 @@ mod tests {
             randsat_solutions: 500,
             randsat_propagations: 40_000,
             sol_per_kprop: 12.5,
+            randsat_max_trail: 9,
+            incremental_hits: 22,
             model_fits: 8,
             final_rank_accuracy: 0.88,
         });
@@ -303,6 +324,23 @@ mod tests {
                 .unwrap();
         assert_eq!(parsed, r);
         assert!((r.geomean_gflops() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_trail_baselines_parse_with_zero_defaults() {
+        let r = sample();
+        let legacy = r
+            .to_json()
+            .render()
+            .replace(",\"randsat_max_trail\":12", "")
+            .replace(",\"randsat_max_trail\":9", "")
+            .replace(",\"incremental_hits\":30", "")
+            .replace(",\"incremental_hits\":22", "");
+        assert!(!legacy.contains("randsat_max_trail"), "strip failed");
+        let parsed = BenchReport::from_json(&heron_trace::json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(parsed.workloads[0].randsat_max_trail, 0);
+        assert_eq!(parsed.workloads[1].incremental_hits, 0);
+        assert_eq!(parsed.workloads[0].sol_per_kprop, 12.5);
     }
 
     #[test]

@@ -90,6 +90,11 @@ pub struct RoundRecord {
     /// True when the round ended in a stall (no unmeasured candidates
     /// or solver starvation) rather than a measured batch.
     pub stalled: bool,
+    /// Deepest solver trail (undo-stack) depth observed this round.
+    pub solver_max_trail: u64,
+    /// Offspring solves served incrementally from the session's cached
+    /// root fixpoint this round.
+    pub solver_incremental: u64,
 }
 
 impl RoundRecord {
@@ -118,6 +123,8 @@ impl RoundRecord {
             solver_propagations: 0,
             solver_wipeouts: 0,
             stalled: false,
+            solver_max_trail: 0,
+            solver_incremental: 0,
         }
     }
 }
@@ -355,7 +362,7 @@ fn parse_opt_hex(tok: &str) -> Result<Option<f64>, String> {
 
 fn encode_round(r: &RoundRecord) -> String {
     format!(
-        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
         r.round,
         r.trials_done,
         f64_hex(r.best_gflops),
@@ -378,14 +385,19 @@ fn encode_round(r: &RoundRecord) -> String {
         r.solver_propagations,
         r.solver_wipeouts,
         u8::from(r.stalled),
+        r.solver_max_trail,
+        r.solver_incremental,
     )
 }
 
 fn decode_round(value: &str) -> Result<RoundRecord, String> {
     let toks: Vec<&str> = value.split_whitespace().collect();
-    if toks.len() != 22 {
+    // 22 tokens = the pre-trail-solver encoding (no trailing
+    // `solver_max_trail solver_incremental`); accepted for checkpoint
+    // backward compatibility, defaulting both counters to 0.
+    if toks.len() != 22 && toks.len() != 24 {
         return Err(format!(
-            "`insight.round` expects 22 tokens, got {}",
+            "`insight.round` expects 22 or 24 tokens, got {}",
             toks.len()
         ));
     }
@@ -426,6 +438,8 @@ fn decode_round(value: &str) -> Result<RoundRecord, String> {
             "1" => true,
             other => return Err(format!("bad stalled flag `{other}` in `insight.round`")),
         },
+        solver_max_trail: if toks.len() > 22 { u64_at(22)? } else { 0 },
+        solver_incremental: if toks.len() > 23 { u64_at(23)? } else { 0 },
     })
 }
 
@@ -531,6 +545,8 @@ mod tests {
         r1.batch_spearman = Some(0.9);
         r1.solver_attempts = 321;
         r1.stalled = false;
+        r1.solver_max_trail = 17;
+        r1.solver_incremental = 5;
         log.push_round(r1);
         log.push_refit(RefitRecord {
             round: 1,
@@ -569,6 +585,25 @@ mod tests {
         assert!(log
             .apply_checkpoint_line("insight.refit", "0 4 nothex")
             .is_err());
+    }
+
+    #[test]
+    fn legacy_22_token_round_lines_decode_with_zero_defaults() {
+        let mut r = RoundRecord::new(3);
+        r.solver_max_trail = 9;
+        r.solver_incremental = 4;
+        let line = encode_round(&r);
+        assert_eq!(line.split_whitespace().count(), 24);
+        // A pre-trail-solver checkpoint lacks the two trailing counters.
+        let legacy = line
+            .split_whitespace()
+            .take(22)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let back = decode_round(&legacy).expect("legacy lines must decode");
+        assert_eq!(back.solver_max_trail, 0);
+        assert_eq!(back.solver_incremental, 0);
+        assert_eq!(back.round, 3);
     }
 
     #[test]

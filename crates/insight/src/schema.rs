@@ -201,6 +201,8 @@ pub fn validate_insight(doc: &Json) -> Result<(), Vec<String>> {
             "solver_attempts",
             "solver_propagations",
             "solver_wipeouts",
+            "solver_max_trail",
+            "solver_incremental",
         ] {
             want_num(cons, key, &mut errs, "constraints");
         }
@@ -237,6 +239,8 @@ pub fn validate_insight(doc: &Json) -> Result<(), Vec<String>> {
             "solver_attempts",
             "solver_propagations",
             "solver_wipeouts",
+            "solver_max_trail",
+            "solver_incremental",
         ] {
             want_num(r, key, &mut errs, &ctx);
         }
@@ -316,6 +320,17 @@ pub fn validate_bench(doc: &Json) -> Result<(), Vec<String>> {
                 }
             }
         }
+        // Added with the trail-based solver; absent from pre-trail
+        // baselines, which must stay comparable (`BenchReport::from_json`
+        // defaults them to 0). Present ⇒ must be well-formed.
+        for key in ["randsat_max_trail", "incremental_hits"] {
+            if let Some(v) = w.get(key) {
+                match v.as_f64() {
+                    Some(n) if n.is_finite() && n >= 0.0 => {}
+                    _ => errs.push(format!("{ctx}: `{key}` is not a finite non-negative")),
+                }
+            }
+        }
     }
     if errs.is_empty() {
         Ok(())
@@ -366,6 +381,8 @@ mod tests {
             randsat_solutions: 10,
             randsat_propagations: 100,
             sol_per_kprop: 100.0,
+            randsat_max_trail: 6,
+            incremental_hits: 3,
             model_fits: 1,
             final_rank_accuracy: 0.8,
         });

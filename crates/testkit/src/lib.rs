@@ -40,6 +40,7 @@
 
 pub mod bench;
 pub mod csp_corpus;
+pub mod csp_reference;
 mod gen;
 pub mod shrink;
 

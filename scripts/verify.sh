@@ -106,6 +106,24 @@ if [ -f BENCH_heron.json ]; then
 fi
 echo "ok: insight.json + BENCH snapshot validate; self-comparison passes the gate"
 
+echo "== solver-throughput smoke (RandSAT sol_per_kprop gate) =="
+# The RandSAT probe inside `bench_snapshot` is a pure count: seed 2023,
+# 64 solutions, fixed spaces — independent of the trial budget, so the
+# reduced-budget smoke snapshot carries the exact `sol_per_kprop` the
+# full baseline does. Gate it against the committed baseline with zero
+# tolerance: any propagation-count regression in the solver hot path
+# fails verification. The other metrics depend on the trial budget
+# (24 here vs the baseline's full run), so they get no-op limits.
+if [ -f BENCH_heron.json ]; then
+    cargo run --release --offline -p heron-bench --bin bench_compare -- \
+        BENCH_heron.json "$obs_dir/BENCH_smoke.json" \
+        --max-throughput-drop 0 \
+        --max-perf-drop 1 --max-latency-rise 1000000 --max-accuracy-drop 1
+    echo "ok: sol_per_kprop no worse than the committed baseline"
+else
+    echo "warning: no committed BENCH_heron.json; skipping throughput gate" >&2
+fi
+
 echo "== robustness smoke (hardened exploration) =="
 # Over-constrained and UNSAT spaces must terminate with a classified
 # status (repair/fallback on satisfiable spaces, `root-infeasible` +

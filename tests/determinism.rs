@@ -408,6 +408,13 @@ fn bench_snapshot_json_is_byte_identical_for_same_seed() {
             randsat_solutions: 0,
             randsat_propagations: 0,
             sol_per_kprop: 0.0,
+            randsat_max_trail: log
+                .rounds
+                .iter()
+                .map(|r| r.solver_max_trail)
+                .max()
+                .unwrap_or(0),
+            incremental_hits: log.rounds.iter().map(|r| r.solver_incremental).sum(),
             model_fits: log.refits.len() as u32,
             final_rank_accuracy: result.model_rank_accuracy.unwrap_or(0.0),
         });
