@@ -33,8 +33,18 @@ fn load(path: &str) -> BenchReport {
     };
     if let Err(errors) = validate_bench(&doc) {
         eprintln!("`{path}` fails the heron-bench-v1 schema:");
+        let stale_randsat = errors
+            .iter()
+            .any(|e| e.contains("randsat_") || e.contains("sol_per_kprop"));
         for e in errors {
             eprintln!("  {e}");
+        }
+        if stale_randsat {
+            eprintln!(
+                "  note: `{path}` predates the solver-throughput snapshot fields; \
+                 regenerate it with bench_snapshot (only `randsat_max_trail` and \
+                 `incremental_hits` are optional for old baselines)"
+            );
         }
         std::process::exit(2);
     }
@@ -42,6 +52,13 @@ fn load(path: &str) -> BenchReport {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cannot parse `{path}`: {e}");
+            if e.contains("randsat_") || e.contains("sol_per_kprop") {
+                eprintln!(
+                    "  note: `{path}` predates the solver-throughput snapshot fields; \
+                     regenerate it with bench_snapshot (only `randsat_max_trail` and \
+                     `incremental_hits` are optional for old baselines)"
+                );
+            }
             std::process::exit(2);
         }
     }

@@ -71,7 +71,7 @@ fn main() {
 }
 
 fn usage() {
-    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE] [--trace-out FILE.jsonl] [--metrics-out FILE.tsv] [--profile] [--insight-out FILE.json] [--insight-report] [--solve-deadline STEPS] [--diagnose]");
+    eprintln!("usage: heron-cli <platforms|tune|compare|census|export> [--dla NAME] [--op OP] [--shape SHAPE] [--trials N] [--seed S] [--code] [--fault-rate R] [--pause-at N] [--checkpoint FILE] [--resume FILE] [--trace-out FILE.jsonl] [--metrics-out FILE.tsv] [--profile] [--insight-out FILE.json] [--insight-report] [--solve-deadline STEPS] [--deadline-rounds N] [--diagnose]");
 }
 
 fn platform(name: &str) -> DlaSpec {
@@ -340,6 +340,13 @@ fn tune_resilient(args: &[String], c: &Common) {
     if want_insight && tuner.insight().is_none() {
         tuner.enable_insight(8);
     }
+    // Global job deadline: the session preempts itself at the round
+    // boundary once its *lifetime* round counter (which survives
+    // checkpoint/resume) reaches the bound — the same cooperative path
+    // heron-serve uses, so the checkpoint is bit-exact resumable.
+    if let Some(deadline) = flag(args, "--deadline-rounds").and_then(|d| d.parse::<u64>().ok()) {
+        tuner.control().set_deadline_rounds(deadline);
+    }
 
     if let Some(pause_at) = flag(args, "--pause-at").and_then(|n| n.parse::<usize>().ok()) {
         let finished = tuner.run_until(pause_at);
@@ -361,6 +368,19 @@ fn tune_resilient(args: &[String], c: &Common) {
         println!("session finished before trial {pause_at}; nothing to pause");
     } else {
         tuner.run();
+    }
+    if tuner.result().termination == heron_core::tuner::Termination::Preempted {
+        let path =
+            flag(args, "--checkpoint").unwrap_or_else(|| format!("{}.ckpt", c.workload.name));
+        if let Err(e) = tuner.checkpoint().save(&path) {
+            eprintln!("cannot write checkpoint `{path}`: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "deadline reached after {} rounds; checkpoint written to `{path}` \
+             (resume with --resume {path})",
+            tuner.rounds_total()
+        );
     }
     print!("{}", tuner.result().report());
     if has_flag(args, "--diagnose")
@@ -390,6 +410,7 @@ fn tune_cmd(args: &[String]) {
         "--insight-out",
         "--insight-report",
         "--solve-deadline",
+        "--deadline-rounds",
         "--diagnose",
     ]
     .iter()

@@ -1,0 +1,225 @@
+//! heron_serve: in-process driver for the supervised tuning service.
+//!
+//! No network, no daemon management: the service reads a deterministic
+//! **job script** (or the built-in `--smoke` scenario), drives the
+//! supervisor to completion on this process's thread pool, prints the
+//! results manifest, and optionally writes per-job artifacts and the
+//! service trace. The `--smoke` mode is the chaos harness the CI
+//! service-robustness stage runs: it submits six jobs, kill-injects
+//! three workers (two crashes, one hang), drives one job past its
+//! restart budget into quarantine, overflows the admission queue, and
+//! then *proves* the robustness contract — every recovered job's
+//! deterministic record is byte-identical to an uninterrupted run, no
+//! job was lost or double-run, and a second service run reproduces the
+//! manifest byte for byte.
+
+use heron_bench::{flag, has_flag};
+use heron_serve::{chaos, parse_script, JobScript, JobState, Supervisor};
+
+/// The built-in chaos scenario for `--smoke` (and a worked example of
+/// the job-script language).
+const SMOKE_SCRIPT: &str = "\
+# heron-serve chaos smoke: 6 jobs, 3 worker kills, 1 poisoned job,
+# 1 admission rejection.
+workers = 3
+queue_capacity = 5
+restart_budget = 2
+checkpoint_every = 2
+hang_grace_polls = 150
+poll_interval_ms = 10
+
+job g1 op=gemm shape=96x96x96 trials=40 seed=11
+job g2 op=gemm shape=64x128x64 trials=40 seed=12 fault_rate=0.15
+job g3 op=gemm shape=128x64x128 trials=32 seed=13
+job g4 op=gemm shape=64x64x64 trials=32 seed=14
+job g5 op=gemm shape=48x48x48 trials=24 seed=15
+job g6 op=gemm shape=32x32x32 trials=16 seed=16
+
+# g1: crash after round 3 (recovers from its round-2 checkpoint).
+kill g1 attempt=0 round=3 kind=crash
+# g2: hang at round 2 (watchdog fences the epoch and recovers).
+kill g2 attempt=0 round=2 kind=hang
+# g5: poisoned — every attempt dies, exhausting the restart budget.
+kill g5 attempt=0 round=1 kind=crash
+kill g5 attempt=1 round=2 kind=crash
+kill g5 attempt=2 round=1 kind=crash
+";
+
+fn usage() {
+    eprintln!(
+        "usage: heron_serve (--jobs FILE | --smoke) [--workers N] [--manifest FILE] \
+         [--trace-out FILE.jsonl] [--artifact-dir DIR] [--verify-recovery]"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has_flag(&args, "--help") {
+        usage();
+        return;
+    }
+    let smoke = has_flag(&args, "--smoke");
+    let script_text = if smoke {
+        SMOKE_SCRIPT.to_string()
+    } else if let Some(path) = flag(&args, "--jobs") {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read job script `{path}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        usage();
+        std::process::exit(2);
+    };
+    let mut script = match parse_script(&script_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad job script: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(w) = flag(&args, "--workers").and_then(|w| w.parse().ok()) {
+        script.config.workers = w;
+    }
+
+    let specs = script.jobs.clone();
+    let sup = run_service(script.clone());
+    let manifest = sup.manifest();
+    print!("{manifest}");
+
+    if let Some(path) = flag(&args, "--manifest") {
+        if let Err(e) = std::fs::write(&path, &manifest) {
+            eprintln!("cannot write manifest `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("manifest written to `{path}`");
+    }
+    if let Some(path) = flag(&args, "--trace-out") {
+        if let Err(e) = sup.tracer().write_jsonl(&path) {
+            eprintln!("cannot write trace `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "service trace written to `{path}` ({} events)",
+            sup.tracer().event_count()
+        );
+    }
+    if let Some(dir) = flag(&args, "--artifact-dir") {
+        write_artifacts(&sup, &dir);
+    }
+
+    if smoke || has_flag(&args, "--verify-recovery") {
+        match chaos::verify_run(&sup, &specs) {
+            Ok(verified) => println!(
+                "chaos verification: {} job(s) byte-identical to uninterrupted runs",
+                verified.len()
+            ),
+            Err(problems) => {
+                eprintln!("chaos verification FAILED:\n{problems}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if smoke {
+        smoke_assertions(&sup, script, &manifest);
+        println!("service-robustness smoke: PASS");
+    }
+}
+
+fn run_service(script: JobScript) -> Supervisor {
+    let mut sup = Supervisor::from_script(script);
+    sup.run();
+    sup
+}
+
+/// Per-job artifacts: the deterministic record, the search-health
+/// `insight.json`, and the final attempt's session trace.
+fn write_artifacts(sup: &Supervisor, dir: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create artifact dir `{dir}`: {e}");
+        std::process::exit(1);
+    }
+    let base = std::path::Path::new(dir);
+    for row in sup.rows() {
+        let Some(report) = sup.report(&row.id) else {
+            continue;
+        };
+        let write = |name: String, data: &str| {
+            if let Err(e) = std::fs::write(base.join(&name), data) {
+                eprintln!("cannot write artifact `{name}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        write(format!("{}.record.txt", row.id), &report.record);
+        if !report.insight_json.is_empty() {
+            write(format!("{}.insight.json", row.id), &report.insight_json);
+        }
+        if !report.trace_jsonl.is_empty() {
+            write(format!("{}.trace.jsonl", row.id), &report.trace_jsonl);
+        }
+    }
+    eprintln!("artifacts written to `{dir}`");
+}
+
+/// The assertions behind the CI smoke stage. Process exit 1 with a
+/// pointed message on any violation.
+fn smoke_assertions(first: &Supervisor, script: JobScript, first_manifest: &str) {
+    let fail = |msg: String| {
+        eprintln!("smoke FAILED: {msg}");
+        std::process::exit(1);
+    };
+    let state_count =
+        |sup: &Supervisor, s: JobState| sup.rows().iter().filter(|r| r.state == s).count();
+    if state_count(first, JobState::Completed) != 4 {
+        fail(format!(
+            "expected 4 completed jobs, got {}",
+            state_count(first, JobState::Completed)
+        ));
+    }
+    if state_count(first, JobState::Quarantined) != 1 {
+        fail(format!(
+            "expected 1 quarantined (poisoned) job, got {}",
+            state_count(first, JobState::Quarantined)
+        ));
+    }
+    if first.rejected().len() != 1 {
+        fail(format!(
+            "expected 1 admission rejection, got {}",
+            first.rejected().len()
+        ));
+    }
+    let counter = |name: &str| first.tracer().counter(name).unwrap_or(0);
+    if counter("serve.crashes_detected") < 2 {
+        fail(format!(
+            "expected >= 2 crash detections, got {}",
+            counter("serve.crashes_detected")
+        ));
+    }
+    if counter("serve.hangs_detected") < 1 {
+        fail(format!(
+            "expected >= 1 hang detection, got {}",
+            counter("serve.hangs_detected")
+        ));
+    }
+    if counter("serve.jobs_recovered") < 2 {
+        fail(format!(
+            "expected >= 2 recoveries, got {}",
+            counter("serve.jobs_recovered")
+        ));
+    }
+    // Determinism: a second full service run reproduces the manifest
+    // byte for byte — states, attempts, rounds, fingerprints and all.
+    let second = run_service(script);
+    let second_manifest = second.manifest();
+    if second_manifest != first_manifest {
+        eprintln!("--- first run ---\n{first_manifest}");
+        eprintln!("--- second run ---\n{second_manifest}");
+        fail("service manifest is not deterministic across runs".to_string());
+    }
+    println!(
+        "manifest deterministic across two service runs ({} jobs)",
+        first.rows().len()
+    );
+}

@@ -152,6 +152,13 @@ pub struct TuneCheckpoint {
     pub rng_state: [u64; 4],
     /// Consecutive stalled ε-greedy rounds at checkpoint time.
     pub stall_rounds: usize,
+    /// Lifetime ε-greedy rounds executed, earlier resumes included — the
+    /// counter a `TunerControl` round deadline is measured against.
+    /// Absent in pre-v7 checkpoints (defaults to 0 on parse).
+    pub rounds_total: usize,
+    /// Quarantine entries evicted so far by the `max_quarantined` bound.
+    /// Absent in pre-v7 checkpoints (defaults to 0 on parse).
+    pub quarantine_evictions: usize,
     /// Best observed throughput so far, Gops.
     pub best_gflops: f64,
     /// Latency of the best program, seconds (`inf` if none found yet).
@@ -187,7 +194,11 @@ pub struct TuneCheckpoint {
     pub iterations: Vec<IterationStats>,
     /// Fingerprints of every measured solution, ascending.
     pub measured: Vec<u64>,
-    /// Fingerprints of every quarantined solution, ascending.
+    /// Fingerprints of every *currently* quarantined solution, in
+    /// insertion order (the order the `max_quarantined` bound evicts
+    /// oldest-first — serialising it keeps eviction deterministic across
+    /// resume). Pre-v7 checkpoints stored ascending order, which is an
+    /// equally valid insertion history and still parses.
     pub quarantined: Vec<u64>,
     /// The cost-model training log in measurement order:
     /// `(solution values, trained score)`.
@@ -327,6 +338,8 @@ impl TuneCheckpoint {
             self.rng_state[0], self.rng_state[1], self.rng_state[2], self.rng_state[3]
         );
         let _ = writeln!(out, "stall_rounds = {}", self.stall_rounds);
+        let _ = writeln!(out, "rounds_total = {}", self.rounds_total);
+        let _ = writeln!(out, "quarantine_evictions = {}", self.quarantine_evictions);
         let _ = writeln!(
             out,
             "best_gflops = {} # {}",
@@ -443,6 +456,8 @@ impl TuneCheckpoint {
             seed: 0,
             rng_state: [0; 4],
             stall_rounds: 0,
+            rounds_total: 0,
+            quarantine_evictions: 0,
             best_gflops: 0.0,
             best_latency_s: f64::INFINITY,
             best_solution: None,
@@ -503,6 +518,10 @@ impl TuneCheckpoint {
                     seen_rng = true;
                 }
                 "stall_rounds" => ck.stall_rounds = parse_usize(value, line_no)?,
+                "rounds_total" => ck.rounds_total = parse_usize(value, line_no)?,
+                "quarantine_evictions" => {
+                    ck.quarantine_evictions = parse_usize(value, line_no)?;
+                }
                 "best_gflops" => ck.best_gflops = parse_f64_hex(value, line_no)?,
                 "best_latency_s" => ck.best_latency_s = parse_f64_hex(value, line_no)?,
                 "best_solution" => ck.best_solution = Some(parse_i64_list(value, line_no)?),
@@ -670,6 +689,8 @@ mod tests {
                 0x0000_0000_0000_0001,
             ],
             stall_rounds: 2,
+            rounds_total: 9,
+            quarantine_evictions: 1,
             best_gflops: 1_234.567_890_123,
             best_latency_s: 3.2e-5,
             best_solution: Some(vec![4, 16, 2, -1, 8]),
@@ -727,6 +748,8 @@ mod tests {
         assert_eq!(back.seed, ck.seed);
         assert_eq!(back.rng_state, ck.rng_state);
         assert_eq!(back.stall_rounds, ck.stall_rounds);
+        assert_eq!(back.rounds_total, ck.rounds_total);
+        assert_eq!(back.quarantine_evictions, ck.quarantine_evictions);
         assert_eq!(back.best_gflops.to_bits(), ck.best_gflops.to_bits());
         assert_eq!(back.best_latency_s.to_bits(), ck.best_latency_s.to_bits());
         assert_eq!(back.best_solution, ck.best_solution);
@@ -811,6 +834,25 @@ mod tests {
             matches!(err, CheckpointError::Parse { line: 5, .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn pre_service_checkpoints_parse_with_zero_round_and_eviction_counters() {
+        // A pre-PR-7 v2 checkpoint has no `rounds_total` /
+        // `quarantine_evictions` lines; it must still load, with both
+        // counters defaulting to zero (fresh-deadline semantics).
+        let mut text = sample_checkpoint().to_text();
+        let body: String = text
+            .lines()
+            .filter(|l| !l.starts_with("rounds_total") && !l.starts_with("quarantine_evictions"))
+            .take_while(|l| !l.starts_with("crc32"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        text = with_crc(&body);
+        let back = TuneCheckpoint::from_text(&text).expect("legacy checkpoint parses");
+        assert_eq!(back.rounds_total, 0);
+        assert_eq!(back.quarantine_evictions, 0);
+        assert_eq!(back.quarantined, vec![22]);
     }
 
     #[test]

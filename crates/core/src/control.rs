@@ -1,0 +1,146 @@
+//! Cooperative session control for long-lived tuning services.
+//!
+//! A [`TunerControl`] is a cloneable, thread-safe handle shared between a
+//! running [`crate::tuner::Tuner`] and whoever supervises it (the
+//! `heron-serve` daemon, a CLI deadline, a test harness). The tuner
+//! consults it **only at round boundaries** — exactly the granularity at
+//! which [`crate::tuner::Tuner::checkpoint`] is bit-exact — so honouring
+//! a preemption or cancellation request never tears a round in half and
+//! never perturbs the deterministic RNG stream:
+//!
+//! * **preempt** — finish the current round, record
+//!   [`crate::tuner::Termination::Preempted`] and stop; the session is
+//!   expected to be checkpointed and resumed later. A *deadline* (a bound
+//!   on the session's lifetime round counter) preempts through the same
+//!   path, so `heron_cli --deadline-rounds` and a service-side preemption
+//!   are indistinguishable to the tuner.
+//! * **cancel** — finish the current round, record
+//!   [`crate::tuner::Termination::Cancelled`] and stop; the session is
+//!   being abandoned (e.g. its worker epoch was superseded after a hang)
+//!   and no result will be collected from it.
+//!
+//! In the other direction the tuner publishes a **heartbeat**: a counter
+//! bumped at every round boundary. A supervisor that polls the heartbeat
+//! and sees it stand still while the worker thread is alive has detected
+//! a hang (a stuck measurement, a runaway solve) and can fence the epoch
+//! off and recover from the last checkpoint.
+//!
+//! All state is relaxed atomics behind one `Arc`: requests are sticky
+//! level-triggered flags, not a synchronisation protocol, and the
+//! heartbeat is a monotone progress counter — no ordering is implied
+//! between them and any session data (results always travel through the
+//! checkpoint or a channel, never through this handle).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct ControlInner {
+    preempt: AtomicBool,
+    cancel: AtomicBool,
+    heartbeat: AtomicU64,
+    /// Lifetime round bound; `0` means no deadline.
+    deadline_rounds: AtomicU64,
+}
+
+/// Shared stop-token + heartbeat between a tuner and its supervisor.
+///
+/// Cheap to clone (one `Arc`); all clones observe the same state.
+/// `Default` is an idle control: no requests, no deadline.
+#[derive(Debug, Clone, Default)]
+pub struct TunerControl {
+    inner: Arc<ControlInner>,
+}
+
+impl TunerControl {
+    /// A fresh idle control handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a cooperative preemption: the session stops at the next
+    /// round boundary with [`crate::tuner::Termination::Preempted`].
+    /// Sticky — there is no un-preempt; resume with a fresh control.
+    pub fn request_preempt(&self) {
+        self.inner.preempt.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether preemption has been requested (or a deadline configured
+    /// via [`TunerControl::set_deadline_rounds`] has been reached —
+    /// callers that need the distinction check the deadline themselves).
+    pub fn preempt_requested(&self) -> bool {
+        self.inner.preempt.load(Ordering::Relaxed)
+    }
+
+    /// Requests a cooperative cancellation: the session stops at the next
+    /// round boundary with [`crate::tuner::Termination::Cancelled`] and
+    /// its results are to be discarded. Sticky.
+    pub fn request_cancel(&self) {
+        self.inner.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn cancel_requested(&self) -> bool {
+        self.inner.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Bounds the session's *lifetime* round counter (which survives
+    /// checkpoint/resume): once `rounds_total >= rounds` the tuner
+    /// preempts itself at the round boundary. `0` clears the deadline.
+    pub fn set_deadline_rounds(&self, rounds: u64) {
+        self.inner.deadline_rounds.store(rounds, Ordering::Relaxed);
+    }
+
+    /// The configured round deadline (`0` = none).
+    pub fn deadline_rounds(&self) -> u64 {
+        self.inner.deadline_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Publishes one unit of progress (called by the tuner at every
+    /// round boundary).
+    pub fn beat(&self) {
+        self.inner.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The progress counter: strictly increases while the session makes
+    /// progress; a supervisor polling an unchanged value on a live
+    /// worker has detected a hang.
+    pub fn heartbeat(&self) -> u64 {
+        self.inner.heartbeat.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flags_are_sticky_and_shared_across_clones() {
+        let c = TunerControl::new();
+        let c2 = c.clone();
+        assert!(!c.preempt_requested());
+        assert!(!c.cancel_requested());
+        assert_eq!(c.deadline_rounds(), 0);
+        c2.request_preempt();
+        c2.request_cancel();
+        c2.set_deadline_rounds(7);
+        assert!(c.preempt_requested());
+        assert!(c.cancel_requested());
+        assert_eq!(c.deadline_rounds(), 7);
+        c.set_deadline_rounds(0);
+        assert_eq!(c2.deadline_rounds(), 0);
+    }
+
+    #[test]
+    fn heartbeat_counts_beats_across_threads() {
+        let c = TunerControl::new();
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..100 {
+                c2.beat();
+            }
+        });
+        h.join().expect("joins");
+        assert_eq!(c.heartbeat(), 100);
+    }
+}

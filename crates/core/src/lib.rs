@@ -34,6 +34,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod control;
 pub mod explore;
 pub mod generate;
 pub mod library;
@@ -41,6 +42,7 @@ pub mod model;
 pub mod tuner;
 
 pub use checkpoint::{CheckpointError, TuneCheckpoint};
+pub use control::TunerControl;
 pub use generate::{GeneratedSpace, SpaceGenerator, SpaceOptions};
 pub use library::{KernelLibrary, LibraryEntry};
 pub use model::CostModel;

@@ -29,7 +29,7 @@
 //!   session (including RNG state) and [`Tuner::resume`] continues it so a
 //!   killed session reproduces the uninterrupted run bit-for-bit.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Instant;
 
 use heron_csp::{tunable_domains, Solution, SolveSession, SolveStats, SolveStatus};
@@ -41,6 +41,7 @@ use heron_sched::{lower, Kernel, LowerError};
 use heron_trace::{ProfileNode, Tracer};
 
 use crate::checkpoint::{CheckpointError, TuneCheckpoint};
+use crate::control::TunerControl;
 use crate::explore::cga::{materialize_offspring_session, offspring_pins, CgaConfig};
 use crate::explore::{eps_greedy_detailed, roulette_wheel, Chromosome};
 use crate::generate::GeneratedSpace;
@@ -163,6 +164,13 @@ pub struct TuneConfig {
     /// without this bail-out the loop would spin forever re-deriving
     /// already-measured configurations.
     pub max_stall_rounds: usize,
+    /// Bound on the per-fingerprint quarantine set. Quarantine is a
+    /// *cache* of known-bad configurations, and a week-long service
+    /// session on a fault-heavy board would otherwise grow it without
+    /// limit; past the cap the **oldest** entry is evicted (deterministic
+    /// FIFO of insertion order, checkpointed in that order so resume
+    /// evicts identically). `0` disables the bound.
+    pub max_quarantined: usize,
 }
 
 impl TuneConfig {
@@ -178,6 +186,7 @@ impl TuneConfig {
             backoff_cap_s: 8.0,
             penalty_fraction: 0.1,
             max_stall_rounds: 16,
+            max_quarantined: 4096,
         }
     }
 
@@ -220,6 +229,16 @@ pub enum Termination {
     /// failed to materialise any chromosome within its budget/deadline
     /// ([`TuneConfig::max_stall_rounds`] consecutive starved rounds).
     SolverStarved,
+    /// The session was preempted at a round boundary — by a supervisor's
+    /// [`TunerControl::request_preempt`] or by reaching a
+    /// [`TunerControl::set_deadline_rounds`] deadline. The session is
+    /// expected to be checkpointed and resumed later; a resumed run
+    /// continues bit-for-bit where the preempted one stopped.
+    Preempted,
+    /// The session was cancelled at a round boundary
+    /// ([`TunerControl::request_cancel`]): it is being abandoned and its
+    /// result will not be collected.
+    Cancelled,
 }
 
 impl std::fmt::Display for Termination {
@@ -230,6 +249,8 @@ impl std::fmt::Display for Termination {
             Termination::SpaceExhausted => "space-exhausted",
             Termination::Infeasible => "infeasible",
             Termination::SolverStarved => "solver-starved",
+            Termination::Preempted => "preempted",
+            Termination::Cancelled => "cancelled",
         })
     }
 }
@@ -298,9 +319,17 @@ pub struct TuneResult {
     pub retried_trials: usize,
     /// Total transient-failure retries across all trials.
     pub total_retries: usize,
-    /// Candidates quarantined after exhausting
-    /// [`TuneConfig::max_retries`].
+    /// Candidates *currently* quarantined after exhausting
+    /// [`TuneConfig::max_retries`] (bounded by
+    /// [`TuneConfig::max_quarantined`]).
     pub quarantined: usize,
+    /// Quarantine entries evicted by the [`TuneConfig::max_quarantined`]
+    /// bound (oldest-first, deterministic).
+    pub quarantine_evictions: usize,
+    /// Lifetime ε-greedy rounds this session has executed, *including*
+    /// rounds before a checkpoint/resume — the counter a
+    /// [`TunerControl`] round deadline is measured against.
+    pub rounds_total: usize,
     /// Trials that experienced at least one measurement timeout.
     pub timeout_trials: usize,
     /// Offspring CSPs that needed at least one injected constraint
@@ -343,6 +372,8 @@ impl TuneResult {
             retried_trials: 0,
             total_retries: 0,
             quarantined: 0,
+            quarantine_evictions: 0,
+            rounds_total: 0,
             timeout_trials: 0,
             repaired_offspring: 0,
             relaxed_constraints: 0,
@@ -396,6 +427,13 @@ impl TuneResult {
             self.timeout_trials,
             self.termination
         );
+        if self.quarantine_evictions > 0 {
+            let _ = writeln!(
+                out,
+                "quarantine: {} oldest entries evicted by the max_quarantined bound",
+                self.quarantine_evictions
+            );
+        }
         if self.repaired_offspring > 0 || self.solver_deadline_hits > 0 || self.fallback_samples > 0
         {
             let _ = writeln!(
@@ -444,6 +482,152 @@ impl TuneResult {
         }
         out
     }
+
+    /// Canonical serialisation of everything **deterministic** about the
+    /// session: the best program (exact float bits), the full best-so-far
+    /// curve, per-iteration stats, every resilience/solver counter, and
+    /// the *simulated* measurement clock. Host wall-clock timings
+    /// (`cga_s`, `sim_s`, `model_s`) are excluded — they vary run to run
+    /// on the same machine.
+    ///
+    /// Two runs of the same `(space, seed, config)` produce byte-equal
+    /// records; so does a run recovered from any round-boundary
+    /// checkpoint versus its uninterrupted original. That equality is the
+    /// crash-recovery proof obligation of `heron-serve`'s chaos harness.
+    pub fn deterministic_record(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "best_gflops={:016x} best_latency_s={:016x}",
+            self.best_gflops.to_bits(),
+            self.best_latency_s.to_bits()
+        );
+        if let Some(sol) = &self.best_solution {
+            let _ = writeln!(
+                out,
+                "best_solution={:?} fp={:#018x}",
+                sol.values(),
+                sol.fingerprint()
+            );
+        }
+        if let Some(k) = &self.best_kernel {
+            let _ = writeln!(out, "best_kernel={k:?}");
+        }
+        for (i, v) in self.curve.iter().enumerate() {
+            let _ = writeln!(out, "curve[{i}]={:016x}", v.to_bits());
+        }
+        for it in &self.iterations {
+            let _ = writeln!(
+                out,
+                "iter={} trials={} best={:016x} batch_mean={:016x} fitted={} pop={}",
+                it.iteration,
+                it.trials_done,
+                it.best_gflops.to_bits(),
+                it.batch_mean_gflops.to_bits(),
+                u8::from(it.model_fitted),
+                it.population
+            );
+        }
+        let _ = writeln!(
+            out,
+            "valid={} invalid={} retried={} retries={} quarantined={} evictions={} \
+             rounds={} timeouts={} termination={}",
+            self.valid_trials,
+            self.invalid_trials,
+            self.retried_trials,
+            self.total_retries,
+            self.quarantined,
+            self.quarantine_evictions,
+            self.rounds_total,
+            self.timeout_trials,
+            self.termination
+        );
+        let _ = writeln!(
+            out,
+            "repaired={} relaxed={} deadline_hits={} fallbacks={}",
+            self.repaired_offspring,
+            self.relaxed_constraints,
+            self.solver_deadline_hits,
+            self.fallback_samples
+        );
+        for (tag, n) in &self.error_counts {
+            let _ = writeln!(out, "error[{tag}]={n}");
+        }
+        let _ = writeln!(
+            out,
+            "hw_measure_s={:016x}",
+            self.timing.hw_measure_s.to_bits()
+        );
+        out
+    }
+
+    /// FNV-1a 64-bit hash of [`TuneResult::deterministic_record`] — a
+    /// compact determinism fingerprint for manifests and sweep tests.
+    pub fn determinism_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.deterministic_record().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The bounded per-fingerprint quarantine: a membership set plus the
+/// insertion-order queue that makes the [`TuneConfig::max_quarantined`]
+/// eviction deterministic (oldest entry out first). Checkpointed in
+/// insertion order so a resumed session evicts identically.
+#[derive(Debug, Default)]
+struct Quarantine {
+    set: BTreeSet<u64>,
+    order: VecDeque<u64>,
+    evictions: usize,
+}
+
+impl Quarantine {
+    /// Rebuilds the quarantine from its checkpointed insertion-order
+    /// fingerprint list and eviction count.
+    fn from_ordered(fps: &[u64], evictions: usize) -> Self {
+        let mut q = Quarantine {
+            evictions,
+            ..Quarantine::default()
+        };
+        for &fp in fps {
+            if q.set.insert(fp) {
+                q.order.push_back(fp);
+            }
+        }
+        q
+    }
+
+    /// Inserts a fingerprint, then evicts oldest-first past `cap`
+    /// (`cap == 0` means unbounded). Returns how many entries were
+    /// evicted by this insertion.
+    fn insert(&mut self, fp: u64, cap: usize) -> usize {
+        if self.set.insert(fp) {
+            self.order.push_back(fp);
+        }
+        let mut evicted = 0;
+        while cap > 0 && self.set.len() > cap {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            self.set.remove(&old);
+            self.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Fingerprints in insertion order (the serialisation order).
+    fn ordered(&self) -> Vec<u64> {
+        self.order.iter().copied().collect()
+    }
 }
 
 /// The mutable mid-session state (everything a checkpoint captures,
@@ -457,7 +641,7 @@ struct SessionState {
     samples: Vec<(Vec<i64>, f64)>,
     result: TuneResult,
     measured: BTreeSet<u64>,
-    quarantined: BTreeSet<u64>,
+    quarantined: Quarantine,
     survivors: Vec<Chromosome>,
     stall_rounds: usize,
     finished: bool,
@@ -474,7 +658,7 @@ impl SessionState {
             samples: Vec::new(),
             result: TuneResult::empty(),
             measured: BTreeSet::new(),
-            quarantined: BTreeSet::new(),
+            quarantined: Quarantine::default(),
             survivors: Vec::new(),
             stall_rounds: 0,
             finished: false,
@@ -530,6 +714,9 @@ pub struct Tuner {
     rng: HeronRng,
     state: SessionState,
     tracer: Tracer,
+    /// Cooperative stop-token + heartbeat shared with a supervisor
+    /// (idle/no-op unless one was attached via [`Tuner::set_control`]).
+    control: TunerControl,
     /// Long-lived solver state: propagator adjacency and the cached root
     /// fixpoint, built once per session (and rebuilt identically on
     /// resume — its setup cost is never charged to any round's stats, so
@@ -553,6 +740,7 @@ impl Tuner {
             rng: HeronRng::from_seed(seed),
             state,
             tracer: Tracer::disabled(),
+            control: TunerControl::new(),
             solver,
         }
     }
@@ -587,6 +775,34 @@ impl Tuner {
     /// The attached tracer ([`Tracer::disabled`] unless one was set).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches a supervisor control handle (builder style). The tuner
+    /// consults it at every round boundary ([`Termination::Preempted`] /
+    /// [`Termination::Cancelled`]) and publishes a heartbeat on it. Like
+    /// the tracer, the control observes only: attaching one never
+    /// perturbs the deterministic session stream.
+    #[must_use]
+    pub fn with_control(mut self, control: TunerControl) -> Self {
+        self.set_control(control);
+        self
+    }
+
+    /// Replaces the control handle in place (used when a recovered job
+    /// is re-attached to a fresh worker epoch).
+    pub fn set_control(&mut self, control: TunerControl) {
+        self.control = control;
+    }
+
+    /// The attached control handle (an idle default unless one was set).
+    pub fn control(&self) -> &TunerControl {
+        &self.control
+    }
+
+    /// Lifetime ε-greedy rounds executed, checkpoint/resume included —
+    /// the counter round deadlines are measured against.
+    pub fn rounds_total(&self) -> usize {
+        self.state.result.rounds_total
     }
 
     /// Enables the search-health log (builder style): per-round
@@ -728,6 +944,27 @@ impl Tuner {
             self.finish(Termination::TrialsExhausted);
             return false;
         }
+        // Cooperative control checks, round-boundary granularity only:
+        // cancellation (session abandoned) wins over preemption (session
+        // to be checkpointed and resumed); an explicit preempt request
+        // and an expired round deadline share one exit path.
+        if self.control.cancel_requested() {
+            self.tracer.counter_add("tuner.cancelled", 1);
+            self.finish(Termination::Cancelled);
+            return false;
+        }
+        let deadline = self.control.deadline_rounds();
+        if self.control.preempt_requested()
+            || (deadline > 0 && self.state.result.rounds_total as u64 >= deadline)
+        {
+            self.tracer.counter_add("tuner.preempted", 1);
+            self.finish(Termination::Preempted);
+            return false;
+        }
+        // This round is now committed: count it (stalled or not) on the
+        // lifetime counter and publish progress to any supervisor.
+        self.state.result.rounds_total += 1;
+        self.control.beat();
         let tracer = self.tracer.clone();
         let iter_no = self.state.result.iterations.len();
         let _step_span = tracer.span_with("tuner.step", || [("iter", iter_no.to_string())]);
@@ -1133,9 +1370,16 @@ impl Tuner {
                 res.invalid_trials += 1;
                 tracer.counter_add("measure.invalid_trials", 1);
                 if quarantine {
-                    self.state.quarantined.insert(sol.fingerprint());
+                    let evicted = self
+                        .state
+                        .quarantined
+                        .insert(sol.fingerprint(), cfg.max_quarantined);
                     res.quarantined = self.state.quarantined.len();
+                    res.quarantine_evictions = self.state.quarantined.evictions;
                     tracer.counter_add("measure.quarantined", 1);
+                    if evicted > 0 {
+                        tracer.counter_add("tuner.quarantine_evictions", evicted as u64);
+                    }
                     tracer.point_with("measure.quarantine", || {
                         [("fp", sol.fingerprint().to_string())]
                     });
@@ -1165,6 +1409,8 @@ impl Tuner {
             seed: self.rng.seed(),
             rng_state: self.rng.state_words(),
             stall_rounds: self.state.stall_rounds,
+            rounds_total: r.rounds_total,
+            quarantine_evictions: r.quarantine_evictions,
             best_gflops: r.best_gflops,
             best_latency_s: r.best_latency_s,
             best_solution: r.best_solution.as_ref().map(|s| s.values().to_vec()),
@@ -1182,7 +1428,7 @@ impl Tuner {
             timing: r.timing,
             iterations: r.iterations.clone(),
             measured: self.state.measured.iter().copied().collect(),
-            quarantined: self.state.quarantined.iter().copied().collect(),
+            quarantined: self.state.quarantined.ordered(),
             samples: self.state.samples.clone(),
             survivors: self
                 .state
@@ -1287,6 +1533,8 @@ impl Tuner {
             retried_trials: ckpt.retried_trials,
             total_retries: ckpt.total_retries,
             quarantined: ckpt.quarantined.len(),
+            quarantine_evictions: ckpt.quarantine_evictions,
+            rounds_total: ckpt.rounds_total,
             timeout_trials: ckpt.timeout_trials,
             repaired_offspring: ckpt.repaired_offspring,
             relaxed_constraints: ckpt.relaxed_constraints,
@@ -1304,7 +1552,7 @@ impl Tuner {
             samples: ckpt.samples.clone(),
             result,
             measured: ckpt.measured.iter().copied().collect(),
-            quarantined: ckpt.quarantined.iter().copied().collect(),
+            quarantined: Quarantine::from_ordered(&ckpt.quarantined, ckpt.quarantine_evictions),
             survivors,
             stall_rounds: ckpt.stall_rounds,
             finished: false,
@@ -1320,6 +1568,7 @@ impl Tuner {
             rng,
             state,
             tracer: Tracer::disabled(),
+            control: TunerControl::new(),
             solver,
         })
     }
@@ -1623,6 +1872,159 @@ mod tests {
         )
         .expect("resumes");
         assert_eq!(resumed.insight(), tuner.insight());
+    }
+
+    #[test]
+    fn deadline_preempts_at_round_boundary_and_resume_completes_identically() {
+        let seed = 7;
+        let mut reference = Tuner::new(
+            gemm_space(256, "gemm-ctl"),
+            Measurer::new(v100()),
+            TuneConfig::quick(24),
+            seed,
+        );
+        let expected = reference.run();
+        assert_eq!(expected.termination, Termination::TrialsExhausted);
+        assert!(expected.rounds_total > 2, "budget must span several rounds");
+
+        // A 2-round deadline preempts the session at the boundary.
+        let mut tuner = Tuner::new(
+            gemm_space(256, "gemm-ctl"),
+            Measurer::new(v100()),
+            TuneConfig::quick(24),
+            seed,
+        );
+        tuner.control().set_deadline_rounds(2);
+        let preempted = tuner.run();
+        assert_eq!(preempted.termination, Termination::Preempted);
+        assert_eq!(preempted.rounds_total, 2);
+        assert!(preempted.report().contains("termination: preempted"));
+        assert!(preempted.curve.len() < expected.curve.len());
+
+        // The preempted checkpoint resumes (deadline lifted) to a result
+        // byte-identical to the uninterrupted run — including the
+        // determinism fingerprint heron-serve's chaos harness compares.
+        let ckpt = TuneCheckpoint::from_text(&tuner.checkpoint().to_text()).expect("roundtrips");
+        assert_eq!(ckpt.rounds_total, 2);
+        let mut resumed = Tuner::resume(
+            gemm_space(256, "gemm-ctl"),
+            Measurer::new(v100()),
+            TuneConfig::quick(24),
+            FaultPlan::none(seed),
+            &ckpt,
+        )
+        .expect("resumes");
+        let finished = resumed.run();
+        assert_eq!(finished.rounds_total, expected.rounds_total);
+        assert_eq!(
+            finished.deterministic_record(),
+            expected.deterministic_record()
+        );
+        assert_eq!(
+            finished.determinism_fingerprint(),
+            expected.determinism_fingerprint()
+        );
+
+        // The lifetime counter survives resume: re-imposing the already-
+        // spent deadline preempts immediately, before any new round.
+        let mut stale = Tuner::resume(
+            gemm_space(256, "gemm-ctl"),
+            Measurer::new(v100()),
+            TuneConfig::quick(24),
+            FaultPlan::none(seed),
+            &ckpt,
+        )
+        .expect("resumes");
+        stale.control().set_deadline_rounds(2);
+        assert!(!stale.step());
+        assert_eq!(stale.result().termination, Termination::Preempted);
+        assert_eq!(stale.result().rounds_total, 2);
+    }
+
+    #[test]
+    fn cancellation_stops_the_session_without_consuming_a_round() {
+        let mut tuner = Tuner::new(
+            gemm_space(256, "gemm-cancel"),
+            Measurer::new(v100()),
+            TuneConfig::quick(24),
+            3,
+        );
+        assert!(tuner.step(), "first round runs");
+        assert_eq!(tuner.rounds_total(), 1);
+        let control = tuner.control().clone();
+        control.request_cancel();
+        assert!(!tuner.step());
+        let result = tuner.result();
+        assert_eq!(result.termination, Termination::Cancelled);
+        assert_eq!(result.rounds_total, 1, "cancel must not start a round");
+        assert!(tuner.is_finished());
+        assert_eq!(control.heartbeat(), 1, "one beat per executed round");
+    }
+
+    #[test]
+    fn quarantine_eviction_is_bounded_deterministic_and_observation_only() {
+        let seed = 11;
+        let run = |max_quarantined: usize, tracer: Option<Tracer>| {
+            let mut config = TuneConfig::quick(48);
+            config.max_quarantined = max_quarantined;
+            let space = gemm_space(256, "gemm-lru");
+            let mut tuner = Tuner::new(space, Measurer::new(v100()), config, seed)
+                .with_faults(FaultPlan::uniform(seed, 0.35));
+            if let Some(t) = tracer {
+                tuner = tuner.with_tracer(t);
+            }
+            tuner.run()
+        };
+        let unbounded = run(0, None);
+        assert!(
+            unbounded.quarantined >= 2,
+            "need ≥2 quarantined candidates to exercise eviction: {}",
+            unbounded.report()
+        );
+        assert_eq!(unbounded.quarantine_evictions, 0);
+
+        let tracer = Tracer::manual();
+        let bounded = run(1, Some(tracer.clone()));
+        assert_eq!(bounded.quarantined, 1, "cap of 1 keeps exactly one entry");
+        assert_eq!(
+            bounded.quarantine_evictions,
+            unbounded.quarantined - 1,
+            "every older entry was evicted oldest-first"
+        );
+        assert_eq!(
+            tracer.counter("tuner.quarantine_evictions"),
+            Some(bounded.quarantine_evictions as u64)
+        );
+        assert!(bounded.report().contains("evicted by the max_quarantined"));
+        // Eviction is bookkeeping only: the search stream is untouched.
+        assert_eq!(bounded.curve, unbounded.curve);
+        assert_eq!(bounded.best_gflops, unbounded.best_gflops);
+
+        // Insertion order and the eviction counter survive the
+        // checkpoint roundtrip, so a resumed session evicts identically.
+        let mut config = TuneConfig::quick(48);
+        config.max_quarantined = 1;
+        let space = gemm_space(256, "gemm-lru");
+        let mut half = Tuner::new(space, Measurer::new(v100()), config, seed)
+            .with_faults(FaultPlan::uniform(seed, 0.35));
+        half.run_until(24);
+        let ckpt = TuneCheckpoint::from_text(&half.checkpoint().to_text()).expect("roundtrips");
+        let resumed_result = {
+            let space = gemm_space(256, "gemm-lru");
+            let mut resumed = Tuner::resume(
+                space,
+                Measurer::new(v100()),
+                config,
+                FaultPlan::uniform(seed, 0.35),
+                &ckpt,
+            )
+            .expect("resumes");
+            resumed.run()
+        };
+        assert_eq!(
+            resumed_result.deterministic_record(),
+            bounded.deterministic_record()
+        );
     }
 
     #[test]

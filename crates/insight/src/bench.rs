@@ -124,37 +124,46 @@ impl BenchReport {
     /// Parses a report back from JSON.
     ///
     /// # Errors
-    /// A message naming the missing/invalid member.
+    /// A message naming the missing/invalid member *and* the workload
+    /// (index and, when present, name) it was missing from — a gate
+    /// that refuses a baseline must say exactly what is wrong with it.
     pub fn from_json(doc: &Json) -> Result<Self, String> {
         if doc.get("schema").and_then(Json::as_str) != Some("heron-bench-v1") {
             return Err("not a heron-bench-v1 document".to_string());
         }
-        let f = |obj: &Json, key: &str| -> Result<f64, String> {
+        let f = |obj: &Json, key: &str, ctx: &str| -> Result<f64, String> {
             obj.get(key)
                 .and_then(Json::as_f64)
-                .ok_or_else(|| format!("missing numeric member `{key}`"))
+                .ok_or_else(|| format!("{ctx}: missing numeric member `{key}`"))
         };
-        let mut report = BenchReport::new(f(doc, "seed")? as u64, f(doc, "trials")? as u32);
+        let mut report = BenchReport::new(
+            f(doc, "seed", "document")? as u64,
+            f(doc, "trials", "document")? as u32,
+        );
         let workloads = doc
             .get("workloads")
             .and_then(Json::as_arr)
-            .ok_or_else(|| "missing `workloads` array".to_string())?;
-        for w in workloads {
+            .ok_or_else(|| "document: missing `workloads` array".to_string())?;
+        for (i, w) in workloads.iter().enumerate() {
+            let ctx = match w.get("name").and_then(Json::as_str) {
+                Some(name) => format!("workloads[{i}] (`{name}`)"),
+                None => format!("workloads[{i}]"),
+            };
             report.push(WorkloadBench {
                 name: w
                     .get("name")
                     .and_then(Json::as_str)
-                    .ok_or_else(|| "workload missing `name`".to_string())?
+                    .ok_or_else(|| format!("{ctx}: missing string member `name`"))?
                     .to_string(),
-                best_gflops: f(w, "best_gflops")?,
-                best_latency_us: f(w, "best_latency_us")?,
-                trials: f(w, "trials")? as u32,
-                valid_trials: f(w, "valid_trials")? as u32,
-                rounds: f(w, "rounds")? as u32,
-                hw_measure_s: f(w, "hw_measure_s")?,
-                randsat_solutions: f(w, "randsat_solutions")? as u64,
-                randsat_propagations: f(w, "randsat_propagations")? as u64,
-                sol_per_kprop: f(w, "sol_per_kprop")?,
+                best_gflops: f(w, "best_gflops", &ctx)?,
+                best_latency_us: f(w, "best_latency_us", &ctx)?,
+                trials: f(w, "trials", &ctx)? as u32,
+                valid_trials: f(w, "valid_trials", &ctx)? as u32,
+                rounds: f(w, "rounds", &ctx)? as u32,
+                hw_measure_s: f(w, "hw_measure_s", &ctx)?,
+                randsat_solutions: f(w, "randsat_solutions", &ctx)? as u64,
+                randsat_propagations: f(w, "randsat_propagations", &ctx)? as u64,
+                sol_per_kprop: f(w, "sol_per_kprop", &ctx)?,
                 // Optional with a 0 default so pre-trail baselines
                 // (no such members) still parse for comparison.
                 randsat_max_trail: w
@@ -165,8 +174,8 @@ impl BenchReport {
                     .get("incremental_hits")
                     .and_then(Json::as_f64)
                     .unwrap_or(0.0) as u64,
-                model_fits: f(w, "model_fits")? as u32,
-                final_rank_accuracy: f(w, "final_rank_accuracy")?,
+                model_fits: f(w, "model_fits", &ctx)? as u32,
+                final_rank_accuracy: f(w, "final_rank_accuracy", &ctx)?,
             });
         }
         Ok(report)
@@ -341,6 +350,35 @@ mod tests {
         assert_eq!(parsed.workloads[0].randsat_max_trail, 0);
         assert_eq!(parsed.workloads[1].incremental_hits, 0);
         assert_eq!(parsed.workloads[0].sol_per_kprop, 12.5);
+    }
+
+    #[test]
+    fn missing_required_keys_name_the_workload_and_key() {
+        // A baseline so old it predates the solver-throughput counters:
+        // the required `sol_per_kprop` is gone from the second workload
+        // (name-sorted: `gemm-512`). The diagnostic must say which file
+        // member is missing from which workload — not a generic parse
+        // error (the file context is the caller's job; see
+        // `bench_compare`).
+        let legacy = sample().to_json().render().replace(
+            ",\"sol_per_kprop\":7.5,\"randsat_max_trail\":12",
+            ",\"randsat_max_trail\":12",
+        );
+        assert!(legacy.contains("sol_per_kprop"), "conv-64 keeps its copy");
+        let err = BenchReport::from_json(&heron_trace::json::parse(&legacy).unwrap()).unwrap_err();
+        assert_eq!(
+            err, "workloads[1] (`gemm-512`): missing numeric member `sol_per_kprop`",
+            "diagnostic names workload index, name, and key"
+        );
+
+        // A workload with no name still gets located by index.
+        let nameless = sample()
+            .to_json()
+            .render()
+            .replace("\"name\":\"conv-64\",", "");
+        let err =
+            BenchReport::from_json(&heron_trace::json::parse(&nameless).unwrap()).unwrap_err();
+        assert_eq!(err, "workloads[0]: missing string member `name`");
     }
 
     #[test]

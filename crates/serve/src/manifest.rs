@@ -1,0 +1,101 @@
+//! The results manifest: the daemon's deterministic output document.
+//!
+//! Plain text, one `job` line per admitted job in id order plus one
+//! `rejected` line per refused submission in submission order. Every
+//! field on it is a deterministic function of (script, seeds, chaos
+//! plan) — states, attempt counts, round totals, fingerprints — and
+//! deliberately **excludes** anything scheduling-dependent (worker
+//! ids, epochs, wall-clock), so two runs of the same script produce
+//! byte-identical manifests and the verify smoke can diff them.
+
+use crate::supervisor::{JobRow, JobState};
+
+/// Renders the manifest for a finished service run.
+pub fn render(rows: &[JobRow], rejected: &[(String, String)]) -> String {
+    let mut out = String::new();
+    out.push_str("# heron-serve results manifest\n");
+    let count = |s: JobState| rows.iter().filter(|r| r.state == s).count();
+    out.push_str(&format!("jobs = {}\n", rows.len()));
+    out.push_str(&format!("completed = {}\n", count(JobState::Completed)));
+    out.push_str(&format!("preempted = {}\n", count(JobState::Preempted)));
+    out.push_str(&format!("quarantined = {}\n", count(JobState::Quarantined)));
+    out.push_str(&format!("queued = {}\n", count(JobState::Queued)));
+    out.push_str(&format!("rejected = {}\n", rejected.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "job {} state={} attempts={} recoveries={}",
+            row.id, row.state, row.attempts, row.recoveries
+        ));
+        if row.state == JobState::Completed || row.state == JobState::Preempted {
+            out.push_str(&format!(" rounds={} trials={}", row.rounds, row.trials));
+        }
+        if let Some(t) = &row.termination {
+            out.push_str(&format!(" termination={t}"));
+        }
+        if let Some(fp) = row.fingerprint {
+            out.push_str(&format!(" fingerprint={fp:016x}"));
+        }
+        if let Some(b) = row.best_gflops {
+            // Exact bits, not a rounded decimal: the manifest is part
+            // of the byte-identity contract.
+            out.push_str(&format!(" best_bits={:016x}", b.to_bits()));
+        }
+        if let Some(n) = &row.note {
+            out.push_str(&format!(" note={n}"));
+        }
+        out.push('\n');
+    }
+    for (id, reason) in rejected {
+        out.push_str(&format!("rejected {id} reason={reason}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_is_stable_and_complete() {
+        let rows = vec![
+            JobRow {
+                id: "g1".to_string(),
+                state: JobState::Completed,
+                attempts: 2,
+                recoveries: 1,
+                rounds: 6,
+                trials: 40,
+                termination: Some("trials".to_string()),
+                fingerprint: Some(0xdead_beef),
+                best_gflops: Some(1.5),
+                note: None,
+            },
+            JobRow {
+                id: "g2".to_string(),
+                state: JobState::Quarantined,
+                attempts: 3,
+                recoveries: 3,
+                rounds: 0,
+                trials: 0,
+                termination: None,
+                fingerprint: None,
+                best_gflops: None,
+                note: Some("poisoned: restart budget (2) exhausted after 3 attempts".to_string()),
+            },
+        ];
+        let rejected = vec![("g9".to_string(), "queue full (capacity 1)".to_string())];
+        let text = render(&rows, &rejected);
+        assert_eq!(text, render(&rows, &rejected), "rendering is pure");
+        assert!(text.contains("jobs = 2"));
+        assert!(text.contains("completed = 1"));
+        assert!(text.contains("quarantined = 1"));
+        assert!(text.contains("rejected = 1"));
+        assert!(text.contains(
+            "job g1 state=completed attempts=2 recoveries=1 rounds=6 trials=40 \
+             termination=trials fingerprint=00000000deadbeef best_bits=3ff8000000000000"
+        ));
+        assert!(text.contains("job g2 state=quarantined attempts=3 recoveries=3 note=poisoned"));
+        assert!(text.contains("rejected g9 reason=queue full (capacity 1)"));
+    }
+}

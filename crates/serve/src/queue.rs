@@ -1,0 +1,144 @@
+//! Bounded admission: the service's backpressure contract.
+//!
+//! Submission either *admits* a job into the FIFO queue or *rejects* it
+//! with a machine-readable [`AdmitError`] — never a silent drop. The
+//! queue is bounded at submit time ([`AdmitError::QueueFull`] past
+//! capacity), ids are unique for the lifetime of the service
+//! ([`AdmitError::Duplicate`] even after the original left the queue,
+//! so a retry of a completed job cannot double-run it), and specs are
+//! validated up front ([`AdmitError::Invalid`]) so a worker never
+//! discovers a malformed workload mid-flight.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::job::{JobError, JobSpec};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmitError {
+    /// The pending queue is at capacity; resubmit later.
+    QueueFull {
+        /// The configured bound that was hit.
+        capacity: usize,
+    },
+    /// A job with this id was already admitted (possibly long finished).
+    Duplicate {
+        /// The offending id.
+        id: String,
+    },
+    /// The spec cannot be built into a session.
+    Invalid {
+        /// The offending id.
+        id: String,
+        /// The underlying spec error.
+        error: JobError,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            AdmitError::Duplicate { id } => write!(f, "duplicate job id `{id}`"),
+            AdmitError::Invalid { id, error } => write!(f, "invalid job `{id}`: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// FIFO admission queue with a hard capacity and lifetime id-uniqueness.
+#[derive(Debug)]
+pub struct AdmitQueue {
+    capacity: usize,
+    pending: VecDeque<JobSpec>,
+    admitted_ids: BTreeSet<String>,
+}
+
+impl AdmitQueue {
+    /// An empty queue bounded at `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        AdmitQueue {
+            capacity,
+            pending: VecDeque::new(),
+            admitted_ids: BTreeSet::new(),
+        }
+    }
+
+    /// Admits `spec` or rejects it with a reason. Order of checks:
+    /// duplicate id (cheapest, never admits a second copy even when
+    /// full), validity, then capacity.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), AdmitError> {
+        if self.admitted_ids.contains(&spec.id) {
+            return Err(AdmitError::Duplicate { id: spec.id });
+        }
+        if let Err(error) = spec.validate() {
+            return Err(AdmitError::Invalid { id: spec.id, error });
+        }
+        if self.pending.len() >= self.capacity {
+            return Err(AdmitError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.admitted_ids.insert(spec.id.clone());
+        self.pending.push_back(spec);
+        Ok(())
+    }
+
+    /// Takes the oldest pending job for assignment.
+    pub fn pop(&mut self) -> Option<JobSpec> {
+        self.pending.pop_front()
+    }
+
+    /// Pending (admitted, unassigned) job count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_bounded_unique_and_validated() {
+        let mut q = AdmitQueue::new(2);
+        q.submit(JobSpec::new("a", "gemm", "8x8x8"))
+            .expect("admits");
+        q.submit(JobSpec::new("b", "gemm", "8x8x8"))
+            .expect("admits");
+        assert_eq!(
+            q.submit(JobSpec::new("c", "gemm", "8x8x8")),
+            Err(AdmitError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(
+            q.submit(JobSpec::new("a", "gemm", "8x8x8")),
+            Err(AdmitError::Duplicate {
+                id: "a".to_string()
+            })
+        );
+        match q.submit(JobSpec::new("d", "gemm", "8x8")) {
+            Err(AdmitError::Invalid { id, .. }) => assert_eq!(id, "d"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Popping frees capacity but not the id.
+        assert_eq!(q.pop().map(|s| s.id), Some("a".to_string()));
+        q.submit(JobSpec::new("e", "gemm", "8x8x8"))
+            .expect("admits");
+        assert_eq!(
+            q.submit(JobSpec::new("a", "gemm", "8x8x8")),
+            Err(AdmitError::Duplicate {
+                id: "a".to_string()
+            })
+        );
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

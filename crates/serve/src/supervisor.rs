@@ -1,0 +1,596 @@
+//! The supervisor: admission, assignment, watchdog, recovery, drain.
+//!
+//! One single-threaded event loop owns the whole job table; workers
+//! only ever talk back over an mpsc channel, and every message quotes
+//! the worker's **epoch** so a fenced-off zombie can be ignored rather
+//! than corrupting the table. The lifecycle per job:
+//!
+//! ```text
+//! submit ──► Queued ──assign──► Running ──► Completed
+//!    │                            │  ▲
+//!    └─► rejected (with reason)   │  └── recover (≤ restart_budget)
+//!                                 │            │
+//!                                 ├─ preempt ─► Preempted (checkpointed)
+//!                                 └─ budget exhausted ─► Quarantined
+//! ```
+//!
+//! Failure detection is two-pronged, matching the two ways a worker
+//! can die:
+//!
+//! * **crash** — the thread is finished but no event for the current
+//!   epoch ever arrived (a real killed process looks exactly like
+//!   this). Detected on the next poll; pending events are drained
+//!   first so a completion racing the scan is never misread as a
+//!   crash.
+//! * **hang** — the thread is alive but its heartbeat (bumped by the
+//!   tuner at every round boundary) stands still for
+//!   `hang_grace_polls` consecutive polls. The supervisor cancels the
+//!   epoch (fencing its checkpoint saves off), parks the zombie handle
+//!   for later joining, and recovers from the last snapshot.
+//!
+//! Recovery resumes from the job's last accepted checkpoint — or from
+//! scratch if it never checkpointed — after a *simulated* backoff
+//! (advancing the manual-clock service trace, not wall time; the
+//! deterministic-in-simulated-time watchdog contract). Each job gets
+//! `restart_budget` recoveries before it is quarantined as poisoned —
+//! the same policy the tuner applies to crashing kernel candidates,
+//! lifted to job granularity.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use heron_core::TunerControl;
+use heron_trace::Tracer;
+
+use crate::job::{JobScript, JobSpec, ServeConfig};
+use crate::manifest;
+use crate::plan::ChaosPlan;
+use crate::queue::{AdmitError, AdmitQueue};
+use crate::store::CheckpointStore;
+use crate::worker::{run_order, Event, JobReport, WorkOrder};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker (terminal only after a drain).
+    Queued,
+    /// A worker attempt is in flight.
+    Running,
+    /// Finished; its [`JobReport`] is available.
+    Completed,
+    /// Preempted (job deadline or drain); checkpoint is in the store.
+    Preempted,
+    /// Poisoned: failed past the restart budget (or unbuildable).
+    Quarantined,
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Preempted => "preempted",
+            JobState::Quarantined => "quarantined",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Supervisor-side record of one admitted job.
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    /// Current (or final) attempt number; attempt 0 is the first run.
+    attempt: u32,
+    /// Recoveries performed (crash + hang combined).
+    recoveries: u32,
+    epoch: u64,
+    control: TunerControl,
+    handle: Option<JoinHandle<()>>,
+    last_heartbeat: u64,
+    stall_polls: u32,
+    report: Option<Box<JobReport>>,
+    /// Human-readable context for quarantine/preemption.
+    note: Option<String>,
+    /// Rounds/trials at preemption (from the worker's event).
+    preempted_rounds: u64,
+    preempted_trials: usize,
+}
+
+/// Read-only snapshot of a job for manifests and assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRow {
+    /// Job id.
+    pub id: String,
+    /// Lifecycle state at snapshot time.
+    pub state: JobState,
+    /// Attempts started (attempt index + 1 once running).
+    pub attempts: u32,
+    /// Recoveries performed.
+    pub recoveries: u32,
+    /// Lifetime rounds (completed or preempted sessions; 0 otherwise).
+    pub rounds: u64,
+    /// Trials completed.
+    pub trials: usize,
+    /// Final termination (completed jobs).
+    pub termination: Option<String>,
+    /// Determinism fingerprint (completed jobs).
+    pub fingerprint: Option<u64>,
+    /// Best throughput in Gops/s (completed jobs).
+    pub best_gflops: Option<f64>,
+    /// Quarantine/preemption context.
+    pub note: Option<String>,
+}
+
+/// The tuning service: a bounded queue, a worker pool, and a watchdog,
+/// all driven by [`Supervisor::run`] on the calling thread.
+pub struct Supervisor {
+    config: ServeConfig,
+    plan: ChaosPlan,
+    store: CheckpointStore,
+    tracer: Tracer,
+    queue: AdmitQueue,
+    jobs: BTreeMap<String, JobEntry>,
+    rejected: Vec<(String, String)>,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    zombies: Vec<JoinHandle<()>>,
+    spawn_counter: usize,
+    draining: bool,
+}
+
+impl Supervisor {
+    /// A supervisor with no chaos plan and a fresh in-memory store.
+    pub fn new(config: ServeConfig) -> Self {
+        let (tx, rx) = channel();
+        let queue = AdmitQueue::new(config.queue_capacity);
+        Supervisor {
+            config,
+            plan: ChaosPlan::none(),
+            store: CheckpointStore::new(),
+            tracer: Tracer::manual(),
+            queue,
+            jobs: BTreeMap::new(),
+            rejected: Vec::new(),
+            tx,
+            rx,
+            zombies: Vec::new(),
+            spawn_counter: 0,
+            draining: false,
+        }
+    }
+
+    /// Installs a kill-injection plan (chaos harness).
+    pub fn with_plan(mut self, plan: ChaosPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replaces the checkpoint store (e.g. one with a disk mirror).
+    pub fn with_store(mut self, store: CheckpointStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Builds a supervisor from a parsed job script and submits every
+    /// job, recording rejections. Returns the supervisor ready to
+    /// [`Supervisor::run`].
+    pub fn from_script(script: JobScript) -> Self {
+        let mut sup = Supervisor::new(script.config).with_plan(script.plan);
+        for spec in script.jobs {
+            let _ = sup.submit(spec);
+        }
+        sup
+    }
+
+    /// Submits one job through admission control. Rejections are
+    /// recorded (for the manifest) and returned.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), AdmitError> {
+        let id = spec.id.clone();
+        match self.queue.submit(spec.clone()) {
+            Ok(()) => {
+                self.tracer.counter_add("serve.jobs_submitted", 1);
+                self.tracer
+                    .point_with("serve.submit", || [("job", id.clone())]);
+                self.jobs.insert(
+                    id,
+                    JobEntry {
+                        spec,
+                        state: JobState::Queued,
+                        attempt: 0,
+                        recoveries: 0,
+                        epoch: 0,
+                        control: TunerControl::new(),
+                        handle: None,
+                        last_heartbeat: 0,
+                        stall_polls: 0,
+                        report: None,
+                        note: None,
+                        preempted_rounds: 0,
+                        preempted_trials: 0,
+                    },
+                );
+                Ok(())
+            }
+            Err(e) => {
+                self.tracer.counter_add("serve.jobs_rejected", 1);
+                self.tracer.point_with("serve.reject", || {
+                    [("job", id.clone()), ("reason", e.to_string())]
+                });
+                self.rejected.push((id, e.to_string()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Drives the service to completion: assigns queued jobs to free
+    /// workers, processes worker events, runs the watchdog, recovers
+    /// failures, and returns once every admitted job is settled
+    /// (completed, preempted, quarantined — or still queued after a
+    /// drain).
+    pub fn run(&mut self) {
+        {
+            let _span = self.tracer.span("serve.run");
+            loop {
+                self.assign_ready();
+                if self.all_settled() {
+                    break;
+                }
+                match self
+                    .rx
+                    .recv_timeout(Duration::from_millis(self.config.poll_interval_ms))
+                {
+                    Ok(ev) => {
+                        self.handle_event(ev);
+                        while let Ok(ev) = self.rx.try_recv() {
+                            self.handle_event(ev);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    // We hold a sender for the workers; disconnection is
+                    // impossible while `self` lives.
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                self.scan_workers();
+            }
+        }
+        self.join_all();
+        self.tracer
+            .counter_add("serve.checkpoint_saves", self.store.saves());
+        self.tracer
+            .counter_add("serve.stale_checkpoint_saves", self.store.stale_saves());
+    }
+
+    /// Requests a graceful drain: stop assigning, preempt everything
+    /// running (each drains to a checkpoint in the store).
+    pub fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.tracer.point("serve.drain");
+        for entry in self.jobs.values() {
+            if entry.state == JobState::Running {
+                entry.control.request_preempt();
+            }
+        }
+    }
+
+    fn running_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|e| e.state == JobState::Running)
+            .count()
+    }
+
+    fn assign_ready(&mut self) {
+        if self.draining {
+            return;
+        }
+        while self.running_count() < self.config.workers.max(1) {
+            let Some(spec) = self.queue.pop() else { break };
+            self.spawn(&spec.id.clone(), None, 0);
+        }
+    }
+
+    /// Starts (or restarts) a worker attempt for `id`. Opens a fresh
+    /// epoch so any previous worker for this job is fenced off.
+    fn spawn(&mut self, id: &str, resume_from: Option<String>, attempt: u32) {
+        let epoch = self.store.open_epoch(id);
+        let control = TunerControl::new();
+        let worker_id = self.spawn_counter % self.config.workers.max(1);
+        self.spawn_counter += 1;
+        let entry = self.jobs.get_mut(id).expect("spawn of unknown job");
+        entry.state = JobState::Running;
+        entry.attempt = attempt;
+        entry.epoch = epoch;
+        entry.control = control.clone();
+        entry.last_heartbeat = 0;
+        entry.stall_polls = 0;
+        let order = WorkOrder {
+            spec: entry.spec.clone(),
+            attempt,
+            epoch,
+            resume_from,
+            control,
+            store: self.store.clone(),
+            plan: self.plan.clone(),
+            checkpoint_every: self.config.checkpoint_every,
+            worker_id,
+        };
+        let tx = self.tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("heron-serve-w{worker_id}"))
+            .spawn(move || run_order(order, tx))
+            .expect("spawn worker thread");
+        entry.handle = Some(handle);
+        self.tracer.counter_add("serve.assignments", 1);
+        let id_owned = id.to_string();
+        self.tracer.point_with("serve.assign", move || {
+            [
+                ("job", id_owned),
+                ("attempt", attempt.to_string()),
+                ("worker", worker_id.to_string()),
+            ]
+        });
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::Completed { job, epoch, report } => {
+                let Some(entry) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if entry.epoch != epoch || entry.state != JobState::Running {
+                    self.tracer.counter_add("serve.stale_events", 1);
+                    return;
+                }
+                if let Some(h) = entry.handle.take() {
+                    let _ = h.join();
+                }
+                entry.state = JobState::Completed;
+                entry.report = Some(report);
+                self.tracer.counter_add("serve.jobs_completed", 1);
+                self.tracer
+                    .point_with("serve.complete", move || [("job", job)]);
+                let done = self
+                    .jobs
+                    .values()
+                    .filter(|e| e.state == JobState::Completed)
+                    .count();
+                if self.config.drain_after_completions > 0
+                    && done >= self.config.drain_after_completions
+                {
+                    self.begin_drain();
+                }
+            }
+            Event::Preempted {
+                job,
+                epoch,
+                rounds,
+                trials,
+            } => {
+                let Some(entry) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if entry.epoch != epoch || entry.state != JobState::Running {
+                    self.tracer.counter_add("serve.stale_events", 1);
+                    return;
+                }
+                if let Some(h) = entry.handle.take() {
+                    let _ = h.join();
+                }
+                entry.state = JobState::Preempted;
+                entry.preempted_rounds = rounds;
+                entry.preempted_trials = trials;
+                entry.note = Some(format!("checkpointed at round {rounds}"));
+                self.tracer.counter_add("serve.jobs_preempted", 1);
+                self.tracer
+                    .point_with("serve.preempt", move || [("job", job)]);
+            }
+            Event::Failed { job, epoch, reason } => {
+                let Some(entry) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if entry.epoch != epoch || entry.state != JobState::Running {
+                    self.tracer.counter_add("serve.stale_events", 1);
+                    return;
+                }
+                if let Some(h) = entry.handle.take() {
+                    let _ = h.join();
+                }
+                // A session that cannot be built is deterministically
+                // poisoned; retrying cannot help.
+                entry.state = JobState::Quarantined;
+                entry.note = Some(format!("poisoned: {reason}"));
+                self.tracer.counter_add("serve.jobs_quarantined", 1);
+                self.tracer
+                    .point_with("serve.quarantine", move || [("job", job)]);
+            }
+        }
+    }
+
+    /// The watchdog pass: detect crashed workers (finished thread, no
+    /// event) and hung workers (live thread, flat heartbeat).
+    fn scan_workers(&mut self) {
+        let running: Vec<String> = self
+            .jobs
+            .iter()
+            .filter(|(_, e)| e.state == JobState::Running && e.handle.is_some())
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in running {
+            let finished = self
+                .jobs
+                .get(&id)
+                .and_then(|e| e.handle.as_ref())
+                .is_some_and(|h| h.is_finished());
+            if finished {
+                // Drain the channel first: a completion racing this scan
+                // must never be misread as a crash (a worker's event is
+                // sent strictly before its thread exits).
+                while let Ok(ev) = self.rx.try_recv() {
+                    self.handle_event(ev);
+                }
+                let entry = self.jobs.get_mut(&id).expect("scanned job exists");
+                if entry.state != JobState::Running {
+                    continue; // the drained event settled it
+                }
+                if let Some(h) = entry.handle.take() {
+                    let _ = h.join();
+                }
+                self.tracer.counter_add("serve.crashes_detected", 1);
+                let id_owned = id.clone();
+                self.tracer
+                    .point_with("serve.crash_detected", move || [("job", id_owned)]);
+                self.recover(&id);
+            } else {
+                let entry = self.jobs.get_mut(&id).expect("scanned job exists");
+                let hb = entry.control.heartbeat();
+                if hb != entry.last_heartbeat {
+                    entry.last_heartbeat = hb;
+                    entry.stall_polls = 0;
+                    continue;
+                }
+                entry.stall_polls += 1;
+                if entry.stall_polls < self.config.hang_grace_polls {
+                    continue;
+                }
+                // Hang: fence the epoch off (cancel wakes the zombie so
+                // it can exit; its checkpoint saves are already stale
+                // the moment we respawn), park the handle, recover.
+                entry.control.request_cancel();
+                if let Some(h) = entry.handle.take() {
+                    self.zombies.push(h);
+                }
+                self.tracer.counter_add("serve.hangs_detected", 1);
+                let id_owned = id.clone();
+                self.tracer
+                    .point_with("serve.hang_detected", move || [("job", id_owned)]);
+                self.recover(&id);
+            }
+        }
+    }
+
+    /// Retry-with-backoff, bounded by the restart budget. Resumes from
+    /// the last accepted checkpoint, or from scratch if the job died
+    /// before ever snapshotting.
+    fn recover(&mut self, id: &str) {
+        let (recoveries, next_attempt) = {
+            let entry = self.jobs.get_mut(id).expect("recovering unknown job");
+            entry.recoveries += 1;
+            (entry.recoveries, entry.attempt + 1)
+        };
+        if recoveries > self.config.restart_budget {
+            let entry = self.jobs.get_mut(id).expect("recovering unknown job");
+            entry.state = JobState::Quarantined;
+            entry.note = Some(format!(
+                "poisoned: restart budget ({}) exhausted after {} attempts",
+                self.config.restart_budget, next_attempt
+            ));
+            self.tracer.counter_add("serve.jobs_quarantined", 1);
+            let id_owned = id.to_string();
+            self.tracer
+                .point_with("serve.quarantine", move || [("job", id_owned)]);
+            return;
+        }
+        // Exponential backoff in *simulated* time: the service trace's
+        // manual clock advances, wall time does not. Step-based
+        // supervision stays deterministic and tests stay fast.
+        let backoff_s = self.config.backoff_base_s * f64::powi(2.0, recoveries as i32 - 1);
+        self.tracer.advance_s(backoff_s);
+        self.tracer.counter_add("serve.jobs_recovered", 1);
+        let resume_from = self.store.load(id);
+        let resumed = resume_from.is_some();
+        let id_owned = id.to_string();
+        self.tracer.point_with("serve.recover", move || {
+            [
+                ("job", id_owned),
+                ("attempt", next_attempt.to_string()),
+                ("from_checkpoint", resumed.to_string()),
+            ]
+        });
+        self.spawn(id, resume_from, next_attempt);
+    }
+
+    fn all_settled(&self) -> bool {
+        let queue_done = self.draining || self.queue.is_empty();
+        queue_done
+            && self.jobs.values().all(|e| match e.state {
+                JobState::Completed | JobState::Preempted | JobState::Quarantined => true,
+                JobState::Queued => self.draining,
+                JobState::Running => false,
+            })
+    }
+
+    fn join_all(&mut self) {
+        for entry in self.jobs.values_mut() {
+            if let Some(h) = entry.handle.take() {
+                entry.control.request_cancel();
+                let _ = h.join();
+            }
+        }
+        for h in self.zombies.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Snapshot of every admitted job, in id order.
+    pub fn rows(&self) -> Vec<JobRow> {
+        self.jobs
+            .iter()
+            .map(|(id, e)| {
+                let (rounds, trials) = match (&e.report, e.state) {
+                    (Some(r), _) => (r.rounds, r.trials),
+                    (None, JobState::Preempted) => (e.preempted_rounds, e.preempted_trials),
+                    _ => (0, 0),
+                };
+                JobRow {
+                    id: id.clone(),
+                    state: e.state,
+                    attempts: if e.epoch > 0 { e.attempt + 1 } else { 0 },
+                    recoveries: e.recoveries,
+                    rounds,
+                    trials,
+                    termination: e.report.as_ref().map(|r| r.termination.clone()),
+                    fingerprint: e.report.as_ref().map(|r| r.fingerprint),
+                    best_gflops: e.report.as_ref().map(|r| r.best_gflops),
+                    note: e.note.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Rejected submissions as `(id, reason)`, in submission order.
+    pub fn rejected(&self) -> &[(String, String)] {
+        &self.rejected
+    }
+
+    /// The deterministic results manifest.
+    pub fn manifest(&self) -> String {
+        manifest::render(&self.rows(), self.rejected())
+    }
+
+    /// A completed job's report.
+    pub fn report(&self, id: &str) -> Option<&JobReport> {
+        self.jobs.get(id).and_then(|e| e.report.as_deref())
+    }
+
+    /// A job's lifecycle state.
+    pub fn state(&self, id: &str) -> Option<JobState> {
+        self.jobs.get(id).map(|e| e.state)
+    }
+
+    /// The shared checkpoint store (e.g. to resume preempted jobs).
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// The service-level trace (lifecycle spans, points, counters).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}

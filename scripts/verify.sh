@@ -157,6 +157,20 @@ if ! grep -qi "corrupt" "$obs_dir/resume.out"; then
 fi
 echo "ok: bit-flipped checkpoint rejected as corrupt (byte $mid)"
 
+echo "== service-robustness smoke (heron-serve chaos harness) =="
+# The supervised tuning service must survive injected worker crashes,
+# hangs, a poisoned job, and admission overflow — and supervision must
+# be invisible in the results (DESIGN.md §9): the smoke self-asserts
+# that every recovered job's deterministic record is byte-identical to
+# an uninterrupted run, that the poisoned job is quarantined after its
+# restart budget, and that a second full service run reproduces the
+# manifest byte for byte. Its trace must pass the structural validator.
+cargo run --release --offline -p heron-bench --bin heron_serve -- \
+    --smoke --trace-out "$obs_dir/serve_trace.jsonl" >/dev/null
+cargo run --release --offline -p heron-bench --bin trace_report -- \
+    "$obs_dir/serve_trace.jsonl" --check
+echo "ok: chaos smoke passes; recovered jobs byte-identical; service trace validates"
+
 echo "== fitness-robustness lint (explorer/solver/model layers) =="
 # Two recurring NaN/error-poisoning bugs, kept out by lint:
 #  - `unwrap_or(0.0)` on a measurement feeds failures into the cost

@@ -27,6 +27,8 @@
 //! | [`graph`] | `heron-graph` | network IR, operator fusion, compile/tuning cache |
 //! | [`workloads`] | `heron-workloads` | paper benchmark suites and networks |
 //! | [`trace`] | `heron-trace` | span tracing, metrics registry, profile reports |
+//! | [`insight`] | `heron-insight` | search-health analytics and regression gates |
+//! | [`serve`] | `heron-serve` | supervised, crash-recoverable tuning service |
 //!
 //! # Quickstart
 //!
@@ -62,6 +64,7 @@ pub use heron_dla as dla;
 pub use heron_graph as graph;
 pub use heron_insight as insight;
 pub use heron_sched as sched;
+pub use heron_serve as serve;
 pub use heron_tensor as tensor;
 pub use heron_trace as trace;
 pub use heron_workloads as workloads;
