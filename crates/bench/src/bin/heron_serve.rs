@@ -14,7 +14,9 @@
 //! manifest byte for byte.
 
 use heron_bench::{flag, has_flag};
+use heron_pulse::{build_pulse, render_dashboard, render_slo_report, SloSpec};
 use heron_serve::{chaos, parse_script, JobScript, JobState, Supervisor};
+use heron_trace::Json;
 
 /// The built-in chaos scenario for `--smoke` (and a worked example of
 /// the job-script language).
@@ -45,10 +47,20 @@ kill g5 attempt=1 round=2 kind=crash
 kill g5 attempt=2 round=1 kind=crash
 ";
 
+/// The permissive default SLO spec used when `--slo` is not given:
+/// the service must settle without excessive rejection or recovery
+/// latency. All thresholds are in simulated time.
+const DEFAULT_SLO: &str = "\
+reject_rate <= 0.5
+recovery_max_s <= 600
+queue_wait_s <= 1800
+";
+
 fn usage() {
     eprintln!(
         "usage: heron_serve (--jobs FILE | --smoke) [--workers N] [--manifest FILE] \
-         [--trace-out FILE.jsonl] [--artifact-dir DIR] [--verify-recovery]"
+         [--trace-out FILE.jsonl] [--artifact-dir DIR] [--verify-recovery] \
+         [--pulse-out FILE.json] [--slo SPEC] [--slo-report FILE] [--baseline BENCH.json]"
     );
 }
 
@@ -83,11 +95,50 @@ fn main() {
     if let Some(w) = flag(&args, "--workers").and_then(|w| w.parse().ok()) {
         script.config.workers = w;
     }
+    let baseline = match flag(&args, "--baseline") {
+        Some(path) => load_baseline(&path),
+        None => Vec::new(),
+    };
+    let slo_spec = match flag(&args, "--slo") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read SLO spec `{path}`: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match SloSpec::parse(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bad SLO spec `{path}`: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => SloSpec::parse(DEFAULT_SLO).expect("builtin SLO spec parses"),
+    };
 
     let specs = script.jobs.clone();
-    let sup = run_service(script.clone());
+    let sup = run_service(script.clone(), &baseline);
     let manifest = sup.manifest();
     print!("{manifest}");
+
+    let pulse_doc = build_pulse(&sup.pulse_input(), &slo_spec);
+    if let Some(path) = flag(&args, "--pulse-out") {
+        if let Err(e) = std::fs::write(&path, pulse_doc.render_pretty()) {
+            eprintln!("cannot write pulse document `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("pulse document written to `{path}`");
+    }
+    if let Some(path) = flag(&args, "--slo-report") {
+        if let Err(e) = std::fs::write(&path, render_slo_report(&pulse_doc)) {
+            eprintln!("cannot write SLO report `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("SLO report written to `{path}`");
+    }
 
     if let Some(path) = flag(&args, "--manifest") {
         if let Err(e) = std::fs::write(&path, &manifest) {
@@ -97,13 +148,16 @@ fn main() {
         eprintln!("manifest written to `{path}`");
     }
     if let Some(path) = flag(&args, "--trace-out") {
-        if let Err(e) = sup.tracer().write_jsonl(&path) {
+        // The merged trace: supervisor events plus every completed
+        // job's tagged session trace — `trace_report --job` slices it.
+        let merged = sup.merged_trace_jsonl();
+        if let Err(e) = std::fs::write(&path, &merged) {
             eprintln!("cannot write trace `{path}`: {e}");
             std::process::exit(1);
         }
         eprintln!(
-            "service trace written to `{path}` ({} events)",
-            sup.tracer().event_count()
+            "merged service trace written to `{path}` ({} events)",
+            merged.lines().count()
         );
     }
     if let Some(dir) = flag(&args, "--artifact-dir") {
@@ -123,15 +177,45 @@ fn main() {
         }
     }
     if smoke {
-        smoke_assertions(&sup, script, &manifest);
+        smoke_assertions(&sup, script, &manifest, &baseline, &slo_spec, &pulse_doc);
         println!("service-robustness smoke: PASS");
     }
 }
 
-fn run_service(script: JobScript) -> Supervisor {
-    let mut sup = Supervisor::from_script(script);
+fn run_service(script: JobScript, baseline: &[(String, f64)]) -> Supervisor {
+    let mut sup = Supervisor::from_script(script).with_baseline(baseline.to_vec());
     sup.run();
     sup
+}
+
+/// Loads the per-workload `sol_per_kprop` baseline from a committed
+/// `BENCH_heron.json` snapshot.
+fn load_baseline(path: &str) -> Vec<(String, f64)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match heron_trace::json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("baseline `{path}` is not JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    match heron_insight::BenchReport::from_json(&doc) {
+        Ok(report) => report
+            .workloads
+            .into_iter()
+            .map(|w| (w.name, w.sol_per_kprop))
+            .collect(),
+        Err(e) => {
+            eprintln!("baseline `{path}` is not a bench snapshot: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Per-job artifacts: the deterministic record, the search-health
@@ -165,7 +249,14 @@ fn write_artifacts(sup: &Supervisor, dir: &str) {
 
 /// The assertions behind the CI smoke stage. Process exit 1 with a
 /// pointed message on any violation.
-fn smoke_assertions(first: &Supervisor, script: JobScript, first_manifest: &str) {
+fn smoke_assertions(
+    first: &Supervisor,
+    script: JobScript,
+    first_manifest: &str,
+    baseline: &[(String, f64)],
+    slo_spec: &SloSpec,
+    first_pulse: &Json,
+) {
     let fail = |msg: String| {
         eprintln!("smoke FAILED: {msg}");
         std::process::exit(1);
@@ -209,17 +300,39 @@ fn smoke_assertions(first: &Supervisor, script: JobScript, first_manifest: &str)
             counter("serve.jobs_recovered")
         ));
     }
+    // Anomaly hooks: the injected hang (g2) must surface a heartbeat
+    // stall *precursor* before the watchdog declares it hung, and the
+    // warning must be listed in the manifest.
+    if counter("pulse.warn.heartbeat_stall") < 1 {
+        fail("expected >= 1 pulse.warn.heartbeat_stall precursor for the injected hang".into());
+    }
+    if !first_manifest.contains("warn g2 pulse.warn.heartbeat_stall") {
+        fail("manifest does not list g2's heartbeat-stall warning".to_string());
+    }
     // Determinism: a second full service run reproduces the manifest
-    // byte for byte — states, attempts, rounds, fingerprints and all.
-    let second = run_service(script);
+    // byte for byte — states, attempts, rounds, fingerprints and all —
+    // and the whole pulse plane (pulse.json, SLO report, dashboard)
+    // with it.
+    let second = run_service(script, baseline);
     let second_manifest = second.manifest();
     if second_manifest != first_manifest {
         eprintln!("--- first run ---\n{first_manifest}");
         eprintln!("--- second run ---\n{second_manifest}");
         fail("service manifest is not deterministic across runs".to_string());
     }
+    let second_pulse = build_pulse(&second.pulse_input(), slo_spec);
+    if second_pulse.render_pretty() != first_pulse.render_pretty() {
+        fail("pulse.json is not deterministic across runs".to_string());
+    }
+    if render_slo_report(&second_pulse) != render_slo_report(first_pulse) {
+        fail("SLO report is not deterministic across runs".to_string());
+    }
+    if render_dashboard(&second_pulse, 3) != render_dashboard(first_pulse, 3) {
+        fail("status dashboard is not deterministic across runs".to_string());
+    }
     println!(
-        "manifest deterministic across two service runs ({} jobs)",
+        "manifest, pulse.json, SLO report and dashboard deterministic \
+         across two service runs ({} jobs)",
         first.rows().len()
     );
 }

@@ -7,32 +7,30 @@
 //! ```text
 //! trace_report trace.jsonl            # profile tree + span/point totals
 //! trace_report trace.jsonl --top 5    # …plus the 5 hottest spans, flat
+//! trace_report trace.jsonl --job g2   # one job's slice of a service trace
 //! trace_report trace.jsonl --check    # validate only; exit 1 if invalid
 //! ```
 //!
 //! Validation enforces the trace invariants (one JSON object per line,
 //! contiguous `seq`, monotone timestamps, LIFO span closes, no unclosed
-//! spans), so `--check` doubles as the CI gate for the tracing pipeline.
-//! A file whose *final* line was cut off mid-write (crashed producer)
-//! fails with a dedicated "truncated" message naming the recovery.
+//! spans — all per correlation context), so `--check` doubles as the CI
+//! gate for the tracing pipeline. A file whose *final* line was cut off
+//! mid-write (crashed producer) fails with a dedicated "truncated"
+//! message naming the recovery. On a merged service trace, `--top`
+//! aggregates by (job, span name) so one job's hot loop is not blurred
+//! into another's, and `--job ID` restricts the whole report to that
+//! job's slice.
 
 use heron_bench::{flag, has_flag};
-use heron_trace::{check_trace, profile_from_summary, TraceSummary};
+use heron_trace::{check_trace, profile_from_summary, slice_by_job, TraceSummary};
 
 fn usage() -> ! {
-    eprintln!("usage: trace_report <trace.jsonl> [--check] [--top N]");
+    eprintln!("usage: trace_report <trace.jsonl> [--check] [--top N] [--job ID]");
     std::process::exit(2);
 }
 
-fn load(path: &str) -> TraceSummary {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read `{path}`: {e}");
-            std::process::exit(1);
-        }
-    };
-    match check_trace(&text) {
+fn check(text: &str, path: &str) -> TraceSummary {
+    match check_trace(text) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("invalid trace `{path}`: {e}");
@@ -41,23 +39,29 @@ fn load(path: &str) -> TraceSummary {
     }
 }
 
-/// Renders the `n` hottest span names as a flat table: call count, total
-/// and mean duration, and share of the top-level wall time. Aggregation
-/// is by span name across the whole trace; ties break name-ascending so
-/// the table is deterministic.
+/// Renders the `n` hottest spans as a flat table: call count, total and
+/// mean duration, and share of the top-level wall time. Aggregation is
+/// by (job, span name) — service-level spans aggregate under job `-` —
+/// and ties break (job, name)-ascending so the table is deterministic.
 fn hottest_spans(summary: &TraceSummary, n: usize) -> String {
-    let mut by_name: Vec<(String, u64, u64)> = Vec::new(); // (name, count, total_ns)
+    // ((job, name), count, total_ns)
+    let mut by_key: Vec<((String, String), u64, u64)> = Vec::new();
     for s in &summary.spans {
-        match by_name.iter_mut().find(|(name, _, _)| *name == s.name) {
+        let job = s
+            .ctx
+            .as_ref()
+            .map_or_else(|| "-".to_string(), |c| c.job.clone());
+        let key = (job, s.name.clone());
+        match by_key.iter_mut().find(|(k, _, _)| *k == key) {
             Some((_, count, total)) => {
                 *count += 1;
                 *total += s.dur_ns();
             }
-            None => by_name.push((s.name.clone(), 1, s.dur_ns())),
+            None => by_key.push((key, 1, s.dur_ns())),
         }
     }
-    by_name.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
-    let shown = n.min(by_name.len());
+    by_key.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    let shown = n.min(by_key.len());
     let wall_ns: u64 = summary
         .spans
         .iter()
@@ -66,13 +70,13 @@ fn hottest_spans(summary: &TraceSummary, n: usize) -> String {
         .sum();
     let mut out = format!(
         "hottest spans (top {shown} of {} by total time)\n",
-        by_name.len()
+        by_key.len()
     );
     out.push_str(&format!(
-        "  {:<24} {:>7} {:>12} {:>10} {:>7}\n",
-        "span", "count", "total_ms", "mean_ms", "%wall"
+        "  {:<8} {:<24} {:>7} {:>12} {:>10} {:>7}\n",
+        "job", "span", "count", "total_ms", "mean_ms", "%wall"
     ));
-    for (name, count, total_ns) in by_name.iter().take(n) {
+    for ((job, name), count, total_ns) in by_key.iter().take(n) {
         let total_ms = *total_ns as f64 / 1e6;
         let mean_ms = total_ms / *count as f64;
         let pct = if wall_ns == 0 {
@@ -81,7 +85,7 @@ fn hottest_spans(summary: &TraceSummary, n: usize) -> String {
             *total_ns as f64 * 100.0 / wall_ns as f64
         };
         out.push_str(&format!(
-            "  {name:<24} {count:>7} {total_ms:>12.3} {mean_ms:>10.3} {pct:>6.1}%\n"
+            "  {job:<8} {name:<24} {count:>7} {total_ms:>12.3} {mean_ms:>10.3} {pct:>6.1}%\n"
         ));
     }
     out
@@ -92,12 +96,30 @@ fn main() {
     let Some(path) = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--top"))
+        .find(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || (args[i - 1] != "--top" && args[i - 1] != "--job"))
+        })
         .map(|(_, a)| a)
     else {
         usage();
     };
-    let summary = load(path);
+    let mut text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(job) = flag(&args, "--job") {
+        match slice_by_job(&text).remove(&job) {
+            Some(slice) => text = slice,
+            None => {
+                eprintln!("no events tagged with job `{job}` in `{path}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let summary = check(&text, path);
     if has_flag(&args, "--check") {
         println!(
             "ok: {} events ({} spans, {} points), all spans balanced",

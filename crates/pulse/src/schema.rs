@@ -1,0 +1,209 @@
+//! Structural validator for `heron-pulse-v1` documents.
+//!
+//! `heron_status` runs every input file through [`validate_pulse`]
+//! before rendering, so a truncated or hand-edited `pulse.json` fails
+//! with a named path instead of a blank dashboard.
+
+use heron_trace::Json;
+
+use crate::sli::PULSE_SCHEMA;
+
+fn want<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{path}: missing member `{key}`"))
+}
+
+fn want_num(doc: &Json, path: &str, key: &str) -> Result<f64, String> {
+    want(doc, path, key)?
+        .as_f64()
+        .ok_or_else(|| format!("{path}.{key}: expected a number"))
+}
+
+fn want_str<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a str, String> {
+    want(doc, path, key)?
+        .as_str()
+        .ok_or_else(|| format!("{path}.{key}: expected a string"))
+}
+
+fn want_arr<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a [Json], String> {
+    want(doc, path, key)?
+        .as_arr()
+        .ok_or_else(|| format!("{path}.{key}: expected an array"))
+}
+
+fn want_num_or_null(doc: &Json, path: &str, key: &str) -> Result<(), String> {
+    match want(doc, path, key)? {
+        Json::Num(_) | Json::Null => Ok(()),
+        _ => Err(format!("{path}.{key}: expected a number or null")),
+    }
+}
+
+/// The per-job SLI names every document carries (and the names an SLO
+/// spec may reference per-job).
+pub const SLI_KEYS: [&str; 6] = [
+    "queue_wait_s",
+    "recovery_max_s",
+    "makespan_s",
+    "ttfc_s",
+    "sol_per_kprop",
+    "rank_accuracy_final",
+];
+
+/// Validates the structure of a `pulse.json` document.
+///
+/// # Errors
+/// A message naming the offending JSON path.
+pub fn validate_pulse(doc: &Json) -> Result<(), String> {
+    let schema = want_str(doc, "$", "schema")?;
+    if schema != PULSE_SCHEMA {
+        return Err(format!(
+            "$.schema: expected `{PULSE_SCHEMA}`, found `{schema}`"
+        ));
+    }
+    let service = want(doc, "$", "service")?;
+    for key in [
+        "jobs",
+        "completed",
+        "preempted",
+        "quarantined",
+        "queued",
+        "rejected",
+        "reject_rate",
+        "warnings",
+        "workers",
+    ] {
+        want_num(service, "$.service", key)?;
+    }
+    let jobs = want_arr(doc, "$", "jobs")?;
+    for (i, job) in jobs.iter().enumerate() {
+        let path = format!("$.jobs[{i}]");
+        want_str(job, &path, "id")?;
+        want_str(job, &path, "state")?;
+        for key in ["attempts", "recoveries", "rounds", "trials", "wall_s"] {
+            want_num(job, &path, key)?;
+        }
+        match want(job, &path, "termination")? {
+            Json::Str(_) | Json::Null => {}
+            _ => return Err(format!("{path}.termination: expected a string or null")),
+        }
+        let warnings = want_arr(job, &path, "warnings")?;
+        if warnings.iter().any(|w| w.as_str().is_none()) {
+            return Err(format!("{path}.warnings: expected strings"));
+        }
+        let slis = want(job, &path, "slis")?;
+        for key in SLI_KEYS {
+            want_num_or_null(slis, &format!("{path}.slis"), key)?;
+        }
+        let traj = want(job, &path, "trajectories")?;
+        let acc = want_arr(traj, &format!("{path}.trajectories"), "batch_rank_accuracy")?;
+        let props = want_arr(traj, &format!("{path}.trajectories"), "solver_propagations")?;
+        if acc.len() != props.len() {
+            return Err(format!(
+                "{path}.trajectories: series lengths differ ({} vs {})",
+                acc.len(),
+                props.len()
+            ));
+        }
+        let hot = want_arr(job, &path, "hot_spans")?;
+        for (j, span) in hot.iter().enumerate() {
+            let span_path = format!("{path}.hot_spans[{j}]");
+            want_str(span, &span_path, "name")?;
+            want_num(span, &span_path, "count")?;
+            want_num(span, &span_path, "total_s")?;
+        }
+    }
+    let slo = want(doc, "$", "slo")?;
+    for key in ["pass", "warn", "breach"] {
+        want_num(slo, "$.slo", key)?;
+    }
+    let rules = want_arr(slo, "$.slo", "rules")?;
+    for (i, rule) in rules.iter().enumerate() {
+        let path = format!("$.slo.rules[{i}]");
+        want_str(rule, &path, "metric")?;
+        let op = want_str(rule, &path, "op")?;
+        if op != "<=" && op != ">=" {
+            return Err(format!("{path}.op: expected `<=` or `>=`, found `{op}`"));
+        }
+        want_num(rule, &path, "threshold")?;
+        want_num_or_null(rule, &path, "warn")?;
+        want_num_or_null(rule, &path, "value")?;
+        match want(rule, &path, "job")? {
+            Json::Str(_) | Json::Null => {}
+            _ => return Err(format!("{path}.job: expected a string or null")),
+        }
+        let verdict = want_str(rule, &path, "verdict")?;
+        if !matches!(verdict, "pass" | "warn" | "breach") {
+            return Err(format!("{path}.verdict: unknown verdict `{verdict}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{JobInput, PulseConfig, ServiceInput};
+    use crate::sli::build_pulse;
+    use crate::slo::SloSpec;
+    use heron_trace::json::parse;
+
+    fn sample() -> Json {
+        let input = ServiceInput {
+            config: PulseConfig {
+                backoff_base_s: 1.0,
+                checkpoint_every: 2,
+                workers: 1,
+            },
+            jobs: vec![JobInput {
+                id: "a".to_string(),
+                state: "completed".to_string(),
+                attempts: 1,
+                recoveries: 0,
+                rounds: 3,
+                trials: 12,
+                termination: Some("trials-exhausted".to_string()),
+                warnings: vec!["pulse.warn.heartbeat_stall attempt=1".to_string()],
+                insight_json: String::new(),
+                metrics_tsv: String::new(),
+                wall_ns: 1_500_000_000,
+                trace_jsonl: String::new(),
+            }],
+            rejected: Vec::new(),
+        };
+        let spec = SloSpec::parse("reject_rate <= 0.5\nmakespan_s <= 60 warn 30\n").unwrap();
+        build_pulse(&input, &spec)
+    }
+
+    #[test]
+    fn accepts_generated_documents_and_roundtrips() {
+        let doc = sample();
+        validate_pulse(&doc).expect("valid");
+        let reparsed = parse(&doc.render_pretty()).expect("parses");
+        validate_pulse(&reparsed).expect("still valid");
+    }
+
+    #[test]
+    fn rejects_structural_damage_with_named_paths() {
+        let base = sample().render();
+        for (damage, want_msg) in [
+            ("heron-pulse-v1", "heron-pulse-v0", "$.schema"),
+            (
+                "\"reject_rate\":0",
+                "\"reject_rate\":\"0\"",
+                "$.service.reject_rate",
+            ),
+            (
+                "\"queue_wait_s\":0",
+                "\"queue_wait_s\":true",
+                "$.jobs[0].slis.queue_wait_s",
+            ),
+            ("\"verdict\":\"pass\"", "\"verdict\":\"ok\"", "verdict"),
+        ]
+        .map(|(from, to, want)| (base.replace(from, to), want))
+        {
+            let doc = parse(&damage).expect("still JSON");
+            let err = validate_pulse(&doc).unwrap_err();
+            assert!(err.contains(want_msg), "want `{want_msg}` in `{err}`");
+        }
+    }
+}

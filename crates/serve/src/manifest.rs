@@ -21,6 +21,8 @@ pub fn render(rows: &[JobRow], rejected: &[(String, String)]) -> String {
     out.push_str(&format!("quarantined = {}\n", count(JobState::Quarantined)));
     out.push_str(&format!("queued = {}\n", count(JobState::Queued)));
     out.push_str(&format!("rejected = {}\n", rejected.len()));
+    let warnings: usize = rows.iter().map(|r| r.warnings.len()).sum();
+    out.push_str(&format!("warnings = {warnings}\n"));
     out.push('\n');
     for row in rows {
         out.push_str(&format!(
@@ -41,10 +43,18 @@ pub fn render(rows: &[JobRow], rejected: &[(String, String)]) -> String {
             // of the byte-identity contract.
             out.push_str(&format!(" best_bits={:016x}", b.to_bits()));
         }
+        if !row.warnings.is_empty() {
+            out.push_str(&format!(" warnings={}", row.warnings.len()));
+        }
         if let Some(n) = &row.note {
             out.push_str(&format!(" note={n}"));
         }
         out.push('\n');
+    }
+    for row in rows {
+        for warning in &row.warnings {
+            out.push_str(&format!("warn {} {warning}\n", row.id));
+        }
     }
     for (id, reason) in rejected {
         out.push_str(&format!("rejected {id} reason={reason}\n"));
@@ -69,6 +79,7 @@ mod tests {
                 termination: Some("trials".to_string()),
                 fingerprint: Some(0xdead_beef),
                 best_gflops: Some(1.5),
+                warnings: vec!["pulse.warn.heartbeat_stall attempt=0".to_string()],
                 note: None,
             },
             JobRow {
@@ -81,6 +92,7 @@ mod tests {
                 termination: None,
                 fingerprint: None,
                 best_gflops: None,
+                warnings: vec![],
                 note: Some("poisoned: restart budget (2) exhausted after 3 attempts".to_string()),
             },
         ];
@@ -91,11 +103,14 @@ mod tests {
         assert!(text.contains("completed = 1"));
         assert!(text.contains("quarantined = 1"));
         assert!(text.contains("rejected = 1"));
+        assert!(text.contains("warnings = 1"));
         assert!(text.contains(
             "job g1 state=completed attempts=2 recoveries=1 rounds=6 trials=40 \
-             termination=trials fingerprint=00000000deadbeef best_bits=3ff8000000000000"
+             termination=trials fingerprint=00000000deadbeef best_bits=3ff8000000000000 \
+             warnings=1"
         ));
         assert!(text.contains("job g2 state=quarantined attempts=3 recoveries=3 note=poisoned"));
+        assert!(text.contains("warn g1 pulse.warn.heartbeat_stall attempt=0"));
         assert!(text.contains("rejected g9 reason=queue full (capacity 1)"));
     }
 }

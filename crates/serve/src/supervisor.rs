@@ -93,6 +93,8 @@ struct JobEntry {
     last_heartbeat: u64,
     stall_polls: u32,
     report: Option<Box<JobReport>>,
+    /// Anomaly warnings (`pulse.warn.*`) recorded for this job.
+    warnings: Vec<String>,
     /// Human-readable context for quarantine/preemption.
     note: Option<String>,
     /// Rounds/trials at preemption (from the worker's event).
@@ -121,15 +123,41 @@ pub struct JobRow {
     pub fingerprint: Option<u64>,
     /// Best throughput in Gops/s (completed jobs).
     pub best_gflops: Option<f64>,
+    /// Anomaly warnings (`pulse.warn.*`) recorded for this job.
+    pub warnings: Vec<String>,
     /// Quarantine/preemption context.
     pub note: Option<String>,
 }
 
 /// The tuning service: a bounded queue, a worker pool, and a watchdog,
 /// all driven by [`Supervisor::run`] on the calling thread.
+/// How far below baseline a job's solver throughput may fall before a
+/// `pulse.warn.solver_throughput` anomaly is recorded (fraction).
+const THROUGHPUT_SLACK: f64 = 0.25;
+
+/// Degradation check against a committed per-workload throughput
+/// baseline (`sol_per_kprop`, as in `BENCH_heron.json`).
+fn throughput_warning(
+    baseline: &[(String, f64)],
+    spec: &JobSpec,
+    report: &JobReport,
+) -> Option<String> {
+    let name = spec.workload().ok()?.name;
+    let base = baseline.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)?;
+    let measured = heron_pulse::sol_per_kprop_from_tsv(&report.metrics_tsv)?;
+    if base > 0.0 && measured < base * (1.0 - THROUGHPUT_SLACK) {
+        Some(format!(
+            "pulse.warn.solver_throughput sol_per_kprop={measured:.3} baseline={base:.3}"
+        ))
+    } else {
+        None
+    }
+}
+
 pub struct Supervisor {
     config: ServeConfig,
     plan: ChaosPlan,
+    baseline: Vec<(String, f64)>,
     store: CheckpointStore,
     tracer: Tracer,
     queue: AdmitQueue,
@@ -150,6 +178,7 @@ impl Supervisor {
         Supervisor {
             config,
             plan: ChaosPlan::none(),
+            baseline: Vec::new(),
             store: CheckpointStore::new(),
             tracer: Tracer::manual(),
             queue,
@@ -166,6 +195,15 @@ impl Supervisor {
     /// Installs a kill-injection plan (chaos harness).
     pub fn with_plan(mut self, plan: ChaosPlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Installs a per-workload solver-throughput baseline
+    /// (`(workload name, sol_per_kprop)`); completed jobs that fall
+    /// more than [`THROUGHPUT_SLACK`] below it are flagged with a
+    /// `pulse.warn.solver_throughput` anomaly.
+    pub fn with_baseline(mut self, baseline: Vec<(String, f64)>) -> Self {
+        self.baseline = baseline;
         self
     }
 
@@ -208,6 +246,7 @@ impl Supervisor {
                         last_heartbeat: 0,
                         stall_polls: 0,
                         report: None,
+                        warnings: Vec::new(),
                         note: None,
                         preempted_rounds: 0,
                         preempted_trials: 0,
@@ -351,6 +390,17 @@ impl Supervisor {
                 if let Some(h) = entry.handle.take() {
                     let _ = h.join();
                 }
+                // Anomaly hook: completed-but-degraded solver throughput
+                // versus the committed baseline.
+                if let Some(warning) = throughput_warning(&self.baseline, &entry.spec, &report) {
+                    entry.warnings.push(warning.clone());
+                    self.tracer.counter_add("pulse.warn.solver_throughput", 1);
+                    let job_owned = job.clone();
+                    self.tracer
+                        .point_with("pulse.warn.solver_throughput", move || {
+                            [("job", job_owned), ("detail", warning)]
+                        });
+                }
                 entry.state = JobState::Completed;
                 entry.report = Some(report);
                 self.tracer.counter_add("serve.jobs_completed", 1);
@@ -456,9 +506,31 @@ impl Supervisor {
                     continue;
                 }
                 entry.stall_polls += 1;
+                // Anomaly hook, live half: a flat heartbeat at half the
+                // hang grace is a stall *precursor* — surfaced as a
+                // counter and point well before the watchdog fires. A
+                // slow-but-healthy round can trip this too, so only the
+                // trace records it; the job's durable warning list
+                // (manifest, pulse.json) waits for confirmation below.
+                if entry.stall_polls == (self.config.hang_grace_polls / 2).max(1) {
+                    let attempt = entry.attempt;
+                    self.tracer.counter_add("pulse.warn.heartbeat_stall", 1);
+                    let id_owned = id.clone();
+                    self.tracer
+                        .point_with("pulse.warn.heartbeat_stall", move || {
+                            [("job", id_owned), ("attempt", attempt.to_string())]
+                        });
+                }
                 if entry.stall_polls < self.config.hang_grace_polls {
                     continue;
                 }
+                // Anomaly hook, durable half: the stall is now a
+                // confirmed hang — a deterministic function of the
+                // chaos plan — so record it on the job.
+                entry.warnings.push(format!(
+                    "pulse.warn.heartbeat_stall attempt={}",
+                    entry.attempt
+                ));
                 // Hang: fence the epoch off (cancel wakes the zombie so
                 // it can exit; its checkpoint saves are already stale
                 // the moment we respawn), park the handle, recover.
@@ -558,6 +630,7 @@ impl Supervisor {
                     termination: e.report.as_ref().map(|r| r.termination.clone()),
                     fingerprint: e.report.as_ref().map(|r| r.fingerprint),
                     best_gflops: e.report.as_ref().map(|r| r.best_gflops),
+                    warnings: e.warnings.clone(),
                     note: e.note.clone(),
                 }
             })
@@ -592,5 +665,68 @@ impl Supervisor {
     /// The service-level trace (lifecycle spans, points, counters).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// One correlated trace for the whole run: the supervisor's own
+    /// (untagged) events merged with every completed job's tagged
+    /// session trace, in job-id order, resequenced. Validates under
+    /// `check_trace` (per-context discipline) and slices losslessly
+    /// back apart with `slice_by_job`.
+    pub fn merged_trace_jsonl(&self) -> String {
+        let service = self.tracer.to_jsonl();
+        let mut parts: Vec<&str> = vec![service.as_str()];
+        for entry in self.jobs.values() {
+            if let Some(report) = &entry.report {
+                parts.push(report.trace_jsonl.as_str());
+            }
+        }
+        heron_trace::merge_traces(&parts)
+    }
+
+    /// The deterministic projection of this run for the pulse engine
+    /// ([`heron_pulse::build_pulse`]): manifest-grade job rows plus
+    /// per-job artifacts, nothing scheduling-dependent.
+    pub fn pulse_input(&self) -> heron_pulse::ServiceInput {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|(id, e)| {
+                let report = e.report.as_deref();
+                let (rounds, trials) = match (report, e.state) {
+                    (Some(r), _) => (r.rounds, r.trials),
+                    (None, JobState::Preempted) => (e.preempted_rounds, e.preempted_trials),
+                    _ => (0, 0),
+                };
+                heron_pulse::JobInput {
+                    id: id.clone(),
+                    state: e.state.to_string(),
+                    attempts: if e.epoch > 0 { e.attempt + 1 } else { 0 },
+                    recoveries: e.recoveries,
+                    rounds,
+                    trials: trials as u64,
+                    termination: report.map(|r| r.termination.clone()),
+                    warnings: e.warnings.clone(),
+                    insight_json: report.map(|r| r.insight_json.clone()).unwrap_or_default(),
+                    metrics_tsv: report.map(|r| r.metrics_tsv.clone()).unwrap_or_default(),
+                    wall_ns: report.map_or(0, |r| r.wall_ns),
+                    trace_jsonl: report
+                        .map(|r| {
+                            heron_trace::slice_by_job(&r.trace_jsonl)
+                                .remove(id.as_str())
+                                .unwrap_or_default()
+                        })
+                        .unwrap_or_default(),
+                }
+            })
+            .collect();
+        heron_pulse::ServiceInput {
+            config: heron_pulse::PulseConfig {
+                backoff_base_s: self.config.backoff_base_s,
+                checkpoint_every: self.config.checkpoint_every,
+                workers: self.config.workers,
+            },
+            jobs,
+            rejected: self.rejected.clone(),
+        }
     }
 }

@@ -32,7 +32,7 @@ use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_core::tuner::{Termination, Tuner};
 use heron_core::TunerControl;
 use heron_dla::{FaultPlan, Measurer};
-use heron_trace::Tracer;
+use heron_trace::{TraceContext, Tracer};
 
 use crate::job::JobSpec;
 use crate::plan::{ChaosPlan, KillKind};
@@ -83,7 +83,12 @@ pub struct JobReport {
     pub termination: String,
     /// Per-job `insight.json` document (search-health analytics).
     pub insight_json: String,
-    /// The attempt's session trace (manual clock, JSONL).
+    /// The attempt's metrics registry snapshot (TSV).
+    pub metrics_tsv: String,
+    /// The attempt's simulated wall-clock, nanoseconds.
+    pub wall_ns: u64,
+    /// The attempt's session trace (manual clock, JSONL; every line
+    /// carries the job's correlation context).
     pub trace_jsonl: String,
 }
 
@@ -194,6 +199,12 @@ pub fn run_order(order: WorkOrder, events: Sender<Event>) {
         }
     };
     tuner.set_control(control.clone());
+    // Correlation: tag every event this attempt emits so the merged
+    // service trace can be sliced back per job. Set here — not in
+    // `build_session` — so chaos reference runs stay untagged.
+    tuner
+        .tracer()
+        .set_context(Some(TraceContext::new(job.as_str(), attempt, epoch)));
     if spec.deadline_rounds > 0 {
         control.set_deadline_rounds(spec.deadline_rounds);
     }
@@ -248,6 +259,8 @@ pub fn run_order(order: WorkOrder, events: Sender<Event>) {
                 trials: tuner.trials_done(),
                 termination: result.termination.to_string(),
                 insight_json: render_insight(&tuner),
+                metrics_tsv: tuner.tracer().metrics_tsv(),
+                wall_ns: tuner.tracer().now_ns(),
                 trace_jsonl: tuner.tracer().to_jsonl(),
             };
             let _ = events.send(Event::Completed {

@@ -7,8 +7,19 @@
 //! indices, every `close` matches the innermost open span (strict LIFO),
 //! timestamps are monotone non-decreasing, and no span is left open at
 //! end of input.
+//!
+//! Span nesting, LIFO discipline and timestamp monotonicity are checked
+//! **per correlation context** ([`TraceContext`], the optional trailing
+//! `"ctx"` member): a merged service trace interleaves the supervisor's
+//! own events with per-job worker segments whose manual clocks each
+//! started at zero, so span ids collide and timestamps rewind *between*
+//! contexts while staying well-formed *within* each. Untagged traces
+//! have a single context (`None`) and validate exactly as before.
+
+use std::collections::BTreeMap;
 
 use crate::json::{self, Json};
+use crate::tracer::TraceContext;
 
 /// One reconstructed span (open + close pair).
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +36,8 @@ pub struct SpanRec {
     pub t_close_ns: u64,
     /// Structured fields recorded at open.
     pub fields: Vec<(String, String)>,
+    /// Correlation context (`None` = service-level / untagged).
+    pub ctx: Option<TraceContext>,
 }
 
 impl SpanRec {
@@ -61,6 +74,48 @@ impl TraceSummary {
         }
         names
     }
+
+    /// Distinct job ids among tagged spans, in first-seen order.
+    pub fn jobs(&self) -> Vec<&str> {
+        let mut jobs: Vec<&str> = Vec::new();
+        for s in &self.spans {
+            if let Some(ctx) = &s.ctx {
+                if !jobs.contains(&ctx.job.as_str()) {
+                    jobs.push(&ctx.job);
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// Parses the optional `"ctx"` member of an event line.
+///
+/// # Errors
+/// A message naming the line when `ctx` is present but malformed.
+pub fn parse_ctx(obj: &Json, line: usize) -> Result<Option<TraceContext>, String> {
+    match obj.get("ctx") {
+        None => Ok(None),
+        Some(ctx @ Json::Obj(_)) => {
+            let job = ctx
+                .get("job")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {line}: ctx missing string `job`"))?;
+            let attempt = ctx
+                .get("attempt")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {line}: ctx missing integer `attempt`"))?;
+            let epoch = ctx
+                .get("epoch")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("line {line}: ctx missing integer `epoch`"))?;
+            if attempt > u32::MAX as u64 {
+                return Err(format!("line {line}: ctx attempt {attempt} out of range"));
+            }
+            Ok(Some(TraceContext::new(job, attempt as u32, epoch)))
+        }
+        Some(other) => Err(format!("line {line}: `ctx` is not an object: {other:?}")),
+    }
 }
 
 fn get_u64(obj: &Json, key: &str, line: usize) -> Result<u64, String> {
@@ -96,12 +151,17 @@ fn get_fields(obj: &Json, line: usize) -> Result<Vec<(String, String)>, String> 
 /// # Errors
 /// A human-readable message naming the first offending line.
 pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
-    // Pending open spans, innermost last: (index into `spans`, id).
-    let mut stack: Vec<(usize, u64)> = Vec::new();
+    /// Per-context validation state: pending open spans, innermost last
+    /// (as `(index into spans, id)`), and the monotonicity watermark.
+    #[derive(Default)]
+    struct Group {
+        stack: Vec<(usize, u64)>,
+        last_t_ns: u64,
+    }
+    let mut groups: BTreeMap<Option<TraceContext>, Group> = BTreeMap::new();
     let mut spans: Vec<SpanRec> = Vec::new();
     let mut points = 0usize;
     let mut events = 0usize;
-    let mut last_t_ns = 0u64;
 
     let total_lines = jsonl.lines().count();
     for (idx, line) in jsonl.lines().enumerate() {
@@ -136,12 +196,15 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
             ));
         }
         let t_ns = get_u64(&obj, "t_ns", lineno)?;
-        if t_ns < last_t_ns {
+        let ctx = parse_ctx(&obj, lineno)?;
+        let group = groups.entry(ctx.clone()).or_default();
+        if t_ns < group.last_t_ns {
             return Err(format!(
-                "line {lineno}: timestamp {t_ns} goes backwards (previous {last_t_ns})"
+                "line {lineno}: timestamp {t_ns} goes backwards (previous {} in the same context)",
+                group.last_t_ns
             ));
         }
-        last_t_ns = t_ns;
+        group.last_t_ns = t_ns;
 
         match get_str(&obj, "ev", lineno)? {
             "open" => {
@@ -150,7 +213,7 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
                     return Err(format!("line {lineno}: span id 0 is reserved"));
                 }
                 let parent = get_u64(&obj, "parent", lineno)?;
-                let expected_parent = stack.last().map_or(0, |&(_, id)| id);
+                let expected_parent = group.stack.last().map_or(0, |&(_, id)| id);
                 if parent != expected_parent {
                     return Err(format!(
                         "line {lineno}: span {id} claims parent {parent} but innermost open span is {expected_parent}"
@@ -158,7 +221,7 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
                 }
                 let name = get_str(&obj, "name", lineno)?.to_string();
                 let fields = get_fields(&obj, lineno)?;
-                stack.push((spans.len(), id));
+                group.stack.push((spans.len(), id));
                 spans.push(SpanRec {
                     id,
                     parent,
@@ -166,11 +229,12 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
                     t_open_ns: t_ns,
                     t_close_ns: t_ns,
                     fields,
+                    ctx,
                 });
             }
             "close" => {
                 let id = get_u64(&obj, "id", lineno)?;
-                match stack.pop() {
+                match group.stack.pop() {
                     Some((slot, open_id)) if open_id == id => {
                         spans[slot].t_close_ns = t_ns;
                     }
@@ -195,11 +259,13 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
         }
     }
 
-    if let Some(&(slot, id)) = stack.last() {
-        return Err(format!(
-            "span {id} (`{}`) is never closed",
-            spans[slot].name
-        ));
+    for group in groups.values() {
+        if let Some(&(slot, id)) = group.stack.last() {
+            return Err(format!(
+                "span {id} (`{}`) is never closed",
+                spans[slot].name
+            ));
+        }
     }
 
     Ok(TraceSummary {
@@ -302,6 +368,41 @@ mod tests {
         let err = check_trace(&trace).unwrap_err();
         assert!(!err.contains("truncated"), "{err}");
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn contexts_validate_independently_in_a_merged_trace() {
+        // Service events at t=50 interleaved with a job segment whose
+        // manual clock restarted at 0 and whose span id collides with
+        // the service span: valid per-context, invalid globally.
+        let ctx = r#","ctx":{"job":"a","attempt":0,"epoch":1}"#;
+        let merged = [
+            r#"{"seq":0,"ev":"open","id":1,"parent":0,"name":"serve.run","t_ns":50,"fields":{}}"#.to_string(),
+            format!(r#"{{"seq":1,"ev":"open","id":1,"parent":0,"name":"tuner.step","t_ns":0,"fields":{{}}{ctx}}}"#),
+            format!(r#"{{"seq":2,"ev":"close","id":1,"t_ns":7{ctx}}}"#),
+            r#"{"seq":3,"ev":"close","id":1,"t_ns":60}"#.to_string(),
+        ]
+        .join("\n");
+        let summary = check_trace(&merged).expect("per-context validation accepts the merge");
+        assert_eq!(summary.spans.len(), 2);
+        assert_eq!(summary.jobs(), vec!["a"]);
+        let tagged = summary.spans.iter().find(|s| s.ctx.is_some()).unwrap();
+        assert_eq!(tagged.dur_ns(), 7);
+        assert_eq!(tagged.ctx.as_ref().unwrap().job, "a");
+
+        // Within one context the old rules still bite: a backwards
+        // timestamp *inside* the job segment is rejected.
+        let bad = [
+            format!(r#"{{"seq":0,"ev":"point","name":"p","t_ns":9,"fields":{{}}{ctx}}}"#),
+            format!(r#"{{"seq":1,"ev":"point","name":"q","t_ns":3,"fields":{{}}{ctx}}}"#),
+        ]
+        .join("\n");
+        assert!(check_trace(&bad).unwrap_err().contains("backwards"));
+
+        // A malformed ctx is named, not ignored.
+        let malformed =
+            r#"{"seq":0,"ev":"point","name":"p","t_ns":0,"fields":{},"ctx":{"job":"a"}}"#;
+        assert!(check_trace(malformed).unwrap_err().contains("attempt"));
     }
 
     #[test]

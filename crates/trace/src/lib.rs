@@ -36,6 +36,7 @@ pub mod clock;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod slice;
 pub mod tracer;
 
 pub use check::{check_trace, SpanRec, TraceSummary};
@@ -43,4 +44,5 @@ pub use clock::Clock;
 pub use json::Json;
 pub use metrics::{Histogram, Instrument, MetricsRegistry, DEFAULT_BUCKETS};
 pub use profile::{profile_from_summary, ProfileNode};
-pub use tracer::{normalize_jsonl, Event, SpanGuard, Tracer};
+pub use slice::{jobs_in, merge_traces, service_slice, slice_by_job, tag_jsonl};
+pub use tracer::{normalize_jsonl, Event, SpanGuard, TraceContext, Tracer};

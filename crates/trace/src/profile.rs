@@ -120,6 +120,11 @@ fn render_children(children: &[ProfileNode], prefix: &str, root_total: f64, out:
 /// Aggregates a validated trace into a profile tree: spans with the same
 /// name under the same parent-name path are merged, their durations
 /// summed and entries counted. The synthetic root spans the whole trace.
+///
+/// Parent/child resolution is correlation-context-aware: in a merged
+/// service trace span ids restart per worker segment, so a child must
+/// match its parent's `ctx` as well as its id — top-level spans from
+/// every context merge by name under the root.
 pub fn profile_from_summary(summary: &TraceSummary) -> ProfileNode {
     let total_ns = summary
         .spans
@@ -128,27 +133,43 @@ pub fn profile_from_summary(summary: &TraceSummary) -> ProfileNode {
         .map(super::check::SpanRec::dur_ns)
         .sum::<u64>();
     let mut root = ProfileNode::new("trace", total_ns as f64 / 1e9);
-    aggregate_children(summary, 0, &mut root);
+    // Merge top-level spans (across contexts) by name, preserving
+    // first-seen order, then recurse within each span's own context.
+    for span in summary.spans.iter().filter(|s| s.parent == 0) {
+        let node = merge_child(&mut root, &span.name, span.dur_ns());
+        aggregate_children(summary, span, node);
+    }
     root
 }
 
-fn aggregate_children(summary: &TraceSummary, parent: u64, into: &mut ProfileNode) {
-    // Merge by name, preserving first-seen order.
-    for span in summary.spans.iter().filter(|s| s.parent == parent) {
-        let dur_s = span.dur_ns() as f64 / 1e9;
-        let node = match into.children.iter_mut().find(|c| c.name == span.name) {
-            Some(existing) => {
-                existing.total_s += dur_s;
-                existing.count += 1;
-                existing
-            }
-            None => {
-                into.children
-                    .push(ProfileNode::new(&span.name, dur_s).with_count(1));
-                into.children.last_mut().expect("just pushed")
-            }
-        };
-        aggregate_children(summary, span.id, node);
+fn merge_child<'a>(into: &'a mut ProfileNode, name: &str, dur_ns: u64) -> &'a mut ProfileNode {
+    let dur_s = dur_ns as f64 / 1e9;
+    match into.children.iter_mut().position(|c| c.name == name) {
+        Some(i) => {
+            into.children[i].total_s += dur_s;
+            into.children[i].count += 1;
+            &mut into.children[i]
+        }
+        None => {
+            into.children
+                .push(ProfileNode::new(name, dur_s).with_count(1));
+            into.children.last_mut().expect("just pushed")
+        }
+    }
+}
+
+fn aggregate_children(
+    summary: &TraceSummary,
+    parent: &super::check::SpanRec,
+    into: &mut ProfileNode,
+) {
+    for span in summary
+        .spans
+        .iter()
+        .filter(|s| s.parent == parent.id && s.ctx == parent.ctx)
+    {
+        let node = merge_child(into, &span.name, span.dur_ns());
+        aggregate_children(summary, span, node);
     }
 }
 

@@ -26,8 +26,46 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::clock::Clock;
-use crate::json::escape;
+use crate::json::{escape, Json};
 use crate::metrics::MetricsRegistry;
+
+/// Correlation context stamped on every event recorded while it is set:
+/// which service job, which attempt, which supervisor epoch produced
+/// the event. A service worker sets the context right after building
+/// its session, so every span/point the session emits carries it into
+/// the JSONL export (as a trailing `"ctx"` member) and a merged service
+/// trace can be split back into per-job sub-traces (`slice_by_job`).
+/// Untagged events (context unset) are service-level.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceContext {
+    /// Job id the event belongs to.
+    pub job: String,
+    /// Attempt number (0 = first run; increments per recovery).
+    pub attempt: u32,
+    /// Supervisor epoch the attempt was started under.
+    pub epoch: u64,
+}
+
+impl TraceContext {
+    /// A context for one attempt of one job.
+    pub fn new(job: impl Into<String>, attempt: u32, epoch: u64) -> Self {
+        TraceContext {
+            job: job.into(),
+            attempt,
+            epoch,
+        }
+    }
+
+    /// The canonical JSON spelling: `{"job":…,"attempt":…,"epoch":…}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"job\":\"{}\",\"attempt\":{},\"epoch\":{}}}",
+            escape(&self.job),
+            self.attempt,
+            self.epoch
+        )
+    }
+}
 
 /// One recorded trace event. The event's sequence number is its index in
 /// the tracer's event list.
@@ -68,10 +106,21 @@ pub enum Event {
 struct Inner {
     clock: Clock,
     events: Vec<Event>,
+    /// Per-event correlation context, parallel to `events`.
+    event_ctx: Vec<Option<TraceContext>>,
+    /// Context stamped on events recorded from now on.
+    ctx: Option<TraceContext>,
     /// Ids of currently open spans, innermost last.
     stack: Vec<u64>,
     next_id: u64,
     metrics: MetricsRegistry,
+}
+
+impl Inner {
+    fn push_event(&mut self, ev: Event) {
+        self.events.push(ev);
+        self.event_ctx.push(self.ctx.clone());
+    }
 }
 
 /// A handle to a trace session. Clones share the same underlying
@@ -90,6 +139,8 @@ impl Tracer {
         Tracer(Some(Rc::new(RefCell::new(Inner {
             clock,
             events: Vec::new(),
+            event_ctx: Vec::new(),
+            ctx: None,
             stack: Vec::new(),
             next_id: 0,
             metrics: MetricsRegistry::new(),
@@ -149,7 +200,7 @@ impl Tracer {
         let id = inner.next_id;
         let parent = inner.stack.last().copied().unwrap_or(0);
         let t_ns = inner.clock.now_ns();
-        inner.events.push(Event::Open {
+        inner.push_event(Event::Open {
             id,
             parent,
             name: name.to_string(),
@@ -170,7 +221,7 @@ impl Tracer {
         // out of order only on panic unwind).
         while let Some(top) = inner.stack.pop() {
             let t_ns = inner.clock.now_ns();
-            inner.events.push(Event::Close { id: top, t_ns });
+            inner.push_event(Event::Close { id: top, t_ns });
             if top == id {
                 break;
             }
@@ -204,11 +255,33 @@ impl Tracer {
         let Some(inner) = &self.0 else { return };
         let mut inner = inner.borrow_mut();
         let t_ns = inner.clock.now_ns();
-        inner.events.push(Event::Point {
+        inner.push_event(Event::Point {
             name: name.to_string(),
             t_ns,
             fields,
         });
+    }
+
+    /// Sets (or clears, with `None`) the correlation context stamped on
+    /// every event recorded from now on. Already-recorded events keep
+    /// the context they were recorded under. No-op when disabled.
+    pub fn set_context(&self, ctx: Option<TraceContext>) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().ctx = ctx;
+        }
+    }
+
+    /// The currently set correlation context (`None` when unset or
+    /// disabled).
+    pub fn context(&self) -> Option<TraceContext> {
+        self.0.as_ref().and_then(|i| i.borrow().ctx.clone())
+    }
+
+    /// The tracer clock's current reading in nanoseconds (0 when
+    /// disabled). On a manual clock this is the total simulated time
+    /// charged so far — the session's simulated wall-clock.
+    pub fn now_ns(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.borrow().clock.now_ns())
     }
 
     /// Adds `n` to a named counter.
@@ -292,7 +365,7 @@ impl Tracer {
         let inner = inner.borrow();
         let mut out = String::new();
         for (seq, ev) in inner.events.iter().enumerate() {
-            out.push_str(&event_json(seq, ev));
+            out.push_str(&event_json(seq, ev, inner.event_ctx[seq].as_ref()));
             out.push('\n');
         }
         out
@@ -346,7 +419,10 @@ fn fields_json(fields: &[(&'static str, String)]) -> String {
     format!("{{{}}}", members.join(","))
 }
 
-fn event_json(seq: usize, ev: &Event) -> String {
+fn event_json(seq: usize, ev: &Event, ctx: Option<&TraceContext>) -> String {
+    // The context is a *trailing* member, so untagged lines are exactly
+    // the pre-context schema (backward compatible byte-for-byte).
+    let ctx_suffix = ctx.map_or_else(String::new, |c| format!(",\"ctx\":{}", c.to_json()));
     match ev {
         Event::Open {
             id,
@@ -355,31 +431,78 @@ fn event_json(seq: usize, ev: &Event) -> String {
             t_ns,
             fields,
         } => format!(
-            "{{\"seq\":{seq},\"ev\":\"open\",\"id\":{id},\"parent\":{parent},\"name\":\"{}\",\"t_ns\":{t_ns},\"fields\":{}}}",
+            "{{\"seq\":{seq},\"ev\":\"open\",\"id\":{id},\"parent\":{parent},\"name\":\"{}\",\"t_ns\":{t_ns},\"fields\":{}{ctx_suffix}}}",
             escape(name),
             fields_json(fields)
         ),
         Event::Close { id, t_ns } => {
-            format!("{{\"seq\":{seq},\"ev\":\"close\",\"id\":{id},\"t_ns\":{t_ns}}}")
+            format!("{{\"seq\":{seq},\"ev\":\"close\",\"id\":{id},\"t_ns\":{t_ns}{ctx_suffix}}}")
         }
         Event::Point { name, t_ns, fields } => format!(
-            "{{\"seq\":{seq},\"ev\":\"point\",\"name\":\"{}\",\"t_ns\":{t_ns},\"fields\":{}}}",
+            "{{\"seq\":{seq},\"ev\":\"point\",\"name\":\"{}\",\"t_ns\":{t_ns},\"fields\":{}{ctx_suffix}}}",
             escape(name),
             fields_json(fields)
         ),
     }
 }
 
-/// Zeroes every `"t_ns":<number>` value in a JSONL trace so traces taken
-/// on the *real* clock can be compared for sequence-and-fields equality
-/// (the determinism contract excludes wall-clock timestamps).
+/// Canonicalizes a JSONL trace for comparison: zeroes every top-level
+/// `t_ns` value (the determinism contract excludes wall-clock
+/// timestamps) and canonicalizes label ordering — `fields` members are
+/// sorted by key and the `ctx` member is rewritten to its canonical
+/// `{job, attempt, epoch}` order and moved to the end of the line — so
+/// tagged real-clock traces from producers that order labels
+/// differently compare byte-identical after normalization. Lines that
+/// do not parse as JSON fall back to timestamp zeroing only.
 pub fn normalize_jsonl(jsonl: &str) -> String {
     let mut out = String::with_capacity(jsonl.len());
     for line in jsonl.lines() {
-        out.push_str(&normalize_line(line));
+        match crate::json::parse(line) {
+            Ok(Json::Obj(members)) => {
+                out.push_str(&Json::Obj(canonicalize_members(members)).render());
+            }
+            _ => out.push_str(&normalize_line(line)),
+        }
         out.push('\n');
     }
     out
+}
+
+fn canonicalize_members(mut members: Vec<(String, Json)>) -> Vec<(String, Json)> {
+    let mut ctx: Option<Json> = None;
+    for (key, value) in &mut members {
+        match key.as_str() {
+            "t_ns" => *value = Json::Num(0.0),
+            "fields" => {
+                if let Json::Obj(fields) = value {
+                    fields.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(pos) = members.iter().position(|(k, _)| k == "ctx") {
+        let (_, value) = members.remove(pos);
+        ctx = Some(match value {
+            Json::Obj(mut m) => {
+                // Canonical order: job, attempt, epoch, then anything
+                // else a future producer added, key-sorted.
+                let rank = |k: &str| match k {
+                    "job" => 0,
+                    "attempt" => 1,
+                    "epoch" => 2,
+                    _ => 3,
+                };
+                m.sort_by(|a, b| rank(&a.0).cmp(&rank(&b.0)).then_with(|| a.0.cmp(&b.0)));
+                Json::Obj(m)
+            }
+            other => other,
+        });
+    }
+    if let Some(ctx) = ctx {
+        members.push(("ctx".to_string(), ctx));
+    }
+    members
 }
 
 fn normalize_line(line: &str) -> String {
@@ -499,6 +622,64 @@ mod tests {
         drop(inner); // already closed defensively; must not double-close
         let summary = check_trace(&t.to_jsonl()).expect("balanced");
         assert_eq!(summary.spans.len(), 2);
+    }
+
+    #[test]
+    fn context_tags_events_from_set_until_cleared() {
+        let t = Tracer::manual();
+        t.point("before");
+        t.set_context(Some(TraceContext::new("g1", 1, 3)));
+        assert_eq!(t.context(), Some(TraceContext::new("g1", 1, 3)));
+        {
+            let _g = t.span("tagged");
+            t.advance_s(1.0);
+        }
+        t.set_context(None);
+        t.point("after");
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(!lines[0].contains("\"ctx\""), "{}", lines[0]);
+        for tagged in &lines[1..3] {
+            assert!(
+                tagged.ends_with(",\"ctx\":{\"job\":\"g1\",\"attempt\":1,\"epoch\":3}}"),
+                "{tagged}"
+            );
+        }
+        assert!(!lines[3].contains("\"ctx\""), "{}", lines[3]);
+        // Tagged traces still validate.
+        let summary = check_trace(&jsonl).expect("tagged trace is valid");
+        assert_eq!(summary.spans.len(), 1);
+        assert_eq!(
+            summary.spans[0].ctx,
+            Some(TraceContext::new("g1", 1, 3)),
+            "span carries its context"
+        );
+    }
+
+    #[test]
+    fn normalize_canonicalizes_label_order_and_ctx() {
+        // Two real-clock producers record the same events with fields in
+        // different orders; after normalization they are byte-identical.
+        let run = |swap: bool| {
+            let t = Tracer::real();
+            t.set_context(Some(TraceContext::new("j", 0, 1)));
+            let fields = || {
+                let mut f = vec![("a", "1".to_string()), ("b", "2".to_string())];
+                if swap {
+                    f.reverse();
+                }
+                f
+            };
+            {
+                let _g = t.span_with("s", fields);
+                t.point_with("p", fields);
+            }
+            t.to_jsonl()
+        };
+        let (x, y) = (run(false), run(true));
+        assert_ne!(x, y, "raw field order differs");
+        assert_eq!(normalize_jsonl(&x), normalize_jsonl(&y));
+        check_trace(&normalize_jsonl(&x)).expect("normalized tagged trace stays valid");
     }
 
     #[test]

@@ -166,10 +166,50 @@ echo "== service-robustness smoke (heron-serve chaos harness) =="
 # restart budget, and that a second full service run reproduces the
 # manifest byte for byte. Its trace must pass the structural validator.
 cargo run --release --offline -p heron-bench --bin heron_serve -- \
-    --smoke --trace-out "$obs_dir/serve_trace.jsonl" >/dev/null
+    --smoke --trace-out "$obs_dir/serve_trace.jsonl" \
+    --pulse-out "$obs_dir/pulse.json" --slo scripts/serve_smoke.slo \
+    --slo-report "$obs_dir/slo_report.txt" --baseline BENCH_heron.json >/dev/null
 cargo run --release --offline -p heron-bench --bin trace_report -- \
     "$obs_dir/serve_trace.jsonl" --check
 echo "ok: chaos smoke passes; recovered jobs byte-identical; service trace validates"
+
+echo "== pulse smoke (per-job SLIs, SLO gate, ops dashboard) =="
+# The derived telemetry plane (DESIGN.md §10) gates the build: the
+# committed SLO spec must hold over the chaos smoke's pulse.json, and a
+# deliberately tightened spec must breach — proving the gate can fail,
+# not just that it happens to pass. The dashboard itself is rendered as
+# part of the check (it is a pure function of pulse.json, so any panic
+# or nondeterminism surfaces here).
+cargo run --release --offline -p heron-bench --bin heron_status -- \
+    "$obs_dir/pulse.json" --check >/dev/null
+grep -q '^verdict: PASS$' "$obs_dir/slo_report.txt" || {
+    echo "error: committed SLO spec does not pass on the chaos smoke:" >&2
+    cat "$obs_dir/slo_report.txt" >&2
+    exit 1
+}
+printf 'makespan_s <= 20\n' > "$obs_dir/tight.slo"
+if cargo run --release --offline -p heron-bench --bin heron_status -- \
+    "$obs_dir/pulse.json" --slo "$obs_dir/tight.slo" --check \
+    >/dev/null 2>&1; then
+    echo "error: tightened SLO spec (makespan_s <= 20) did not breach" >&2
+    exit 1
+fi
+echo "ok: committed SLO spec passes; tightened spec fails the gate"
+
+echo "== telemetry-name lint (serve.* / pulse.* documentation) =="
+# Every serve.*/pulse.* counter, point, or span name the code emits must
+# be documented in DESIGN.md §10's name tables, so the dashboard and
+# trace reports never show an unexplained metric.
+undocumented=""
+for name in $(grep -rhoE '"(serve|pulse)\.[a-z_.]+"' crates --include='*.rs' \
+    | tr -d '"' | sort -u); do
+    grep -q -- "$name" DESIGN.md || undocumented="$undocumented $name"
+done
+if [ -n "$undocumented" ]; then
+    echo "error: telemetry names missing from DESIGN.md §10:$undocumented" >&2
+    exit 1
+fi
+echo "ok: every serve.*/pulse.* telemetry name is documented"
 
 echo "== fitness-robustness lint (explorer/solver/model layers) =="
 # Two recurring NaN/error-poisoning bugs, kept out by lint:

@@ -29,6 +29,7 @@
 //! | [`trace`] | `heron-trace` | span tracing, metrics registry, profile reports |
 //! | [`insight`] | `heron-insight` | search-health analytics and regression gates |
 //! | [`serve`] | `heron-serve` | supervised, crash-recoverable tuning service |
+//! | [`pulse`] | `heron-pulse` | service SLIs/SLOs and the ops dashboard |
 //!
 //! # Quickstart
 //!
@@ -63,6 +64,7 @@ pub use heron_csp as csp;
 pub use heron_dla as dla;
 pub use heron_graph as graph;
 pub use heron_insight as insight;
+pub use heron_pulse as pulse;
 pub use heron_sched as sched;
 pub use heron_serve as serve;
 pub use heron_tensor as tensor;
