@@ -1,0 +1,121 @@
+//! The fault-free validity oracle: "would this CSP solution lower and
+//! run on the simulated platform at all?"
+//!
+//! The oracle is the ground truth of the differential audit: the CSP
+//! claims a set of valid schedules, the simulator knows the real one,
+//! and every disagreement is a constraint-space bug. Queries go through
+//! [`heron_dla::FaultyMeasurer::validate_only`], which is deliberately
+//! outside the fault pipeline — an audit interleaved with a tuning
+//! session never shifts the session's fault draws, retry time, or
+//! quarantine statistics.
+
+use heron_core::generate::GeneratedSpace;
+use heron_csp::Solution;
+use heron_dla::{FaultPlan, FaultyMeasurer, MeasureError, Measurer};
+use heron_sched::Kernel;
+use heron_trace::Tracer;
+
+/// The oracle's answer for one CSP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleVerdict {
+    /// The solution lowers to a kernel the platform accepts.
+    Valid,
+    /// The solution lowers, but the kernel violates an architectural
+    /// constraint (always a deterministic [`MeasureError`]).
+    Invalid {
+        /// The violated constraint, with its machine-readable taxonomy.
+        error: MeasureError,
+    },
+    /// The solution does not even lower (a referenced template variable
+    /// is missing from the assignment) — a space bug of its own kind.
+    Unlowerable {
+        /// The lowering error message.
+        message: String,
+    },
+}
+
+impl OracleVerdict {
+    /// `true` iff the solution describes a runnable kernel.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, OracleVerdict::Valid)
+    }
+
+    /// Machine-readable error tag (`launch.warp-limit`, `lower-error`,
+    /// …); empty for valid solutions.
+    pub fn tag(&self) -> String {
+        match self {
+            OracleVerdict::Valid => String::new(),
+            OracleVerdict::Invalid { error } => error.detail_tag(),
+            OracleVerdict::Unlowerable { .. } => "lower-error".into(),
+        }
+    }
+
+    /// The implicated constraint rule (`C1`…`C6`) when the taxonomy
+    /// knows one, `-` otherwise.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            OracleVerdict::Invalid { error } => error.rule().unwrap_or("-"),
+            _ => "-",
+        }
+    }
+
+    /// Human-readable description; empty for valid solutions.
+    pub fn message(&self) -> String {
+        match self {
+            OracleVerdict::Valid => String::new(),
+            OracleVerdict::Invalid { error } => error.to_string(),
+            OracleVerdict::Unlowerable { message } => message.clone(),
+        }
+    }
+}
+
+/// Lower-and-validate oracle over one generated space.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    space: GeneratedSpace,
+    measurer: FaultyMeasurer,
+    tracer: Tracer,
+}
+
+impl Oracle {
+    /// Builds the oracle for `space`. The wrapped measurer carries the
+    /// no-fault plan; only the fault-free `validate_only` path is used.
+    pub fn new(space: &GeneratedSpace, tracer: Tracer) -> Self {
+        Oracle {
+            measurer: FaultyMeasurer::new(Measurer::new(space.dla.clone()), FaultPlan::none(0)),
+            space: space.clone(),
+            tracer,
+        }
+    }
+
+    /// The audited space.
+    pub fn space(&self) -> &GeneratedSpace {
+        &self.space
+    }
+
+    /// Lowers `sol` through the space's kernel template, if possible.
+    pub fn lower(&self, sol: &Solution) -> Result<Kernel, String> {
+        let csp = &self.space.csp;
+        heron_sched::lower(&self.space.template, sol.fingerprint(), &|name| {
+            sol.value_by_name(csp, name)
+        })
+        .map_err(|e| e.to_string())
+    }
+
+    /// The oracle query: lower `sol` and run the platform's fault-free
+    /// validity check. Counts one `audit.oracle_checks`.
+    pub fn check(&self, sol: &Solution) -> OracleVerdict {
+        self.tracer.counter_add("audit.oracle_checks", 1);
+        let kernel = match self.lower(sol) {
+            Ok(k) => k,
+            Err(message) => return OracleVerdict::Unlowerable { message },
+        };
+        match self.measurer.validate_only(&kernel) {
+            Ok(()) => OracleVerdict::Valid,
+            Err(error) => {
+                debug_assert!(!error.is_transient(), "oracle returned a transient error");
+                OracleVerdict::Invalid { error }
+            }
+        }
+    }
+}

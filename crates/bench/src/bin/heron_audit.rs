@@ -1,0 +1,251 @@
+//! `heron_audit` — differential constraint-space auditor CLI
+//! (DESIGN.md §11).
+//!
+//! ```text
+//! heron_audit --dla v100 --op gemm --shape 512x512x512 [--seed S]
+//!             [--samples N] [--anchors N] [--out audit.json] [--check]
+//! heron_audit ... --list-mutations
+//! heron_audit ... --mutate <INDEX|drop-le|drop-in|tighten-le|tighten-in|widen-le|widen-in>
+//! heron_audit ... --pause-at K --checkpoint F      # pause mid-sampling
+//! heron_audit ... --resume F                        # byte-identical continuation
+//! ```
+//!
+//! The audit samples the generated space's CSP and replays every point
+//! through the fault-free simulator oracle (under-constraint probe),
+//! then perturbs known-valid schedules one knob at a time and pins any
+//! oracle-valid completion back into the CSP (over-constraint probe).
+//! `--check` exits non-zero when any witness is confirmed — the CI gate.
+//! `--mutate` damages one posted rule first (the seeded negative test:
+//! a mutated space **must** fail `--check`).
+
+use heron_audit::{audit_with_state, validate_audit, AuditConfig, UnderState};
+use heron_bench::{flag, has_flag};
+use heron_core::generate::{SpaceGenerator, SpaceOptions};
+use heron_dla::DlaSpec;
+use heron_tensor::ops::Conv2dConfig;
+use heron_testkit::rule_mutation::RuleMutation;
+use heron_trace::Tracer;
+use heron_workloads::{OpKind, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if has_flag(&args, "--help") {
+        usage();
+        return;
+    }
+    let spec = platform(&flag(&args, "--dla").unwrap_or_else(|| "v100".into()));
+    let op = flag(&args, "--op").unwrap_or_else(|| "gemm".into());
+    let shape = flag(&args, "--shape").unwrap_or_else(|| "512x512x512".into());
+    let workload = parse_workload(&op, &shape);
+    let seed = flag(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2023);
+
+    let dag = workload.build(spec.in_dtype);
+    let mut space = match SpaceGenerator::new(spec.clone()).generate_named(
+        &dag,
+        &SpaceOptions::heron(),
+        &workload.name,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot generate: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if has_flag(&args, "--list-mutations") {
+        println!("{:<5} {:<8} {:<6} detail", "index", "kind", "probe");
+        for (i, m) in heron_audit::corpus(&space, seed).iter().enumerate() {
+            println!(
+                "{:<5} {:<8} {:<6} {}",
+                i,
+                m.kind.tag(),
+                m.kind.expected_probe(),
+                m.detail
+            );
+        }
+        return;
+    }
+    if let Some(which) = flag(&args, "--mutate") {
+        let m = select_mutation(&space, seed, &which);
+        println!("mutating rule #{}: {}", m.index, m.detail);
+        space = heron_audit::mutated_space(&space, &m);
+    }
+
+    let mut cfg = AuditConfig::new(seed);
+    if let Some(n) = flag(&args, "--samples").and_then(|n| n.parse().ok()) {
+        cfg.samples = n;
+    }
+    if let Some(n) = flag(&args, "--anchors").and_then(|n| n.parse().ok()) {
+        cfg.anchors = n;
+    }
+
+    let tracer = Tracer::manual();
+    let mut state = UnderState::new();
+    if let Some(path) = flag(&args, "--resume") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read checkpoint `{path}`: {e}");
+            std::process::exit(1);
+        });
+        let (restored, ck_seed, ck_samples) = UnderState::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("cannot resume from `{path}`: {e}");
+            std::process::exit(1);
+        });
+        if ck_seed != cfg.seed || ck_samples != cfg.samples {
+            eprintln!(
+                "checkpoint `{path}` is for seed {ck_seed} / {ck_samples} samples, \
+                 not seed {} / {} samples",
+                cfg.seed, cfg.samples
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "resuming audit from `{path}` ({} samples done)…",
+            restored.seen.len()
+        );
+        state = restored;
+    }
+
+    let pause_after = flag(&args, "--pause-at").and_then(|n| n.parse::<usize>().ok());
+    let report = match audit_with_state(&space, &cfg, &tracer, &mut state, pause_after) {
+        Some(r) => r,
+        None => {
+            let path = flag(&args, "--checkpoint")
+                .unwrap_or_else(|| format!("{}.audit.ckpt", workload.name));
+            if let Err(e) = std::fs::write(&path, state.to_text(cfg.seed, cfg.samples)) {
+                eprintln!("cannot write checkpoint `{path}`: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "paused after {} samples; checkpoint written to `{path}` \
+                 (resume with --resume {path})",
+                state.seen.len()
+            );
+            return;
+        }
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = flag(&args, "--out") {
+        let doc = report.to_json();
+        debug_assert!(validate_audit(&doc).is_ok());
+        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+            eprintln!("cannot write audit to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("audit written to `{path}`");
+    }
+    heron_bench::write_metrics_flag(&args, &tracer);
+    if has_flag(&args, "--check") && !report.clean() {
+        eprintln!(
+            "audit check FAILED: {} confirmed witness(es), {} invalid sample(s)",
+            report.confirmed(),
+            report.invalid_total
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: heron_audit [--dla NAME] [--op OP] [--shape SHAPE] [--seed S] \
+         [--samples N] [--anchors N] [--out FILE.json] [--metrics-out FILE.tsv] [--check] \
+         [--list-mutations] [--mutate INDEX|drop-le|drop-in|tighten-le|tighten-in|widen-le|widen-in] \
+         [--pause-at K --checkpoint FILE] [--resume FILE]"
+    );
+}
+
+/// Resolves `--mutate`: a corpus index, or a `kind-target` shorthand
+/// (`drop-le` = first dropped `LE` rule, `tighten-in` = first tightened
+/// `IN` rule, …).
+fn select_mutation(
+    space: &heron_core::generate::GeneratedSpace,
+    seed: u64,
+    which: &str,
+) -> RuleMutation {
+    let corpus = heron_audit::corpus(space, seed);
+    if let Ok(i) = which.parse::<usize>() {
+        if i < corpus.len() {
+            return corpus[i].clone();
+        }
+        eprintln!(
+            "mutation index {i} out of range (corpus has {})",
+            corpus.len()
+        );
+        std::process::exit(2);
+    }
+    let Some((kind, target)) = which.split_once('-') else {
+        eprintln!("bad --mutate `{which}` (want INDEX or e.g. drop-le)");
+        std::process::exit(2);
+    };
+    let target = target.to_uppercase();
+    corpus
+        .into_iter()
+        .find(|m| m.kind.tag() == kind && m.detail.contains(&format!("{kind} {target}(")))
+        .unwrap_or_else(|| {
+            eprintln!("no `{which}` mutation applies to this space");
+            std::process::exit(2);
+        })
+}
+
+fn platform(name: &str) -> DlaSpec {
+    heron_dla::platforms::all()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown platform `{name}`");
+            std::process::exit(2);
+        })
+}
+
+fn dims(shape: &str) -> Vec<i64> {
+    shape
+        .split('x')
+        .map(|d| {
+            d.parse().unwrap_or_else(|_| {
+                eprintln!("bad shape component `{d}` in `{shape}`");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_workload(op: &str, shape: &str) -> Workload {
+    let d = dims(shape);
+    let expect = |n: usize| {
+        if d.len() != n {
+            eprintln!("op `{op}` expects {n} shape components, got {}", d.len());
+            std::process::exit(2);
+        }
+    };
+    let kind = match op {
+        "gemm" => {
+            expect(3);
+            OpKind::Gemm {
+                m: d[0],
+                n: d[1],
+                k: d[2],
+            }
+        }
+        "gemv" => {
+            expect(3);
+            OpKind::Gemv {
+                m: d[0],
+                k: d[1],
+                b: d[2],
+            }
+        }
+        "c2d" => {
+            expect(8);
+            OpKind::C2d(Conv2dConfig::new(
+                d[0], d[1], d[2], d[3], d[4], d[5], d[5], d[6], d[7],
+            ))
+        }
+        other => {
+            eprintln!("unknown op `{other}` (heron_audit supports gemm, gemv, c2d)");
+            std::process::exit(2);
+        }
+    };
+    Workload::new(format!("{op}-{shape}"), kind)
+}

@@ -185,6 +185,44 @@ impl Csp {
         });
     }
 
+    /// Replaces the constraint at `index` in place, keeping posting order.
+    /// Used by the rule-mutation harness to swap one rule for a
+    /// tightened / widened variant without renumbering the others.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the replacement references an
+    /// undeclared variable.
+    pub fn replace_constraint(&mut self, index: usize, c: Constraint) {
+        assert!(index < self.constraints.len(), "no constraint {index}");
+        for v in c.vars() {
+            assert!(
+                v.0 < self.vars.len(),
+                "constraint references undeclared {v}"
+            );
+        }
+        self.constraints[index] = c;
+    }
+
+    /// Widens a variable's declared domain with extra candidate values —
+    /// the "widen one rule" mutation of the audit harness. The domain
+    /// becomes the union of its current values and `extra`; posted
+    /// constraints are untouched (rewrite the matching IN separately via
+    /// [`Csp::replace_constraint`]).
+    ///
+    /// # Panics
+    /// Panics if the current domain is unbounded-large (over `1 << 20`
+    /// values): widening is only meant for candidate-set variables.
+    pub fn widen_domain(&mut self, r: VarRef, extra: impl IntoIterator<Item = i64>) {
+        let decl = &mut self.vars[r.0];
+        assert!(
+            decl.domain.size() <= 1 << 20,
+            "refusing to enumerate huge domain of `{}`",
+            decl.name
+        );
+        let merged: Vec<i64> = decl.domain.iter_values().chain(extra).collect();
+        decl.domain = Domain::values(merged);
+    }
+
     /// Removes the last `n` posted constraints — used by constraint-based
     /// mutation, which drops one crossover constraint.
     pub fn pop_constraints(&mut self, n: usize) {
@@ -324,6 +362,38 @@ mod tests {
         csp.post_in(x, [2, 3]);
         csp.pop_constraints(1);
         assert_eq!(csp.num_constraints(), 1);
+    }
+
+    #[test]
+    fn replace_constraint_swaps_in_place() {
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::range(0, 9), VarCategory::Tunable);
+        csp.post_in(x, [1, 2]);
+        csp.post_in(x, [2, 3]);
+        csp.replace_constraint(
+            0,
+            Constraint::In {
+                var: x,
+                values: vec![2],
+            },
+        );
+        assert_eq!(csp.num_constraints(), 2);
+        assert!(matches!(
+            &csp.constraints()[0],
+            Constraint::In { values, .. } if values == &vec![2]
+        ));
+    }
+
+    #[test]
+    fn widen_domain_unions_values() {
+        let mut csp = Csp::new();
+        let x = csp.add_var("x", Domain::values([1, 2, 4]), VarCategory::Tunable);
+        csp.widen_domain(x, [8, 2, 16]);
+        let d = &csp.var(x).domain;
+        assert_eq!(d.size(), 5);
+        for v in [1, 2, 4, 8, 16] {
+            assert!(d.contains(v), "{v}");
+        }
     }
 
     #[test]

@@ -337,6 +337,25 @@ impl FaultyMeasurer {
         self.inner.spec()
     }
 
+    /// Fault-free validity oracle: answers "could this kernel ever
+    /// compile and run on the platform" without measuring it.
+    ///
+    /// This is the constraint-space auditor's entry point, and it is
+    /// deliberately *outside* the fault pipeline: an oracle query never
+    /// draws from the fault plan (the plan is a pure function of
+    /// `(seed, fingerprint, attempt)`, so interleaved oracle queries
+    /// cannot shift later [`FaultyMeasurer::measure_attempt`] outcomes),
+    /// never counts toward `dla.measure_attempts`, never charges
+    /// simulated retry time, and never contributes to quarantine
+    /// statistics.
+    ///
+    /// # Errors
+    /// The first violated architectural constraint — always a
+    /// deterministic [`MeasureError`], never a transient one.
+    pub fn validate_only(&self, kernel: &Kernel) -> Result<(), MeasureError> {
+        self.inner.validate(kernel)
+    }
+
     /// One measurement attempt: deterministic architectural validation
     /// first (a kernel that cannot compile fails identically with or
     /// without infrastructure faults), then the planned fault draw, then
@@ -516,6 +535,77 @@ mod tests {
             tracer.counter("dla.noisy_injected").unwrap_or(0) > 0,
             "noisy outliers appear at rate 0.9"
         );
+    }
+
+    #[test]
+    fn validate_only_is_stream_neutral_and_uncounted() {
+        use heron_sched::{KernelStage, MemScope, StageRole};
+        use heron_tensor::DType;
+        let comp = KernelStage {
+            name: "C".into(),
+            role: StageRole::Compute,
+            src_scope: MemScope::FragA,
+            dst_scope: MemScope::FragAcc,
+            dtype: DType::F16,
+            elems: 0,
+            execs: 1,
+            vector: 1,
+            align_pad: 0,
+            row_elems: 0,
+            intrinsic: Some((16, 16, 16)),
+            intrinsic_execs: 1 << 14,
+            scalar_ops: 0,
+            unroll: 512,
+        };
+        let mut k = Kernel {
+            dla: "v100".into(),
+            workload: "t".into(),
+            total_flops: 1 << 28,
+            grid: 80,
+            threads: 8,
+            stages: vec![comp],
+            buffers: vec![],
+            fingerprint: 0,
+        };
+        let fm = FaultyMeasurer::new(
+            Measurer::new(crate::platforms::v100()),
+            FaultPlan::uniform(9, 0.6),
+        );
+        // Reference fault trace with no oracle queries at all.
+        let mut reference = Vec::new();
+        for fp in 0..200u64 {
+            k.fingerprint = fp;
+            for a in 0..3u32 {
+                reference.push(fm.measure_attempt(&k, a).map(|m| m.latency_s));
+            }
+        }
+        // Same trace with oracle queries interleaved everywhere: the plan
+        // is stateless, so validate_only must not shift a single outcome.
+        let tracer = Tracer::manual();
+        let fm = fm.with_tracer(tracer.clone());
+        let mut interleaved = Vec::new();
+        for fp in 0..200u64 {
+            k.fingerprint = fp;
+            for a in 0..3u32 {
+                for oracle_fp in 0..4u64 {
+                    let mut probe = k.clone();
+                    probe.fingerprint = 1000 + oracle_fp;
+                    assert!(fm.validate_only(&probe).is_ok());
+                }
+                interleaved.push(fm.measure_attempt(&k, a).map(|m| m.latency_s));
+            }
+        }
+        assert_eq!(reference, interleaved, "oracle queries shifted outcomes");
+        // Oracle queries charge nothing: only the real attempts counted.
+        assert_eq!(tracer.counter("dla.measure_attempts"), Some(200 * 3));
+        // An invalid kernel fails the oracle with a deterministic error
+        // and still leaves every counter untouched.
+        let before = tracer.counter("dla.measure_attempts");
+        let mut bad = k.clone();
+        bad.stages[0].intrinsic = Some((16, 16, 8));
+        let err = fm.validate_only(&bad).expect_err("invalid");
+        assert!(!err.is_transient());
+        assert_eq!(tracer.counter("dla.measure_attempts"), before);
     }
 
     #[test]

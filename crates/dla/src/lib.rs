@@ -38,5 +38,5 @@ pub mod spec;
 pub use fault::{FaultConfig, FaultDraw, FaultKind, FaultPlan, FaultyMeasurer};
 pub use platforms::{a100, cambricon, dlboost, t4, tpu, v100, vta};
 pub use sim::energy::{EnergyEstimate, EnergyParams};
-pub use sim::{Analysis, Bound, ErrorClass, MeasureError, Measurement, Measurer};
+pub use sim::{Analysis, Bound, ErrorClass, LaunchViolation, MeasureError, Measurement, Measurer};
 pub use spec::{CpuParams, DlaFamily, DlaSpec, GpuParams, VtaParams};

@@ -11,14 +11,17 @@
 
 use heron_sched::{Kernel, MemScope, StageRole};
 
-use super::MeasureError;
+use super::{LaunchViolation, MeasureError};
 use crate::spec::CpuParams;
 
 /// CPU-specific validation.
 pub(super) fn validate(c: &CpuParams, kernel: &Kernel) -> Result<(), MeasureError> {
     if kernel.threads > c.cores {
         return Err(MeasureError::IllegalLaunch {
-            reason: format!("{} threads exceed {} cores", kernel.threads, c.cores),
+            violation: LaunchViolation::CoreLimit {
+                threads: kernel.threads,
+                cores: c.cores,
+            },
         });
     }
     Ok(())

@@ -14,17 +14,17 @@
 
 use heron_sched::{Kernel, KernelStage, MemScope, StageRole};
 
-use super::{gcd, MeasureError};
+use super::{gcd, LaunchViolation, MeasureError};
 use crate::spec::GpuParams;
 
 /// GPU-specific launch validation.
 pub(super) fn validate(g: &GpuParams, kernel: &Kernel) -> Result<(), MeasureError> {
     if kernel.threads > g.max_warps_per_block {
         return Err(MeasureError::IllegalLaunch {
-            reason: format!(
-                "{} warps per block exceeds limit {}",
-                kernel.threads, g.max_warps_per_block
-            ),
+            violation: LaunchViolation::WarpLimit {
+                warps: kernel.threads,
+                limit: g.max_warps_per_block,
+            },
         });
     }
     // Accumulator register budget per warp, in bytes of the base 16x16
@@ -34,9 +34,10 @@ pub(super) fn validate(g: &GpuParams, kernel: &Kernel) -> Result<(), MeasureErro
     let budget = g.max_acc_frags_per_warp * 16 * 16 * 4;
     if frag_bytes > budget {
         return Err(MeasureError::IllegalLaunch {
-            reason: format!(
-                "{frag_bytes} accumulator bytes per warp exceeds register budget {budget}"
-            ),
+            violation: LaunchViolation::RegisterBudget {
+                bytes: frag_bytes,
+                budget,
+            },
         });
     }
     Ok(())

@@ -44,6 +44,74 @@ impl fmt::Display for ErrorClass {
     }
 }
 
+/// Machine-readable launch-geometry violation kinds.
+///
+/// Carried by [`MeasureError::IllegalLaunch`] so callers (audit
+/// attribution, `fault_sweep` columns) can branch on the violated limit
+/// instead of string-matching a human-readable reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchViolation {
+    /// Zero blocks / tasks launched.
+    EmptyGrid,
+    /// Zero threads (warps / cores) per block.
+    NoThreads,
+    /// Warps per block exceed the GPU limit.
+    WarpLimit {
+        /// Warps requested per block.
+        warps: i64,
+        /// Hardware limit.
+        limit: i64,
+    },
+    /// Accumulator fragments exceed the per-warp register budget.
+    RegisterBudget {
+        /// Accumulator bytes requested per warp.
+        bytes: i64,
+        /// Register-file budget in bytes.
+        budget: i64,
+    },
+    /// More software threads than physical cores.
+    CoreLimit {
+        /// Threads requested.
+        threads: i64,
+        /// Physical cores available.
+        cores: i64,
+    },
+}
+
+impl LaunchViolation {
+    /// Stable short tag (`launch.<kind>` in audit attributions).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LaunchViolation::EmptyGrid => "empty-grid",
+            LaunchViolation::NoThreads => "no-threads",
+            LaunchViolation::WarpLimit { .. } => "warp-limit",
+            LaunchViolation::RegisterBudget { .. } => "register-budget",
+            LaunchViolation::CoreLimit { .. } => "core-limit",
+        }
+    }
+}
+
+impl fmt::Display for LaunchViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchViolation::EmptyGrid => f.write_str("empty grid"),
+            LaunchViolation::NoThreads => f.write_str("no threads"),
+            LaunchViolation::WarpLimit { warps, limit } => {
+                write!(f, "{warps} warps per block exceeds limit {limit}")
+            }
+            LaunchViolation::RegisterBudget { bytes, budget } => {
+                write!(
+                    f,
+                    "{bytes} accumulator bytes per warp exceeds register budget {budget}"
+                )
+            }
+            LaunchViolation::CoreLimit { threads, cores } => {
+                write!(f, "{threads} threads exceed {cores} cores")
+            }
+        }
+    }
+}
+
 /// Why a kernel cannot execute on the platform.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MeasureError {
@@ -72,8 +140,8 @@ pub enum MeasureError {
     },
     /// Thread/block shape outside hardware limits.
     IllegalLaunch {
-        /// Human-readable reason.
-        reason: String,
+        /// Which launch limit was violated.
+        violation: LaunchViolation,
     },
     /// VTA-style accumulator access-cycle rule violated
     /// (`min <= access_cycle`).
@@ -112,7 +180,7 @@ impl fmt::Display for MeasureError {
             MeasureError::IllegalVector { len } => {
                 write!(f, "illegal vector length {len}")
             }
-            MeasureError::IllegalLaunch { reason } => write!(f, "illegal launch: {reason}"),
+            MeasureError::IllegalLaunch { violation } => write!(f, "illegal launch: {violation}"),
             MeasureError::AccessCycleViolation { observed, required } => {
                 write!(f, "access cycle {observed} below required {required}")
             }
@@ -169,6 +237,46 @@ impl MeasureError {
             MeasureError::DeviceHang => "device-hang",
             MeasureError::RpcDropped => "rpc-dropped",
             MeasureError::SpuriousFailure => "spurious",
+        }
+    }
+
+    /// Fine-grained machine-readable tag: like [`MeasureError::tag`] but
+    /// launch errors carry their violation kind (`launch.warp-limit`,
+    /// `launch.core-limit`, …) so reports never parse `Display` text.
+    pub fn detail_tag(&self) -> String {
+        match self {
+            MeasureError::IllegalLaunch { violation } => format!("launch.{}", violation.tag()),
+            other => other.tag().to_string(),
+        }
+    }
+
+    /// The constraint-generation rule (C1–C6, see `SpaceBuilder`) that
+    /// should have excluded this kernel from the space, or `None` for
+    /// transient infrastructure errors that implicate no rule.
+    ///
+    /// This is the attribution map the constraint-space auditor uses: a
+    /// CSP-satisfying sample that fails validation with, say,
+    /// [`MeasureError::CapacityExceeded`] points at a missing or
+    /// mis-stated Rule-C5 memory limit.
+    pub fn rule(&self) -> Option<&'static str> {
+        match self {
+            // Rule-C5 AddMemLimit: per-scope byte budgets.
+            MeasureError::CapacityExceeded { .. } => Some("C5"),
+            // Rule-C3 AddCandidates: intrinsic shapes and vector widths
+            // are candidate-set (IN) variables.
+            MeasureError::IllegalIntrinsic { .. } | MeasureError::IllegalVector { .. } => {
+                Some("C3")
+            }
+            // Rule-C6 AddDLASpecific: launch limits, the accumulator
+            // access-cycle rule, and the platform's tensorization
+            // requirement are all DLA-specific constraints.
+            MeasureError::IllegalLaunch { .. }
+            | MeasureError::AccessCycleViolation { .. }
+            | MeasureError::MissingIntrinsic => Some("C6"),
+            MeasureError::Timeout { .. }
+            | MeasureError::DeviceHang
+            | MeasureError::RpcDropped
+            | MeasureError::SpuriousFailure => None,
         }
     }
 }
@@ -292,12 +400,12 @@ impl Measurer {
     pub fn validate(&self, kernel: &Kernel) -> Result<(), MeasureError> {
         if kernel.grid < 1 {
             return Err(MeasureError::IllegalLaunch {
-                reason: "empty grid".into(),
+                violation: LaunchViolation::EmptyGrid,
             });
         }
         if kernel.threads < 1 {
             return Err(MeasureError::IllegalLaunch {
-                reason: "no threads".into(),
+                violation: LaunchViolation::NoThreads,
             });
         }
         for (scope, limit) in &self.spec.capacities {

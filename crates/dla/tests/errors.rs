@@ -3,7 +3,7 @@
 //! architectural rule raises it, and every variant carries the correct
 //! transient/deterministic class and accounting tag.
 
-use heron_dla::{dlboost, v100, vta, ErrorClass, MeasureError, Measurer};
+use heron_dla::{dlboost, v100, vta, ErrorClass, LaunchViolation, MeasureError, Measurer};
 use heron_sched::{Kernel, KernelBuffer, KernelStage, MemScope, StageRole};
 use heron_tensor::DType;
 
@@ -196,8 +196,17 @@ fn tensorcore_warp_limit_is_a_launch_error() {
     let err = Measurer::new(v100())
         .measure(&k)
         .expect_err("too many warps");
-    assert!(matches!(err, MeasureError::IllegalLaunch { .. }));
+    assert_eq!(
+        err,
+        MeasureError::IllegalLaunch {
+            violation: LaunchViolation::WarpLimit {
+                warps: 64,
+                limit: 32
+            }
+        }
+    );
     assert_eq!(err.tag(), "launch");
+    assert_eq!(err.detail_tag(), "launch.warp-limit");
     assert!(err.to_string().contains("warps"));
 }
 
@@ -227,7 +236,16 @@ fn dlboost_core_oversubscription_is_a_launch_error() {
     let err = Measurer::new(dlboost())
         .measure(&k)
         .expect_err("too many threads");
-    assert!(matches!(err, MeasureError::IllegalLaunch { .. }));
+    assert_eq!(
+        err,
+        MeasureError::IllegalLaunch {
+            violation: LaunchViolation::CoreLimit {
+                threads: 32,
+                cores: 18
+            }
+        }
+    );
+    assert_eq!(err.detail_tag(), "launch.core-limit");
     assert!(err.to_string().contains("cores"));
 }
 
@@ -335,4 +353,88 @@ fn transient_variants_classify_and_display() {
     assert_eq!(tags, ["timeout", "device-hang", "rpc-dropped", "spurious"]);
     assert_eq!(ErrorClass::Transient.to_string(), "transient");
     assert_eq!(ErrorClass::Deterministic.to_string(), "deterministic");
+}
+
+#[test]
+fn deterministic_errors_implicate_a_constraint_rule() {
+    // The audit attribution map: every deterministic error names the
+    // constraint-generation rule that should have excluded the kernel;
+    // transient infrastructure errors implicate nothing.
+    let cases = [
+        (
+            MeasureError::CapacityExceeded {
+                scope: MemScope::Shared,
+                used: 2,
+                limit: 1,
+            },
+            Some("C5"),
+        ),
+        (
+            MeasureError::IllegalIntrinsic { m: 16, n: 16, k: 8 },
+            Some("C3"),
+        ),
+        (MeasureError::IllegalVector { len: 3 }, Some("C3")),
+        (
+            MeasureError::IllegalLaunch {
+                violation: LaunchViolation::EmptyGrid,
+            },
+            Some("C6"),
+        ),
+        (
+            MeasureError::AccessCycleViolation {
+                observed: 1,
+                required: 2,
+            },
+            Some("C6"),
+        ),
+        (MeasureError::MissingIntrinsic, Some("C6")),
+        (MeasureError::Timeout { budget_s: 1.0 }, None),
+        (MeasureError::DeviceHang, None),
+        (MeasureError::RpcDropped, None),
+        (MeasureError::SpuriousFailure, None),
+    ];
+    for (err, want) in cases {
+        assert_eq!(err.rule(), want, "{err}");
+        assert_eq!(err.rule().is_some(), !err.is_transient(), "{err}");
+    }
+}
+
+#[test]
+fn launch_violations_carry_machine_readable_kinds() {
+    let kinds = [
+        (LaunchViolation::EmptyGrid, "empty-grid"),
+        (LaunchViolation::NoThreads, "no-threads"),
+        (
+            LaunchViolation::WarpLimit {
+                warps: 64,
+                limit: 32,
+            },
+            "warp-limit",
+        ),
+        (
+            LaunchViolation::RegisterBudget {
+                bytes: 9000,
+                budget: 8192,
+            },
+            "register-budget",
+        ),
+        (
+            LaunchViolation::CoreLimit {
+                threads: 32,
+                cores: 18,
+            },
+            "core-limit",
+        ),
+    ];
+    for (v, tag) in kinds {
+        assert_eq!(v.tag(), tag);
+        let err = MeasureError::IllegalLaunch { violation: v };
+        assert_eq!(err.detail_tag(), format!("launch.{tag}"));
+        assert!(!v.to_string().is_empty());
+    }
+    // Non-launch errors pass their coarse tag through unchanged.
+    assert_eq!(
+        MeasureError::MissingIntrinsic.detail_tag(),
+        "missing-intrinsic"
+    );
 }

@@ -42,6 +42,7 @@ pub mod bench;
 pub mod csp_corpus;
 pub mod csp_reference;
 mod gen;
+pub mod rule_mutation;
 pub mod shrink;
 
 pub use gen::Gen;

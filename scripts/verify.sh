@@ -196,20 +196,47 @@ if cargo run --release --offline -p heron-bench --bin heron_status -- \
 fi
 echo "ok: committed SLO spec passes; tightened spec fails the gate"
 
-echo "== telemetry-name lint (serve.* / pulse.* documentation) =="
-# Every serve.*/pulse.* counter, point, or span name the code emits must
-# be documented in DESIGN.md §10's name tables, so the dashboard and
-# trace reports never show an unexplained metric.
+echo "== audit smoke (differential constraint-space auditor) =="
+# The generated spaces themselves gate the build (DESIGN.md §11): a
+# clean committed spec must audit clean on every platform (no CSP-SAT
+# point the simulator rejects, no sim-valid schedule the CSP rejects),
+# same-seed audits must be byte-identical, and a deliberately damaged
+# rule must fail the check — proving the auditor can fail, not just
+# that it happens to pass.
+for dla in v100 dlboost vta; do
+    cargo run --release --offline -p heron-bench --bin heron_audit -- \
+        --dla "$dla" --op gemm --shape 128x128x128 --samples 32 \
+        --out "$obs_dir/audit_$dla.json" --check >/dev/null
+done
+cargo run --release --offline -p heron-bench --bin heron_audit -- \
+    --dla v100 --op gemm --shape 128x128x128 --samples 32 \
+    --out "$obs_dir/audit_v100_rerun.json" --check >/dev/null
+cmp -s "$obs_dir/audit_v100.json" "$obs_dir/audit_v100_rerun.json" || {
+    echo "error: same-seed audit.json is not byte-identical" >&2
+    exit 1
+}
+if cargo run --release --offline -p heron-bench --bin heron_audit -- \
+    --dla v100 --op gemm --shape 128x128x128 --samples 32 \
+    --mutate drop-le --check >/dev/null 2>&1; then
+    echo "error: audit --check passed on a space with a dropped LE rule" >&2
+    exit 1
+fi
+echo "ok: clean specs audit clean (3 platforms, byte-stable); dropped rule fails the gate"
+
+echo "== telemetry-name lint (serve.* / pulse.* / audit.* documentation) =="
+# Every serve.*/pulse.*/audit.* counter, point, or span name the code
+# emits must be documented in DESIGN.md §10/§11's name tables, so the
+# dashboard and trace reports never show an unexplained metric.
 undocumented=""
-for name in $(grep -rhoE '"(serve|pulse)\.[a-z_.]+"' crates --include='*.rs' \
+for name in $(grep -rhoE '"(serve|pulse|audit)\.[a-z_.]+"' crates --include='*.rs' \
     | tr -d '"' | sort -u); do
     grep -q -- "$name" DESIGN.md || undocumented="$undocumented $name"
 done
 if [ -n "$undocumented" ]; then
-    echo "error: telemetry names missing from DESIGN.md §10:$undocumented" >&2
+    echo "error: telemetry names missing from DESIGN.md §10/§11:$undocumented" >&2
     exit 1
 fi
-echo "ok: every serve.*/pulse.* telemetry name is documented"
+echo "ok: every serve.*/pulse.*/audit.* telemetry name is documented"
 
 echo "== fitness-robustness lint (explorer/solver/model layers) =="
 # Two recurring NaN/error-poisoning bugs, kept out by lint:

@@ -30,6 +30,7 @@
 //! | [`insight`] | `heron-insight` | search-health analytics and regression gates |
 //! | [`serve`] | `heron-serve` | supervised, crash-recoverable tuning service |
 //! | [`pulse`] | `heron-pulse` | service SLIs/SLOs and the ops dashboard |
+//! | [`audit`] | `heron-audit` | differential constraint-space auditor + mutation gate |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@
 
 pub mod paper_map;
 
+pub use heron_audit as audit;
 pub use heron_baselines as baselines;
 pub use heron_core as core;
 pub use heron_cost as cost;
