@@ -4,9 +4,12 @@
 //! effectively free (<2% on instrumented hot paths), so instrumentation
 //! can stay compiled into the solver and tuner unconditionally. This
 //! bench times the two instrumented hot paths (RandSAT solving, GBDT
-//! fitting) three ways — uninstrumented entry point, disabled tracer,
-//! enabled manual-clock tracer — plus the raw per-op tracer costs, and
-//! prints the measured disabled-vs-baseline overhead.
+//! fitting) four ways — uninstrumented entry point, disabled tracer,
+//! enabled manual-clock tracer, and the bounded flight-recorder ring
+//! sink (`set_ring(64, true)`, the always-on mode long-lived
+//! `heron_serve` runs use) — plus the raw per-op tracer costs, and
+//! prints the measured disabled- and ring-vs-baseline overheads. The
+//! ring numbers back DESIGN.md §12's <2% hot-path claim.
 
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_cost::{Gbdt, GbdtParams};
@@ -68,10 +71,29 @@ fn main() {
                 .len(),
         )
     });
+    // The flight-recorder mode heron_serve runs long-lived jobs under:
+    // events land in the bounded ring only, nothing accumulates.
+    let mut rng = HeronRng::from_seed(7);
+    let ring = Tracer::manual();
+    ring.set_ring(64, true);
+    let ringed = h
+        .bench("rand_sat/tracer-ring", || {
+            black_box(
+                heron_csp::rand_sat_traced(&space.csp, &mut rng, 16, &policy, &ring)
+                    .solutions
+                    .len(),
+            )
+        })
+        .median_ns;
     let overhead = disabled as f64 / base as f64 - 1.0;
     eprintln!(
         "  rand_sat disabled-tracer overhead: {:+.2}%",
         overhead * 100.0
+    );
+    let ring_overhead = ringed as f64 / base as f64 - 1.0;
+    eprintln!(
+        "  rand_sat ring-sink overhead: {:+.2}%",
+        ring_overhead * 100.0
     );
 
     // Hot path 2: GBDT fit (cost.fit span + fit counters when traced).
@@ -88,10 +110,21 @@ fn main() {
             black_box(Gbdt::fit_traced(&x, &y, &GbdtParams::default(), &mut rng, &off).num_trees())
         })
         .median_ns;
+    let mut rng = HeronRng::from_seed(1);
+    let ringed = h
+        .bench("gbdt-fit/tracer-ring", || {
+            black_box(Gbdt::fit_traced(&x, &y, &GbdtParams::default(), &mut rng, &ring).num_trees())
+        })
+        .median_ns;
     let overhead = disabled as f64 / base as f64 - 1.0;
     eprintln!(
         "  gbdt-fit disabled-tracer overhead: {:+.2}%",
         overhead * 100.0
+    );
+    let ring_overhead = ringed as f64 / base as f64 - 1.0;
+    eprintln!(
+        "  gbdt-fit ring-sink overhead: {:+.2}%",
+        ring_overhead * 100.0
     );
 
     // Hot path 3: the full tuner step loop, with search-health insight
@@ -175,6 +208,14 @@ fn main() {
             let _g = live.span_with("bench.span", || [("i", i.to_string())]);
         }
         black_box(live.event_count())
+    });
+    let ring_raw = Tracer::manual();
+    ring_raw.set_ring(64, true);
+    h.bench("tracer/span-ring/10k", || {
+        for i in 0..10_000u64 {
+            let _g = ring_raw.span_with("bench.span", || [("i", i.to_string())]);
+        }
+        black_box(ring_raw.event_count())
     });
     h.bench("tracer/counter-enabled/10k", || {
         for _ in 0..10_000u64 {

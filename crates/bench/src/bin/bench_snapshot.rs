@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! bench_snapshot [--out BENCH_heron.json] [--trials N] [--seed S]
+//!                [--append-history results/bench_trajectory.jsonl]
 //! ```
 //!
 //! Runs the full Heron pipeline (space generation → CGA + ε-greedy
@@ -16,12 +17,20 @@
 //! `bench_compare`.
 //!
 //! A TSV summary of the same numbers goes to stdout.
+//!
+//! `--append-history FILE` additionally appends one compact
+//! `heron-bench-traj-v1` line (seed, trials, geomean, per-workload best
+//! scores) to the committed trajectory history, after validating every
+//! line already there — a corrupt history fails loudly instead of
+//! growing silently.
 
 use heron_bench::{flag, TsvTable};
 use heron_core::generate::{SpaceGenerator, SpaceOptions};
 use heron_core::tuner::{TuneConfig, Tuner};
 use heron_dla::{v100, Measurer};
-use heron_insight::{validate_bench, BenchReport, WorkloadBench};
+use heron_insight::{
+    trajectory_line, validate_bench, validate_trajectory, BenchReport, WorkloadBench,
+};
 use heron_rng::HeronRng;
 use heron_tensor::{ops, Dag};
 
@@ -162,4 +171,34 @@ fn main() {
         report.workloads.len(),
         report.geomean_gflops()
     );
+
+    if let Some(history) = flag(&args, "--append-history") {
+        let existing = match std::fs::read_to_string(&history) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                eprintln!("cannot read history `{history}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        let prior = match validate_trajectory(&existing) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("refusing to append: corrupt history `{history}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        let appended = format!("{existing}{}\n", trajectory_line(&report));
+        // Re-validate the would-be file so a bug in the line renderer
+        // can never poison the committed history.
+        if let Err(e) = validate_trajectory(&appended) {
+            eprintln!("internal error: new history line fails its own schema: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&history, appended) {
+            eprintln!("cannot write history `{history}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("history `{history}` now has {} line(s)", prior + 1);
+    }
 }

@@ -13,7 +13,7 @@
 //! job was lost or double-run, and a second service run reproduces the
 //! manifest byte for byte.
 
-use heron_bench::{flag, has_flag};
+use heron_bench::{flag, has_flag, scope_input};
 use heron_pulse::{build_pulse, render_dashboard, render_slo_report, SloSpec};
 use heron_serve::{chaos, parse_script, JobScript, JobState, Supervisor};
 use heron_trace::Json;
@@ -60,7 +60,8 @@ fn usage() {
     eprintln!(
         "usage: heron_serve (--jobs FILE | --smoke) [--workers N] [--manifest FILE] \
          [--trace-out FILE.jsonl] [--artifact-dir DIR] [--verify-recovery] \
-         [--pulse-out FILE.json] [--slo SPEC] [--slo-report FILE] [--baseline BENCH.json]"
+         [--pulse-out FILE.json] [--slo SPEC] [--slo-report FILE] [--baseline BENCH.json] \
+         [--scope-out FILE.json] [--postmortem-dir DIR]"
     );
 }
 
@@ -120,9 +121,30 @@ fn main() {
     };
 
     let specs = script.jobs.clone();
-    let sup = run_service(script.clone(), &baseline);
+    let postmortem_dir = flag(&args, "--postmortem-dir");
+    let sup = run_service(
+        script.clone(),
+        &baseline,
+        &slo_spec,
+        postmortem_dir.as_deref(),
+    );
     let manifest = sup.manifest();
     print!("{manifest}");
+    if let Some(dir) = &postmortem_dir {
+        eprintln!(
+            "{} postmortem bundle(s) written to `{dir}`",
+            sup.postmortems().len()
+        );
+    }
+
+    let scope_doc = heron_scope::build_scope(&scope_input(&sup));
+    if let Some(path) = flag(&args, "--scope-out") {
+        if let Err(e) = std::fs::write(&path, scope_doc.render_pretty()) {
+            eprintln!("cannot write scope document `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("scope document written to `{path}`");
+    }
 
     let pulse_doc = build_pulse(&sup.pulse_input(), &slo_spec);
     if let Some(path) = flag(&args, "--pulse-out") {
@@ -177,13 +199,25 @@ fn main() {
         }
     }
     if smoke {
-        smoke_assertions(&sup, script, &manifest, &baseline, &slo_spec, &pulse_doc);
+        smoke_assertions(
+            &sup, script, &manifest, &baseline, &slo_spec, &pulse_doc, &scope_doc,
+        );
         println!("service-robustness smoke: PASS");
     }
 }
 
-fn run_service(script: JobScript, baseline: &[(String, f64)]) -> Supervisor {
-    let mut sup = Supervisor::from_script(script).with_baseline(baseline.to_vec());
+fn run_service(
+    script: JobScript,
+    baseline: &[(String, f64)],
+    slo: &SloSpec,
+    postmortem_dir: Option<&str>,
+) -> Supervisor {
+    let mut sup = Supervisor::from_script(script)
+        .with_baseline(baseline.to_vec())
+        .with_slo(slo.clone());
+    if let Some(dir) = postmortem_dir {
+        sup = sup.with_postmortem_dir(dir);
+    }
     sup.run();
     sup
 }
@@ -244,11 +278,24 @@ fn write_artifacts(sup: &Supervisor, dir: &str) {
             write(format!("{}.trace.jsonl", row.id), &report.trace_jsonl);
         }
     }
+    // Flight-recorder deposits: every job's last ring snapshot, whether
+    // or not the job completed (crashed jobs are the whole point).
+    for (job, entry) in sup.recorder().entries() {
+        if !entry.ring_jsonl.is_empty() {
+            if let Err(e) =
+                std::fs::write(base.join(format!("{job}.ring.jsonl")), &entry.ring_jsonl)
+            {
+                eprintln!("cannot write artifact `{job}.ring.jsonl`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!("artifacts written to `{dir}`");
 }
 
 /// The assertions behind the CI smoke stage. Process exit 1 with a
 /// pointed message on any violation.
+#[allow(clippy::too_many_arguments)]
 fn smoke_assertions(
     first: &Supervisor,
     script: JobScript,
@@ -256,6 +303,7 @@ fn smoke_assertions(
     baseline: &[(String, f64)],
     slo_spec: &SloSpec,
     first_pulse: &Json,
+    first_scope: &Json,
 ) {
     let fail = |msg: String| {
         eprintln!("smoke FAILED: {msg}");
@@ -309,11 +357,60 @@ fn smoke_assertions(
     if !first_manifest.contains("warn g2 pulse.warn.heartbeat_stall") {
         fail("manifest does not list g2's heartbeat-stall warning".to_string());
     }
+    // Forensics plane: every injected death leaves exactly one
+    // postmortem bundle — g1's crash, g2's confirmed hang (exactly one,
+    // not one per watchdog poll), g5's three crashes plus its final
+    // budget-exhaustion quarantine — and every bundle validates.
+    let postmortems = first.postmortems();
+    let files: Vec<&str> = postmortems.iter().map(|p| p.file.as_str()).collect();
+    let expected_files = [
+        "g1.attempt0.crash.jsonl",
+        "g2.attempt0.hang.jsonl",
+        "g5.attempt0.crash.jsonl",
+        "g5.attempt1.crash.jsonl",
+        "g5.attempt2.crash.jsonl",
+        "g5.attempt2.quarantine.jsonl",
+    ];
+    if files != expected_files {
+        fail(format!(
+            "expected postmortem bundles {expected_files:?}, got {files:?}"
+        ));
+    }
+    for pm in postmortems {
+        if let Err(e) = heron_serve::check_postmortem(&pm.bundle) {
+            fail(format!("postmortem `{}` does not validate: {e}", pm.file));
+        }
+    }
+    if first.tracer().counter("serve.postmortems") != Some(expected_files.len() as u64) {
+        fail(format!(
+            "serve.postmortems counter disagrees with the bundle list: {:?}",
+            first.tracer().counter("serve.postmortems")
+        ));
+    }
+    if !first_manifest.contains("postmortems = 6")
+        || !first_manifest
+            .contains("postmortem g2 attempt=0 reason=hang file=g2.attempt0.hang.jsonl")
+    {
+        fail("manifest does not list the postmortem bundles".to_string());
+    }
+    // Schedule forensics: the scope document validates and its critical
+    // path telescopes exactly to the makespan.
+    if let Err(e) = heron_scope::validate_scope(first_scope) {
+        fail(format!("scope document does not validate: {e}"));
+    }
+    let scope_u64 = |key: &str| first_scope.get(key).and_then(Json::as_u64).unwrap_or(0);
+    if scope_u64("critical_sum_ns") != scope_u64("makespan_ns") || scope_u64("makespan_ns") == 0 {
+        fail(format!(
+            "critical-path sum {} != makespan {}",
+            scope_u64("critical_sum_ns"),
+            scope_u64("makespan_ns")
+        ));
+    }
     // Determinism: a second full service run reproduces the manifest
     // byte for byte — states, attempts, rounds, fingerprints and all —
-    // and the whole pulse plane (pulse.json, SLO report, dashboard)
-    // with it.
-    let second = run_service(script, baseline);
+    // the whole pulse plane (pulse.json, SLO report, dashboard), the
+    // scope document, every postmortem bundle, and every ring snapshot.
+    let second = run_service(script, baseline, slo_spec, None);
     let second_manifest = second.manifest();
     if second_manifest != first_manifest {
         eprintln!("--- first run ---\n{first_manifest}");
@@ -330,9 +427,22 @@ fn smoke_assertions(
     if render_dashboard(&second_pulse, 3) != render_dashboard(first_pulse, 3) {
         fail("status dashboard is not deterministic across runs".to_string());
     }
+    let second_scope = heron_scope::build_scope(&scope_input(&second));
+    if second_scope.render_pretty() != first_scope.render_pretty() {
+        fail("scope.json is not deterministic across runs".to_string());
+    }
+    if second.postmortems() != first.postmortems() {
+        fail("postmortem bundles are not byte-identical across runs".to_string());
+    }
+    if second.recorder().entries() != first.recorder().entries() {
+        fail("flight-recorder ring snapshots are not byte-identical across runs".to_string());
+    }
     println!(
-        "manifest, pulse.json, SLO report and dashboard deterministic \
+        "manifest, pulse.json, SLO report, dashboard, scope.json, {} \
+         postmortem bundle(s) and {} ring snapshot(s) deterministic \
          across two service runs ({} jobs)",
+        first.postmortems().len(),
+        first.recorder().entries().len(),
         first.rows().len()
     );
 }

@@ -21,8 +21,12 @@
 //! into another's, and `--job ID` restricts the whole report to that
 //! job's slice.
 
+use std::io::BufRead as _;
+
 use heron_bench::{flag, has_flag};
-use heron_trace::{check_trace, profile_from_summary, slice_by_job, TraceSummary};
+use heron_trace::{
+    check_trace, check_trace_lines, profile_from_summary, slice_by_job, TraceSummary,
+};
 
 fn usage() -> ! {
     eprintln!("usage: trace_report <trace.jsonl> [--check] [--top N] [--job ID]");
@@ -31,6 +35,26 @@ fn usage() -> ! {
 
 fn check(text: &str, path: &str) -> TraceSummary {
     match check_trace(text) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("invalid trace `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Validates `path` without buffering it: lines stream from disk
+/// straight into [`check_trace_lines`], so `--check` holds one line in
+/// memory at a time no matter how large the trace is.
+fn check_streaming(path: &str) -> TraceSummary {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    match check_trace_lines(std::io::BufReader::new(file).lines()) {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("invalid trace `{path}`: {e}");
@@ -103,6 +127,18 @@ fn main() {
     else {
         usage();
     };
+    // Plain `--check` never needs the whole file in memory: stream it.
+    // (`--job` slicing and profile rendering still buffer the text.)
+    if has_flag(&args, "--check") && flag(&args, "--job").is_none() {
+        let summary = check_streaming(path);
+        println!(
+            "ok: {} events ({} spans, {} points), all spans balanced",
+            summary.events,
+            summary.spans.len(),
+            summary.points
+        );
+        return;
+    }
     let mut text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {

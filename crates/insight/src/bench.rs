@@ -283,6 +283,81 @@ pub fn compare(base: &BenchReport, new: &BenchReport, cfg: &CompareConfig) -> Ve
     regressions
 }
 
+/// The schema identifier stamped into every trajectory-history line.
+pub const TRAJECTORY_SCHEMA: &str = "heron-bench-traj-v1";
+
+/// Renders one `results/bench_trajectory.jsonl` history line for a
+/// snapshot: compact single-line JSON with the run parameters, the
+/// geomean, and the per-workload best scores. Deliberately a *summary*
+/// — the full per-workload detail lives in `BENCH_heron.json`; the
+/// history file answers "how did the trajectory move over time" with
+/// one greppable line per committed snapshot.
+pub fn trajectory_line(report: &BenchReport) -> String {
+    let workloads = report
+        .workloads
+        .iter()
+        .map(|w| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(w.name.clone())),
+                ("best_gflops".into(), Json::Num(w.best_gflops)),
+                ("sol_per_kprop".into(), Json::Num(w.sol_per_kprop)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(TRAJECTORY_SCHEMA.into())),
+        ("seed".into(), Json::Num(report.seed as f64)),
+        ("trials".into(), Json::Num(f64::from(report.trials))),
+        ("geomean_gflops".into(), Json::Num(report.geomean_gflops())),
+        ("workloads".into(), Json::Arr(workloads)),
+    ])
+    .render()
+}
+
+/// Validates a trajectory history file: every non-empty line must be a
+/// [`TRAJECTORY_SCHEMA`] object with numeric `seed`/`trials`/
+/// `geomean_gflops` and a `workloads` array of `{name, best_gflops,
+/// sol_per_kprop}` entries. Returns the number of valid lines.
+///
+/// # Errors
+/// A message naming the offending 1-based line and member.
+pub fn validate_trajectory(text: &str) -> Result<usize, String> {
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let no = i + 1;
+        let doc = heron_trace::json::parse(line).map_err(|e| format!("line {no}: {e}"))?;
+        if doc.get("schema").and_then(Json::as_str) != Some(TRAJECTORY_SCHEMA) {
+            return Err(format!("line {no}: not a `{TRAJECTORY_SCHEMA}` object"));
+        }
+        for key in ["seed", "trials", "geomean_gflops"] {
+            if doc.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("line {no}: missing numeric member `{key}`"));
+            }
+        }
+        let workloads = doc
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("line {no}: missing array `workloads`"))?;
+        for (k, w) in workloads.iter().enumerate() {
+            if w.get("name").and_then(Json::as_str).is_none() {
+                return Err(format!("line {no}: workloads[{k}]: missing string `name`"));
+            }
+            for key in ["best_gflops", "sol_per_kprop"] {
+                if w.get(key).and_then(Json::as_f64).is_none() {
+                    return Err(format!(
+                        "line {no}: workloads[{k}]: missing numeric member `{key}`"
+                    ));
+                }
+            }
+        }
+        lines += 1;
+    }
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +497,30 @@ mod tests {
     fn rejects_wrong_schema() {
         let doc = heron_trace::json::parse(r#"{"schema":"other"}"#).unwrap();
         assert!(BenchReport::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn trajectory_lines_roundtrip_and_accumulate() {
+        let line = trajectory_line(&sample());
+        assert!(line.starts_with(&format!("{{\"schema\":\"{TRAJECTORY_SCHEMA}\"")));
+        assert!(!line.contains('\n'), "history lines are single-line JSON");
+        let two = format!("{line}\n{line}\n");
+        assert_eq!(validate_trajectory(&two), Ok(2));
+        assert_eq!(validate_trajectory(""), Ok(0));
+    }
+
+    #[test]
+    fn trajectory_validation_names_the_bad_line() {
+        let good = trajectory_line(&sample());
+        let bad = format!("{good}\nnot json\n");
+        assert!(validate_trajectory(&bad).unwrap_err().contains("line 2"));
+        let wrong = good.replace(TRAJECTORY_SCHEMA, "heron-bench-traj-v0");
+        assert!(validate_trajectory(&wrong)
+            .unwrap_err()
+            .contains(TRAJECTORY_SCHEMA));
+        let gutted = good.replace("\"geomean_gflops\"", "\"geomean\"");
+        assert!(validate_trajectory(&gutted)
+            .unwrap_err()
+            .contains("geomean_gflops"));
     }
 }

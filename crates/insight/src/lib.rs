@@ -49,7 +49,10 @@ pub mod log;
 pub mod schema;
 
 pub use analyze::{analyze, InsightReport, Warning};
-pub use bench::{compare, BenchReport, CompareConfig, WorkloadBench};
+pub use bench::{
+    compare, trajectory_line, validate_trajectory, BenchReport, CompareConfig, WorkloadBench,
+    TRAJECTORY_SCHEMA,
+};
 pub use log::{population_entropy_bits, RefitRecord, RoundRecord, SearchLog, VarCoverage};
 pub use schema::{validate_bench, validate_insight};
 

@@ -47,6 +47,9 @@ pub struct JobInput {
     /// Final attempt's session trace (ctx-stripped slice; empty when
     /// unavailable).
     pub trace_jsonl: String,
+    /// Postmortem bundles emitted for this job (crash/hang/quarantine
+    /// deaths; deterministic under a fixed chaos plan).
+    pub postmortems: u64,
 }
 
 /// The whole service run, ready for [`crate::build_pulse`].

@@ -263,6 +263,7 @@ mod tests {
             metrics_tsv: String::new(),
             wall_ns: 2_000_000_000,
             trace_jsonl: String::new(),
+            postmortems: 0,
         };
         let input = ServiceInput {
             config: PulseConfig {

@@ -79,7 +79,14 @@ pub fn validate_pulse(doc: &Json) -> Result<(), String> {
         let path = format!("$.jobs[{i}]");
         want_str(job, &path, "id")?;
         want_str(job, &path, "state")?;
-        for key in ["attempts", "recoveries", "rounds", "trials", "wall_s"] {
+        for key in [
+            "attempts",
+            "recoveries",
+            "postmortems",
+            "rounds",
+            "trials",
+            "wall_s",
+        ] {
             want_num(job, &path, key)?;
         }
         match want(job, &path, "termination")? {
@@ -167,6 +174,7 @@ mod tests {
                 metrics_tsv: String::new(),
                 wall_ns: 1_500_000_000,
                 trace_jsonl: String::new(),
+                postmortems: 1,
             }],
             rejected: Vec::new(),
         };

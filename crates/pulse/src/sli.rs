@@ -195,6 +195,7 @@ fn job_json(job: &JobInput, input: &ServiceInput) -> Json {
         ("state".to_string(), s(&job.state)),
         ("attempts".to_string(), num(f64::from(job.attempts))),
         ("recoveries".to_string(), num(f64::from(job.recoveries))),
+        ("postmortems".to_string(), num(job.postmortems as f64)),
         ("rounds".to_string(), num(job.rounds as f64)),
         ("trials".to_string(), num(job.trials as f64)),
         (
@@ -379,6 +380,7 @@ mod tests {
             metrics_tsv: "metric\ttype\tvalue\ncsp.solutions\tcounter\t50\ncsp.propagations\tcounter\t20000\n".to_string(),
             wall_ns,
             trace_jsonl,
+            postmortems: 0,
         }
     }
 

@@ -1,0 +1,47 @@
+//! The deterministic projection of a finished service run that the
+//! scope engine rebuilds the schedule from.
+//!
+//! Everything here is a deterministic function of (job script, seeds,
+//! chaos plan): submission order, per-attempt outcomes with their
+//! simulated durations, and the per-job sliced session trace. Nothing
+//! scheduling-dependent (real worker ids, event interleavings, host
+//! wall-clock) enters, which is what makes `scope.json` byte-identical
+//! across reruns of the same script.
+
+/// One settled worker attempt: how it ended and how much simulated
+/// time it consumed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeAttempt {
+    /// `completed`, `preempted`, `crashed`, `hung`, or `failed`.
+    pub outcome: String,
+    /// Simulated wall-clock the attempt consumed before settling, ns.
+    pub sim_ns: u64,
+    /// Lifetime rounds when the attempt settled.
+    pub rounds: u64,
+}
+
+/// One admitted job's deterministic scheduling facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeJob {
+    /// Job id.
+    pub id: String,
+    /// Final lifecycle state, rendered (`completed`, `quarantined`, …).
+    pub state: String,
+    /// Every attempt in attempt order (empty for jobs that never ran).
+    pub attempts: Vec<ScopeAttempt>,
+    /// The job's sliced session trace (per-job profile source; empty
+    /// when unavailable).
+    pub trace_jsonl: String,
+}
+
+/// The whole run, ready for [`crate::build_scope`]. Jobs MUST be in
+/// submission order — the model's tie-breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeInput {
+    /// Worker pool size the schedule is reconstructed over.
+    pub workers: usize,
+    /// Recovery backoff base in simulated seconds (doubles per retry).
+    pub backoff_base_s: f64,
+    /// Every admitted job in submission order.
+    pub jobs: Vec<ScopeJob>,
+}

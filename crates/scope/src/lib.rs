@@ -1,0 +1,56 @@
+//! heron-scope: service schedule forensics for `heron-serve` runs
+//! (DESIGN.md §12).
+//!
+//! A supervised tuning service answers *what* happened through its
+//! manifest and *how healthy* it was through `pulse.json`; this crate
+//! answers *where the time went*. From a run's deterministic facts —
+//! submission order, per-attempt outcomes with simulated durations,
+//! and the backoff policy — it reconstructs the **service schedule**:
+//! per-worker occupancy timelines, per-job queue/run/backoff Gantt
+//! segments, idle-gap accounting, and the **critical path** through
+//! the makespan with per-segment CPM slack. Integer-nanosecond
+//! arithmetic makes the critical-path sum equal the makespan exactly,
+//! and the validator enforces that equality.
+//!
+//! Module map:
+//!
+//! * [`input`] — the deterministic run projection ([`ScopeInput`]);
+//! * [`schedule`] — the canonical list-scheduler replay, binding
+//!   predecessors, critical path, slack;
+//! * [`report`] — `heron-scope-v1` document assembly and the text
+//!   timeline renderer;
+//! * [`schema`] — the structural validator with `$.path` errors.
+//!
+//! # Example
+//!
+//! ```
+//! use heron_scope::{build_scope, validate_scope, ScopeAttempt, ScopeInput, ScopeJob};
+//!
+//! let input = ScopeInput {
+//!     workers: 2,
+//!     backoff_base_s: 0.5,
+//!     jobs: vec![ScopeJob {
+//!         id: "g1".to_string(),
+//!         state: "completed".to_string(),
+//!         attempts: vec![ScopeAttempt {
+//!             outcome: "completed".to_string(),
+//!             sim_ns: 2_000_000_000,
+//!             rounds: 4,
+//!         }],
+//!         trace_jsonl: String::new(),
+//!     }],
+//! };
+//! let doc = build_scope(&input);
+//! validate_scope(&doc).unwrap();
+//! assert_eq!(doc.get("makespan_ns").unwrap().as_u64(), Some(2_000_000_000));
+//! ```
+
+pub mod input;
+pub mod report;
+pub mod schedule;
+pub mod schema;
+
+pub use input::{ScopeAttempt, ScopeInput, ScopeJob};
+pub use report::{build_scope, render_timeline, schedule_of, SCOPE_SCHEMA};
+pub use schedule::{build_schedule, LaneStats, Phase, Schedule, Segment};
+pub use schema::validate_scope;

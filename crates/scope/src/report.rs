@@ -1,0 +1,371 @@
+//! `scope.json` assembly and the text timeline renderer.
+//!
+//! [`build_scope`] folds the reconstructed [`crate::schedule::Schedule`]
+//! plus per-job trace profiles into one `heron-scope-v1` document;
+//! [`render_timeline`] draws it as a fixed-width per-worker occupancy
+//! chart with a critical-path row. Both are pure functions of the
+//! input, so two same-seed service runs render byte-identical output.
+
+use heron_trace::{check_trace, Json};
+
+use crate::input::ScopeInput;
+use crate::schedule::{build_schedule, Phase, Schedule, Segment};
+
+/// The schema identifier stamped into every document.
+pub const SCOPE_SCHEMA: &str = "heron-scope-v1";
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn s(v: &str) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn segment_json(seg: &Segment) -> Json {
+    Json::Obj(vec![
+        ("phase".to_string(), s(seg.phase.as_str())),
+        (
+            "worker".to_string(),
+            seg.worker.map_or(Json::Null, |w| num(w as f64)),
+        ),
+        ("attempt".to_string(), num(f64::from(seg.attempt))),
+        ("start_ns".to_string(), num(seg.start_ns as f64)),
+        ("end_ns".to_string(), num(seg.end_ns as f64)),
+        ("slack_ns".to_string(), num(seg.slack_ns as f64)),
+    ])
+}
+
+/// Per-job span profile from its sliced session trace: event counts
+/// and the top-3 span names by total duration.
+fn profile_json(trace_jsonl: &str) -> Json {
+    let summary = check_trace(trace_jsonl).unwrap_or_default();
+    let mut by_name: Vec<(String, u64, u64)> = Vec::new();
+    for span in &summary.spans {
+        match by_name.iter_mut().find(|(n, _, _)| *n == span.name) {
+            Some(row) => {
+                row.1 += 1;
+                row.2 += span.dur_ns();
+            }
+            None => by_name.push((span.name.clone(), 1, span.dur_ns())),
+        }
+    }
+    by_name.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    by_name.truncate(3);
+    let top = by_name
+        .into_iter()
+        .map(|(name, count, total_ns)| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(name)),
+                ("count".to_string(), num(count as f64)),
+                ("total_ns".to_string(), num(total_ns as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("events".to_string(), num(summary.events as f64)),
+        ("points".to_string(), num(summary.points as f64)),
+        ("top_spans".to_string(), Json::Arr(top)),
+    ])
+}
+
+/// Assembles the `scope.json` document for a finished service run.
+pub fn build_scope(input: &ScopeInput) -> Json {
+    let schedule = build_schedule(input);
+    let makespan_ns = schedule.makespan_ns;
+    let jobs: Vec<Json> = input
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| {
+            let segs: Vec<&Segment> = schedule.segments.iter().filter(|x| x.job == j).collect();
+            let phase_total = |p: Phase| -> u64 {
+                segs.iter()
+                    .filter(|x| x.phase == p)
+                    .map(|x| x.dur_ns())
+                    .sum()
+            };
+            Json::Obj(vec![
+                ("id".to_string(), s(&job.id)),
+                ("state".to_string(), s(&job.state)),
+                (
+                    "queue_ns".to_string(),
+                    num(phase_total(Phase::Queue) as f64),
+                ),
+                ("run_ns".to_string(), num(phase_total(Phase::Run) as f64)),
+                (
+                    "backoff_ns".to_string(),
+                    num(phase_total(Phase::Backoff) as f64),
+                ),
+                (
+                    "segments".to_string(),
+                    Json::Arr(segs.iter().map(|x| segment_json(x)).collect()),
+                ),
+                ("profile".to_string(), profile_json(&job.trace_jsonl)),
+            ])
+        })
+        .collect();
+    let workers_timeline: Vec<Json> = schedule
+        .lanes
+        .iter()
+        .enumerate()
+        .map(|(l, lane)| {
+            let utilization = if makespan_ns > 0 {
+                lane.busy_ns as f64 / makespan_ns as f64
+            } else {
+                0.0
+            };
+            let runs = lane
+                .runs
+                .iter()
+                .map(|&i| {
+                    let seg = &schedule.segments[i];
+                    Json::Obj(vec![
+                        ("job".to_string(), s(&input.jobs[seg.job].id)),
+                        ("attempt".to_string(), num(f64::from(seg.attempt))),
+                        ("start_ns".to_string(), num(seg.start_ns as f64)),
+                        ("end_ns".to_string(), num(seg.end_ns as f64)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("worker".to_string(), num(l as f64)),
+                ("busy_ns".to_string(), num(lane.busy_ns as f64)),
+                ("idle_ns".to_string(), num(lane.idle_ns as f64)),
+                ("utilization".to_string(), num(utilization)),
+                ("segments".to_string(), Json::Arr(runs)),
+            ])
+        })
+        .collect();
+    let critical: Vec<Json> = schedule
+        .critical
+        .iter()
+        .map(|&i| {
+            let seg = &schedule.segments[i];
+            Json::Obj(vec![
+                ("job".to_string(), s(&input.jobs[seg.job].id)),
+                ("phase".to_string(), s(seg.phase.as_str())),
+                ("attempt".to_string(), num(f64::from(seg.attempt))),
+                (
+                    "worker".to_string(),
+                    seg.worker.map_or(Json::Null, |w| num(w as f64)),
+                ),
+                ("start_ns".to_string(), num(seg.start_ns as f64)),
+                ("end_ns".to_string(), num(seg.end_ns as f64)),
+            ])
+        })
+        .collect();
+    let critical_sum_ns: u64 = schedule
+        .critical
+        .iter()
+        .map(|&i| schedule.segments[i].dur_ns())
+        .sum();
+    Json::Obj(vec![
+        ("schema".to_string(), s(SCOPE_SCHEMA)),
+        ("workers".to_string(), num(input.workers.max(1) as f64)),
+        ("makespan_ns".to_string(), num(makespan_ns as f64)),
+        ("makespan_s".to_string(), num(makespan_ns as f64 / 1e9)),
+        ("jobs".to_string(), Json::Arr(jobs)),
+        ("workers_timeline".to_string(), Json::Arr(workers_timeline)),
+        ("critical_path".to_string(), Json::Arr(critical)),
+        ("critical_sum_ns".to_string(), num(critical_sum_ns as f64)),
+    ])
+}
+
+/// Convenience: the schedule behind a document (for assertions).
+pub fn schedule_of(input: &ScopeInput) -> Schedule {
+    build_schedule(input)
+}
+
+const SYMBOLS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+fn symbol(job_index: usize) -> char {
+    SYMBOLS[job_index % SYMBOLS.len()] as char
+}
+
+fn paint(row: &mut [u8], start_ns: f64, end_ns: f64, makespan_ns: f64, ch: u8) {
+    let width = row.len();
+    if makespan_ns <= 0.0 || width == 0 {
+        return;
+    }
+    let a = ((start_ns / makespan_ns) * width as f64).floor() as usize;
+    let b = ((end_ns / makespan_ns) * width as f64).ceil() as usize;
+    for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+        *cell = ch;
+    }
+}
+
+/// Renders a `scope.json` document as a fixed-width text timeline:
+/// one row per worker (letters = jobs, `.` = idle) plus a critical-path
+/// row (`~` = backoff) and a legend.
+pub fn render_timeline(doc: &Json, width: usize) -> String {
+    let width = width.clamp(10, 400);
+    let makespan_ns = doc.get("makespan_ns").and_then(Json::as_f64).unwrap_or(0.0);
+    let makespan_s = doc.get("makespan_s").and_then(Json::as_f64).unwrap_or(0.0);
+    let jobs: &[Json] = doc.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+    let job_index = |id: &str| {
+        jobs.iter()
+            .position(|j| j.get("id").and_then(Json::as_str) == Some(id))
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "heron-scope timeline  makespan={makespan_s:.3}s  workers={}\n",
+        doc.get("workers").and_then(Json::as_f64).unwrap_or(0.0) as usize
+    ));
+    for lane in doc
+        .get("workers_timeline")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+    {
+        let mut row = vec![b'.'; width];
+        for seg in lane.get("segments").and_then(Json::as_arr).unwrap_or(&[]) {
+            let id = seg.get("job").and_then(Json::as_str).unwrap_or("");
+            let ch = job_index(id).map_or(b'?', |i| symbol(i) as u8);
+            paint(
+                &mut row,
+                seg.get("start_ns").and_then(Json::as_f64).unwrap_or(0.0),
+                seg.get("end_ns").and_then(Json::as_f64).unwrap_or(0.0),
+                makespan_ns,
+                ch,
+            );
+        }
+        let w = lane.get("worker").and_then(Json::as_f64).unwrap_or(0.0) as usize;
+        let util = lane
+            .get("utilization")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "w{w} |{}| {:5.1}% busy\n",
+            String::from_utf8_lossy(&row),
+            util * 100.0
+        ));
+    }
+    let mut cp = vec![b'.'; width];
+    for seg in doc
+        .get("critical_path")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+    {
+        let phase = seg.get("phase").and_then(Json::as_str).unwrap_or("");
+        let id = seg.get("job").and_then(Json::as_str).unwrap_or("");
+        let ch = if phase == "backoff" {
+            b'~'
+        } else {
+            job_index(id).map_or(b'?', |i| symbol(i) as u8)
+        };
+        paint(
+            &mut cp,
+            seg.get("start_ns").and_then(Json::as_f64).unwrap_or(0.0),
+            seg.get("end_ns").and_then(Json::as_f64).unwrap_or(0.0),
+            makespan_ns,
+            ch,
+        );
+    }
+    out.push_str(&format!(
+        "cp |{}| critical path (~ = backoff)\n",
+        String::from_utf8_lossy(&cp)
+    ));
+    for (i, job) in jobs.iter().enumerate() {
+        let id = job.get("id").and_then(Json::as_str).unwrap_or("?");
+        let state = job.get("state").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!("   {} = {id} ({state})\n", symbol(i)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{ScopeAttempt, ScopeJob};
+    use crate::schema::validate_scope;
+
+    fn sample() -> ScopeInput {
+        let tracer = heron_trace::Tracer::manual();
+        for _ in 0..3 {
+            let _step = tracer.span("tuner.step");
+            {
+                let _m = tracer.span("measure.batch");
+                tracer.advance_s(0.2);
+            }
+            tracer.advance_s(0.3);
+        }
+        ScopeInput {
+            workers: 2,
+            backoff_base_s: 0.5,
+            jobs: vec![
+                ScopeJob {
+                    id: "g1".to_string(),
+                    state: "completed".to_string(),
+                    attempts: vec![
+                        ScopeAttempt {
+                            outcome: "crashed".to_string(),
+                            sim_ns: 1_500_000_000,
+                            rounds: 2,
+                        },
+                        ScopeAttempt {
+                            outcome: "completed".to_string(),
+                            sim_ns: 2_000_000_000,
+                            rounds: 4,
+                        },
+                    ],
+                    trace_jsonl: tracer.to_jsonl(),
+                },
+                ScopeJob {
+                    id: "g2".to_string(),
+                    state: "completed".to_string(),
+                    attempts: vec![ScopeAttempt {
+                        outcome: "completed".to_string(),
+                        sim_ns: 1_000_000_000,
+                        rounds: 2,
+                    }],
+                    trace_jsonl: String::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn documents_are_deterministic_and_validate() {
+        let input = sample();
+        let a = build_scope(&input).render_pretty();
+        let b = build_scope(&input).render_pretty();
+        assert_eq!(a, b, "assembly is pure");
+        let doc = build_scope(&input);
+        validate_scope(&doc).expect("document validates");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCOPE_SCHEMA));
+        let makespan = doc.get("makespan_ns").and_then(Json::as_u64).unwrap();
+        let sum = doc.get("critical_sum_ns").and_then(Json::as_u64).unwrap();
+        assert_eq!(sum, makespan, "critical path telescopes to the makespan");
+    }
+
+    #[test]
+    fn profiles_surface_the_hottest_spans() {
+        let doc = build_scope(&sample());
+        let jobs = doc.get("jobs").and_then(Json::as_arr).unwrap();
+        let profile = jobs[0].get("profile").unwrap();
+        assert_eq!(profile.get("points").and_then(Json::as_u64), Some(0));
+        let top = profile.get("top_spans").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            top[0].get("name").and_then(Json::as_str),
+            Some("tuner.step"),
+            "outermost span dominates total time"
+        );
+        // The traceless job still carries a (zeroed) profile.
+        let empty = jobs[1].get("profile").unwrap();
+        assert_eq!(empty.get("events").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn timelines_paint_lanes_and_the_critical_path() {
+        let doc = build_scope(&sample());
+        let text = render_timeline(&doc, 40);
+        assert_eq!(text, render_timeline(&doc, 40), "rendering is pure");
+        assert!(text.contains("heron-scope timeline"));
+        assert!(text.contains("w0 |"));
+        assert!(text.contains("w1 |"));
+        assert!(text.contains("cp |"));
+        assert!(text.contains('~'), "backoff appears on the critical row");
+        assert!(text.contains("A = g1"));
+        assert!(text.contains("B = g2"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Structural validator for `heron-scope-v1` documents.
+//!
+//! `heron_scope --check` runs every input file through
+//! [`validate_scope`] before rendering, so a truncated or hand-edited
+//! `scope.json` fails with a named path instead of a garbled timeline.
+//! Beyond structure, the validator enforces the document's central
+//! invariant: the critical path is a contiguous chain from 0 to the
+//! makespan whose segment durations sum *exactly* to `makespan_ns`.
+
+use heron_trace::Json;
+
+use crate::report::SCOPE_SCHEMA;
+
+fn want<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    doc.get(key)
+        .ok_or_else(|| format!("{path}: missing member `{key}`"))
+}
+
+fn want_num(doc: &Json, path: &str, key: &str) -> Result<f64, String> {
+    want(doc, path, key)?
+        .as_f64()
+        .ok_or_else(|| format!("{path}.{key}: expected a number"))
+}
+
+fn want_str<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a str, String> {
+    want(doc, path, key)?
+        .as_str()
+        .ok_or_else(|| format!("{path}.{key}: expected a string"))
+}
+
+fn want_arr<'a>(doc: &'a Json, path: &str, key: &str) -> Result<&'a [Json], String> {
+    want(doc, path, key)?
+        .as_arr()
+        .ok_or_else(|| format!("{path}.{key}: expected an array"))
+}
+
+fn want_phase(doc: &Json, path: &str) -> Result<String, String> {
+    let phase = want_str(doc, path, "phase")?;
+    if !matches!(phase, "queue" | "run" | "backoff") {
+        return Err(format!("{path}.phase: unknown phase `{phase}`"));
+    }
+    Ok(phase.to_string())
+}
+
+fn want_span(doc: &Json, path: &str) -> Result<(u64, u64), String> {
+    let start = want_num(doc, path, "start_ns")? as u64;
+    let end = want_num(doc, path, "end_ns")? as u64;
+    if end < start {
+        return Err(format!("{path}: end_ns {end} precedes start_ns {start}"));
+    }
+    Ok((start, end))
+}
+
+/// Validates the structure and invariants of a `scope.json` document.
+///
+/// # Errors
+/// A message naming the offending JSON path.
+pub fn validate_scope(doc: &Json) -> Result<(), String> {
+    let schema = want_str(doc, "$", "schema")?;
+    if schema != SCOPE_SCHEMA {
+        return Err(format!(
+            "$.schema: expected `{SCOPE_SCHEMA}`, found `{schema}`"
+        ));
+    }
+    want_num(doc, "$", "workers")?;
+    let makespan_ns = want_num(doc, "$", "makespan_ns")? as u64;
+    want_num(doc, "$", "makespan_s")?;
+    let jobs = want_arr(doc, "$", "jobs")?;
+    for (i, job) in jobs.iter().enumerate() {
+        let path = format!("$.jobs[{i}]");
+        want_str(job, &path, "id")?;
+        want_str(job, &path, "state")?;
+        for key in ["queue_ns", "run_ns", "backoff_ns"] {
+            want_num(job, &path, key)?;
+        }
+        for (k, seg) in want_arr(job, &path, "segments")?.iter().enumerate() {
+            let seg_path = format!("{path}.segments[{k}]");
+            let phase = want_phase(seg, &seg_path)?;
+            want_span(seg, &seg_path)?;
+            want_num(seg, &seg_path, "attempt")?;
+            want_num(seg, &seg_path, "slack_ns")?;
+            match (phase.as_str(), want(seg, &seg_path, "worker")?) {
+                ("run", Json::Num(_)) | ("queue" | "backoff", Json::Null) => {}
+                ("run", _) => return Err(format!("{seg_path}.worker: run needs a lane")),
+                _ => {
+                    return Err(format!(
+                        "{seg_path}.worker: `{phase}` segments carry no lane"
+                    ))
+                }
+            }
+        }
+        let profile = want(job, &path, "profile")?;
+        let profile_path = format!("{path}.profile");
+        want_num(profile, &profile_path, "events")?;
+        want_num(profile, &profile_path, "points")?;
+        for (k, span) in want_arr(profile, &profile_path, "top_spans")?
+            .iter()
+            .enumerate()
+        {
+            let span_path = format!("{profile_path}.top_spans[{k}]");
+            want_str(span, &span_path, "name")?;
+            want_num(span, &span_path, "count")?;
+            want_num(span, &span_path, "total_ns")?;
+        }
+    }
+    for (i, lane) in want_arr(doc, "$", "workers_timeline")?.iter().enumerate() {
+        let path = format!("$.workers_timeline[{i}]");
+        let busy = want_num(lane, &path, "busy_ns")? as u64;
+        let idle = want_num(lane, &path, "idle_ns")? as u64;
+        want_num(lane, &path, "worker")?;
+        want_num(lane, &path, "utilization")?;
+        if busy + idle != makespan_ns {
+            return Err(format!(
+                "{path}: busy {busy} + idle {idle} != makespan {makespan_ns}"
+            ));
+        }
+        for (k, seg) in want_arr(lane, &path, "segments")?.iter().enumerate() {
+            let seg_path = format!("{path}.segments[{k}]");
+            want_str(seg, &seg_path, "job")?;
+            want_num(seg, &seg_path, "attempt")?;
+            want_span(seg, &seg_path)?;
+        }
+    }
+    // The central invariant: the critical path is contiguous from 0 to
+    // the makespan and sums to it exactly.
+    let critical = want_arr(doc, "$", "critical_path")?;
+    if critical.is_empty() && makespan_ns != 0 {
+        return Err("$.critical_path: empty with a non-zero makespan".to_string());
+    }
+    let mut cursor = 0u64;
+    let mut sum = 0u64;
+    for (i, seg) in critical.iter().enumerate() {
+        let path = format!("$.critical_path[{i}]");
+        want_str(seg, &path, "job")?;
+        want_num(seg, &path, "attempt")?;
+        let phase = want_phase(seg, &path)?;
+        if phase == "queue" {
+            return Err(format!("{path}: queue segments are never critical"));
+        }
+        let (start, end) = want_span(seg, &path)?;
+        if start != cursor {
+            return Err(format!(
+                "{path}: chain gap — starts at {start}, previous ended at {cursor}"
+            ));
+        }
+        cursor = end;
+        sum += end - start;
+    }
+    if cursor != makespan_ns {
+        return Err(format!(
+            "$.critical_path: chain ends at {cursor}, makespan is {makespan_ns}"
+        ));
+    }
+    let declared = want_num(doc, "$", "critical_sum_ns")? as u64;
+    if declared != sum {
+        return Err(format!(
+            "$.critical_sum_ns: declared {declared}, segments sum to {sum}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{ScopeAttempt, ScopeInput, ScopeJob};
+    use crate::report::build_scope;
+    use heron_trace::json::parse;
+
+    fn sample() -> Json {
+        build_scope(&ScopeInput {
+            workers: 1,
+            backoff_base_s: 0.5,
+            jobs: vec![ScopeJob {
+                id: "a".to_string(),
+                state: "completed".to_string(),
+                attempts: vec![
+                    ScopeAttempt {
+                        outcome: "crashed".to_string(),
+                        sim_ns: 1_000_000_000,
+                        rounds: 2,
+                    },
+                    ScopeAttempt {
+                        outcome: "completed".to_string(),
+                        sim_ns: 500_000_000,
+                        rounds: 3,
+                    },
+                ],
+                trace_jsonl: String::new(),
+            }],
+        })
+    }
+
+    #[test]
+    fn accepts_generated_documents_and_roundtrips() {
+        let doc = sample();
+        validate_scope(&doc).expect("valid");
+        let reparsed = parse(&doc.render_pretty()).expect("parses");
+        validate_scope(&reparsed).expect("still valid");
+    }
+
+    #[test]
+    fn rejects_structural_damage_with_named_paths() {
+        let base = sample().render();
+        for (damage, want_msg) in [
+            ("heron-scope-v1", "heron-scope-v0", "$.schema"),
+            ("\"makespan_ns\":2", "\"makespan_ns\":3", "makespan"),
+            (
+                "\"critical_sum_ns\":2",
+                "\"critical_sum_ns\":1",
+                "critical_sum_ns",
+            ),
+            ("\"phase\":\"backoff\"", "\"phase\":\"nap\"", "phase"),
+        ]
+        .map(|(from, to, want)| (base.replace(from, to), want))
+        {
+            let doc = parse(&damage).expect("still JSON");
+            let err = validate_scope(&doc).unwrap_err();
+            assert!(err.contains(want_msg), "want `{want_msg}` in `{err}`");
+        }
+    }
+}

@@ -164,6 +164,15 @@ pub struct ServeConfig {
     /// have completed (0 = never; used to exercise graceful drain
     /// deterministically from a script).
     pub drain_after_completions: usize,
+    /// Flight-recorder ring capacity attached to every worker session
+    /// tracer (0 disables the ring sink; postmortem bundles then embed
+    /// an empty ring). See DESIGN.md §12.
+    pub ring_capacity: usize,
+    /// When set, the ring *replaces* each session's unbounded event log
+    /// — the bounded always-on recording mode for long-lived runs.
+    /// Completed jobs then report only their last-K trace events, so
+    /// leave it off when full session traces are wanted.
+    pub ring_only: bool,
 }
 
 impl Default for ServeConfig {
@@ -177,6 +186,8 @@ impl Default for ServeConfig {
             hang_grace_polls: 500,
             backoff_base_s: 0.5,
             drain_after_completions: 0,
+            ring_capacity: 64,
+            ring_only: false,
         }
     }
 }
@@ -221,6 +232,12 @@ pub fn parse_script(text: &str) -> Result<JobScript, JobError> {
                 "hang_grace_polls" => config.hang_grace_polls = parse_num(value, key, line_no)?,
                 "drain_after_completions" => {
                     config.drain_after_completions = parse_num(value, key, line_no)?
+                }
+                "ring_capacity" => config.ring_capacity = parse_num(value, key, line_no)?,
+                "ring_only" => {
+                    config.ring_only = value.parse().map_err(|_| {
+                        bad(format!("`ring_only` must be true|false, got `{value}`"))
+                    })?
                 }
                 other => return Err(bad(format!("unknown directive `{other}`"))),
             }
@@ -409,6 +426,8 @@ workers = 3
 queue_capacity = 5
 restart_budget = 1
 checkpoint_every = 2
+ring_capacity = 128
+ring_only = true
 
 job g1 op=gemm shape=96x96x96 trials=40 seed=11
 job g2 op=gemv shape=256x256x8 trials=32 seed=13 fault_rate=0.15 deadline_rounds=4
@@ -420,6 +439,8 @@ kill g2 attempt=1 round=2 kind=hang
         assert_eq!(parsed.config.queue_capacity, 5);
         assert_eq!(parsed.config.restart_budget, 1);
         assert_eq!(parsed.config.checkpoint_every, 2);
+        assert_eq!(parsed.config.ring_capacity, 128);
+        assert!(parsed.config.ring_only);
         assert_eq!(parsed.jobs.len(), 2);
         assert_eq!(parsed.jobs[0].id, "g1");
         assert_eq!(parsed.jobs[0].trials, 40);

@@ -29,6 +29,10 @@
 //!   detection, retry-with-backoff under a restart budget, quarantine,
 //!   graceful drain;
 //! * [`plan`] — seeded worker-kill injection for the chaos harness;
+//! * [`recorder`] — the flight recorder: per-job ring-snapshot deposits
+//!   harvested after a death (DESIGN.md §12);
+//! * [`postmortem`] — schema-versioned crash/hang/quarantine autopsy
+//!   bundles (`heron-postmortem-v1`);
 //! * [`manifest`] — the deterministic results manifest;
 //! * [`chaos`] — uninterrupted reference runs and the byte-identity
 //!   verifier.
@@ -51,14 +55,20 @@ pub mod chaos;
 pub mod job;
 pub mod manifest;
 pub mod plan;
+pub mod postmortem;
 pub mod queue;
+pub mod recorder;
 pub mod store;
 pub mod supervisor;
 pub mod worker;
 
 pub use job::{parse_script, JobError, JobScript, JobSpec, ServeConfig};
 pub use plan::{ChaosPlan, KillKind, KillRule};
+pub use postmortem::{
+    check_postmortem, DeathReport, Postmortem, PostmortemSummary, POSTMORTEM_SCHEMA,
+};
 pub use queue::{AdmitError, AdmitQueue};
+pub use recorder::{FlightEntry, FlightRecorder};
 pub use store::CheckpointStore;
-pub use supervisor::{JobRow, JobState, Supervisor};
+pub use supervisor::{AttemptRecord, JobRow, JobState, ScheduleRow, Supervisor};
 pub use worker::{build_session, Event, JobReport, WorkOrder};

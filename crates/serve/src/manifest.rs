@@ -8,10 +8,15 @@
 //! ids, epochs, wall-clock), so two runs of the same script produce
 //! byte-identical manifests and the verify smoke can diff them.
 
+use crate::postmortem::Postmortem;
 use crate::supervisor::{JobRow, JobState};
 
 /// Renders the manifest for a finished service run.
-pub fn render(rows: &[JobRow], rejected: &[(String, String)]) -> String {
+pub fn render(
+    rows: &[JobRow],
+    rejected: &[(String, String)],
+    postmortems: &[Postmortem],
+) -> String {
     let mut out = String::new();
     out.push_str("# heron-serve results manifest\n");
     let count = |s: JobState| rows.iter().filter(|r| r.state == s).count();
@@ -23,6 +28,7 @@ pub fn render(rows: &[JobRow], rejected: &[(String, String)]) -> String {
     out.push_str(&format!("rejected = {}\n", rejected.len()));
     let warnings: usize = rows.iter().map(|r| r.warnings.len()).sum();
     out.push_str(&format!("warnings = {warnings}\n"));
+    out.push_str(&format!("postmortems = {}\n", postmortems.len()));
     out.push('\n');
     for row in rows {
         out.push_str(&format!(
@@ -55,6 +61,12 @@ pub fn render(rows: &[JobRow], rejected: &[(String, String)]) -> String {
         for warning in &row.warnings {
             out.push_str(&format!("warn {} {warning}\n", row.id));
         }
+    }
+    for pm in postmortems {
+        out.push_str(&format!(
+            "postmortem {} attempt={} reason={} file={}\n",
+            pm.job, pm.attempt, pm.reason, pm.file
+        ));
     }
     for (id, reason) in rejected {
         out.push_str(&format!("rejected {id} reason={reason}\n"));
@@ -97,13 +109,28 @@ mod tests {
             },
         ];
         let rejected = vec![("g9".to_string(), "queue full (capacity 1)".to_string())];
-        let text = render(&rows, &rejected);
-        assert_eq!(text, render(&rows, &rejected), "rendering is pure");
+        let postmortems = vec![Postmortem {
+            job: "g2".to_string(),
+            attempt: 2,
+            reason: "quarantine".to_string(),
+            file: "g2.attempt2.quarantine.jsonl".to_string(),
+            bundle: String::new(),
+        }];
+        let text = render(&rows, &rejected, &postmortems);
+        assert_eq!(
+            text,
+            render(&rows, &rejected, &postmortems),
+            "rendering is pure"
+        );
         assert!(text.contains("jobs = 2"));
         assert!(text.contains("completed = 1"));
         assert!(text.contains("quarantined = 1"));
         assert!(text.contains("rejected = 1"));
         assert!(text.contains("warnings = 1"));
+        assert!(text.contains("postmortems = 1"));
+        assert!(text.contains(
+            "postmortem g2 attempt=2 reason=quarantine file=g2.attempt2.quarantine.jsonl"
+        ));
         assert!(text.contains(
             "job g1 state=completed attempts=2 recoveries=1 rounds=6 trials=40 \
              termination=trials fingerprint=00000000deadbeef best_bits=3ff8000000000000 \

@@ -37,17 +37,21 @@
 //! lifted to job granularity.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use heron_core::TunerControl;
+use heron_pulse::SloSpec;
 use heron_trace::Tracer;
 
 use crate::job::{JobScript, JobSpec, ServeConfig};
 use crate::manifest;
 use crate::plan::ChaosPlan;
+use crate::postmortem::{self, DeathReport, Postmortem};
 use crate::queue::{AdmitError, AdmitQueue};
+use crate::recorder::FlightRecorder;
 use crate::store::CheckpointStore;
 use crate::worker::{run_order, Event, JobReport, WorkOrder};
 
@@ -100,6 +104,39 @@ struct JobEntry {
     /// Rounds/trials at preemption (from the worker's event).
     preempted_rounds: u64,
     preempted_trials: usize,
+    /// Admission order (0-based), for schedule reconstruction.
+    submit_seq: usize,
+    /// Outcome of every settled attempt, in attempt order.
+    attempts_log: Vec<AttemptRecord>,
+}
+
+/// The deterministic outcome of one worker attempt, for schedule
+/// reconstruction (`heron-scope`, DESIGN.md §12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// Attempt number (0 = first run).
+    pub attempt: u32,
+    /// `completed`, `preempted`, `crashed`, `hung`, or `failed`.
+    pub outcome: String,
+    /// Simulated wall-clock the attempt consumed before settling, ns.
+    pub sim_ns: u64,
+    /// Lifetime rounds when the attempt settled.
+    pub rounds: u64,
+}
+
+/// One job's deterministic scheduling facts: submission order, final
+/// state, and every attempt's outcome. The projection `heron-scope`
+/// rebuilds the service schedule from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRow {
+    /// Job id.
+    pub id: String,
+    /// Admission order (0-based).
+    pub submit_seq: usize,
+    /// Final lifecycle state.
+    pub state: JobState,
+    /// Attempts in order (empty for jobs that never ran).
+    pub attempts: Vec<AttemptRecord>,
 }
 
 /// Read-only snapshot of a job for manifests and assertions.
@@ -167,7 +204,12 @@ pub struct Supervisor {
     rx: Receiver<Event>,
     zombies: Vec<JoinHandle<()>>,
     spawn_counter: usize,
+    submit_counter: usize,
     draining: bool,
+    recorder: FlightRecorder,
+    slo: SloSpec,
+    postmortem_dir: Option<PathBuf>,
+    postmortems: Vec<Postmortem>,
 }
 
 impl Supervisor {
@@ -188,7 +230,12 @@ impl Supervisor {
             rx,
             zombies: Vec::new(),
             spawn_counter: 0,
+            submit_counter: 0,
             draining: false,
+            recorder: FlightRecorder::new(),
+            slo: SloSpec::empty(),
+            postmortem_dir: None,
+            postmortems: Vec::new(),
         }
     }
 
@@ -213,6 +260,22 @@ impl Supervisor {
         self
     }
 
+    /// Installs the SLO spec judged inside postmortem bundles (the
+    /// "verdicts at time of death"; defaults to the empty spec).
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Mirrors every postmortem bundle to `<dir>/<job>.attempt<N>.
+    /// <reason>.jsonl`. Bundles are assembled (and listed in the
+    /// manifest) whether or not a directory is set, so the manifest is
+    /// identical with and without one.
+    pub fn with_postmortem_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.postmortem_dir = Some(dir.into());
+        self
+    }
+
     /// Builds a supervisor from a parsed job script and submits every
     /// job, recording rejections. Returns the supervisor ready to
     /// [`Supervisor::run`].
@@ -233,6 +296,8 @@ impl Supervisor {
                 self.tracer.counter_add("serve.jobs_submitted", 1);
                 self.tracer
                     .point_with("serve.submit", || [("job", id.clone())]);
+                let submit_seq = self.submit_counter;
+                self.submit_counter += 1;
                 self.jobs.insert(
                     id,
                     JobEntry {
@@ -250,6 +315,8 @@ impl Supervisor {
                         note: None,
                         preempted_rounds: 0,
                         preempted_trials: 0,
+                        submit_seq,
+                        attempts_log: Vec::new(),
                     },
                 );
                 Ok(())
@@ -359,6 +426,9 @@ impl Supervisor {
             plan: self.plan.clone(),
             checkpoint_every: self.config.checkpoint_every,
             worker_id,
+            ring_capacity: self.config.ring_capacity,
+            ring_only: self.config.ring_only,
+            recorder: self.recorder.clone(),
         };
         let tx = self.tx.clone();
         let handle = std::thread::Builder::new()
@@ -401,6 +471,12 @@ impl Supervisor {
                             [("job", job_owned), ("detail", warning)]
                         });
                 }
+                entry.attempts_log.push(AttemptRecord {
+                    attempt: entry.attempt,
+                    outcome: "completed".to_string(),
+                    sim_ns: report.wall_ns,
+                    rounds: report.rounds,
+                });
                 entry.state = JobState::Completed;
                 entry.report = Some(report);
                 self.tracer.counter_add("serve.jobs_completed", 1);
@@ -422,6 +498,7 @@ impl Supervisor {
                 epoch,
                 rounds,
                 trials,
+                wall_ns,
             } => {
                 let Some(entry) = self.jobs.get_mut(&job) else {
                     return;
@@ -433,6 +510,12 @@ impl Supervisor {
                 if let Some(h) = entry.handle.take() {
                     let _ = h.join();
                 }
+                entry.attempts_log.push(AttemptRecord {
+                    attempt: entry.attempt,
+                    outcome: "preempted".to_string(),
+                    sim_ns: wall_ns,
+                    rounds,
+                });
                 entry.state = JobState::Preempted;
                 entry.preempted_rounds = rounds;
                 entry.preempted_trials = trials;
@@ -454,11 +537,19 @@ impl Supervisor {
                 }
                 // A session that cannot be built is deterministically
                 // poisoned; retrying cannot help.
+                entry.attempts_log.push(AttemptRecord {
+                    attempt: entry.attempt,
+                    outcome: "failed".to_string(),
+                    sim_ns: 0,
+                    rounds: 0,
+                });
                 entry.state = JobState::Quarantined;
                 entry.note = Some(format!("poisoned: {reason}"));
                 self.tracer.counter_add("serve.jobs_quarantined", 1);
+                let job_owned = job.clone();
                 self.tracer
-                    .point_with("serve.quarantine", move || [("job", job)]);
+                    .point_with("serve.quarantine", move || [("job", job_owned)]);
+                self.emit_postmortem(&job, "quarantine");
             }
         }
     }
@@ -496,6 +587,15 @@ impl Supervisor {
                 let id_owned = id.clone();
                 self.tracer
                     .point_with("serve.crash_detected", move || [("job", id_owned)]);
+                let (sim_ns, rounds) = self.attempt_facts(&id);
+                let entry = self.jobs.get_mut(&id).expect("scanned job exists");
+                entry.attempts_log.push(AttemptRecord {
+                    attempt: entry.attempt,
+                    outcome: "crashed".to_string(),
+                    sim_ns,
+                    rounds,
+                });
+                self.emit_postmortem(&id, "crash");
                 self.recover(&id);
             } else {
                 let entry = self.jobs.get_mut(&id).expect("scanned job exists");
@@ -542,6 +642,15 @@ impl Supervisor {
                 let id_owned = id.clone();
                 self.tracer
                     .point_with("serve.hang_detected", move || [("job", id_owned)]);
+                let (sim_ns, rounds) = self.attempt_facts(&id);
+                let entry = self.jobs.get_mut(&id).expect("scanned job exists");
+                entry.attempts_log.push(AttemptRecord {
+                    attempt: entry.attempt,
+                    outcome: "hung".to_string(),
+                    sim_ns,
+                    rounds,
+                });
+                self.emit_postmortem(&id, "hang");
                 self.recover(&id);
             }
         }
@@ -567,6 +676,7 @@ impl Supervisor {
             let id_owned = id.to_string();
             self.tracer
                 .point_with("serve.quarantine", move || [("job", id_owned)]);
+            self.emit_postmortem(id, "quarantine");
             return;
         }
         // Exponential backoff in *simulated* time: the service trace's
@@ -586,6 +696,55 @@ impl Supervisor {
             ]
         });
         self.spawn(id, resume_from, next_attempt);
+    }
+
+    /// The dying attempt's last-flushed `(sim_ns, rounds)` — zeros when
+    /// no deposit from the job's current epoch exists (e.g. a session
+    /// that never completed a round).
+    fn attempt_facts(&self, id: &str) -> (u64, u64) {
+        let entry = &self.jobs[id];
+        match self.recorder.get(id) {
+            Some(f) if f.epoch == entry.epoch => (f.sim_ns, f.rounds),
+            _ => (0, 0),
+        }
+    }
+
+    /// Assembles the postmortem bundle for one death, records it for
+    /// the manifest, and mirrors it to `--postmortem-dir` when set.
+    fn emit_postmortem(&mut self, id: &str, reason: &str) {
+        let entry = self.jobs.get(id).expect("postmortem for unknown job");
+        let checkpoint = self.store.load(id);
+        let flight = self.recorder.get(id);
+        let flight_ref = flight.as_ref().filter(|f| f.epoch == entry.epoch);
+        let pm = postmortem::build(&DeathReport {
+            job: id,
+            attempt: entry.attempt,
+            epoch: entry.epoch,
+            reason,
+            recoveries: entry.recoveries,
+            restart_budget: self.config.restart_budget,
+            backoff_base_s: self.config.backoff_base_s,
+            checkpoint: checkpoint.as_deref(),
+            flight: flight_ref,
+            slo: &self.slo,
+        });
+        self.tracer.counter_add("serve.postmortems", 1);
+        let id_owned = id.to_string();
+        let reason_owned = reason.to_string();
+        self.tracer.point_with("serve.postmortem", move || {
+            [("job", id_owned), ("reason", reason_owned)]
+        });
+        if let Some(dir) = &self.postmortem_dir {
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(&pm.file), &pm.bundle);
+        }
+        self.postmortems.push(pm);
+        // Detection order is scheduling-dependent (a hang takes
+        // `hang_grace_polls` to confirm; a crash one poll), so the list
+        // is kept in canonical (job, attempt, reason) order — the
+        // manifest and the byte-identity checks depend on it.
+        self.postmortems
+            .sort_by(|a, b| (&a.job, a.attempt, &a.reason).cmp(&(&b.job, b.attempt, &b.reason)));
     }
 
     fn all_settled(&self) -> bool {
@@ -642,9 +801,36 @@ impl Supervisor {
         &self.rejected
     }
 
+    /// Every postmortem bundle assembled this run, in emission order.
+    pub fn postmortems(&self) -> &[Postmortem] {
+        &self.postmortems
+    }
+
+    /// The shared flight recorder (per-job latest ring deposits).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Deterministic scheduling facts for every admitted job, in
+    /// submission order — the `heron-scope` input projection.
+    pub fn schedule_rows(&self) -> Vec<ScheduleRow> {
+        let mut rows: Vec<ScheduleRow> = self
+            .jobs
+            .iter()
+            .map(|(id, e)| ScheduleRow {
+                id: id.clone(),
+                submit_seq: e.submit_seq,
+                state: e.state,
+                attempts: e.attempts_log.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.submit_seq);
+        rows
+    }
+
     /// The deterministic results manifest.
     pub fn manifest(&self) -> String {
-        manifest::render(&self.rows(), self.rejected())
+        manifest::render(&self.rows(), self.rejected(), self.postmortems())
     }
 
     /// A completed job's report.
@@ -709,6 +895,7 @@ impl Supervisor {
                     insight_json: report.map(|r| r.insight_json.clone()).unwrap_or_default(),
                     metrics_tsv: report.map(|r| r.metrics_tsv.clone()).unwrap_or_default(),
                     wall_ns: report.map_or(0, |r| r.wall_ns),
+                    postmortems: self.postmortems.iter().filter(|p| p.job == *id).count() as u64,
                     trace_jsonl: report
                         .map(|r| {
                             heron_trace::slice_by_job(&r.trace_jsonl)

@@ -36,6 +36,7 @@ use heron_trace::{TraceContext, Tracer};
 
 use crate::job::JobSpec;
 use crate::plan::{ChaosPlan, KillKind};
+use crate::recorder::{FlightEntry, FlightRecorder};
 use crate::store::CheckpointStore;
 
 /// Everything a worker thread needs to run one attempt of one job.
@@ -60,6 +61,14 @@ pub struct WorkOrder {
     pub checkpoint_every: u64,
     /// Pool shard this attempt is pinned to (observability only).
     pub worker_id: usize,
+    /// Flight-recorder ring capacity for the session tracer (0 = no
+    /// ring sink; the recorder then receives clock/round flushes only).
+    pub ring_capacity: usize,
+    /// When set, the ring *replaces* the session's unbounded event log
+    /// (the always-on recording mode for long-lived runs).
+    pub ring_only: bool,
+    /// Where per-round ring snapshots are deposited for postmortems.
+    pub recorder: FlightRecorder,
 }
 
 /// The deterministic outcome of a completed job, shipped back over the
@@ -116,6 +125,8 @@ pub enum Event {
         rounds: u64,
         /// Trials completed at preemption.
         trials: usize,
+        /// The attempt's simulated wall-clock at preemption, ns.
+        wall_ns: u64,
     },
     /// The session could not be built or resumed.
     Failed {
@@ -188,6 +199,9 @@ pub fn run_order(order: WorkOrder, events: Sender<Event>) {
         plan,
         checkpoint_every,
         worker_id: _,
+        ring_capacity,
+        ring_only,
+        recorder,
     } = order;
     let job = spec.id.clone();
 
@@ -205,12 +219,31 @@ pub fn run_order(order: WorkOrder, events: Sender<Event>) {
     tuner
         .tracer()
         .set_context(Some(TraceContext::new(job.as_str(), attempt, epoch)));
+    // Flight recorder: a bounded ring of the most recent events, so a
+    // crash can still be autopsied. Attached before the first span so
+    // the ring starts on a safe eviction boundary.
+    if ring_capacity > 0 {
+        tuner.tracer().set_ring(ring_capacity, ring_only);
+    }
     if spec.deadline_rounds > 0 {
         control.set_deadline_rounds(spec.deadline_rounds);
     }
 
     while tuner.step() {
         let round = tuner.rounds_total() as u64;
+        // Flush the ring *before* the chaos kill check: the deposit must
+        // cover the fatal round, because a killed worker flushes nothing
+        // ever again. Epoch-guarded like checkpoint saves.
+        recorder.save(
+            &spec.id,
+            FlightEntry {
+                attempt,
+                epoch,
+                rounds: round,
+                sim_ns: tuner.tracer().now_ns(),
+                ring_jsonl: tuner.tracer().ring_snapshot_jsonl(),
+            },
+        );
         match plan.kill_at(&spec.id, attempt, round) {
             Some(KillKind::Crash) => {
                 // A killed process reports nothing; the rounds since the
@@ -244,6 +277,7 @@ pub fn run_order(order: WorkOrder, events: Sender<Event>) {
                 epoch,
                 rounds: result.rounds_total as u64,
                 trials: tuner.trials_done(),
+                wall_ns: tuner.tracer().now_ns(),
             });
         }
         Termination::Cancelled => {

@@ -151,20 +151,44 @@ fn get_fields(obj: &Json, line: usize) -> Result<Vec<(String, String)>, String> 
 /// # Errors
 /// A human-readable message naming the first offending line.
 pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
-    /// Per-context validation state: pending open spans, innermost last
-    /// (as `(index into spans, id)`), and the monotonicity watermark.
-    #[derive(Default)]
-    struct Group {
-        stack: Vec<(usize, u64)>,
-        last_t_ns: u64,
-    }
-    let mut groups: BTreeMap<Option<TraceContext>, Group> = BTreeMap::new();
-    let mut spans: Vec<SpanRec> = Vec::new();
-    let mut points = 0usize;
-    let mut events = 0usize;
+    check_trace_lines(jsonl.lines().map(|l| Ok(l.to_string())))
+}
 
-    let total_lines = jsonl.lines().count();
-    for (idx, line) in jsonl.lines().enumerate() {
+/// Per-context validation state: pending open spans, innermost last
+/// (as `(index into spans, id)`), and the monotonicity watermark.
+#[derive(Default)]
+struct Group {
+    stack: Vec<(usize, u64)>,
+    last_t_ns: u64,
+}
+
+/// Streaming trace validation state, fed one line at a time. Peak
+/// memory is the reconstructed spans, never the raw JSONL — this is
+/// what lets `trace_report` check multi-gigabyte merged service traces
+/// line-at-a-time.
+#[derive(Default)]
+pub struct TraceChecker {
+    groups: BTreeMap<Option<TraceContext>, Group>,
+    spans: Vec<SpanRec>,
+    points: usize,
+    events: usize,
+}
+
+impl TraceChecker {
+    /// A checker with no lines consumed yet.
+    pub fn new() -> Self {
+        TraceChecker::default()
+    }
+
+    /// Consumes the next line. `last` marks the final line of the input
+    /// so a trailing parse failure can be diagnosed as a truncated
+    /// write.
+    ///
+    /// # Errors
+    /// A message naming the offending line; the checker must not be fed
+    /// further lines after an error.
+    pub fn feed(&mut self, line: &str, last: bool) -> Result<(), String> {
+        let idx = self.events;
         let lineno = idx + 1;
         if line.trim().is_empty() {
             return Err(format!("line {lineno}: empty line in trace"));
@@ -175,7 +199,7 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
             // (crash, kill -9, full disk). Name that case explicitly so
             // `trace_report --check` tells the operator what happened
             // instead of surfacing a bare parse error.
-            if lineno == total_lines && !line.trim_end().ends_with('}') {
+            if last && !line.trim_end().ends_with('}') {
                 format!(
                     "line {lineno}: final line is truncated (interrupted write?) — \
                      recover by dropping it and re-checking: {e}"
@@ -187,7 +211,7 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
         if !matches!(obj, Json::Obj(_)) {
             return Err(format!("line {lineno}: event is not a JSON object"));
         }
-        events += 1;
+        self.events += 1;
 
         let seq = get_u64(&obj, "seq", lineno)?;
         if seq != idx as u64 {
@@ -197,7 +221,7 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
         }
         let t_ns = get_u64(&obj, "t_ns", lineno)?;
         let ctx = parse_ctx(&obj, lineno)?;
-        let group = groups.entry(ctx.clone()).or_default();
+        let group = self.groups.entry(ctx.clone()).or_default();
         if t_ns < group.last_t_ns {
             return Err(format!(
                 "line {lineno}: timestamp {t_ns} goes backwards (previous {} in the same context)",
@@ -221,8 +245,8 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
                 }
                 let name = get_str(&obj, "name", lineno)?.to_string();
                 let fields = get_fields(&obj, lineno)?;
-                group.stack.push((spans.len(), id));
-                spans.push(SpanRec {
+                group.stack.push((self.spans.len(), id));
+                self.spans.push(SpanRec {
                     id,
                     parent,
                     name,
@@ -236,7 +260,7 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
                 let id = get_u64(&obj, "id", lineno)?;
                 match group.stack.pop() {
                     Some((slot, open_id)) if open_id == id => {
-                        spans[slot].t_close_ns = t_ns;
+                        self.spans[slot].t_close_ns = t_ns;
                     }
                     Some((_, open_id)) => {
                         return Err(format!(
@@ -253,26 +277,51 @@ pub fn check_trace(jsonl: &str) -> Result<TraceSummary, String> {
             "point" => {
                 get_str(&obj, "name", lineno)?;
                 get_fields(&obj, lineno)?;
-                points += 1;
+                self.points += 1;
             }
             other => return Err(format!("line {lineno}: unknown event kind `{other}`")),
         }
+        Ok(())
     }
 
-    for group in groups.values() {
-        if let Some(&(slot, id)) = group.stack.last() {
-            return Err(format!(
-                "span {id} (`{}`) is never closed",
-                spans[slot].name
-            ));
+    /// Finishes validation: every span must be closed.
+    ///
+    /// # Errors
+    /// Names the first never-closed span.
+    pub fn finish(self) -> Result<TraceSummary, String> {
+        for group in self.groups.values() {
+            if let Some(&(slot, id)) = group.stack.last() {
+                return Err(format!(
+                    "span {id} (`{}`) is never closed",
+                    self.spans[slot].name
+                ));
+            }
         }
+        Ok(TraceSummary {
+            spans: self.spans,
+            points: self.points,
+            events: self.events,
+        })
     }
+}
 
-    Ok(TraceSummary {
-        spans,
-        points,
-        events,
-    })
+/// Validates a trace supplied as a fallible line iterator (e.g.
+/// [`std::io::BufRead::lines`]), holding only one raw line in memory at
+/// a time. [`check_trace`] is this over an in-memory string.
+///
+/// # Errors
+/// An I/O error reading a line, or the first validation failure.
+pub fn check_trace_lines<I>(lines: I) -> Result<TraceSummary, String>
+where
+    I: Iterator<Item = Result<String, std::io::Error>>,
+{
+    let mut checker = TraceChecker::new();
+    let mut lines = lines.peekable();
+    while let Some(line) = lines.next() {
+        let line = line.map_err(|e| format!("read error: {e}"))?;
+        checker.feed(&line, lines.peek().is_none())?;
+    }
+    checker.finish()
 }
 
 #[cfg(test)]
@@ -409,5 +458,32 @@ mod tests {
     fn empty_trace_is_valid_and_empty() {
         let s = check_trace("").expect("empty ok");
         assert_eq!(s, TraceSummary::default());
+    }
+
+    #[test]
+    fn streaming_checker_matches_whole_string_validation() {
+        let t = Tracer::manual();
+        {
+            let _a = t.span("tuner.step");
+            t.advance_s(0.5);
+            t.point("measure.retry");
+        }
+        let jsonl = t.to_jsonl();
+        let streamed = check_trace_lines(jsonl.lines().map(|l| Ok(l.to_string()))).expect("valid");
+        assert_eq!(streamed, check_trace(&jsonl).expect("valid"));
+
+        // The truncated-final-line diagnosis survives streaming: the
+        // checker only knows "last" via lookahead, not a line count.
+        let truncated = [
+            r#"{"seq":0,"ev":"point","name":"p","t_ns":0,"fields":{}}"#,
+            r#"{"seq":1,"ev":"poi"#,
+        ];
+        let err = check_trace_lines(truncated.iter().map(|l| Ok((*l).to_string()))).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+
+        // An I/O error mid-stream is surfaced, not swallowed.
+        let io_err = check_trace_lines(std::iter::once(Err(std::io::Error::other("disk gone"))))
+            .unwrap_err();
+        assert!(io_err.contains("disk gone"), "{io_err}");
     }
 }

@@ -15,6 +15,11 @@
 //!   JSONL trace and checks span balance, and a flamegraph-style text
 //!   profile tree built from traces or known totals.
 //!
+//! plus the flight-recorder **ring sink** ([`Tracer::set_ring`],
+//! DESIGN.md §12): a fixed-capacity buffer of the most recent events
+//! with span-boundary-safe eviction, the bounded always-on recording
+//! mode for long-lived service runs.
+//!
 //! # Example
 //!
 //! ```
@@ -36,13 +41,15 @@ pub mod clock;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod ring;
 pub mod slice;
 pub mod tracer;
 
-pub use check::{check_trace, SpanRec, TraceSummary};
+pub use check::{check_trace, check_trace_lines, SpanRec, TraceChecker, TraceSummary};
 pub use clock::Clock;
 pub use json::Json;
 pub use metrics::{Histogram, Instrument, MetricsRegistry, DEFAULT_BUCKETS};
 pub use profile::{profile_from_summary, ProfileNode};
+pub use ring::{check_ring_snapshot, RingSummary, RING_SCHEMA};
 pub use slice::{jobs_in, merge_traces, service_slice, slice_by_job, tag_jsonl};
 pub use tracer::{normalize_jsonl, Event, SpanGuard, TraceContext, Tracer};

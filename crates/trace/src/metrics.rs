@@ -61,6 +61,49 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated from the fixed buckets,
+    /// linearly interpolated within the bucket that holds the rank.
+    ///
+    /// Fully deterministic: the estimate depends only on the bucket
+    /// counts and the recorded min/max. The interpolation range of a
+    /// finite bucket is `[previous bound (or min), bound]`; the overflow
+    /// bucket interpolates over `[last bound, max]`. Estimates are
+    /// clamped to `[min, max]` so a sparsely filled bucket cannot place
+    /// a quantile outside the observed range. Returns `None` when the
+    /// histogram is empty or `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the target value in [0, count]; rank r means "r
+        // recorded values lie at or below the estimate".
+        let rank = q * self.count as f64;
+        let mut below = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = below + c;
+            if rank <= upto as f64 {
+                let lo = if idx == 0 {
+                    self.min
+                } else {
+                    self.bounds[idx - 1].max(self.min)
+                };
+                let hi = if idx < self.bounds.len() {
+                    self.bounds[idx].min(self.max)
+                } else {
+                    self.max
+                };
+                let frac = (rank - below as f64) / c as f64;
+                let est = lo + (hi - lo) * frac.clamp(0.0, 1.0);
+                return Some(est.clamp(self.min, self.max));
+            }
+            below = upto;
+        }
+        Some(self.max)
+    }
+
     /// Renders the buckets as `le<bound>:<count>;…;inf:<count>`.
     pub fn buckets_string(&self) -> String {
         let mut parts: Vec<String> = self
@@ -195,27 +238,37 @@ impl MetricsRegistry {
     /// lexicographic order.
     ///
     /// ```text
-    /// metric              type       value  count  min  max  buckets
-    /// csp.propagations    counter    1234   -      -    -    -
-    /// measure.latency_ms  histogram  42.5   16     0.9  9.1  le0.01:0;…;inf:0
+    /// metric              type       value  count  min  max  p50  p90  p99  buckets
+    /// csp.propagations    counter    1234   -      -    -    -    -    -    -
+    /// measure.latency_ms  histogram  42.5   16     0.9  9.1  2.1  8.4  9.0  le0.01:0;…;inf:0
     /// ```
-    /// (columns are separated by single tab characters)
+    /// (columns are separated by single tab characters; the quantile
+    /// columns are bucket-interpolated estimates, see
+    /// [`Histogram::quantile`])
     pub fn to_tsv(&self) -> String {
-        let mut out = String::from("metric\ttype\tvalue\tcount\tmin\tmax\tbuckets\n");
+        let mut out =
+            String::from("metric\ttype\tvalue\tcount\tmin\tmax\tp50\tp90\tp99\tbuckets\n");
         for (name, inst) in &self.map {
             let row = match inst {
-                Instrument::Counter(c) => format!("{name}\tcounter\t{c}\t-\t-\t-\t-"),
-                Instrument::Gauge(g) => format!("{name}\tgauge\t{g}\t-\t-\t-\t-"),
+                Instrument::Counter(c) => format!("{name}\tcounter\t{c}\t-\t-\t-\t-\t-\t-\t-"),
+                Instrument::Gauge(g) => format!("{name}\tgauge\t{g}\t-\t-\t-\t-\t-\t-\t-"),
                 Instrument::Hist(h) => {
                     let (min, max) = if h.count == 0 {
                         ("-".to_string(), "-".to_string())
                     } else {
                         (h.min.to_string(), h.max.to_string())
                     };
+                    let quant = |q: f64| {
+                        h.quantile(q)
+                            .map_or_else(|| "-".to_string(), |v| v.to_string())
+                    };
                     format!(
-                        "{name}\thistogram\t{}\t{}\t{min}\t{max}\t{}",
+                        "{name}\thistogram\t{}\t{}\t{min}\t{max}\t{}\t{}\t{}\t{}",
                         h.sum,
                         h.count,
+                        quant(0.5),
+                        quant(0.9),
+                        quant(0.99),
                         h.buckets_string()
                     )
                 }
@@ -255,13 +308,17 @@ mod tests {
         m.hist_record("m.mid_ms", 5.0);
         let tsv = m.to_tsv();
         let lines: Vec<&str> = tsv.lines().collect();
-        assert_eq!(lines[0], "metric\ttype\tvalue\tcount\tmin\tmax\tbuckets");
+        assert_eq!(
+            lines[0],
+            "metric\ttype\tvalue\tcount\tmin\tmax\tp50\tp90\tp99\tbuckets"
+        );
         assert!(lines[1].starts_with("a.first\tcounter\t2"));
-        assert!(lines[2].starts_with("m.mid_ms\thistogram\t5\t1\t5\t5\t"));
+        // Single-value histogram: every quantile collapses to that value.
+        assert!(lines[2].starts_with("m.mid_ms\thistogram\t5\t1\t5\t5\t5\t5\t5\t"));
         assert!(lines[2].contains("le10:1"));
         assert!(lines[3].starts_with("z.last\tcounter\t1"));
         for line in &lines[1..] {
-            assert_eq!(line.split('\t').count(), 7, "row {line}");
+            assert_eq!(line.split('\t').count(), 10, "row {line}");
         }
     }
 
@@ -358,5 +415,85 @@ mod tests {
         assert_eq!(cols[3], "0", "count");
         assert_eq!(cols[4], "-", "min placeholder");
         assert_eq!(cols[5], "-", "max placeholder");
+        assert_eq!(&cols[6..9], ["-", "-", "-"], "quantile placeholders");
+    }
+
+    /// Quantiles interpolate linearly within the bucket holding the
+    /// rank, with the recorded min/max tightening the edge buckets.
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 20.0, 30.0]);
+        // Ten values spread uniformly through (10, 20]: ranks land in
+        // the le20 bucket, whose interpolation range [10, 20] tightens
+        // to the observed [11, 20].
+        for i in 1..=10 {
+            h.record(10.0 + i as f64);
+        }
+        assert_eq!(h.quantile(0.0), Some(11.0), "p0 is the min");
+        assert_eq!(h.quantile(0.5), Some(15.5));
+        assert_eq!(h.quantile(1.0), Some(20.0), "p100 is the max");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 19.1).abs() < 1e-9, "p90 ≈ 19.1, got {p90}");
+        // Out-of-range q and empty histograms yield None.
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+    }
+
+    /// Boundary buckets: values exactly on a bound stay inside it, and
+    /// the first bucket interpolates from the observed min, not from an
+    /// implicit zero.
+    #[test]
+    fn quantiles_respect_bucket_boundaries() {
+        let mut h = Histogram::new(&[10.0, 20.0]);
+        h.record(10.0); // inclusive edge of le10
+        h.record(10.0);
+        // Both values in the first bucket: min == max == 10.
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(0.99), Some(10.0));
+
+        let mut h = Histogram::new(&[10.0, 20.0]);
+        h.record(4.0);
+        h.record(8.0);
+        // First bucket spans [min, max∧bound] = [4, 8]; p50 at rank 1
+        // of 2 is the midpoint.
+        assert_eq!(h.quantile(0.5), Some(6.0));
+    }
+
+    /// A saturated overflow bucket interpolates over the observed
+    /// [min∨last bound, max] and never reports beyond the extremes.
+    #[test]
+    fn quantiles_handle_saturated_overflow_bucket() {
+        // Every value in the overflow bucket and identical: all
+        // quantiles collapse to that value.
+        let mut h = Histogram::new(&[1.0]);
+        for _ in 0..100 {
+            h.record(50.0);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(50.0), "q={q}");
+        }
+        // Spread values in the overflow bucket: interpolate over
+        // [min, max] since no finite bound brackets them.
+        let mut h = Histogram::new(&[1.0]);
+        for i in 1..=10 {
+            h.record(i as f64 * 10.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(55.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    /// Same recordings ⇒ byte-identical quantile columns (the TSV path
+    /// the determinism suite depends on).
+    #[test]
+    fn quantiles_are_deterministic_in_tsv() {
+        let run = || {
+            let mut m = MetricsRegistry::new();
+            for i in 0..37 {
+                m.hist_record("x.lat_ms", (i % 11) as f64 * 0.7 + 0.05);
+            }
+            m.to_tsv()
+        };
+        assert_eq!(run(), run());
     }
 }

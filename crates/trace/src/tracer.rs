@@ -28,6 +28,7 @@ use std::rc::Rc;
 use crate::clock::Clock;
 use crate::json::{escape, Json};
 use crate::metrics::MetricsRegistry;
+use crate::ring::{RingBuf, RING_SCHEMA};
 
 /// Correlation context stamped on every event recorded while it is set:
 /// which service job, which attempt, which supervisor epoch produced
@@ -114,10 +115,30 @@ struct Inner {
     stack: Vec<u64>,
     next_id: u64,
     metrics: MetricsRegistry,
+    /// Flight-recorder sink (`None` = ring disabled).
+    ring: Option<RingBuf>,
 }
 
 impl Inner {
     fn push_event(&mut self, ev: Event) {
+        // A safe eviction cut point: a top-level open or point. (At this
+        // call site the stack holds the depth *before* an open and
+        // *after* a close, so `is_empty` is exactly "recorded with no
+        // span open".)
+        let boundary = self.stack.is_empty() && !matches!(ev, Event::Close { .. });
+        if let Some(ring) = &mut self.ring {
+            if ring.ring_only {
+                let dropped = ring.push(ev, self.ctx.clone(), boundary);
+                if dropped > 0 {
+                    self.metrics.counter_add("trace.ring_evicted", dropped);
+                }
+                return;
+            }
+            let dropped = ring.push(ev.clone(), self.ctx.clone(), boundary);
+            if dropped > 0 {
+                self.metrics.counter_add("trace.ring_evicted", dropped);
+            }
+        }
         self.events.push(ev);
         self.event_ctx.push(self.ctx.clone());
     }
@@ -144,6 +165,7 @@ impl Tracer {
             stack: Vec::new(),
             next_id: 0,
             metrics: MetricsRegistry::new(),
+            ring: None,
         }))))
     }
 
@@ -327,9 +349,78 @@ impl Tracer {
         }
     }
 
-    /// Number of recorded events (0 when disabled).
+    /// Enables the flight-recorder ring sink with the given capacity
+    /// (clamped to ≥ 1). With `ring_only = false` (mirror mode) the
+    /// unbounded event log is kept unchanged and the ring records the
+    /// most recent events alongside it; with `ring_only = true` the
+    /// ring *replaces* the event log, bounding memory for long-lived
+    /// runs — [`Tracer::to_jsonl`] then exports the retained suffix,
+    /// re-sequenced from 0 (still a valid trace). Evictions increment
+    /// the `trace.ring_evicted` counter. Call before opening spans so
+    /// the ring starts on a safe cut point; no-op when disabled.
+    pub fn set_ring(&self, capacity: usize, ring_only: bool) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().ring = Some(RingBuf::new(capacity, ring_only));
+        }
+    }
+
+    /// Whether a ring sink is attached.
+    pub fn has_ring(&self) -> bool {
+        self.0.as_ref().is_some_and(|i| i.borrow().ring.is_some())
+    }
+
+    /// Total events evicted from the ring so far (0 without a ring).
+    pub fn ring_evicted(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |i| i.borrow().ring.as_ref().map_or(0, |r| r.evicted))
+    }
+
+    /// Number of events currently retained in the ring (0 without one).
+    pub fn ring_len(&self) -> usize {
+        self.0
+            .as_ref()
+            .map_or(0, |i| i.borrow().ring.as_ref().map_or(0, RingBuf::len))
+    }
+
+    /// The `heron-ring-v1` snapshot: a header line carrying capacity,
+    /// eviction count, retained-event count and the clock reading,
+    /// followed by the retained events re-sequenced from 0 (the body
+    /// alone is a valid trace — see [`crate::check_ring_snapshot`]).
+    /// Empty string when disabled or no ring is attached.
+    pub fn ring_snapshot_jsonl(&self) -> String {
+        let Some(inner) = &self.0 else {
+            return String::new();
+        };
+        let inner = inner.borrow();
+        let Some(ring) = &inner.ring else {
+            return String::new();
+        };
+        let mut out = format!(
+            "{{\"schema\":\"{RING_SCHEMA}\",\"capacity\":{},\"evicted\":{},\"events\":{},\"now_ns\":{}}}\n",
+            ring.capacity,
+            ring.evicted,
+            ring.len(),
+            inner.clock.now_ns()
+        );
+        for (seq, (ev, ctx)) in ring.iter().enumerate() {
+            out.push_str(&event_json(seq, ev, ctx));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of recorded events (0 when disabled). In ring-only mode
+    /// this is the total recorded — evicted plus retained — not the
+    /// retained count.
     pub fn event_count(&self) -> usize {
-        self.0.as_ref().map_or(0, |i| i.borrow().events.len())
+        self.0.as_ref().map_or(0, |i| {
+            let inner = i.borrow();
+            match &inner.ring {
+                Some(ring) if ring.ring_only => ring.evicted as usize + ring.len(),
+                _ => inner.events.len(),
+            }
+        })
     }
 
     /// Number of registered metric instruments (0 when disabled).
@@ -349,21 +440,36 @@ impl Tracer {
         self.0.as_ref().and_then(|i| i.borrow().metrics.gauge(name))
     }
 
-    /// A clone of the recorded events (empty when disabled).
+    /// A clone of the recorded events (empty when disabled; the
+    /// retained suffix in ring-only mode).
     pub fn events(&self) -> Vec<Event> {
-        self.0
-            .as_ref()
-            .map_or_else(Vec::new, |i| i.borrow().events.clone())
+        self.0.as_ref().map_or_else(Vec::new, |i| {
+            let inner = i.borrow();
+            match &inner.ring {
+                Some(ring) if ring.ring_only => ring.iter().map(|(ev, _)| ev.clone()).collect(),
+                _ => inner.events.clone(),
+            }
+        })
     }
 
     /// The JSONL export: one event object per line, in sequence order.
-    /// Empty string when disabled.
+    /// Empty string when disabled. In ring-only mode this is the
+    /// retained suffix, re-sequenced from 0 — still a valid trace.
     pub fn to_jsonl(&self) -> String {
         let Some(inner) = &self.0 else {
             return String::new();
         };
         let inner = inner.borrow();
         let mut out = String::new();
+        if let Some(ring) = &inner.ring {
+            if ring.ring_only {
+                for (seq, (ev, ctx)) in ring.iter().enumerate() {
+                    out.push_str(&event_json(seq, ev, ctx));
+                    out.push('\n');
+                }
+                return out;
+            }
+        }
         for (seq, ev) in inner.events.iter().enumerate() {
             out.push_str(&event_json(seq, ev, inner.event_ctx[seq].as_ref()));
             out.push('\n');

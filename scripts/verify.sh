@@ -168,10 +168,36 @@ echo "== service-robustness smoke (heron-serve chaos harness) =="
 cargo run --release --offline -p heron-bench --bin heron_serve -- \
     --smoke --trace-out "$obs_dir/serve_trace.jsonl" \
     --pulse-out "$obs_dir/pulse.json" --slo scripts/serve_smoke.slo \
-    --slo-report "$obs_dir/slo_report.txt" --baseline BENCH_heron.json >/dev/null
+    --slo-report "$obs_dir/slo_report.txt" --baseline BENCH_heron.json \
+    --scope-out "$obs_dir/scope.json" \
+    --postmortem-dir "$obs_dir/postmortems" >/dev/null
 cargo run --release --offline -p heron-bench --bin trace_report -- \
     "$obs_dir/serve_trace.jsonl" --check
 echo "ok: chaos smoke passes; recovered jobs byte-identical; service trace validates"
+
+echo "== scope smoke (flight recorder, postmortems, critical path) =="
+# The forensics layer (DESIGN.md §12) gates the build: the chaos
+# smoke's injected crash must leave a postmortem bundle behind, and the
+# reconstructed schedule must satisfy the central scope invariant —
+# the critical path's segment durations sum *exactly* to the recorded
+# makespan (heron_scope --check validates it and prints the equality).
+test -f "$obs_dir/postmortems/g1.attempt0.crash.jsonl" || {
+    echo "error: no postmortem bundle for the injected g1 crash" >&2
+    ls "$obs_dir/postmortems" >&2 || true
+    exit 1
+}
+test -f "$obs_dir/postmortems/g2.attempt0.hang.jsonl" || {
+    echo "error: no postmortem bundle for the injected g2 hang" >&2
+    exit 1
+}
+cargo run --release --offline -p heron-bench --bin heron_scope -- \
+    "$obs_dir/scope.json" --check > "$obs_dir/scope_check.out"
+grep -q 'critical-path sum == makespan' "$obs_dir/scope_check.out" || {
+    echo "error: heron_scope did not confirm critical-path sum == makespan:" >&2
+    cat "$obs_dir/scope_check.out" >&2
+    exit 1
+}
+echo "ok: crash/hang bundles present; scope.json valid; critical path sums to the makespan"
 
 echo "== pulse smoke (per-job SLIs, SLO gate, ops dashboard) =="
 # The derived telemetry plane (DESIGN.md §10) gates the build: the
@@ -223,20 +249,21 @@ if cargo run --release --offline -p heron-bench --bin heron_audit -- \
 fi
 echo "ok: clean specs audit clean (3 platforms, byte-stable); dropped rule fails the gate"
 
-echo "== telemetry-name lint (serve.* / pulse.* / audit.* documentation) =="
-# Every serve.*/pulse.*/audit.* counter, point, or span name the code
-# emits must be documented in DESIGN.md §10/§11's name tables, so the
-# dashboard and trace reports never show an unexplained metric.
+echo "== telemetry-name lint (serve.* / pulse.* / audit.* / scope.* documentation) =="
+# Every serve.*/pulse.*/audit.*/scope.* counter, point, or span name
+# the code emits must be documented in DESIGN.md §10/§11/§12's name
+# tables, so the dashboard and trace reports never show an unexplained
+# metric.
 undocumented=""
-for name in $(grep -rhoE '"(serve|pulse|audit)\.[a-z_.]+"' crates --include='*.rs' \
+for name in $(grep -rhoE '"(serve|pulse|audit|scope)\.[a-z_.]+"' crates --include='*.rs' \
     | tr -d '"' | sort -u); do
     grep -q -- "$name" DESIGN.md || undocumented="$undocumented $name"
 done
 if [ -n "$undocumented" ]; then
-    echo "error: telemetry names missing from DESIGN.md §10/§11:$undocumented" >&2
+    echo "error: telemetry names missing from DESIGN.md §10-§12:$undocumented" >&2
     exit 1
 fi
-echo "ok: every serve.*/pulse.*/audit.* telemetry name is documented"
+echo "ok: every serve.*/pulse.*/audit.*/scope.* telemetry name is documented"
 
 echo "== fitness-robustness lint (explorer/solver/model layers) =="
 # Two recurring NaN/error-poisoning bugs, kept out by lint:

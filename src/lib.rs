@@ -31,6 +31,7 @@
 //! | [`serve`] | `heron-serve` | supervised, crash-recoverable tuning service |
 //! | [`pulse`] | `heron-pulse` | service SLIs/SLOs and the ops dashboard |
 //! | [`audit`] | `heron-audit` | differential constraint-space auditor + mutation gate |
+//! | [`scope`] | `heron-scope` | schedule forensics: timelines, Gantt, critical path |
 //!
 //! # Quickstart
 //!
@@ -68,6 +69,7 @@ pub use heron_graph as graph;
 pub use heron_insight as insight;
 pub use heron_pulse as pulse;
 pub use heron_sched as sched;
+pub use heron_scope as scope;
 pub use heron_serve as serve;
 pub use heron_tensor as tensor;
 pub use heron_trace as trace;
